@@ -1,0 +1,99 @@
+// Ablation — the design choices DESIGN.md calls out:
+//   (1) interface minimization (Sect. 3.4) on/off: initial-state counts and
+//       RID transition counts on the five benchmarks;
+//   (2) run-convergence in the deterministic chunk kernels (the Mytkowicz-
+//       style optimization the paper lists as compatible, Sect. 5): its
+//       effect on DFA-variant and RID transition counts.
+#include <cstdio>
+#include <iostream>
+
+#include "automata/glushkov.hpp"
+#include "automata/minimize.hpp"
+#include "automata/subset.hpp"
+#include "common.hpp"
+#include "core/interface_min.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace rispar;
+using namespace rispar::bench;
+
+int main(int argc, char** argv) {
+  Cli cli("ablation_options", "ablations: interface minimization, run convergence");
+  cli.add_option("chunks", "32", "chunk count");
+  cli.add_option("bytes", "262144", "text bytes per benchmark");
+  cli.add_option("k", "6", "regexp family parameter k");
+  cli.add_option("seed", "12", "text generation seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto chunks = static_cast<std::size_t>(cli.get_int("chunks"));
+  const auto bytes = static_cast<std::size_t>(cli.get_int("bytes"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  ThreadPool pool;
+
+  std::printf("=== Ablation 1: interface minimization (Sect. 3.4) ===\n\n");
+  Table ablation1({"benchmark", "initials (raw)", "initials (min)", "downgraded",
+                   "RID transitions (raw)", "RID transitions (min)"});
+  for (const auto& spec : benchmark_suite(static_cast<int>(cli.get_int("k")))) {
+    const Nfa nfa = glushkov_nfa(spec.regex());
+    Ridfa raw = build_ridfa(nfa);
+    Ridfa minimized = build_ridfa(nfa);
+    const InterfaceMinStats stats = minimize_interface(minimized);
+
+    Prng prng(seed ^ stable_hash(spec.name));
+    const auto input = nfa.symbols().translate(spec.text(bytes, prng));
+    const DeviceOptions options{.chunks = chunks, .convergence = false};
+    const auto raw_stats = RidDevice(raw).recognize(input, pool, options);
+    const auto min_stats = RidDevice(minimized).recognize(input, pool, options);
+
+    ablation1.add_row({spec.name,
+                       Table::cell(static_cast<std::int64_t>(raw.initial_count())),
+                       Table::cell(static_cast<std::int64_t>(minimized.initial_count())),
+                       Table::cell(static_cast<std::int64_t>(stats.downgraded)),
+                       Table::cell(raw_stats.transitions),
+                       Table::cell(min_stats.transitions)});
+  }
+  ablation1.render(std::cout);
+
+  std::printf("\n=== Ablation 2: run convergence in the reach kernels ===\n\n");
+  Table ablation2({"benchmark", "DFA trans (indep)", "DFA trans (converge)",
+                   "RID trans (indep)", "RID trans (converge)"});
+  for (const auto& spec : benchmark_suite(static_cast<int>(cli.get_int("k")))) {
+    const Prepared prepared(spec, bytes, seed);
+    const DeviceOptions plain{.chunks = chunks, .convergence = false};
+    const DeviceOptions merged{.chunks = chunks, .convergence = true};
+    ablation2.add_row(
+        {spec.name, Table::cell(transitions_of(prepared, Variant::kDfa, pool, plain)),
+         Table::cell(transitions_of(prepared, Variant::kDfa, pool, merged)),
+         Table::cell(transitions_of(prepared, Variant::kRid, pool, plain)),
+         Table::cell(transitions_of(prepared, Variant::kRid, pool, merged))});
+  }
+  ablation2.render(std::cout);
+
+  std::printf("\n=== Ablation 3: look-back speculation for the DFA variant "
+              "(Sect. 5 / [28]) ===\n\n");
+  Table ablation3({"benchmark", "DFA trans (plain)", "DFA trans (lookback 16)",
+                   "DFA trans (lookback 64)", "RID trans"});
+  for (const auto& spec : benchmark_suite(static_cast<int>(cli.get_int("k")))) {
+    const Prepared prepared(spec, bytes, seed);
+    const DeviceOptions plain{.chunks = chunks};
+    DeviceOptions look16{.chunks = chunks};
+    look16.lookback = 16;
+    DeviceOptions look64{.chunks = chunks};
+    look64.lookback = 64;
+    ablation3.add_row(
+        {spec.name, Table::cell(transitions_of(prepared, Variant::kDfa, pool, plain)),
+         Table::cell(transitions_of(prepared, Variant::kDfa, pool, look16)),
+         Table::cell(transitions_of(prepared, Variant::kDfa, pool, look64)),
+         Table::cell(transitions_of(prepared, Variant::kRid, pool, plain))});
+  }
+  ablation3.render(std::cout);
+
+  std::puts("\nreading: interface minimization removes starts wholesale; convergence");
+  std::puts("merges surviving runs and mostly helps the DFA variant (whose runs");
+  std::puts("rarely die on the winning benchmarks); look-back prunes DFA starts");
+  std::puts("where the window disambiguates the boundary (regexp collapses to one");
+  std::puts("candidate) but keeps residual overhead on bible, where several title-");
+  std::puts("tracking states remain live candidates — RID needs no tuning knob.");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Shared plumbing for the table/figure drivers: workload setup, timed
+// recognition, and formatting conventions. The drivers print the paper's
+// tables and figure series as text so runs can be diffed and pasted into
+// EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "automata/glushkov.hpp"
+#include "parallel/recognizer.hpp"
+#include "util/prng.hpp"
+#include "util/stopwatch.hpp"
+#include "workloads/suite.hpp"
+
+namespace rispar::bench {
+
+/// A workload compiled to its three chunk automata plus a symbol text.
+struct Prepared {
+  std::string name;
+  bool winning = false;
+  LanguageEngines engines;
+  std::vector<Symbol> input;
+
+  Prepared(const WorkloadSpec& spec, std::size_t bytes, std::uint64_t seed)
+      : name(spec.name),
+        winning(spec.winning),
+        engines(LanguageEngines::from_nfa(glushkov_nfa(spec.regex()))),
+        input([&] {
+          Prng prng(seed ^ stable_hash(spec.name));
+          return engines.translate(spec.text(bytes, prng));
+        }()) {}
+};
+
+/// Wall-time of one parallel recognition, averaged over enough repetitions
+/// to be stable. The decision is checked on every repetition.
+inline double timed_recognition(const Prepared& prepared, Variant variant,
+                                ThreadPool& pool, const DeviceOptions& options,
+                                double min_seconds = 0.25) {
+  bool accepted = true;
+  const double seconds = time_average(
+      [&] {
+        accepted = accepted &&
+                   prepared.engines.recognize(variant, prepared.input, pool, options)
+                       .accepted;
+      },
+      min_seconds, /*min_reps=*/2);
+  if (!accepted)
+    std::fprintf(stderr, "WARNING: %s rejected its own text under %s\n",
+                 prepared.name.c_str(), variant_name(variant));
+  return seconds;
+}
+
+/// Transition count of one recognition (deterministic, no timing).
+inline std::uint64_t transitions_of(const Prepared& prepared, Variant variant,
+                                    ThreadPool& pool, const DeviceOptions& options) {
+  return prepared.engines.recognize(variant, prepared.input, pool, options).transitions;
+}
+
+/// Default text size: the paper's maximum for the benchmark, capped so the
+/// default `for b in build/bench/*` sweep stays laptop-friendly, times the
+/// user's --scale factor.
+inline std::size_t scaled_bytes(std::size_t paper_bytes, double scale,
+                                std::size_t cap = 2u << 20) {
+  const std::size_t base = std::min(paper_bytes, cap);
+  return static_cast<std::size_t>(static_cast<double>(base) * scale);
+}
+
+}  // namespace rispar::bench

@@ -1,0 +1,59 @@
+// Figure 7 — transition-count ratio of the DFA and NFA variants over RID
+// as a function of text size, with the input cut into 32 chunks (the
+// paper's mid value). Fig. 7a = bible, Fig. 7b = regexp; the even
+// benchmarks are printed too (the paper omits them as "ratio ≈ 1").
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace rispar;
+using namespace rispar::bench;
+
+int main(int argc, char** argv) {
+  Cli cli("fig7_transition_ratio", "Fig. 7: DFA/RID and NFA/RID transition ratios");
+  cli.add_option("chunks", "32", "number of chunks (paper: 32)");
+  cli.add_option("scale", "1.0", "text-size scale factor");
+  cli.add_option("k", "6", "regexp family parameter k");
+  cli.add_option("seed", "7", "text generation seed");
+  cli.add_flag("all", "include the even benchmarks, not only bible/regexp");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto chunks = static_cast<std::size_t>(cli.get_int("chunks"));
+  const double scale = cli.get_double("scale");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  ThreadPool pool;
+  const DeviceOptions options{.chunks = chunks, .convergence = false};
+
+  std::printf("=== Fig. 7: transition ratios vs text size (c = %zu chunks) ===\n",
+              chunks);
+
+  for (const auto& spec : benchmark_suite(static_cast<int>(cli.get_int("k")))) {
+    if (!cli.get_flag("all") && !spec.winning) continue;
+    std::printf("\n--- %s (%s group) ---\n", spec.name.c_str(),
+                spec.winning ? "winning" : "even");
+    Table table({"text size (KB)", "DFA transitions", "NFA transitions",
+                 "RID transitions", "DFA/RID", "NFA/RID"});
+    // Six sizes up to the (scaled) paper maximum, like the figure's x axis.
+    const std::size_t max_bytes = scaled_bytes(spec.paper_bytes, scale);
+    for (int step = 1; step <= 6; ++step) {
+      const std::size_t bytes = max_bytes * static_cast<std::size_t>(step) / 6;
+      if (bytes < 4096) continue;
+      const Prepared prepared(spec, bytes, seed);
+      const std::uint64_t dfa = transitions_of(prepared, Variant::kDfa, pool, options);
+      const std::uint64_t nfa = transitions_of(prepared, Variant::kNfa, pool, options);
+      const std::uint64_t rid = transitions_of(prepared, Variant::kRid, pool, options);
+      table.add_row({Table::cell(static_cast<std::uint64_t>(prepared.input.size() / 1024)),
+                     Table::cell(dfa), Table::cell(nfa), Table::cell(rid),
+                     Table::ratio(static_cast<double>(dfa), static_cast<double>(rid)),
+                     Table::ratio(static_cast<double>(nfa), static_cast<double>(rid))});
+    }
+    table.render(std::cout);
+  }
+
+  std::puts("\npaper shapes: bible DFA/RID between 8 and 9, regexp DFA/RID ~10^2,");
+  std::puts("both nearly independent of text length; even group ratios ~1 +- 10%.");
+  return 0;
+}

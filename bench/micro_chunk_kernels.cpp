@@ -1,0 +1,100 @@
+// Microbenchmarks of the reach-phase kernels: speculative deterministic
+// runs (independent vs convergent) and the NFA frontier kernel, on one
+// chunk of each benchmark group's representative.
+#include <benchmark/benchmark.h>
+
+#include "automata/glushkov.hpp"
+#include "parallel/ca_run.hpp"
+#include "parallel/recognizer.hpp"
+#include "workloads/suite.hpp"
+
+namespace {
+
+using namespace rispar;
+
+struct ChunkFixture {
+  LanguageEngines engines;
+  std::vector<Symbol> chunk;
+  std::vector<State> dfa_starts;
+  std::vector<State> nfa_starts;
+
+  explicit ChunkFixture(const WorkloadSpec& spec, std::size_t bytes = 1u << 16)
+      : engines(LanguageEngines::from_nfa(glushkov_nfa(spec.regex()))),
+        chunk([&] {
+          Prng prng(stable_hash(spec.name) ^ 0xc0ffee);
+          return engines.translate(spec.text(bytes, prng));
+        }()) {
+    for (State s = 0; s < engines.min_dfa().num_states(); ++s) dfa_starts.push_back(s);
+    for (State s = 0; s < engines.nfa().num_states(); ++s) nfa_starts.push_back(s);
+  }
+};
+
+const ChunkFixture& bible_fixture() {
+  static const ChunkFixture fixture(bible_workload());
+  return fixture;
+}
+const ChunkFixture& traffic_fixture() {
+  static const ChunkFixture fixture(traffic_workload());
+  return fixture;
+}
+
+void BM_DetKernelAllStarts_Winning(benchmark::State& state) {
+  const ChunkFixture& f = bible_fixture();
+  const DetChunkOptions options{.convergence = state.range(0) != 0};
+  for (auto _ : state) {
+    const DetChunkResult result =
+        run_chunk_det(f.engines.min_dfa(), f.chunk, f.dfa_starts, options);
+    benchmark::DoNotOptimize(result.lambda.size());
+  }
+  state.SetLabel(state.range(0) ? "convergent" : "independent");
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * f.chunk.size()));
+}
+BENCHMARK(BM_DetKernelAllStarts_Winning)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_DetKernelAllStarts_Even(benchmark::State& state) {
+  const ChunkFixture& f = traffic_fixture();
+  const DetChunkOptions options{.convergence = state.range(0) != 0};
+  for (auto _ : state) {
+    const DetChunkResult result =
+        run_chunk_det(f.engines.min_dfa(), f.chunk, f.dfa_starts, options);
+    benchmark::DoNotOptimize(result.lambda.size());
+  }
+  state.SetLabel(state.range(0) ? "convergent" : "independent");
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * f.chunk.size()));
+}
+BENCHMARK(BM_DetKernelAllStarts_Even)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_RidKernelInterfaceStarts(benchmark::State& state) {
+  const ChunkFixture& f = bible_fixture();
+  for (auto _ : state) {
+    const DetChunkResult result = run_chunk_det(
+        f.engines.ridfa().dfa(), f.chunk, f.engines.ridfa().initial_states());
+    benchmark::DoNotOptimize(result.lambda.size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * f.chunk.size()));
+}
+BENCHMARK(BM_RidKernelInterfaceStarts)->Unit(benchmark::kMillisecond);
+
+void BM_NfaKernelAllStarts(benchmark::State& state) {
+  const ChunkFixture& f = traffic_fixture();
+  for (auto _ : state) {
+    const NfaChunkResult result = run_chunk_nfa(f.engines.nfa(), f.chunk, f.nfa_starts);
+    benchmark::DoNotOptimize(result.lambda.size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * f.chunk.size()));
+}
+BENCHMARK(BM_NfaKernelAllStarts)->Unit(benchmark::kMillisecond);
+
+void BM_SingleDfaRun(benchmark::State& state) {
+  // The non-speculative baseline: one run over the chunk.
+  const ChunkFixture& f = bible_fixture();
+  const std::vector<State> one{f.engines.min_dfa().initial()};
+  for (auto _ : state) {
+    const DetChunkResult result = run_chunk_det(f.engines.min_dfa(), f.chunk, one);
+    benchmark::DoNotOptimize(result.transitions);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * f.chunk.size()));
+}
+BENCHMARK(BM_SingleDfaRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace

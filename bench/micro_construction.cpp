@@ -1,0 +1,102 @@
+// Microbenchmarks of the construction pipeline: RE parsing, Glushkov,
+// one-shot determinization, Hopcroft minimization, RI-DFA construction and
+// interface minimization — the per-stage view behind Sect. 4.5.
+#include <benchmark/benchmark.h>
+
+#include "automata/glushkov.hpp"
+#include "automata/minimize.hpp"
+#include "automata/subset.hpp"
+#include "core/interface_min.hpp"
+#include "regex/parser.hpp"
+#include "workloads/collection.hpp"
+#include "workloads/suite.hpp"
+
+namespace {
+
+using namespace rispar;
+
+const Nfa& collection_sample(int index) {
+  static const std::vector<Nfa> samples = [] {
+    CollectionConfig config;
+    std::vector<Nfa> all;
+    for (int i = 0; i < 8; ++i) all.push_back(collection_nfa(config, i));
+    return all;
+  }();
+  return samples[static_cast<std::size_t>(index % 8)];
+}
+
+void BM_ParseRegex(benchmark::State& state) {
+  // Use the biggest benchmark RE (traffic) as the parsing subject; the
+  // spec's regex() thunk re-parses the pattern on every call.
+  const WorkloadSpec spec = traffic_workload();
+  for (auto _ : state) {
+    const RePtr re = spec.regex();
+    benchmark::DoNotOptimize(re.get());
+  }
+}
+BENCHMARK(BM_ParseRegex);
+
+void BM_GlushkovConstruction(benchmark::State& state) {
+  const RePtr re = traffic_workload().regex();
+  for (auto _ : state) {
+    const Nfa nfa = glushkov_nfa(re);
+    benchmark::DoNotOptimize(nfa.num_states());
+  }
+}
+BENCHMARK(BM_GlushkovConstruction);
+
+void BM_Determinize(benchmark::State& state) {
+  const Nfa& nfa = collection_sample(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const Dfa dfa = determinize(nfa);
+    benchmark::DoNotOptimize(dfa.num_states());
+  }
+  state.SetLabel(std::to_string(nfa.num_states()) + " NFA states");
+}
+BENCHMARK(BM_Determinize)->DenseRange(0, 3);
+
+void BM_HopcroftMinimize(benchmark::State& state) {
+  const Dfa dfa = determinize(collection_sample(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    const Dfa minimal = minimize_dfa(dfa);
+    benchmark::DoNotOptimize(minimal.num_states());
+  }
+  state.SetLabel(std::to_string(dfa.num_states()) + " DFA states");
+}
+BENCHMARK(BM_HopcroftMinimize)->DenseRange(0, 3);
+
+void BM_BuildRidfa(benchmark::State& state) {
+  const Nfa& nfa = collection_sample(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const Ridfa ridfa = build_ridfa(nfa);
+    benchmark::DoNotOptimize(ridfa.num_states());
+  }
+  state.SetLabel(std::to_string(nfa.num_states()) + " NFA states");
+}
+BENCHMARK(BM_BuildRidfa)->DenseRange(0, 3);
+
+void BM_InterfaceMinimization(benchmark::State& state) {
+  const Nfa& nfa = collection_sample(static_cast<int>(state.range(0)));
+  const Ridfa base = build_ridfa(nfa);
+  for (auto _ : state) {
+    Ridfa copy = base;
+    const InterfaceMinStats stats = minimize_interface(copy);
+    benchmark::DoNotOptimize(stats.initial_after);
+  }
+  state.SetLabel(std::to_string(base.num_states()) + " RI-DFA states");
+}
+BENCHMARK(BM_InterfaceMinimization)->DenseRange(0, 3);
+
+void BM_RegexpFamilyExplosion(benchmark::State& state) {
+  // Determinization cost on the exponential family, k = range(0).
+  const WorkloadSpec spec = regexp_workload(static_cast<int>(state.range(0)));
+  const Nfa nfa = glushkov_nfa(spec.regex());
+  for (auto _ : state) {
+    const Dfa dfa = determinize(nfa);
+    benchmark::DoNotOptimize(dfa.num_states());
+  }
+  state.SetLabel("k=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_RegexpFamilyExplosion)->DenseRange(6, 12, 2);
+
+}  // namespace

@@ -1,0 +1,83 @@
+// Microbenchmarks of the serial recognizers: per-byte throughput of the
+// DFA, NFA and RI-DFA matchers on the paper's benchmark languages. These
+// are the c = 1 baselines underlying every speedup figure.
+#include <benchmark/benchmark.h>
+
+#include "automata/glushkov.hpp"
+#include "core/serial_match.hpp"
+#include "parallel/recognizer.hpp"
+#include "workloads/suite.hpp"
+
+namespace {
+
+using namespace rispar;
+
+struct Fixture {
+  LanguageEngines engines;
+  std::vector<Symbol> input;
+
+  Fixture(const WorkloadSpec& spec, std::size_t bytes)
+      : engines(LanguageEngines::from_nfa(glushkov_nfa(spec.regex()))),
+        input([&] {
+          Prng prng(stable_hash(spec.name));
+          return engines.translate(spec.text(bytes, prng));
+        }()) {}
+};
+
+const Fixture& fixture(int index) {
+  static const std::vector<Fixture> fixtures = [] {
+    std::vector<Fixture> all;
+    for (const auto& spec : benchmark_suite()) all.emplace_back(spec, 1u << 18);
+    return all;
+  }();
+  return fixtures[static_cast<std::size_t>(index)];
+}
+
+void BM_SerialDfa(benchmark::State& state) {
+  const Fixture& f = fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const MatchResult result = serial_match(f.engines.min_dfa(), f.input);
+    benchmark::DoNotOptimize(result.accepted);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * f.input.size()));
+  state.SetLabel(benchmark_suite()[static_cast<std::size_t>(state.range(0))].name);
+}
+BENCHMARK(BM_SerialDfa)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+void BM_SerialRidfa(benchmark::State& state) {
+  const Fixture& f = fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const MatchResult result = serial_match(f.engines.ridfa(), f.input);
+    benchmark::DoNotOptimize(result.accepted);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * f.input.size()));
+  state.SetLabel(benchmark_suite()[static_cast<std::size_t>(state.range(0))].name);
+}
+BENCHMARK(BM_SerialRidfa)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+void BM_SerialNfa(benchmark::State& state) {
+  const Fixture& f = fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const MatchResult result = serial_match(f.engines.nfa(), f.input);
+    benchmark::DoNotOptimize(result.accepted);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * f.input.size()));
+  state.SetLabel(benchmark_suite()[static_cast<std::size_t>(state.range(0))].name);
+}
+BENCHMARK(BM_SerialNfa)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+// Byte translation overhead (SymbolMap::translate).
+void BM_Translate(benchmark::State& state) {
+  const WorkloadSpec spec = bible_workload();
+  Prng prng(1);
+  const std::string text = spec.text(1u << 18, prng);
+  const LanguageEngines engines = LanguageEngines::from_nfa(glushkov_nfa(spec.regex()));
+  for (auto _ : state) {
+    const auto symbols = engines.translate(text);
+    benchmark::DoNotOptimize(symbols.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_Translate)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,43 @@
+// Table 1 — the benchmark inventory: for each workload, the NFA size (the
+// paper's "n. of states" column), the derived machines, and the maximum
+// text length. Prints next to the paper's values for eyeballing.
+#include <cstdio>
+#include <iostream>
+
+#include "automata/glushkov.hpp"
+#include "parallel/recognizer.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workloads/suite.hpp"
+
+using namespace rispar;
+
+int main(int argc, char** argv) {
+  Cli cli("table1_benchmarks", "Tab. 1: benchmark inventory");
+  cli.add_option("k", "6", "regexp family parameter k");
+  if (!cli.parse(argc, argv)) return 0;
+
+  std::puts("=== Table 1: benchmarks ===\n");
+  Table table({"name", "group", "NFA states", "paper NFA", "min DFA", "RI-DFA",
+               "interface", "max text (paper)"});
+  const char* paper_sizes[] = {"5", "k+2", "16", "29", "101"};
+  int row = 0;
+  for (const auto& spec : benchmark_suite(static_cast<int>(cli.get_int("k")))) {
+    const LanguageEngines engines =
+        LanguageEngines::from_nfa(glushkov_nfa(spec.regex()));
+    char text_size[32];
+    std::snprintf(text_size, sizeof text_size, "%.2f MB",
+                  static_cast<double>(spec.paper_bytes) / (1 << 20));
+    table.add_row({spec.name, spec.winning ? "winning" : "even",
+                   Table::cell(static_cast<std::int64_t>(engines.nfa().num_states())),
+                   paper_sizes[row++],
+                   Table::cell(static_cast<std::int64_t>(engines.min_dfa().num_states())),
+                   Table::cell(static_cast<std::int64_t>(engines.ridfa().num_states())),
+                   Table::cell(static_cast<std::int64_t>(engines.ridfa().initial_count())),
+                   text_size});
+  }
+  table.render(std::cout);
+  std::puts("\npaper Tab. 1 NFA sizes: bigdata 5, regexp k+1 series, bible 16,");
+  std::puts("fasta 29, traffic 101; texts 13 / 6 / 4 / 0.75 / 11 MB.");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Recognizing an HTML manuscript with section headers — the paper's
+// "bible" scenario and a *winning* case: the language's minimal DFA is
+// several times larger than its NFA and never dies on ordinary text, so
+// the RI-DFA interface slashes the speculation overhead.
+#include <cstdio>
+#include <string>
+
+#include "automata/glushkov.hpp"
+#include "parallel/recognizer.hpp"
+#include "util/prng.hpp"
+#include "util/stopwatch.hpp"
+#include "workloads/suite.hpp"
+
+using namespace rispar;
+
+int main(int argc, char** argv) {
+  const std::size_t megabytes = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4;
+
+  const WorkloadSpec spec = bible_workload();
+  Prng prng(1455);  // Gutenberg
+  const std::string manuscript = spec.text(megabytes << 20, prng);
+  std::printf("manuscript: %zu bytes\n", manuscript.size());
+
+  const LanguageEngines engines = LanguageEngines::from_nfa(glushkov_nfa(spec.regex()));
+  const double state_ratio = static_cast<double>(engines.min_dfa().num_states()) /
+                             static_cast<double>(engines.ridfa().initial_count());
+  std::printf("grammar: NFA %d states, min DFA %d states, RI-DFA interface %d "
+              "(DFA/interface = %.1fx)\n\n",
+              engines.nfa().num_states(), engines.min_dfa().num_states(),
+              engines.ridfa().initial_count(), state_ratio);
+
+  const std::vector<Symbol> input = engines.translate(manuscript);
+  ThreadPool pool;
+
+  std::puts("chunks   DFA variant        RID variant        speedup");
+  for (const std::size_t chunks : {8u, 16u, 32u}) {
+    const DeviceOptions options{.chunks = chunks, .convergence = false};
+    Stopwatch dfa_clock;
+    const RecognitionStats dfa = engines.recognize(Variant::kDfa, input, pool, options);
+    const double dfa_ms = dfa_clock.millis();
+    Stopwatch rid_clock;
+    const RecognitionStats rid = engines.recognize(Variant::kRid, input, pool, options);
+    const double rid_ms = rid_clock.millis();
+    std::printf("%-6zu  %8.2f ms (%s)  %8.2f ms (%s)   %.2fx\n", chunks, dfa_ms,
+                dfa.accepted ? "ok" : "??", rid_ms, rid.accepted ? "ok" : "??",
+                rid_ms > 0 ? dfa_ms / rid_ms : 0.0);
+  }
+
+  std::puts("\nEvery DFA state survives ordinary text (the language has Sigma*");
+  std::puts("context), so the DFA variant pays |Q| runs per chunk; the RID pays");
+  std::puts("only the interface. This is Fig. 7a / 8a territory.");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Surveys the synthetic automata collection (the Ondrik stand-in) through
+// the full pipeline and prints a per-machine report — the "inspection"
+// workflow a user runs before trusting Table-2-style aggregates. Optionally
+// exports each NFA in Timbuk format for interchange with other tools.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "automata/minimize.hpp"
+#include "automata/subset.hpp"
+#include "automata/timbuk.hpp"
+#include "core/interface_min.hpp"
+#include "workloads/collection.hpp"
+
+using namespace rispar;
+
+int main(int argc, char** argv) {
+  const int count = argc > 1 ? std::atoi(argv[1]) : 12;
+  const char* export_dir = argc > 2 ? argv[2] : nullptr;
+
+  CollectionConfig config;
+  config.count = count;
+
+  std::puts("idx  nfa  sym  edges  minDFA  ridfa  iface  downgraded  nfa/dfa");
+  for (int i = 0; i < count; ++i) {
+    const Nfa nfa = collection_nfa(config, i);
+    const Dfa min_dfa = minimize_dfa(determinize(nfa));
+    Ridfa ridfa = build_ridfa(nfa);
+    const InterfaceMinStats reduction = minimize_interface(ridfa);
+    std::printf("%-3d  %-3d  %-3d  %-5zu  %-6d  %-5d  %-5d  %-10d  %.2f\n", i,
+                nfa.num_states(), nfa.num_symbols(), nfa.num_edges(),
+                min_dfa.num_states(), ridfa.num_states(), ridfa.initial_count(),
+                reduction.downgraded,
+                static_cast<double>(nfa.num_states()) /
+                    static_cast<double>(min_dfa.num_states()));
+
+    if (export_dir != nullptr) {
+      char path[512];
+      std::snprintf(path, sizeof path, "%s/collection_%04d.tmb", export_dir, i);
+      std::ofstream out(path);
+      save_timbuk(out, nfa, "m" + std::to_string(i));
+    }
+  }
+  if (export_dir != nullptr)
+    std::printf("\nexported %d Timbuk files to %s\n", count, export_dir);
+  std::puts("\ncolumns: iface = RI-DFA initial states after Sect. 3.4 reduction;");
+  std::puts("nfa/dfa < 1 marks the succinct machines (paper Tab. 2's 96.4%).");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Scanning DNA data — the paper's "fasta" scenario. FASTA-shaped records
+// carry a motif tag in their headers; the recognizer validates the whole
+// archive against the record grammar in parallel and reports the per-
+// variant speculation overhead.
+#include <cstdio>
+#include <string>
+
+#include "automata/glushkov.hpp"
+#include "parallel/recognizer.hpp"
+#include "util/prng.hpp"
+#include "workloads/suite.hpp"
+
+using namespace rispar;
+
+int main(int argc, char** argv) {
+  const std::size_t kilobytes = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 765;
+
+  const WorkloadSpec spec = fasta_workload();
+  Prng prng(1859);  // Darwin
+  const std::string archive = spec.text(kilobytes << 10, prng);
+  std::printf("FASTA archive: %zu bytes\n", archive.size());
+
+  const LanguageEngines engines = LanguageEngines::from_nfa(glushkov_nfa(spec.regex()));
+  std::printf("record grammar: NFA %d states (paper Tab. 1: 29), min DFA %d, "
+              "RI-DFA interface %d\n\n",
+              engines.nfa().num_states(), engines.min_dfa().num_states(),
+              engines.ridfa().initial_count());
+
+  const std::vector<Symbol> input = engines.translate(archive);
+  ThreadPool pool;
+  const DeviceOptions options{.chunks = 16, .convergence = false};
+
+  std::puts("variant  decision  transitions   overhead vs serial n");
+  for (const Variant variant : {Variant::kDfa, Variant::kNfa, Variant::kRid}) {
+    const RecognitionStats stats = engines.recognize(variant, input, pool, options);
+    const double overhead =
+        static_cast<double>(stats.transitions) / static_cast<double>(input.size());
+    std::printf("%-7s  %-8s  %11llu   %.2fx\n", variant_name(variant),
+                stats.accepted ? "VALID" : "invalid",
+                static_cast<unsigned long long>(stats.transitions), overhead);
+  }
+
+  std::puts("\nfasta is an 'even' benchmark: mis-speculated runs die within a");
+  std::puts("line for DFA and RI-DFA alike, so both overheads stay near 1x.");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Deterministic finite automaton with a dense transition table.
+//
+// The table stores `num_states × num_symbols` entries; kDeadState (-1) marks
+// a missing transition. DFAs are deliberately *partial*: speculative chunk
+// runs that die early are the main source of the paper's overhead savings,
+// so the dead sentinel is load-bearing, not an optimization.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "automata/nfa.hpp"
+#include "automata/symbol_map.hpp"
+#include "util/bitset.hpp"
+
+namespace rispar {
+
+class Dfa {
+ public:
+  Dfa() = default;
+  Dfa(std::int32_t num_symbols, SymbolMap symbols)
+      : num_symbols_(num_symbols), symbols_(std::move(symbols)) {}
+
+  static Dfa with_identity_alphabet(int k) { return Dfa(k, SymbolMap::identity(k)); }
+
+  State add_state(bool is_final = false);
+  void set_final(State state, bool is_final = true);
+  void set_initial(State state) { initial_ = state; }
+  void set_transition(State from, Symbol symbol, State to);
+
+  std::int32_t num_states() const {
+    return num_symbols_ == 0 ? 0 : static_cast<std::int32_t>(table_.size()) / num_symbols_;
+  }
+  std::int32_t num_symbols() const { return num_symbols_; }
+  State initial() const { return initial_; }
+  bool is_final(State state) const { return finals_.test(static_cast<std::size_t>(state)); }
+  const Bitset& finals() const { return finals_; }
+  const SymbolMap& symbols() const { return symbols_; }
+  void set_symbols(SymbolMap symbols) { symbols_ = std::move(symbols); }
+
+  /// δ(state, symbol), kDeadState when undefined.
+  State step(State state, Symbol symbol) const {
+    return table_[static_cast<std::size_t>(state) * num_symbols_ +
+                  static_cast<std::size_t>(symbol)];
+  }
+
+  /// Row pointer for the hot loops of the recognizers.
+  const State* row(State state) const {
+    return table_.data() + static_cast<std::size_t>(state) * num_symbols_;
+  }
+
+  std::size_t num_transitions() const;  ///< defined (non-dead) entries
+
+  /// δ*(start, input); kDeadState once any step is undefined.
+  State run(State start, const std::vector<Symbol>& input) const;
+
+  bool accepts(const std::vector<Symbol>& input) const;
+  bool accepts(const std::string& text) const;
+
+  /// Returns an equivalent complete DFA (adds a sink state when any entry is
+  /// dead; otherwise returns *this unchanged).
+  Dfa completed() const;
+  bool is_complete() const;
+
+  /// View of the whole table (tests, serialization).
+  const std::vector<State>& table() const { return table_; }
+
+ private:
+  std::int32_t num_symbols_ = 0;
+  State initial_ = 0;
+  Bitset finals_{0};
+  std::vector<State> table_;
+  SymbolMap symbols_ = SymbolMap::identity(1);
+};
+
+/// Interprets the DFA as an NFA (for pipelines that need the common type).
+Nfa dfa_to_nfa(const Dfa& dfa);
+
+}  // namespace rispar

@@ -1,0 +1,148 @@
+#include "automata/dfa_ops.hpp"
+
+#include <cassert>
+#include <deque>
+#include <unordered_map>
+
+namespace rispar {
+
+Dfa dfa_complement(const Dfa& dfa) {
+  Dfa complete = dfa.completed();
+  for (State s = 0; s < complete.num_states(); ++s)
+    complete.set_final(s, !complete.is_final(s));
+  return complete;
+}
+
+namespace {
+
+Dfa product(const Dfa& a, const Dfa& b, bool both_final) {
+  assert(a.num_symbols() == b.num_symbols());
+  const std::int32_t k = a.num_symbols();
+
+  // Pair (sa, sb) with kDeadState meaning "that side died". For the
+  // intersection a dead side kills the pair; for the union it survives as
+  // long as the other side lives.
+  struct PairHash {
+    std::size_t operator()(const std::pair<State, State>& p) const {
+      return static_cast<std::size_t>(
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.first)) << 32) ^
+          static_cast<std::uint32_t>(p.second));
+    }
+  };
+
+  Dfa result(k, a.symbols());
+  std::unordered_map<std::pair<State, State>, State, PairHash> index;
+  std::deque<std::pair<State, State>> queue;
+
+  auto is_final_pair = [&](State sa, State sb) {
+    const bool fa = sa != kDeadState && a.is_final(sa);
+    const bool fb = sb != kDeadState && b.is_final(sb);
+    return both_final ? (fa && fb) : (fa || fb);
+  };
+  auto intern = [&](State sa, State sb) -> State {
+    const auto key = std::make_pair(sa, sb);
+    if (const auto it = index.find(key); it != index.end()) return it->second;
+    const State id = result.add_state(is_final_pair(sa, sb));
+    index.emplace(key, id);
+    queue.push_back(key);
+    return id;
+  };
+
+  intern(a.initial(), b.initial());
+  result.set_initial(0);
+  while (!queue.empty()) {
+    const auto [sa, sb] = queue.front();
+    queue.pop_front();
+    const State from = index.at({sa, sb});
+    for (Symbol x = 0; x < k; ++x) {
+      const State ta = sa == kDeadState ? kDeadState : a.step(sa, x);
+      const State tb = sb == kDeadState ? kDeadState : b.step(sb, x);
+      if (both_final) {
+        if (ta == kDeadState || tb == kDeadState) continue;  // pair dies
+      } else {
+        if (ta == kDeadState && tb == kDeadState) continue;
+      }
+      result.set_transition(from, x, intern(ta, tb));
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+Dfa dfa_intersection(const Dfa& a, const Dfa& b) { return product(a, b, true); }
+Dfa dfa_union(const Dfa& a, const Dfa& b) { return product(a, b, false); }
+
+bool dfa_empty(const Dfa& dfa) {
+  return !dfa_shortest_member(dfa).has_value();
+}
+
+std::optional<std::vector<Symbol>> dfa_shortest_member(const Dfa& dfa) {
+  if (dfa.num_states() == 0) return std::nullopt;
+  struct Crumb {
+    State parent;
+    Symbol via;
+  };
+  std::vector<Crumb> crumbs(static_cast<std::size_t>(dfa.num_states()),
+                            {kDeadState, -1});
+  std::vector<bool> seen(static_cast<std::size_t>(dfa.num_states()), false);
+  std::deque<State> queue{dfa.initial()};
+  seen[static_cast<std::size_t>(dfa.initial())] = true;
+
+  State found = kDeadState;
+  while (!queue.empty() && found == kDeadState) {
+    const State state = queue.front();
+    queue.pop_front();
+    if (dfa.is_final(state)) {
+      found = state;
+      break;
+    }
+    for (Symbol x = 0; x < dfa.num_symbols(); ++x) {
+      const State next = dfa.step(state, x);
+      if (next == kDeadState || seen[static_cast<std::size_t>(next)]) continue;
+      seen[static_cast<std::size_t>(next)] = true;
+      crumbs[static_cast<std::size_t>(next)] = {state, x};
+      queue.push_back(next);
+    }
+  }
+  if (found == kDeadState) return std::nullopt;
+
+  std::vector<Symbol> word;
+  for (State s = found; s != dfa.initial() || word.empty();) {
+    const Crumb& crumb = crumbs[static_cast<std::size_t>(s)];
+    if (crumb.via < 0) break;  // reached the initial state
+    word.push_back(crumb.via);
+    s = crumb.parent;
+    if (s == dfa.initial()) break;
+  }
+  return std::vector<Symbol>(word.rbegin(), word.rend());
+}
+
+std::vector<std::uint64_t> dfa_census(const Dfa& dfa, std::size_t max_length) {
+  // counts[s] = number of paths of the current length from initial to s.
+  const auto n = static_cast<std::size_t>(dfa.num_states());
+  std::vector<std::uint64_t> counts(n, 0), next(n, 0);
+  counts[static_cast<std::size_t>(dfa.initial())] = 1;
+
+  std::vector<std::uint64_t> census;
+  census.reserve(max_length + 1);
+  for (std::size_t length = 0; length <= max_length; ++length) {
+    std::uint64_t accepted = 0;
+    for (State s = 0; s < dfa.num_states(); ++s)
+      if (dfa.is_final(s)) accepted += counts[static_cast<std::size_t>(s)];
+    census.push_back(accepted);
+    if (length == max_length) break;
+    std::fill(next.begin(), next.end(), 0);
+    for (State s = 0; s < dfa.num_states(); ++s) {
+      const std::uint64_t ways = counts[static_cast<std::size_t>(s)];
+      if (ways == 0) continue;
+      for (Symbol x = 0; x < dfa.num_symbols(); ++x)
+        if (const State t = dfa.step(s, x); t != kDeadState)
+          next[static_cast<std::size_t>(t)] += ways;
+    }
+    std::swap(counts, next);
+  }
+  return census;
+}
+
+}  // namespace rispar

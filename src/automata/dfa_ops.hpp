@@ -1,0 +1,35 @@
+// Boolean algebra on DFAs: product intersection/union, complement, and
+// emptiness — the standard toolkit a downstream user of the library expects
+// next to determinization and minimization, and an independent oracle for
+// the equivalence checker (A ≡ B iff (A ∩ ¬B) ∪ (B ∩ ¬A) is empty).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "automata/dfa.hpp"
+
+namespace rispar {
+
+/// Complement over the same alphabet: completes the automaton and flips
+/// finality (recognizes Σ* \ L).
+Dfa dfa_complement(const Dfa& dfa);
+
+/// Product automaton restricted to reachable pairs; `both_final` chooses
+/// intersection (true) or union (false) acceptance. Alphabets must have the
+/// same symbol count (byte maps are taken from `a`).
+Dfa dfa_intersection(const Dfa& a, const Dfa& b);
+Dfa dfa_union(const Dfa& a, const Dfa& b);
+
+/// True iff L(dfa) = ∅ (no final state reachable).
+bool dfa_empty(const Dfa& dfa);
+
+/// A shortest accepted word (symbol ids), or nullopt when the language is
+/// empty. BFS over reachable states.
+std::optional<std::vector<Symbol>> dfa_shortest_member(const Dfa& dfa);
+
+/// Number of words of each length 0..max_length in L(dfa) — the language's
+/// census, useful for workload design and as a strong equivalence probe.
+std::vector<std::uint64_t> dfa_census(const Dfa& dfa, std::size_t max_length);
+
+}  // namespace rispar

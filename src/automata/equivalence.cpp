@@ -1,0 +1,96 @@
+#include "automata/equivalence.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "automata/subset.hpp"
+
+namespace rispar {
+
+namespace {
+
+// Union-find over the combined state space (a's states, then b's states,
+// then one shared dead state).
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  /// Returns false when already joined.
+  bool join(std::size_t x, std::size_t y) {
+    x = find(x);
+    y = find(y);
+    if (x == y) return false;
+    parent_[x] = y;
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+struct PairItem {
+  State in_a, in_b;  // kDeadState encodes the dead side
+  std::vector<Symbol> path;
+};
+
+std::optional<std::vector<Symbol>> check(const Dfa& a, const Dfa& b, bool want_witness) {
+  if (a.num_symbols() != b.num_symbols()) return std::vector<Symbol>{};  // trivially different
+  const std::size_t na = static_cast<std::size_t>(a.num_states());
+  const std::size_t nb = static_cast<std::size_t>(b.num_states());
+  const std::size_t dead = na + nb;  // shared dead node
+  UnionFind classes(dead + 1);
+
+  auto id_a = [&](State s) { return s == kDeadState ? dead : static_cast<std::size_t>(s); };
+  auto id_b = [&](State s) { return s == kDeadState ? dead : na + static_cast<std::size_t>(s); };
+  auto final_a = [&](State s) { return s != kDeadState && a.is_final(s); };
+  auto final_b = [&](State s) { return s != kDeadState && b.is_final(s); };
+
+  std::deque<PairItem> queue;
+  classes.join(id_a(a.initial()), id_b(b.initial()));
+  queue.push_back({a.initial(), b.initial(), {}});
+
+  while (!queue.empty()) {
+    PairItem item = std::move(queue.front());
+    queue.pop_front();
+    if (final_a(item.in_a) != final_b(item.in_b))
+      return want_witness ? std::optional(item.path) : std::optional(std::vector<Symbol>{});
+    for (Symbol x = 0; x < a.num_symbols(); ++x) {
+      const State ta = item.in_a == kDeadState ? kDeadState : a.step(item.in_a, x);
+      const State tb = item.in_b == kDeadState ? kDeadState : b.step(item.in_b, x);
+      if (ta == kDeadState && tb == kDeadState) continue;
+      if (classes.join(id_a(ta), id_b(tb))) {
+        PairItem next{ta, tb, {}};
+        if (want_witness) {
+          next.path = item.path;
+          next.path.push_back(x);
+        }
+        queue.push_back(std::move(next));
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool dfa_equivalent(const Dfa& a, const Dfa& b) {
+  return !check(a, b, /*want_witness=*/false).has_value();
+}
+
+std::optional<std::vector<Symbol>> dfa_distinguishing_word(const Dfa& a, const Dfa& b) {
+  return check(a, b, /*want_witness=*/true);
+}
+
+bool nfa_equivalent(const Nfa& a, const Nfa& b) {
+  return dfa_equivalent(determinize(a), determinize(b));
+}
+
+}  // namespace rispar

@@ -1,0 +1,26 @@
+// Language-equivalence checks, used pervasively by the test suite (the
+// RI-DFA, the minimized RI-DFA, the minimal DFA and the source NFA must all
+// recognize the same language) and by the collection tooling.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "automata/dfa.hpp"
+#include "automata/nfa.hpp"
+
+namespace rispar {
+
+/// Hopcroft–Karp style pairwise BFS with union-find; partial transitions are
+/// treated as moves into a shared dead state. O(n α(n)) pairs.
+bool dfa_equivalent(const Dfa& a, const Dfa& b);
+
+/// When the DFAs differ, produces a shortest-ish witness string (symbol ids)
+/// accepted by exactly one of them; nullopt when equivalent.
+std::optional<std::vector<Symbol>> dfa_distinguishing_word(const Dfa& a, const Dfa& b);
+
+/// Determinizes both sides and compares. Alphabets must match symbol-wise.
+bool nfa_equivalent(const Nfa& a, const Nfa& b);
+
+}  // namespace rispar

@@ -1,0 +1,126 @@
+#include "automata/glushkov.hpp"
+
+#include <cassert>
+
+#include "regex/simplify.hpp"
+
+namespace rispar {
+
+namespace {
+
+// Per-subtree Glushkov attributes over position ids (1-based; 0 is the
+// initial state).
+struct Attrs {
+  bool nullable = false;
+  std::vector<std::int32_t> first;
+  std::vector<std::int32_t> last;
+};
+
+struct Builder {
+  std::vector<ByteSet> position_bytes;               // 1-based via index-1
+  std::vector<std::vector<std::int32_t>> follow;     // 1-based via index-1
+
+  std::int32_t new_position(const ByteSet& bytes) {
+    position_bytes.push_back(bytes);
+    follow.emplace_back();
+    return static_cast<std::int32_t>(position_bytes.size());
+  }
+
+  void add_follow(std::int32_t from, const std::vector<std::int32_t>& successors) {
+    auto& out = follow[static_cast<std::size_t>(from) - 1];
+    out.insert(out.end(), successors.begin(), successors.end());
+  }
+
+  Attrs visit(const RePtr& node) {
+    switch (node->kind) {
+      case ReKind::kEmpty:
+        return Attrs{false, {}, {}};
+      case ReKind::kEpsilon:
+        return Attrs{true, {}, {}};
+      case ReKind::kLiteral: {
+        const std::int32_t pos = new_position(node->bytes);
+        return Attrs{false, {pos}, {pos}};
+      }
+      case ReKind::kConcat: {
+        Attrs acc = visit(node->children.front());
+        for (std::size_t i = 1; i < node->children.size(); ++i) {
+          const Attrs rhs = visit(node->children[i]);
+          for (const auto last_pos : acc.last) add_follow(last_pos, rhs.first);
+          if (acc.nullable)
+            acc.first.insert(acc.first.end(), rhs.first.begin(), rhs.first.end());
+          if (rhs.nullable)
+            acc.last.insert(acc.last.end(), rhs.last.begin(), rhs.last.end());
+          else
+            acc.last = rhs.last;
+          acc.nullable = acc.nullable && rhs.nullable;
+        }
+        return acc;
+      }
+      case ReKind::kAlternate: {
+        Attrs acc;
+        for (const auto& child : node->children) {
+          const Attrs branch = visit(child);
+          acc.nullable = acc.nullable || branch.nullable;
+          acc.first.insert(acc.first.end(), branch.first.begin(), branch.first.end());
+          acc.last.insert(acc.last.end(), branch.last.begin(), branch.last.end());
+        }
+        return acc;
+      }
+      case ReKind::kStar: {
+        Attrs inner = visit(node->children.front());
+        for (const auto last_pos : inner.last) add_follow(last_pos, inner.first);
+        inner.nullable = true;
+        return inner;
+      }
+      case ReKind::kPlus: {
+        Attrs inner = visit(node->children.front());
+        for (const auto last_pos : inner.last) add_follow(last_pos, inner.first);
+        return inner;
+      }
+      case ReKind::kOptional: {
+        Attrs inner = visit(node->children.front());
+        inner.nullable = true;
+        return inner;
+      }
+      case ReKind::kRepeat:
+        assert(false && "bounded repeats must be expanded before Glushkov");
+        return {};
+    }
+    return {};
+  }
+};
+
+}  // namespace
+
+Nfa glushkov_nfa(const RePtr& re) {
+  const RePtr expanded = re_expand_repeats(re);
+  Builder builder;
+  const Attrs root = builder.visit(expanded);
+
+  SymbolMap symbols = SymbolMap::build(builder.position_bytes);
+  const std::int32_t k = std::max<std::int32_t>(symbols.num_symbols(), 1);
+  if (symbols.num_symbols() == 0) symbols = SymbolMap::identity(1);
+
+  Nfa nfa(k, symbols);
+  nfa.add_state(root.nullable);  // state 0 = initial ε-position
+  for (const auto& bytes : builder.position_bytes) {
+    (void)bytes;
+    nfa.add_state(false);
+  }
+  nfa.set_initial(0);
+
+  auto connect = [&](State from, std::int32_t to_pos) {
+    const ByteSet& bytes = builder.position_bytes[static_cast<std::size_t>(to_pos) - 1];
+    for (const Symbol symbol : nfa.symbols().symbols_of(bytes))
+      nfa.add_edge(from, symbol, to_pos);
+  };
+
+  for (const auto first_pos : root.first) connect(0, first_pos);
+  for (std::size_t pos = 1; pos <= builder.follow.size(); ++pos)
+    for (const auto next_pos : builder.follow[pos - 1])
+      connect(static_cast<State>(pos), next_pos);
+  for (const auto last_pos : root.last) nfa.set_final(last_pos);
+  return nfa;
+}
+
+}  // namespace rispar

@@ -1,0 +1,20 @@
+// Glushkov / McNaughton–Yamada position construction [19 in the paper].
+//
+// Produces an ε-free NFA with (#positions + 1) states: state 0 is the
+// initial ε-position, state i>0 corresponds to the i-th literal occurrence.
+// This is the paper's "standard RE→NFA translator": every benchmark NFA in
+// Tab. 1 is built this way, and the RI-DFA pipeline consumes its output
+// directly (no ε-removal pass needed).
+#pragma once
+
+#include "automata/nfa.hpp"
+#include "regex/ast.hpp"
+
+namespace rispar {
+
+/// Compiles `re` (bounded repeats are expanded first). The SymbolMap of the
+/// result is the coarsest byte partition distinguishing the RE's literal
+/// classes, so recognizers consume byte texts directly.
+Nfa glushkov_nfa(const RePtr& re);
+
+}  // namespace rispar

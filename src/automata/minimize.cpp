@@ -1,0 +1,277 @@
+#include "automata/minimize.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rispar {
+
+namespace {
+
+// Hopcroft's partition refinement on a complete DFA given as an explicit
+// inverse transition function.
+class Refiner {
+ public:
+  Refiner(std::int32_t num_states, std::int32_t num_symbols,
+          const std::vector<State>& table, const Bitset& finals)
+      : n_(num_states), k_(num_symbols) {
+    // Inverse transitions in CSR form, one block per symbol.
+    std::vector<std::int32_t> in_degree(static_cast<std::size_t>(n_) * k_, 0);
+    for (State s = 0; s < n_; ++s)
+      for (Symbol a = 0; a < k_; ++a)
+        ++in_degree[static_cast<std::size_t>(table[idx(s, a)]) * k_ + a];
+    inverse_offset_.resize(static_cast<std::size_t>(n_) * k_ + 1, 0);
+    for (std::size_t i = 0; i < in_degree.size(); ++i)
+      inverse_offset_[i + 1] = inverse_offset_[i] + in_degree[i];
+    inverse_.resize(static_cast<std::size_t>(n_) * k_);
+    std::vector<std::int32_t> cursor(inverse_offset_.begin(), inverse_offset_.end() - 1);
+    for (State s = 0; s < n_; ++s)
+      for (Symbol a = 0; a < k_; ++a) {
+        const State t = table[idx(s, a)];
+        inverse_[static_cast<std::size_t>(
+            cursor[static_cast<std::size_t>(t) * k_ + a]++)] = s;
+      }
+
+    // Partition storage: `elements_` is a permutation of states grouped by
+    // block; each block is [begin, end) plus a split marker.
+    elements_.resize(static_cast<std::size_t>(n_));
+    std::iota(elements_.begin(), elements_.end(), 0);
+    location_.resize(static_cast<std::size_t>(n_));
+    block_of_.assign(static_cast<std::size_t>(n_), 0);
+
+    // Initial partition: finals vs non-finals.
+    std::stable_partition(elements_.begin(), elements_.end(), [&](State s) {
+      return finals.test(static_cast<std::size_t>(s));
+    });
+    std::int32_t num_finals = 0;
+    for (State s = 0; s < n_; ++s)
+      if (finals.test(static_cast<std::size_t>(s))) ++num_finals;
+
+    if (num_finals == 0 || num_finals == n_) {
+      blocks_.push_back({0, n_, 0});
+    } else {
+      blocks_.push_back({0, num_finals, num_finals});
+      blocks_.push_back({num_finals, n_, n_});
+      for (std::int32_t i = num_finals; i < n_; ++i)
+        block_of_[static_cast<std::size_t>(elements_[static_cast<std::size_t>(i)])] = 1;
+      // Seed the worklist with the smaller half for every symbol.
+      const std::int32_t seed = (num_finals <= n_ - num_finals) ? 0 : 1;
+      for (Symbol a = 0; a < k_; ++a) worklist_.push_back({seed, a});
+    }
+    blocks_[0].marker = blocks_[0].begin;
+    if (blocks_.size() > 1) blocks_[1].marker = blocks_[1].begin;
+    for (std::int32_t i = 0; i < n_; ++i)
+      location_[static_cast<std::size_t>(elements_[static_cast<std::size_t>(i)])] = i;
+  }
+
+  void refine() {
+    std::vector<State> splitter_members;
+    while (!worklist_.empty()) {
+      const auto [splitter, symbol] = worklist_.back();
+      worklist_.pop_back();
+
+      // Snapshot the splitter's members: mark() permutes elements_ in place
+      // (possibly inside the splitter block itself), so iterating the live
+      // range would skip or repeat members.
+      {
+        const Block block = blocks_[static_cast<std::size_t>(splitter)];
+        splitter_members.assign(elements_.begin() + block.begin,
+                                elements_.begin() + block.end);
+      }
+
+      // Collect X = preimage of the splitter block under `symbol`, marking
+      // touched blocks by moving members before the block's marker.
+      touched_.clear();
+      for (const State member : splitter_members) {
+        const std::size_t row = static_cast<std::size_t>(member) * k_ +
+                                static_cast<std::size_t>(symbol);
+        for (std::int32_t e = inverse_offset_[row]; e < inverse_offset_[row + 1]; ++e)
+          mark(inverse_[static_cast<std::size_t>(e)]);
+      }
+
+      // Split every touched block at its marker. Only index-based access:
+      // push_back below can reallocate blocks_.
+      for (const std::int32_t b : touched_) {
+        const std::int32_t mid = blocks_[static_cast<std::size_t>(b)].marker;
+        const std::int32_t begin = blocks_[static_cast<std::size_t>(b)].begin;
+        const std::int32_t end = blocks_[static_cast<std::size_t>(b)].end;
+        if (mid == end || mid == begin) {
+          blocks_[static_cast<std::size_t>(b)].marker = begin;  // no split
+          continue;
+        }
+        // New block takes the marked half [begin, mid); old keeps [mid, end).
+        const auto new_id = static_cast<std::int32_t>(blocks_.size());
+        blocks_.push_back({begin, mid, begin});
+        blocks_[static_cast<std::size_t>(b)].begin = mid;
+        blocks_[static_cast<std::size_t>(b)].marker = mid;
+        for (std::int32_t i = begin; i < mid; ++i)
+          block_of_[static_cast<std::size_t>(elements_[static_cast<std::size_t>(i)])] =
+              new_id;
+        // Enqueue both halves for all symbols. (Hopcroft's smaller-half
+        // refinement needs worklist-membership tracking to stay sound; the
+        // unconditional form is correct and still fast at our sizes.)
+        for (Symbol a = 0; a < k_; ++a) {
+          worklist_.push_back({new_id, a});
+          worklist_.push_back({b, a});
+        }
+      }
+    }
+  }
+
+  std::int32_t num_blocks() const { return static_cast<std::int32_t>(blocks_.size()); }
+  std::int32_t block_of(State s) const { return block_of_[static_cast<std::size_t>(s)]; }
+
+ private:
+  struct Block {
+    std::int32_t begin, end, marker;
+  };
+
+  std::size_t idx(State s, Symbol a) const {
+    return static_cast<std::size_t>(s) * k_ + static_cast<std::size_t>(a);
+  }
+
+  void mark(State s) {
+    const std::int32_t b = block_of_[static_cast<std::size_t>(s)];
+    Block& block = blocks_[static_cast<std::size_t>(b)];
+    const std::int32_t pos = location_[static_cast<std::size_t>(s)];
+    if (pos < block.marker) return;  // already marked
+    if (block.marker == block.begin) touched_.push_back(b);
+    // Swap s to the marker position and advance the marker.
+    const State other = elements_[static_cast<std::size_t>(block.marker)];
+    std::swap(elements_[static_cast<std::size_t>(pos)],
+              elements_[static_cast<std::size_t>(block.marker)]);
+    location_[static_cast<std::size_t>(s)] = block.marker;
+    location_[static_cast<std::size_t>(other)] = pos;
+    ++block.marker;
+  }
+
+  std::int32_t n_, k_;
+  std::vector<std::int32_t> inverse_offset_;
+  std::vector<State> inverse_;
+  std::vector<State> elements_;
+  std::vector<std::int32_t> location_;
+  std::vector<std::int32_t> block_of_;
+  std::vector<Block> blocks_;
+  std::vector<std::pair<std::int32_t, Symbol>> worklist_;
+  std::vector<std::int32_t> touched_;
+};
+
+}  // namespace
+
+NerodePartition nerode_classes(const Dfa& dfa) {
+  NerodePartition partition;
+  if (dfa.num_states() == 0) return partition;
+
+  // Complete with a sink so the refinement sees a total function. The sink
+  // is the last state (only when the input was partial).
+  const Dfa complete = dfa.completed();
+  const bool added_sink = complete.num_states() != dfa.num_states();
+
+  Refiner refiner(complete.num_states(), complete.num_symbols(), complete.table(),
+                  complete.finals());
+  refiner.refine();
+
+  partition.class_of.resize(static_cast<std::size_t>(dfa.num_states()));
+  // Renumber classes densely over the original states only.
+  std::vector<std::int32_t> remap(static_cast<std::size_t>(refiner.num_blocks()), -1);
+  for (State s = 0; s < dfa.num_states(); ++s) {
+    const std::int32_t block = refiner.block_of(s);
+    if (remap[static_cast<std::size_t>(block)] == -1)
+      remap[static_cast<std::size_t>(block)] = partition.num_classes++;
+    partition.class_of[static_cast<std::size_t>(s)] = remap[static_cast<std::size_t>(block)];
+  }
+  (void)added_sink;
+
+  // Dead states (empty right language) all share one Nerode class — the
+  // class of any state from which no final is reachable. Reverse BFS from
+  // the finals identifies them; this also covers traps in complete DFAs,
+  // not just states equivalent to the completion sink.
+  std::vector<bool> co_reachable(static_cast<std::size_t>(dfa.num_states()), false);
+  std::vector<State> stack;
+  for (State s = 0; s < dfa.num_states(); ++s)
+    if (dfa.is_final(s)) {
+      co_reachable[static_cast<std::size_t>(s)] = true;
+      stack.push_back(s);
+    }
+  // Build reverse adjacency once.
+  std::vector<std::vector<State>> predecessors(static_cast<std::size_t>(dfa.num_states()));
+  for (State s = 0; s < dfa.num_states(); ++s)
+    for (Symbol a = 0; a < dfa.num_symbols(); ++a)
+      if (const State t = dfa.step(s, a); t != kDeadState)
+        predecessors[static_cast<std::size_t>(t)].push_back(s);
+  while (!stack.empty()) {
+    const State s = stack.back();
+    stack.pop_back();
+    for (const State p : predecessors[static_cast<std::size_t>(s)])
+      if (!co_reachable[static_cast<std::size_t>(p)]) {
+        co_reachable[static_cast<std::size_t>(p)] = true;
+        stack.push_back(p);
+      }
+  }
+  for (State s = 0; s < dfa.num_states(); ++s)
+    if (!co_reachable[static_cast<std::size_t>(s)]) {
+      partition.dead_class = partition.class_of[static_cast<std::size_t>(s)];
+      break;
+    }
+  return partition;
+}
+
+Dfa minimize_dfa(const Dfa& dfa) {
+  if (dfa.num_states() == 0) return dfa;
+  const NerodePartition partition = nerode_classes(dfa);
+
+  // Representative per class.
+  std::vector<State> representative(static_cast<std::size_t>(partition.num_classes),
+                                    kDeadState);
+  for (State s = 0; s < dfa.num_states(); ++s) {
+    const std::int32_t c = partition.class_of[static_cast<std::size_t>(s)];
+    if (representative[static_cast<std::size_t>(c)] == kDeadState)
+      representative[static_cast<std::size_t>(c)] = s;
+  }
+
+  // BFS over classes reachable from the initial class, skipping dead.
+  const std::int32_t initial_class =
+      partition.class_of[static_cast<std::size_t>(dfa.initial())];
+  std::vector<State> new_id(static_cast<std::size_t>(partition.num_classes), kDeadState);
+  std::vector<std::int32_t> order;
+  if (initial_class != partition.dead_class) {
+    new_id[static_cast<std::size_t>(initial_class)] = 0;
+    order.push_back(initial_class);
+    for (std::size_t head = 0; head < order.size(); ++head) {
+      const State rep = representative[static_cast<std::size_t>(order[head])];
+      for (Symbol a = 0; a < dfa.num_symbols(); ++a) {
+        const State t = dfa.step(rep, a);
+        if (t == kDeadState) continue;
+        const std::int32_t c = partition.class_of[static_cast<std::size_t>(t)];
+        if (c == partition.dead_class) continue;
+        if (new_id[static_cast<std::size_t>(c)] == kDeadState) {
+          new_id[static_cast<std::size_t>(c)] = static_cast<State>(order.size());
+          order.push_back(c);
+        }
+      }
+    }
+  }
+
+  Dfa result(dfa.num_symbols(), dfa.symbols());
+  for (const std::int32_t c : order)
+    result.add_state(dfa.is_final(representative[static_cast<std::size_t>(c)]));
+  if (order.empty()) {
+    // Empty language: single non-final initial state with no transitions.
+    result.add_state(false);
+    result.set_initial(0);
+    return result;
+  }
+  result.set_initial(0);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const State rep = representative[static_cast<std::size_t>(order[i])];
+    for (Symbol a = 0; a < dfa.num_symbols(); ++a) {
+      const State t = dfa.step(rep, a);
+      if (t == kDeadState) continue;
+      const std::int32_t c = partition.class_of[static_cast<std::size_t>(t)];
+      if (c == partition.dead_class) continue;
+      result.set_transition(static_cast<State>(i), a, new_id[static_cast<std::size_t>(c)]);
+    }
+  }
+  return result;
+}
+
+}  // namespace rispar

@@ -1,0 +1,39 @@
+// DFA state minimization and Nerode-class computation.
+//
+// Two consumers with different needs:
+//  * The classic CSDPA baseline wants the *minimal DFA* as chunk automaton
+//    (paper Fig. 1 uses the minimal DFA) — `minimize_dfa` merges classes.
+//  * The RI-DFA interface reduction (paper Sect. 3.4) needs the equivalence
+//    classes WITHOUT merging (Fig. 6b: merging would break determinism of
+//    the multi-entry machine or force extra merges) — `nerode_classes`
+//    exposes the partition directly.
+// The partition is computed by Hopcroft's O(kn log n) refinement on the
+// completed automaton; the sink's class marks dead states.
+#pragma once
+
+#include <vector>
+
+#include "automata/dfa.hpp"
+
+namespace rispar {
+
+struct NerodePartition {
+  /// Class id per state of the *input* DFA (dense, 0-based).
+  std::vector<std::int32_t> class_of;
+  std::int32_t num_classes = 0;
+  /// Class of states equivalent to the dead sink (no final reachable);
+  /// -1 when every state can still accept.
+  std::int32_t dead_class = -1;
+};
+
+/// Language-equivalence (undistinguishability) classes of all states. The
+/// DFA's initial state is irrelevant — the relation is per-state, which is
+/// exactly why it extends to multi-entry RI-DFAs (paper Sect. 3.4).
+NerodePartition nerode_classes(const Dfa& dfa);
+
+/// Classic minimization: quotient by Nerode classes, restricted to states
+/// reachable from the initial state, with dead states removed (the result
+/// is partial). Language-equivalent to the input.
+Dfa minimize_dfa(const Dfa& dfa);
+
+}  // namespace rispar

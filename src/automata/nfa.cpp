@@ -1,0 +1,72 @@
+#include "automata/nfa.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rispar {
+
+State Nfa::add_state(bool is_final) {
+  const State state = num_states();
+  edges_.emplace_back();
+  epsilon_.emplace_back();
+  Bitset grown(static_cast<std::size_t>(state) + 1);
+  for (std::size_t i = finals_.first(); i != Bitset::npos; i = finals_.next(i)) grown.set(i);
+  finals_ = std::move(grown);
+  if (is_final) finals_.set(static_cast<std::size_t>(state));
+  return state;
+}
+
+void Nfa::set_final(State state, bool is_final) {
+  if (is_final)
+    finals_.set(static_cast<std::size_t>(state));
+  else
+    finals_.reset(static_cast<std::size_t>(state));
+}
+
+void Nfa::add_edge(State from, Symbol symbol, State to) {
+  assert(from >= 0 && from < num_states());
+  assert(to >= 0 && to < num_states());
+  assert(symbol >= 0 && symbol < num_symbols_);
+  auto& out = edges_[static_cast<std::size_t>(from)];
+  const NfaEdge edge{symbol, to};
+  const auto it = std::lower_bound(out.begin(), out.end(), edge);
+  if (it != out.end() && *it == edge) return;
+  out.insert(it, edge);
+}
+
+void Nfa::add_epsilon(State from, State to) {
+  assert(from >= 0 && from < num_states());
+  assert(to >= 0 && to < num_states());
+  auto& out = epsilon_[static_cast<std::size_t>(from)];
+  if (std::find(out.begin(), out.end(), to) != out.end()) return;
+  out.push_back(to);
+  ++epsilon_count_;
+}
+
+std::span<const NfaEdge> Nfa::edges(State state, Symbol symbol) const {
+  const auto& out = edges_[static_cast<std::size_t>(state)];
+  const auto lo = std::lower_bound(out.begin(), out.end(), NfaEdge{symbol, -1});
+  auto hi = lo;
+  while (hi != out.end() && hi->symbol == symbol) ++hi;
+  return {lo, hi};
+}
+
+std::size_t Nfa::num_edges() const {
+  std::size_t total = 0;
+  for (const auto& out : edges_) total += out.size();
+  return total;
+}
+
+std::int32_t Nfa::max_out_degree() const {
+  std::int32_t degree = 0;
+  for (const auto& out : edges_) {
+    std::size_t run = 0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      run = (i > 0 && out[i].symbol == out[i - 1].symbol) ? run + 1 : 1;
+      degree = std::max(degree, static_cast<std::int32_t>(run));
+    }
+  }
+  return degree;
+}
+
+}  // namespace rispar

@@ -1,0 +1,89 @@
+// Nondeterministic finite automaton with a single initial state, the
+// device "N = (Q_N, Σ, ρ, q0, F)" of the paper (Sect. 3.1).
+//
+// Transitions are stored per state as (symbol, target) pairs sorted by
+// symbol, which gives cache-friendly frontier simulation and O(log d) edge
+// lookup. ε-transitions live in a separate adjacency (only the Thompson
+// construction produces them; the RI-DFA pipeline requires ε-free input and
+// nfa_ops provides removal).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "automata/symbol_map.hpp"
+#include "util/bitset.hpp"
+
+namespace rispar {
+
+using State = std::int32_t;
+using Symbol = std::int32_t;
+
+constexpr State kDeadState = -1;
+
+struct NfaEdge {
+  Symbol symbol;
+  State target;
+
+  bool operator==(const NfaEdge&) const = default;
+  bool operator<(const NfaEdge& other) const {
+    return symbol != other.symbol ? symbol < other.symbol : target < other.target;
+  }
+};
+
+class Nfa {
+ public:
+  Nfa() = default;
+  Nfa(std::int32_t num_symbols, SymbolMap symbols)
+      : num_symbols_(num_symbols), symbols_(std::move(symbols)) {}
+
+  /// Convenience: abstract alphabet of k symbols with the identity map.
+  static Nfa with_identity_alphabet(int k) { return Nfa(k, SymbolMap::identity(k)); }
+
+  State add_state(bool is_final = false);
+  void set_final(State state, bool is_final = true);
+  void set_initial(State state) { initial_ = state; }
+
+  /// Adds ρ(from, symbol) ∋ to. Duplicate edges are ignored.
+  void add_edge(State from, Symbol symbol, State to);
+  void add_epsilon(State from, State to);
+
+  std::int32_t num_states() const { return static_cast<std::int32_t>(edges_.size()); }
+  std::int32_t num_symbols() const { return num_symbols_; }
+  State initial() const { return initial_; }
+  bool is_final(State state) const { return finals_.test(static_cast<std::size_t>(state)); }
+  const Bitset& finals() const { return finals_; }
+  const SymbolMap& symbols() const { return symbols_; }
+  void set_symbols(SymbolMap symbols) { symbols_ = std::move(symbols); }
+
+  /// All outgoing edges of `state`, sorted by symbol.
+  std::span<const NfaEdge> edges(State state) const {
+    return edges_[static_cast<std::size_t>(state)];
+  }
+  /// The slice of edges(state) labelled `symbol`.
+  std::span<const NfaEdge> edges(State state, Symbol symbol) const;
+
+  const std::vector<State>& epsilon_edges(State state) const {
+    return epsilon_[static_cast<std::size_t>(state)];
+  }
+  bool has_epsilon() const { return epsilon_count_ > 0; }
+
+  std::size_t num_edges() const;
+  std::size_t num_epsilon_edges() const { return epsilon_count_; }
+
+  /// Maximum out-degree over all (state, symbol) pairs; 1 on every pair
+  /// means the NFA is actually deterministic.
+  std::int32_t max_out_degree() const;
+
+ private:
+  std::int32_t num_symbols_ = 0;
+  State initial_ = 0;
+  Bitset finals_{0};
+  std::vector<std::vector<NfaEdge>> edges_;
+  std::vector<std::vector<State>> epsilon_;
+  std::size_t epsilon_count_ = 0;
+  SymbolMap symbols_ = SymbolMap::identity(1);
+};
+
+}  // namespace rispar

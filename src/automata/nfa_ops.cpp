@@ -1,0 +1,154 @@
+#include "automata/nfa_ops.hpp"
+
+#include <vector>
+
+namespace rispar {
+
+void epsilon_closure(const Nfa& nfa, Bitset& states) {
+  if (!nfa.has_epsilon()) return;
+  std::vector<State> stack = states.to_indices();
+  while (!stack.empty()) {
+    const State state = stack.back();
+    stack.pop_back();
+    for (const State next : nfa.epsilon_edges(state)) {
+      if (!states.test(static_cast<std::size_t>(next))) {
+        states.set(static_cast<std::size_t>(next));
+        stack.push_back(next);
+      }
+    }
+  }
+}
+
+Nfa remove_epsilon(const Nfa& nfa) {
+  if (!nfa.has_epsilon()) return nfa;
+  Nfa result(nfa.num_symbols(), nfa.symbols());
+  for (State s = 0; s < nfa.num_states(); ++s) result.add_state();
+  result.set_initial(nfa.initial());
+
+  const auto universe = static_cast<std::size_t>(nfa.num_states());
+  for (State s = 0; s < nfa.num_states(); ++s) {
+    Bitset closure(universe);
+    closure.set(static_cast<std::size_t>(s));
+    epsilon_closure(nfa, closure);
+    bool is_final = false;
+    for (std::size_t q = closure.first(); q != Bitset::npos; q = closure.next(q)) {
+      if (nfa.is_final(static_cast<State>(q))) is_final = true;
+      for (const auto& edge : nfa.edges(static_cast<State>(q)))
+        result.add_edge(s, edge.symbol, edge.target);
+    }
+    result.set_final(s, is_final);
+  }
+  return result;
+}
+
+Nfa trim_unreachable(const Nfa& nfa, std::vector<State>* kept) {
+  std::vector<State> remap(static_cast<std::size_t>(nfa.num_states()), kDeadState);
+  std::vector<State> order;
+  std::vector<State> stack{nfa.initial()};
+  remap[static_cast<std::size_t>(nfa.initial())] = 0;
+  order.push_back(nfa.initial());
+  while (!stack.empty()) {
+    const State state = stack.back();
+    stack.pop_back();
+    auto visit = [&](State next) {
+      if (remap[static_cast<std::size_t>(next)] == kDeadState) {
+        remap[static_cast<std::size_t>(next)] = static_cast<State>(order.size());
+        order.push_back(next);
+        stack.push_back(next);
+      }
+    };
+    for (const auto& edge : nfa.edges(state)) visit(edge.target);
+    for (const State next : nfa.epsilon_edges(state)) visit(next);
+  }
+
+  Nfa result(nfa.num_symbols(), nfa.symbols());
+  for (std::size_t i = 0; i < order.size(); ++i)
+    result.add_state(nfa.is_final(order[i]));
+  result.set_initial(0);
+  for (const State old_state : order) {
+    const State new_state = remap[static_cast<std::size_t>(old_state)];
+    for (const auto& edge : nfa.edges(old_state))
+      result.add_edge(new_state, edge.symbol, remap[static_cast<std::size_t>(edge.target)]);
+    for (const State next : nfa.epsilon_edges(old_state))
+      result.add_epsilon(new_state, remap[static_cast<std::size_t>(next)]);
+  }
+  if (kept) *kept = std::move(remap);
+  return result;
+}
+
+Nfa reverse(const Nfa& nfa) {
+  Nfa result(nfa.num_symbols(), nfa.symbols());
+  for (State s = 0; s < nfa.num_states(); ++s)
+    result.add_state(s == nfa.initial());
+  for (State s = 0; s < nfa.num_states(); ++s) {
+    for (const auto& edge : nfa.edges(s)) result.add_edge(edge.target, edge.symbol, s);
+    for (const State next : nfa.epsilon_edges(s)) result.add_epsilon(next, s);
+  }
+  // Reversal has multiple starts (the old finals); introduce a fresh initial
+  // that ε-branches to all of them so the type's single-initial invariant
+  // holds.
+  const State start = result.add_state();
+  result.set_initial(start);
+  for (std::size_t f = nfa.finals().first(); f != Bitset::npos; f = nfa.finals().next(f))
+    result.add_epsilon(start, static_cast<State>(f));
+  return result;
+}
+
+Nfa nfa_union(const Nfa& a, const Nfa& b) {
+  // Alphabets must agree; callers using byte texts should have built both
+  // automata over the same SymbolMap.
+  Nfa result(a.num_symbols(), a.symbols());
+  const State start = result.add_state();
+  result.set_initial(start);
+  const State base_a = result.num_states();
+  for (State s = 0; s < a.num_states(); ++s) result.add_state(a.is_final(s));
+  const State base_b = result.num_states();
+  for (State s = 0; s < b.num_states(); ++s) result.add_state(b.is_final(s));
+
+  for (State s = 0; s < a.num_states(); ++s) {
+    for (const auto& edge : a.edges(s))
+      result.add_edge(base_a + s, edge.symbol, base_a + edge.target);
+    for (const State next : a.epsilon_edges(s))
+      result.add_epsilon(base_a + s, base_a + next);
+  }
+  for (State s = 0; s < b.num_states(); ++s) {
+    for (const auto& edge : b.edges(s))
+      result.add_edge(base_b + s, edge.symbol, base_b + edge.target);
+    for (const State next : b.epsilon_edges(s))
+      result.add_epsilon(base_b + s, base_b + next);
+  }
+  result.add_epsilon(start, base_a + a.initial());
+  result.add_epsilon(start, base_b + b.initial());
+  return result;
+}
+
+Bitset nfa_reach(const Nfa& nfa, const Bitset& start, const std::vector<Symbol>& input) {
+  const auto universe = static_cast<std::size_t>(nfa.num_states());
+  Bitset frontier = start;
+  epsilon_closure(nfa, frontier);
+  Bitset next(universe);
+  for (const Symbol symbol : input) {
+    if (symbol < 0 || symbol >= nfa.num_symbols()) return Bitset(universe);
+    next.clear();
+    for (std::size_t s = frontier.first(); s != Bitset::npos; s = frontier.next(s))
+      for (const auto& edge : nfa.edges(static_cast<State>(s), symbol))
+        next.set(static_cast<std::size_t>(edge.target));
+    epsilon_closure(nfa, next);
+    std::swap(frontier, next);
+    if (frontier.empty()) break;
+  }
+  return frontier;
+}
+
+bool nfa_accepts(const Nfa& nfa, const std::vector<Symbol>& input) {
+  Bitset start(static_cast<std::size_t>(nfa.num_states()));
+  start.set(static_cast<std::size_t>(nfa.initial()));
+  const Bitset reached = nfa_reach(nfa, start, input);
+  return reached.intersects(nfa.finals());
+}
+
+bool nfa_accepts(const Nfa& nfa, const std::string& text) {
+  return nfa_accepts(nfa, nfa.symbols().translate(text));
+}
+
+}  // namespace rispar

@@ -1,0 +1,42 @@
+// Structural operations on NFAs: ε-closure/removal, reachability trimming,
+// reversal, disjoint union, and direct frontier-set acceptance (the serial
+// NFA recognizer, also used as a test oracle).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "automata/nfa.hpp"
+
+namespace rispar {
+
+/// ε-closure of a set of states (in place).
+void epsilon_closure(const Nfa& nfa, Bitset& states);
+
+/// Equivalent ε-free NFA (standard closure-based elimination). States are
+/// preserved one-to-one; unreachable states are NOT removed (use trim).
+Nfa remove_epsilon(const Nfa& nfa);
+
+/// Keeps only states reachable from the initial state, renumbering densely.
+/// `kept` (optional) receives old→new ids (kDeadState when dropped).
+Nfa trim_unreachable(const Nfa& nfa, std::vector<State>* kept = nullptr);
+
+/// Edge-reversed NFA. The reverse has no meaningful single initial state; we
+/// pick state 0 and mark old-initial as the only final. Useful for
+/// Brzozowski-style tests.
+Nfa reverse(const Nfa& nfa);
+
+/// Disjoint union recognizing L(a) ∪ L(b); a fresh initial state ε-connects
+/// to both originals (so the result has ε edges).
+Nfa nfa_union(const Nfa& a, const Nfa& b);
+
+/// Frontier-set simulation from the initial state over a symbol string.
+bool nfa_accepts(const Nfa& nfa, const std::vector<Symbol>& input);
+/// Byte-string convenience using the NFA's attached SymbolMap.
+bool nfa_accepts(const Nfa& nfa, const std::string& text);
+
+/// The set ρ(q0, input) of states reached after consuming `input`
+/// (ε-closures applied); empty set when all runs died.
+Bitset nfa_reach(const Nfa& nfa, const Bitset& start, const std::vector<Symbol>& input);
+
+}  // namespace rispar

@@ -1,0 +1,66 @@
+#include "automata/random_nfa.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rispar {
+
+Nfa random_nfa(Prng& prng, const RandomNfaConfig& config) {
+  const std::int32_t n = std::max<std::int32_t>(config.num_states, 1);
+  const std::int32_t k = std::max<std::int32_t>(config.num_symbols, 1);
+  Nfa nfa = Nfa::with_identity_alphabet(k);
+  for (std::int32_t s = 0; s < n; ++s) nfa.add_state();
+  nfa.set_initial(0);
+
+  // Backbone: visit states in a random order starting from 0, connecting
+  // each new state from an already-visited one, so reachability holds by
+  // construction.
+  std::vector<State> visited{0};
+  auto rest = prng.permutation(static_cast<std::size_t>(n));
+  for (const std::size_t raw : rest) {
+    const auto target = static_cast<State>(raw);
+    if (target == 0) continue;
+    const State from = visited[prng.pick_index(visited.size())];
+    nfa.add_edge(from, static_cast<Symbol>(prng.pick_index(static_cast<std::size_t>(k))),
+                 target);
+    visited.push_back(target);
+  }
+
+  // Locality-biased extra edges up to the requested density.
+  const auto extra_target_count = static_cast<std::size_t>(
+      std::max(0.0, config.density * n - static_cast<double>(n - 1)));
+  const auto window = std::max<std::int64_t>(
+      2, static_cast<std::int64_t>(config.locality * static_cast<double>(n)));
+  for (std::size_t e = 0; e < extra_target_count; ++e) {
+    const auto from = static_cast<State>(prng.pick_index(static_cast<std::size_t>(n)));
+    State to;
+    if (prng.next_bool(0.8)) {
+      // Forward-ish local edge.
+      const std::int64_t offset = prng.next_in(-window / 4, window);
+      to = static_cast<State>(std::clamp<std::int64_t>(from + offset, 0, n - 1));
+    } else {
+      to = static_cast<State>(prng.pick_index(static_cast<std::size_t>(n)));
+    }
+    const auto symbol = static_cast<Symbol>(prng.pick_index(static_cast<std::size_t>(k)));
+    nfa.add_edge(from, symbol, to);
+    // Optionally duplicate the (from, symbol) pair to force nondeterminism.
+    if (prng.next_bool(config.nondeterminism)) {
+      const std::int64_t offset = prng.next_in(-window / 4, window);
+      const auto twin =
+          static_cast<State>(std::clamp<std::int64_t>(from + offset, 0, n - 1));
+      nfa.add_edge(from, symbol, twin);
+    }
+  }
+
+  // Final states: a trailing block of the id space plus random extras, so
+  // that "deep" states are likelier final (keeps prefixes alive and the
+  // language non-trivial).
+  const auto finals_wanted = std::max<std::int32_t>(
+      1, static_cast<std::int32_t>(std::lround(config.final_fraction * n)));
+  nfa.set_final(n - 1);
+  for (std::int32_t f = 1; f < finals_wanted; ++f)
+    nfa.set_final(static_cast<State>(prng.pick_index(static_cast<std::size_t>(n))));
+  return nfa;
+}
+
+}  // namespace rispar

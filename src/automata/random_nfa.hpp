@@ -1,0 +1,38 @@
+// Structured random NFA generation — the offline stand-in for the Ondrik
+// automata collection (paper Sect. 4.2 / Tab. 2), and a fuzzing source for
+// the property tests.
+//
+// Pure uniform random graphs determinize either trivially or explosively;
+// neither matches the collection's profile (NFAs moderately smaller than
+// their minimal DFAs, always reducible interfaces). The generator therefore
+// builds automata with verification-flavoured structure: a reachable
+// backbone of trails, locally dense forward edges, a sprinkle of
+// nondeterministic duplicates, and a configurable fraction of final states.
+#pragma once
+
+#include "automata/nfa.hpp"
+#include "util/prng.hpp"
+
+namespace rispar {
+
+struct RandomNfaConfig {
+  std::int32_t num_states = 40;
+  std::int32_t num_symbols = 4;
+  /// Average number of labelled edges per state (>= 1 keeps most states
+  /// alive; the backbone guarantees reachability regardless).
+  double density = 1.6;
+  /// Fraction of extra edges that duplicate an existing (state, symbol)
+  /// pair — the knob for the degree of nondeterminism.
+  double nondeterminism = 0.35;
+  /// Fraction of states marked final (at least one is always final).
+  double final_fraction = 0.2;
+  /// Edges prefer nearby targets (locality window as a fraction of n);
+  /// smaller windows produce more layered, verification-like graphs.
+  double locality = 0.25;
+};
+
+/// Generates an NFA over the identity alphabet; every state is reachable
+/// from the initial state and the language is non-empty.
+Nfa random_nfa(Prng& prng, const RandomNfaConfig& config = {});
+
+}  // namespace rispar

@@ -1,0 +1,160 @@
+#include "automata/serialize.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace rispar {
+
+namespace {
+
+[[noreturn]] void malformed(const std::string& detail) {
+  throw std::runtime_error("malformed automaton file: " + detail);
+}
+
+struct Header {
+  std::string kind;
+  std::int32_t num_states = 0;
+  std::int32_t num_symbols = 0;
+};
+
+Header read_header(std::istream& in, const std::string& expected_kind) {
+  Header header;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    fields >> header.kind >> header.num_states >> header.num_symbols;
+    if (header.kind != expected_kind) malformed("expected '" + expected_kind + "' header");
+    if (header.num_states < 0 || header.num_symbols < 1 || header.num_symbols > 64)
+      malformed("bad header counts");
+    return header;
+  }
+  malformed("missing header");
+}
+
+}  // namespace
+
+void save_nfa(std::ostream& out, const Nfa& nfa) {
+  out << "nfa " << nfa.num_states() << ' ' << nfa.num_symbols() << '\n';
+  out << "initial " << nfa.initial() << '\n';
+  out << "final";
+  for (std::size_t f = nfa.finals().first(); f != Bitset::npos; f = nfa.finals().next(f))
+    out << ' ' << f;
+  out << '\n';
+  for (State s = 0; s < nfa.num_states(); ++s) {
+    for (const auto& edge : nfa.edges(s))
+      out << "edge " << s << ' ' << edge.symbol << ' ' << edge.target << '\n';
+    for (const State t : nfa.epsilon_edges(s)) out << "eps " << s << ' ' << t << '\n';
+  }
+}
+
+void save_dfa(std::ostream& out, const Dfa& dfa) {
+  out << "dfa " << dfa.num_states() << ' ' << dfa.num_symbols() << '\n';
+  out << "initial " << dfa.initial() << '\n';
+  out << "final";
+  for (std::size_t f = dfa.finals().first(); f != Bitset::npos; f = dfa.finals().next(f))
+    out << ' ' << f;
+  out << '\n';
+  for (State s = 0; s < dfa.num_states(); ++s)
+    for (Symbol a = 0; a < dfa.num_symbols(); ++a)
+      if (const State t = dfa.step(s, a); t != kDeadState)
+        out << "trans " << s << ' ' << a << ' ' << t << '\n';
+}
+
+Nfa load_nfa(std::istream& in) {
+  const Header header = read_header(in, "nfa");
+  Nfa nfa = Nfa::with_identity_alphabet(header.num_symbols);
+  for (std::int32_t s = 0; s < header.num_states; ++s) nfa.add_state();
+
+  auto check_state = [&](std::int64_t s) {
+    if (s < 0 || s >= header.num_states) malformed("state id out of range");
+    return static_cast<State>(s);
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "initial") {
+      std::int64_t s;
+      if (!(fields >> s)) malformed("initial");
+      nfa.set_initial(check_state(s));
+    } else if (tag == "final") {
+      std::int64_t s;
+      while (fields >> s) nfa.set_final(check_state(s));
+    } else if (tag == "edge") {
+      std::int64_t from, symbol, to;
+      if (!(fields >> from >> symbol >> to)) malformed("edge");
+      if (symbol < 0 || symbol >= header.num_symbols) malformed("symbol out of range");
+      nfa.add_edge(check_state(from), static_cast<Symbol>(symbol), check_state(to));
+    } else if (tag == "eps") {
+      std::int64_t from, to;
+      if (!(fields >> from >> to)) malformed("eps");
+      nfa.add_epsilon(check_state(from), check_state(to));
+    } else {
+      malformed("unknown line tag '" + tag + "'");
+    }
+  }
+  return nfa;
+}
+
+Dfa load_dfa(std::istream& in) {
+  const Header header = read_header(in, "dfa");
+  Dfa dfa = Dfa::with_identity_alphabet(header.num_symbols);
+  for (std::int32_t s = 0; s < header.num_states; ++s) dfa.add_state();
+
+  auto check_state = [&](std::int64_t s) {
+    if (s < 0 || s >= header.num_states) malformed("state id out of range");
+    return static_cast<State>(s);
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "initial") {
+      std::int64_t s;
+      if (!(fields >> s)) malformed("initial");
+      dfa.set_initial(check_state(s));
+    } else if (tag == "final") {
+      std::int64_t s;
+      while (fields >> s) dfa.set_final(check_state(s));
+    } else if (tag == "trans") {
+      std::int64_t from, symbol, to;
+      if (!(fields >> from >> symbol >> to)) malformed("trans");
+      if (symbol < 0 || symbol >= header.num_symbols) malformed("symbol out of range");
+      dfa.set_transition(check_state(from), static_cast<Symbol>(symbol), check_state(to));
+    } else {
+      malformed("unknown line tag '" + tag + "'");
+    }
+  }
+  return dfa;
+}
+
+std::string nfa_to_string(const Nfa& nfa) {
+  std::ostringstream out;
+  save_nfa(out, nfa);
+  return out.str();
+}
+
+Nfa nfa_from_string(const std::string& text) {
+  std::istringstream in(text);
+  return load_nfa(in);
+}
+
+std::string dfa_to_string(const Dfa& dfa) {
+  std::ostringstream out;
+  save_dfa(out, dfa);
+  return out.str();
+}
+
+Dfa dfa_from_string(const std::string& text) {
+  std::istringstream in(text);
+  return load_dfa(in);
+}
+
+}  // namespace rispar

@@ -1,0 +1,35 @@
+// Plain-text serialization of NFAs and DFAs.
+//
+// Format (line-oriented, '#' comments):
+//   nfa|dfa <num_states> <num_symbols>
+//   initial <state>
+//   final <state> [<state> ...]
+//   edge <from> <symbol> <to>          (NFA)
+//   eps <from> <to>                    (NFA)
+//   trans <from> <symbol> <to>         (DFA)
+// SymbolMaps are reconstructed as identity alphabets; the format is meant
+// for test fixtures, examples and collection dumps, not byte-level regexes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "automata/dfa.hpp"
+#include "automata/nfa.hpp"
+
+namespace rispar {
+
+void save_nfa(std::ostream& out, const Nfa& nfa);
+void save_dfa(std::ostream& out, const Dfa& dfa);
+
+/// Throws std::runtime_error on malformed input.
+Nfa load_nfa(std::istream& in);
+Dfa load_dfa(std::istream& in);
+
+/// String round-trip conveniences.
+std::string nfa_to_string(const Nfa& nfa);
+Nfa nfa_from_string(const std::string& text);
+std::string dfa_to_string(const Dfa& dfa);
+Dfa dfa_from_string(const std::string& text);
+
+}  // namespace rispar

@@ -1,0 +1,93 @@
+#include "automata/subset.hpp"
+
+#include <cassert>
+
+#include "automata/nfa_ops.hpp"
+
+namespace rispar {
+
+SubsetConstruction::SubsetConstruction(const Nfa& nfa)
+    : nfa_(nfa), num_symbols_(nfa.num_symbols()) {
+  assert(!nfa.has_epsilon() && "SubsetConstruction requires an eps-free NFA");
+}
+
+State SubsetConstruction::add_seed(const Bitset& subset) {
+  assert(!subset.empty());
+  const auto it = index_.find(subset);
+  if (it != index_.end()) return it->second;
+  const State id = num_states();
+  index_.emplace(subset, id);
+  contents_.push_back(subset);
+  table_.insert(table_.end(), static_cast<std::size_t>(num_symbols_), kDeadState);
+  worklist_.push_back(id);
+  return id;
+}
+
+State SubsetConstruction::add_seed_singleton(State nfa_state) {
+  Bitset subset(static_cast<std::size_t>(nfa_.num_states()));
+  subset.set(static_cast<std::size_t>(nfa_state));
+  return add_seed(subset);
+}
+
+bool SubsetConstruction::run() {
+  const auto universe = static_cast<std::size_t>(nfa_.num_states());
+  std::vector<Bitset> successor(static_cast<std::size_t>(num_symbols_), Bitset(universe));
+  while (!worklist_.empty()) {
+    if (num_states() > state_limit_) {
+      exceeded_ = true;
+      worklist_.clear();
+      return false;
+    }
+    const State state = worklist_.back();
+    worklist_.pop_back();
+    for (auto& subset : successor) subset.clear();
+
+    // One pass over the member states' edge lists fills all symbol columns.
+    const Bitset members = contents_[static_cast<std::size_t>(state)];  // copy: contents_ may grow
+    for (std::size_t q = members.first(); q != Bitset::npos; q = members.next(q))
+      for (const auto& edge : nfa_.edges(static_cast<State>(q)))
+        successor[static_cast<std::size_t>(edge.symbol)].set(
+            static_cast<std::size_t>(edge.target));
+
+    for (Symbol a = 0; a < num_symbols_; ++a) {
+      if (successor[static_cast<std::size_t>(a)].empty()) continue;
+      const State target = add_seed(successor[static_cast<std::size_t>(a)]);
+      table_[static_cast<std::size_t>(state) * num_symbols_ + static_cast<std::size_t>(a)] =
+          target;
+    }
+  }
+  return true;
+}
+
+bool SubsetConstruction::is_final(State state) const {
+  return contents_[static_cast<std::size_t>(state)].intersects(nfa_.finals());
+}
+
+Dfa SubsetConstruction::to_dfa(State initial,
+                               std::vector<std::vector<State>>* contents_out) const {
+  Dfa dfa(num_symbols_, nfa_.symbols());
+  for (State s = 0; s < num_states(); ++s) dfa.add_state(is_final(s));
+  dfa.set_initial(initial);
+  for (State s = 0; s < num_states(); ++s)
+    for (Symbol a = 0; a < num_symbols_; ++a)
+      dfa.set_transition(s, a, transition(s, a));
+  if (contents_out) {
+    contents_out->clear();
+    contents_out->reserve(static_cast<std::size_t>(num_states()));
+    for (State s = 0; s < num_states(); ++s)
+      contents_out->push_back(contents_[static_cast<std::size_t>(s)].to_indices());
+  }
+  return dfa;
+}
+
+Dfa determinize(const Nfa& nfa, std::vector<std::vector<State>>* contents_out) {
+  const Nfa eps_free = nfa.has_epsilon() ? remove_epsilon(nfa) : nfa;
+  SubsetConstruction construction(eps_free);
+  Bitset start(static_cast<std::size_t>(eps_free.num_states()));
+  start.set(static_cast<std::size_t>(eps_free.initial()));
+  const State initial = construction.add_seed(start);
+  construction.run();
+  return construction.to_dfa(initial, contents_out);
+}
+
+}  // namespace rispar

@@ -1,0 +1,73 @@
+#include "automata/symbol_map.hpp"
+
+#include <cassert>
+#include <map>
+
+namespace rispar {
+
+SymbolMap SymbolMap::identity(int k) {
+  assert(k >= 1 && k <= 64);
+  SymbolMap map;
+  map.byte_to_symbol_.fill(kUnmapped);
+  map.num_symbols_ = k;
+  map.reps_.resize(static_cast<std::size_t>(k));
+  // Printable window starting at 'a' then wrapping through other printables
+  // so small alphabets stay human-readable in generated texts.
+  static const char* kWindow =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.";
+  for (int s = 0; s < k; ++s) {
+    const auto byte = static_cast<unsigned char>(kWindow[s]);
+    map.byte_to_symbol_[byte] = s;
+    map.reps_[static_cast<std::size_t>(s)] = byte;
+  }
+  return map;
+}
+
+SymbolMap SymbolMap::build(const std::vector<ByteSet>& classes) {
+  // Signature of byte b = the subset of `classes` containing b. Bytes with
+  // equal signatures are indistinguishable; group them by signature.
+  SymbolMap map;
+  map.byte_to_symbol_.fill(kUnmapped);
+
+  std::map<std::vector<bool>, std::int32_t> signature_to_symbol;
+  for (int b = 0; b < 256; ++b) {
+    std::vector<bool> signature(classes.size());
+    bool covered = false;
+    for (std::size_t c = 0; c < classes.size(); ++c) {
+      signature[c] = classes[c].test(static_cast<std::size_t>(b));
+      covered = covered || signature[c];
+    }
+    if (!covered) continue;  // byte never matched by any literal
+    auto [it, inserted] =
+        signature_to_symbol.emplace(std::move(signature), map.num_symbols_);
+    if (inserted) {
+      ++map.num_symbols_;
+      map.reps_.push_back(static_cast<unsigned char>(b));
+    }
+    map.byte_to_symbol_[static_cast<std::size_t>(b)] = it->second;
+  }
+  return map;
+}
+
+std::vector<std::int32_t> SymbolMap::symbols_of(const ByteSet& bytes) const {
+  std::vector<bool> seen(static_cast<std::size_t>(num_symbols_), false);
+  std::vector<std::int32_t> result;
+  for (int b = 0; b < 256; ++b) {
+    if (!bytes.test(static_cast<std::size_t>(b))) continue;
+    const std::int32_t symbol = byte_to_symbol_[static_cast<std::size_t>(b)];
+    if (symbol == kUnmapped || seen[static_cast<std::size_t>(symbol)]) continue;
+    seen[static_cast<std::size_t>(symbol)] = true;
+    result.push_back(symbol);
+  }
+  return result;
+}
+
+std::vector<std::int32_t> SymbolMap::translate(const std::string& text) const {
+  std::vector<std::int32_t> symbols;
+  symbols.reserve(text.size());
+  for (const char ch : text)
+    symbols.push_back(byte_to_symbol_[static_cast<unsigned char>(ch)]);
+  return symbols;
+}
+
+}  // namespace rispar

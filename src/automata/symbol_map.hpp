@@ -1,0 +1,56 @@
+// Byte → dense symbol-class mapping.
+//
+// Automata transition tables are indexed by *symbol classes*, not raw bytes:
+// two bytes that no literal in the source RE distinguishes share a class.
+// This keeps DFA tables small (|Q| × #classes instead of |Q| × 256) — the
+// standard technique in production matchers — and lets synthetic benchmark
+// NFAs use tiny abstract alphabets while recognizers still consume byte
+// texts.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "regex/ast.hpp"
+
+namespace rispar {
+
+class SymbolMap {
+ public:
+  /// Identity map over the first `k` printable symbols 'a', 'b', ...; used
+  /// by synthetic automata whose alphabet is abstract. k <= 64.
+  static SymbolMap identity(int k);
+
+  /// Coarsest partition of the 256 bytes that refines every given class:
+  /// bytes b1, b2 get the same symbol iff no set in `classes` separates
+  /// them. Bytes not covered by any class map to symbol kUnmapped.
+  static SymbolMap build(const std::vector<ByteSet>& classes);
+
+  /// Symbol id of an unmapped byte; recognizers treat it as an immediate
+  /// dead transition.
+  static constexpr std::int32_t kUnmapped = -1;
+
+  std::int32_t num_symbols() const { return num_symbols_; }
+
+  std::int32_t symbol_of(unsigned char byte) const { return byte_to_symbol_[byte]; }
+
+  /// Set of symbol ids intersecting the given byte class.
+  std::vector<std::int32_t> symbols_of(const ByteSet& bytes) const;
+
+  /// A representative byte per symbol (for diagnostics and text synthesis).
+  unsigned char representative(std::int32_t symbol) const { return reps_[static_cast<std::size_t>(symbol)]; }
+
+  /// Translates a byte string into symbol ids (kUnmapped for alien bytes).
+  std::vector<std::int32_t> translate(const std::string& text) const;
+
+  const std::array<std::int32_t, 256>& raw_table() const { return byte_to_symbol_; }
+
+ private:
+  std::int32_t num_symbols_ = 0;
+  std::array<std::int32_t, 256> byte_to_symbol_{};
+  std::vector<unsigned char> reps_;
+};
+
+}  // namespace rispar

@@ -1,0 +1,117 @@
+#include "automata/thompson.hpp"
+
+#include <cassert>
+
+#include "regex/simplify.hpp"
+
+namespace rispar {
+
+namespace {
+
+struct Fragment {
+  State start;
+  State accept;
+};
+
+struct Builder {
+  Nfa nfa;
+
+  explicit Builder(SymbolMap symbols)
+      : nfa(std::max<std::int32_t>(symbols.num_symbols(), 1), std::move(symbols)) {}
+
+  Fragment fragment() {
+    const State start = nfa.add_state();
+    const State accept = nfa.add_state();
+    return {start, accept};
+  }
+
+  Fragment visit(const RePtr& node) {
+    switch (node->kind) {
+      case ReKind::kEmpty:
+        return fragment();  // start and accept disconnected
+      case ReKind::kEpsilon: {
+        const Fragment f = fragment();
+        nfa.add_epsilon(f.start, f.accept);
+        return f;
+      }
+      case ReKind::kLiteral: {
+        const Fragment f = fragment();
+        for (const Symbol symbol : nfa.symbols().symbols_of(node->bytes))
+          nfa.add_edge(f.start, symbol, f.accept);
+        return f;
+      }
+      case ReKind::kConcat: {
+        Fragment acc = visit(node->children.front());
+        for (std::size_t i = 1; i < node->children.size(); ++i) {
+          const Fragment rhs = visit(node->children[i]);
+          nfa.add_epsilon(acc.accept, rhs.start);
+          acc.accept = rhs.accept;
+        }
+        return acc;
+      }
+      case ReKind::kAlternate: {
+        const Fragment f = fragment();
+        for (const auto& child : node->children) {
+          const Fragment branch = visit(child);
+          nfa.add_epsilon(f.start, branch.start);
+          nfa.add_epsilon(branch.accept, f.accept);
+        }
+        return f;
+      }
+      case ReKind::kStar: {
+        const Fragment inner = visit(node->children.front());
+        const Fragment f = fragment();
+        nfa.add_epsilon(f.start, inner.start);
+        nfa.add_epsilon(f.start, f.accept);
+        nfa.add_epsilon(inner.accept, inner.start);
+        nfa.add_epsilon(inner.accept, f.accept);
+        return f;
+      }
+      case ReKind::kPlus: {
+        const Fragment inner = visit(node->children.front());
+        const Fragment f = fragment();
+        nfa.add_epsilon(f.start, inner.start);
+        nfa.add_epsilon(inner.accept, inner.start);
+        nfa.add_epsilon(inner.accept, f.accept);
+        return f;
+      }
+      case ReKind::kOptional: {
+        const Fragment inner = visit(node->children.front());
+        const Fragment f = fragment();
+        nfa.add_epsilon(f.start, inner.start);
+        nfa.add_epsilon(f.start, f.accept);
+        nfa.add_epsilon(inner.accept, f.accept);
+        return f;
+      }
+      case ReKind::kRepeat:
+        assert(false && "bounded repeats must be expanded before Thompson");
+        return fragment();
+    }
+    return fragment();
+  }
+};
+
+// Collects the literal byte classes so the SymbolMap covers exactly the
+// bytes the RE can consume.
+void collect_classes(const RePtr& node, std::vector<ByteSet>& classes) {
+  if (node->kind == ReKind::kLiteral) classes.push_back(node->bytes);
+  for (const auto& child : node->children) collect_classes(child, classes);
+}
+
+}  // namespace
+
+Nfa thompson_nfa(const RePtr& re) {
+  const RePtr expanded = re_expand_repeats(re);
+  std::vector<ByteSet> classes;
+  collect_classes(expanded, classes);
+  SymbolMap symbols = SymbolMap::build(classes);
+  if (symbols.num_symbols() == 0) symbols = SymbolMap::identity(1);
+
+  Builder builder(std::move(symbols));
+  const Fragment root = builder.visit(expanded);
+  builder.nfa.set_initial(root.start);
+  builder.nfa.set_final(root.accept);
+  return builder.nfa;
+}
+
+}  // namespace rispar

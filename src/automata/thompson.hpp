@@ -1,0 +1,19 @@
+// Thompson construction: RE → NFA with ε-transitions.
+//
+// Kept alongside Glushkov as the textbook alternative (2 states per
+// operator, linear size, but ε edges). The RI-DFA pipeline uses Glushkov;
+// Thompson + ε-removal serves as an independent oracle in the test suite
+// and as the front end for callers that prefer its shape.
+#pragma once
+
+#include "automata/nfa.hpp"
+#include "regex/ast.hpp"
+
+namespace rispar {
+
+/// Compiles `re` (bounded repeats are expanded first); the result generally
+/// contains ε-transitions — pass through remove_epsilon()/trim_unreachable()
+/// before determinization.
+Nfa thompson_nfa(const RePtr& re);
+
+}  // namespace rispar

@@ -1,0 +1,175 @@
+#include "automata/timbuk.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace rispar {
+
+namespace {
+
+[[noreturn]] void malformed(const std::string& detail) {
+  throw std::runtime_error("malformed Timbuk file: " + detail);
+}
+
+// Splits "sym(q) -> p" / "leaf() -> q" into its three fields.
+struct Rule {
+  std::string symbol;
+  std::string argument;  // empty for leaf rules
+  std::string target;
+};
+
+Rule parse_rule(const std::string& line) {
+  const auto open = line.find('(');
+  const auto close = line.find(')', open);
+  const auto arrow = line.find("->", close);
+  if (open == std::string::npos || close == std::string::npos ||
+      arrow == std::string::npos)
+    malformed("bad transition line: " + line);
+  auto strip = [](std::string text) {
+    const auto begin = text.find_first_not_of(" \t");
+    const auto end = text.find_last_not_of(" \t");
+    if (begin == std::string::npos) return std::string{};
+    return text.substr(begin, end - begin + 1);
+  };
+  Rule rule;
+  rule.symbol = strip(line.substr(0, open));
+  rule.argument = strip(line.substr(open + 1, close - open - 1));
+  rule.target = strip(line.substr(arrow + 2));
+  if (rule.symbol.empty() || rule.target.empty())
+    malformed("bad transition line: " + line);
+  return rule;
+}
+
+}  // namespace
+
+Nfa load_timbuk(std::istream& in) {
+  std::map<std::string, State> state_ids;
+  std::map<std::string, Symbol> symbol_ids;
+  std::vector<std::string> final_names;
+  std::vector<Rule> rules;
+
+  enum class Section { kPreamble, kTransitions } section = Section::kPreamble;
+  std::string line;
+  bool saw_automaton = false;
+  while (std::getline(in, line)) {
+    // Strip comments and whitespace-only lines.
+    if (const auto hash = line.find('#'); hash != std::string::npos)
+      line = line.substr(0, hash);
+    std::istringstream probe(line);
+    std::string head;
+    if (!(probe >> head)) continue;
+
+    if (section == Section::kPreamble) {
+      if (head == "Ops") {
+        // Register unary symbols in declaration order so ids are stable
+        // across save/load round-trips; nullary symbols are initial-state
+        // markers and get no id.
+        std::string token;
+        while (probe >> token) {
+          const auto colon = token.find(':');
+          if (colon == std::string::npos) continue;
+          const std::string name = token.substr(0, colon);
+          const int arity = std::atoi(token.c_str() + colon + 1);
+          if (arity >= 1)
+            symbol_ids.emplace(name, static_cast<Symbol>(symbol_ids.size()));
+        }
+        continue;
+      } else if (head == "Automaton") {
+        saw_automaton = true;
+      } else if (head == "States") {
+        std::string name;
+        while (probe >> name) {
+          // Optional ":0" arity suffixes appear in some dumps.
+          if (const auto colon = name.find(':'); colon != std::string::npos)
+            name = name.substr(0, colon);
+          state_ids.emplace(name, static_cast<State>(state_ids.size()));
+        }
+      } else if (head == "Final") {
+        std::string keyword, name;
+        probe >> keyword;  // "States"
+        while (probe >> name) final_names.push_back(name);
+      } else if (head == "Transitions") {
+        section = Section::kTransitions;
+      } else {
+        malformed("unexpected line: " + line);
+      }
+      continue;
+    }
+    rules.push_back(parse_rule(line));
+  }
+  if (!saw_automaton) malformed("missing 'Automaton' header");
+  if (section != Section::kTransitions) malformed("missing 'Transitions' section");
+
+  // Symbols: every non-leaf rule symbol, dense in first-seen order.
+  for (const Rule& rule : rules) {
+    if (rule.argument.empty()) continue;
+    if (symbol_ids.emplace(rule.symbol, static_cast<Symbol>(symbol_ids.size())).second &&
+        symbol_ids.size() > 64)
+      malformed("more than 64 distinct symbols");
+  }
+  const auto k = static_cast<std::int32_t>(std::max<std::size_t>(symbol_ids.size(), 1));
+
+  Nfa nfa(k, SymbolMap::identity(k));
+  for (std::size_t s = 0; s < state_ids.size(); ++s) nfa.add_state();
+  auto state_of = [&](const std::string& name) -> State {
+    const auto it = state_ids.find(name);
+    if (it == state_ids.end()) malformed("unknown state '" + name + "'");
+    return it->second;
+  };
+  for (const auto& name : final_names) nfa.set_final(state_of(name));
+
+  // Leaf rules mark initial states; multiple initials fold behind a fresh
+  // start state with ε-moves.
+  std::vector<State> initials;
+  for (const Rule& rule : rules) {
+    if (rule.argument.empty()) {
+      initials.push_back(state_of(rule.target));
+    } else {
+      nfa.add_edge(state_of(rule.argument), symbol_ids.at(rule.symbol),
+                   state_of(rule.target));
+    }
+  }
+  if (initials.empty()) malformed("no initial (leaf) rule");
+  if (initials.size() == 1) {
+    nfa.set_initial(initials.front());
+  } else {
+    const State start = nfa.add_state();
+    nfa.set_initial(start);
+    for (const State q : initials) nfa.add_epsilon(start, q);
+  }
+  return nfa;
+}
+
+Nfa timbuk_from_string(const std::string& text) {
+  std::istringstream in(text);
+  return load_timbuk(in);
+}
+
+void save_timbuk(std::ostream& out, const Nfa& nfa, const std::string& name) {
+  if (nfa.has_epsilon())
+    throw std::invalid_argument("Timbuk word automata cannot carry eps edges");
+
+  out << "Ops i:0";
+  for (Symbol a = 0; a < nfa.num_symbols(); ++a) out << " s" << a << ":1";
+  out << "\n\nAutomaton " << name << "\nStates";
+  for (State s = 0; s < nfa.num_states(); ++s) out << " q" << s;
+  out << "\nFinal States";
+  for (std::size_t f = nfa.finals().first(); f != Bitset::npos; f = nfa.finals().next(f))
+    out << " q" << f;
+  out << "\nTransitions\n";
+  out << "i() -> q" << nfa.initial() << '\n';
+  for (State s = 0; s < nfa.num_states(); ++s)
+    for (const auto& edge : nfa.edges(s))
+      out << 's' << edge.symbol << "(q" << s << ") -> q" << edge.target << '\n';
+}
+
+std::string timbuk_to_string(const Nfa& nfa, const std::string& name) {
+  std::ostringstream out;
+  save_timbuk(out, nfa, name);
+  return out.str();
+}
+
+}  // namespace rispar

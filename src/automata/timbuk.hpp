@@ -1,0 +1,37 @@
+// Reader for the Timbuk word-automata format used by the Ondrik collection
+// (github.com/ondrik/automata-benchmarks) — the corpus behind the paper's
+// Tab. 2 and Sect. 4.5. The environment is offline, so the repo ships a
+// synthetic stand-in (workloads/collection.hpp); this loader is the bridge
+// that lets anyone with the real corpus rerun those experiments verbatim.
+//
+// Grammar (word automata encoded as unary tree automata):
+//   Ops <sym>:<arity> ...          -- nullary symbols mark initial states
+//   Automaton <name>
+//   States <q> ...
+//   Final States <q> ...
+//   Transitions
+//   <leaf>() -> <q>                -- q is an initial state
+//   <sym>(<q>) -> <p>              -- p ∈ ρ(q, sym)
+// Multiple initial states are folded behind a fresh start with ε-moves
+// (remove_epsilon(trim_unreachable(...)) afterwards if an ε-free NFA is
+// required).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "automata/nfa.hpp"
+
+namespace rispar {
+
+/// Throws std::runtime_error on malformed input; symbols are assigned dense
+/// ids in first-seen order (at most 64 distinct unary symbols).
+Nfa load_timbuk(std::istream& in);
+Nfa timbuk_from_string(const std::string& text);
+
+/// Writes an NFA back out in the same dialect (ε edges are not
+/// representable and raise std::invalid_argument).
+void save_timbuk(std::ostream& out, const Nfa& nfa, const std::string& name = "A");
+std::string timbuk_to_string(const Nfa& nfa, const std::string& name = "A");
+
+}  // namespace rispar

@@ -1,0 +1,51 @@
+#include "core/interface_min.hpp"
+
+#include <vector>
+
+#include "automata/minimize.hpp"
+
+namespace rispar {
+
+InterfaceMinStats minimize_interface(Ridfa& ridfa) {
+  InterfaceMinStats stats;
+  stats.initial_before = ridfa.initial_count();
+
+  // Language-equivalence classes of all CA states. The relation ignores the
+  // initial states entirely, which is what makes it sound for a multi-entry
+  // machine: outgoing behaviour is deterministic from every state.
+  const NerodePartition partition = nerode_classes(ridfa.dfa());
+
+  // Elect, per class, the lowest-id singleton as representative.
+  std::vector<State> class_representative(static_cast<std::size_t>(partition.num_classes),
+                                          kDeadState);
+  for (State q = 0; q < ridfa.num_nfa_states(); ++q) {
+    const State p = ridfa.singleton(q);
+    const std::int32_t c = partition.class_of[static_cast<std::size_t>(p)];
+    State& rep = class_representative[static_cast<std::size_t>(c)];
+    if (rep == kDeadState || p < rep) rep = p;
+  }
+
+  // Delegate: interface(q) = representative of class({q}). Note we rebuild
+  // from the *singleton* table, not the current interface, so the pass is
+  // idempotent and can run after a previous minimization.
+  std::vector<State> interface(static_cast<std::size_t>(ridfa.num_nfa_states()));
+  for (State q = 0; q < ridfa.num_nfa_states(); ++q) {
+    const State p = ridfa.singleton(q);
+    const std::int32_t c = partition.class_of[static_cast<std::size_t>(p)];
+    const State rep = class_representative[static_cast<std::size_t>(c)];
+    interface[static_cast<std::size_t>(q)] = rep;
+    if (rep != p) ++stats.downgraded;
+  }
+  ridfa.set_interface(std::move(interface));
+
+  stats.initial_after = ridfa.initial_count();
+  return stats;
+}
+
+Ridfa build_minimized_ridfa(const Nfa& nfa) {
+  Ridfa ridfa = build_ridfa(nfa);
+  minimize_interface(ridfa);
+  return ridfa;
+}
+
+}  // namespace rispar

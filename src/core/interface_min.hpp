@@ -1,0 +1,32 @@
+// Interface minimization of an RI-DFA (paper Sect. 3.4).
+//
+// The classic DFA state-partition algorithm cannot be applied wholesale to
+// an RI-DFA — merging undistinguishable states would either break the
+// determinism of the multi-entry machine or force a cascade of merges
+// (paper Fig. 6). Instead we only *downgrade*: within each Nerode class the
+// singleton initial states elect one representative and the others delegate
+// their initial role to it. The transition graph is untouched; only the
+// interface table changes, so every saved start state saves one whole
+// speculative chunk run.
+#pragma once
+
+#include "core/ridfa.hpp"
+
+namespace rispar {
+
+struct InterfaceMinStats {
+  std::int32_t initial_before = 0;
+  std::int32_t initial_after = 0;
+  std::int32_t downgraded = 0;  ///< singletons that delegated their role
+};
+
+/// Reduces the initial-state set in place; returns what changed. Idempotent.
+/// The recognized language is preserved (delegates are language-equivalent),
+/// which the test suite checks against the serial DFA oracle.
+InterfaceMinStats minimize_interface(Ridfa& ridfa);
+
+/// Convenience: Sect. 3.1 construction followed by Sect. 3.4 reduction —
+/// the configuration the paper's experiments use ("RID_min").
+Ridfa build_minimized_ridfa(const Nfa& nfa);
+
+}  // namespace rispar

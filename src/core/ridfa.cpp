@@ -1,0 +1,110 @@
+#include "core/ridfa.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "automata/subset.hpp"
+
+namespace rispar {
+
+namespace {
+
+std::vector<State> dedup_sorted(std::vector<State> states) {
+  std::sort(states.begin(), states.end());
+  states.erase(std::unique(states.begin(), states.end()), states.end());
+  return states;
+}
+
+}  // namespace
+
+// Grants build_ridfa access to the private fields without exposing setters
+// in the public API.
+struct RidfaBuilderAccess {
+  static Ridfa make(Dfa dfa, std::vector<std::vector<State>> contents,
+                    std::vector<State> singleton, std::int32_t num_nfa_states) {
+    Ridfa ridfa;
+    ridfa.dfa_ = std::move(dfa);
+    ridfa.contents_ = std::move(contents);
+    ridfa.singleton_ = std::move(singleton);
+    ridfa.num_nfa_states_ = num_nfa_states;
+    ridfa.interface_ = ridfa.singleton_;
+    ridfa.initials_ = dedup_sorted(ridfa.interface_);
+    ridfa.start_ = ridfa.singleton_[static_cast<std::size_t>(0)];
+    return ridfa;
+  }
+};
+
+void Ridfa::set_interface(std::vector<State> interface) {
+  assert(interface.size() == static_cast<std::size_t>(num_nfa_states_));
+  interface_ = std::move(interface);
+  initials_ = dedup_sorted(interface_);
+}
+
+std::vector<State> Ridfa::interface_image(const std::vector<State>& plas) const {
+  std::vector<State> image;
+  for (const State p : plas)
+    for (const State q : contents(p))
+      image.push_back(interface_of(q));
+  return dedup_sorted(std::move(image));
+}
+
+namespace {
+
+std::optional<Ridfa> build_ridfa_impl(const Nfa& nfa, std::int32_t max_states) {
+  assert(!nfa.has_epsilon() && "build_ridfa requires an eps-free NFA (use Glushkov or remove_epsilon)");
+  const std::int32_t l = nfa.num_states();
+
+  SubsetConstruction construction(nfa);
+  construction.set_state_limit(max_states);
+  std::vector<State> singleton(static_cast<std::size_t>(l), kDeadState);
+
+  // Incremental construction, Sect. 3.1: N(q0) first (seeded with the true
+  // initial state so chunk 1 starts correctly), then each remaining NFA
+  // state. The registry is shared, so N(q_{i}) only adds subsets that the
+  // previous machines did not already reach.
+  singleton[static_cast<std::size_t>(nfa.initial())] =
+      construction.add_seed_singleton(nfa.initial());
+  if (!construction.run()) return std::nullopt;
+  for (State q = 0; q < l; ++q) {
+    if (q == nfa.initial()) continue;
+    singleton[static_cast<std::size_t>(q)] = construction.add_seed_singleton(q);
+    if (!construction.run()) return std::nullopt;
+  }
+
+  std::vector<std::vector<State>> contents;
+  Dfa dfa = construction.to_dfa(singleton[static_cast<std::size_t>(nfa.initial())], &contents);
+
+  // Re-index the singleton table (ids are construction-order stable, but
+  // double-check the subsets actually are singletons).
+  for (State q = 0; q < l; ++q) {
+    [[maybe_unused]] const State p = singleton[static_cast<std::size_t>(q)];
+    assert(contents[static_cast<std::size_t>(p)].size() == 1 &&
+           contents[static_cast<std::size_t>(p)][0] == q);
+  }
+
+  return RidfaBuilderAccess::make(std::move(dfa), std::move(contents), std::move(singleton), l);
+}
+
+}  // namespace
+
+Ridfa build_ridfa(const Nfa& nfa) {
+  auto ridfa = build_ridfa_impl(nfa, std::numeric_limits<std::int32_t>::max());
+  assert(ridfa.has_value());
+  return std::move(*ridfa);
+}
+
+std::optional<Ridfa> try_build_ridfa(const Nfa& nfa, std::int32_t max_states) {
+  return build_ridfa_impl(nfa, max_states);
+}
+
+RidfaStats ridfa_stats(const Ridfa& ridfa) {
+  RidfaStats stats;
+  stats.nfa_states = ridfa.num_nfa_states();
+  stats.ridfa_states = ridfa.num_states();
+  stats.initial_states = ridfa.initial_count();
+  stats.table_entries = ridfa.dfa().num_transitions();
+  return stats;
+}
+
+}  // namespace rispar

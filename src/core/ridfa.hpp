@@ -1,0 +1,110 @@
+// RI-DFA — the reduced-interface deterministic automaton, the paper's
+// central contribution (Sect. 3).
+//
+// An RI-DFA B = (P, Σ, δ_B, I_B, F_B) is a multi-entry DFA derived from an
+// ε-free NFA N with ℓ states:
+//   * its state set P is the union of the ℓ incremental powerset machines
+//     N(q0), N(q1), ..., N(q_{ℓ-1}) built over one shared subset registry;
+//   * its initial (interface) states I_B are exactly the ℓ singletons {q_i};
+//   * its transition function δ_B is deterministic;
+//   * its final states are the subsets intersecting the NFA finals.
+// Used as the chunk automaton of the RID device, it gives speculative
+// parallel recognition with only ℓ = |Q_N| start states instead of |Q_DFA|,
+// while every transition stays a deterministic table lookup.
+//
+// The `interface` table realizes the paper's interface function `if`
+// (Sect. 3.2): NFA state q ↦ the CA initial state responsible for q. After
+// interface minimization (Sect. 3.4; interface_min.hpp) some singletons
+// *delegate* their initial role to a Nerode-equivalent one and the table
+// points to the delegate — the transition graph itself never changes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "automata/dfa.hpp"
+#include "automata/nfa.hpp"
+
+namespace rispar {
+
+class Ridfa {
+ public:
+  /// The underlying deterministic machine (partial table, dead = -1).
+  const Dfa& dfa() const { return dfa_; }
+
+  std::int32_t num_states() const { return dfa_.num_states(); }
+  std::int32_t num_symbols() const { return dfa_.num_symbols(); }
+  std::int32_t num_nfa_states() const { return num_nfa_states_; }
+
+  State step(State state, Symbol symbol) const { return dfa_.step(state, symbol); }
+  bool is_final(State state) const { return dfa_.is_final(state); }
+  const SymbolMap& symbols() const { return dfa_.symbols(); }
+
+  /// Subset label: the NFA states contained in CA state `p` (sorted).
+  const std::vector<State>& contents(State state) const {
+    return contents_[static_cast<std::size_t>(state)];
+  }
+
+  /// CA state of the singleton {q} (pre-delegation; always a real state).
+  State singleton(State nfa_state) const {
+    return singleton_[static_cast<std::size_t>(nfa_state)];
+  }
+
+  /// Interface: CA initial state that answers for NFA state q. Equal to
+  /// singleton(q) until interface minimization delegates it.
+  State interface_of(State nfa_state) const {
+    return interface_[static_cast<std::size_t>(nfa_state)];
+  }
+
+  /// The distinct initial states (sorted, deduplicated interface range) —
+  /// the speculative starting set of every chunk automaton B_i, i >= 2.
+  const std::vector<State>& initial_states() const { return initials_; }
+  std::int32_t initial_count() const { return static_cast<std::int32_t>(initials_.size()); }
+
+  /// Start state of the first chunk automaton: the singleton {q0} itself
+  /// (its initial *role* may be delegated, but B_1 knows its true start).
+  State start_state() const { return start_; }
+
+  /// Applies the interface function to a PLAS set given as CA state ids:
+  /// if(PLAS) = { interface_of(q) : p ∈ PLAS, q ∈ contents(p) }, returned
+  /// sorted and deduplicated. This is `if` before minimization and `if_min`
+  /// after (the delegation is inside interface_of).
+  std::vector<State> interface_image(const std::vector<State>& plas) const;
+
+  // --- mutation API used by the builder and by interface minimization ---
+  struct Builder;
+  void set_interface(std::vector<State> interface);
+
+ private:
+  friend struct RidfaBuilderAccess;
+  Dfa dfa_;
+  std::vector<std::vector<State>> contents_;
+  std::vector<State> singleton_;
+  std::vector<State> interface_;
+  std::vector<State> initials_;
+  State start_ = 0;
+  std::int32_t num_nfa_states_ = 0;
+};
+
+/// Sect. 3.1 construction. Requires an ε-free NFA (Glushkov output or
+/// remove_epsilon'd); the interface starts as the identity (every singleton
+/// is initial). The incremental seeding over one registry is what keeps the
+/// measured cost far below ℓ separate determinizations (Sect. 4.5).
+Ridfa build_ridfa(const Nfa& nfa);
+
+/// Budgeted variant: gives up (nullopt) when the incremental powerset would
+/// intern more than `max_states` subsets. Used by collection tooling to
+/// skip machines with pathological determinization blow-up.
+std::optional<Ridfa> try_build_ridfa(const Nfa& nfa, std::int32_t max_states);
+
+/// Construction-cost observability for the Sect. 4.5 experiment.
+struct RidfaStats {
+  std::int32_t nfa_states = 0;
+  std::int32_t ridfa_states = 0;
+  std::int32_t initial_states = 0;
+  std::size_t table_entries = 0;
+};
+RidfaStats ridfa_stats(const Ridfa& ridfa);
+
+}  // namespace rispar

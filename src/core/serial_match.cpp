@@ -1,0 +1,101 @@
+#include "core/serial_match.hpp"
+
+#include "util/bitset.hpp"
+
+namespace rispar {
+
+State run_dfa_span(const Dfa& dfa, State start, const Symbol* input, std::size_t length,
+                   std::uint64_t& transitions) {
+  State state = start;
+  const std::int32_t k = dfa.num_symbols();
+  for (std::size_t i = 0; i < length; ++i) {
+    const Symbol symbol = input[i];
+    if (symbol < 0 || symbol >= k) return kDeadState;
+    state = dfa.row(state)[symbol];
+    if (state == kDeadState) return kDeadState;
+    ++transitions;
+  }
+  return state;
+}
+
+MatchResult serial_match(const Dfa& dfa, const std::vector<Symbol>& input) {
+  MatchResult result;
+  const State end = run_dfa_span(dfa, dfa.initial(), input.data(), input.size(),
+                                 result.transitions);
+  result.accepted = end != kDeadState && dfa.is_final(end);
+  return result;
+}
+
+MatchResult serial_match(const Dfa& dfa, const std::string& text) {
+  return serial_match(dfa, dfa.symbols().translate(text));
+}
+
+MatchResult serial_match(const Nfa& nfa, const std::vector<Symbol>& input) {
+  MatchResult result;
+  const auto universe = static_cast<std::size_t>(nfa.num_states());
+  Bitset frontier(universe);
+  frontier.set(static_cast<std::size_t>(nfa.initial()));
+  // ε edges are legal here (unlike in the RI-DFA pipeline); apply closures.
+  if (nfa.has_epsilon()) {
+    std::vector<State> stack = frontier.to_indices();
+    while (!stack.empty()) {
+      const State s = stack.back();
+      stack.pop_back();
+      for (const State t : nfa.epsilon_edges(s))
+        if (!frontier.test(static_cast<std::size_t>(t))) {
+          frontier.set(static_cast<std::size_t>(t));
+          stack.push_back(t);
+        }
+    }
+  }
+
+  Bitset next(universe);
+  std::vector<State> stack;
+  for (const Symbol symbol : input) {
+    if (symbol < 0 || symbol >= nfa.num_symbols()) {
+      frontier.clear();
+      break;
+    }
+    next.clear();
+    for (std::size_t s = frontier.first(); s != Bitset::npos; s = frontier.next(s)) {
+      for (const auto& edge : nfa.edges(static_cast<State>(s), symbol)) {
+        ++result.transitions;  // one per edge traversal, Fig. 1 convention
+        next.set(static_cast<std::size_t>(edge.target));
+      }
+    }
+    if (nfa.has_epsilon()) {
+      stack = next.to_indices();
+      while (!stack.empty()) {
+        const State s = stack.back();
+        stack.pop_back();
+        for (const State t : nfa.epsilon_edges(s))
+          if (!next.test(static_cast<std::size_t>(t))) {
+            next.set(static_cast<std::size_t>(t));
+            stack.push_back(t);
+          }
+      }
+    }
+    std::swap(frontier, next);
+    if (frontier.empty()) break;
+  }
+  result.accepted = frontier.intersects(nfa.finals());
+  return result;
+}
+
+MatchResult serial_match(const Nfa& nfa, const std::string& text) {
+  return serial_match(nfa, nfa.symbols().translate(text));
+}
+
+MatchResult serial_match(const Ridfa& ridfa, const std::vector<Symbol>& input) {
+  MatchResult result;
+  const State end = run_dfa_span(ridfa.dfa(), ridfa.start_state(), input.data(),
+                                 input.size(), result.transitions);
+  result.accepted = end != kDeadState && ridfa.is_final(end);
+  return result;
+}
+
+MatchResult serial_match(const Ridfa& ridfa, const std::string& text) {
+  return serial_match(ridfa, ridfa.symbols().translate(text));
+}
+
+}  // namespace rispar

@@ -1,0 +1,45 @@
+// Serial recognizers with exact transition accounting.
+//
+// These are the c = 1 baselines of the paper's evaluation and the oracles of
+// the test suite. The transition-counting conventions reproduce Fig. 1
+// exactly (min-DFA 15 / NFA 14 / RI-DFA 9 on "aabcab" in two chunks):
+//   * deterministic machines count one transition per consumed symbol; a run
+//     that dies after j symbols contributes j;
+//   * the NFA frontier simulation counts every edge traversal (each element
+//     of ρ(s, a) applied to each frontier member).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "automata/dfa.hpp"
+#include "automata/nfa.hpp"
+#include "core/ridfa.hpp"
+
+namespace rispar {
+
+struct MatchResult {
+  bool accepted = false;
+  std::uint64_t transitions = 0;
+};
+
+/// DFA run from its initial state over the whole input.
+MatchResult serial_match(const Dfa& dfa, const std::vector<Symbol>& input);
+MatchResult serial_match(const Dfa& dfa, const std::string& text);
+
+/// NFA frontier-set run from its initial state.
+MatchResult serial_match(const Nfa& nfa, const std::vector<Symbol>& input);
+MatchResult serial_match(const Nfa& nfa, const std::string& text);
+
+/// RI-DFA run from start_state() — behaves exactly like a DFA run serially.
+MatchResult serial_match(const Ridfa& ridfa, const std::vector<Symbol>& input);
+MatchResult serial_match(const Ridfa& ridfa, const std::string& text);
+
+/// Building block shared with the parallel reach kernels: runs `dfa` from
+/// `start` over input[begin, end), returns the arrival state (kDeadState on
+/// death) and adds consumed symbols to `transitions`.
+State run_dfa_span(const Dfa& dfa, State start, const Symbol* input, std::size_t length,
+                   std::uint64_t& transitions);
+
+}  // namespace rispar

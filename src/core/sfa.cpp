@@ -1,0 +1,94 @@
+#include "core/sfa.hpp"
+
+#include <unordered_map>
+
+namespace rispar {
+
+namespace {
+
+struct MappingHash {
+  std::size_t operator()(const std::vector<State>& mapping) const {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const State s : mapping) {
+      h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(s));
+      h *= 0x100000001b3ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace
+
+State Sfa::run(const Symbol* input, std::size_t length, std::uint64_t& transitions) const {
+  State state = initial();
+  for (std::size_t i = 0; i < length; ++i) {
+    const Symbol symbol = input[i];
+    if (symbol < 0 || symbol >= num_symbols_) {
+      // Foreign byte: every run dies; jump to the all-dead mapping by
+      // composing with it is equivalent to staying dead forever. We encode
+      // this by scanning to the all-dead state through a dead composition:
+      // the all-dead mapping is a fixpoint of every symbol, and it is
+      // reachable lazily — here we simply return it via linear search.
+      for (State s = 0; s < num_states(); ++s) {
+        bool all_dead = true;
+        for (const State entry : mappings_[static_cast<std::size_t>(s)])
+          all_dead = all_dead && entry == kDeadState;
+        if (all_dead) return s;
+      }
+      // No all-dead mapping exists in this SFA (the CA is total): foreign
+      // bytes cannot occur for texts translated with the CA's SymbolMap.
+      return state;
+    }
+    state = step(state, symbol);
+    ++transitions;
+  }
+  return state;
+}
+
+std::optional<Sfa> try_build_sfa(const Dfa& chunk_automaton, std::int32_t max_states) {
+  const std::int32_t n = chunk_automaton.num_states();
+  const std::int32_t k = chunk_automaton.num_symbols();
+
+  Sfa sfa;
+  sfa.num_symbols_ = k;
+
+  std::unordered_map<std::vector<State>, State, MappingHash> index;
+  std::vector<State> worklist;
+
+  auto intern = [&](std::vector<State> mapping) -> State {
+    const auto it = index.find(mapping);
+    if (it != index.end()) return it->second;
+    const State id = sfa.num_states();
+    index.emplace(mapping, id);
+    sfa.mappings_.push_back(std::move(mapping));
+    sfa.table_.insert(sfa.table_.end(), static_cast<std::size_t>(k), kDeadState);
+    worklist.push_back(id);
+    return id;
+  };
+
+  // Seed: the identity mapping (state 0 by construction).
+  std::vector<State> identity(static_cast<std::size_t>(n));
+  for (State q = 0; q < n; ++q) identity[static_cast<std::size_t>(q)] = q;
+  intern(std::move(identity));
+
+  while (!worklist.empty()) {
+    if (sfa.num_states() > max_states) return std::nullopt;
+    const State state = worklist.back();
+    worklist.pop_back();
+    for (Symbol a = 0; a < k; ++a) {
+      std::vector<State> next(static_cast<std::size_t>(n));
+      const std::vector<State>& current = sfa.mappings_[static_cast<std::size_t>(state)];
+      for (State q = 0; q < n; ++q) {
+        const State mid = current[static_cast<std::size_t>(q)];
+        next[static_cast<std::size_t>(q)] =
+            mid == kDeadState ? kDeadState : chunk_automaton.step(mid, a);
+      }
+      const State target = intern(std::move(next));
+      sfa.table_[static_cast<std::size_t>(state) * k + static_cast<std::size_t>(a)] =
+          target;
+    }
+  }
+  return sfa;
+}
+
+}  // namespace rispar

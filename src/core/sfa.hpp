@@ -1,0 +1,59 @@
+// Simultaneous Finite Automaton (SFA) — the speculation-free alternative
+// the paper compares against (Sect. 1; Sin'ya et al. [25], assessed in [5]).
+//
+// Given a deterministic chunk automaton where every state may act as
+// initial, the SFA's states are *mappings* f : Q → Q ∪ {dead}: the state
+// reached from every possible start simultaneously. One SFA run per chunk
+// (starting from the identity mapping) replaces the |Q| speculative runs,
+// so parallel recognition costs exactly n transitions — but the state space
+// can explode towards |Q+1|^|Q|, which is why construction carries a
+// budget. This is the trade-off that motivates the RI-DFA: NFA-sized
+// speculation without the SFA's construction blow-up.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "automata/dfa.hpp"
+
+namespace rispar {
+
+class Sfa {
+ public:
+  std::int32_t num_states() const { return static_cast<std::int32_t>(mappings_.size()); }
+  std::int32_t num_symbols() const { return num_symbols_; }
+
+  /// The identity mapping — the SFA's initial state for every chunk.
+  State initial() const { return 0; }
+
+  /// δ_SFA(state, symbol); never dead (the all-dead mapping is a real state).
+  State step(State state, Symbol symbol) const {
+    return table_[static_cast<std::size_t>(state) * num_symbols_ +
+                  static_cast<std::size_t>(symbol)];
+  }
+
+  /// The mapping of an SFA state: entry q is the chunk-automaton state
+  /// reached from start q, or kDeadState if that run died.
+  const std::vector<State>& mapping(State state) const {
+    return mappings_[static_cast<std::size_t>(state)];
+  }
+
+  /// Runs the SFA over a chunk from the identity, returning the arrival
+  /// SFA state and counting one transition per symbol.
+  State run(const Symbol* input, std::size_t length, std::uint64_t& transitions) const;
+
+ private:
+  friend std::optional<Sfa> try_build_sfa(const Dfa&, std::int32_t);
+  std::int32_t num_symbols_ = 0;
+  std::vector<State> table_;
+  std::vector<std::vector<State>> mappings_;
+};
+
+/// Builds the SFA of a deterministic chunk automaton, giving up (nullopt)
+/// once more than `max_states` mappings have been interned — the explosion
+/// case the paper reports as "construction can be a thousand times slower".
+std::optional<Sfa> try_build_sfa(const Dfa& chunk_automaton,
+                                 std::int32_t max_states = 1 << 16);
+
+}  // namespace rispar

@@ -1,0 +1,132 @@
+#include "parallel/ca_run.hpp"
+
+#include <unordered_map>
+
+namespace rispar {
+
+namespace {
+
+DetChunkResult run_chunk_det_independent(const Dfa& dfa, std::span<const Symbol> chunk,
+                                         std::span<const State> starts) {
+  DetChunkResult result;
+  result.lambda.reserve(starts.size());
+  for (const State start : starts) {
+    State state = start;
+    std::uint64_t steps = 0;
+    for (const Symbol symbol : chunk) {
+      if (symbol < 0 || symbol >= dfa.num_symbols()) {
+        state = kDeadState;
+        break;
+      }
+      state = dfa.row(state)[symbol];
+      if (state == kDeadState) break;
+      ++steps;
+    }
+    result.transitions += steps;
+    if (state != kDeadState) result.lambda.emplace_back(start, state);
+  }
+  return result;
+}
+
+// Lockstep variant: all runs advance one symbol per round; runs that collide
+// on the same current state are merged (they can never diverge again in a
+// deterministic machine), so each distinct state pays one transition per
+// symbol from the merge point on.
+DetChunkResult run_chunk_det_convergent(const Dfa& dfa, std::span<const Symbol> chunk,
+                                        std::span<const State> starts) {
+  DetChunkResult result;
+  // group_state[g] = current state of merged group g; members[g] = starts.
+  std::vector<State> group_state;
+  std::vector<std::vector<State>> members;
+  {
+    std::unordered_map<State, std::size_t> seen;
+    for (const State start : starts) {
+      const auto [it, inserted] = seen.emplace(start, group_state.size());
+      if (inserted) {
+        group_state.push_back(start);
+        members.push_back({start});
+      } else {
+        members[it->second].push_back(start);
+      }
+    }
+  }
+
+  std::unordered_map<State, std::size_t> collide;
+  for (const Symbol symbol : chunk) {
+    if (group_state.empty()) break;
+    if (symbol < 0 || symbol >= dfa.num_symbols()) {
+      group_state.clear();
+      break;
+    }
+    collide.clear();
+    std::size_t write = 0;
+    for (std::size_t g = 0; g < group_state.size(); ++g) {
+      const State next = dfa.row(group_state[g])[symbol];
+      if (next == kDeadState) continue;  // whole group dies (not counted,
+                                         // matching the independent kernel)
+      ++result.transitions;  // one executed transition per surviving group
+      const auto [it, inserted] = collide.emplace(next, write);
+      if (inserted) {
+        group_state[write] = next;
+        if (write != g) members[write] = std::move(members[g]);
+        ++write;
+      } else {
+        auto& sink = members[it->second];
+        sink.insert(sink.end(), members[g].begin(), members[g].end());
+      }
+    }
+    group_state.resize(write);
+    members.resize(write);
+  }
+
+  // Emit λ in `starts` order for deterministic output.
+  std::unordered_map<State, State> end_of;
+  for (std::size_t g = 0; g < group_state.size(); ++g)
+    for (const State start : members[g]) end_of.emplace(start, group_state[g]);
+  for (const State start : starts)
+    if (const auto it = end_of.find(start); it != end_of.end())
+      result.lambda.emplace_back(start, it->second);
+  return result;
+}
+
+}  // namespace
+
+DetChunkResult run_chunk_det(const Dfa& dfa, std::span<const Symbol> chunk,
+                             std::span<const State> starts,
+                             const DetChunkOptions& options) {
+  // The dead-transition accounting differs between the two paths only in
+  // how much work is *saved*; surviving λ pairs are identical (tested).
+  return options.convergence ? run_chunk_det_convergent(dfa, chunk, starts)
+                             : run_chunk_det_independent(dfa, chunk, starts);
+}
+
+NfaChunkResult run_chunk_nfa(const Nfa& nfa, std::span<const Symbol> chunk,
+                             std::span<const State> starts) {
+  NfaChunkResult result;
+  const auto universe = static_cast<std::size_t>(nfa.num_states());
+  Bitset frontier(universe);
+  Bitset next(universe);
+  for (const State start : starts) {
+    frontier.clear();
+    frontier.set(static_cast<std::size_t>(start));
+    for (const Symbol symbol : chunk) {
+      if (symbol < 0 || symbol >= nfa.num_symbols()) {
+        frontier.clear();
+        break;
+      }
+      next.clear();
+      for (std::size_t s = frontier.first(); s != Bitset::npos; s = frontier.next(s)) {
+        for (const auto& edge : nfa.edges(static_cast<State>(s), symbol)) {
+          ++result.transitions;
+          next.set(static_cast<std::size_t>(edge.target));
+        }
+      }
+      std::swap(frontier, next);
+      if (frontier.empty()) break;
+    }
+    if (!frontier.empty()) result.lambda.emplace_back(start, frontier);
+  }
+  return result;
+}
+
+}  // namespace rispar

@@ -1,0 +1,52 @@
+// Reach-phase kernels: the speculative chunk runs of the three CSDPA
+// variants (paper Sect. 2 and 3.2).
+//
+// Each kernel consumes one chunk of the symbol stream from a set of starting
+// states and returns the partial mapping λ_i = { (start, end) : the run from
+// `start` survives the whole chunk }, together with the executed-transition
+// count (the paper's primary overhead metric). Runs that die early simply do
+// not appear in λ.
+//
+// The deterministic kernel optionally applies *run convergence* (merging
+// runs that land in the same state at the same position — the Mytkowicz-
+// style optimization the paper lists as compatible, Sect. 5). It is OFF by
+// default: the paper's baselines execute the |I| runs independently.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "automata/dfa.hpp"
+#include "automata/nfa.hpp"
+#include "util/bitset.hpp"
+
+namespace rispar {
+
+struct DetChunkResult {
+  /// (start, end) pairs of surviving runs, in `starts` order.
+  std::vector<std::pair<State, State>> lambda;
+  std::uint64_t transitions = 0;
+};
+
+struct DetChunkOptions {
+  bool convergence = false;
+};
+
+/// Runs `dfa` over `chunk` once per state in `starts`.
+DetChunkResult run_chunk_det(const Dfa& dfa, std::span<const Symbol> chunk,
+                             std::span<const State> starts,
+                             const DetChunkOptions& options = {});
+
+struct NfaChunkResult {
+  /// Per start (in `starts` order): the frontier set δ(start, chunk); an
+  /// entry is present only when that set is non-empty.
+  std::vector<std::pair<State, Bitset>> lambda;
+  std::uint64_t transitions = 0;  ///< NFA edge traversals (Fig. 1 convention)
+};
+
+/// Runs the NFA frontier simulation once per starting state.
+NfaChunkResult run_chunk_nfa(const Nfa& nfa, std::span<const Symbol> chunk,
+                             std::span<const State> starts);
+
+}  // namespace rispar

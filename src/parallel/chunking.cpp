@@ -1,0 +1,22 @@
+#include "parallel/chunking.hpp"
+
+#include <algorithm>
+
+namespace rispar {
+
+std::vector<ChunkSpan> split_chunks(std::size_t n, std::size_t requested) {
+  if (n == 0) return {};
+  const std::size_t c = std::clamp<std::size_t>(requested, 1, n);
+  std::vector<ChunkSpan> chunks(c);
+  const std::size_t base = n / c;
+  const std::size_t extra = n % c;  // first `extra` chunks get one more
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < c; ++i) {
+    const std::size_t length = base + (i < extra ? 1 : 0);
+    chunks[i] = ChunkSpan{offset, length};
+    offset += length;
+  }
+  return chunks;
+}
+
+}  // namespace rispar

@@ -1,0 +1,22 @@
+// Input segmentation x = y_1 y_2 ... y_c (paper Sect. 2: every chunk must be
+// non-empty, y_i ∈ Σ+).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rispar {
+
+struct ChunkSpan {
+  std::size_t begin = 0;
+  std::size_t length = 0;
+
+  bool operator==(const ChunkSpan&) const = default;
+};
+
+/// Splits [0, n) into `requested` balanced non-empty spans. When requested
+/// exceeds n, the chunk count is clamped to n (paper's Σ+ requirement);
+/// n == 0 yields no chunks. Sizes differ by at most one.
+std::vector<ChunkSpan> split_chunks(std::size_t n, std::size_t requested);
+
+}  // namespace rispar

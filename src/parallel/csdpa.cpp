@@ -1,0 +1,266 @@
+#include "parallel/csdpa.hpp"
+
+#include <cassert>
+
+#include "parallel/chunking.hpp"
+#include "util/stopwatch.hpp"
+
+namespace rispar {
+
+namespace {
+
+// Empty input: no chunks run; acceptance is a pure initial/final check.
+template <typename IsFinal>
+RecognitionStats empty_input_result(bool initial_is_final, IsFinal&&) {
+  RecognitionStats stats;
+  stats.accepted = initial_is_final;
+  return stats;
+}
+
+}  // namespace
+
+DfaDevice::DfaDevice(const Dfa& dfa) : dfa_(dfa) {
+  all_states_.reserve(static_cast<std::size_t>(dfa.num_states()));
+  for (State s = 0; s < dfa.num_states(); ++s) all_states_.push_back(s);
+}
+
+RecognitionStats DfaDevice::recognize(std::span<const Symbol> input, ThreadPool& pool,
+                                      const DeviceOptions& options) const {
+  if (input.empty())
+    return empty_input_result(dfa_.is_final(dfa_.initial()), nullptr);
+
+  const auto chunks = split_chunks(input.size(), options.chunks);
+  RecognitionStats stats;
+  stats.chunks = chunks.size();
+
+  Stopwatch reach_clock;
+  std::vector<DetChunkResult> results(chunks.size());
+  const std::vector<State> first_start{dfa_.initial()};
+  const DetChunkOptions run_options{options.convergence};
+  pool.run(chunks.size(), [&](std::size_t i) {
+    const auto span = input.subspan(chunks[i].begin, chunks[i].length);
+    if (i == 0) {
+      // Chunk 1 knows its start.
+      results[i] = run_chunk_det(dfa_, span, first_start, run_options);
+      return;
+    }
+    if (options.lookback == 0) {
+      // Classic CSDPA: speculate on all of Q.
+      results[i] = run_chunk_det(dfa_, span, all_states_, run_options);
+      return;
+    }
+    // Look-back: advance every state over the window preceding the
+    // boundary (convergent kernel — survivors collapse quickly), then
+    // speculate only from the distinct surviving boundary states.
+    const std::size_t window_len = std::min(options.lookback, chunks[i].begin);
+    const auto window = input.subspan(chunks[i].begin - window_len, window_len);
+    DetChunkResult probe =
+        run_chunk_det(dfa_, window, all_states_, DetChunkOptions{true});
+    std::vector<State> candidates;
+    candidates.reserve(probe.lambda.size());
+    for (const auto& [start, end] : probe.lambda) {
+      (void)start;
+      candidates.push_back(end);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    results[i] = run_chunk_det(dfa_, span, candidates, run_options);
+    // The probe work is real speculation overhead; account for it.
+    results[i].transitions += probe.transitions;
+  });
+  stats.reach_seconds = reach_clock.seconds();
+
+  Stopwatch join_clock;
+  for (const auto& chunk_result : results) stats.transitions += chunk_result.transitions;
+
+  if (options.tree_join) {
+    // Each λ_i as a dense function Q → Q ∪ {dead}; compose pairwise.
+    const auto n = static_cast<std::size_t>(dfa_.num_states());
+    std::vector<std::vector<State>> maps(results.size());
+    pool.run(results.size(), [&](std::size_t i) {
+      maps[i].assign(n, kDeadState);
+      for (const auto& [start, end] : results[i].lambda)
+        maps[i][static_cast<std::size_t>(start)] = end;
+    });
+    while (maps.size() > 1) {
+      const std::size_t pairs = maps.size() / 2;
+      std::vector<std::vector<State>> folded(pairs + (maps.size() % 2));
+      pool.run(pairs, [&](std::size_t p) {
+        const auto& first = maps[2 * p];
+        const auto& second = maps[2 * p + 1];
+        auto& out = folded[p];
+        out.assign(n, kDeadState);
+        for (std::size_t q = 0; q < n; ++q) {
+          const State mid = first[q];
+          out[q] = mid == kDeadState ? kDeadState
+                                     : second[static_cast<std::size_t>(mid)];
+        }
+      });
+      if (maps.size() % 2) folded.back() = std::move(maps.back());
+      maps = std::move(folded);
+    }
+    const State end = maps.front()[static_cast<std::size_t>(dfa_.initial())];
+    stats.accepted = end != kDeadState && dfa_.is_final(end);
+    stats.join_seconds = join_clock.seconds();
+    return stats;
+  }
+
+  // Serial join (the paper's): PLAS as a bitset over DFA states; λ_i
+  // entries filter-and-map it.
+  Bitset plas(static_cast<std::size_t>(dfa_.num_states()));
+  bool first_chunk = true;
+  for (const auto& chunk_result : results) {
+    Bitset next(static_cast<std::size_t>(dfa_.num_states()));
+    for (const auto& [start, end] : chunk_result.lambda) {
+      if (first_chunk || plas.test(static_cast<std::size_t>(start)))
+        next.set(static_cast<std::size_t>(end));
+    }
+    plas = std::move(next);
+    first_chunk = false;
+  }
+  stats.accepted = plas.intersects(dfa_.finals());
+  stats.join_seconds = join_clock.seconds();
+  return stats;
+}
+
+NfaDevice::NfaDevice(const Nfa& nfa) : nfa_(nfa) {
+  assert(!nfa.has_epsilon() && "NfaDevice requires an eps-free NFA");
+  all_states_.reserve(static_cast<std::size_t>(nfa.num_states()));
+  for (State s = 0; s < nfa.num_states(); ++s) all_states_.push_back(s);
+}
+
+RecognitionStats NfaDevice::recognize(std::span<const Symbol> input, ThreadPool& pool,
+                                      const DeviceOptions& options) const {
+  if (input.empty())
+    return empty_input_result(nfa_.is_final(nfa_.initial()), nullptr);
+
+  const auto chunks = split_chunks(input.size(), options.chunks);
+  RecognitionStats stats;
+  stats.chunks = chunks.size();
+
+  Stopwatch reach_clock;
+  std::vector<NfaChunkResult> results(chunks.size());
+  const std::vector<State> first_start{nfa_.initial()};
+  pool.run(chunks.size(), [&](std::size_t i) {
+    const auto span = input.subspan(chunks[i].begin, chunks[i].length);
+    const std::span<const State> starts =
+        (i == 0) ? std::span<const State>(first_start) : std::span<const State>(all_states_);
+    results[i] = run_chunk_nfa(nfa_, span, starts);
+  });
+  stats.reach_seconds = reach_clock.seconds();
+
+  Stopwatch join_clock;
+  // PLAS as a set of NFA states; λ_i(q) is itself a state set, so joining
+  // unions the images of the surviving starts.
+  Bitset plas(static_cast<std::size_t>(nfa_.num_states()));
+  bool first_chunk = true;
+  for (const auto& chunk_result : results) {
+    stats.transitions += chunk_result.transitions;
+    Bitset next(static_cast<std::size_t>(nfa_.num_states()));
+    for (const auto& [start, ends] : chunk_result.lambda) {
+      if (first_chunk || plas.test(static_cast<std::size_t>(start))) next |= ends;
+    }
+    plas = std::move(next);
+    first_chunk = false;
+  }
+  stats.accepted = plas.intersects(nfa_.finals());
+  stats.join_seconds = join_clock.seconds();
+  return stats;
+}
+
+RidDevice::RidDevice(const Ridfa& ridfa) : ridfa_(ridfa) {}
+
+RecognitionStats RidDevice::recognize(std::span<const Symbol> input, ThreadPool& pool,
+                                      const DeviceOptions& options) const {
+  const Dfa& ca = ridfa_.dfa();
+  if (input.empty())
+    return empty_input_result(ridfa_.is_final(ridfa_.start_state()), nullptr);
+
+  const auto chunks = split_chunks(input.size(), options.chunks);
+  RecognitionStats stats;
+  stats.chunks = chunks.size();
+
+  Stopwatch reach_clock;
+  std::vector<DetChunkResult> results(chunks.size());
+  const std::vector<State> first_start{ridfa_.start_state()};
+  const DetChunkOptions run_options{options.convergence};
+  pool.run(chunks.size(), [&](std::size_t i) {
+    const auto span = input.subspan(chunks[i].begin, chunks[i].length);
+    // Only the interface states are speculative starts — this is the whole
+    // point of the RI-DFA (|I_B| = |Q_N| or less after minimization).
+    const std::span<const State> starts = (i == 0)
+                                              ? std::span<const State>(first_start)
+                                              : std::span<const State>(ridfa_.initial_states());
+    results[i] = run_chunk_det(ca, span, starts, run_options);
+  });
+  stats.reach_seconds = reach_clock.seconds();
+
+  Stopwatch join_clock;
+  // PLAS as an explicit CA-state list: between chunks it passes through the
+  // interface function (Sect. 3.2 / 3.4), which maps each contained NFA
+  // state to its (delegated) initial CA state.
+  std::vector<State> plas;
+  bool first_chunk = true;
+  for (const auto& chunk_result : results) {
+    stats.transitions += chunk_result.transitions;
+    std::vector<State> next;
+    if (first_chunk) {
+      for (const auto& [start, end] : chunk_result.lambda) {
+        (void)start;
+        next.push_back(end);
+      }
+    } else {
+      const std::vector<State> image = ridfa_.interface_image(plas);
+      Bitset allowed(static_cast<std::size_t>(ca.num_states()));
+      for (const State p : image) allowed.set(static_cast<std::size_t>(p));
+      for (const auto& [start, end] : chunk_result.lambda)
+        if (allowed.test(static_cast<std::size_t>(start))) next.push_back(end);
+    }
+    plas = std::move(next);
+    first_chunk = false;
+  }
+  stats.accepted = false;
+  for (const State p : plas)
+    if (ridfa_.is_final(p)) {
+      stats.accepted = true;
+      break;
+    }
+  stats.join_seconds = join_clock.seconds();
+  return stats;
+}
+
+SfaDevice::SfaDevice(const Sfa& sfa, const Dfa& chunk_automaton)
+    : sfa_(sfa), ca_(chunk_automaton) {}
+
+RecognitionStats SfaDevice::recognize(std::span<const Symbol> input, ThreadPool& pool,
+                                      const DeviceOptions& options) const {
+  if (input.empty())
+    return empty_input_result(ca_.is_final(ca_.initial()), nullptr);
+
+  const auto chunks = split_chunks(input.size(), options.chunks);
+  RecognitionStats stats;
+  stats.chunks = chunks.size();
+
+  Stopwatch reach_clock;
+  // One SFA run per chunk, from the identity mapping — no speculation.
+  std::vector<State> arrivals(chunks.size());
+  std::vector<std::uint64_t> counts(chunks.size(), 0);
+  pool.run(chunks.size(), [&](std::size_t i) {
+    arrivals[i] = sfa_.run(input.data() + chunks[i].begin, chunks[i].length, counts[i]);
+  });
+  stats.reach_seconds = reach_clock.seconds();
+
+  Stopwatch join_clock;
+  // Compose: thread the CA start state through each chunk's mapping.
+  State state = ca_.initial();
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    stats.transitions += counts[i];
+    if (state != kDeadState) state = sfa_.mapping(arrivals[i])[static_cast<std::size_t>(state)];
+  }
+  stats.accepted = state != kDeadState && ca_.is_final(state);
+  stats.join_seconds = join_clock.seconds();
+  return stats;
+}
+
+}  // namespace rispar

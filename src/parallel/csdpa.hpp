@@ -1,0 +1,122 @@
+// The three speculative data-parallel recognition devices.
+//
+//  * DfaDevice — classic CSDPA with a (minimal) DFA chunk automaton: every
+//    DFA state is a speculative start (paper Sect. 2).
+//  * NfaDevice — classic CSDPA with an NFA chunk automaton: one frontier
+//    simulation per NFA state (Sect. 2, "NFA variant").
+//  * RidDevice — the paper's contribution (Sect. 3): RI-DFA chunk automaton
+//    whose speculative starts are only the interface states, joined through
+//    the interface function if / if_min.
+//
+// All devices share the same two-phase structure: a parallel *reach* phase
+// (one task per chunk on a ThreadPool; chunk 1 starts in the real initial
+// state only) and a serial *join* phase computing
+//     PLAS_i = λ_i( map(PLAS_{i-1}) ∩ PIS_i ),
+// where map is the identity for DFA/NFA and the interface function for RID.
+// Acceptance: PLAS_c contains a final state. Recognize() returns the
+// decision plus the overhead metrics the paper reports (transition counts,
+// per-phase wall times).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "automata/dfa.hpp"
+#include "automata/nfa.hpp"
+#include "core/ridfa.hpp"
+#include "core/sfa.hpp"
+#include "parallel/ca_run.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace rispar {
+
+struct RecognitionStats {
+  bool accepted = false;
+  std::uint64_t transitions = 0;     ///< total over all chunks (reach phase)
+  std::uint64_t chunks = 0;          ///< actual chunk count after clamping
+  double reach_seconds = 0.0;
+  double join_seconds = 0.0;
+
+  double total_seconds() const { return reach_seconds + join_seconds; }
+};
+
+struct DeviceOptions {
+  /// Requested chunk count c; clamped to the input length. c <= 1 means
+  /// serial execution (single chunk, no speculation).
+  std::size_t chunks = 1;
+  /// Run-convergence optimization in the deterministic kernels (ablation).
+  bool convergence = false;
+  /// Look-back state speculation (paper Sect. 5, Yang & Prasanna [28]
+  /// flavour), DFA device only: before the speculative runs of chunk i>=2,
+  /// all starts are advanced over the `lookback` symbols preceding the
+  /// chunk boundary; only the (deduplicated) survivors start real runs.
+  /// Sound because the true boundary state is the image of *some* state
+  /// over that window. 0 disables.
+  std::size_t lookback = 0;
+  /// Parallel tree-reduction join (DFA device only): chunk mappings are
+  /// total functions Q → Q ∪ {dead}, whose composition is associative, so
+  /// the join can reduce pairwise on the pool in O(log c) rounds instead of
+  /// serially. The paper keeps the join serial because it is <1% of the
+  /// time (Sect. 4.4) — this mode exists to *measure* that claim.
+  bool tree_join = false;
+};
+
+class DfaDevice {
+ public:
+  /// `dfa` must stay alive while the device is used; typically the minimal
+  /// DFA of the language.
+  explicit DfaDevice(const Dfa& dfa);
+
+  RecognitionStats recognize(std::span<const Symbol> input, ThreadPool& pool,
+                             const DeviceOptions& options) const;
+
+ private:
+  const Dfa& dfa_;
+  std::vector<State> all_states_;  ///< speculative start set = Q
+};
+
+class NfaDevice {
+ public:
+  /// Requires an ε-free NFA (the chunk kernels do not apply closures).
+  explicit NfaDevice(const Nfa& nfa);
+
+  RecognitionStats recognize(std::span<const Symbol> input, ThreadPool& pool,
+                             const DeviceOptions& options) const;
+
+ private:
+  const Nfa& nfa_;
+  std::vector<State> all_states_;
+};
+
+class RidDevice {
+ public:
+  explicit RidDevice(const Ridfa& ridfa);
+
+  RecognitionStats recognize(std::span<const Symbol> input, ThreadPool& pool,
+                             const DeviceOptions& options) const;
+
+ private:
+  const Ridfa& ridfa_;
+};
+
+/// The speculation-free comparator (paper Sect. 1, SFA [25]): one SFA run
+/// per chunk computes the whole start→end mapping, the join composes the
+/// mappings. Exactly n transitions total, at the cost of the SFA's state
+/// explosion during construction (see core/sfa.hpp).
+class SfaDevice {
+ public:
+  /// `chunk_automaton` is the DFA the SFA was built from (its initial and
+  /// final states decide acceptance). Both must outlive the device.
+  SfaDevice(const Sfa& sfa, const Dfa& chunk_automaton);
+
+  RecognitionStats recognize(std::span<const Symbol> input, ThreadPool& pool,
+                             const DeviceOptions& options) const;
+
+ private:
+  const Sfa& sfa_;
+  const Dfa& ca_;
+};
+
+}  // namespace rispar

@@ -1,0 +1,83 @@
+#include "parallel/match_count.hpp"
+
+#include "parallel/chunking.hpp"
+
+namespace rispar {
+
+MatchCount count_matches_serial(const Dfa& dfa, std::span<const Symbol> input) {
+  MatchCount result;
+  State state = dfa.initial();
+  for (const Symbol symbol : input) {
+    if (symbol < 0 || symbol >= dfa.num_symbols()) {
+      result.died = true;
+      return result;
+    }
+    state = dfa.row(state)[symbol];
+    if (state == kDeadState) {
+      result.died = true;
+      return result;
+    }
+    if (dfa.is_final(state)) ++result.matches;
+  }
+  result.chunks = input.empty() ? 0 : 1;
+  return result;
+}
+
+namespace {
+
+struct CountingRun {
+  State end = kDeadState;
+  std::uint64_t hits = 0;
+  std::uint64_t survived = 0;  ///< symbols consumed before death (for died runs)
+};
+
+}  // namespace
+
+MatchCount count_matches(const Dfa& dfa, std::span<const Symbol> input,
+                         ThreadPool& pool, std::size_t chunks_requested) {
+  MatchCount result;
+  if (input.empty()) return result;
+
+  const auto chunks = split_chunks(input.size(), chunks_requested);
+  result.chunks = chunks.size();
+
+  // Reach: per chunk, one counting run per possible start (chunk 1 only
+  // from the initial state).
+  const auto n = static_cast<std::size_t>(dfa.num_states());
+  std::vector<std::vector<CountingRun>> runs(chunks.size());
+  pool.run(chunks.size(), [&](std::size_t i) {
+    const auto span = input.subspan(chunks[i].begin, chunks[i].length);
+    const std::size_t starts = (i == 0) ? 1 : n;
+    runs[i].resize(starts);
+    for (std::size_t s = 0; s < starts; ++s) {
+      State state = (i == 0) ? dfa.initial() : static_cast<State>(s);
+      CountingRun& run = runs[i][s];
+      for (const Symbol symbol : span) {
+        if (symbol < 0 || symbol >= dfa.num_symbols()) {
+          state = kDeadState;
+          break;
+        }
+        state = dfa.row(state)[symbol];
+        if (state == kDeadState) break;
+        ++run.survived;
+        if (dfa.is_final(state)) ++run.hits;
+      }
+      run.end = state;
+    }
+  });
+
+  // Join: walk the unique consistent path and sum the counters.
+  State state = dfa.initial();
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    const CountingRun& run = runs[i][i == 0 ? 0 : static_cast<std::size_t>(state)];
+    result.matches += run.hits;
+    if (run.end == kDeadState) {
+      result.died = true;
+      return result;
+    }
+    state = run.end;
+  }
+  return result;
+}
+
+}  // namespace rispar

@@ -1,0 +1,40 @@
+// Parallel occurrence counting — the paper's motivating applications
+// (pattern matching in books, biological data, log files) usually want
+// "how many matches", not just yes/no.
+//
+// Build the DFA of Σ*p (".*pattern" in this library's syntax): a prefix
+// x[0..j] ends an occurrence of p iff the DFA is in a final state after j.
+// Counting those positions parallelizes with the same speculative scheme
+// as recognition: each chunk runs from every state recording (end, hits);
+// the join walks the single consistent path from the initial state and
+// sums the hit counters. Correct for any *total-on-the-text* DFA; if the
+// true run dies, the count up to the death point is returned and `died`
+// is set.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "automata/dfa.hpp"
+#include "parallel/csdpa.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace rispar {
+
+struct MatchCount {
+  std::uint64_t matches = 0;   ///< prefixes ending in a final state
+  bool died = false;           ///< the run left the automaton (partial count)
+  std::uint64_t chunks = 0;
+};
+
+/// Serial reference: one scan, counting final-state positions. The empty
+/// prefix is not counted (an occurrence needs at least the position after
+/// its last byte), matching the parallel version.
+MatchCount count_matches_serial(const Dfa& dfa, std::span<const Symbol> input);
+
+/// Parallel counting over `chunks` chunks on the pool; equals the serial
+/// count on every input (property-tested).
+MatchCount count_matches(const Dfa& dfa, std::span<const Symbol> input,
+                         ThreadPool& pool, std::size_t chunks);
+
+}  // namespace rispar

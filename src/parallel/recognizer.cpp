@@ -1,0 +1,61 @@
+#include "parallel/recognizer.hpp"
+
+#include "automata/glushkov.hpp"
+#include "automata/minimize.hpp"
+#include "automata/nfa_ops.hpp"
+#include "automata/subset.hpp"
+#include "regex/parser.hpp"
+
+namespace rispar {
+
+const char* variant_name(Variant variant) {
+  switch (variant) {
+    case Variant::kDfa: return "DFA";
+    case Variant::kNfa: return "NFA";
+    case Variant::kRid: return "RID";
+  }
+  return "?";
+}
+
+LanguageEngines::LanguageEngines(Nfa nfa, Dfa min_dfa, Ridfa ridfa)
+    : nfa_(std::move(nfa)),
+      min_dfa_(std::move(min_dfa)),
+      ridfa_(std::move(ridfa)),
+      dfa_device_(min_dfa_),
+      nfa_device_(nfa_),
+      rid_device_(ridfa_) {}
+
+LanguageEngines LanguageEngines::from_regex(const std::string& pattern) {
+  return from_nfa(glushkov_nfa(parse_regex(pattern)));
+}
+
+LanguageEngines LanguageEngines::from_nfa(Nfa nfa) {
+  Nfa eps_free = nfa.has_epsilon() ? remove_epsilon(nfa) : std::move(nfa);
+  Nfa trimmed = trim_unreachable(eps_free);
+  Dfa min_dfa = minimize_dfa(determinize(trimmed));
+  Ridfa ridfa = build_minimized_ridfa(trimmed);
+  return LanguageEngines(std::move(trimmed), std::move(min_dfa), std::move(ridfa));
+}
+
+RecognitionStats LanguageEngines::recognize(Variant variant, std::span<const Symbol> input,
+                                            ThreadPool& pool,
+                                            const DeviceOptions& options) const {
+  switch (variant) {
+    case Variant::kDfa: return dfa_device_.recognize(input, pool, options);
+    case Variant::kNfa: return nfa_device_.recognize(input, pool, options);
+    case Variant::kRid: return rid_device_.recognize(input, pool, options);
+  }
+  return {};
+}
+
+bool LanguageEngines::accepts(std::span<const Symbol> input) const {
+  State state = min_dfa_.initial();
+  for (const Symbol symbol : input) {
+    if (symbol < 0 || symbol >= min_dfa_.num_symbols()) return false;
+    state = min_dfa_.step(state, symbol);
+    if (state == kDeadState) return false;
+  }
+  return min_dfa_.is_final(state);
+}
+
+}  // namespace rispar

@@ -1,0 +1,63 @@
+// High-level facade: builds all three chunk automata for one language and
+// exposes uniform parallel recognition — the "tool" of the paper's Sect. 4
+// (generator + parallel recognizer + test driver feed off this type).
+#pragma once
+
+#include <string>
+
+#include "automata/dfa.hpp"
+#include "automata/nfa.hpp"
+#include "core/interface_min.hpp"
+#include "core/ridfa.hpp"
+#include "parallel/csdpa.hpp"
+
+namespace rispar {
+
+enum class Variant {
+  kDfa,  ///< classic CSDPA over the minimal DFA
+  kNfa,  ///< classic CSDPA over the NFA
+  kRid,  ///< the paper's RID over the interface-minimized RI-DFA
+};
+
+const char* variant_name(Variant variant);
+
+/// One language, three engines. The NFA is the source of truth; the minimal
+/// DFA and the (minimized) RI-DFA are derived from it, so all three devices
+/// recognize exactly the same language (property-tested).
+class LanguageEngines {
+ public:
+  /// Compiles via Glushkov (ε-free by construction).
+  static LanguageEngines from_regex(const std::string& pattern);
+
+  /// Takes ownership of an NFA (ε-removed and trimmed internally).
+  static LanguageEngines from_nfa(Nfa nfa);
+
+  const Nfa& nfa() const { return nfa_; }
+  const Dfa& min_dfa() const { return min_dfa_; }
+  const Ridfa& ridfa() const { return ridfa_; }
+  const SymbolMap& symbols() const { return nfa_.symbols(); }
+
+  /// Translates byte text with the shared SymbolMap.
+  std::vector<Symbol> translate(const std::string& text) const {
+    return symbols().translate(text);
+  }
+
+  /// Parallel recognition with the chosen chunk automaton.
+  RecognitionStats recognize(Variant variant, std::span<const Symbol> input,
+                             ThreadPool& pool, const DeviceOptions& options) const;
+
+  /// Serial ground truth (minimal-DFA run from its initial state).
+  bool accepts(std::span<const Symbol> input) const;
+
+ private:
+  LanguageEngines(Nfa nfa, Dfa min_dfa, Ridfa ridfa);
+
+  Nfa nfa_;
+  Dfa min_dfa_;
+  Ridfa ridfa_;
+  DfaDevice dfa_device_;
+  NfaDevice nfa_device_;
+  RidDevice rid_device_;
+};
+
+}  // namespace rispar

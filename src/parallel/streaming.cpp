@@ -1,0 +1,78 @@
+#include "parallel/streaming.hpp"
+
+#include "parallel/ca_run.hpp"
+#include "parallel/chunking.hpp"
+#include "util/bitset.hpp"
+
+namespace rispar {
+
+StreamingRecognizer::StreamingRecognizer(const Ridfa& ridfa, ThreadPool& pool,
+                                         DeviceOptions options)
+    : ridfa_(ridfa), pool_(pool), options_(options) {}
+
+void StreamingRecognizer::reset() {
+  plas_.clear();
+  at_start_ = true;
+  transitions_ = 0;
+  windows_ = 0;
+}
+
+void StreamingRecognizer::feed(std::span<const Symbol> window) {
+  if (window.empty()) return;
+  ++windows_;
+  if (dead()) return;  // every run already died; input length still grows
+
+  const Dfa& ca = ridfa_.dfa();
+  const auto chunks = split_chunks(window.size(), options_.chunks);
+
+  // Reach phase: the window's first chunk continues from the carried PLAS
+  // (through the interface function), later chunks speculate as usual.
+  const std::vector<State> continuation =
+      at_start_ ? std::vector<State>{ridfa_.start_state()}
+                : ridfa_.interface_image(plas_);
+
+  std::vector<DetChunkResult> results(chunks.size());
+  const DetChunkOptions run_options{options_.convergence};
+  pool_.run(chunks.size(), [&](std::size_t i) {
+    const auto span = window.subspan(chunks[i].begin, chunks[i].length);
+    const std::span<const State> starts =
+        (i == 0) ? std::span<const State>(continuation)
+                 : std::span<const State>(ridfa_.initial_states());
+    results[i] = run_chunk_det(ca, span, starts, run_options);
+  });
+
+  // Join within the window. The first chunk's survivors are kept verbatim
+  // (their starts were already filtered through the carried PLAS); later
+  // chunks filter through the interface image as in RidDevice.
+  std::vector<State> plas;
+  bool first_chunk = true;
+  for (const auto& chunk_result : results) {
+    transitions_ += chunk_result.transitions;
+    std::vector<State> next;
+    if (first_chunk) {
+      for (const auto& [start, end] : chunk_result.lambda) {
+        (void)start;
+        next.push_back(end);
+      }
+    } else {
+      const std::vector<State> image = ridfa_.interface_image(plas);
+      Bitset allowed(static_cast<std::size_t>(ca.num_states()));
+      for (const State p : image) allowed.set(static_cast<std::size_t>(p));
+      for (const auto& [start, end] : chunk_result.lambda)
+        if (allowed.test(static_cast<std::size_t>(start))) next.push_back(end);
+    }
+    plas = std::move(next);
+    first_chunk = false;
+  }
+  plas_ = std::move(plas);
+  at_start_ = false;
+}
+
+bool StreamingRecognizer::accepted() const {
+  if (at_start_) return ridfa_.is_final(ridfa_.start_state());
+  for (const State p : plas_)
+    if (ridfa_.is_final(p)) return true;
+  return false;
+}
+
+}  // namespace rispar

@@ -1,0 +1,55 @@
+// Streaming recognition: texts larger than memory, fed window by window.
+//
+// Each window is recognized with the RID scheme (parallel reach over c
+// chunks, serial join); between windows only the PLAS set is carried, so
+// the memory footprint is one window plus O(|interface|). The first chunk
+// of the first window starts in {q0}; the first chunk of every later
+// window starts speculatively from the interface image of the carried
+// PLAS — exactly the paper's join condition applied at window granularity,
+// so feeding a text in any segmentation yields the same decision as the
+// one-shot recognizer (property-tested).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/ridfa.hpp"
+#include "parallel/csdpa.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace rispar {
+
+class StreamingRecognizer {
+ public:
+  /// `ridfa` and `pool` must outlive the recognizer.
+  StreamingRecognizer(const Ridfa& ridfa, ThreadPool& pool, DeviceOptions options);
+
+  /// Consumes the next window (may be empty — a no-op). Not thread-safe;
+  /// call from one thread, windows in order.
+  void feed(std::span<const Symbol> window);
+
+  /// Decision over everything fed so far (callable repeatedly; feed() may
+  /// continue afterwards).
+  bool accepted() const;
+
+  /// True when no run survives — every extension is rejected too, so a
+  /// caller can stop reading early.
+  bool dead() const { return !at_start_ && plas_.empty(); }
+
+  std::uint64_t transitions() const { return transitions_; }
+  std::uint64_t windows() const { return windows_; }
+
+  /// Forgets all input; the next feed() starts from {q0} again.
+  void reset();
+
+ private:
+  const Ridfa& ridfa_;
+  ThreadPool& pool_;
+  DeviceOptions options_;
+  std::vector<State> plas_;  ///< CA states after the last fed window
+  bool at_start_ = true;     ///< nothing fed yet
+  std::uint64_t transitions_ = 0;
+  std::uint64_t windows_ = 0;
+};
+
+}  // namespace rispar

@@ -1,0 +1,72 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace rispar {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::run(std::size_t count, std::function<void(std::size_t)> fn) {
+  if (count == 0) return;
+  auto batch = std::make_shared<Batch>();
+  batch->fn = std::move(fn);
+  batch->count = count;
+
+  std::unique_lock lock(mutex_);
+  batch_ = batch;
+  ++generation_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [&] {
+    return batch->completed.load(std::memory_order_acquire) == batch->count;
+  });
+  batch_.reset();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  std::unique_lock lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock,
+                  [&] { return stopping_ || generation_ != seen_generation; });
+    if (stopping_) return;
+    seen_generation = generation_;
+    const std::shared_ptr<Batch> batch = batch_;
+    lock.unlock();
+
+    if (batch) {
+      std::size_t done_here = 0;
+      while (true) {
+        const std::size_t index = batch->cursor.fetch_add(1, std::memory_order_relaxed);
+        if (index >= batch->count) break;
+        batch->fn(index);
+        ++done_here;
+      }
+      if (done_here > 0) {
+        const std::size_t total =
+            batch->completed.fetch_add(done_here, std::memory_order_acq_rel) + done_here;
+        if (total == batch->count) {
+          // Lock so the notify cannot race ahead of run()'s predicate check.
+          std::lock_guard done_lock(mutex_);
+          done_cv_.notify_all();
+        }
+      }
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace rispar

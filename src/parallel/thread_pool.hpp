@@ -1,0 +1,62 @@
+// Fixed-size worker pool for the reach phase.
+//
+// Mirrors the paper's runtime structure (Sect. 4: a thread pool started via
+// an executor, reach runs one task per chunk, the join is serial — the only
+// synchronization point is the barrier between the two phases). Tasks pull
+// indices from an atomic cursor, so `run(count, fn)` executes fn(0..count-1)
+// with parallelism min(count, size()). All chunk state is task-owned; the
+// pool itself is the only shared mutable object (Core Guidelines CP.3).
+//
+// Each run() allocates an immutable Batch shared by the participating
+// workers; a worker that wakes late simply drains an already-exhausted
+// batch, so batches from different generations can never alias each other.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rispar {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Joins all workers (any in-flight run() must have completed).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Blocks until fn has been applied to every index in [0, count).
+  /// Not reentrant: do not call run() from inside a task.
+  void run(std::size_t count, std::function<void(std::size_t)> fn);
+
+ private:
+  struct Batch {
+    std::function<void(std::size_t)> fn;
+    std::size_t count = 0;
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<std::size_t> completed{0};
+  };
+
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::shared_ptr<Batch> batch_;  // guarded by mutex_
+  std::uint64_t generation_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace rispar

@@ -1,0 +1,182 @@
+#include "regex/ast.hpp"
+
+namespace rispar {
+
+namespace {
+RePtr make(ReKind kind) { return std::make_shared<ReNode>(kind); }
+}  // namespace
+
+RePtr re_empty() {
+  static const RePtr node = make(ReKind::kEmpty);
+  return node;
+}
+
+RePtr re_epsilon() {
+  static const RePtr node = make(ReKind::kEpsilon);
+  return node;
+}
+
+RePtr re_literal(const ByteSet& bytes) {
+  if (bytes.none()) return re_empty();
+  auto node = std::make_shared<ReNode>(ReKind::kLiteral);
+  node->bytes = bytes;
+  return node;
+}
+
+RePtr re_byte(unsigned char byte) {
+  ByteSet set;
+  set.set(byte);
+  return re_literal(set);
+}
+
+RePtr re_range(unsigned char lo, unsigned char hi) {
+  ByteSet set;
+  for (int b = lo; b <= hi; ++b) set.set(static_cast<std::size_t>(b));
+  return re_literal(set);
+}
+
+RePtr re_any() {
+  ByteSet set;
+  set.set();
+  return re_literal(set);
+}
+
+RePtr re_concat(std::vector<RePtr> parts) {
+  std::vector<RePtr> flat;
+  for (auto& part : parts) {
+    if (part->kind == ReKind::kEmpty) return re_empty();
+    if (part->kind == ReKind::kEpsilon) continue;
+    if (part->kind == ReKind::kConcat) {
+      flat.insert(flat.end(), part->children.begin(), part->children.end());
+    } else {
+      flat.push_back(std::move(part));
+    }
+  }
+  if (flat.empty()) return re_epsilon();
+  if (flat.size() == 1) return flat.front();
+  auto node = std::make_shared<ReNode>(ReKind::kConcat);
+  node->children = std::move(flat);
+  return node;
+}
+
+RePtr re_alternate(std::vector<RePtr> parts) {
+  std::vector<RePtr> flat;
+  for (auto& part : parts) {
+    if (part->kind == ReKind::kEmpty) continue;
+    if (part->kind == ReKind::kAlternate) {
+      flat.insert(flat.end(), part->children.begin(), part->children.end());
+    } else {
+      flat.push_back(std::move(part));
+    }
+  }
+  if (flat.empty()) return re_empty();
+  if (flat.size() == 1) return flat.front();
+  auto node = std::make_shared<ReNode>(ReKind::kAlternate);
+  node->children = std::move(flat);
+  return node;
+}
+
+RePtr re_star(RePtr inner) {
+  if (inner->kind == ReKind::kEmpty || inner->kind == ReKind::kEpsilon) return re_epsilon();
+  if (inner->kind == ReKind::kStar) return inner;
+  auto node = std::make_shared<ReNode>(ReKind::kStar);
+  node->children.push_back(std::move(inner));
+  return node;
+}
+
+RePtr re_plus(RePtr inner) {
+  if (inner->kind == ReKind::kEmpty) return re_empty();
+  if (inner->kind == ReKind::kEpsilon) return re_epsilon();
+  if (inner->kind == ReKind::kStar || inner->kind == ReKind::kPlus) return inner;
+  auto node = std::make_shared<ReNode>(ReKind::kPlus);
+  node->children.push_back(std::move(inner));
+  return node;
+}
+
+RePtr re_optional(RePtr inner) {
+  if (inner->kind == ReKind::kEmpty) return re_epsilon();
+  if (inner->kind == ReKind::kEpsilon || inner->kind == ReKind::kStar ||
+      inner->kind == ReKind::kOptional)
+    return inner;
+  if (inner->kind == ReKind::kPlus) return re_star(inner->children.front());
+  auto node = std::make_shared<ReNode>(ReKind::kOptional);
+  node->children.push_back(std::move(inner));
+  return node;
+}
+
+RePtr re_repeat(RePtr inner, int min, int max) {
+  if (min < 0) min = 0;
+  if (max >= 0 && max < min) max = min;
+  if (min == 0 && max == 0) return re_epsilon();
+  if (min == 0 && max < 0) return re_star(std::move(inner));
+  if (min == 1 && max < 0) return re_plus(std::move(inner));
+  if (min == 1 && max == 1) return inner;
+  if (min == 0 && max == 1) return re_optional(std::move(inner));
+  auto node = std::make_shared<ReNode>(ReKind::kRepeat);
+  node->children.push_back(std::move(inner));
+  node->min = min;
+  node->max = max;
+  return node;
+}
+
+RePtr re_string(const std::string& text) {
+  std::vector<RePtr> parts;
+  parts.reserve(text.size());
+  for (const char ch : text) parts.push_back(re_byte(static_cast<unsigned char>(ch)));
+  return re_concat(std::move(parts));
+}
+
+bool re_nullable(const RePtr& node) {
+  switch (node->kind) {
+    case ReKind::kEmpty:
+    case ReKind::kLiteral:
+      return false;
+    case ReKind::kEpsilon:
+    case ReKind::kStar:
+    case ReKind::kOptional:
+      return true;
+    case ReKind::kPlus:
+      return re_nullable(node->children.front());
+    case ReKind::kConcat:
+      for (const auto& child : node->children)
+        if (!re_nullable(child)) return false;
+      return true;
+    case ReKind::kAlternate:
+      for (const auto& child : node->children)
+        if (re_nullable(child)) return true;
+      return false;
+    case ReKind::kRepeat:
+      return node->min == 0 || re_nullable(node->children.front());
+  }
+  return false;
+}
+
+std::size_t re_size(const RePtr& node) {
+  std::size_t total = 1;
+  for (const auto& child : node->children) total += re_size(child);
+  return total;
+}
+
+std::size_t re_positions(const RePtr& node) {
+  switch (node->kind) {
+    case ReKind::kEmpty:
+    case ReKind::kEpsilon:
+      return 0;
+    case ReKind::kLiteral:
+      return 1;
+    case ReKind::kRepeat: {
+      const std::size_t inner = re_positions(node->children.front());
+      const std::size_t copies =
+          node->max < 0 ? static_cast<std::size_t>(node->min) + 1
+                        : static_cast<std::size_t>(node->max);
+      return inner * (copies == 0 ? 1 : copies);
+    }
+    default: {
+      std::size_t total = 0;
+      for (const auto& child : node->children) total += re_positions(child);
+      return total;
+    }
+  }
+}
+
+}  // namespace rispar

@@ -1,0 +1,75 @@
+// Regular-expression abstract syntax.
+//
+// The paper's pipeline starts from REs (benchmarks bigdata, regexp, bible,
+// fasta, traffic are all specified as REs, converted to NFAs by a standard
+// RE→NFA translator [19]). Nodes are immutable and shared; the whole AST is
+// a DAG of `RePtr`. Character classes are sets of bytes so the automata
+// layer can map them onto dense symbol classes.
+#pragma once
+
+#include <bitset>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rispar {
+
+/// A set of input bytes; regex literals are byte classes, e.g. [a-z].
+using ByteSet = std::bitset<256>;
+
+enum class ReKind : std::uint8_t {
+  kEmpty,     ///< ∅ — matches nothing (absorbing for concat, unit for alt)
+  kEpsilon,   ///< ε — matches only the empty string
+  kLiteral,   ///< one byte out of a byte class
+  kConcat,    ///< r1 r2 ... rk in sequence
+  kAlternate, ///< r1 | r2 | ... | rk
+  kStar,      ///< r*
+  kPlus,      ///< r+
+  kOptional,  ///< r?
+  kRepeat,    ///< r{min,max}; max < 0 means unbounded (r{min,})
+};
+
+struct ReNode;
+using RePtr = std::shared_ptr<const ReNode>;
+
+struct ReNode {
+  ReKind kind;
+  ByteSet bytes;               ///< kLiteral only
+  std::vector<RePtr> children; ///< kConcat/kAlternate: >=2; unary ops: ==1
+  int min = 0, max = 0;        ///< kRepeat bounds
+
+  explicit ReNode(ReKind k) : kind(k) {}
+};
+
+/// Factory helpers. Constructors normalize trivially (flatten nested
+/// concat/alt, drop epsilon in concat, absorb empty) so downstream passes
+/// can rely on a canonical-ish shape; the full simplifier lives in
+/// simplify.hpp.
+RePtr re_empty();
+RePtr re_epsilon();
+RePtr re_literal(const ByteSet& bytes);
+RePtr re_byte(unsigned char byte);
+/// Byte class covering the inclusive range [lo, hi].
+RePtr re_range(unsigned char lo, unsigned char hi);
+/// Any byte ('.' with "dot matches all" semantics; recognition is whole-input).
+RePtr re_any();
+RePtr re_concat(std::vector<RePtr> parts);
+RePtr re_alternate(std::vector<RePtr> parts);
+RePtr re_star(RePtr inner);
+RePtr re_plus(RePtr inner);
+RePtr re_optional(RePtr inner);
+RePtr re_repeat(RePtr inner, int min, int max);
+/// Literal string: concat of single-byte literals.
+RePtr re_string(const std::string& text);
+
+/// True iff the language of `node` contains the empty string.
+bool re_nullable(const RePtr& node);
+
+/// Number of AST nodes (size metric used by the random generator and tests).
+std::size_t re_size(const RePtr& node);
+
+/// Number of literal positions (= Glushkov NFA states minus one).
+std::size_t re_positions(const RePtr& node);
+
+}  // namespace rispar

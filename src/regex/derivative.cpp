@@ -1,0 +1,74 @@
+#include "regex/derivative.hpp"
+
+#include "regex/simplify.hpp"
+
+namespace rispar {
+
+RePtr re_derivative(const RePtr& re, unsigned char byte) {
+  switch (re->kind) {
+    case ReKind::kEmpty:
+    case ReKind::kEpsilon:
+      return re_empty();
+
+    case ReKind::kLiteral:
+      return re->bytes.test(byte) ? re_epsilon() : re_empty();
+
+    case ReKind::kConcat: {
+      // d(r1 r2...rk) = d(r1) r2..rk  |  [r1 nullable] d(r2..rk).
+      std::vector<RePtr> rest(re->children.begin() + 1, re->children.end());
+      const RePtr tail = re_concat(std::vector<RePtr>(rest));
+      std::vector<RePtr> branches;
+      {
+        std::vector<RePtr> head{re_derivative(re->children.front(), byte)};
+        head.insert(head.end(), rest.begin(), rest.end());
+        branches.push_back(re_concat(std::move(head)));
+      }
+      if (re_nullable(re->children.front()))
+        branches.push_back(re_derivative(tail, byte));
+      return re_alternate(std::move(branches));
+    }
+
+    case ReKind::kAlternate: {
+      std::vector<RePtr> branches;
+      branches.reserve(re->children.size());
+      for (const auto& child : re->children)
+        branches.push_back(re_derivative(child, byte));
+      return re_alternate(std::move(branches));
+    }
+
+    case ReKind::kStar:
+      // d(r*) = d(r) r*
+      return re_concat({re_derivative(re->children.front(), byte), re});
+
+    case ReKind::kPlus:
+      // d(r+) = d(r) r*
+      return re_concat(
+          {re_derivative(re->children.front(), byte), re_star(re->children.front())});
+
+    case ReKind::kOptional:
+      return re_derivative(re->children.front(), byte);
+
+    case ReKind::kRepeat: {
+      // d(r{m,n}) = d(r) r{max(m-1,0), n-1}  (n-1 keeps -1 for unbounded).
+      const RePtr& inner = re->children.front();
+      const int min = re->min > 0 ? re->min - 1 : 0;
+      const int max = re->max < 0 ? -1 : re->max - 1;
+      if (re->max == 0) return re_empty();  // r{0} == eps, derivative empty
+      return re_concat({re_derivative(inner, byte), re_repeat(inner, min, max)});
+    }
+  }
+  return re_empty();
+}
+
+bool derivative_match(const RePtr& re, const std::string& text) {
+  RePtr current = re;
+  for (const char ch : text) {
+    current = re_derivative(current, static_cast<unsigned char>(ch));
+    if (current->kind == ReKind::kEmpty) return false;
+    // Periodic simplification keeps the term from snowballing.
+    if (re_size(current) > 256) current = simplify_regex(current);
+  }
+  return re_nullable(current);
+}
+
+}  // namespace rispar

@@ -1,0 +1,25 @@
+// Brzozowski derivatives: a third, automata-free matching semantics.
+//
+// d_a(r) is the RE whose language is { w : aw ∈ L(r) }; a string matches r
+// iff deriving r by each of its bytes in turn leaves a nullable RE. The
+// test suite uses this as an oracle that is structurally independent of
+// the Glushkov/Thompson/powerset pipeline — a bug would have to hit both
+// machineries identically to slip through.
+#pragma once
+
+#include <string>
+
+#include "regex/ast.hpp"
+
+namespace rispar {
+
+/// The derivative of `re` with respect to input byte `byte`. Bounded
+/// repeats are handled directly (no pre-expansion).
+RePtr re_derivative(const RePtr& re, unsigned char byte);
+
+/// Matches by iterated derivation. Worst-case cost is exponential in
+/// pathological REs (derivatives can grow); intended for testing, not for
+/// production texts.
+bool derivative_match(const RePtr& re, const std::string& text);
+
+}  // namespace rispar

@@ -1,0 +1,230 @@
+#include "regex/parser.hpp"
+
+#include <cctype>
+
+namespace rispar {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& pattern) : text_(pattern) {}
+
+  RePtr parse() {
+    RePtr result = parse_alternation();
+    if (pos_ != text_.size()) fail("unexpected character");
+    return result;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw RegexError(message, pos_);
+  }
+
+  bool done() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+  char take() { return text_[pos_++]; }
+  bool accept(char ch) {
+    if (!done() && peek() == ch) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  RePtr parse_alternation() {
+    std::vector<RePtr> branches;
+    branches.push_back(parse_concat());
+    while (accept('|')) branches.push_back(parse_concat());
+    return re_alternate(std::move(branches));
+  }
+
+  RePtr parse_concat() {
+    std::vector<RePtr> parts;
+    while (!done() && peek() != '|' && peek() != ')') parts.push_back(parse_repeat());
+    return re_concat(std::move(parts));
+  }
+
+  RePtr parse_repeat() {
+    RePtr atom = parse_atom();
+    while (!done()) {
+      if (accept('*')) {
+        atom = re_star(std::move(atom));
+      } else if (accept('+')) {
+        atom = re_plus(std::move(atom));
+      } else if (accept('?')) {
+        atom = re_optional(std::move(atom));
+      } else if (peek() == '{') {
+        atom = parse_bounds(std::move(atom));
+      } else {
+        break;
+      }
+    }
+    return atom;
+  }
+
+  RePtr parse_bounds(RePtr atom) {
+    ++pos_;  // '{'
+    const int min = parse_number();
+    int max = min;
+    if (accept(',')) {
+      max = (!done() && peek() == '}') ? -1 : parse_number();
+    }
+    if (!accept('}')) fail("expected '}' in repetition bound");
+    if (max >= 0 && max < min) fail("repetition bound {m,n} requires m <= n");
+    return re_repeat(std::move(atom), min, max);
+  }
+
+  int parse_number() {
+    if (done() || !std::isdigit(static_cast<unsigned char>(peek())))
+      fail("expected a number");
+    long value = 0;
+    while (!done() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      value = value * 10 + (take() - '0');
+      if (value > 100000) fail("repetition bound too large");
+    }
+    return static_cast<int>(value);
+  }
+
+  RePtr parse_atom() {
+    if (done()) fail("expected an atom");
+    const char ch = peek();
+    switch (ch) {
+      case '(': {
+        ++pos_;
+        RePtr inner = parse_alternation();
+        if (!accept(')')) fail("expected ')'");
+        return inner;
+      }
+      case '[':
+        return parse_class();
+      case '.':
+        ++pos_;
+        return re_any();
+      case '\\':
+        ++pos_;
+        return re_literal(parse_escape());
+      case '*':
+      case '+':
+      case '?':
+      case '{':
+        fail("quantifier with nothing to repeat");
+      case ')':
+        fail("unbalanced ')'");
+      default:
+        ++pos_;
+        return re_byte(static_cast<unsigned char>(ch));
+    }
+  }
+
+  ByteSet parse_escape() {
+    if (done()) fail("dangling escape");
+    const char ch = take();
+    ByteSet set;
+    auto set_range = [&set](unsigned char lo, unsigned char hi) {
+      for (int b = lo; b <= hi; ++b) set.set(static_cast<std::size_t>(b));
+    };
+    switch (ch) {
+      case 'd': set_range('0', '9'); return set;
+      case 'D': set_range('0', '9'); return ~set;
+      case 'w':
+        set_range('a', 'z'); set_range('A', 'Z'); set_range('0', '9');
+        set.set('_');
+        return set;
+      case 'W':
+        set_range('a', 'z'); set_range('A', 'Z'); set_range('0', '9');
+        set.set('_');
+        return ~set;
+      case 's':
+        for (const char space : {' ', '\t', '\n', '\r', '\f', '\v'})
+          set.set(static_cast<unsigned char>(space));
+        return set;
+      case 'S':
+        for (const char space : {' ', '\t', '\n', '\r', '\f', '\v'})
+          set.set(static_cast<unsigned char>(space));
+        return ~set;
+      case 'n': set.set('\n'); return set;
+      case 'r': set.set('\r'); return set;
+      case 't': set.set('\t'); return set;
+      case '0': set.set(0); return set;
+      case 'x': {
+        int value = 0;
+        for (int digit = 0; digit < 2; ++digit) {
+          if (done() || !std::isxdigit(static_cast<unsigned char>(peek())))
+            fail("\\x expects two hex digits");
+          const char hex = take();
+          value = value * 16 +
+                  (std::isdigit(static_cast<unsigned char>(hex))
+                       ? hex - '0'
+                       : std::tolower(static_cast<unsigned char>(hex)) - 'a' + 10);
+        }
+        set.set(static_cast<std::size_t>(value));
+        return set;
+      }
+      default:
+        // Escaped metacharacter or any other byte taken literally.
+        set.set(static_cast<unsigned char>(ch));
+        return set;
+    }
+  }
+
+  RePtr parse_class() {
+    ++pos_;  // '['
+    bool negate = accept('^');
+    ByteSet set;
+    bool first = true;
+    while (true) {
+      if (done()) fail("unterminated character class");
+      if (peek() == ']' && !first) {
+        ++pos_;
+        break;
+      }
+      first = false;
+      ByteSet element;
+      if (peek() == '\\') {
+        ++pos_;
+        element = parse_escape();
+      } else {
+        element.set(static_cast<unsigned char>(take()));
+      }
+      // Range "a-z": only when the element is a single byte and '-' is not
+      // the class terminator.
+      if (!done() && peek() == '-' && pos_ + 1 < text_.size() &&
+          text_[pos_ + 1] != ']' && element.count() == 1) {
+        ++pos_;  // '-'
+        unsigned char lo = 0;
+        for (std::size_t b = 0; b < 256; ++b)
+          if (element.test(b)) lo = static_cast<unsigned char>(b);
+        ByteSet hi_set;
+        if (peek() == '\\') {
+          ++pos_;
+          hi_set = parse_escape();
+        } else {
+          hi_set.set(static_cast<unsigned char>(take()));
+        }
+        if (hi_set.count() != 1) fail("invalid range endpoint");
+        unsigned char hi = 0;
+        for (std::size_t b = 0; b < 256; ++b)
+          if (hi_set.test(b)) hi = static_cast<unsigned char>(b);
+        if (hi < lo) fail("reversed range in character class");
+        for (int b = lo; b <= hi; ++b) set.set(static_cast<std::size_t>(b));
+      } else {
+        set |= element;
+      }
+    }
+    if (negate) set = ~set;
+    if (set.none()) fail("empty character class");
+    return re_literal(set);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+RePtr parse_regex(const std::string& pattern) {
+  return Parser(pattern).parse();
+}
+
+}  // namespace rispar

@@ -1,0 +1,33 @@
+// Recursive-descent parser for a POSIX-flavoured RE syntax.
+//
+// Supported: alternation `|`, concatenation, `* + ?`, bounded repetition
+// `{m}`, `{m,}`, `{m,n}`, groups `( )`, any-byte `.`, character classes
+// `[...]` with ranges and negation, and escapes `\d \D \w \W \s \S \n \r \t
+// \0 \xHH` plus escaped metacharacters. Matching semantics are whole-input
+// recognition (the paper recognizes texts, it does not search), so there are
+// no anchors; wrap an RE with `.*` manually to express "contains".
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "regex/ast.hpp"
+
+namespace rispar {
+
+class RegexError : public std::runtime_error {
+ public:
+  RegexError(const std::string& message, std::size_t position)
+      : std::runtime_error(message + " at offset " + std::to_string(position)),
+        position_(position) {}
+
+  std::size_t position() const { return position_; }
+
+ private:
+  std::size_t position_;
+};
+
+/// Parses `pattern`; throws RegexError on malformed input.
+RePtr parse_regex(const std::string& pattern);
+
+}  // namespace rispar

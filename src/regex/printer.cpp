@@ -1,0 +1,139 @@
+#include "regex/printer.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace rispar {
+
+namespace {
+
+bool is_plain(unsigned char byte) {
+  if (std::isalnum(byte)) return true;
+  switch (byte) {
+    case ' ': case '_': case '@': case '%': case '&': case '!': case '~':
+    case '#': case ':': case ';': case '<': case '>': case '=': case ',':
+    case '/': case '\'': case '"': case '`':
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string escape_byte(unsigned char byte, bool in_class) {
+  if (is_plain(byte)) return std::string(1, static_cast<char>(byte));
+  switch (byte) {
+    case '\n': return "\\n";
+    case '\r': return "\\r";
+    case '\t': return "\\t";
+    default: break;
+  }
+  const bool printable = byte >= 0x20 && byte < 0x7f;
+  if (printable && !in_class) return "\\" + std::string(1, static_cast<char>(byte));
+  if (printable && in_class) {
+    if (byte == ']' || byte == '\\' || byte == '^' || byte == '-')
+      return "\\" + std::string(1, static_cast<char>(byte));
+    return std::string(1, static_cast<char>(byte));
+  }
+  char buffer[8];
+  std::snprintf(buffer, sizeof buffer, "\\x%02x", byte);
+  return buffer;
+}
+
+// Precedence: alternation < concat < repetition < atom.
+enum Level { kAlt = 0, kCat = 1, kRep = 2, kAtom = 3 };
+
+std::string print(const RePtr& node, int context);
+
+std::string wrap(std::string text, int inner, int context) {
+  if (inner < context) return "(" + std::move(text) + ")";
+  return text;
+}
+
+std::string print(const RePtr& node, int context) {
+  switch (node->kind) {
+    case ReKind::kEmpty:
+      // No ∅ literal in the surface syntax; an empty class is unparseable,
+      // so use a class that can never match under whole-input semantics is
+      // not expressible either. [^\x00-\xff] is rejected by the parser, so
+      // emit a conventional marker that parses to a 1-byte class and document
+      // that ∅ only arises internally.
+      return "[\\x00]{0}";
+    case ReKind::kEpsilon:
+      return "";
+    case ReKind::kLiteral:
+      return byteset_to_string(node->bytes);
+    case ReKind::kConcat: {
+      std::string text;
+      for (const auto& child : node->children) text += print(child, kCat);
+      return wrap(std::move(text), kCat, context);
+    }
+    case ReKind::kAlternate: {
+      std::string text;
+      for (std::size_t i = 0; i < node->children.size(); ++i) {
+        if (i) text += '|';
+        text += print(node->children[i], kAlt);
+      }
+      return wrap(std::move(text), kAlt, context);
+    }
+    case ReKind::kStar:
+      return print(node->children.front(), kAtom) + "*";
+    case ReKind::kPlus:
+      return print(node->children.front(), kAtom) + "+";
+    case ReKind::kOptional:
+      return print(node->children.front(), kAtom) + "?";
+    case ReKind::kRepeat: {
+      std::string bound = "{" + std::to_string(node->min);
+      if (node->max < 0)
+        bound += ",}";
+      else if (node->max != node->min)
+        bound += "," + std::to_string(node->max) + "}";
+      else
+        bound += "}";
+      return print(node->children.front(), kAtom) + bound;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string byteset_to_string(const ByteSet& bytes) {
+  if (bytes.all()) return ".";
+  if (bytes.count() == 1) {
+    for (std::size_t b = 0; b < 256; ++b)
+      if (bytes.test(b)) return escape_byte(static_cast<unsigned char>(b), false);
+  }
+  // Render as a class of maximal ranges; negate when that is shorter.
+  const bool negate = bytes.count() > 128;
+  const ByteSet effective = negate ? ~bytes : bytes;
+  std::string text = negate ? "[^" : "[";
+  std::size_t b = 0;
+  while (b < 256) {
+    if (!effective.test(b)) {
+      ++b;
+      continue;
+    }
+    std::size_t end = b;
+    while (end + 1 < 256 && effective.test(end + 1)) ++end;
+    if (end == b) {
+      text += escape_byte(static_cast<unsigned char>(b), true);
+    } else if (end == b + 1) {
+      text += escape_byte(static_cast<unsigned char>(b), true);
+      text += escape_byte(static_cast<unsigned char>(end), true);
+    } else {
+      text += escape_byte(static_cast<unsigned char>(b), true);
+      text += '-';
+      text += escape_byte(static_cast<unsigned char>(end), true);
+    }
+    b = end + 1;
+  }
+  text += ']';
+  return text;
+}
+
+std::string regex_to_string(const RePtr& node) {
+  if (node->kind == ReKind::kEpsilon) return "()";
+  return print(node, kAlt);
+}
+
+}  // namespace rispar

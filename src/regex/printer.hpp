@@ -1,0 +1,16 @@
+// Pretty-printer producing a pattern string that parse_regex() accepts and
+// that denotes the same language (round-trip property-tested).
+#pragma once
+
+#include <string>
+
+#include "regex/ast.hpp"
+
+namespace rispar {
+
+std::string regex_to_string(const RePtr& node);
+
+/// Renders a byte class in [...] / escaped form (exposed for diagnostics).
+std::string byteset_to_string(const ByteSet& bytes);
+
+}  // namespace rispar

@@ -1,0 +1,133 @@
+#include "regex/random_regex.hpp"
+
+namespace rispar {
+
+namespace {
+
+RePtr gen(Prng& prng, const RandomRegexConfig& config, int budget) {
+  if (budget <= 1) {
+    // Literal leaf.
+    if (config.alphabet.empty()) return re_epsilon();
+    if (prng.next_bool(config.p_class) && config.alphabet.size() >= 2) {
+      ByteSet set;
+      const std::size_t picks = 2 + prng.pick_index(config.alphabet.size() - 1);
+      for (std::size_t i = 0; i < picks; ++i)
+        set.set(static_cast<unsigned char>(
+            config.alphabet[prng.pick_index(config.alphabet.size())]));
+      return re_literal(set);
+    }
+    return re_byte(static_cast<unsigned char>(
+        config.alphabet[prng.pick_index(config.alphabet.size())]));
+  }
+
+  const double total = config.w_concat + config.w_alternate + config.w_star +
+                       config.w_plus + config.w_optional;
+  double dice = prng.next_double() * total;
+
+  if ((dice -= config.w_concat) < 0) {
+    const int left = 1 + static_cast<int>(prng.pick_index(static_cast<std::size_t>(budget - 1)));
+    std::vector<RePtr> parts;
+    parts.push_back(gen(prng, config, left));
+    parts.push_back(gen(prng, config, budget - left));
+    return re_concat(std::move(parts));
+  }
+  if ((dice -= config.w_alternate) < 0) {
+    const int left = 1 + static_cast<int>(prng.pick_index(static_cast<std::size_t>(budget - 1)));
+    std::vector<RePtr> parts;
+    parts.push_back(gen(prng, config, left));
+    parts.push_back(gen(prng, config, budget - left));
+    return re_alternate(std::move(parts));
+  }
+  if ((dice -= config.w_star) < 0) return re_star(gen(prng, config, budget - 1));
+  if ((dice -= config.w_plus) < 0) return re_plus(gen(prng, config, budget - 1));
+  return re_optional(gen(prng, config, budget - 1));
+}
+
+}  // namespace
+
+RePtr random_regex(Prng& prng, const RandomRegexConfig& config) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    RePtr node = gen(prng, config, config.target_size);
+    if (!config.require_nonempty || node->kind != ReKind::kEmpty) return node;
+  }
+  return re_epsilon();
+}
+
+bool random_member(const RePtr& node, Prng& prng, std::string& out, double growth) {
+  switch (node->kind) {
+    case ReKind::kEmpty:
+      return false;
+    case ReKind::kEpsilon:
+      return true;
+    case ReKind::kLiteral: {
+      const std::size_t population = node->bytes.count();
+      if (population == 0) return false;
+      std::size_t target = prng.pick_index(population);
+      for (std::size_t b = 0; b < 256; ++b) {
+        if (!node->bytes.test(b)) continue;
+        if (target-- == 0) {
+          out.push_back(static_cast<char>(b));
+          return true;
+        }
+      }
+      return false;
+    }
+    case ReKind::kConcat:
+      for (const auto& child : node->children)
+        if (!random_member(child, prng, out, growth)) return false;
+      return true;
+    case ReKind::kAlternate: {
+      // Try branches in a random order so ∅ branches do not poison the draw.
+      const auto order = prng.permutation(node->children.size());
+      const std::size_t mark = out.size();
+      for (const auto index : order) {
+        if (random_member(node->children[index], prng, out, growth)) return true;
+        out.resize(mark);
+      }
+      return false;
+    }
+    case ReKind::kStar: {
+      while (prng.next_bool(growth)) {
+        const std::size_t mark = out.size();
+        if (!random_member(node->children.front(), prng, out, growth)) {
+          out.resize(mark);
+          break;
+        }
+      }
+      return true;
+    }
+    case ReKind::kPlus: {
+      if (!random_member(node->children.front(), prng, out, growth)) return false;
+      while (prng.next_bool(growth)) {
+        const std::size_t mark = out.size();
+        if (!random_member(node->children.front(), prng, out, growth)) {
+          out.resize(mark);
+          break;
+        }
+      }
+      return true;
+    }
+    case ReKind::kOptional: {
+      if (prng.next_bool(0.5)) {
+        const std::size_t mark = out.size();
+        if (!random_member(node->children.front(), prng, out, growth)) out.resize(mark);
+      }
+      return true;
+    }
+    case ReKind::kRepeat: {
+      int copies = node->min;
+      if (node->max < 0) {
+        while (prng.next_bool(growth)) ++copies;
+      } else if (node->max > node->min) {
+        copies += static_cast<int>(prng.pick_index(
+            static_cast<std::size_t>(node->max - node->min + 1)));
+      }
+      for (int i = 0; i < copies; ++i)
+        if (!random_member(node->children.front(), prng, out, growth)) return false;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace rispar

@@ -1,0 +1,41 @@
+// Random RE generator — stand-in for the authors' REgen tool [3], used to
+// build the "bigdata" benchmark (Sect. 4.1) and for property-test sweeps.
+//
+// Generation is grammar-directed with a node budget; the operator mix and
+// alphabet are configurable so tests can bias towards small/hostile shapes.
+#pragma once
+
+#include <string>
+
+#include "regex/ast.hpp"
+#include "util/prng.hpp"
+
+namespace rispar {
+
+struct RandomRegexConfig {
+  /// Alphabet the literals draw from.
+  std::string alphabet = "ab";
+  /// Approximate number of AST nodes (the generator stops splitting the
+  /// budget once it reaches 1).
+  int target_size = 12;
+  /// Probability weights of the internal operators.
+  double w_concat = 4.0;
+  double w_alternate = 3.0;
+  double w_star = 1.5;
+  double w_plus = 0.7;
+  double w_optional = 0.8;
+  /// Probability that a literal is a multi-byte class instead of one byte.
+  double p_class = 0.15;
+  /// Guarantee a non-empty language (rejects and retries ∅ results).
+  bool require_nonempty = true;
+};
+
+RePtr random_regex(Prng& prng, const RandomRegexConfig& config = {});
+
+/// Generates a random string belonging to L(node); returns false when the
+/// language is empty. `growth` in (0,1) bounds the expected unrolling of
+/// star/plus loops. Used by property tests and by workload generators that
+/// need positive samples.
+bool random_member(const RePtr& node, Prng& prng, std::string& out, double growth = 0.4);
+
+}  // namespace rispar

@@ -1,0 +1,143 @@
+#include "regex/simplify.hpp"
+
+#include <algorithm>
+
+#include "regex/printer.hpp"
+
+namespace rispar {
+
+namespace {
+
+// Structural-equality key; cheap and sufficient for duplicate elimination.
+std::string key_of(const RePtr& node) { return regex_to_string(node); }
+
+RePtr simplify_once(const RePtr& node) {
+  // Simplify children first.
+  std::vector<RePtr> children;
+  children.reserve(node->children.size());
+  for (const auto& child : node->children) children.push_back(simplify_once(child));
+
+  switch (node->kind) {
+    case ReKind::kEmpty:
+    case ReKind::kEpsilon:
+    case ReKind::kLiteral:
+      return node;
+
+    case ReKind::kConcat:
+      return re_concat(std::move(children));
+
+    case ReKind::kAlternate: {
+      // Fuse literal branches into one class and deduplicate the rest.
+      ByteSet fused;
+      bool any_literal = false;
+      bool nullable_branch = false;
+      std::vector<RePtr> kept;
+      std::vector<std::string> seen;
+      for (auto& child : children) {
+        if (child->kind == ReKind::kLiteral) {
+          fused |= child->bytes;
+          any_literal = true;
+          continue;
+        }
+        if (child->kind == ReKind::kEpsilon) {
+          nullable_branch = true;
+          continue;
+        }
+        std::string key = key_of(child);
+        if (std::find(seen.begin(), seen.end(), key) != seen.end()) continue;
+        seen.push_back(std::move(key));
+        kept.push_back(std::move(child));
+      }
+      if (any_literal) kept.push_back(re_literal(fused));
+      RePtr alt = re_alternate(std::move(kept));
+      if (nullable_branch && !re_nullable(alt)) alt = re_optional(std::move(alt));
+      if (nullable_branch && alt->kind == ReKind::kEmpty) alt = re_epsilon();
+      return alt;
+    }
+
+    case ReKind::kStar: {
+      RePtr inner = children.front();
+      // (r?)* == (r+)* == r*
+      while (inner->kind == ReKind::kOptional || inner->kind == ReKind::kPlus ||
+             inner->kind == ReKind::kStar)
+        inner = inner->children.front();
+      return re_star(std::move(inner));
+    }
+
+    case ReKind::kPlus: {
+      RePtr inner = children.front();
+      if (inner->kind == ReKind::kOptional)  // (r?)+ == r*
+        return re_star(inner->children.front());
+      return re_plus(std::move(inner));
+    }
+
+    case ReKind::kOptional: {
+      RePtr inner = children.front();
+      if (re_nullable(inner)) return inner;  // r nullable => r? == r
+      if (inner->kind == ReKind::kPlus)      // (r+)? == r*
+        return re_star(inner->children.front());
+      return re_optional(std::move(inner));
+    }
+
+    case ReKind::kRepeat: {
+      RePtr inner = children.front();
+      if (re_nullable(inner) && node->max < 0)
+        return re_star(std::move(inner));  // nullable r => r{m,} == r*
+      return re_repeat(std::move(inner), node->min, node->max);
+    }
+  }
+  return node;
+}
+
+}  // namespace
+
+RePtr re_expand_repeats(const RePtr& node) {
+  std::vector<RePtr> children;
+  children.reserve(node->children.size());
+  for (const auto& child : node->children) children.push_back(re_expand_repeats(child));
+
+  switch (node->kind) {
+    case ReKind::kEmpty:
+    case ReKind::kEpsilon:
+    case ReKind::kLiteral:
+      return node;
+    case ReKind::kConcat:
+      return re_concat(std::move(children));
+    case ReKind::kAlternate:
+      return re_alternate(std::move(children));
+    case ReKind::kStar:
+      return re_star(children.front());
+    case ReKind::kPlus:
+      return re_plus(children.front());
+    case ReKind::kOptional:
+      return re_optional(children.front());
+    case ReKind::kRepeat: {
+      const RePtr& inner = children.front();
+      std::vector<RePtr> parts;
+      for (int i = 0; i < node->min; ++i) parts.push_back(inner);
+      if (node->max < 0) {
+        parts.push_back(re_star(inner));
+      } else {
+        // Nested optionals so r{0,3} is (r (r (r)?)?)? — linear, not cubic.
+        RePtr tail = re_epsilon();
+        for (int i = node->min; i < node->max; ++i)
+          tail = re_optional(re_concat({inner, tail}));
+        parts.push_back(std::move(tail));
+      }
+      return re_concat(std::move(parts));
+    }
+  }
+  return node;
+}
+
+RePtr simplify_regex(const RePtr& node) {
+  RePtr current = node;
+  for (int round = 0; round < 8; ++round) {
+    RePtr next = simplify_once(current);
+    if (key_of(next) == key_of(current)) return next;
+    current = std::move(next);
+  }
+  return current;
+}
+
+}  // namespace rispar

@@ -1,0 +1,26 @@
+// Algebraic RE simplification.
+//
+// The paper (Sect. 5, "Minimality of source automata") notes that optimizing
+// the RE before conversion shrinks the resulting NFA, which directly shrinks
+// the RI-DFA interface. This pass applies standard language-preserving
+// rewrites; it is deliberately conservative (no exponential-cost rewrites).
+#pragma once
+
+#include "regex/ast.hpp"
+
+namespace rispar {
+
+/// Rewrites until a fixpoint of the rule set:
+///  - duplicate alternation branches removed (r|r -> r)
+///  - literal branches fused ([ab]|[bc] -> [abc])
+///  - epsilon elimination (eps|r -> r? ; handled through nullability)
+///  - nested repetition collapse ((r*)* -> r*, (r?)+ -> r*, ...)
+///  - bounded repeats of repeats collapsed where sound
+RePtr simplify_regex(const RePtr& node);
+
+/// Rewrites every bounded repetition r{m,n} into concatenations of copies
+/// and optionals (r{2,4} -> r r (r (r)?)?), and r{m,} into r^m r*. The
+/// NFA constructions only handle the core operators, so they expand first.
+RePtr re_expand_repeats(const RePtr& node);
+
+}  // namespace rispar

@@ -1,0 +1,110 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace rispar {
+
+Cli::Cli(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void Cli::add_option(const std::string& name, const std::string& default_value,
+                     const std::string& help) {
+  options_[name] = Option{default_value, help, false};
+}
+
+void Cli::add_flag(const std::string& name, const std::string& help) {
+  options_[name] = Option{"", help, true};
+}
+
+bool Cli::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "%s: unexpected positional argument '%s'\n",
+                   program_.c_str(), arg.c_str());
+      print_usage();
+      return false;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    const auto it = options_.find(name);
+    if (it == options_.end()) {
+      std::fprintf(stderr, "%s: unknown option '--%s'\n", program_.c_str(), name.c_str());
+      print_usage();
+      return false;
+    }
+    if (it->second.is_flag) {
+      values_[name] = has_value ? value : "1";
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: option '--%s' expects a value\n",
+                     program_.c_str(), name.c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    values_[name] = value;
+  }
+  return true;
+}
+
+std::string Cli::get(const std::string& name) const {
+  if (const auto it = values_.find(name); it != values_.end()) return it->second;
+  if (const auto it = options_.find(name); it != options_.end())
+    return it->second.default_value;
+  throw std::invalid_argument("undeclared option: " + name);
+}
+
+std::int64_t Cli::get_int(const std::string& name) const {
+  return std::strtoll(get(name).c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name) const {
+  return std::strtod(get(name).c_str(), nullptr);
+}
+
+bool Cli::get_flag(const std::string& name) const {
+  const std::string value = get(name);
+  return !value.empty() && value != "0" && value != "false";
+}
+
+std::vector<std::int64_t> Cli::get_int_list(const std::string& name) const {
+  std::vector<std::int64_t> list;
+  const std::string text = get(name);
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    if (comma > pos)
+      list.push_back(std::strtoll(text.substr(pos, comma - pos).c_str(), nullptr, 10));
+    pos = comma + 1;
+  }
+  return list;
+}
+
+void Cli::print_usage() const {
+  std::printf("%s — %s\n\noptions:\n", program_.c_str(), description_.c_str());
+  for (const auto& [name, option] : options_) {
+    if (option.is_flag)
+      std::printf("  --%-24s %s\n", name.c_str(), option.help.c_str());
+    else
+      std::printf("  --%-24s %s (default: %s)\n", name.c_str(), option.help.c_str(),
+                  option.default_value.c_str());
+  }
+}
+
+}  // namespace rispar

@@ -1,0 +1,49 @@
+// Tiny command-line option parser shared by the bench and example binaries.
+// Supports "--name value" and "--name=value" pairs plus boolean flags, with
+// typed accessors and an auto-generated --help listing. Unknown --options
+// are rejected so benchmark sweeps fail loudly on typos.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rispar {
+
+class Cli {
+ public:
+  Cli(std::string program, std::string description);
+
+  /// Declares an option with its default (shown in --help).
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) on --help or error.
+  bool parse(int argc, char** argv);
+
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+
+  /// Comma-separated integer list, e.g. --threads 2,4,8.
+  std::vector<std::int64_t> get_int_list(const std::string& name) const;
+
+ private:
+  struct Option {
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+  };
+
+  void print_usage() const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace rispar

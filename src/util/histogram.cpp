@@ -1,0 +1,41 @@
+#include "util/histogram.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace rispar {
+
+Histogram::Histogram(double origin, double width, std::size_t bins)
+    : origin_(origin), width_(width), counts_(bins, 0) {}
+
+void Histogram::add(double value) {
+  ++total_;
+  if (value < origin_) {
+    ++underflow_;
+    return;
+  }
+  const auto bin = static_cast<std::size_t>((value - origin_) / width_);
+  if (bin >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[bin];
+}
+
+std::string Histogram::bin_label(std::size_t bin, int precision) const {
+  char buffer[64];
+  const double lo = origin_ + width_ * static_cast<double>(bin);
+  std::snprintf(buffer, sizeof buffer, "%.*f - %.*f", precision, lo, precision, lo + width_);
+  return buffer;
+}
+
+std::size_t Histogram::count_below(double split) const {
+  std::size_t sum = underflow_;
+  for (std::size_t bin = 0; bin < counts_.size(); ++bin) {
+    const double lo = origin_ + width_ * static_cast<double>(bin);
+    if (lo < split - 1e-12) sum += counts_[bin];
+  }
+  return sum;
+}
+
+}  // namespace rispar

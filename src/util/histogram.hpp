@@ -1,0 +1,41 @@
+// Fixed-width binning of ratio distributions, used to reproduce Tab. 2
+// (distribution of |NFA|/|DFA| and |I_RI-DFA|/|DFA| over a collection).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rispar {
+
+class Histogram {
+ public:
+  /// Bins of width `width` starting at `origin`. Values below origin fall in
+  /// an "underflow" bin; values at or above origin + width*bins overflow.
+  Histogram(double origin, double width, std::size_t bins);
+
+  void add(double value);
+
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t bin_count(std::size_t bin) const { return counts_[bin]; }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+
+  /// Label of bin i in the paper's "lo - hi" interval style.
+  std::string bin_label(std::size_t bin, int precision = 1) const;
+
+  /// Total count over bins whose lower edge is < split (plus underflow),
+  /// mirroring the paper's "interval < 1 / interval > 1" subtotals.
+  std::size_t count_below(double split) const;
+
+ private:
+  double origin_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace rispar

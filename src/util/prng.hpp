@@ -1,0 +1,63 @@
+// Deterministic pseudo-random number generation for reproducible
+// benchmarks, workload generation and property tests.
+//
+// We deliberately avoid <random> engines in library code: their exact output
+// is implementation-defined across standard libraries, while every
+// experiment in this repository must be reproducible bit-for-bit from a
+// seed. xoshiro256** (Blackman & Vigna) seeded through splitmix64 is the
+// conventional choice for simulation workloads.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace rispar {
+
+/// One step of the splitmix64 generator; also used as a seed scrambler.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** PRNG. Cheap to copy; every copy continues the sequence
+/// independently of the original.
+class Prng {
+ public:
+  /// Seeds the four lanes of state through splitmix64 so that any 64-bit
+  /// seed (including 0) yields a well-mixed initial state.
+  explicit Prng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform value in [0, bound). Precondition: bound > 0.
+  /// Uses Lemire-style rejection to avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in the closed interval [lo, hi]. Precondition: lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool next_bool(double p = 0.5);
+
+  /// Picks a uniformly random element index of a container of size n.
+  /// Precondition: n > 0.
+  std::size_t pick_index(std::size_t n) { return static_cast<std::size_t>(next_below(n)); }
+
+  /// Fisher-Yates shuffle of an index range [0, n) returned as a vector.
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Derives an independent child generator; useful to give each parallel
+  /// task its own stream without sharing state.
+  Prng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// FNV-1a hash of a string, used to derive stable seeds from textual names
+/// (e.g. benchmark names) instead of hard-coding magic numbers everywhere.
+std::uint64_t stable_hash(std::string_view text);
+
+}  // namespace rispar

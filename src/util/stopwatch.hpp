@@ -1,0 +1,43 @@
+// Monotonic wall-clock stopwatch used by benchmark drivers and by the
+// parallel recognizer's per-phase statistics.
+#pragma once
+
+#include <chrono>
+
+namespace rispar {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+  double micros() const { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Runs `fn` repeatedly until it has consumed at least `min_seconds` of wall
+/// time (and at least once), returning the average seconds per call. Used by
+/// the table/figure drivers, which need robust medians without pulling the
+/// whole google-benchmark runtime into table-shaped output.
+template <typename Fn>
+double time_average(Fn&& fn, double min_seconds = 0.2, int min_reps = 1) {
+  Stopwatch total;
+  int reps = 0;
+  do {
+    fn();
+    ++reps;
+  } while (reps < min_reps || total.seconds() < min_seconds);
+  return total.seconds() / reps;
+}
+
+}  // namespace rispar

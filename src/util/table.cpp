@@ -1,0 +1,60 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <iomanip>
+
+namespace rispar {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::cell(std::int64_t value) { return std::to_string(value); }
+std::string Table::cell(std::uint64_t value) { return std::to_string(value); }
+
+std::string Table::cell(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", precision, value);
+  return buffer;
+}
+
+std::string Table::ratio(double numerator, double denominator, int precision) {
+  if (denominator == 0.0) return "n/a";
+  return cell(numerator / denominator, precision);
+}
+
+void Table::render(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+
+  auto line = [&](char fill) {
+    out << '+';
+    for (const auto width : widths) {
+      for (std::size_t i = 0; i < width + 2; ++i) out << fill;
+      out << '+';
+    }
+    out << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    out << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& text = c < row.size() ? row[c] : std::string{};
+      out << ' ' << std::setw(static_cast<int>(widths[c])) << std::left << text << " |";
+    }
+    out << '\n';
+  };
+
+  line('-');
+  emit(header_);
+  line('=');
+  for (const auto& row : rows_) emit(row);
+  line('-');
+}
+
+}  // namespace rispar

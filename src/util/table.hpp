@@ -1,0 +1,33 @@
+// Minimal ASCII table renderer. The bench drivers reproduce the paper's
+// tables (Tab. 2, Tab. 3) and figure series as aligned text so that the
+// output can be diffed run-to-run and pasted into EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rispar {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; the row is padded or truncated to the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience formatters for numeric cells.
+  static std::string cell(std::int64_t value);
+  static std::string cell(std::uint64_t value);
+  static std::string cell(double value, int precision = 2);
+  static std::string ratio(double numerator, double denominator, int precision = 2);
+
+  void render(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rispar

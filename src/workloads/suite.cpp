@@ -1,0 +1,216 @@
+#include "workloads/suite.hpp"
+
+#include <array>
+
+#include "regex/parser.hpp"
+
+namespace rispar {
+
+namespace {
+
+// ---------------------------------------------------------------- bigdata
+
+// (ab|ba)* — a 5-state Glushkov NFA from a short RE, standing in for the
+// REgen-produced random RE of the paper. Texts are pumped members.
+std::string bigdata_text(std::size_t bytes, Prng& prng) {
+  std::string text;
+  text.reserve(bytes + 2);
+  while (text.size() < bytes) text += prng.next_bool(0.5) ? "ab" : "ba";
+  return text;
+}
+
+// ----------------------------------------------------------------- regexp
+
+std::string regexp_pattern(int k) {
+  // Class form so the Glushkov NFA has k+2 states like the paper's series
+  // (writing (a|b) would double every position).
+  return "[ab]*a[ab]{" + std::to_string(k) + "}";
+}
+
+std::string regexp_text(std::size_t bytes, Prng& prng, int k) {
+  std::string text(bytes, 'a');
+  for (auto& ch : text) ch = prng.next_bool(0.5) ? 'a' : 'b';
+  // Membership: the (k+1)-th character from the end must be 'a'.
+  if (text.size() >= static_cast<std::size_t>(k) + 1)
+    text[text.size() - static_cast<std::size_t>(k) - 1] = 'a';
+  return text;
+}
+
+// ------------------------------------------------------------------ bible
+
+// Body text in Σ* context with <h3> titles of the form
+// [a-z0-9 ]*[0-9][a-z0-9 ]{2} — "the 3rd character from the end of the
+// title is a digit". Every digit inside a title speculatively starts a
+// countdown, so the subset construction tracks which of the last 3 title
+// characters were digits: the minimal DFA lands near 140 states over a
+// 16-state NFA (Tab. 1's bible size), giving the paper's 8–9 DFA/RID
+// ratio. Crucially the leading/trailing Σ* make the minimal DFA total, so
+// every speculative chunk run survives to the chunk end — the winning
+// regime.
+constexpr char kBiblePattern[] =
+    ".*<h3>[a-z0-9 ]*[0-9][a-z0-9 ]{2}</h3>.*";
+
+const char* kWords[] = {"in",    "principio", "creo",   "il",    "cielo",
+                        "e",     "la",        "terra",  "luce",  "acque",
+                        "giorno","notte",     "disse",  "fu",    "sera",
+                        "mattina","secondo",  "libro",  "verso", "capitolo"};
+
+std::string bible_text(std::size_t bytes, Prng& prng) {
+  std::string text;
+  text.reserve(bytes + 64);
+  std::size_t section = 0;
+  while (text.size() < bytes) {
+    // A section title every ~40 lines. Format: words then " NNNNNx" where
+    // the digit 6-from-the-end satisfies the pattern.
+    text += "<h3>";
+    for (int w = 0; w < 3; ++w) {
+      text += kWords[prng.pick_index(std::size(kWords))];
+      text += ' ';
+    }
+    text += static_cast<char>('0' + (section++ % 10));
+    text += "ab";  // exactly 2 trailing [a-z0-9 ] characters
+    text += "</h3>\n";
+    const std::size_t lines = 30 + prng.pick_index(20);
+    for (std::size_t line = 0; line < lines && text.size() < bytes; ++line) {
+      const std::size_t words = 8 + prng.pick_index(8);
+      for (std::size_t w = 0; w < words; ++w) {
+        text += kWords[prng.pick_index(std::size(kWords))];
+        text += ' ';
+      }
+      text += '\n';
+    }
+  }
+  return text;
+}
+
+// ------------------------------------------------------------------ fasta
+
+// DNA records in strict FASTA-like shape: a header naming the motif found
+// in the record, then base lines. The rigid format (newlines, '>' headers)
+// kills a mis-speculated run within one line for the DFA *and* the RI-DFA
+// chunk automaton alike, so the two tie — the paper's even group, with the
+// Glushkov NFA around Tab. 1's 29 states.
+constexpr char kFastaPattern[] =
+    "(>[a-z0-9]+ (GATTACA|CCGGTTAA|ACGTACGT) [0-9]+\n([ACGT]+\n)+)*";
+
+std::string fasta_text(std::size_t bytes, Prng& prng) {
+  static const char bases[] = {'A', 'C', 'G', 'T'};
+  static const char* motifs[] = {"GATTACA", "CCGGTTAA", "ACGTACGT"};
+  std::string text;
+  text.reserve(bytes + 160);
+  int record = 0;
+  while (text.size() < bytes) {
+    text += ">seq";
+    text += std::to_string(record++);
+    text += ' ';
+    text += motifs[prng.pick_index(3)];
+    text += ' ';
+    text += std::to_string(prng.pick_index(100000));
+    text += '\n';
+    const std::size_t lines = 20 + prng.pick_index(20);
+    for (std::size_t line = 0; line < lines; ++line) {
+      for (int b = 0; b < 70; ++b) text += bases[prng.pick_index(4)];
+      text += '\n';
+    }
+  }
+  return text;
+}
+
+// ---------------------------------------------------------------- traffic
+
+// Syslog-like records: (timestamp host daemon[pid]: message\n)*. The rigid
+// field structure kills a mis-speculated run within one line, so the
+// speculation overhead is bounded by (#starts × line length) per chunk —
+// negligible against the chunk length (even group). The Glushkov NFA has
+// ~100 states (Tab. 1: 101).
+constexpr char kTrafficPattern[] =
+    "(May [0-9]{2} [0-9]{2}:[0-9]{2}:[0-9]{2} host[0-9] "
+    "(sshd|kernel|systemd|nginxd)\\[[0-9]{1,5}\\]: "
+    "(ACCEPT|REJECT|DROP) src=[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}"
+    " dpt=[0-9]{1,5}\n)*";
+
+std::string traffic_text(std::size_t bytes, Prng& prng) {
+  static const char* daemons[] = {"sshd", "kernel", "systemd", "nginxd"};
+  static const char* verdicts[] = {"ACCEPT", "REJECT", "DROP"};
+  std::string text;
+  text.reserve(bytes + 128);
+  auto two = [&](int v) {
+    std::string s = std::to_string(v);
+    return s.size() < 2 ? "0" + s : s;
+  };
+  while (text.size() < bytes) {
+    text += "May ";
+    text += two(static_cast<int>(1 + prng.pick_index(28)));
+    text += ' ';
+    text += two(static_cast<int>(prng.pick_index(24)));
+    text += ':';
+    text += two(static_cast<int>(prng.pick_index(60)));
+    text += ':';
+    text += two(static_cast<int>(prng.pick_index(60)));
+    text += " host";
+    text += static_cast<char>('0' + prng.pick_index(10));
+    text += ' ';
+    text += daemons[prng.pick_index(4)];
+    text += '[';
+    text += std::to_string(1 + prng.pick_index(99999));
+    text += "]: ";
+    text += verdicts[prng.pick_index(3)];
+    text += " src=";
+    for (int octet = 0; octet < 4; ++octet) {
+      if (octet) text += '.';
+      text += std::to_string(prng.pick_index(256));
+    }
+    text += " dpt=";
+    text += std::to_string(1 + prng.pick_index(65535));
+    text += '\n';
+  }
+  return text;
+}
+
+WorkloadSpec make(std::string name, bool winning, std::string pattern,
+                  std::function<std::string(std::size_t, Prng&)> text,
+                  std::size_t paper_bytes) {
+  WorkloadSpec spec;
+  spec.name = std::move(name);
+  spec.winning = winning;
+  spec.regex = [pattern = std::move(pattern)] { return parse_regex(pattern); };
+  spec.text = std::move(text);
+  spec.paper_bytes = paper_bytes;
+  return spec;
+}
+
+}  // namespace
+
+WorkloadSpec bigdata_workload() {
+  return make("bigdata", false, "(ab|ba)*", bigdata_text, 13u << 20);
+}
+
+WorkloadSpec regexp_workload(int k) {
+  return make("regexp", true, regexp_pattern(k),
+              [k](std::size_t bytes, Prng& prng) { return regexp_text(bytes, prng, k); },
+              6u << 20);
+}
+
+WorkloadSpec bible_workload() {
+  return make("bible", true, kBiblePattern, bible_text, 4u << 20);
+}
+
+WorkloadSpec fasta_workload() {
+  return make("fasta", false, kFastaPattern, fasta_text, 765u << 10);
+}
+
+WorkloadSpec traffic_workload() {
+  return make("traffic", false, kTrafficPattern, traffic_text, 11u << 20);
+}
+
+std::vector<WorkloadSpec> benchmark_suite(int regexp_k) {
+  std::vector<WorkloadSpec> suite;
+  suite.push_back(bigdata_workload());
+  suite.push_back(regexp_workload(regexp_k));
+  suite.push_back(bible_workload());
+  suite.push_back(fasta_workload());
+  suite.push_back(traffic_workload());
+  return suite;
+}
+
+}  // namespace rispar

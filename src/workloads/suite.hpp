@@ -1,0 +1,61 @@
+// The five evaluation benchmarks of the paper (Tab. 1), rebuilt as
+// self-contained synthetic generators (see DESIGN.md, substitutions).
+//
+// Each workload is (regular expression, text generator) such that the
+// generated text belongs to the language. The suite reproduces the paper's
+// two benchmark groups:
+//   * "even"   — bigdata, fasta, traffic: the minimal DFA is about as small
+//     as the NFA, or speculative runs die almost immediately, so the DFA
+//     variant of CSDPA has nothing to lose and RID merely matches it;
+//   * "winning"— bible, regexp: the minimal DFA is much larger than the NFA
+//     *and* total on typical text (speculative runs never die), so the DFA
+//     variant pays |Q_DFA| × n transitions while RID pays |I_RI-DFA| × n.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "regex/ast.hpp"
+#include "util/prng.hpp"
+
+namespace rispar {
+
+struct WorkloadSpec {
+  std::string name;
+  bool winning = false;  ///< paper's expected group
+  /// Pattern of the language (whole-input semantics).
+  std::function<RePtr()> regex;
+  /// Generates ~`bytes` of text belonging to the language.
+  std::function<std::string(std::size_t bytes, Prng& prng)> text;
+  /// Paper's maximum text size for this benchmark (Tab. 1), scaled down by
+  /// the bench drivers' --scale flag.
+  std::size_t paper_bytes = 0;
+};
+
+/// bigdata: short synthetic RE (5-state NFA) + pumped member text.
+WorkloadSpec bigdata_workload();
+
+/// regexp: the DFA-explosion family (a|b)*a(a|b)^k (paper uses a series;
+/// the default k is 6 giving a 128-state minimal DFA from an 8-state NFA, matching the paper's DFA/RID transition ratio of ~127).
+WorkloadSpec regexp_workload(int k = 6);
+
+/// bible: HTML-manuscript model — body text with <h3> section titles whose
+/// 3rd-from-last character must be a digit; the Σ*-context plus the digit
+/// window blow the DFA up while the Glushkov NFA stays at Tab. 1's 16
+/// states, putting the DFA/RID transition ratio in the paper's 8–9 band.
+WorkloadSpec bible_workload();
+
+/// fasta: DNA records searched for a few short motifs (Aho-Corasick-like
+/// language: minimal DFA ≈ NFA, the even case).
+WorkloadSpec fasta_workload();
+
+/// traffic: syslog-formatted network log; the rigid line format kills
+/// mis-speculated runs within one line (the other even case).
+WorkloadSpec traffic_workload();
+
+/// All five, in the paper's Tab. 3 order.
+std::vector<WorkloadSpec> benchmark_suite(int regexp_k = 6);
+
+}  // namespace rispar

@@ -1,0 +1,168 @@
+#include "util/bitset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "util/prng.hpp"
+
+namespace rispar {
+namespace {
+
+TEST(Bitset, StartsEmpty) {
+  Bitset set(100);
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.count(), 0u);
+  EXPECT_EQ(set.first(), Bitset::npos);
+}
+
+TEST(Bitset, SetTestReset) {
+  Bitset set(130);
+  set.set(0);
+  set.set(63);
+  set.set(64);
+  set.set(129);
+  EXPECT_TRUE(set.test(0));
+  EXPECT_TRUE(set.test(63));
+  EXPECT_TRUE(set.test(64));
+  EXPECT_TRUE(set.test(129));
+  EXPECT_FALSE(set.test(1));
+  EXPECT_EQ(set.count(), 4u);
+  set.reset(63);
+  EXPECT_FALSE(set.test(63));
+  EXPECT_EQ(set.count(), 3u);
+}
+
+TEST(Bitset, ClearRemovesAll) {
+  Bitset set(70);
+  for (std::size_t i = 0; i < 70; i += 3) set.set(i);
+  set.clear();
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(Bitset, IterationVisitsExactlySetBits) {
+  Bitset set(200);
+  const std::vector<std::int32_t> expected{0, 1, 63, 64, 65, 127, 128, 199};
+  for (const auto i : expected) set.set(static_cast<std::size_t>(i));
+  EXPECT_EQ(set.to_indices(), expected);
+}
+
+TEST(Bitset, NextSkipsWords) {
+  Bitset set(300);
+  set.set(2);
+  set.set(250);
+  EXPECT_EQ(set.first(), 2u);
+  EXPECT_EQ(set.next(2), 250u);
+  EXPECT_EQ(set.next(250), Bitset::npos);
+}
+
+TEST(Bitset, UnionIntersectionDifference) {
+  Bitset a(128), b(128);
+  a.set(1); a.set(2); a.set(100);
+  b.set(2); b.set(3); b.set(100);
+
+  Bitset u = a;
+  u |= b;
+  EXPECT_EQ(u.to_indices(), (std::vector<std::int32_t>{1, 2, 3, 100}));
+
+  Bitset i = a;
+  i &= b;
+  EXPECT_EQ(i.to_indices(), (std::vector<std::int32_t>{2, 100}));
+
+  Bitset d = a;
+  d -= b;
+  EXPECT_EQ(d.to_indices(), (std::vector<std::int32_t>{1}));
+}
+
+TEST(Bitset, IntersectsAndSubset) {
+  Bitset a(64), b(64), c(64);
+  a.set(5);
+  b.set(5);
+  b.set(6);
+  c.set(7);
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(Bitset(64).is_subset_of(a));  // empty set is subset of all
+}
+
+TEST(Bitset, EqualityAndHash) {
+  Bitset a(90), b(90);
+  a.set(10);
+  a.set(80);
+  b.set(10);
+  EXPECT_NE(a, b);
+  b.set(80);
+  EXPECT_EQ(a, b);
+  BitsetHash hash;
+  EXPECT_EQ(hash(a), hash(b));
+}
+
+TEST(Bitset, WorksAsUnorderedKey) {
+  std::unordered_set<Bitset, BitsetHash> keys;
+  for (std::size_t i = 0; i < 50; ++i) {
+    Bitset set(50);
+    set.set(i);
+    keys.insert(set);
+  }
+  EXPECT_EQ(keys.size(), 50u);
+  Bitset probe(50);
+  probe.set(7);
+  EXPECT_TRUE(keys.contains(probe));
+}
+
+TEST(Bitset, FromIndicesRoundTrip) {
+  const std::vector<std::int32_t> indices{3, 17, 64, 99};
+  const Bitset set = Bitset::from_indices(100, indices);
+  EXPECT_EQ(set.to_indices(), indices);
+}
+
+TEST(Bitset, UniverseNotMultipleOf64) {
+  Bitset set(65);
+  set.set(64);
+  EXPECT_EQ(set.count(), 1u);
+  EXPECT_EQ(set.first(), 64u);
+  EXPECT_EQ(set.next(64), Bitset::npos);
+}
+
+class BitsetRandomOps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BitsetRandomOps, MatchesReferenceSetAlgebra) {
+  Prng prng(GetParam());
+  const std::size_t universe = 1 + prng.pick_index(400);
+  std::vector<bool> ref_a(universe), ref_b(universe);
+  Bitset a(universe), b(universe);
+  for (std::size_t i = 0; i < universe; ++i) {
+    if (prng.next_bool(0.3)) {
+      ref_a[i] = true;
+      a.set(i);
+    }
+    if (prng.next_bool(0.3)) {
+      ref_b[i] = true;
+      b.set(i);
+    }
+  }
+  Bitset u = a, n = a, d = a;
+  u |= b;
+  n &= b;
+  d -= b;
+  std::size_t count_a = 0;
+  bool intersects = false, subset = true;
+  for (std::size_t i = 0; i < universe; ++i) {
+    EXPECT_EQ(u.test(i), ref_a[i] || ref_b[i]);
+    EXPECT_EQ(n.test(i), ref_a[i] && ref_b[i]);
+    EXPECT_EQ(d.test(i), ref_a[i] && !ref_b[i]);
+    count_a += ref_a[i];
+    intersects = intersects || (ref_a[i] && ref_b[i]);
+    subset = subset && (!ref_a[i] || ref_b[i]);
+  }
+  EXPECT_EQ(a.count(), count_a);
+  EXPECT_EQ(a.intersects(b), intersects);
+  EXPECT_EQ(a.is_subset_of(b), subset);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitsetRandomOps, ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace rispar

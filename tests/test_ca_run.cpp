@@ -1,0 +1,151 @@
+#include "parallel/ca_run.hpp"
+
+#include <gtest/gtest.h>
+
+#include "automata/glushkov.hpp"
+#include "automata/minimize.hpp"
+#include "automata/nfa_ops.hpp"
+#include "automata/random_nfa.hpp"
+#include "automata/subset.hpp"
+#include "helpers.hpp"
+#include "regex/parser.hpp"
+
+namespace rispar {
+namespace {
+
+std::vector<State> all_states(std::int32_t n) {
+  std::vector<State> states(static_cast<std::size_t>(n));
+  for (std::int32_t s = 0; s < n; ++s) states[static_cast<std::size_t>(s)] = s;
+  return states;
+}
+
+TEST(DetChunkRun, SurvivorsAndCounts) {
+  const Dfa dfa = minimize_dfa(determinize(testing::fig1_nfa()));
+  const std::vector<Symbol> chunk{2, 0, 1};  // "cab"
+  const auto starts = all_states(dfa.num_states());
+  const DetChunkResult result = run_chunk_det(dfa, chunk, starts);
+  // All four DFA states survive "cab" (Fig. 1 bottom) => 12 transitions.
+  EXPECT_EQ(result.lambda.size(), 4u);
+  EXPECT_EQ(result.transitions, 12u);
+}
+
+TEST(DetChunkRun, DeadRunOmittedFromLambda) {
+  Dfa dfa = Dfa::with_identity_alphabet(2);
+  dfa.add_state(true);
+  dfa.add_state(true);
+  dfa.set_initial(0);
+  dfa.set_transition(0, 0, 0);  // state 0 loops on 'a'
+  // state 1 has no transitions at all
+  const std::vector<Symbol> chunk{0, 0};
+  const auto starts = all_states(2);
+  const DetChunkResult result = run_chunk_det(dfa, chunk, starts);
+  ASSERT_EQ(result.lambda.size(), 1u);
+  EXPECT_EQ(result.lambda[0], (std::pair<State, State>{0, 0}));
+  EXPECT_EQ(result.transitions, 2u);  // dead run contributes 0
+}
+
+TEST(DetChunkRun, PartialSurvivalCountsPrefix) {
+  Dfa dfa = Dfa::with_identity_alphabet(2);
+  dfa.add_state(true);
+  dfa.set_initial(0);
+  dfa.set_transition(0, 0, 0);  // dies on 'b'
+  const std::vector<Symbol> chunk{0, 0, 1, 0};
+  const DetChunkResult result = run_chunk_det(dfa, chunk, all_states(1));
+  EXPECT_TRUE(result.lambda.empty());
+  EXPECT_EQ(result.transitions, 2u);  // consumed "aa" before dying
+}
+
+TEST(DetChunkRun, EmptyChunkMapsStartsToThemselves) {
+  const Dfa dfa = testing::fig2_dfa();
+  const DetChunkResult result =
+      run_chunk_det(dfa, std::span<const Symbol>{}, all_states(2));
+  ASSERT_EQ(result.lambda.size(), 2u);
+  EXPECT_EQ(result.lambda[0], (std::pair<State, State>{0, 0}));
+  EXPECT_EQ(result.lambda[1], (std::pair<State, State>{1, 1}));
+  EXPECT_EQ(result.transitions, 0u);
+}
+
+TEST(DetChunkRun, ConvergenceProducesSameLambda) {
+  Prng prng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomNfaConfig config;
+    config.num_states = 10 + static_cast<std::int32_t>(prng.pick_index(20));
+    const Nfa nfa = random_nfa(prng, config);
+    const Dfa dfa = minimize_dfa(determinize(nfa));
+    const auto chunk = testing::random_word(prng, dfa.num_symbols(), 40);
+    const auto starts = all_states(dfa.num_states());
+    const DetChunkResult plain =
+        run_chunk_det(dfa, chunk, starts, {.convergence = false});
+    const DetChunkResult merged =
+        run_chunk_det(dfa, chunk, starts, {.convergence = true});
+    EXPECT_EQ(plain.lambda, merged.lambda);
+    EXPECT_LE(merged.transitions, plain.transitions);
+  }
+}
+
+TEST(DetChunkRun, ConvergenceSavesWorkWhenRunsCollide) {
+  // Both states step to state 0 on 'a': two runs converge instantly.
+  Dfa dfa = Dfa::with_identity_alphabet(1);
+  dfa.add_state(true);
+  dfa.add_state(false);
+  dfa.set_initial(0);
+  dfa.set_transition(0, 0, 0);
+  dfa.set_transition(1, 0, 0);
+  const std::vector<Symbol> chunk(16, 0);
+  const auto starts = all_states(2);
+  const DetChunkResult plain = run_chunk_det(dfa, chunk, starts, {.convergence = false});
+  const DetChunkResult merged = run_chunk_det(dfa, chunk, starts, {.convergence = true});
+  EXPECT_EQ(plain.transitions, 32u);
+  EXPECT_EQ(merged.transitions, 17u);  // 2 on the first symbol, then 1 each
+  EXPECT_EQ(plain.lambda, merged.lambda);
+}
+
+TEST(DetChunkRun, DuplicateStartsHandledByConvergence) {
+  const Dfa dfa = testing::fig2_dfa();
+  const std::vector<State> starts{0, 0, 1};
+  const std::vector<Symbol> chunk{0};
+  const DetChunkResult merged = run_chunk_det(dfa, chunk, starts, {.convergence = true});
+  EXPECT_EQ(merged.lambda.size(), 3u);  // both copies of 0 reported
+}
+
+TEST(NfaChunkRun, MatchesNfaReachPerStart) {
+  Prng prng(123);
+  const Nfa nfa = random_nfa(prng);
+  const auto chunk = testing::random_word(prng, nfa.num_symbols(), 30);
+  const auto starts = all_states(nfa.num_states());
+  const NfaChunkResult result = run_chunk_nfa(nfa, chunk, starts);
+
+  std::size_t expected_entries = 0;
+  for (const State start : starts) {
+    Bitset start_set(static_cast<std::size_t>(nfa.num_states()));
+    start_set.set(static_cast<std::size_t>(start));
+    const Bitset reached = nfa_reach(nfa, start_set, chunk);
+    if (!reached.empty()) ++expected_entries;
+    for (const auto& [s, ends] : result.lambda)
+      if (s == start) EXPECT_EQ(ends, reached);
+  }
+  EXPECT_EQ(result.lambda.size(), expected_entries);
+}
+
+TEST(NfaChunkRun, TransitionCountMatchesFig1) {
+  // Chunk 2 of Fig. 1 ("cab") from starts {0,1,2}: 5 + 4 + 0 = 9 traversals.
+  const Nfa nfa = testing::fig1_nfa();
+  const std::vector<Symbol> chunk{2, 0, 1};
+  const NfaChunkResult result = run_chunk_nfa(nfa, chunk, all_states(3));
+  EXPECT_EQ(result.transitions, 9u);
+  EXPECT_EQ(result.lambda.size(), 2u);  // the run from 2 dies on 'c'
+}
+
+TEST(NfaChunkRun, EmptyChunk) {
+  const Nfa nfa = testing::fig1_nfa();
+  const NfaChunkResult result =
+      run_chunk_nfa(nfa, std::span<const Symbol>{}, all_states(3));
+  EXPECT_EQ(result.lambda.size(), 3u);
+  for (const auto& [start, ends] : result.lambda) {
+    EXPECT_EQ(ends.count(), 1u);
+    EXPECT_TRUE(ends.test(static_cast<std::size_t>(start)));
+  }
+}
+
+}  // namespace
+}  // namespace rispar

@@ -1,0 +1,66 @@
+#include "parallel/chunking.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rispar {
+namespace {
+
+TEST(Chunking, ExactDivision) {
+  const auto chunks = split_chunks(12, 4);
+  ASSERT_EQ(chunks.size(), 4u);
+  for (const auto& chunk : chunks) EXPECT_EQ(chunk.length, 3u);
+  EXPECT_EQ(chunks[0].begin, 0u);
+  EXPECT_EQ(chunks[3].begin, 9u);
+}
+
+TEST(Chunking, RemainderSpreadOverFirstChunks) {
+  const auto chunks = split_chunks(10, 4);
+  ASSERT_EQ(chunks.size(), 4u);
+  EXPECT_EQ(chunks[0].length, 3u);
+  EXPECT_EQ(chunks[1].length, 3u);
+  EXPECT_EQ(chunks[2].length, 2u);
+  EXPECT_EQ(chunks[3].length, 2u);
+}
+
+TEST(Chunking, CoversInputWithoutGaps) {
+  for (std::size_t n : {1u, 7u, 64u, 1000u}) {
+    for (std::size_t c : {1u, 2u, 3u, 10u, 64u}) {
+      const auto chunks = split_chunks(n, c);
+      std::size_t offset = 0;
+      for (const auto& chunk : chunks) {
+        EXPECT_EQ(chunk.begin, offset);
+        EXPECT_GE(chunk.length, 1u);  // Σ+ requirement
+        offset += chunk.length;
+      }
+      EXPECT_EQ(offset, n);
+    }
+  }
+}
+
+TEST(Chunking, ClampsWhenMoreChunksThanSymbols) {
+  const auto chunks = split_chunks(3, 10);
+  EXPECT_EQ(chunks.size(), 3u);
+}
+
+TEST(Chunking, ZeroInputYieldsNoChunks) {
+  EXPECT_TRUE(split_chunks(0, 4).empty());
+}
+
+TEST(Chunking, ZeroRequestedClampsToOne) {
+  const auto chunks = split_chunks(5, 0);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].length, 5u);
+}
+
+TEST(Chunking, SizesDifferByAtMostOne) {
+  const auto chunks = split_chunks(101, 7);
+  std::size_t lo = 1000, hi = 0;
+  for (const auto& chunk : chunks) {
+    lo = std::min(lo, chunk.length);
+    hi = std::max(hi, chunk.length);
+  }
+  EXPECT_LE(hi - lo, 1u);
+}
+
+}  // namespace
+}  // namespace rispar

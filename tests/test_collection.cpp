@@ -1,0 +1,97 @@
+#include "workloads/collection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "automata/minimize.hpp"
+#include "automata/nfa_ops.hpp"
+#include "automata/subset.hpp"
+#include "core/interface_min.hpp"
+#include "core/serial_match.hpp"
+#include "helpers.hpp"
+
+namespace rispar {
+namespace {
+
+TEST(Collection, DeterministicPerIndex) {
+  CollectionConfig config;
+  const Nfa a = collection_nfa(config, 17);
+  const Nfa b = collection_nfa(config, 17);
+  EXPECT_EQ(a.num_states(), b.num_states());
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+}
+
+TEST(Collection, IndependentOfCount) {
+  CollectionConfig small;
+  small.count = 10;
+  CollectionConfig large = small;
+  large.count = 100;
+  EXPECT_EQ(collection_nfa(small, 5).num_edges(), collection_nfa(large, 5).num_edges());
+}
+
+TEST(Collection, SizesWithinConfiguredRange) {
+  CollectionConfig config;
+  for (int i = 0; i < 20; ++i) {
+    const Nfa nfa = collection_nfa(config, i);
+    EXPECT_GE(nfa.num_states(), config.min_states);
+    EXPECT_LE(nfa.num_states(), config.max_states + 1);
+    EXPECT_GE(nfa.num_symbols(), config.min_symbols);
+    EXPECT_LE(nfa.num_symbols(), config.max_symbols);
+  }
+}
+
+TEST(Collection, MakeCollectionHasRequestedCount) {
+  CollectionConfig config;
+  config.count = 12;
+  EXPECT_EQ(make_collection(config).size(), 12u);
+}
+
+TEST(Collection, AllStatesReachable) {
+  CollectionConfig config;
+  for (int i = 0; i < 10; ++i) {
+    const Nfa nfa = collection_nfa(config, i);
+    EXPECT_EQ(trim_unreachable(nfa).num_states(), nfa.num_states()) << "index " << i;
+  }
+}
+
+TEST(Collection, PipelineEndToEndOnSamples) {
+  // The Tab. 2 measurement pipeline: determinize, minimize, build RI-DFA,
+  // reduce interface — all must succeed and preserve the language.
+  CollectionConfig config;
+  Prng prng(5);
+  for (int i = 0; i < 6; ++i) {
+    const Nfa nfa = collection_nfa(config, i);
+    const Dfa min_dfa = minimize_dfa(determinize(nfa));
+    Ridfa ridfa = build_ridfa(nfa);
+    minimize_interface(ridfa);
+    EXPECT_LE(ridfa.initial_count(), nfa.num_states());
+    for (int trial = 0; trial < 10; ++trial) {
+      const auto word =
+          testing::random_word(prng, nfa.num_symbols(), prng.pick_index(40));
+      std::uint64_t ignore = 0;
+      const State end = run_dfa_span(ridfa.dfa(), ridfa.start_state(), word.data(),
+                                     word.size(), ignore);
+      const bool rid_accepts = end != kDeadState && ridfa.is_final(end);
+      EXPECT_EQ(rid_accepts, min_dfa.accepts(word)) << "index " << i;
+    }
+  }
+}
+
+TEST(Collection, InterfaceReductionIsCommon) {
+  // The Tab. 2 claim: the RI-DFA interface is smaller than the minimal DFA
+  // for (nearly) every machine. Check a sample of the synthetic collection.
+  CollectionConfig config;
+  int reduced = 0, total = 0;
+  for (int i = 0; i < 15; ++i) {
+    const Nfa nfa = collection_nfa(config, i);
+    const Dfa min_dfa = minimize_dfa(determinize(nfa));
+    Ridfa ridfa = build_ridfa(nfa);
+    minimize_interface(ridfa);
+    ++total;
+    if (ridfa.initial_count() < min_dfa.num_states()) ++reduced;
+  }
+  EXPECT_GT(reduced * 100, total * 60)
+      << "most machines should have a reduced interface";
+}
+
+}  // namespace
+}  // namespace rispar

@@ -1,0 +1,99 @@
+#include "regex/derivative.hpp"
+
+#include <gtest/gtest.h>
+
+#include "automata/glushkov.hpp"
+#include "automata/nfa_ops.hpp"
+#include "regex/parser.hpp"
+#include "regex/printer.hpp"
+#include "regex/random_regex.hpp"
+
+namespace rispar {
+namespace {
+
+TEST(Derivative, LiteralBasics) {
+  const RePtr re = parse_regex("a");
+  EXPECT_EQ(re_derivative(re, 'a')->kind, ReKind::kEpsilon);
+  EXPECT_EQ(re_derivative(re, 'b')->kind, ReKind::kEmpty);
+}
+
+TEST(Derivative, ClassDerivative) {
+  const RePtr re = parse_regex("[a-c]x");
+  EXPECT_TRUE(derivative_match(re, "bx"));
+  EXPECT_FALSE(derivative_match(re, "dx"));
+}
+
+TEST(Derivative, ConcatNullableHead) {
+  // d_b(a?b) must reach ε through the nullable head.
+  const RePtr re = parse_regex("a?b");
+  EXPECT_TRUE(derivative_match(re, "b"));
+  EXPECT_TRUE(derivative_match(re, "ab"));
+  EXPECT_FALSE(derivative_match(re, "a"));
+}
+
+TEST(Derivative, StarUnrolls) {
+  const RePtr re = parse_regex("(ab)*");
+  EXPECT_TRUE(derivative_match(re, ""));
+  EXPECT_TRUE(derivative_match(re, "abab"));
+  EXPECT_FALSE(derivative_match(re, "aba"));
+}
+
+TEST(Derivative, BoundedRepeatsWithoutExpansion) {
+  const RePtr re = parse_regex("a{2,4}");
+  EXPECT_FALSE(derivative_match(re, "a"));
+  EXPECT_TRUE(derivative_match(re, "aa"));
+  EXPECT_TRUE(derivative_match(re, "aaaa"));
+  EXPECT_FALSE(derivative_match(re, "aaaaa"));
+}
+
+TEST(Derivative, OpenRepeat) {
+  const RePtr re = parse_regex("a{3,}");
+  EXPECT_FALSE(derivative_match(re, "aa"));
+  EXPECT_TRUE(derivative_match(re, "aaa"));
+  EXPECT_TRUE(derivative_match(re, "aaaaaaa"));
+}
+
+TEST(Derivative, EmptyAndEpsilon) {
+  EXPECT_FALSE(derivative_match(re_empty(), ""));
+  EXPECT_TRUE(derivative_match(re_epsilon(), ""));
+  EXPECT_FALSE(derivative_match(re_epsilon(), "a"));
+}
+
+// Cross-oracle sweep: derivatives vs the Glushkov NFA frontier simulation.
+class DerivativeOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DerivativeOracle, AgreesWithGlushkovOnRandomInputs) {
+  Prng prng(GetParam());
+  RandomRegexConfig config;
+  config.alphabet = "ab";
+  config.target_size = 6 + static_cast<int>(prng.pick_index(10));
+  const RePtr re = random_regex(prng, config);
+  const Nfa nfa = glushkov_nfa(re);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::string word;
+    const std::size_t length = prng.pick_index(14);
+    for (std::size_t i = 0; i < length; ++i)
+      word.push_back(prng.next_bool(0.5) ? 'a' : 'b');
+    EXPECT_EQ(derivative_match(re, word), nfa_accepts(nfa, word))
+        << regex_to_string(re) << " on '" << word << "'";
+  }
+}
+
+TEST_P(DerivativeOracle, AcceptsGeneratedMembers) {
+  Prng prng(GetParam() ^ 0xabab);
+  RandomRegexConfig config;
+  config.alphabet = "abc";
+  config.target_size = 10;
+  const RePtr re = random_regex(prng, config);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::string member;
+    if (!random_member(re, prng, member)) continue;
+    EXPECT_TRUE(derivative_match(re, member))
+        << regex_to_string(re) << " on '" << member << "'";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DerivativeOracle, ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace rispar

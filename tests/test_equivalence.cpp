@@ -1,0 +1,106 @@
+#include "automata/equivalence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "automata/glushkov.hpp"
+#include "automata/minimize.hpp"
+#include "automata/nfa_ops.hpp"
+#include "automata/random_nfa.hpp"
+#include "automata/subset.hpp"
+#include "helpers.hpp"
+#include "regex/parser.hpp"
+
+namespace rispar {
+namespace {
+
+Dfa dfa_of(const std::string& pattern) {
+  return determinize(glushkov_nfa(parse_regex(pattern)));
+}
+
+TEST(DfaEquivalent, IdenticalLanguagesDifferentShapes) {
+  // a+ and aa*|a denote the same language with different automata.
+  EXPECT_TRUE(dfa_equivalent(dfa_of("a+"), dfa_of("aa*|a")));
+  EXPECT_TRUE(dfa_equivalent(dfa_of("(ab)*"), dfa_of("(ab)*()")));
+  EXPECT_TRUE(dfa_equivalent(dfa_of("a|b|ab"), dfa_of("ab|b|a")));
+}
+
+TEST(DfaEquivalent, DetectsDifferences) {
+  EXPECT_FALSE(dfa_equivalent(dfa_of("a*"), dfa_of("a+")));
+  EXPECT_FALSE(dfa_equivalent(dfa_of("(ab)*"), dfa_of("(ab)+")));
+  EXPECT_FALSE(dfa_equivalent(dfa_of("ab"), dfa_of("ab|ba")));
+}
+
+TEST(DfaEquivalent, PartialVsCompletedAreEquivalent) {
+  const Dfa partial = dfa_of("ab");
+  const Dfa complete = partial.completed();
+  EXPECT_GT(complete.num_states(), partial.num_states());
+  EXPECT_TRUE(dfa_equivalent(partial, complete));
+}
+
+TEST(DfaEquivalent, EmptyVsNonEmpty) {
+  Dfa empty = Dfa::with_identity_alphabet(1);
+  empty.add_state(false);
+  empty.set_initial(0);
+  Dfa epsilon = Dfa::with_identity_alphabet(1);
+  epsilon.add_state(true);
+  epsilon.set_initial(0);
+  EXPECT_FALSE(dfa_equivalent(empty, epsilon));
+  EXPECT_TRUE(dfa_equivalent(empty, minimize_dfa(empty)));
+}
+
+TEST(DistinguishingWord, EmptyWitnessWhenInitialFinalityDiffers) {
+  const auto witness = dfa_distinguishing_word(dfa_of("a*"), dfa_of("a+"));
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(witness->empty());  // ε separates a* from a+
+}
+
+TEST(DistinguishingWord, WitnessSeparates) {
+  const Dfa a = dfa_of("(ab)*");
+  const Dfa b = dfa_of("(ab)+");
+  const auto witness = dfa_distinguishing_word(a, b);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_NE(a.accepts(*witness), b.accepts(*witness));
+}
+
+TEST(DistinguishingWord, NulloptWhenEquivalent) {
+  EXPECT_FALSE(dfa_distinguishing_word(dfa_of("a+"), dfa_of("aa*|a")).has_value());
+}
+
+TEST(NfaEquivalent, MatchesDfaCheck) {
+  const Nfa a = glushkov_nfa(parse_regex("(a|b)*abb"));
+  const Nfa b = glushkov_nfa(parse_regex("(a|b)*abb()"));
+  EXPECT_TRUE(nfa_equivalent(a, b));
+  const Nfa c = glushkov_nfa(parse_regex("(a|b)*ab"));
+  EXPECT_FALSE(nfa_equivalent(a, c));
+}
+
+class EquivalenceProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EquivalenceProperty, MinimizedIsEquivalentAndMutationsAreNot) {
+  Prng prng(GetParam());
+  RandomNfaConfig config;
+  config.num_states = 6 + static_cast<std::int32_t>(prng.pick_index(25));
+  const Nfa nfa = random_nfa(prng, config);
+  const Dfa dfa = determinize(nfa);
+  const Dfa minimal = minimize_dfa(dfa);
+  EXPECT_TRUE(dfa_equivalent(dfa, minimal));
+
+  // Flip the finality of one reachable state of the minimal DFA: the result
+  // must differ (in a minimal automaton every state is distinguishable).
+  if (minimal.num_states() >= 2) {
+    Dfa mutated = minimal;
+    const State victim = static_cast<State>(
+        prng.pick_index(static_cast<std::size_t>(minimal.num_states())));
+    mutated.set_final(victim, !minimal.is_final(victim));
+    EXPECT_FALSE(dfa_equivalent(minimal, mutated));
+    const auto witness = dfa_distinguishing_word(minimal, mutated);
+    ASSERT_TRUE(witness.has_value());
+    EXPECT_NE(minimal.accepts(*witness), mutated.accepts(*witness));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EquivalenceProperty,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace rispar

@@ -1,0 +1,202 @@
+// Failure-injection and fuzz tests: random byte noise through the parser,
+// hostile structures through the pipeline, budget exhaustion paths, and
+// structural invariants of the RI-DFA. Nothing here may crash, hang, or
+// corrupt — errors must surface as exceptions or nullopt.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "automata/glushkov.hpp"
+#include "automata/minimize.hpp"
+#include "automata/random_nfa.hpp"
+#include "automata/serialize.hpp"
+#include "automata/subset.hpp"
+#include "automata/timbuk.hpp"
+#include "core/interface_min.hpp"
+#include "helpers.hpp"
+#include "regex/parser.hpp"
+#include "regex/printer.hpp"
+#include "regex/simplify.hpp"
+
+namespace rispar {
+namespace {
+
+class ParserFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserFuzz, RandomBytesNeverCrashTheParser) {
+  Prng prng(GetParam());
+  // Bias towards metacharacters so the interesting branches fire.
+  static const char* kAtoms[] = {"a",  "b",  "(",  ")",  "[", "]", "{", "}",
+                                 "*",  "+",  "?",  "|",  ".", "-", "^", "\\",
+                                 "0",  "9",  ",",  "\\d", "\\x4", "  "};
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string pattern;
+    const std::size_t pieces = prng.pick_index(20);
+    for (std::size_t i = 0; i < pieces; ++i)
+      pattern += kAtoms[prng.pick_index(std::size(kAtoms))];
+    try {
+      const RePtr re = parse_regex(pattern);
+      // A successful parse must survive the full downstream pipeline.
+      const RePtr simplified = simplify_regex(re);
+      const Nfa nfa = glushkov_nfa(simplified);
+      (void)nfa.num_states();
+      const std::string printed = regex_to_string(re);
+      (void)parse_regex(printed);  // printed form must re-parse
+    } catch (const RegexError&) {
+      // Rejection is the expected outcome for garbage.
+    }
+  }
+}
+
+TEST_P(ParserFuzz, ArbitraryBytePatterns) {
+  Prng prng(GetParam() ^ 0xbeef);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string pattern;
+    const std::size_t length = prng.pick_index(24);
+    for (std::size_t i = 0; i < length; ++i)
+      pattern.push_back(static_cast<char>(prng.pick_index(256)));
+    try {
+      (void)parse_regex(pattern);
+    } catch (const RegexError&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(SerializeFuzz, RandomLinesNeverCrashLoaders) {
+  Prng prng(404);
+  static const char* kLines[] = {"nfa 3 2",   "dfa 2 2",      "initial 0",
+                                 "final 1",   "edge 0 0 1",   "trans 0 1 1",
+                                 "eps 0 2",   "edge 9 9 9",   "# noise",
+                                 "garbage",   "nfa -2 1",     ""};
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text;
+    const std::size_t lines = prng.pick_index(8);
+    for (std::size_t i = 0; i < lines; ++i) {
+      text += kLines[prng.pick_index(std::size(kLines))];
+      text += '\n';
+    }
+    try {
+      (void)nfa_from_string(text);
+    } catch (const std::runtime_error&) {
+    }
+    try {
+      (void)dfa_from_string(text);
+    } catch (const std::runtime_error&) {
+    }
+    try {
+      (void)timbuk_from_string(text);
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
+TEST(BudgetExhaustion, TryBuildRidfaFailsCleanly) {
+  // A machine too big for the budget must return nullopt without leaking
+  // or corrupting — repeat to shake out state reuse bugs.
+  Prng prng(7);
+  RandomNfaConfig config;
+  config.num_states = 60;
+  config.nondeterminism = 0.6;
+  config.density = 2.2;
+  const Nfa nfa = random_nfa(prng, config);
+  for (int i = 0; i < 10; ++i) {
+    const auto tiny = try_build_ridfa(nfa, 8);
+    EXPECT_FALSE(tiny.has_value());
+  }
+  // The same NFA still builds with an adequate budget afterwards.
+  const auto full = try_build_ridfa(nfa, 1 << 20);
+  ASSERT_TRUE(full.has_value());
+  EXPECT_GE(full->num_states(), nfa.num_states());
+}
+
+class RidfaInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RidfaInvariants, StructuralInvariantsHold) {
+  Prng prng(GetParam());
+  RandomNfaConfig config;
+  config.num_states = 5 + static_cast<std::int32_t>(prng.pick_index(30));
+  config.num_symbols = 2 + static_cast<std::int32_t>(prng.pick_index(4));
+  const Nfa nfa = random_nfa(prng, config);
+  Ridfa ridfa = build_ridfa(nfa);
+  minimize_interface(ridfa);
+
+  // (1) contents are sorted, unique, non-empty NFA state ids.
+  for (State p = 0; p < ridfa.num_states(); ++p) {
+    const auto& contents = ridfa.contents(p);
+    ASSERT_FALSE(contents.empty());
+    EXPECT_TRUE(std::is_sorted(contents.begin(), contents.end()));
+    EXPECT_EQ(std::adjacent_find(contents.begin(), contents.end()), contents.end());
+    for (const State q : contents) {
+      EXPECT_GE(q, 0);
+      EXPECT_LT(q, nfa.num_states());
+    }
+  }
+
+  // (2) every singleton exists with exactly its own content.
+  for (State q = 0; q < nfa.num_states(); ++q)
+    EXPECT_EQ(ridfa.contents(ridfa.singleton(q)), std::vector<State>{q});
+
+  // (3) the interface points into the initial set, and initial_states() is
+  // exactly the deduplicated interface range.
+  std::vector<State> range;
+  for (State q = 0; q < nfa.num_states(); ++q) range.push_back(ridfa.interface_of(q));
+  std::sort(range.begin(), range.end());
+  range.erase(std::unique(range.begin(), range.end()), range.end());
+  EXPECT_EQ(ridfa.initial_states(), range);
+
+  // (4) finality == contents intersect NFA finals.
+  for (State p = 0; p < ridfa.num_states(); ++p) {
+    bool has_final = false;
+    for (const State q : ridfa.contents(p)) has_final |= nfa.is_final(q);
+    EXPECT_EQ(ridfa.is_final(p), has_final);
+  }
+
+  // (5) transitions respect the subset semantics: contents(δ(p, a)) equals
+  // the union of ρ(q, a) over q in contents(p).
+  for (State p = 0; p < ridfa.num_states(); ++p) {
+    for (Symbol a = 0; a < ridfa.num_symbols(); ++a) {
+      Bitset expected(static_cast<std::size_t>(nfa.num_states()));
+      for (const State q : ridfa.contents(p))
+        for (const auto& edge : nfa.edges(q, a))
+          expected.set(static_cast<std::size_t>(edge.target));
+      const State target = ridfa.step(p, a);
+      if (target == kDeadState) {
+        EXPECT_TRUE(expected.empty());
+      } else {
+        EXPECT_EQ(Bitset::from_indices(static_cast<std::size_t>(nfa.num_states()),
+                                       ridfa.contents(target)),
+                  expected);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RidfaInvariants, ::testing::Range<std::uint64_t>(0, 15));
+
+TEST(HostileInputs, DeepNestingParses) {
+  std::string pattern;
+  for (int i = 0; i < 200; ++i) pattern += "(";
+  pattern += "a";
+  for (int i = 0; i < 200; ++i) pattern += ")";
+  const RePtr re = parse_regex(pattern);
+  EXPECT_EQ(re->kind, ReKind::kLiteral);
+}
+
+TEST(HostileInputs, WideAlternationCompiles) {
+  std::string pattern = "a";
+  for (int i = 0; i < 300; ++i) pattern += "|a";
+  const Nfa nfa = glushkov_nfa(parse_regex(pattern));
+  const Dfa minimal = minimize_dfa(determinize(nfa));
+  EXPECT_EQ(minimal.num_states(), 2);
+}
+
+TEST(HostileInputs, LongLiteralChainRoundTrips) {
+  std::string pattern(500, 'a');
+  const Nfa nfa = glushkov_nfa(parse_regex(pattern));
+  EXPECT_EQ(nfa.num_states(), 501);
+}
+
+}  // namespace
+}  // namespace rispar

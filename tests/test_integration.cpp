@@ -1,0 +1,122 @@
+// Whole-pipeline integration tests: RE text → automata → parallel devices →
+// join, cross-checked on the paper's benchmark workloads at reduced scale.
+#include <gtest/gtest.h>
+
+#include "automata/glushkov.hpp"
+#include "core/serial_match.hpp"
+#include "parallel/recognizer.hpp"
+#include "workloads/suite.hpp"
+
+namespace rispar {
+namespace {
+
+struct Mutation {
+  std::size_t position;
+  char byte;
+};
+
+// Flips one byte of a workload text to (usually) break membership for the
+// rigid formats; for Σ*-context languages membership may survive, so the
+// test only asserts serial/parallel agreement, not rejection.
+std::string mutate(std::string text, const Mutation& mutation) {
+  text[mutation.position % text.size()] = mutation.byte;
+  return text;
+}
+
+class IntegrationCase : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntegrationCase, SerialAndParallelAgreeOnMutatedTexts) {
+  const WorkloadSpec spec = benchmark_suite()[static_cast<std::size_t>(GetParam())];
+  Prng prng(42);
+  const std::string clean = spec.text(15'000, prng);
+  const LanguageEngines engines =
+      LanguageEngines::from_nfa(glushkov_nfa(spec.regex()));
+  ThreadPool pool(6);
+
+  std::vector<std::string> texts{clean};
+  texts.push_back(mutate(clean, {7'500, '~'}));
+  texts.push_back(mutate(clean, {3, '\x01'}));
+  texts.push_back(clean + "~");
+
+  for (const auto& text : texts) {
+    const auto input = engines.translate(text);
+    const bool oracle = engines.accepts(input);
+    for (const std::size_t chunks : {2u, 9u, 32u}) {
+      const DeviceOptions options{.chunks = chunks, .convergence = false};
+      for (const Variant variant : {Variant::kDfa, Variant::kNfa, Variant::kRid}) {
+        EXPECT_EQ(engines.recognize(variant, input, pool, options).accepted, oracle)
+            << spec.name << " " << variant_name(variant) << " c=" << chunks;
+      }
+    }
+  }
+}
+
+TEST_P(IntegrationCase, TransitionRatiosMatchPaperGrouping) {
+  // The Sect. 4.3 shape at small scale: winning benchmarks show a DFA/RID
+  // transition ratio well above 1; even benchmarks sit near 1.
+  const WorkloadSpec spec = benchmark_suite()[static_cast<std::size_t>(GetParam())];
+  Prng prng(43);
+  const std::string text = spec.text(60'000, prng);
+  const LanguageEngines engines =
+      LanguageEngines::from_nfa(glushkov_nfa(spec.regex()));
+  ThreadPool pool(6);
+  const auto input = engines.translate(text);
+  const DeviceOptions options{.chunks = 32, .convergence = false};
+
+  const auto dfa = engines.recognize(Variant::kDfa, input, pool, options);
+  const auto rid = engines.recognize(Variant::kRid, input, pool, options);
+  ASSERT_TRUE(dfa.accepted);
+  ASSERT_TRUE(rid.accepted);
+  const double ratio = static_cast<double>(dfa.transitions) /
+                       static_cast<double>(rid.transitions);
+  if (spec.winning) {
+    EXPECT_GT(ratio, 2.0) << spec.name;
+  } else {
+    EXPECT_GT(ratio, 0.5) << spec.name;
+    EXPECT_LT(ratio, 2.0) << spec.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFive, IntegrationCase, ::testing::Range(0, 5),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return benchmark_suite()[static_cast<std::size_t>(
+                                                        info.param)]
+                               .name;
+                         });
+
+TEST(Integration, NfaVariantCountsMoreTransitionsThanRid) {
+  // Tab. 3: the NFA/RID transition ratio is >= 1 on every benchmark.
+  for (const auto& spec : benchmark_suite()) {
+    Prng prng(44);
+    const std::string text = spec.text(20'000, prng);
+    const LanguageEngines engines =
+        LanguageEngines::from_nfa(glushkov_nfa(spec.regex()));
+    ThreadPool pool(6);
+    const auto input = engines.translate(text);
+    const DeviceOptions options{.chunks = 16, .convergence = false};
+    const auto nfa_stats = engines.recognize(Variant::kNfa, input, pool, options);
+    const auto rid_stats = engines.recognize(Variant::kRid, input, pool, options);
+    EXPECT_GE(static_cast<double>(nfa_stats.transitions) * 1.05,
+              static_cast<double>(rid_stats.transitions))
+        << spec.name;
+  }
+}
+
+TEST(Integration, ConvergenceAblationPreservesDecisions) {
+  const WorkloadSpec spec = bible_workload();
+  Prng prng(45);
+  const std::string text = spec.text(20'000, prng);
+  const LanguageEngines engines =
+      LanguageEngines::from_nfa(glushkov_nfa(spec.regex()));
+  ThreadPool pool(6);
+  const auto input = engines.translate(text);
+  const DeviceOptions plain{.chunks = 16, .convergence = false};
+  const DeviceOptions merged{.chunks = 16, .convergence = true};
+  const auto a = engines.recognize(Variant::kDfa, input, pool, plain);
+  const auto b = engines.recognize(Variant::kDfa, input, pool, merged);
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_LE(b.transitions, a.transitions);  // convergence can only save work
+}
+
+}  // namespace
+}  // namespace rispar

@@ -1,0 +1,170 @@
+#include "core/interface_min.hpp"
+
+#include <gtest/gtest.h>
+
+#include "automata/equivalence.hpp"
+#include "automata/glushkov.hpp"
+#include "automata/minimize.hpp"
+#include "automata/nfa_ops.hpp"
+#include "automata/random_nfa.hpp"
+#include "automata/subset.hpp"
+#include "core/serial_match.hpp"
+#include "helpers.hpp"
+#include "regex/parser.hpp"
+#include "regex/printer.hpp"
+#include "regex/random_regex.hpp"
+
+namespace rispar {
+namespace {
+
+// An NFA with two language-equivalent states reachable as distinct
+// singletons: 1 and 2 both accept exactly "b" (Fig. 5 flavour: equivalent
+// initial singletons, one delegates).
+Nfa nfa_with_equivalent_states() {
+  Nfa nfa = Nfa::with_identity_alphabet(2);
+  for (int i = 0; i < 4; ++i) nfa.add_state(i == 3);
+  nfa.set_initial(0);
+  nfa.add_edge(0, 0, 1);  // 0 -a-> 1
+  nfa.add_edge(0, 1, 2);  // 0 -b-> 2
+  nfa.add_edge(1, 1, 3);  // 1 -b-> 3
+  nfa.add_edge(2, 1, 3);  // 2 -b-> 3
+  return nfa;
+}
+
+TEST(InterfaceMin, DowngradesEquivalentSingletons) {
+  Ridfa ridfa = build_ridfa(nfa_with_equivalent_states());
+  EXPECT_EQ(ridfa.initial_count(), 4);
+  const InterfaceMinStats stats = minimize_interface(ridfa);
+  EXPECT_EQ(stats.initial_before, 4);
+  // {1} and {2} are Nerode-equivalent: one delegates to the other.
+  EXPECT_EQ(stats.initial_after, 3);
+  EXPECT_EQ(stats.downgraded, 1);
+  // The delegate is the same CA state for both NFA states 1 and 2.
+  EXPECT_EQ(ridfa.interface_of(1), ridfa.interface_of(2));
+  // The transition graph is untouched: both singletons still exist.
+  EXPECT_EQ(ridfa.contents(ridfa.singleton(1)), std::vector<State>{1});
+  EXPECT_EQ(ridfa.contents(ridfa.singleton(2)), std::vector<State>{2});
+}
+
+TEST(InterfaceMin, Fig1NfaHasNoReducibleInterface) {
+  // In the Fig. 1 example the three NFA states are pairwise inequivalent.
+  Ridfa ridfa = build_ridfa(testing::fig1_nfa());
+  const InterfaceMinStats stats = minimize_interface(ridfa);
+  EXPECT_EQ(stats.initial_after, 3);
+  EXPECT_EQ(stats.downgraded, 0);
+}
+
+TEST(InterfaceMin, Idempotent) {
+  Ridfa ridfa = build_ridfa(nfa_with_equivalent_states());
+  minimize_interface(ridfa);
+  const std::vector<State> first = ridfa.initial_states();
+  const InterfaceMinStats again = minimize_interface(ridfa);
+  EXPECT_EQ(again.initial_before, again.initial_after);
+  EXPECT_EQ(ridfa.initial_states(), first);
+}
+
+TEST(InterfaceMin, PreservesSerialLanguage) {
+  const Nfa nfa = nfa_with_equivalent_states();
+  Ridfa ridfa = build_ridfa(nfa);
+  minimize_interface(ridfa);
+  std::vector<Symbol> word;
+  std::function<void(std::size_t)> rec = [&](std::size_t depth) {
+    EXPECT_EQ(serial_match(ridfa, word).accepted, nfa_accepts(nfa, word));
+    if (depth == 5) return;
+    for (Symbol a = 0; a < 2; ++a) {
+      word.push_back(a);
+      rec(depth + 1);
+      word.pop_back();
+    }
+  };
+  rec(0);
+}
+
+TEST(InterfaceMin, BuildMinimizedConvenience) {
+  const Ridfa ridfa = build_minimized_ridfa(nfa_with_equivalent_states());
+  EXPECT_EQ(ridfa.initial_count(), 3);
+}
+
+// Theorem 3.4 flavour: building the RI-DFA from an equivalent smaller NFA
+// (here: from the minimal DFA reinterpreted as an NFA) never yields more
+// initial states than interface-minimizing the RI-DFA of the bigger NFA
+// would keep... conversely, minimization can only reduce the count.
+class InterfaceMinProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InterfaceMinProperty, NeverIncreasesInitials) {
+  Prng prng(GetParam());
+  RandomNfaConfig config;
+  config.num_states = 8 + static_cast<std::int32_t>(prng.pick_index(30));
+  config.num_symbols = 2 + static_cast<std::int32_t>(prng.pick_index(3));
+  const Nfa nfa = random_nfa(prng, config);
+  Ridfa ridfa = build_ridfa(nfa);
+  const std::int32_t before = ridfa.initial_count();
+  const InterfaceMinStats stats = minimize_interface(ridfa);
+  EXPECT_LE(stats.initial_after, before);
+  EXPECT_EQ(stats.initial_after + stats.downgraded, before);
+}
+
+TEST_P(InterfaceMinProperty, MinimizedRidMatchesDfaOracleOnWords) {
+  Prng prng(GetParam() ^ 0x9999);
+  RandomNfaConfig config;
+  config.num_states = 6 + static_cast<std::int32_t>(prng.pick_index(20));
+  const Nfa nfa = random_nfa(prng, config);
+  Ridfa ridfa = build_ridfa(nfa);
+  minimize_interface(ridfa);
+  const Dfa oracle = minimize_dfa(determinize(nfa));
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto word =
+        testing::random_word(prng, nfa.num_symbols(), prng.pick_index(30));
+    EXPECT_EQ(serial_match(ridfa, word).accepted, oracle.accepts(word));
+  }
+}
+
+TEST_P(InterfaceMinProperty, DelegatesAreLanguageEquivalent) {
+  Prng prng(GetParam() ^ 0x1234);
+  RandomNfaConfig config;
+  config.num_states = 8 + static_cast<std::int32_t>(prng.pick_index(20));
+  const Nfa nfa = random_nfa(prng, config);
+  Ridfa ridfa = build_ridfa(nfa);
+  minimize_interface(ridfa);
+  // For every NFA state q: the CA language from singleton(q) equals the CA
+  // language from interface_of(q) — check on random words.
+  for (State q = 0; q < nfa.num_states(); ++q) {
+    const State original = ridfa.singleton(q);
+    const State delegate = ridfa.interface_of(q);
+    if (original == delegate) continue;
+    for (int trial = 0; trial < 10; ++trial) {
+      const auto word =
+          testing::random_word(prng, nfa.num_symbols(), prng.pick_index(16));
+      std::uint64_t ignore = 0;
+      const State end_a =
+          run_dfa_span(ridfa.dfa(), original, word.data(), word.size(), ignore);
+      const State end_b =
+          run_dfa_span(ridfa.dfa(), delegate, word.data(), word.size(), ignore);
+      const bool accept_a = end_a != kDeadState && ridfa.is_final(end_a);
+      const bool accept_b = end_b != kDeadState && ridfa.is_final(end_b);
+      EXPECT_EQ(accept_a, accept_b) << "q=" << q;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InterfaceMinProperty,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+TEST(InterfaceMin, Theorem34MinimalSourceNeedsNoReduction) {
+  // Build an RI-DFA from a DFA-shaped NFA (deterministic => it is its own
+  // minimal-ish machine after DFA minimization): interface minimization of
+  // the RI-DFA built from the *minimal* machine should find nothing to
+  // downgrade, because minimal-DFA states are pairwise inequivalent.
+  Prng prng(31337);
+  RandomRegexConfig config;
+  config.alphabet = "ab";
+  config.target_size = 12;
+  const RePtr re = random_regex(prng, config);
+  const Dfa minimal = minimize_dfa(determinize(glushkov_nfa(re)));
+  Ridfa ridfa = build_ridfa(dfa_to_nfa(minimal));
+  const InterfaceMinStats stats = minimize_interface(ridfa);
+  EXPECT_EQ(stats.downgraded, 0) << regex_to_string(re);
+}
+
+}  // namespace
+}  // namespace rispar

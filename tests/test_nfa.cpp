@@ -1,0 +1,100 @@
+#include "automata/nfa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace rispar {
+namespace {
+
+TEST(Nfa, AddStateGrows) {
+  Nfa nfa = Nfa::with_identity_alphabet(2);
+  EXPECT_EQ(nfa.num_states(), 0);
+  const State s0 = nfa.add_state();
+  const State s1 = nfa.add_state(true);
+  EXPECT_EQ(s0, 0);
+  EXPECT_EQ(s1, 1);
+  EXPECT_EQ(nfa.num_states(), 2);
+  EXPECT_FALSE(nfa.is_final(s0));
+  EXPECT_TRUE(nfa.is_final(s1));
+}
+
+TEST(Nfa, FinalFlagsSurviveGrowth) {
+  Nfa nfa = Nfa::with_identity_alphabet(1);
+  nfa.add_state(true);
+  for (int i = 0; i < 100; ++i) nfa.add_state();
+  EXPECT_TRUE(nfa.is_final(0));
+  EXPECT_FALSE(nfa.is_final(50));
+}
+
+TEST(Nfa, EdgesSortedAndDeduplicated) {
+  Nfa nfa = Nfa::with_identity_alphabet(3);
+  for (int i = 0; i < 3; ++i) nfa.add_state();
+  nfa.add_edge(0, 2, 1);
+  nfa.add_edge(0, 0, 2);
+  nfa.add_edge(0, 2, 1);  // duplicate
+  nfa.add_edge(0, 0, 1);
+  const auto edges = nfa.edges(0);
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], (NfaEdge{0, 1}));
+  EXPECT_EQ(edges[1], (NfaEdge{0, 2}));
+  EXPECT_EQ(edges[2], (NfaEdge{2, 1}));
+  EXPECT_EQ(nfa.num_edges(), 3u);
+}
+
+TEST(Nfa, EdgeSliceBySymbol) {
+  Nfa nfa = Nfa::with_identity_alphabet(3);
+  for (int i = 0; i < 4; ++i) nfa.add_state();
+  nfa.add_edge(0, 1, 1);
+  nfa.add_edge(0, 1, 2);
+  nfa.add_edge(0, 2, 3);
+  const auto slice = nfa.edges(0, 1);
+  ASSERT_EQ(slice.size(), 2u);
+  EXPECT_EQ(slice[0].target, 1);
+  EXPECT_EQ(slice[1].target, 2);
+  EXPECT_TRUE(nfa.edges(0, 0).empty());
+}
+
+TEST(Nfa, EpsilonEdgesTracked) {
+  Nfa nfa = Nfa::with_identity_alphabet(1);
+  nfa.add_state();
+  nfa.add_state();
+  EXPECT_FALSE(nfa.has_epsilon());
+  nfa.add_epsilon(0, 1);
+  nfa.add_epsilon(0, 1);  // duplicate ignored
+  EXPECT_TRUE(nfa.has_epsilon());
+  EXPECT_EQ(nfa.num_epsilon_edges(), 1u);
+  EXPECT_EQ(nfa.epsilon_edges(0).size(), 1u);
+}
+
+TEST(Nfa, MaxOutDegreeDetectsNondeterminism) {
+  Nfa nfa = Nfa::with_identity_alphabet(2);
+  for (int i = 0; i < 3; ++i) nfa.add_state();
+  nfa.add_edge(0, 0, 1);
+  EXPECT_EQ(nfa.max_out_degree(), 1);
+  nfa.add_edge(0, 0, 2);
+  EXPECT_EQ(nfa.max_out_degree(), 2);
+}
+
+TEST(Nfa, Fig1NfaShape) {
+  const Nfa nfa = testing::fig1_nfa();
+  EXPECT_EQ(nfa.num_states(), 3);
+  EXPECT_EQ(nfa.num_symbols(), 3);
+  EXPECT_EQ(nfa.initial(), 0);
+  EXPECT_TRUE(nfa.is_final(2));
+  EXPECT_FALSE(nfa.is_final(0));
+  EXPECT_EQ(nfa.num_edges(), 8u);
+  EXPECT_EQ(nfa.max_out_degree(), 2);  // ρ(1,a) and ρ(1,b) have two targets
+}
+
+TEST(Nfa, SetFinalToggles) {
+  Nfa nfa = Nfa::with_identity_alphabet(1);
+  nfa.add_state();
+  nfa.set_final(0, true);
+  EXPECT_TRUE(nfa.is_final(0));
+  nfa.set_final(0, false);
+  EXPECT_FALSE(nfa.is_final(0));
+}
+
+}  // namespace
+}  // namespace rispar

@@ -1,0 +1,149 @@
+#include "automata/nfa_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "automata/equivalence.hpp"
+#include "automata/glushkov.hpp"
+#include "automata/random_nfa.hpp"
+#include "automata/subset.hpp"
+#include "automata/thompson.hpp"
+#include "helpers.hpp"
+#include "regex/parser.hpp"
+
+namespace rispar {
+namespace {
+
+TEST(EpsilonClosure, FollowsChains) {
+  Nfa nfa = Nfa::with_identity_alphabet(1);
+  for (int i = 0; i < 4; ++i) nfa.add_state();
+  nfa.add_epsilon(0, 1);
+  nfa.add_epsilon(1, 2);
+  // 3 unreachable via eps
+  Bitset set(4);
+  set.set(0);
+  epsilon_closure(nfa, set);
+  EXPECT_EQ(set.to_indices(), (std::vector<std::int32_t>{0, 1, 2}));
+}
+
+TEST(EpsilonClosure, HandlesCycles) {
+  Nfa nfa = Nfa::with_identity_alphabet(1);
+  for (int i = 0; i < 3; ++i) nfa.add_state();
+  nfa.add_epsilon(0, 1);
+  nfa.add_epsilon(1, 0);
+  nfa.add_epsilon(1, 2);
+  Bitset set(3);
+  set.set(0);
+  epsilon_closure(nfa, set);
+  EXPECT_EQ(set.count(), 3u);
+}
+
+TEST(RemoveEpsilon, PreservesLanguage) {
+  const Nfa thompson = thompson_nfa(parse_regex("(a|b)*abb"));
+  ASSERT_TRUE(thompson.has_epsilon());
+  const Nfa eps_free = remove_epsilon(thompson);
+  EXPECT_FALSE(eps_free.has_epsilon());
+  EXPECT_TRUE(nfa_equivalent(thompson, eps_free));
+}
+
+TEST(RemoveEpsilon, NoopOnEpsFreeInput) {
+  const Nfa nfa = testing::fig1_nfa();
+  const Nfa same = remove_epsilon(nfa);
+  EXPECT_EQ(same.num_states(), nfa.num_states());
+  EXPECT_EQ(same.num_edges(), nfa.num_edges());
+}
+
+TEST(RemoveEpsilon, NullableFinality) {
+  // ε-path from initial to a final state must make the initial final.
+  Nfa nfa = Nfa::with_identity_alphabet(1);
+  nfa.add_state();
+  nfa.add_state(true);
+  nfa.add_epsilon(0, 1);
+  const Nfa eps_free = remove_epsilon(nfa);
+  EXPECT_TRUE(eps_free.is_final(0));
+}
+
+TEST(TrimUnreachable, DropsIslands) {
+  Nfa nfa = Nfa::with_identity_alphabet(2);
+  for (int i = 0; i < 5; ++i) nfa.add_state();
+  nfa.set_initial(0);
+  nfa.add_edge(0, 0, 1);
+  nfa.add_edge(1, 1, 2);
+  nfa.set_final(2);
+  nfa.add_edge(3, 0, 4);  // island 3 -> 4
+  std::vector<State> kept;
+  const Nfa trimmed = trim_unreachable(nfa, &kept);
+  EXPECT_EQ(trimmed.num_states(), 3);
+  EXPECT_EQ(kept[3], kDeadState);
+  EXPECT_EQ(kept[4], kDeadState);
+  EXPECT_TRUE(nfa_equivalent(nfa, trimmed));
+}
+
+TEST(TrimUnreachable, FollowsEpsilon) {
+  Nfa nfa = Nfa::with_identity_alphabet(1);
+  for (int i = 0; i < 3; ++i) nfa.add_state();
+  nfa.add_epsilon(0, 2);
+  const Nfa trimmed = trim_unreachable(nfa);
+  EXPECT_EQ(trimmed.num_states(), 2);  // 0 and 2
+}
+
+TEST(Reverse, ReversesLanguage) {
+  // L = ab  =>  reverse(L) = ba
+  const Nfa nfa = glushkov_nfa(parse_regex("ab"));
+  const Nfa rev = reverse(nfa);
+  EXPECT_TRUE(nfa_accepts(rev, std::vector<Symbol>{1, 0}));   // "ba"
+  EXPECT_FALSE(nfa_accepts(rev, std::vector<Symbol>{0, 1}));  // "ab"
+}
+
+TEST(Reverse, DoubleReverseIsIdentityLanguage) {
+  Prng prng(77);
+  const Nfa nfa = random_nfa(prng);
+  const Nfa twice = reverse(reverse(nfa));
+  EXPECT_TRUE(nfa_equivalent(nfa, twice));
+}
+
+TEST(NfaUnion, AcceptsEitherLanguage) {
+  // Both operands must share one alphabet (SymbolMap); build them by hand
+  // over the identity alphabet {a=0, b=1}.
+  auto chain = [](Symbol symbol) {
+    Nfa nfa = Nfa::with_identity_alphabet(2);
+    nfa.add_state();
+    nfa.add_state();
+    nfa.add_state(true);
+    nfa.set_initial(0);
+    nfa.add_edge(0, symbol, 1);
+    nfa.add_edge(1, symbol, 2);
+    return nfa;
+  };
+  const Nfa u = nfa_union(chain(0), chain(1));  // L = {aa, bb}
+  EXPECT_TRUE(nfa_accepts(u, std::vector<Symbol>{0, 0}));
+  EXPECT_TRUE(nfa_accepts(u, std::vector<Symbol>{1, 1}));
+  EXPECT_FALSE(nfa_accepts(u, std::vector<Symbol>{0, 1}));
+  EXPECT_FALSE(nfa_accepts(u, std::vector<Symbol>{0}));
+}
+
+TEST(NfaAccepts, ByteInterface) {
+  const Nfa nfa = glushkov_nfa(parse_regex("(ab)*"));
+  EXPECT_TRUE(nfa_accepts(nfa, std::string("abab")));
+  EXPECT_FALSE(nfa_accepts(nfa, std::string("aba")));
+  EXPECT_TRUE(nfa_accepts(nfa, std::string("")));
+  EXPECT_FALSE(nfa_accepts(nfa, std::string("zz")));  // unmapped bytes
+}
+
+TEST(NfaReach, MatchesManualSimulation) {
+  const Nfa nfa = testing::fig1_nfa();
+  Bitset start(3);
+  start.set(0);
+  // ρ(0, "aab") per the figure: 0 -a-> {1} -a-> {0,1} -b-> {0,2}
+  const Bitset reached = nfa_reach(nfa, start, {0, 0, 1});
+  EXPECT_EQ(reached.to_indices(), (std::vector<std::int32_t>{0, 2}));
+}
+
+TEST(NfaReach, DeadOnForeignSymbol) {
+  const Nfa nfa = testing::fig1_nfa();
+  Bitset start(3);
+  start.set(0);
+  EXPECT_TRUE(nfa_reach(nfa, start, {SymbolMap::kUnmapped}).empty());
+}
+
+}  // namespace
+}  // namespace rispar

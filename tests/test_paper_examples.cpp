@@ -1,0 +1,108 @@
+// End-to-end checks of the paper's worked examples: the transition totals
+// of Fig. 1 (min-DFA 15 / NFA 14 / RI-DFA 9 on "aabcab" in two chunks), the
+// CSDPA run of Fig. 2, and the join of Fig. 4.
+#include <gtest/gtest.h>
+
+#include "automata/minimize.hpp"
+#include "automata/subset.hpp"
+#include "core/interface_min.hpp"
+#include "core/ridfa.hpp"
+#include "core/serial_match.hpp"
+#include "helpers.hpp"
+#include "parallel/csdpa.hpp"
+
+namespace rispar {
+namespace {
+
+class PaperExamples : public ::testing::Test {
+ protected:
+  Nfa nfa_ = testing::fig1_nfa();
+  Dfa min_dfa_ = minimize_dfa(determinize(nfa_));
+  Ridfa ridfa_ = build_ridfa(nfa_);
+  ThreadPool pool_{2};
+  std::vector<Symbol> input_ = testing::fig1_string();  // a a b | c a b
+  DeviceOptions two_chunks_{.chunks = 2, .convergence = false};
+};
+
+TEST_F(PaperExamples, MinDfaHasFourStatesAndRidfaFive) {
+  EXPECT_EQ(min_dfa_.num_states(), 4);
+  EXPECT_EQ(ridfa_.num_states(), 5);
+  EXPECT_EQ(ridfa_.initial_count(), 3);
+}
+
+TEST_F(PaperExamples, AllDevicesAcceptTheSampleString) {
+  EXPECT_TRUE(DfaDevice(min_dfa_).recognize(input_, pool_, two_chunks_).accepted);
+  EXPECT_TRUE(NfaDevice(nfa_).recognize(input_, pool_, two_chunks_).accepted);
+  EXPECT_TRUE(RidDevice(ridfa_).recognize(input_, pool_, two_chunks_).accepted);
+}
+
+TEST_F(PaperExamples, Fig1TransitionCountDfaIs15) {
+  const RecognitionStats stats =
+      DfaDevice(min_dfa_).recognize(input_, pool_, two_chunks_);
+  EXPECT_EQ(stats.transitions, 15u);
+}
+
+TEST_F(PaperExamples, Fig1TransitionCountNfaIs14) {
+  const RecognitionStats stats =
+      NfaDevice(nfa_).recognize(input_, pool_, two_chunks_);
+  EXPECT_EQ(stats.transitions, 14u);
+}
+
+TEST_F(PaperExamples, Fig1TransitionCountRidfaIs9) {
+  const RecognitionStats stats =
+      RidDevice(ridfa_).recognize(input_, pool_, two_chunks_);
+  EXPECT_EQ(stats.transitions, 9u);
+}
+
+TEST_F(PaperExamples, SerialDfaDoesExactlyNTransitions) {
+  const DeviceOptions serial{.chunks = 1, .convergence = false};
+  const RecognitionStats stats = DfaDevice(min_dfa_).recognize(input_, pool_, serial);
+  EXPECT_EQ(stats.transitions, input_.size());
+  EXPECT_TRUE(stats.accepted);
+}
+
+TEST_F(PaperExamples, RejectionIsSharedByAllDevices) {
+  // "aabcaa" is not in the language (swap last b for a).
+  const std::vector<Symbol> bad{0, 0, 1, 2, 0, 0};
+  EXPECT_FALSE(DfaDevice(min_dfa_).recognize(bad, pool_, two_chunks_).accepted);
+  EXPECT_FALSE(NfaDevice(nfa_).recognize(bad, pool_, two_chunks_).accepted);
+  EXPECT_FALSE(RidDevice(ridfa_).recognize(bad, pool_, two_chunks_).accepted);
+}
+
+// Fig. 2: CSDPA with the 2-state DFA on "bab|aaa": nine transitions total
+// (chunk 1 runs once from q0 = 3; chunk 2 runs from both states = 6).
+TEST(PaperFig2, NineTransitionsAndAccepted) {
+  const Dfa dfa = testing::fig2_dfa();
+  ThreadPool pool(2);
+  const std::vector<Symbol> input{1, 0, 1, 0, 0, 0};  // b a b a a a
+  const DeviceOptions options{.chunks = 2, .convergence = false};
+  const RecognitionStats stats = DfaDevice(dfa).recognize(input, pool, options);
+  EXPECT_TRUE(stats.accepted);
+  EXPECT_EQ(stats.transitions, 9u);
+}
+
+// Fig. 4: the interface function in the two-chunk join. After chunk 1
+// ("aab"), PLAS = {{0,2}}; after chunk 2 ("cab") it is {{0,2}} again, which
+// is final, so the input is accepted even though the run from {2} dies and
+// the run from {1} is filtered out by if(PLAS1) ∩ PIS2 = {{0}}... the run
+// from {1} DOES survive but {1} ∉ if(PLAS1) = {{0},{2}}.
+TEST(PaperFig4, JoinFiltersThroughInterface) {
+  const Nfa nfa = testing::fig1_nfa();
+  const Ridfa ridfa = build_ridfa(nfa);
+  // Manual reach phase for chunk 2 = "cab" from all three interface states.
+  const std::vector<Symbol> chunk2{2, 0, 1};
+  std::uint64_t transitions = 0;
+  const State from0 = run_dfa_span(ridfa.dfa(), ridfa.singleton(0), chunk2.data(), 3,
+                                   transitions);
+  const State from1 = run_dfa_span(ridfa.dfa(), ridfa.singleton(1), chunk2.data(), 3,
+                                   transitions);
+  const State from2 = run_dfa_span(ridfa.dfa(), ridfa.singleton(2), chunk2.data(), 3,
+                                   transitions);
+  EXPECT_EQ(ridfa.contents(from0), (std::vector<State>{0, 2}));
+  EXPECT_EQ(ridfa.contents(from1), (std::vector<State>{0, 2}));
+  EXPECT_EQ(from2, kDeadState);  // {2} has no c-transition
+  EXPECT_EQ(transitions, 6u);    // 3 + 3 + 0
+}
+
+}  // namespace
+}  // namespace rispar

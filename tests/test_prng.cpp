@@ -1,0 +1,143 @@
+#include "util/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace rispar {
+namespace {
+
+TEST(Prng, SameSeedSameSequence) {
+  Prng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+  Prng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Prng, ZeroSeedIsUsable) {
+  Prng prng(0);
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 64; ++i) values.insert(prng.next_u64());
+  EXPECT_GT(values.size(), 60u);  // not stuck at a fixed point
+}
+
+TEST(Prng, NextBelowRespectsBound) {
+  Prng prng(7);
+  for (const std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(prng.next_below(bound), bound);
+  }
+}
+
+TEST(Prng, NextBelowOneIsAlwaysZero) {
+  Prng prng(11);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(prng.next_below(1), 0u);
+}
+
+TEST(Prng, NextBelowCoversSmallRange) {
+  Prng prng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(prng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Prng, NextInClosedInterval) {
+  Prng prng(17);
+  for (int i = 0; i < 500; ++i) {
+    const auto value = prng.next_in(-5, 5);
+    EXPECT_GE(value, -5);
+    EXPECT_LE(value, 5);
+  }
+}
+
+TEST(Prng, NextDoubleInUnitInterval) {
+  Prng prng(19);
+  double sum = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = prng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 2000, 0.5, 0.05);  // crude uniformity check
+}
+
+TEST(Prng, NextBoolExtremes) {
+  Prng prng(23);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(prng.next_bool(0.0));
+    EXPECT_TRUE(prng.next_bool(1.0));
+  }
+}
+
+TEST(Prng, NextBoolFrequency) {
+  Prng prng(29);
+  int heads = 0;
+  for (int i = 0; i < 4000; ++i) heads += prng.next_bool(0.25);
+  EXPECT_NEAR(heads / 4000.0, 0.25, 0.05);
+}
+
+TEST(Prng, PermutationIsAPermutation) {
+  Prng prng(31);
+  for (const std::size_t n : {0u, 1u, 2u, 17u, 100u}) {
+    auto perm = prng.permutation(n);
+    ASSERT_EQ(perm.size(), n);
+    std::sort(perm.begin(), perm.end());
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(perm[i], i);
+  }
+}
+
+TEST(Prng, PermutationIsShuffled) {
+  Prng prng(37);
+  const auto perm = prng.permutation(64);
+  std::size_t fixed = 0;
+  for (std::size_t i = 0; i < perm.size(); ++i) fixed += perm[i] == i;
+  EXPECT_LT(fixed, 12u);  // expected ~1 fixed point
+}
+
+TEST(Prng, SplitProducesIndependentStream) {
+  Prng parent(41);
+  Prng child = parent.split();
+  // The child must differ from a fresh copy of the parent's continuation.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Prng, SplitmixScrambles) {
+  std::uint64_t s1 = 1, s2 = 2;
+  EXPECT_NE(splitmix64(s1), splitmix64(s2));
+}
+
+TEST(StableHash, DistinctStringsDistinctHashes) {
+  EXPECT_NE(stable_hash("bible"), stable_hash("fasta"));
+  EXPECT_NE(stable_hash(""), stable_hash("a"));
+  EXPECT_EQ(stable_hash("traffic"), stable_hash("traffic"));
+}
+
+class PrngBoundSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrngBoundSweep, MeanIsNearHalfBound) {
+  const std::uint64_t bound = GetParam();
+  Prng prng(bound);
+  double sum = 0;
+  const int reps = 4000;
+  for (int i = 0; i < reps; ++i) sum += static_cast<double>(prng.next_below(bound));
+  const double mean = sum / reps;
+  const double expected = (static_cast<double>(bound) - 1) / 2;
+  EXPECT_NEAR(mean, expected, static_cast<double>(bound) * 0.05 + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, PrngBoundSweep,
+                         ::testing::Values(2, 3, 10, 100, 12345, 1u << 20));
+
+}  // namespace
+}  // namespace rispar

@@ -1,0 +1,93 @@
+#include "regex/random_regex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "automata/glushkov.hpp"
+#include "automata/nfa_ops.hpp"
+#include "regex/printer.hpp"
+
+namespace rispar {
+namespace {
+
+TEST(RandomRegex, DeterministicForSeed) {
+  Prng a(5), b(5);
+  RandomRegexConfig config;
+  EXPECT_EQ(regex_to_string(random_regex(a, config)),
+            regex_to_string(random_regex(b, config)));
+}
+
+TEST(RandomRegex, RespectsAlphabet) {
+  Prng prng(9);
+  RandomRegexConfig config;
+  config.alphabet = "xy";
+  for (int i = 0; i < 20; ++i) {
+    const std::string printed = regex_to_string(random_regex(prng, config));
+    for (const char ch : printed)
+      if (std::isalpha(static_cast<unsigned char>(ch)))
+        EXPECT_TRUE(ch == 'x' || ch == 'y') << printed;
+  }
+}
+
+TEST(RandomRegex, SizeTracksBudget) {
+  Prng prng(11);
+  RandomRegexConfig config;
+  config.target_size = 30;
+  double total = 0;
+  for (int i = 0; i < 20; ++i) total += static_cast<double>(re_size(random_regex(prng, config)));
+  // Normalizing constructors may shrink the tree, but not to a leaf.
+  EXPECT_GT(total / 20, 5.0);
+}
+
+TEST(RandomRegex, NonEmptyLanguageWhenRequired) {
+  Prng prng(13);
+  RandomRegexConfig config;
+  config.require_nonempty = true;
+  for (int i = 0; i < 30; ++i)
+    EXPECT_NE(random_regex(prng, config)->kind, ReKind::kEmpty);
+}
+
+class RandomMemberProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomMemberProperty, GeneratedMembersAreAccepted) {
+  Prng prng(GetParam());
+  RandomRegexConfig config;
+  config.alphabet = "ab";
+  config.target_size = 12;
+  const RePtr re = random_regex(prng, config);
+  const Nfa nfa = glushkov_nfa(re);
+  for (int i = 0; i < 10; ++i) {
+    std::string word;
+    if (!random_member(re, prng, word)) continue;  // ∅ subtree path
+    EXPECT_TRUE(nfa_accepts(nfa, word))
+        << "re: " << regex_to_string(re) << " word: '" << word << "'";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMemberProperty, ::testing::Range<std::uint64_t>(0, 25));
+
+TEST(RandomMember, EmptyLanguageReturnsFalse) {
+  Prng prng(1);
+  std::string word;
+  EXPECT_FALSE(random_member(re_empty(), prng, word));
+}
+
+TEST(RandomMember, EpsilonYieldsEmptyWord) {
+  Prng prng(1);
+  std::string word;
+  EXPECT_TRUE(random_member(re_epsilon(), prng, word));
+  EXPECT_TRUE(word.empty());
+}
+
+TEST(RandomMember, RepeatHonorsMinimum) {
+  Prng prng(3);
+  const RePtr re = re_repeat(re_byte('a'), 3, 5);
+  for (int i = 0; i < 20; ++i) {
+    std::string word;
+    ASSERT_TRUE(random_member(re, prng, word));
+    EXPECT_GE(word.size(), 3u);
+    EXPECT_LE(word.size(), 5u);
+  }
+}
+
+}  // namespace
+}  // namespace rispar

@@ -1,0 +1,84 @@
+#include "parallel/recognizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "automata/glushkov.hpp"
+#include "automata/thompson.hpp"
+#include "core/serial_match.hpp"
+#include "helpers.hpp"
+#include "regex/parser.hpp"
+#include "regex/random_regex.hpp"
+
+namespace rispar {
+namespace {
+
+TEST(LanguageEngines, FromRegexBuildsConsistentAutomata) {
+  const LanguageEngines engines = LanguageEngines::from_regex("(ab)*");
+  EXPECT_FALSE(engines.nfa().has_epsilon());
+  EXPECT_GE(engines.min_dfa().num_states(), 1);
+  EXPECT_LE(engines.ridfa().initial_count(), engines.nfa().num_states());
+}
+
+TEST(LanguageEngines, FromNfaWithEpsilonGetsCleaned) {
+  const Nfa thompson = thompson_nfa(parse_regex("(a|b)*abb"));
+  const LanguageEngines engines = LanguageEngines::from_nfa(thompson);
+  EXPECT_FALSE(engines.nfa().has_epsilon());
+  EXPECT_TRUE(engines.accepts(engines.translate("abb")));
+  EXPECT_FALSE(engines.accepts(engines.translate("ab")));
+}
+
+TEST(LanguageEngines, VariantNamesAreStable) {
+  EXPECT_STREQ(variant_name(Variant::kDfa), "DFA");
+  EXPECT_STREQ(variant_name(Variant::kNfa), "NFA");
+  EXPECT_STREQ(variant_name(Variant::kRid), "RID");
+}
+
+TEST(LanguageEngines, RecognizeDispatchesAllVariants) {
+  const LanguageEngines engines = LanguageEngines::from_regex("(ab)*");
+  ThreadPool pool(4);
+  const auto input = engines.translate("abababab");
+  const DeviceOptions options{.chunks = 3, .convergence = false};
+  for (const Variant variant : {Variant::kDfa, Variant::kNfa, Variant::kRid}) {
+    const RecognitionStats stats = engines.recognize(variant, input, pool, options);
+    EXPECT_TRUE(stats.accepted) << variant_name(variant);
+  }
+}
+
+TEST(LanguageEngines, TranslateUsesSharedAlphabet) {
+  const LanguageEngines engines = LanguageEngines::from_regex("[ab]c");
+  const auto symbols = engines.translate("acz");
+  EXPECT_EQ(symbols.size(), 3u);
+  EXPECT_NE(symbols[0], symbols[1]);
+  EXPECT_EQ(symbols[2], SymbolMap::kUnmapped);
+}
+
+TEST(LanguageEngines, InvalidRegexPropagates) {
+  EXPECT_THROW(LanguageEngines::from_regex("(unclosed"), RegexError);
+}
+
+class EnginesAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EnginesAgreement, ThreeVariantsAgreeOnText) {
+  Prng prng(GetParam());
+  RandomRegexConfig config;
+  config.alphabet = "abc";
+  config.target_size = 10;
+  const RePtr re = random_regex(prng, config);
+  LanguageEngines engines = LanguageEngines::from_nfa(glushkov_nfa(re));
+  ThreadPool pool(4);
+  const DeviceOptions options{.chunks = 5, .convergence = false};
+  for (int trial = 0; trial < 10; ++trial) {
+    std::string text;
+    for (std::size_t i = 0; i < 1 + prng.pick_index(30); ++i)
+      text.push_back("abc"[prng.pick_index(3)]);
+    const auto input = engines.translate(text);
+    const bool oracle = engines.accepts(input);
+    for (const Variant variant : {Variant::kDfa, Variant::kNfa, Variant::kRid})
+      EXPECT_EQ(engines.recognize(variant, input, pool, options).accepted, oracle);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnginesAgreement, ::testing::Range<std::uint64_t>(0, 15));
+
+}  // namespace
+}  // namespace rispar

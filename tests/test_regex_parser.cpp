@@ -1,0 +1,205 @@
+#include "regex/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "regex/ast.hpp"
+
+namespace rispar {
+namespace {
+
+TEST(RegexParser, SingleByte) {
+  const RePtr re = parse_regex("a");
+  ASSERT_EQ(re->kind, ReKind::kLiteral);
+  EXPECT_TRUE(re->bytes.test('a'));
+  EXPECT_EQ(re->bytes.count(), 1u);
+}
+
+TEST(RegexParser, ConcatFlattens) {
+  const RePtr re = parse_regex("abc");
+  ASSERT_EQ(re->kind, ReKind::kConcat);
+  EXPECT_EQ(re->children.size(), 3u);
+}
+
+TEST(RegexParser, AlternationFlattens) {
+  const RePtr re = parse_regex("a|b|c");
+  ASSERT_EQ(re->kind, ReKind::kAlternate);
+  EXPECT_EQ(re->children.size(), 3u);
+}
+
+TEST(RegexParser, PrecedenceAltBindsLoosest) {
+  const RePtr re = parse_regex("ab|cd");
+  ASSERT_EQ(re->kind, ReKind::kAlternate);
+  EXPECT_EQ(re->children.size(), 2u);
+  EXPECT_EQ(re->children[0]->kind, ReKind::kConcat);
+}
+
+TEST(RegexParser, Quantifiers) {
+  EXPECT_EQ(parse_regex("a*")->kind, ReKind::kStar);
+  EXPECT_EQ(parse_regex("a+")->kind, ReKind::kPlus);
+  EXPECT_EQ(parse_regex("a?")->kind, ReKind::kOptional);
+}
+
+TEST(RegexParser, StackedQuantifiersNormalize) {
+  // (a*)* == a*, (a+)+ == a+, (a?)? == a?
+  EXPECT_EQ(parse_regex("a**")->kind, ReKind::kStar);
+  EXPECT_EQ(parse_regex("a++")->kind, ReKind::kPlus);
+  EXPECT_EQ(parse_regex("a??")->kind, ReKind::kOptional);
+}
+
+TEST(RegexParser, Groups) {
+  const RePtr re = parse_regex("(ab)*");
+  ASSERT_EQ(re->kind, ReKind::kStar);
+  EXPECT_EQ(re->children.front()->kind, ReKind::kConcat);
+}
+
+TEST(RegexParser, BoundedRepeats) {
+  const RePtr exact = parse_regex("a{3}");
+  ASSERT_EQ(exact->kind, ReKind::kRepeat);
+  EXPECT_EQ(exact->min, 3);
+  EXPECT_EQ(exact->max, 3);
+
+  const RePtr range = parse_regex("a{2,5}");
+  ASSERT_EQ(range->kind, ReKind::kRepeat);
+  EXPECT_EQ(range->min, 2);
+  EXPECT_EQ(range->max, 5);
+
+  const RePtr open = parse_regex("a{2,}");
+  ASSERT_EQ(open->kind, ReKind::kRepeat);
+  EXPECT_EQ(open->min, 2);
+  EXPECT_EQ(open->max, -1);
+}
+
+TEST(RegexParser, RepeatNormalization) {
+  EXPECT_EQ(parse_regex("a{0,}")->kind, ReKind::kStar);
+  EXPECT_EQ(parse_regex("a{1,}")->kind, ReKind::kPlus);
+  EXPECT_EQ(parse_regex("a{0,1}")->kind, ReKind::kOptional);
+  EXPECT_EQ(parse_regex("a{1}")->kind, ReKind::kLiteral);
+}
+
+TEST(RegexParser, Dot) {
+  const RePtr re = parse_regex(".");
+  ASSERT_EQ(re->kind, ReKind::kLiteral);
+  EXPECT_TRUE(re->bytes.all());
+}
+
+TEST(RegexParser, CharacterClassRanges) {
+  const RePtr re = parse_regex("[a-cx]");
+  ASSERT_EQ(re->kind, ReKind::kLiteral);
+  EXPECT_TRUE(re->bytes.test('a'));
+  EXPECT_TRUE(re->bytes.test('b'));
+  EXPECT_TRUE(re->bytes.test('c'));
+  EXPECT_TRUE(re->bytes.test('x'));
+  EXPECT_FALSE(re->bytes.test('d'));
+  EXPECT_EQ(re->bytes.count(), 4u);
+}
+
+TEST(RegexParser, NegatedClass) {
+  const RePtr re = parse_regex("[^a]");
+  ASSERT_EQ(re->kind, ReKind::kLiteral);
+  EXPECT_FALSE(re->bytes.test('a'));
+  EXPECT_TRUE(re->bytes.test('b'));
+  EXPECT_EQ(re->bytes.count(), 255u);
+}
+
+TEST(RegexParser, ClassWithLeadingBracket) {
+  // ']' right after '[' is a literal member.
+  const RePtr re = parse_regex("[]a]");
+  ASSERT_EQ(re->kind, ReKind::kLiteral);
+  EXPECT_TRUE(re->bytes.test(']'));
+  EXPECT_TRUE(re->bytes.test('a'));
+}
+
+TEST(RegexParser, ClassTrailingDashIsLiteral) {
+  const RePtr re = parse_regex("[a-]");
+  ASSERT_EQ(re->kind, ReKind::kLiteral);
+  EXPECT_TRUE(re->bytes.test('a'));
+  EXPECT_TRUE(re->bytes.test('-'));
+}
+
+TEST(RegexParser, Escapes) {
+  EXPECT_TRUE(parse_regex("\\d")->bytes.test('5'));
+  EXPECT_FALSE(parse_regex("\\d")->bytes.test('a'));
+  EXPECT_TRUE(parse_regex("\\w")->bytes.test('_'));
+  EXPECT_TRUE(parse_regex("\\s")->bytes.test(' '));
+  EXPECT_TRUE(parse_regex("\\n")->bytes.test('\n'));
+  EXPECT_TRUE(parse_regex("\\t")->bytes.test('\t'));
+  EXPECT_TRUE(parse_regex("\\\\")->bytes.test('\\'));
+  EXPECT_TRUE(parse_regex("\\.")->bytes.test('.'));
+  EXPECT_EQ(parse_regex("\\.")->bytes.count(), 1u);
+}
+
+TEST(RegexParser, NegatedEscapes) {
+  const RePtr re = parse_regex("\\D");
+  EXPECT_FALSE(re->bytes.test('5'));
+  EXPECT_TRUE(re->bytes.test('a'));
+}
+
+TEST(RegexParser, HexEscape) {
+  const RePtr re = parse_regex("\\x41");
+  EXPECT_TRUE(re->bytes.test('A'));
+  EXPECT_EQ(re->bytes.count(), 1u);
+}
+
+TEST(RegexParser, EscapeInsideClass) {
+  const RePtr re = parse_regex("[\\d_]");
+  EXPECT_TRUE(re->bytes.test('7'));
+  EXPECT_TRUE(re->bytes.test('_'));
+  EXPECT_FALSE(re->bytes.test('a'));
+}
+
+TEST(RegexParser, EmptyPatternIsEpsilon) {
+  EXPECT_EQ(parse_regex("")->kind, ReKind::kEpsilon);
+  EXPECT_EQ(parse_regex("()")->kind, ReKind::kEpsilon);
+}
+
+TEST(RegexParser, EmptyAlternationBranch) {
+  // "a|" is a | ε — nullable.
+  const RePtr re = parse_regex("a|");
+  EXPECT_TRUE(re_nullable(re));
+}
+
+TEST(RegexParser, MalformedPatternsThrow) {
+  EXPECT_THROW(parse_regex("("), RegexError);
+  EXPECT_THROW(parse_regex(")"), RegexError);
+  EXPECT_THROW(parse_regex("(a"), RegexError);
+  EXPECT_THROW(parse_regex("*a"), RegexError);
+  EXPECT_THROW(parse_regex("a{2"), RegexError);
+  EXPECT_THROW(parse_regex("a{5,2}"), RegexError);
+  EXPECT_THROW(parse_regex("[abc"), RegexError);
+  EXPECT_THROW(parse_regex("[z-a]"), RegexError);
+  EXPECT_THROW(parse_regex("a\\"), RegexError);
+  EXPECT_THROW(parse_regex("a{999999}"), RegexError);
+}
+
+TEST(RegexParser, ErrorCarriesPosition) {
+  try {
+    parse_regex("ab(cd");
+    FAIL() << "expected RegexError";
+  } catch (const RegexError& error) {
+    EXPECT_EQ(error.position(), 5u);
+  }
+}
+
+TEST(RegexParser, NullabilityOfCompounds) {
+  EXPECT_TRUE(re_nullable(parse_regex("a*")));
+  EXPECT_TRUE(re_nullable(parse_regex("a*b*")));
+  EXPECT_FALSE(re_nullable(parse_regex("a*b")));
+  EXPECT_TRUE(re_nullable(parse_regex("(ab)?")));
+  EXPECT_FALSE(re_nullable(parse_regex("a{2,3}")));
+  EXPECT_TRUE(re_nullable(parse_regex("a{0,3}")));
+}
+
+TEST(RegexParser, PositionsCountLiterals) {
+  EXPECT_EQ(re_positions(parse_regex("abc")), 3u);
+  EXPECT_EQ(re_positions(parse_regex("(a|b)*a(a|b){3}")), 9u);
+}
+
+TEST(RegexParser, PaperBenchmarkPatternsParse) {
+  EXPECT_NO_THROW(parse_regex("(ab|ba)*"));
+  EXPECT_NO_THROW(parse_regex("(a|b)*a(a|b){8}"));
+  EXPECT_NO_THROW(parse_regex(".*<h3>[a-z0-9 ]*[0-9][a-z0-9 ]{2}</h3>.*"));
+  EXPECT_NO_THROW(parse_regex(".*(GATTACA|CCGGTTAA|ACGTACGT).*"));
+}
+
+}  // namespace
+}  // namespace rispar

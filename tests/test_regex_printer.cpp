@@ -1,0 +1,86 @@
+#include "regex/printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "automata/equivalence.hpp"
+#include "automata/glushkov.hpp"
+#include "automata/subset.hpp"
+#include "regex/parser.hpp"
+#include "regex/random_regex.hpp"
+
+namespace rispar {
+namespace {
+
+TEST(RegexPrinter, SimpleForms) {
+  EXPECT_EQ(regex_to_string(parse_regex("abc")), "abc");
+  EXPECT_EQ(regex_to_string(parse_regex("a|b|c")), "a|b|c");
+}
+
+TEST(RegexPrinter, QuantifiersPrint) {
+  EXPECT_EQ(regex_to_string(parse_regex("a*")), "a*");
+  EXPECT_EQ(regex_to_string(parse_regex("a+")), "a+");
+  EXPECT_EQ(regex_to_string(parse_regex("a?")), "a?");
+  EXPECT_EQ(regex_to_string(parse_regex("a{2,5}")), "a{2,5}");
+  EXPECT_EQ(regex_to_string(parse_regex("a{2,}")), "a{2,}");
+  EXPECT_EQ(regex_to_string(parse_regex("a{3}")), "a{3}");
+}
+
+TEST(RegexPrinter, GroupingPreservesStructure) {
+  // (ab)* must not print as ab*.
+  const std::string printed = regex_to_string(parse_regex("(ab)*"));
+  EXPECT_EQ(printed, "(ab)*");
+}
+
+TEST(RegexPrinter, AlternationInsideConcat) {
+  const std::string printed = regex_to_string(parse_regex("(a|b)c"));
+  EXPECT_EQ(printed, "(a|b)c");
+}
+
+TEST(RegexPrinter, DotPrints) {
+  EXPECT_EQ(regex_to_string(parse_regex(".")), ".");
+}
+
+TEST(RegexPrinter, ClassRanges) {
+  EXPECT_EQ(regex_to_string(parse_regex("[a-c]")), "[a-c]");
+  EXPECT_EQ(regex_to_string(parse_regex("[abx-z]")), "[abx-z]");
+}
+
+TEST(RegexPrinter, EscapedBytes) {
+  EXPECT_EQ(regex_to_string(parse_regex("\\n")), "\\n");
+  EXPECT_EQ(regex_to_string(parse_regex("\\.")), "\\.");
+  EXPECT_EQ(regex_to_string(parse_regex("\\x01")), "\\x01");
+}
+
+TEST(RegexPrinter, ByteSetHelper) {
+  ByteSet set;
+  set.set('a');
+  EXPECT_EQ(byteset_to_string(set), "a");
+  set.set('b');
+  set.set('c');
+  EXPECT_EQ(byteset_to_string(set), "[a-c]");
+}
+
+// Round-trip property: print → parse yields the same language (checked via
+// Glushkov + determinization + DFA equivalence).
+class PrinterRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrinterRoundTrip, ParsePrintParsePreservesLanguage) {
+  Prng prng(GetParam());
+  RandomRegexConfig config;
+  config.alphabet = "abc";
+  config.target_size = 10 + static_cast<int>(prng.pick_index(15));
+  const RePtr original = random_regex(prng, config);
+  const std::string printed = regex_to_string(original);
+
+  RePtr reparsed;
+  ASSERT_NO_THROW(reparsed = parse_regex(printed)) << "pattern: " << printed;
+
+  const Dfa dfa_original = determinize(glushkov_nfa(original));
+  const Dfa dfa_reparsed = determinize(glushkov_nfa(reparsed));
+  EXPECT_TRUE(dfa_equivalent(dfa_original, dfa_reparsed)) << "pattern: " << printed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrinterRoundTrip, ::testing::Range<std::uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace rispar

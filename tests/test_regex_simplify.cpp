@@ -1,0 +1,113 @@
+#include "regex/simplify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "automata/equivalence.hpp"
+#include "automata/glushkov.hpp"
+#include "automata/subset.hpp"
+#include "regex/parser.hpp"
+#include "regex/printer.hpp"
+#include "regex/random_regex.hpp"
+
+namespace rispar {
+namespace {
+
+std::string simplified(const std::string& pattern) {
+  return regex_to_string(simplify_regex(parse_regex(pattern)));
+}
+
+TEST(Simplify, DuplicateBranchesRemoved) {
+  EXPECT_EQ(simplified("ab|ab"), "ab");
+  EXPECT_EQ(simplified("ab|cd|ab"), "ab|cd");
+}
+
+TEST(Simplify, LiteralBranchesFuse) {
+  EXPECT_EQ(simplified("a|b|c"), "[a-c]");
+}
+
+TEST(Simplify, NestedRepetitionCollapse) {
+  EXPECT_EQ(simplified("(a*)*"), "a*");
+  EXPECT_EQ(simplified("(a+)*"), "a*");
+  EXPECT_EQ(simplified("(a?)*"), "a*");
+  EXPECT_EQ(simplified("(a?)+"), "a*");
+  EXPECT_EQ(simplified("(a+)?"), "a*");
+}
+
+TEST(Simplify, OptionalOfNullableDropped) {
+  EXPECT_EQ(simplified("(a*)?"), "a*");
+  EXPECT_EQ(simplified("(a*b*)?"), "a*b*");
+}
+
+TEST(Simplify, EpsilonBranchBecomesOptional) {
+  // a|() == a?
+  EXPECT_EQ(simplified("a|()"), "a?");
+}
+
+TEST(Simplify, NullableUnboundedRepeatIsStar) {
+  EXPECT_EQ(simplified("(a?){2,}"), "a*");
+}
+
+TEST(Simplify, Idempotent) {
+  const RePtr once = simplify_regex(parse_regex("((a*)*|b|b)(c?)+"));
+  const RePtr twice = simplify_regex(once);
+  EXPECT_EQ(regex_to_string(once), regex_to_string(twice));
+}
+
+TEST(ExpandRepeats, ExactCount) {
+  const RePtr expanded = re_expand_repeats(parse_regex("a{3}"));
+  EXPECT_EQ(regex_to_string(expanded), "aaa");
+}
+
+TEST(ExpandRepeats, OpenBound) {
+  const RePtr expanded = re_expand_repeats(parse_regex("a{2,}"));
+  EXPECT_EQ(regex_to_string(expanded), "aaa*");
+}
+
+TEST(ExpandRepeats, RangeBoundNestsOptionals) {
+  const RePtr expanded = re_expand_repeats(parse_regex("a{1,3}"));
+  // a (a (a)?)?
+  EXPECT_EQ(re_positions(expanded), 3u);
+  EXPECT_FALSE(re_nullable(expanded));
+}
+
+TEST(ExpandRepeats, ZeroMaxIsEpsilon) {
+  EXPECT_EQ(re_expand_repeats(parse_regex("a{0}"))->kind, ReKind::kEpsilon);
+}
+
+// Language preservation on random regexes, for both passes.
+class SimplifyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimplifyProperty, SimplifyPreservesLanguage) {
+  Prng prng(GetParam());
+  RandomRegexConfig config;
+  config.alphabet = "ab";
+  config.target_size = 8 + static_cast<int>(prng.pick_index(20));
+  const RePtr original = random_regex(prng, config);
+  const RePtr simplified_re = simplify_regex(original);
+
+  EXPECT_LE(re_size(simplified_re), re_size(original) + 1)
+      << "simplification should not grow the AST: " << regex_to_string(original);
+  EXPECT_TRUE(dfa_equivalent(determinize(glushkov_nfa(original)),
+                             determinize(glushkov_nfa(simplified_re))))
+      << regex_to_string(original) << "  vs  " << regex_to_string(simplified_re);
+}
+
+TEST_P(SimplifyProperty, ExpandRepeatsPreservesLanguage) {
+  Prng prng(GetParam() ^ 0xabcdef);
+  // Build r{m,n} over random small r.
+  RandomRegexConfig config;
+  config.alphabet = "ab";
+  config.target_size = 4;
+  const RePtr inner = random_regex(prng, config);
+  const int min = static_cast<int>(prng.pick_index(3));
+  const int max = prng.next_bool(0.3) ? -1 : min + static_cast<int>(prng.pick_index(3));
+  const RePtr repeat = re_repeat(inner, min, max);
+  const RePtr expanded = re_expand_repeats(repeat);
+  EXPECT_TRUE(dfa_equivalent(determinize(glushkov_nfa(repeat)),
+                             determinize(glushkov_nfa(expanded))));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplifyProperty, ::testing::Range<std::uint64_t>(0, 30));
+
+}  // namespace
+}  // namespace rispar

@@ -1,0 +1,199 @@
+#include "core/ridfa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "automata/equivalence.hpp"
+#include "automata/glushkov.hpp"
+#include "automata/minimize.hpp"
+#include "automata/nfa_ops.hpp"
+#include "automata/random_nfa.hpp"
+#include "automata/subset.hpp"
+#include "core/serial_match.hpp"
+#include "helpers.hpp"
+#include "regex/parser.hpp"
+#include "regex/random_regex.hpp"
+
+namespace rispar {
+namespace {
+
+TEST(Ridfa, Fig3ConstructionShape) {
+  // Paper Fig. 3: P = { {0},{1},{2},{0,1},{0,2} }, initials = the three
+  // singletons, F_RID = subsets containing NFA state 2.
+  const Ridfa ridfa = build_ridfa(testing::fig1_nfa());
+  EXPECT_EQ(ridfa.num_states(), 5);
+  EXPECT_EQ(ridfa.num_nfa_states(), 3);
+  EXPECT_EQ(ridfa.initial_count(), 3);
+
+  // Singletons exist and carry the right contents.
+  for (State q = 0; q < 3; ++q) {
+    const State p = ridfa.singleton(q);
+    EXPECT_EQ(ridfa.contents(p), std::vector<State>{q});
+    EXPECT_EQ(ridfa.interface_of(q), p);  // identity before minimization
+  }
+
+  // Finality: exactly the states whose contents include 2.
+  int final_count = 0;
+  for (State p = 0; p < ridfa.num_states(); ++p) {
+    const auto& contents = ridfa.contents(p);
+    const bool has2 = std::find(contents.begin(), contents.end(), 2) != contents.end();
+    EXPECT_EQ(ridfa.is_final(p), has2);
+    final_count += ridfa.is_final(p);
+  }
+  EXPECT_EQ(final_count, 2);  // {2} and {0,2}
+}
+
+TEST(Ridfa, StartStateIsSingletonQ0) {
+  const Ridfa ridfa = build_ridfa(testing::fig1_nfa());
+  EXPECT_EQ(ridfa.start_state(), ridfa.singleton(0));
+}
+
+TEST(Ridfa, DeterministicTransitions) {
+  const Ridfa ridfa = build_ridfa(testing::fig1_nfa());
+  // Fig. 3/4 edges: {2} -b-> {1}; {1} -b-> {0,2}; {0} -a-> {1}.
+  const State s2 = ridfa.singleton(2);
+  const State s1 = ridfa.singleton(1);
+  const State s0 = ridfa.singleton(0);
+  EXPECT_EQ(ridfa.step(s2, 1), s1);
+  EXPECT_EQ(ridfa.step(s2, 0), kDeadState);
+  EXPECT_EQ(ridfa.step(s2, 2), kDeadState);
+  EXPECT_EQ(ridfa.step(s0, 0), s1);
+  const State s02 = ridfa.step(ridfa.step(s1, 0), 1);  // {1}-a->{0,1}-b->{0,2}
+  EXPECT_EQ(ridfa.contents(s02), (std::vector<State>{0, 2}));
+}
+
+TEST(Ridfa, InterfaceImageMatchesFig4) {
+  // if({{0,2}}) = { {0}, {2} } (paper Fig. 4).
+  const Ridfa ridfa = build_ridfa(testing::fig1_nfa());
+  State s02 = kDeadState;
+  for (State p = 0; p < ridfa.num_states(); ++p)
+    if (ridfa.contents(p) == std::vector<State>{0, 2}) s02 = p;
+  ASSERT_NE(s02, kDeadState);
+  std::vector<State> expected{ridfa.singleton(0), ridfa.singleton(2)};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(ridfa.interface_image({s02}), expected);
+}
+
+TEST(Ridfa, RecognizesSameLanguageAsNfaSerially) {
+  const Nfa nfa = testing::fig1_nfa();
+  const Ridfa ridfa = build_ridfa(nfa);
+  std::vector<Symbol> word;
+  std::function<void(std::size_t)> rec = [&](std::size_t depth) {
+    EXPECT_EQ(serial_match(ridfa, word).accepted, nfa_accepts(nfa, word));
+    if (depth == 5) return;
+    for (Symbol a = 0; a < 3; ++a) {
+      word.push_back(a);
+      rec(depth + 1);
+      word.pop_back();
+    }
+  };
+  rec(0);
+}
+
+TEST(Ridfa, InitialCountEqualsNfaStates) {
+  Prng prng(111);
+  for (int trial = 0; trial < 5; ++trial) {
+    RandomNfaConfig config;
+    config.num_states = 10 + static_cast<std::int32_t>(prng.pick_index(30));
+    const Nfa nfa = random_nfa(prng, config);
+    const Ridfa ridfa = build_ridfa(nfa);
+    // Before interface minimization: exactly |Q_N| initials.
+    EXPECT_EQ(ridfa.initial_count(), nfa.num_states());
+  }
+}
+
+TEST(Ridfa, StatesSupersetOfSingleSeedPowerset) {
+  // The RI-DFA contains at least every state the one-shot powerset reaches
+  // from {q0} (the construction starts from the same seed).
+  Prng prng(222);
+  const Nfa nfa = random_nfa(prng);
+  const Dfa dfa = determinize(nfa);
+  const Ridfa ridfa = build_ridfa(nfa);
+  EXPECT_GE(ridfa.num_states(), dfa.num_states());
+}
+
+TEST(Ridfa, StatsReportShape) {
+  const Ridfa ridfa = build_ridfa(testing::fig1_nfa());
+  const RidfaStats stats = ridfa_stats(ridfa);
+  EXPECT_EQ(stats.nfa_states, 3);
+  EXPECT_EQ(stats.ridfa_states, 5);
+  EXPECT_EQ(stats.initial_states, 3);
+  EXPECT_GT(stats.table_entries, 0u);
+}
+
+// Lemma 3.2 (the correctness core): after processing chunks y_1..y_i from
+// the singleton starts with join-through-if, the union of the contents of
+// PLAS_i equals ρ(q0, y_1...y_i). We verify it on random NFAs and random
+// splits by simulating the RID join by hand.
+class Lemma32Property : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Lemma32Property, NstOfPlasEqualsNfaReach) {
+  Prng prng(GetParam());
+  RandomNfaConfig config;
+  config.num_states = 5 + static_cast<std::int32_t>(prng.pick_index(20));
+  config.num_symbols = 2 + static_cast<std::int32_t>(prng.pick_index(3));
+  const Nfa nfa = random_nfa(prng, config);
+  const Ridfa ridfa = build_ridfa(nfa);
+
+  const auto word = testing::random_word(prng, nfa.num_symbols(), 24);
+  // Split into 3 chunks of 8.
+  std::vector<State> plas;  // CA states
+  for (int chunk = 0; chunk < 3; ++chunk) {
+    const std::span<const Symbol> span(word.data() + chunk * 8, 8);
+    std::vector<State> starts;
+    if (chunk == 0) {
+      starts.push_back(ridfa.start_state());
+    } else {
+      starts = ridfa.interface_image(plas);
+    }
+    std::vector<State> next;
+    for (const State start : starts) {
+      std::uint64_t ignore = 0;
+      const State end = run_dfa_span(ridfa.dfa(), start, span.data(), span.size(), ignore);
+      if (end != kDeadState) next.push_back(end);
+    }
+    plas = std::move(next);
+
+    // Nst(PLAS_i) must equal ρ(q0, y_1..y_i).
+    Bitset nst(static_cast<std::size_t>(nfa.num_states()));
+    for (const State p : plas)
+      for (const State q : ridfa.contents(p)) nst.set(static_cast<std::size_t>(q));
+    Bitset start_set(static_cast<std::size_t>(nfa.num_states()));
+    start_set.set(static_cast<std::size_t>(nfa.initial()));
+    const std::vector<Symbol> prefix(word.begin(), word.begin() + (chunk + 1) * 8);
+    EXPECT_EQ(nst, nfa_reach(nfa, start_set, prefix)) << "chunk " << chunk;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma32Property, ::testing::Range<std::uint64_t>(0, 20));
+
+TEST(Ridfa, OfDeterministicSourceIsIsomorphicToIt) {
+  // Feeding a (trim, partial) DFA back in as an NFA: every subset stays a
+  // singleton, so the RI-DFA has exactly the DFA's states and transitions.
+  Prng prng(2025);
+  RandomNfaConfig config;
+  config.num_states = 20;
+  const Nfa nfa = random_nfa(prng, config);
+  const Dfa min_dfa = minimize_dfa(determinize(nfa));
+  const Ridfa ridfa = build_ridfa(dfa_to_nfa(min_dfa));
+  EXPECT_EQ(ridfa.num_states(), min_dfa.num_states());
+  for (State p = 0; p < ridfa.num_states(); ++p)
+    EXPECT_EQ(ridfa.contents(p).size(), 1u);
+  EXPECT_EQ(ridfa.dfa().num_transitions(), min_dfa.num_transitions());
+}
+
+TEST(Ridfa, InterfaceImageOfEmptyPlasIsEmpty) {
+  const Ridfa ridfa = build_ridfa(testing::fig1_nfa());
+  EXPECT_TRUE(ridfa.interface_image({}).empty());
+}
+
+TEST(Ridfa, TryBuildRespectsGenerousBudget) {
+  const auto ridfa = try_build_ridfa(testing::fig1_nfa(), 100);
+  ASSERT_TRUE(ridfa.has_value());
+  EXPECT_EQ(ridfa->num_states(), 5);
+}
+
+
+}  // namespace
+}  // namespace rispar

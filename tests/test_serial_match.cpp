@@ -1,0 +1,94 @@
+#include "core/serial_match.hpp"
+
+#include <gtest/gtest.h>
+
+#include "automata/glushkov.hpp"
+#include "automata/minimize.hpp"
+#include "automata/subset.hpp"
+#include "automata/thompson.hpp"
+#include "core/interface_min.hpp"
+#include "helpers.hpp"
+#include "regex/parser.hpp"
+
+namespace rispar {
+namespace {
+
+TEST(SerialMatch, DfaCountsOneTransitionPerSymbol) {
+  const Dfa dfa = testing::fig2_dfa();
+  const MatchResult result = serial_match(dfa, std::vector<Symbol>{1, 0, 1, 0, 0, 0});
+  EXPECT_TRUE(result.accepted);  // "babaaa" ∈ L (Fig. 2 example)
+  EXPECT_EQ(result.transitions, 6u);
+}
+
+TEST(SerialMatch, DfaDeadRunStopsCounting) {
+  Dfa dfa = Dfa::with_identity_alphabet(2);
+  dfa.add_state(true);
+  dfa.set_initial(0);
+  dfa.set_transition(0, 0, 0);  // only 'a' survives
+  const MatchResult result = serial_match(dfa, std::vector<Symbol>{0, 0, 1, 0, 0});
+  EXPECT_FALSE(result.accepted);
+  EXPECT_EQ(result.transitions, 2u);  // died at the 'b'
+}
+
+TEST(SerialMatch, DfaEmptyInput) {
+  const Dfa dfa = testing::fig2_dfa();
+  const MatchResult result = serial_match(dfa, std::vector<Symbol>{});
+  EXPECT_FALSE(result.accepted);  // q0 not final
+  EXPECT_EQ(result.transitions, 0u);
+}
+
+TEST(SerialMatch, NfaCountsEdgeTraversals) {
+  // Fig. 1 NFA on chunk "aab" from state 0:
+  //   a: 0->1 (1 edge); a: 1->{0,1} (2 edges); b: 1->{0,2} (2 edges) = 5.
+  const Nfa nfa = testing::fig1_nfa();
+  const MatchResult result = serial_match(nfa, std::vector<Symbol>{0, 0, 1});
+  EXPECT_EQ(result.transitions, 5u);
+  EXPECT_TRUE(result.accepted);  // {0,2} contains final 2
+}
+
+TEST(SerialMatch, NfaWithEpsilonAccepts) {
+  const Nfa nfa = thompson_nfa(parse_regex("a*b"));
+  EXPECT_TRUE(serial_match(nfa, std::string("aab")).accepted);
+  EXPECT_FALSE(serial_match(nfa, std::string("aa")).accepted);
+  EXPECT_TRUE(serial_match(nfa, std::string("b")).accepted);
+}
+
+TEST(SerialMatch, RidfaBehavesLikeDfa) {
+  const Nfa nfa = testing::fig1_nfa();
+  const Ridfa ridfa = build_ridfa(nfa);
+  const auto input = testing::fig1_string();
+  const MatchResult result = serial_match(ridfa, input);
+  EXPECT_TRUE(result.accepted);
+  EXPECT_EQ(result.transitions, input.size());  // deterministic: n transitions
+}
+
+TEST(SerialMatch, ByteOverloadsUseSymbolMap) {
+  const Nfa nfa = glushkov_nfa(parse_regex("(ab)*"));
+  const Dfa dfa = minimize_dfa(determinize(nfa));
+  const Ridfa ridfa = build_minimized_ridfa(nfa);
+  for (const std::string text : {"", "ab", "abab", "aba", "ba", "xy"}) {
+    const bool expected = serial_match(nfa, text).accepted;
+    EXPECT_EQ(serial_match(dfa, text).accepted, expected) << text;
+    EXPECT_EQ(serial_match(ridfa, text).accepted, expected) << text;
+  }
+}
+
+TEST(SerialMatch, ForeignSymbolKillsDeterministicRun) {
+  const Dfa dfa = testing::fig2_dfa();
+  const MatchResult result =
+      serial_match(dfa, std::vector<Symbol>{0, SymbolMap::kUnmapped, 0});
+  EXPECT_FALSE(result.accepted);
+}
+
+TEST(RunDfaSpan, AccumulatesAcrossCalls) {
+  const Dfa dfa = testing::fig2_dfa();
+  const std::vector<Symbol> input{1, 0, 1};
+  std::uint64_t transitions = 0;
+  State state = run_dfa_span(dfa, dfa.initial(), input.data(), 2, transitions);
+  state = run_dfa_span(dfa, state, input.data() + 2, 1, transitions);
+  EXPECT_EQ(transitions, 3u);
+  EXPECT_EQ(state, 0);  // b a b -> q0
+}
+
+}  // namespace
+}  // namespace rispar

@@ -1,0 +1,85 @@
+#include "automata/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "automata/equivalence.hpp"
+#include "automata/random_nfa.hpp"
+#include "automata/subset.hpp"
+#include "helpers.hpp"
+#include "util/prng.hpp"
+
+namespace rispar {
+namespace {
+
+TEST(Serialize, NfaRoundTrip) {
+  const Nfa nfa = testing::fig1_nfa();
+  const Nfa loaded = nfa_from_string(nfa_to_string(nfa));
+  EXPECT_EQ(loaded.num_states(), nfa.num_states());
+  EXPECT_EQ(loaded.num_symbols(), nfa.num_symbols());
+  EXPECT_EQ(loaded.initial(), nfa.initial());
+  EXPECT_EQ(loaded.num_edges(), nfa.num_edges());
+  EXPECT_TRUE(nfa_equivalent(nfa, loaded));
+}
+
+TEST(Serialize, NfaWithEpsilonRoundTrip) {
+  Nfa nfa = Nfa::with_identity_alphabet(2);
+  nfa.add_state();
+  nfa.add_state(true);
+  nfa.add_epsilon(0, 1);
+  nfa.add_edge(1, 0, 0);
+  const Nfa loaded = nfa_from_string(nfa_to_string(nfa));
+  EXPECT_TRUE(loaded.has_epsilon());
+  EXPECT_TRUE(nfa_equivalent(nfa, loaded));
+}
+
+TEST(Serialize, DfaRoundTrip) {
+  const Dfa dfa = testing::fig2_dfa();
+  const Dfa loaded = dfa_from_string(dfa_to_string(dfa));
+  EXPECT_EQ(loaded.num_states(), dfa.num_states());
+  EXPECT_TRUE(dfa_equivalent(dfa, loaded));
+}
+
+TEST(Serialize, PartialDfaKeepsDeadEntries) {
+  Dfa dfa = Dfa::with_identity_alphabet(2);
+  dfa.add_state(true);
+  dfa.set_initial(0);
+  dfa.set_transition(0, 0, 0);  // symbol 1 left dead
+  const Dfa loaded = dfa_from_string(dfa_to_string(dfa));
+  EXPECT_EQ(loaded.step(0, 0), 0);
+  EXPECT_EQ(loaded.step(0, 1), kDeadState);
+}
+
+TEST(Serialize, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# a comment\n\nnfa 2 1\ninitial 0\n# another\nfinal 1\nedge 0 0 1\n";
+  const Nfa nfa = nfa_from_string(text);
+  EXPECT_EQ(nfa.num_states(), 2);
+  EXPECT_TRUE(nfa.is_final(1));
+}
+
+TEST(Serialize, MalformedInputsThrow) {
+  EXPECT_THROW(nfa_from_string(""), std::runtime_error);
+  EXPECT_THROW(nfa_from_string("dfa 2 1\n"), std::runtime_error);
+  EXPECT_THROW(nfa_from_string("nfa 2 1\nedge 0 0 5\n"), std::runtime_error);
+  EXPECT_THROW(nfa_from_string("nfa 2 1\nedge 0 3 1\n"), std::runtime_error);
+  EXPECT_THROW(nfa_from_string("nfa 2 1\nbogus 1 2 3\n"), std::runtime_error);
+  EXPECT_THROW(nfa_from_string("nfa -1 1\n"), std::runtime_error);
+  EXPECT_THROW(dfa_from_string("nfa 2 1\n"), std::runtime_error);
+  EXPECT_THROW(dfa_from_string("dfa 2 1\ntrans 0 0 9\n"), std::runtime_error);
+}
+
+TEST(Serialize, RandomNfaRoundTripSweep) {
+  Prng prng(2024);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomNfaConfig config;
+    config.num_states = 5 + static_cast<std::int32_t>(prng.pick_index(40));
+    config.num_symbols = 2 + static_cast<std::int32_t>(prng.pick_index(5));
+    const Nfa nfa = random_nfa(prng, config);
+    const Nfa loaded = nfa_from_string(nfa_to_string(nfa));
+    EXPECT_EQ(loaded.num_edges(), nfa.num_edges());
+    EXPECT_TRUE(dfa_equivalent(determinize(nfa), determinize(loaded)));
+  }
+}
+
+}  // namespace
+}  // namespace rispar

@@ -1,0 +1,152 @@
+#include "automata/subset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "automata/glushkov.hpp"
+#include "automata/nfa_ops.hpp"
+#include "automata/minimize.hpp"
+#include "automata/random_nfa.hpp"
+#include "automata/thompson.hpp"
+#include "helpers.hpp"
+#include "regex/parser.hpp"
+#include "regex/printer.hpp"
+#include "regex/random_regex.hpp"
+
+namespace rispar {
+namespace {
+
+TEST(Determinize, ResultIsDeterministicAndEquivalent) {
+  const Nfa nfa = testing::fig1_nfa();
+  const Dfa dfa = determinize(nfa);
+  // Membership agreement on all words up to length 6.
+  std::vector<Symbol> word;
+  std::function<void(std::size_t)> rec = [&](std::size_t depth) {
+    EXPECT_EQ(dfa.accepts(word), nfa_accepts(nfa, word));
+    if (depth == 6) return;
+    for (Symbol a = 0; a < 3; ++a) {
+      word.push_back(a);
+      rec(depth + 1);
+      word.pop_back();
+    }
+  };
+  rec(0);
+}
+
+TEST(Determinize, Fig1DfaHasFourStates) {
+  // The minimal DFA of Fig. 1 has states {0, 1, 01, 02}; the one-shot
+  // powerset from {0} reaches exactly those four.
+  const Dfa dfa = determinize(testing::fig1_nfa());
+  EXPECT_EQ(dfa.num_states(), 4);
+}
+
+TEST(Determinize, ContentsAreSubsetLabels) {
+  std::vector<std::vector<State>> contents;
+  const Dfa dfa = determinize(testing::fig1_nfa(), &contents);
+  ASSERT_EQ(contents.size(), static_cast<std::size_t>(dfa.num_states()));
+  EXPECT_EQ(contents[static_cast<std::size_t>(dfa.initial())],
+            (std::vector<State>{0}));
+  // Finality of a subset == it contains NFA state 2.
+  const Nfa nfa = testing::fig1_nfa();
+  for (State s = 0; s < dfa.num_states(); ++s) {
+    const bool has_final = std::find(contents[static_cast<std::size_t>(s)].begin(),
+                                     contents[static_cast<std::size_t>(s)].end(),
+                                     2) != contents[static_cast<std::size_t>(s)].end();
+    EXPECT_EQ(dfa.is_final(s), has_final);
+  }
+}
+
+TEST(Determinize, HandlesEpsilonInput) {
+  const Nfa thompson = thompson_nfa(parse_regex("(a|b)*abb"));
+  const Dfa dfa = determinize(thompson);
+  EXPECT_TRUE(dfa.accepts(std::string("abb")));
+  EXPECT_TRUE(dfa.accepts(std::string("babb")));
+  EXPECT_FALSE(dfa.accepts(std::string("bb")));
+}
+
+TEST(SubsetConstruction, IncrementalSeedingSharesSubsets) {
+  // Seeding {q0} then {q1}... must intern shared successor subsets once:
+  // total states equal the union, not the sum, of the per-seed machines.
+  const Nfa nfa = testing::fig1_nfa();
+  SubsetConstruction construction(nfa);
+  construction.add_seed_singleton(0);
+  construction.run();
+  const std::int32_t after_q0 = construction.num_states();
+  construction.add_seed_singleton(1);
+  construction.run();
+  const std::int32_t after_q1 = construction.num_states();
+  construction.add_seed_singleton(2);
+  construction.run();
+  const std::int32_t after_q2 = construction.num_states();
+
+  EXPECT_EQ(after_q0, 4);  // N(0) = {0, 1, 01, 02}
+  EXPECT_EQ(after_q1, 4);  // {1} already present — nothing added
+  EXPECT_EQ(after_q2, 5);  // N(2) adds only {2} (paper Fig. 3)
+}
+
+TEST(SubsetConstruction, SeedIdsAreStable) {
+  const Nfa nfa = testing::fig1_nfa();
+  SubsetConstruction construction(nfa);
+  const State id0 = construction.add_seed_singleton(0);
+  construction.run();
+  EXPECT_EQ(construction.add_seed_singleton(0), id0);  // re-intern is a no-op
+}
+
+TEST(SubsetConstruction, TransitionsMatchNfaReach) {
+  Prng prng(404);
+  const Nfa nfa = random_nfa(prng);
+  SubsetConstruction construction(nfa);
+  const State seed = construction.add_seed_singleton(nfa.initial());
+  construction.run();
+  // For a random word, stepping the subset machine equals nfa_reach.
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto word = testing::random_word(prng, nfa.num_symbols(), 8);
+    State state = seed;
+    for (const Symbol symbol : word) {
+      if (state == kDeadState) break;
+      state = construction.transition(state, symbol);
+    }
+    Bitset start(static_cast<std::size_t>(nfa.num_states()));
+    start.set(static_cast<std::size_t>(nfa.initial()));
+    const Bitset reached = nfa_reach(nfa, start, word);
+    if (state == kDeadState) {
+      EXPECT_TRUE(reached.empty());
+    } else {
+      EXPECT_EQ(construction.contents(state), reached);
+    }
+  }
+}
+
+class DeterminizeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeterminizeProperty, AgreesWithNfaOnRandomWords) {
+  Prng prng(GetParam());
+  RandomNfaConfig config;
+  config.num_states = 8 + static_cast<std::int32_t>(prng.pick_index(30));
+  config.num_symbols = 2 + static_cast<std::int32_t>(prng.pick_index(3));
+  const Nfa nfa = random_nfa(prng, config);
+  const Dfa dfa = determinize(nfa);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto word =
+        testing::random_word(prng, nfa.num_symbols(), prng.pick_index(20));
+    EXPECT_EQ(dfa.accepts(word), nfa_accepts(nfa, word));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminizeProperty,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+TEST(Determinize, ExponentialFamily) {
+  // [ab]*a[ab]{k}: the minimal DFA needs 2^(k+1) states (it must remember
+  // the 'a' positions among the last k+1 symbols). The raw powerset carries
+  // one extra transient (the short-prefix start state).
+  for (const int k : {2, 4, 6}) {
+    const Nfa nfa = glushkov_nfa(
+        parse_regex("[ab]*a[ab]{" + std::to_string(k) + "}"));
+    const Dfa dfa = determinize(nfa);
+    EXPECT_EQ(dfa.num_states(), (1 << (k + 1)) + 1) << "k = " << k;
+    EXPECT_EQ(minimize_dfa(dfa).num_states(), 1 << (k + 1)) << "k = " << k;
+  }
+}
+
+}  // namespace
+}  // namespace rispar

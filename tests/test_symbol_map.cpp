@@ -1,0 +1,86 @@
+#include "automata/symbol_map.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rispar {
+namespace {
+
+TEST(SymbolMap, IdentitySmallAlphabet) {
+  const SymbolMap map = SymbolMap::identity(3);
+  EXPECT_EQ(map.num_symbols(), 3);
+  EXPECT_EQ(map.symbol_of('a'), 0);
+  EXPECT_EQ(map.symbol_of('b'), 1);
+  EXPECT_EQ(map.symbol_of('c'), 2);
+  EXPECT_EQ(map.symbol_of('z'), SymbolMap::kUnmapped);
+  EXPECT_EQ(map.representative(1), 'b');
+}
+
+TEST(SymbolMap, BuildSingleClass) {
+  ByteSet digits;
+  for (char c = '0'; c <= '9'; ++c) digits.set(static_cast<unsigned char>(c));
+  const SymbolMap map = SymbolMap::build({digits});
+  EXPECT_EQ(map.num_symbols(), 1);
+  EXPECT_EQ(map.symbol_of('0'), map.symbol_of('9'));
+  EXPECT_EQ(map.symbol_of('a'), SymbolMap::kUnmapped);
+}
+
+TEST(SymbolMap, BuildRefinesOverlaps) {
+  ByteSet lower, vowels;
+  for (char c = 'a'; c <= 'z'; ++c) lower.set(static_cast<unsigned char>(c));
+  for (const char c : {'a', 'e', 'i', 'o', 'u'}) vowels.set(static_cast<unsigned char>(c));
+  const SymbolMap map = SymbolMap::build({lower, vowels});
+  // Two classes: vowels (in both) and consonants (lower only).
+  EXPECT_EQ(map.num_symbols(), 2);
+  EXPECT_EQ(map.symbol_of('a'), map.symbol_of('e'));
+  EXPECT_EQ(map.symbol_of('b'), map.symbol_of('z'));
+  EXPECT_NE(map.symbol_of('a'), map.symbol_of('b'));
+}
+
+TEST(SymbolMap, BuildDisjointClasses) {
+  ByteSet a, b;
+  a.set('a');
+  b.set('b');
+  const SymbolMap map = SymbolMap::build({a, b});
+  EXPECT_EQ(map.num_symbols(), 2);
+  EXPECT_NE(map.symbol_of('a'), map.symbol_of('b'));
+}
+
+TEST(SymbolMap, SymbolsOfIntersection) {
+  ByteSet lower, vowels;
+  for (char c = 'a'; c <= 'z'; ++c) lower.set(static_cast<unsigned char>(c));
+  for (const char c : {'a', 'e', 'i', 'o', 'u'}) vowels.set(static_cast<unsigned char>(c));
+  const SymbolMap map = SymbolMap::build({lower, vowels});
+  EXPECT_EQ(map.symbols_of(vowels).size(), 1u);
+  EXPECT_EQ(map.symbols_of(lower).size(), 2u);
+}
+
+TEST(SymbolMap, TranslateMapsEveryByte) {
+  const SymbolMap map = SymbolMap::identity(2);
+  const auto symbols = map.translate("abz");
+  ASSERT_EQ(symbols.size(), 3u);
+  EXPECT_EQ(symbols[0], 0);
+  EXPECT_EQ(symbols[1], 1);
+  EXPECT_EQ(symbols[2], SymbolMap::kUnmapped);
+}
+
+TEST(SymbolMap, RepresentativesRoundTrip) {
+  ByteSet a, bc;
+  a.set('a');
+  bc.set('b');
+  bc.set('c');
+  const SymbolMap map = SymbolMap::build({a, bc});
+  for (std::int32_t s = 0; s < map.num_symbols(); ++s)
+    EXPECT_EQ(map.symbol_of(map.representative(s)), s);
+}
+
+TEST(SymbolMap, FullByteCoverage) {
+  ByteSet all;
+  all.set();
+  const SymbolMap map = SymbolMap::build({all});
+  EXPECT_EQ(map.num_symbols(), 1);
+  for (int b = 0; b < 256; ++b)
+    EXPECT_EQ(map.symbol_of(static_cast<unsigned char>(b)), 0);
+}
+
+}  // namespace
+}  // namespace rispar

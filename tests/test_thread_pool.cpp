@@ -1,0 +1,103 @@
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace rispar {
+namespace {
+
+TEST(ThreadPool, ExecutesEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.run(100, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, ZeroTasksIsANoop) {
+  ThreadPool pool(2);
+  pool.run(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, SingleTask) {
+  ThreadPool pool(8);
+  std::atomic<int> calls{0};
+  pool.run(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, MoreTasksThanWorkers) {
+  ThreadPool pool(2);
+  std::atomic<std::uint64_t> sum{0};
+  pool.run(1000, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 999ull * 1000 / 2);
+}
+
+TEST(ThreadPool, ReusableAcrossManyBatches) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  for (int batch = 0; batch < 200; ++batch)
+    pool.run(8, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 1600);
+}
+
+TEST(ThreadPool, VaryingBatchSizes) {
+  ThreadPool pool(3);
+  for (const std::size_t count : {1u, 2u, 3u, 4u, 17u, 64u, 1u, 128u}) {
+    std::atomic<std::size_t> done{0};
+    pool.run(count, [&](std::size_t) { done.fetch_add(1); });
+    EXPECT_EQ(done.load(), count);
+  }
+}
+
+TEST(ThreadPool, ActuallyRunsInParallel) {
+  // With 4 workers and 4 tasks that rendezvous on a barrier, the batch can
+  // only complete if all 4 run concurrently.
+  ThreadPool pool(4);
+  std::atomic<int> arrived{0};
+  pool.run(4, [&](std::size_t) {
+    arrived.fetch_add(1);
+    while (arrived.load() < 4) std::this_thread::yield();
+  });
+  EXPECT_EQ(arrived.load(), 4);
+}
+
+TEST(ThreadPool, TasksSeeDistinctIndices) {
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::set<std::size_t> indices;
+  pool.run(64, [&](std::size_t i) {
+    std::lock_guard lock(mutex);
+    indices.insert(i);
+  });
+  EXPECT_EQ(indices.size(), 64u);
+  EXPECT_EQ(*indices.begin(), 0u);
+  EXPECT_EQ(*indices.rbegin(), 63u);
+}
+
+TEST(ThreadPool, DefaultSizeUsesHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, DestructionWithoutRunIsClean) {
+  ThreadPool pool(6);
+  // No batch submitted; destructor must join idle workers without deadlock.
+}
+
+TEST(ThreadPool, StressManySmallBatches) {
+  ThreadPool pool(8);
+  std::atomic<std::uint64_t> checksum{0};
+  for (int round = 0; round < 500; ++round)
+    pool.run(3, [&](std::size_t i) { checksum.fetch_add(i + 1); });
+  EXPECT_EQ(checksum.load(), 500u * 6);
+}
+
+}  // namespace
+}  // namespace rispar

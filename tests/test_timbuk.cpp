@@ -1,0 +1,127 @@
+#include "automata/timbuk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "automata/equivalence.hpp"
+#include "automata/nfa_ops.hpp"
+#include "automata/random_nfa.hpp"
+#include "helpers.hpp"
+
+namespace rispar {
+namespace {
+
+constexpr char kSample[] = R"(
+Ops i:0 a:1 b:1
+
+Automaton A
+States q0 q1 q2
+Final States q2
+Transitions
+i() -> q0
+a(q0) -> q1
+b(q1) -> q2
+a(q1) -> q1
+)";
+
+TEST(Timbuk, ParsesSample) {
+  const Nfa nfa = timbuk_from_string(kSample);
+  EXPECT_EQ(nfa.num_states(), 3);
+  EXPECT_EQ(nfa.num_symbols(), 2);
+  EXPECT_EQ(nfa.initial(), 0);
+  EXPECT_TRUE(nfa.is_final(2));
+  // a a b is accepted (a=symbol 0 in first-seen order).
+  EXPECT_TRUE(nfa_accepts(nfa, std::vector<Symbol>{0, 0, 1}));
+  EXPECT_FALSE(nfa_accepts(nfa, std::vector<Symbol>{1}));
+}
+
+TEST(Timbuk, MultipleInitialStatesFoldBehindEpsilon) {
+  const Nfa nfa = timbuk_from_string(R"(
+Automaton multi
+States p q r
+Final States r
+Transitions
+i() -> p
+i() -> q
+a(p) -> r
+b(q) -> r
+)");
+  EXPECT_TRUE(nfa.has_epsilon());
+  EXPECT_TRUE(nfa_accepts(nfa, std::vector<Symbol>{0}));  // via p
+  EXPECT_TRUE(nfa_accepts(nfa, std::vector<Symbol>{1}));  // via q
+  EXPECT_FALSE(nfa_accepts(nfa, std::vector<Symbol>{0, 1}));
+}
+
+TEST(Timbuk, CommentsAndAritySuffixesTolerated) {
+  const Nfa nfa = timbuk_from_string(R"(
+# a comment
+Ops i:0 a:1
+Automaton C
+States q0:0 q1:0   # trailing comment
+Final States q1
+Transitions
+i() -> q0
+a(q0) -> q1
+)");
+  EXPECT_EQ(nfa.num_states(), 2);
+  EXPECT_TRUE(nfa_accepts(nfa, std::vector<Symbol>{0}));
+}
+
+TEST(Timbuk, MalformedInputsThrow) {
+  EXPECT_THROW(timbuk_from_string(""), std::runtime_error);
+  EXPECT_THROW(timbuk_from_string("Automaton A\nStates q0\nFinal States q0\n"),
+               std::runtime_error);  // no Transitions section
+  EXPECT_THROW(timbuk_from_string(R"(
+Automaton A
+States q0
+Final States q0
+Transitions
+a(q0) -> q0
+)"),
+               std::runtime_error);  // no initial leaf rule
+  EXPECT_THROW(timbuk_from_string(R"(
+Automaton A
+States q0
+Final States q0
+Transitions
+i() -> q9
+)"),
+               std::runtime_error);  // unknown state
+  EXPECT_THROW(timbuk_from_string(R"(
+Automaton A
+States q0
+Final States q0
+Transitions
+broken line here
+)"),
+               std::runtime_error);
+}
+
+TEST(Timbuk, RoundTripPreservesLanguage) {
+  Prng prng(99);
+  for (int trial = 0; trial < 8; ++trial) {
+    RandomNfaConfig config;
+    config.num_states = 5 + static_cast<std::int32_t>(prng.pick_index(30));
+    config.num_symbols = 2 + static_cast<std::int32_t>(prng.pick_index(4));
+    const Nfa nfa = random_nfa(prng, config);
+    const Nfa loaded = timbuk_from_string(timbuk_to_string(nfa));
+    EXPECT_EQ(loaded.num_states(), nfa.num_states());
+    EXPECT_TRUE(nfa_equivalent(nfa, loaded));
+  }
+}
+
+TEST(Timbuk, SaveRejectsEpsilonEdges) {
+  Nfa nfa = Nfa::with_identity_alphabet(1);
+  nfa.add_state();
+  nfa.add_state(true);
+  nfa.add_epsilon(0, 1);
+  EXPECT_THROW(timbuk_to_string(nfa), std::invalid_argument);
+}
+
+TEST(Timbuk, Fig1RoundTrip) {
+  const Nfa nfa = testing::fig1_nfa();
+  const Nfa loaded = timbuk_from_string(timbuk_to_string(nfa));
+  EXPECT_TRUE(nfa_equivalent(nfa, loaded));
+}
+
+}  // namespace
+}  // namespace rispar

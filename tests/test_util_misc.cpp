@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/histogram.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace rispar {
+namespace {
+
+// ------------------------------------------------------------------ Table
+
+TEST(Table, RendersHeaderAndRows) {
+  Table table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"beta", "22"});
+  std::ostringstream out;
+  table.render(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("22"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+  Table table({"a", "b", "c"});
+  table.add_row({"only"});
+  std::ostringstream out;
+  table.render(out);
+  EXPECT_NE(out.str().find("only"), std::string::npos);
+}
+
+TEST(Table, NumericCells) {
+  EXPECT_EQ(Table::cell(static_cast<std::int64_t>(-7)), "-7");
+  EXPECT_EQ(Table::cell(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::cell(3.14159, 4), "3.1416");
+  EXPECT_EQ(Table::ratio(3.0, 2.0), "1.50");
+  EXPECT_EQ(Table::ratio(1.0, 0.0), "n/a");
+}
+
+// -------------------------------------------------------------- Histogram
+
+TEST(Histogram, BinsLikeTable2) {
+  // The paper's Tab. 2 bins: width 0.1 from 0.5 upward.
+  Histogram histogram(0.5, 0.1, 9);
+  histogram.add(0.55);  // bin 0
+  histogram.add(0.59);  // bin 0
+  histogram.add(0.65);  // bin 1
+  histogram.add(1.05);  // bin 5
+  histogram.add(0.3);   // underflow
+  histogram.add(2.5);   // overflow
+  EXPECT_EQ(histogram.bin_count(0), 2u);
+  EXPECT_EQ(histogram.bin_count(1), 1u);
+  EXPECT_EQ(histogram.bin_count(5), 1u);
+  EXPECT_EQ(histogram.underflow(), 1u);
+  EXPECT_EQ(histogram.overflow(), 1u);
+  EXPECT_EQ(histogram.total(), 6u);
+}
+
+TEST(Histogram, CountBelowSplit) {
+  Histogram histogram(0.5, 0.1, 9);
+  histogram.add(0.55);
+  histogram.add(0.95);
+  histogram.add(1.05);
+  histogram.add(0.2);  // underflow counts as below
+  EXPECT_EQ(histogram.count_below(1.0), 3u);
+}
+
+TEST(Histogram, BinLabels) {
+  Histogram histogram(0.5, 0.1, 2);
+  EXPECT_EQ(histogram.bin_label(0), "0.5 - 0.6");
+  EXPECT_EQ(histogram.bin_label(1), "0.6 - 0.7");
+}
+
+// -------------------------------------------------------------------- Cli
+
+TEST(Cli, ParsesOptionsAndFlags) {
+  Cli cli("prog", "test");
+  cli.add_option("size", "10", "a size");
+  cli.add_option("name", "x", "a name");
+  cli.add_flag("fast", "go fast");
+  const char* argv[] = {"prog", "--size", "42", "--fast", "--name=abc"};
+  ASSERT_TRUE(cli.parse(5, const_cast<char**>(argv)));
+  EXPECT_EQ(cli.get_int("size"), 42);
+  EXPECT_EQ(cli.get("name"), "abc");
+  EXPECT_TRUE(cli.get_flag("fast"));
+}
+
+TEST(Cli, DefaultsApply) {
+  Cli cli("prog", "test");
+  cli.add_option("size", "10", "a size");
+  cli.add_flag("fast", "go fast");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, const_cast<char**>(argv)));
+  EXPECT_EQ(cli.get_int("size"), 10);
+  EXPECT_FALSE(cli.get_flag("fast"));
+}
+
+TEST(Cli, RejectsUnknownOption) {
+  Cli cli("prog", "test");
+  const char* argv[] = {"prog", "--mystery", "1"};
+  EXPECT_FALSE(cli.parse(3, const_cast<char**>(argv)));
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  Cli cli("prog", "test");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, const_cast<char**>(argv)));
+}
+
+TEST(Cli, IntListParsing) {
+  Cli cli("prog", "test");
+  cli.add_option("threads", "2,4,8", "thread sweep");
+  const char* argv[] = {"prog", "--threads", "1,16,32"};
+  ASSERT_TRUE(cli.parse(3, const_cast<char**>(argv)));
+  EXPECT_EQ(cli.get_int_list("threads"), (std::vector<std::int64_t>{1, 16, 32}));
+}
+
+TEST(Cli, DoubleOption) {
+  Cli cli("prog", "test");
+  cli.add_option("scale", "0.5", "scale factor");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, const_cast<char**>(argv)));
+  EXPECT_DOUBLE_EQ(cli.get_double("scale"), 0.5);
+}
+
+// -------------------------------------------------------------- Stopwatch
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch clock;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(clock.seconds(), 0.0);
+  EXPECT_GE(clock.micros(), clock.millis());
+}
+
+TEST(Stopwatch, TimeAverageRunsAtLeastOnce) {
+  int calls = 0;
+  const double avg = time_average([&] { ++calls; }, /*min_seconds=*/0.0, /*min_reps=*/1);
+  EXPECT_GE(calls, 1);
+  EXPECT_GE(avg, 0.0);
+}
+
+TEST(Stopwatch, TimeAverageHonorsMinReps) {
+  int calls = 0;
+  time_average([&] { ++calls; }, /*min_seconds=*/0.0, /*min_reps=*/5);
+  EXPECT_GE(calls, 5);
+}
+
+}  // namespace
+}  // namespace rispar

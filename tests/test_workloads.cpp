@@ -1,0 +1,105 @@
+#include "workloads/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "automata/glushkov.hpp"
+#include "parallel/recognizer.hpp"
+
+namespace rispar {
+namespace {
+
+class WorkloadCase : public ::testing::TestWithParam<int> {
+ protected:
+  WorkloadSpec spec_ = benchmark_suite()[static_cast<std::size_t>(GetParam())];
+};
+
+TEST_P(WorkloadCase, TextIsAMemberOfTheLanguage) {
+  Prng prng(1);
+  const std::string text = spec_.text(20'000, prng);
+  EXPECT_GE(text.size(), 20'000u);
+  const LanguageEngines engines = LanguageEngines::from_nfa(glushkov_nfa(spec_.regex()));
+  EXPECT_TRUE(engines.accepts(engines.translate(text))) << spec_.name;
+}
+
+TEST_P(WorkloadCase, TextGenerationIsDeterministic) {
+  Prng a(7), b(7);
+  EXPECT_EQ(spec_.text(5'000, a), spec_.text(5'000, b));
+}
+
+TEST_P(WorkloadCase, ParallelAgreesWithSerialOnItsText) {
+  Prng prng(2);
+  const std::string text = spec_.text(30'000, prng);
+  const LanguageEngines engines = LanguageEngines::from_nfa(glushkov_nfa(spec_.regex()));
+  const auto input = engines.translate(text);
+  ThreadPool pool(4);
+  const DeviceOptions options{.chunks = 8, .convergence = false};
+  for (const Variant variant : {Variant::kDfa, Variant::kNfa, Variant::kRid})
+    EXPECT_TRUE(engines.recognize(variant, input, pool, options).accepted)
+        << spec_.name << " " << variant_name(variant);
+}
+
+TEST_P(WorkloadCase, AutomataSizesArePinned) {
+  // Exact regression pins for the compiled chunk automata. The winning /
+  // even grouping itself is behavioural (run survival, not state counts)
+  // and is asserted on transition ratios in test_integration.cpp.
+  struct Pin {
+    const char* name;
+    int nfa, min_dfa, interface;
+  };
+  static constexpr Pin kPins[] = {
+      {"bigdata", 5, 3, 3},     {"regexp", 9, 128, 8}, {"bible", 16, 17, 13},
+      {"fasta", 32, 29, 29},    {"traffic", 102, 92, 93},
+  };
+  const LanguageEngines engines = LanguageEngines::from_nfa(glushkov_nfa(spec_.regex()));
+  for (const Pin& pin : kPins) {
+    if (spec_.name != pin.name) continue;
+    EXPECT_EQ(engines.nfa().num_states(), pin.nfa) << spec_.name;
+    EXPECT_EQ(engines.min_dfa().num_states(), pin.min_dfa) << spec_.name;
+    EXPECT_EQ(engines.ridfa().initial_count(), pin.interface) << spec_.name;
+    // The reduced interface is never larger than the NFA (Sect. 3.4).
+    EXPECT_LE(engines.ridfa().initial_count(), engines.nfa().num_states());
+    return;
+  }
+  FAIL() << "no pin for workload " << spec_.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFive, WorkloadCase, ::testing::Range(0, 5),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return benchmark_suite()[static_cast<std::size_t>(
+                                                        info.param)]
+                               .name;
+                         });
+
+TEST(Workloads, SuiteNamesMatchTable1) {
+  const auto suite = benchmark_suite();
+  ASSERT_EQ(suite.size(), 5u);
+  EXPECT_EQ(suite[0].name, "bigdata");
+  EXPECT_EQ(suite[1].name, "regexp");
+  EXPECT_EQ(suite[2].name, "bible");
+  EXPECT_EQ(suite[3].name, "fasta");
+  EXPECT_EQ(suite[4].name, "traffic");
+}
+
+TEST(Workloads, RegexpFamilyScalesExponentially) {
+  const LanguageEngines k4 =
+      LanguageEngines::from_nfa(glushkov_nfa(regexp_workload(4).regex()));
+  const LanguageEngines k6 =
+      LanguageEngines::from_nfa(glushkov_nfa(regexp_workload(6).regex()));
+  EXPECT_EQ(k4.min_dfa().num_states(), 1 << 5);
+  EXPECT_EQ(k6.min_dfa().num_states(), 1 << 7);
+  EXPECT_EQ(k4.ridfa().initial_count(), 6);
+  EXPECT_EQ(k6.ridfa().initial_count(), 8);
+}
+
+TEST(Workloads, TrafficNfaSizeNearTable1) {
+  const Nfa nfa = glushkov_nfa(traffic_workload().regex());
+  EXPECT_GE(nfa.num_states(), 80);
+  EXPECT_LE(nfa.num_states(), 130);  // Tab. 1 reports 101
+}
+
+TEST(Workloads, PaperBytesRecorded) {
+  for (const auto& spec : benchmark_suite()) EXPECT_GT(spec.paper_bytes, 0u) << spec.name;
+}
+
+}  // namespace
+}  // namespace rispar

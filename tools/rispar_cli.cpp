@@ -1,0 +1,234 @@
+// rispar — command-line front end to the library.
+//
+//   rispar compile <pattern>                  automata statistics for an RE
+//   rispar match   <pattern> <file|->         parallel recognition of a file
+//          [--variant dfa|nfa|rid|all] [--chunks N] [--threads N]
+//   rispar export  <pattern> [--machine nfa|dfa|ridfa] [--format native|timbuk]
+//   rispar gen     <benchmark> <bytes> [--seed N]     workload text to stdout
+//   rispar bench-list                         the five paper workloads
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "automata/glushkov.hpp"
+#include "automata/minimize.hpp"
+#include "automata/serialize.hpp"
+#include "automata/subset.hpp"
+#include "automata/timbuk.hpp"
+#include "core/interface_min.hpp"
+#include "parallel/match_count.hpp"
+#include "parallel/recognizer.hpp"
+#include "regex/parser.hpp"
+#include "util/stopwatch.hpp"
+#include "workloads/suite.hpp"
+
+using namespace rispar;
+
+namespace {
+
+int usage() {
+  std::fputs(
+      "usage:\n"
+      "  rispar compile <pattern>\n"
+      "  rispar match <pattern> <file|-> [--variant dfa|nfa|rid|all]\n"
+      "               [--chunks N] [--threads N]\n"
+      "  rispar count <pattern> <file|-> [--chunks N]   occurrences of pattern\n"
+      "  rispar export <pattern> [--machine nfa|dfa|ridfa] [--format native|timbuk]\n"
+      "  rispar gen <benchmark> <bytes> [--seed N]\n"
+      "  rispar bench-list\n",
+      stderr);
+  return 2;
+}
+
+std::string flag_value(int argc, char** argv, const char* name,
+                       const std::string& fallback) {
+  for (int i = 0; i < argc - 1; ++i)
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  return fallback;
+}
+
+int cmd_compile(const std::string& pattern) {
+  const LanguageEngines engines = LanguageEngines::from_regex(pattern);
+  std::printf("pattern              : %s\n", pattern.c_str());
+  std::printf("symbol classes       : %d\n", engines.symbols().num_symbols());
+  std::printf("NFA states           : %d (%zu edges)\n", engines.nfa().num_states(),
+              engines.nfa().num_edges());
+  std::printf("minimal DFA states   : %d\n", engines.min_dfa().num_states());
+  std::printf("RI-DFA states        : %d\n", engines.ridfa().num_states());
+  std::printf("RI-DFA interface     : %d initial states\n",
+              engines.ridfa().initial_count());
+  return 0;
+}
+
+int cmd_match(const std::string& pattern, const std::string& path, int argc,
+              char** argv) {
+  std::string text;
+  if (path == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  } else {
+    std::ifstream file(path, std::ios::binary);
+    if (!file) {
+      std::fprintf(stderr, "rispar: cannot open '%s'\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    text = buffer.str();
+  }
+
+  const LanguageEngines engines = LanguageEngines::from_regex(pattern);
+  const std::vector<Symbol> input = engines.translate(text);
+
+  const std::string variant_name_arg = flag_value(argc, argv, "--variant", "rid");
+  const auto chunks = static_cast<std::size_t>(
+      std::strtoul(flag_value(argc, argv, "--chunks", "16").c_str(), nullptr, 10));
+  const auto threads = static_cast<unsigned>(
+      std::strtoul(flag_value(argc, argv, "--threads", "0").c_str(), nullptr, 10));
+  ThreadPool pool(threads);
+  const DeviceOptions options{.chunks = chunks, .convergence = false};
+
+  std::vector<Variant> variants;
+  if (variant_name_arg == "all") {
+    variants = {Variant::kDfa, Variant::kNfa, Variant::kRid};
+  } else if (variant_name_arg == "dfa") {
+    variants = {Variant::kDfa};
+  } else if (variant_name_arg == "nfa") {
+    variants = {Variant::kNfa};
+  } else if (variant_name_arg == "rid") {
+    variants = {Variant::kRid};
+  } else {
+    std::fprintf(stderr, "rispar: unknown variant '%s'\n", variant_name_arg.c_str());
+    return 2;
+  }
+
+  bool accepted = false;
+  for (const Variant variant : variants) {
+    Stopwatch clock;
+    const RecognitionStats stats = engines.recognize(variant, input, pool, options);
+    std::printf("%-4s: %-8s %9.3f ms, %llu transitions, c=%llu\n",
+                variant_name(variant), stats.accepted ? "MATCH" : "no-match",
+                clock.millis(), static_cast<unsigned long long>(stats.transitions),
+                static_cast<unsigned long long>(stats.chunks));
+    accepted = stats.accepted;
+  }
+  return accepted ? 0 : 1;
+}
+
+std::string read_input(const std::string& path, bool& ok) {
+  ok = true;
+  if (path == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    return buffer.str();
+  }
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    std::fprintf(stderr, "rispar: cannot open '%s'\n", path.c_str());
+    ok = false;
+    return {};
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+int cmd_count(const std::string& pattern, const std::string& path, int argc,
+              char** argv) {
+  bool ok = false;
+  const std::string text = read_input(path, ok);
+  if (!ok) return 1;
+
+  // Σ* p searcher: final after every prefix ending an occurrence.
+  const Dfa dfa =
+      minimize_dfa(determinize(glushkov_nfa(parse_regex(".*(" + pattern + ")"))));
+  const std::vector<Symbol> input = dfa.symbols().translate(text);
+  const auto chunks = static_cast<std::size_t>(
+      std::strtoul(flag_value(argc, argv, "--chunks", "16").c_str(), nullptr, 10));
+  ThreadPool pool;
+  Stopwatch clock;
+  const MatchCount counted = count_matches(dfa, input, pool, chunks);
+  std::printf("%llu occurrence%s in %zu bytes (%.3f ms%s)\n",
+              static_cast<unsigned long long>(counted.matches),
+              counted.matches == 1 ? "" : "s", text.size(), clock.millis(),
+              counted.died ? "; scan aborted on foreign byte" : "");
+  return 0;
+}
+
+int cmd_export(const std::string& pattern, int argc, char** argv) {
+  const std::string machine = flag_value(argc, argv, "--machine", "nfa");
+  const std::string format = flag_value(argc, argv, "--format", "native");
+  const LanguageEngines engines = LanguageEngines::from_regex(pattern);
+  if (machine == "nfa") {
+    if (format == "timbuk")
+      save_timbuk(std::cout, engines.nfa());
+    else
+      save_nfa(std::cout, engines.nfa());
+  } else if (machine == "dfa") {
+    if (format == "timbuk")
+      save_timbuk(std::cout, dfa_to_nfa(engines.min_dfa()));
+    else
+      save_dfa(std::cout, engines.min_dfa());
+  } else if (machine == "ridfa") {
+    // The RI-DFA exports as its underlying DFA plus an interface comment.
+    std::cout << "# RI-DFA: initial interface states:";
+    for (const State p : engines.ridfa().initial_states()) std::cout << ' ' << p;
+    std::cout << '\n';
+    save_dfa(std::cout, engines.ridfa().dfa());
+  } else {
+    std::fprintf(stderr, "rispar: unknown machine '%s'\n", machine.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+int cmd_gen(const std::string& name, std::size_t bytes, std::uint64_t seed) {
+  for (const auto& spec : benchmark_suite()) {
+    if (spec.name != name) continue;
+    Prng prng(seed);
+    std::cout << spec.text(bytes, prng);
+    return 0;
+  }
+  std::fprintf(stderr, "rispar: unknown benchmark '%s' (try bench-list)\n",
+               name.c_str());
+  return 2;
+}
+
+int cmd_bench_list() {
+  for (const auto& spec : benchmark_suite())
+    std::printf("%-8s %-8s paper max text %.2f MB\n", spec.name.c_str(),
+                spec.winning ? "winning" : "even",
+                static_cast<double>(spec.paper_bytes) / (1 << 20));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "compile" && argc >= 3) return cmd_compile(argv[2]);
+    if (command == "match" && argc >= 4)
+      return cmd_match(argv[2], argv[3], argc, argv);
+    if (command == "count" && argc >= 4)
+      return cmd_count(argv[2], argv[3], argc, argv);
+    if (command == "export" && argc >= 3) return cmd_export(argv[2], argc, argv);
+    if (command == "gen" && argc >= 4)
+      return cmd_gen(argv[2], std::strtoul(argv[3], nullptr, 10),
+                     std::strtoul(flag_value(argc, argv, "--seed", "1").c_str(),
+                                  nullptr, 10));
+    if (command == "bench-list") return cmd_bench_list();
+  } catch (const RegexError& error) {
+    std::fprintf(stderr, "rispar: bad pattern: %s\n", error.what());
+    return 2;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "rispar: %s\n", error.what());
+    return 1;
+  }
+  return usage();
+}
