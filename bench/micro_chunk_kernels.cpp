@@ -1,7 +1,17 @@
 // Microbenchmarks of the reach-phase kernels: speculative deterministic
-// runs (independent vs convergent) and the NFA frontier kernel, on one
-// chunk of each benchmark group's representative.
+// runs (fused vs reference implementation, independent vs convergent) and
+// the NFA frontier kernel, on one chunk of each benchmark group's
+// representative.
+//
+// Unless the caller passes --benchmark_out, results are also written as
+// machine-readable JSON to BENCH_chunk_kernels.json in the working
+// directory, so CI and successive PRs can track the kernel throughput
+// trajectory (see docs/perf.md).
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "automata/glushkov.hpp"
 #include "parallel/ca_run.hpp"
@@ -38,42 +48,69 @@ const ChunkFixture& traffic_fixture() {
   return fixture;
 }
 
+DetChunkOptions options_from_args(const benchmark::State& state) {
+  return DetChunkOptions{
+      .convergence = state.range(0) != 0,
+      .kernel = state.range(1) != 0 ? DetKernel::kFused : DetKernel::kReference};
+}
+
+std::string label_from_args(const benchmark::State& state) {
+  std::string label = state.range(0) ? "convergent" : "independent";
+  label += state.range(1) ? "/fused" : "/reference";
+  return label;
+}
+
+// The acceptance-criterion shape: >= 16 speculative starts over a 64 KiB
+// chunk (bible's minimal DFA has 17 states). Args: (convergence, fused).
 void BM_DetKernelAllStarts_Winning(benchmark::State& state) {
   const ChunkFixture& f = bible_fixture();
-  const DetChunkOptions options{.convergence = state.range(0) != 0};
+  const DetChunkOptions options = options_from_args(state);
   for (auto _ : state) {
     const DetChunkResult result =
         run_chunk_det(f.engines.min_dfa(), f.chunk, f.dfa_starts, options);
     benchmark::DoNotOptimize(result.lambda.size());
   }
-  state.SetLabel(state.range(0) ? "convergent" : "independent");
+  state.SetLabel(label_from_args(state));
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * f.chunk.size()));
 }
-BENCHMARK(BM_DetKernelAllStarts_Winning)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DetKernelAllStarts_Winning)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_DetKernelAllStarts_Even(benchmark::State& state) {
   const ChunkFixture& f = traffic_fixture();
-  const DetChunkOptions options{.convergence = state.range(0) != 0};
+  const DetChunkOptions options = options_from_args(state);
   for (auto _ : state) {
     const DetChunkResult result =
         run_chunk_det(f.engines.min_dfa(), f.chunk, f.dfa_starts, options);
     benchmark::DoNotOptimize(result.lambda.size());
   }
-  state.SetLabel(state.range(0) ? "convergent" : "independent");
+  state.SetLabel(label_from_args(state));
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * f.chunk.size()));
 }
-BENCHMARK(BM_DetKernelAllStarts_Even)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DetKernelAllStarts_Even)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_RidKernelInterfaceStarts(benchmark::State& state) {
   const ChunkFixture& f = bible_fixture();
+  const DetChunkOptions options{
+      .kernel = state.range(0) != 0 ? DetKernel::kFused : DetKernel::kReference};
   for (auto _ : state) {
     const DetChunkResult result = run_chunk_det(
-        f.engines.ridfa().dfa(), f.chunk, f.engines.ridfa().initial_states());
+        f.engines.ridfa().dfa(), f.chunk, f.engines.ridfa().initial_states(), options);
     benchmark::DoNotOptimize(result.lambda.size());
   }
+  state.SetLabel(state.range(0) ? "fused" : "reference");
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * f.chunk.size()));
 }
-BENCHMARK(BM_RidKernelInterfaceStarts)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RidKernelInterfaceStarts)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_NfaKernelAllStarts(benchmark::State& state) {
   const ChunkFixture& f = traffic_fixture();
@@ -98,3 +135,25 @@ void BM_SingleDfaRun(benchmark::State& state) {
 BENCHMARK(BM_SingleDfaRun)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0 &&
+        (argv[i][15] == '=' || argv[i][15] == '\0'))
+      has_out = true;
+  // Stable storage for the injected defaults (benchmark keeps pointers).
+  std::string out_flag = "--benchmark_out=BENCH_chunk_kernels.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,7 +4,22 @@
 
 namespace rispar {
 
+const PackedTable& Dfa::packed() const {
+  auto current = std::atomic_load_explicit(&packed_, std::memory_order_acquire);
+  if (!current) {
+    auto built = std::make_shared<const PackedTable>(
+        PackedTable::build(table_, num_states(), num_symbols_));
+    std::shared_ptr<const PackedTable> expected;
+    if (std::atomic_compare_exchange_strong(&packed_, &expected, built))
+      current = std::move(built);
+    else
+      current = std::move(expected);  // another thread won; use its build
+  }
+  return *current;
+}
+
 State Dfa::add_state(bool is_final) {
+  packed_.reset();
   const State state = num_states();
   table_.insert(table_.end(), static_cast<std::size_t>(num_symbols_), kDeadState);
   Bitset grown(static_cast<std::size_t>(state) + 1);
@@ -22,6 +37,7 @@ void Dfa::set_final(State state, bool is_final) {
 }
 
 void Dfa::set_transition(State from, Symbol symbol, State to) {
+  packed_.reset();
   assert(from >= 0 && from < num_states());
   assert(symbol >= 0 && symbol < num_symbols_);
   assert(to == kDeadState || (to >= 0 && to < num_states()));

@@ -7,10 +7,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "automata/nfa.hpp"
+#include "automata/packed_table.hpp"
 #include "automata/symbol_map.hpp"
 #include "util/bitset.hpp"
 
@@ -66,12 +68,23 @@ class Dfa {
   /// View of the whole table (tests, serialization).
   const std::vector<State>& table() const { return table_; }
 
+  /// Width-specialized copy of the table for the hot kernels (see
+  /// packed_table.hpp). Built lazily and cached; mutations invalidate the
+  /// cache. Concurrent packed() calls are safe (atomic install; a lost race
+  /// just discards a duplicate build) — but mutating the Dfa concurrently
+  /// with any reader is not, as everywhere else on this class. The devices
+  /// still warm the cache in their constructors so pool workers never pay
+  /// the build.
+  const PackedTable& packed() const;
+
  private:
   std::int32_t num_symbols_ = 0;
   State initial_ = 0;
   Bitset finals_{0};
   std::vector<State> table_;
   SymbolMap symbols_ = SymbolMap::identity(1);
+  /// Cache of packed(); shared so copies of an unmutated Dfa reuse it.
+  mutable std::shared_ptr<const PackedTable> packed_;
 };
 
 /// Interprets the DFA as an NFA (for pipelines that need the common type).

@@ -1,0 +1,43 @@
+#include "automata/packed_table.hpp"
+
+namespace rispar {
+
+namespace {
+
+template <typename T>
+std::vector<T> pack_transposed(const std::vector<State>& table, std::int32_t num_states,
+                               std::int32_t num_symbols) {
+  const auto n = static_cast<std::size_t>(num_states);
+  const auto k = static_cast<std::size_t>(num_symbols);
+  std::vector<T> packed(table.size());
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t a = 0; a < k; ++a) {
+      const State entry = table[s * k + a];
+      packed[a * n + s] =
+          entry == kDeadState ? PackedDead<T>::value : static_cast<T>(entry);
+    }
+  }
+  return packed;
+}
+
+}  // namespace
+
+PackedTable PackedTable::build(const std::vector<State>& table, std::int32_t num_states,
+                               std::int32_t num_symbols) {
+  PackedTable result;
+  result.num_states_ = num_states;
+  result.num_symbols_ = num_symbols;
+  if (num_states < 0xFF) {
+    result.width_ = TableWidth::kU8;
+    result.u8_ = pack_transposed<std::uint8_t>(table, num_states, num_symbols);
+  } else if (num_states < 0xFFFF) {
+    result.width_ = TableWidth::kU16;
+    result.u16_ = pack_transposed<std::uint16_t>(table, num_states, num_symbols);
+  } else {
+    result.width_ = TableWidth::kI32;
+    result.i32_ = pack_transposed<std::int32_t>(table, num_states, num_symbols);
+  }
+  return result;
+}
+
+}  // namespace rispar

@@ -1,0 +1,125 @@
+// Width-specialized, symbol-major copies of a dense DFA transition table.
+//
+// The RI-DFA construction produces small chunk automata (tens to a few
+// hundred states), yet the seed stored every table entry as an int32 in
+// state-major order. The packed copy differs in two ways, both for the
+// benefit of the speculative multi-start kernels (parallel/ca_run.cpp):
+//
+//  * entries use the narrowest unsigned type that can hold `num_states`
+//    plus a dead sentinel, shrinking the working set up to 4× so the hot
+//    part of the table stays L1-resident;
+//  * the layout is symbol-major (column(symbol)[state]): a kernel advancing
+//    N runs over one symbol hoists the column base out of the per-run loop
+//    — no per-lookup row multiply — and the N lookups land in one
+//    contiguous `num_states`-sized column.
+//
+// Encoding: states keep their ids; the dead transition is the all-ones
+// value of the entry type (255 / 65535) for the narrow widths and
+// kDeadState (-1) for the int32 fallback. `PackedDead<T>::value` is the
+// sentinel of entry type T. Kernels are templated over T and dispatch on
+// `width()`.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "automata/nfa.hpp"
+
+namespace rispar {
+
+enum class TableWidth : std::uint8_t { kU8, kU16, kI32 };
+
+template <typename T>
+struct PackedDead;
+template <>
+struct PackedDead<std::uint8_t> {
+  static constexpr std::uint8_t value = 0xFF;
+};
+template <>
+struct PackedDead<std::uint16_t> {
+  static constexpr std::uint16_t value = 0xFFFF;
+};
+template <>
+struct PackedDead<std::int32_t> {
+  static constexpr std::int32_t value = kDeadState;
+};
+
+class PackedTable {
+ public:
+  PackedTable() = default;
+
+  /// Packs `table` (state-major, num_states × num_symbols, dead =
+  /// kDeadState) into the narrowest width whose sentinel cannot collide
+  /// with a state id: u8 for < 255 states, u16 for < 65535, int32
+  /// otherwise.
+  static PackedTable build(const std::vector<State>& table, std::int32_t num_states,
+                           std::int32_t num_symbols);
+
+  TableWidth width() const { return width_; }
+  std::int32_t num_states() const { return num_states_; }
+  std::int32_t num_symbols() const { return num_symbols_; }
+
+  /// Symbol-major entry array; T must match width(). Column `a` starts at
+  /// data<T>() + a * num_states() and is indexed by state.
+  template <typename T>
+  const T* data() const;
+
+  template <typename T>
+  const T* column(Symbol symbol) const {
+    return data<T>() + static_cast<std::size_t>(symbol) * num_states_;
+  }
+
+ private:
+  TableWidth width_ = TableWidth::kI32;
+  std::int32_t num_states_ = 0;
+  std::int32_t num_symbols_ = 0;
+  std::vector<std::uint8_t> u8_;
+  std::vector<std::uint16_t> u16_;
+  std::vector<std::int32_t> i32_;
+};
+
+/// Result of a single run over a packed table: `end` is kDeadState when the
+/// run died (dead transition or out-of-range symbol) and `consumed` counts
+/// the executed transitions — the killing symbol is not counted (accounting
+/// convention: parallel/ca_run.hpp).
+struct PackedRun {
+  State end = kDeadState;
+  std::size_t consumed = 0;
+};
+
+/// Scalar single-start loop shared by the serial oracle (core/serial_match)
+/// and the chunk kernels' single-start / lone-survivor fast paths
+/// (parallel/ca_run). One predictable validity branch per symbol — the
+/// unsigned cast folds the `< 0` and `>= num_symbols` checks into one
+/// compare.
+template <typename T>
+PackedRun run_packed_single(const PackedTable& table, State start, const Symbol* input,
+                            std::size_t length) {
+  constexpr T kDead = PackedDead<T>::value;
+  const T* entries = table.data<T>();
+  const auto n = static_cast<std::size_t>(table.num_states());
+  const auto limit = static_cast<std::uint32_t>(table.num_symbols());
+  T state = static_cast<T>(start);
+  for (std::size_t i = 0; i < length; ++i) {
+    if (static_cast<std::uint32_t>(input[i]) >= limit) return {kDeadState, i};
+    state = entries[static_cast<std::size_t>(input[i]) * n +
+                    static_cast<std::size_t>(state)];
+    if (state == kDead) return {kDeadState, i};
+  }
+  return {static_cast<State>(state), length};
+}
+
+template <>
+inline const std::uint8_t* PackedTable::data<std::uint8_t>() const {
+  return u8_.data();
+}
+template <>
+inline const std::uint16_t* PackedTable::data<std::uint16_t>() const {
+  return u16_.data();
+}
+template <>
+inline const std::int32_t* PackedTable::data<std::int32_t>() const {
+  return i32_.data();
+}
+
+}  // namespace rispar

@@ -70,4 +70,27 @@ std::vector<std::int32_t> SymbolMap::translate(const std::string& text) const {
   return symbols;
 }
 
+std::size_t first_invalid_symbol(std::span<const std::int32_t> chunk,
+                                 std::int32_t num_symbols) {
+  // Blocked max-reduction so the common all-valid case vectorizes; the
+  // unsigned cast folds the `< 0` and `>= num_symbols` checks into one
+  // compare (negative values wrap above any valid symbol id).
+  const auto limit = static_cast<std::uint32_t>(num_symbols);
+  constexpr std::size_t kBlock = 64;
+  std::size_t i = 0;
+  for (; i + kBlock <= chunk.size(); i += kBlock) {
+    std::uint32_t max_seen = 0;
+    for (std::size_t j = 0; j < kBlock; ++j) {
+      const auto value = static_cast<std::uint32_t>(chunk[i + j]);
+      max_seen = value > max_seen ? value : max_seen;
+    }
+    if (max_seen < limit) continue;
+    for (std::size_t j = 0; j < kBlock; ++j)
+      if (static_cast<std::uint32_t>(chunk[i + j]) >= limit) return i + j;
+  }
+  for (; i < chunk.size(); ++i)
+    if (static_cast<std::uint32_t>(chunk[i]) >= limit) return i;
+  return chunk.size();
+}
+
 }  // namespace rispar

@@ -9,7 +9,9 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -43,6 +45,11 @@ class SymbolMap {
   unsigned char representative(std::int32_t symbol) const { return reps_[static_cast<std::size_t>(symbol)]; }
 
   /// Translates a byte string into symbol ids (kUnmapped for alien bytes).
+  /// Guarantee used by the recognizers: every output symbol is either
+  /// kUnmapped or in [0, num_symbols()), so validating a translated chunk
+  /// is a single scan for out-of-range values (first_invalid_symbol below)
+  /// and the per-symbol range checks can be hoisted out of the kernels'
+  /// inner loops.
   std::vector<std::int32_t> translate(const std::string& text) const;
 
   const std::array<std::int32_t, 256>& raw_table() const { return byte_to_symbol_; }
@@ -52,5 +59,12 @@ class SymbolMap {
   std::array<std::int32_t, 256> byte_to_symbol_{};
   std::vector<unsigned char> reps_;
 };
+
+/// Index of the first symbol outside [0, num_symbols), or chunk.size() when
+/// every symbol is valid. This is the one-pass validation the chunk kernels
+/// run before their unchecked inner loops: for text produced by
+/// SymbolMap::translate it amounts to a scan for kUnmapped.
+std::size_t first_invalid_symbol(std::span<const std::int32_t> chunk,
+                                 std::int32_t num_symbols);
 
 }  // namespace rispar

@@ -1,21 +1,27 @@
 #include "core/serial_match.hpp"
 
+#include "automata/packed_table.hpp"
 #include "util/bitset.hpp"
 
 namespace rispar {
 
 State run_dfa_span(const Dfa& dfa, State start, const Symbol* input, std::size_t length,
                    std::uint64_t& transitions) {
-  State state = start;
-  const std::int32_t k = dfa.num_symbols();
-  for (std::size_t i = 0; i < length; ++i) {
-    const Symbol symbol = input[i];
-    if (symbol < 0 || symbol >= k) return kDeadState;
-    state = dfa.row(state)[symbol];
-    if (state == kDeadState) return kDeadState;
-    ++transitions;
+  const PackedTable& table = dfa.packed();
+  PackedRun run;
+  switch (table.width()) {
+    case TableWidth::kU8:
+      run = run_packed_single<std::uint8_t>(table, start, input, length);
+      break;
+    case TableWidth::kU16:
+      run = run_packed_single<std::uint16_t>(table, start, input, length);
+      break;
+    case TableWidth::kI32:
+      run = run_packed_single<std::int32_t>(table, start, input, length);
+      break;
   }
-  return state;
+  transitions += run.consumed;
+  return run.end;
 }
 
 MatchResult serial_match(const Dfa& dfa, const std::vector<Symbol>& input) {

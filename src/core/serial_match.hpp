@@ -1,12 +1,9 @@
 // Serial recognizers with exact transition accounting.
 //
 // These are the c = 1 baselines of the paper's evaluation and the oracles of
-// the test suite. The transition-counting conventions reproduce Fig. 1
-// exactly (min-DFA 15 / NFA 14 / RI-DFA 9 on "aabcab" in two chunks):
-//   * deterministic machines count one transition per consumed symbol; a run
-//     that dies after j symbols contributes j;
-//   * the NFA frontier simulation counts every edge traversal (each element
-//     of ρ(s, a) applied to each frontier member).
+// the test suite. They follow the transition-accounting convention stated
+// once in parallel/ca_run.hpp (reproducing Fig. 1 exactly: min-DFA 15 /
+// NFA 14 / RI-DFA 9 on "aabcab" in two chunks).
 #pragma once
 
 #include <cstdint>

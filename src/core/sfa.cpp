@@ -1,6 +1,9 @@
 #include "core/sfa.hpp"
 
+#include <algorithm>
 #include <unordered_map>
+
+#include "automata/packed_table.hpp"
 
 namespace rispar {
 
@@ -17,6 +20,24 @@ struct MappingHash {
   }
 };
 
+// Composes `current` with symbol `a` of the packed chunk-automaton table.
+// The symbol-major layout makes this a walk over one contiguous column.
+template <typename T>
+void compose_mapping(const PackedTable& table, const std::vector<State>& current,
+                     Symbol a, std::vector<State>& next) {
+  constexpr T kDead = PackedDead<T>::value;
+  const T* col = table.column<T>(a);
+  for (std::size_t q = 0; q < current.size(); ++q) {
+    const State mid = current[q];
+    if (mid == kDeadState) {
+      next[q] = kDeadState;
+      continue;
+    }
+    const T stepped = col[static_cast<std::size_t>(mid)];
+    next[q] = stepped == kDead ? kDeadState : static_cast<State>(stepped);
+  }
+}
+
 }  // namespace
 
 State Sfa::run(const Symbol* input, std::size_t length, std::uint64_t& transitions) const {
@@ -24,20 +45,11 @@ State Sfa::run(const Symbol* input, std::size_t length, std::uint64_t& transitio
   for (std::size_t i = 0; i < length; ++i) {
     const Symbol symbol = input[i];
     if (symbol < 0 || symbol >= num_symbols_) {
-      // Foreign byte: every run dies; jump to the all-dead mapping by
-      // composing with it is equivalent to staying dead forever. We encode
-      // this by scanning to the all-dead state through a dead composition:
-      // the all-dead mapping is a fixpoint of every symbol, and it is
-      // reachable lazily — here we simply return it via linear search.
-      for (State s = 0; s < num_states(); ++s) {
-        bool all_dead = true;
-        for (const State entry : mappings_[static_cast<std::size_t>(s)])
-          all_dead = all_dead && entry == kDeadState;
-        if (all_dead) return s;
-      }
-      // No all-dead mapping exists in this SFA (the CA is total): foreign
-      // bytes cannot occur for texts translated with the CA's SymbolMap.
-      return state;
+      // Alien symbol: every run dies, so the arrival state is the all-dead
+      // mapping (a fixpoint of every symbol), precomputed at build time.
+      // When it was never interned the chunk automaton is total and alien
+      // symbols cannot occur for texts translated with its SymbolMap.
+      return all_dead_.value_or(state);
     }
     state = step(state, symbol);
     ++transitions;
@@ -48,6 +60,7 @@ State Sfa::run(const Symbol* input, std::size_t length, std::uint64_t& transitio
 std::optional<Sfa> try_build_sfa(const Dfa& chunk_automaton, std::int32_t max_states) {
   const std::int32_t n = chunk_automaton.num_states();
   const std::int32_t k = chunk_automaton.num_symbols();
+  const PackedTable& packed = chunk_automaton.packed();
 
   Sfa sfa;
   sfa.num_symbols_ = k;
@@ -59,6 +72,10 @@ std::optional<Sfa> try_build_sfa(const Dfa& chunk_automaton, std::int32_t max_st
     const auto it = index.find(mapping);
     if (it != index.end()) return it->second;
     const State id = sfa.num_states();
+    if (!sfa.all_dead_ &&
+        std::all_of(mapping.begin(), mapping.end(),
+                    [](const State s) { return s == kDeadState; }))
+      sfa.all_dead_ = id;
     index.emplace(mapping, id);
     sfa.mappings_.push_back(std::move(mapping));
     sfa.table_.insert(sfa.table_.end(), static_cast<std::size_t>(k), kDeadState);
@@ -78,10 +95,16 @@ std::optional<Sfa> try_build_sfa(const Dfa& chunk_automaton, std::int32_t max_st
     for (Symbol a = 0; a < k; ++a) {
       std::vector<State> next(static_cast<std::size_t>(n));
       const std::vector<State>& current = sfa.mappings_[static_cast<std::size_t>(state)];
-      for (State q = 0; q < n; ++q) {
-        const State mid = current[static_cast<std::size_t>(q)];
-        next[static_cast<std::size_t>(q)] =
-            mid == kDeadState ? kDeadState : chunk_automaton.step(mid, a);
+      switch (packed.width()) {
+        case TableWidth::kU8:
+          compose_mapping<std::uint8_t>(packed, current, a, next);
+          break;
+        case TableWidth::kU16:
+          compose_mapping<std::uint16_t>(packed, current, a, next);
+          break;
+        case TableWidth::kI32:
+          compose_mapping<std::int32_t>(packed, current, a, next);
+          break;
       }
       const State target = intern(std::move(next));
       sfa.table_[static_cast<std::size_t>(state) * k + static_cast<std::size_t>(a)] =

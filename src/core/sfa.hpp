@@ -43,11 +43,18 @@ class Sfa {
   /// SFA state and counting one transition per symbol.
   State run(const Symbol* input, std::size_t length, std::uint64_t& transitions) const;
 
+  /// The all-dead mapping's state id, when that mapping was interned during
+  /// construction (it is the arrival state of any chunk containing an alien
+  /// symbol). nullopt means the chunk automaton is total and alien symbols
+  /// cannot occur in translated text.
+  std::optional<State> all_dead_state() const { return all_dead_; }
+
  private:
   friend std::optional<Sfa> try_build_sfa(const Dfa&, std::int32_t);
   std::int32_t num_symbols_ = 0;
   std::vector<State> table_;
   std::vector<std::vector<State>> mappings_;
+  std::optional<State> all_dead_;
 };
 
 /// Builds the SFA of a deterministic chunk automaton, giving up (nullopt)

@@ -4,13 +4,49 @@
 // Each kernel consumes one chunk of the symbol stream from a set of starting
 // states and returns the partial mapping λ_i = { (start, end) : the run from
 // `start` survives the whole chunk }, together with the executed-transition
-// count (the paper's primary overhead metric). Runs that die early simply do
-// not appear in λ.
+// count. Runs that die early simply do not appear in λ.
 //
-// The deterministic kernel optionally applies *run convergence* (merging
-// runs that land in the same state at the same position — the Mytkowicz-
-// style optimization the paper lists as compatible, Sect. 5). It is OFF by
-// default: the paper's baselines execute the |I| runs independently.
+// ## Transition accounting (the convention, stated once)
+//
+// `transitions` is the paper's primary overhead metric (Fig. 1: min-DFA 15 /
+// NFA 14 / RI-DFA 9 on "aabcab" in two chunks). Everything that reports a
+// transition count — these kernels, the serial oracles in core/serial_match,
+// and the devices in parallel/csdpa that sum them — follows one convention:
+//
+//  * deterministic machines count ONE transition per consumed symbol per
+//    live run; a run that dies after j symbols contributes exactly j, and
+//    the symbol it dies on is NOT counted (the lookup that returns dead is
+//    work saved, not work done);
+//  * under run convergence, merged runs count as ONE live run from the
+//    merge point on (that is the saving being measured);
+//  * an out-of-alphabet symbol kills every run without being counted;
+//  * the NFA frontier simulation counts every edge traversal (each element
+//    of ρ(s, a) applied to each frontier member);
+//  * look-back probe runs (csdpa.cpp) are real speculative work and are
+//    added to the chunk's count.
+//
+// ## Kernel implementations
+//
+// The deterministic kernels exist in two implementations, selected by
+// DetChunkOptions::kernel and proven equivalent by property tests:
+//
+//  * kFused (default) — single pass over the chunk for ALL starts.
+//    Non-convergent mode runs lockstep over a compacted SoA state array
+//    (one symbol load, N table lookups with the hot rows shared in cache);
+//    convergent mode replaces the per-symbol hash probes of the seed with
+//    an epoch-stamped dense state→group array and splices member lists
+//    through a flat next-pointer scheme, so group merging never allocates.
+//    Both run on the width-specialized packed table (automata/
+//    packed_table.hpp) and validate the chunk's symbols once up front
+//    (first_invalid_symbol) instead of per step.
+//  * kReference — the seed implementations (start-at-a-time independent
+//    runs; unordered_map convergence), kept as the oracle for the property
+//    tests and for A/B benchmarks.
+//
+// Run convergence itself (merging runs that land in the same state at the
+// same position — the Mytkowicz-style optimization the paper lists as
+// compatible, Sect. 5) remains OFF by default: the paper's baselines
+// execute the |I| runs independently.
 #pragma once
 
 #include <cstdint>
@@ -26,14 +62,27 @@ namespace rispar {
 struct DetChunkResult {
   /// (start, end) pairs of surviving runs, in `starts` order.
   std::vector<std::pair<State, State>> lambda;
+  /// Distinct end states of the surviving runs, in group-creation order —
+  /// populated by the CONVERGENT kernels only (where the surviving groups
+  /// carry exactly this set for free). Consumers that need the deduplicated
+  /// λ image (e.g. the look-back path of DfaDevice) read it directly
+  /// instead of re-sorting lambda.
+  std::vector<State> distinct_ends;
   std::uint64_t transitions = 0;
+};
+
+enum class DetKernel : std::uint8_t {
+  kFused,      ///< lockstep SoA / epoch-stamped convergence on packed tables
+  kReference,  ///< seed implementations (test oracle, A/B baseline)
 };
 
 struct DetChunkOptions {
   bool convergence = false;
+  DetKernel kernel = DetKernel::kFused;
 };
 
-/// Runs `dfa` over `chunk` once per state in `starts`.
+/// Advances every state in `starts` over `chunk`. See the header comment
+/// for accounting and implementation selection.
 DetChunkResult run_chunk_det(const Dfa& dfa, std::span<const Symbol> chunk,
                              std::span<const State> starts,
                              const DetChunkOptions& options = {});
@@ -42,7 +91,7 @@ struct NfaChunkResult {
   /// Per start (in `starts` order): the frontier set δ(start, chunk); an
   /// entry is present only when that set is non-empty.
   std::vector<std::pair<State, Bitset>> lambda;
-  std::uint64_t transitions = 0;  ///< NFA edge traversals (Fig. 1 convention)
+  std::uint64_t transitions = 0;  ///< NFA edge traversals (see header)
 };
 
 /// Runs the NFA frontier simulation once per starting state.

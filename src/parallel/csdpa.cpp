@@ -20,6 +20,7 @@ RecognitionStats empty_input_result(bool initial_is_final, IsFinal&&) {
 }  // namespace
 
 DfaDevice::DfaDevice(const Dfa& dfa) : dfa_(dfa) {
+  dfa.packed();  // warm the cache so pool workers never pay the build
   all_states_.reserve(static_cast<std::size_t>(dfa.num_states()));
   for (State s = 0; s < dfa.num_states(); ++s) all_states_.push_back(s);
 }
@@ -51,22 +52,15 @@ RecognitionStats DfaDevice::recognize(std::span<const Symbol> input, ThreadPool&
     }
     // Look-back: advance every state over the window preceding the
     // boundary (convergent kernel — survivors collapse quickly), then
-    // speculate only from the distinct surviving boundary states.
+    // speculate only from the surviving groups' end states, which the
+    // convergent kernel hands over deduplicated in distinct_ends.
     const std::size_t window_len = std::min(options.lookback, chunks[i].begin);
     const auto window = input.subspan(chunks[i].begin - window_len, window_len);
-    DetChunkResult probe =
-        run_chunk_det(dfa_, window, all_states_, DetChunkOptions{true});
-    std::vector<State> candidates;
-    candidates.reserve(probe.lambda.size());
-    for (const auto& [start, end] : probe.lambda) {
-      (void)start;
-      candidates.push_back(end);
-    }
-    std::sort(candidates.begin(), candidates.end());
-    candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                     candidates.end());
-    results[i] = run_chunk_det(dfa_, span, candidates, run_options);
-    // The probe work is real speculation overhead; account for it.
+    const DetChunkResult probe = run_chunk_det(
+        dfa_, window, all_states_, DetChunkOptions{.convergence = true});
+    results[i] = run_chunk_det(dfa_, span, probe.distinct_ends, run_options);
+    // The probe work is real speculative overhead; account for it
+    // (accounting convention: parallel/ca_run.hpp).
     results[i].transitions += probe.transitions;
   });
   stats.reach_seconds = reach_clock.seconds();
@@ -169,7 +163,9 @@ RecognitionStats NfaDevice::recognize(std::span<const Symbol> input, ThreadPool&
   return stats;
 }
 
-RidDevice::RidDevice(const Ridfa& ridfa) : ridfa_(ridfa) {}
+RidDevice::RidDevice(const Ridfa& ridfa) : ridfa_(ridfa) {
+  ridfa.dfa().packed();  // warm the cache so pool workers never pay the build
+}
 
 RecognitionStats RidDevice::recognize(std::span<const Symbol> input, ThreadPool& pool,
                                       const DeviceOptions& options) const {

@@ -8,7 +8,9 @@ namespace rispar {
 
 StreamingRecognizer::StreamingRecognizer(const Ridfa& ridfa, ThreadPool& pool,
                                          DeviceOptions options)
-    : ridfa_(ridfa), pool_(pool), options_(options) {}
+    : ridfa_(ridfa), pool_(pool), options_(options) {
+  ridfa.dfa().packed();  // warm the cache so pool workers never pay the build
+}
 
 void StreamingRecognizer::reset() {
   plas_.clear();

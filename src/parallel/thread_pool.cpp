@@ -4,6 +4,21 @@
 
 namespace rispar {
 
+namespace {
+
+// The pool whose batch this thread is currently executing a task of (null
+// outside tasks); run() uses it to detect reentrant calls on the SAME pool
+// and execute them inline instead of deadlocking on the single batch slot.
+// Calls into a *different* pool dispatch normally and stay parallel.
+thread_local const void* current_pool = nullptr;
+
+// How long the caller polls the completion counter before sleeping on the
+// condition variable. In-flight stragglers are one task long, so a short
+// spin almost always observes completion without any mutex traffic.
+constexpr int kSpinIterations = 2048;
+
+}  // namespace
+
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
   workers_.reserve(threads);
@@ -20,19 +35,79 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
+std::size_t ThreadPool::drain(Batch& batch) {
+  // Save/restore (RAII, so a throwing task cannot corrupt it): restoring
+  // the previous value keeps cross-pool nesting working — a task on pool A
+  // draining a batch of pool B is "inside" B for the duration.
+  struct PoolScope {
+    const void* saved = current_pool;
+    explicit PoolScope(const void* pool) { current_pool = pool; }
+    ~PoolScope() { current_pool = saved; }
+  };
+  std::size_t done_here = 0;
+  {
+    PoolScope scope(this);
+    while (true) {
+      const std::size_t index = batch.cursor.fetch_add(1, std::memory_order_relaxed);
+      if (index >= batch.count) break;
+      batch.fn(index);
+      ++done_here;
+    }
+  }
+  if (done_here == 0) return batch.completed.load(std::memory_order_seq_cst);
+  // seq_cst: must be ordered against the caller's `caller_sleeping` store —
+  // see the completion protocol in run().
+  return batch.completed.fetch_add(done_here, std::memory_order_seq_cst) + done_here;
+}
+
 void ThreadPool::run(std::size_t count, std::function<void(std::size_t)> fn) {
   if (count == 0) return;
+  if (current_pool == this) {
+    // Reentrant call from inside one of this pool's own tasks: execute
+    // inline, serially. The batch slot is single-entry, so handing this to
+    // the pool would deadlock the draining thread against itself.
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
   auto batch = std::make_shared<Batch>();
   batch->fn = std::move(fn);
   batch->count = count;
-
-  std::unique_lock lock(mutex_);
-  batch_ = batch;
-  ++generation_;
+  {
+    std::lock_guard lock(mutex_);
+    batch_ = batch;
+    ++generation_;
+  }
   work_cv_.notify_all();
-  done_cv_.wait(lock, [&] {
-    return batch->completed.load(std::memory_order_acquire) == batch->count;
-  });
+
+  // The caller participates: with fewer tasks than threads it often drains
+  // the whole batch itself and never blocks.
+  std::size_t total = drain(*batch);
+
+  // Completion fast path: poll the counter briefly — in-flight stragglers
+  // finish in one task's time — so neither caller nor workers touch the
+  // mutex on the overwhelmingly common path.
+  for (int spin = 0; total != count && spin < kSpinIterations; ++spin) {
+    if (spin % 64 == 63) std::this_thread::yield();
+    total = batch->completed.load(std::memory_order_acquire);
+  }
+
+  if (total != count) {
+    // Slow path: publish that we are about to sleep, then wait. The seq_cst
+    // store below and the seq_cst fetch_add in drain() form the classic
+    // store/load pairing: either the finishing worker sees
+    // caller_sleeping == true and notifies under the mutex, or this thread's
+    // predicate (checked under the mutex after the store) already sees the
+    // final count — a lost wakeup would require both loads to read stale
+    // values, which the seq_cst total order forbids.
+    std::unique_lock lock(mutex_);
+    batch->caller_sleeping.store(true, std::memory_order_seq_cst);
+    done_cv_.wait(lock, [&] {
+      return batch->completed.load(std::memory_order_seq_cst) == batch->count;
+    });
+  }
+
+  std::lock_guard lock(mutex_);
   batch_.reset();
 }
 
@@ -48,21 +123,14 @@ void ThreadPool::worker_loop() {
     lock.unlock();
 
     if (batch) {
-      std::size_t done_here = 0;
-      while (true) {
-        const std::size_t index = batch->cursor.fetch_add(1, std::memory_order_relaxed);
-        if (index >= batch->count) break;
-        batch->fn(index);
-        ++done_here;
-      }
-      if (done_here > 0) {
-        const std::size_t total =
-            batch->completed.fetch_add(done_here, std::memory_order_acq_rel) + done_here;
-        if (total == batch->count) {
-          // Lock so the notify cannot race ahead of run()'s predicate check.
-          std::lock_guard done_lock(mutex_);
-          done_cv_.notify_all();
-        }
+      const std::size_t total = drain(*batch);
+      if (total == batch->count &&
+          batch->caller_sleeping.load(std::memory_order_seq_cst)) {
+        // The caller is (about to be) asleep. Take the mutex before
+        // notifying so the notify cannot slip into the window between the
+        // caller's predicate check and its wait.
+        { std::lock_guard done_lock(mutex_); }
+        done_cv_.notify_all();
       }
     }
     lock.lock();

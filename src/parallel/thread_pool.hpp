@@ -4,8 +4,12 @@
 // an executor, reach runs one task per chunk, the join is serial — the only
 // synchronization point is the barrier between the two phases). Tasks pull
 // indices from an atomic cursor, so `run(count, fn)` executes fn(0..count-1)
-// with parallelism min(count, size()). All chunk state is task-owned; the
-// pool itself is the only shared mutable object (Core Guidelines CP.3).
+// with parallelism min(count, size() + 1): the calling thread participates
+// in draining the batch instead of sleeping, which usually lets it observe
+// completion on the atomic counter without ever touching the mutex or the
+// condition variable (see thread_pool.cpp for the completion protocol).
+// All chunk state is task-owned; the pool itself is the only shared mutable
+// object (Core Guidelines CP.3).
 //
 // Each run() allocates an immutable Batch shared by the participating
 // workers; a worker that wakes late simply drains an already-exhausted
@@ -37,7 +41,11 @@ class ThreadPool {
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
   /// Blocks until fn has been applied to every index in [0, count).
-  /// Not reentrant: do not call run() from inside a task.
+  /// The caller participates in executing tasks. Reentrant calls — run()
+  /// on the SAME pool from inside one of its tasks — are legal and execute
+  /// their batch inline on the calling thread, serially: they never
+  /// deadlock, but they also do not parallelize. Calling into a different
+  /// pool from inside a task dispatches normally and stays parallel.
   void run(std::size_t count, std::function<void(std::size_t)> fn);
 
  private:
@@ -46,7 +54,15 @@ class ThreadPool {
     std::size_t count = 0;
     std::atomic<std::size_t> cursor{0};
     std::atomic<std::size_t> completed{0};
+    /// Set (under mutex_) only when the caller gives up spinning and goes
+    /// to sleep on done_cv_; workers skip the mutex entirely while it is
+    /// false. seq_cst pairing with `completed` prevents a lost wakeup.
+    std::atomic<bool> caller_sleeping{false};
   };
+
+  /// Pulls indices until the batch's cursor is exhausted; adds the credit
+  /// to batch.completed and returns the new total.
+  std::size_t drain(Batch& batch);
 
   void worker_loop();
 

@@ -82,5 +82,31 @@ TEST(SymbolMap, FullByteCoverage) {
     EXPECT_EQ(map.symbol_of(static_cast<unsigned char>(b)), 0);
 }
 
+TEST(FirstInvalidSymbol, EmptyAndAllValid) {
+  EXPECT_EQ(first_invalid_symbol({}, 4), 0u);
+  const std::vector<std::int32_t> valid{0, 3, 1, 2, 3, 0};
+  EXPECT_EQ(first_invalid_symbol(valid, 4), valid.size());
+}
+
+TEST(FirstInvalidSymbol, FindsNegativeAndOutOfRange) {
+  EXPECT_EQ(first_invalid_symbol(std::vector<std::int32_t>{-1, 0, 1}, 4), 0u);
+  EXPECT_EQ(first_invalid_symbol(std::vector<std::int32_t>{0, 4, 1}, 4), 1u);
+  EXPECT_EQ(first_invalid_symbol(std::vector<std::int32_t>{0, 1, 2, 3, -7}, 4), 4u);
+}
+
+TEST(FirstInvalidSymbol, BlockBoundaries) {
+  // The scan validates 64-symbol blocks; place the first invalid symbol on
+  // every interesting boundary and make sure the earliest one is reported.
+  for (const std::size_t at : {0u, 1u, 63u, 64u, 65u, 127u, 128u, 200u}) {
+    std::vector<std::int32_t> chunk(201, 1);
+    chunk[at] = SymbolMap::kUnmapped;
+    EXPECT_EQ(first_invalid_symbol(chunk, 2), at) << "invalid at " << at;
+  }
+  std::vector<std::int32_t> two(130, 0);
+  two[70] = 5;
+  two[128] = -1;
+  EXPECT_EQ(first_invalid_symbol(two, 3), 70u);
+}
+
 }  // namespace
 }  // namespace rispar

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <mutex>
 #include <numeric>
 #include <set>
+#include <utility>
 #include <vector>
 
 namespace rispar {
@@ -97,6 +100,92 @@ TEST(ThreadPool, StressManySmallBatches) {
   for (int round = 0; round < 500; ++round)
     pool.run(3, [&](std::size_t i) { checksum.fetch_add(i + 1); });
   EXPECT_EQ(checksum.load(), 500u * 6);
+}
+
+TEST(ThreadPool, NestedRunExecutesInline) {
+  // run() from inside a task must not deadlock on the single batch slot;
+  // it executes the nested batch inline on the calling thread.
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> inner_sum{0};
+  pool.run(8, [&](std::size_t) {
+    pool.run(10, [&](std::size_t i) { inner_sum.fetch_add(i + 1); });
+  });
+  EXPECT_EQ(inner_sum.load(), 8u * 55);
+}
+
+TEST(ThreadPool, DeeplyNestedRun) {
+  ThreadPool pool(2);
+  std::atomic<int> leaf_calls{0};
+  pool.run(3, [&](std::size_t) {
+    pool.run(2, [&](std::size_t) {
+      pool.run(2, [&](std::size_t) { leaf_calls.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(leaf_calls.load(), 3 * 2 * 2);
+}
+
+TEST(ThreadPool, NestedZeroCountIsANoop) {
+  ThreadPool pool(2);
+  std::atomic<int> outer{0};
+  pool.run(4, [&](std::size_t) {
+    pool.run(0, [](std::size_t) { FAIL() << "must not be called"; });
+    outer.fetch_add(1);
+  });
+  EXPECT_EQ(outer.load(), 4);
+}
+
+TEST(ThreadPool, NestedRunSeesAllIndices) {
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::set<std::pair<std::size_t, std::size_t>> pairs;
+  pool.run(5, [&](std::size_t outer_index) {
+    pool.run(7, [&](std::size_t inner_index) {
+      std::lock_guard lock(mutex);
+      pairs.emplace(outer_index, inner_index);
+    });
+  });
+  EXPECT_EQ(pairs.size(), 35u);
+}
+
+TEST(ThreadPool, CrossPoolNestingStaysParallel) {
+  // A task on pool A calling pool B dispatches to B normally (only
+  // same-pool reentrancy inlines): a rendezvous of 2 inside B's batch can
+  // only complete if B runs it with real parallelism (B's worker plus the
+  // participating A-task thread).
+  ThreadPool outer(1);
+  ThreadPool inner(1);
+  std::atomic<int> arrived{0};
+  outer.run(1, [&](std::size_t) {
+    inner.run(2, [&](std::size_t) {
+      arrived.fetch_add(1);
+      while (arrived.load() < 2) std::this_thread::yield();
+    });
+  });
+  EXPECT_EQ(arrived.load(), 2);
+}
+
+TEST(ThreadPool, CallerParticipatesWhenPoolIsBusy) {
+  // One worker blocked on a gate; a 2-task batch can still finish because
+  // the calling thread drains tasks itself.
+  ThreadPool pool(1);
+  std::atomic<int> done{0};
+  pool.run(2, [&](std::size_t) { done.fetch_add(1); });
+  EXPECT_EQ(done.load(), 2);
+}
+
+TEST(ThreadPool, StressSlowStragglerWakesSleepingCaller) {
+  // Force the slow path: a task outlasts the caller's spin window, so the
+  // caller must sleep on the condition variable and be woken exactly once
+  // per batch by the finishing worker.
+  ThreadPool pool(2);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> done{0};
+    pool.run(3, [&](std::size_t i) {
+      if (i == 2) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      done.fetch_add(1);
+    });
+    EXPECT_EQ(done.load(), 3);
+  }
 }
 
 }  // namespace
