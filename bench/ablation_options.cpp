@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
 
     Prng prng(seed ^ stable_hash(spec.name));
     const auto input = nfa.symbols().translate(spec.text(bytes, prng));
-    const DeviceOptions options{.chunks = chunks, .convergence = false};
+    const QueryOptions options{.chunks = chunks};
     const auto raw_stats = RidDevice(raw).recognize(input, pool, options);
     const auto min_stats = RidDevice(minimized).recognize(input, pool, options);
 
@@ -60,13 +60,16 @@ int main(int argc, char** argv) {
                    "RID trans (indep)", "RID trans (converge)"});
   for (const auto& spec : benchmark_suite(static_cast<int>(cli.get_int("k")))) {
     const Prepared prepared(spec, bytes, seed);
-    const DeviceOptions plain{.chunks = chunks, .convergence = false};
-    const DeviceOptions merged{.chunks = chunks, .convergence = true};
     ablation2.add_row(
-        {spec.name, Table::cell(transitions_of(prepared, Variant::kDfa, pool, plain)),
-         Table::cell(transitions_of(prepared, Variant::kDfa, pool, merged)),
-         Table::cell(transitions_of(prepared, Variant::kRid, pool, plain)),
-         Table::cell(transitions_of(prepared, Variant::kRid, pool, merged))});
+        {spec.name,
+         Table::cell(transitions_of(prepared, {.variant = Variant::kDfa, .chunks = chunks})),
+         Table::cell(transitions_of(prepared, {.variant = Variant::kDfa,
+                                               .chunks = chunks,
+                                               .convergence = true})),
+         Table::cell(transitions_of(prepared, {.variant = Variant::kRid, .chunks = chunks})),
+         Table::cell(transitions_of(prepared, {.variant = Variant::kRid,
+                                               .chunks = chunks,
+                                               .convergence = true}))});
   }
   ablation2.render(std::cout);
 
@@ -76,16 +79,14 @@ int main(int argc, char** argv) {
                    "DFA trans (lookback 64)", "RID trans"});
   for (const auto& spec : benchmark_suite(static_cast<int>(cli.get_int("k")))) {
     const Prepared prepared(spec, bytes, seed);
-    const DeviceOptions plain{.chunks = chunks};
-    DeviceOptions look16{.chunks = chunks};
-    look16.lookback = 16;
-    DeviceOptions look64{.chunks = chunks};
-    look64.lookback = 64;
     ablation3.add_row(
-        {spec.name, Table::cell(transitions_of(prepared, Variant::kDfa, pool, plain)),
-         Table::cell(transitions_of(prepared, Variant::kDfa, pool, look16)),
-         Table::cell(transitions_of(prepared, Variant::kDfa, pool, look64)),
-         Table::cell(transitions_of(prepared, Variant::kRid, pool, plain))});
+        {spec.name,
+         Table::cell(transitions_of(prepared, {.variant = Variant::kDfa, .chunks = chunks})),
+         Table::cell(transitions_of(
+             prepared, {.variant = Variant::kDfa, .chunks = chunks, .lookback = 16})),
+         Table::cell(transitions_of(
+             prepared, {.variant = Variant::kDfa, .chunks = chunks, .lookback = 64})),
+         Table::cell(transitions_of(prepared, {.variant = Variant::kRid, .chunks = chunks}))});
   }
   ablation3.render(std::cout);
 

@@ -9,53 +9,60 @@
 #include <vector>
 
 #include "automata/glushkov.hpp"
-#include "parallel/recognizer.hpp"
+#include "engine/engine.hpp"
 #include "util/prng.hpp"
 #include "util/stopwatch.hpp"
 #include "workloads/suite.hpp"
 
 namespace rispar::bench {
 
-/// A workload compiled to its three chunk automata plus a symbol text.
+/// A workload compiled to its chunk automata plus a symbol text, behind a
+/// default Engine. Drivers that sweep thread counts build further Engines
+/// from `prepared.engine.pattern()` — the compiled machines are shared.
 struct Prepared {
   std::string name;
   bool winning = false;
-  LanguageEngines engines;
+  Engine engine;
   std::vector<Symbol> input;
 
-  Prepared(const WorkloadSpec& spec, std::size_t bytes, std::uint64_t seed)
+  Prepared(const WorkloadSpec& spec, std::size_t bytes, std::uint64_t seed,
+           unsigned threads = 0)
       : name(spec.name),
         winning(spec.winning),
-        engines(LanguageEngines::from_nfa(glushkov_nfa(spec.regex()))),
+        engine(Pattern::from_nfa(glushkov_nfa(spec.regex())),
+               EngineConfig{.threads = threads}),
         input([&] {
           Prng prng(seed ^ stable_hash(spec.name));
-          return engines.translate(spec.text(bytes, prng));
+          return engine.translate(spec.text(bytes, prng));
         }()) {}
 };
 
 /// Wall-time of one parallel recognition, averaged over enough repetitions
 /// to be stable. The decision is checked on every repetition.
-inline double timed_recognition(const Prepared& prepared, Variant variant,
-                                ThreadPool& pool, const DeviceOptions& options,
+inline double timed_recognition(const Engine& engine, const std::string& name,
+                                std::span<const Symbol> input,
+                                const QueryOptions& options,
                                 double min_seconds = 0.25) {
   bool accepted = true;
   const double seconds = time_average(
-      [&] {
-        accepted = accepted &&
-                   prepared.engines.recognize(variant, prepared.input, pool, options)
-                       .accepted;
-      },
+      [&] { accepted = accepted && engine.recognize(input, options).accepted; },
       min_seconds, /*min_reps=*/2);
   if (!accepted)
     std::fprintf(stderr, "WARNING: %s rejected its own text under %s\n",
-                 prepared.name.c_str(), variant_name(variant));
+                 name.c_str(), variant_name(options.variant));
   return seconds;
 }
 
+inline double timed_recognition(const Prepared& prepared, const QueryOptions& options,
+                                double min_seconds = 0.25) {
+  return timed_recognition(prepared.engine, prepared.name, prepared.input, options,
+                           min_seconds);
+}
+
 /// Transition count of one recognition (deterministic, no timing).
-inline std::uint64_t transitions_of(const Prepared& prepared, Variant variant,
-                                    ThreadPool& pool, const DeviceOptions& options) {
-  return prepared.engines.recognize(variant, prepared.input, pool, options).transitions;
+inline std::uint64_t transitions_of(const Prepared& prepared,
+                                    const QueryOptions& options) {
+  return prepared.engine.recognize(prepared.input, options).transitions;
 }
 
 /// Default text size: the paper's maximum for the benchmark, capped so the

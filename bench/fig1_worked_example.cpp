@@ -43,11 +43,11 @@ int main() {
 
   ThreadPool pool(2);
   const std::vector<Symbol> input{0, 0, 1, 2, 0, 1};  // a a b c a b
-  const DeviceOptions options{.chunks = 2, .convergence = false};
+  const QueryOptions options{.chunks = 2};
 
-  const RecognitionStats dfa_stats = DfaDevice(min_dfa).recognize(input, pool, options);
-  const RecognitionStats nfa_stats = NfaDevice(nfa).recognize(input, pool, options);
-  const RecognitionStats rid_stats = RidDevice(ridfa).recognize(input, pool, options);
+  const QueryResult dfa_stats = DfaDevice(min_dfa).recognize(input, pool, options);
+  const QueryResult nfa_stats = NfaDevice(nfa).recognize(input, pool, options);
+  const QueryResult rid_stats = RidDevice(ridfa).recognize(input, pool, options);
 
   Table table({"chunk automaton", "states", "initial states", "transitions",
                "accepted", "paper says"});

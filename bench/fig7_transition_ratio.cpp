@@ -24,9 +24,6 @@ int main(int argc, char** argv) {
   const auto chunks = static_cast<std::size_t>(cli.get_int("chunks"));
   const double scale = cli.get_double("scale");
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-  ThreadPool pool;
-  const DeviceOptions options{.chunks = chunks, .convergence = false};
-
   std::printf("=== Fig. 7: transition ratios vs text size (c = %zu chunks) ===\n",
               chunks);
 
@@ -42,9 +39,12 @@ int main(int argc, char** argv) {
       const std::size_t bytes = max_bytes * static_cast<std::size_t>(step) / 6;
       if (bytes < 4096) continue;
       const Prepared prepared(spec, bytes, seed);
-      const std::uint64_t dfa = transitions_of(prepared, Variant::kDfa, pool, options);
-      const std::uint64_t nfa = transitions_of(prepared, Variant::kNfa, pool, options);
-      const std::uint64_t rid = transitions_of(prepared, Variant::kRid, pool, options);
+      const std::uint64_t dfa =
+          transitions_of(prepared, {.variant = Variant::kDfa, .chunks = chunks});
+      const std::uint64_t nfa =
+          transitions_of(prepared, {.variant = Variant::kNfa, .chunks = chunks});
+      const std::uint64_t rid =
+          transitions_of(prepared, {.variant = Variant::kRid, .chunks = chunks});
       table.add_row({Table::cell(static_cast<std::uint64_t>(prepared.input.size() / 1024)),
                      Table::cell(dfa), Table::cell(nfa), Table::cell(rid),
                      Table::ratio(static_cast<double>(dfa), static_cast<double>(rid)),

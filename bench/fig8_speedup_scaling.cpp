@@ -48,11 +48,16 @@ int main(int argc, char** argv) {
                 static_cast<double>(prepared.input.size()) / (1 << 20));
     Table table({"threads", "DFA time (ms)", "RID time (ms)", "speedup DFA/RID"});
     for (const auto threads : thread_sweep) {
-      ThreadPool pool(static_cast<unsigned>(threads));
-      const DeviceOptions options{.chunks = static_cast<std::size_t>(threads),
-                                  .convergence = false};
-      const double rid = timed_recognition(prepared, Variant::kRid, pool, options, budget);
-      const double dfa = timed_recognition(prepared, Variant::kDfa, pool, options, budget);
+      // One Engine per pool size; the compiled Pattern is shared.
+      const Engine engine(prepared.engine.pattern(),
+                          {.threads = static_cast<unsigned>(threads)});
+      const auto chunks = static_cast<std::size_t>(threads);
+      const double rid = timed_recognition(
+          engine, prepared.name, prepared.input,
+          {.variant = Variant::kRid, .chunks = chunks}, budget);
+      const double dfa = timed_recognition(
+          engine, prepared.name, prepared.input,
+          {.variant = Variant::kDfa, .chunks = chunks}, budget);
       table.add_row({Table::cell(threads), Table::cell(dfa * 1e3, 3),
                      Table::cell(rid * 1e3, 3), Table::ratio(dfa, rid)});
     }
@@ -63,16 +68,17 @@ int main(int argc, char** argv) {
   for (const auto& spec : winning) {
     std::printf("\n--- Fig. 8%c: %s, speedup vs text size at %zu threads ---\n",
                 spec.name == "bible" ? 'c' : 'd', spec.name.c_str(), fixed_threads);
-    ThreadPool pool(static_cast<unsigned>(fixed_threads));
-    const DeviceOptions options{.chunks = fixed_threads, .convergence = false};
     Table table({"text size (KB)", "DFA time (ms)", "RID time (ms)", "speedup DFA/RID"});
     const std::size_t max_bytes = scaled_bytes(spec.paper_bytes, scale);
     for (int step = 1; step <= 6; ++step) {
       const std::size_t bytes = max_bytes * static_cast<std::size_t>(step) / 6;
       if (bytes < 4096) continue;
-      const Prepared prepared(spec, bytes, seed);
-      const double rid = timed_recognition(prepared, Variant::kRid, pool, options, budget);
-      const double dfa = timed_recognition(prepared, Variant::kDfa, pool, options, budget);
+      const Prepared prepared(spec, bytes, seed,
+                              static_cast<unsigned>(fixed_threads));
+      const double rid = timed_recognition(
+          prepared, {.variant = Variant::kRid, .chunks = fixed_threads}, budget);
+      const double dfa = timed_recognition(
+          prepared, {.variant = Variant::kDfa, .chunks = fixed_threads}, budget);
       table.add_row({Table::cell(static_cast<std::uint64_t>(prepared.input.size() / 1024)),
                      Table::cell(dfa * 1e3, 3), Table::cell(rid * 1e3, 3),
                      Table::ratio(dfa, rid)});

@@ -15,7 +15,7 @@
 
 #include "automata/glushkov.hpp"
 #include "parallel/ca_run.hpp"
-#include "parallel/recognizer.hpp"
+#include "engine/pattern.hpp"
 #include "workloads/suite.hpp"
 
 namespace {
@@ -23,19 +23,19 @@ namespace {
 using namespace rispar;
 
 struct ChunkFixture {
-  LanguageEngines engines;
+  Pattern pattern;
   std::vector<Symbol> chunk;
   std::vector<State> dfa_starts;
   std::vector<State> nfa_starts;
 
   explicit ChunkFixture(const WorkloadSpec& spec, std::size_t bytes = 1u << 16)
-      : engines(LanguageEngines::from_nfa(glushkov_nfa(spec.regex()))),
+      : pattern(Pattern::from_nfa(glushkov_nfa(spec.regex()))),
         chunk([&] {
           Prng prng(stable_hash(spec.name) ^ 0xc0ffee);
-          return engines.translate(spec.text(bytes, prng));
+          return pattern.translate(spec.text(bytes, prng));
         }()) {
-    for (State s = 0; s < engines.min_dfa().num_states(); ++s) dfa_starts.push_back(s);
-    for (State s = 0; s < engines.nfa().num_states(); ++s) nfa_starts.push_back(s);
+    for (State s = 0; s < pattern.min_dfa().num_states(); ++s) dfa_starts.push_back(s);
+    for (State s = 0; s < pattern.nfa().num_states(); ++s) nfa_starts.push_back(s);
   }
 };
 
@@ -67,7 +67,7 @@ void BM_DetKernelAllStarts_Winning(benchmark::State& state) {
   const DetChunkOptions options = options_from_args(state);
   for (auto _ : state) {
     const DetChunkResult result =
-        run_chunk_det(f.engines.min_dfa(), f.chunk, f.dfa_starts, options);
+        run_chunk_det(f.pattern.min_dfa(), f.chunk, f.dfa_starts, options);
     benchmark::DoNotOptimize(result.lambda.size());
   }
   state.SetLabel(label_from_args(state));
@@ -85,7 +85,7 @@ void BM_DetKernelAllStarts_Even(benchmark::State& state) {
   const DetChunkOptions options = options_from_args(state);
   for (auto _ : state) {
     const DetChunkResult result =
-        run_chunk_det(f.engines.min_dfa(), f.chunk, f.dfa_starts, options);
+        run_chunk_det(f.pattern.min_dfa(), f.chunk, f.dfa_starts, options);
     benchmark::DoNotOptimize(result.lambda.size());
   }
   state.SetLabel(label_from_args(state));
@@ -104,7 +104,7 @@ void BM_RidKernelInterfaceStarts(benchmark::State& state) {
       .kernel = state.range(0) != 0 ? DetKernel::kFused : DetKernel::kReference};
   for (auto _ : state) {
     const DetChunkResult result = run_chunk_det(
-        f.engines.ridfa().dfa(), f.chunk, f.engines.ridfa().initial_states(), options);
+        f.pattern.ridfa().dfa(), f.chunk, f.pattern.ridfa().initial_states(), options);
     benchmark::DoNotOptimize(result.lambda.size());
   }
   state.SetLabel(state.range(0) ? "fused" : "reference");
@@ -115,7 +115,7 @@ BENCHMARK(BM_RidKernelInterfaceStarts)->Arg(0)->Arg(1)->Unit(benchmark::kMillise
 void BM_NfaKernelAllStarts(benchmark::State& state) {
   const ChunkFixture& f = traffic_fixture();
   for (auto _ : state) {
-    const NfaChunkResult result = run_chunk_nfa(f.engines.nfa(), f.chunk, f.nfa_starts);
+    const NfaChunkResult result = run_chunk_nfa(f.pattern.nfa(), f.chunk, f.nfa_starts);
     benchmark::DoNotOptimize(result.lambda.size());
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * f.chunk.size()));
@@ -125,9 +125,9 @@ BENCHMARK(BM_NfaKernelAllStarts)->Unit(benchmark::kMillisecond);
 void BM_SingleDfaRun(benchmark::State& state) {
   // The non-speculative baseline: one run over the chunk.
   const ChunkFixture& f = bible_fixture();
-  const std::vector<State> one{f.engines.min_dfa().initial()};
+  const std::vector<State> one{f.pattern.min_dfa().initial()};
   for (auto _ : state) {
-    const DetChunkResult result = run_chunk_det(f.engines.min_dfa(), f.chunk, one);
+    const DetChunkResult result = run_chunk_det(f.pattern.min_dfa(), f.chunk, one);
     benchmark::DoNotOptimize(result.transitions);
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * f.chunk.size()));

@@ -5,7 +5,7 @@
 
 #include "automata/glushkov.hpp"
 #include "core/serial_match.hpp"
-#include "parallel/recognizer.hpp"
+#include "engine/engine.hpp"
 #include "workloads/suite.hpp"
 
 namespace {
@@ -13,14 +13,14 @@ namespace {
 using namespace rispar;
 
 struct Fixture {
-  LanguageEngines engines;
+  Pattern pattern;
   std::vector<Symbol> input;
 
   Fixture(const WorkloadSpec& spec, std::size_t bytes)
-      : engines(LanguageEngines::from_nfa(glushkov_nfa(spec.regex()))),
+      : pattern(Pattern::from_nfa(glushkov_nfa(spec.regex()))),
         input([&] {
           Prng prng(stable_hash(spec.name));
-          return engines.translate(spec.text(bytes, prng));
+          return pattern.translate(spec.text(bytes, prng));
         }()) {}
 };
 
@@ -36,7 +36,7 @@ const Fixture& fixture(int index) {
 void BM_SerialDfa(benchmark::State& state) {
   const Fixture& f = fixture(static_cast<int>(state.range(0)));
   for (auto _ : state) {
-    const MatchResult result = serial_match(f.engines.min_dfa(), f.input);
+    const MatchResult result = serial_match(f.pattern.min_dfa(), f.input);
     benchmark::DoNotOptimize(result.accepted);
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * f.input.size()));
@@ -47,7 +47,7 @@ BENCHMARK(BM_SerialDfa)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
 void BM_SerialRidfa(benchmark::State& state) {
   const Fixture& f = fixture(static_cast<int>(state.range(0)));
   for (auto _ : state) {
-    const MatchResult result = serial_match(f.engines.ridfa(), f.input);
+    const MatchResult result = serial_match(f.pattern.ridfa(), f.input);
     benchmark::DoNotOptimize(result.accepted);
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * f.input.size()));
@@ -58,7 +58,7 @@ BENCHMARK(BM_SerialRidfa)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
 void BM_SerialNfa(benchmark::State& state) {
   const Fixture& f = fixture(static_cast<int>(state.range(0)));
   for (auto _ : state) {
-    const MatchResult result = serial_match(f.engines.nfa(), f.input);
+    const MatchResult result = serial_match(f.pattern.nfa(), f.input);
     benchmark::DoNotOptimize(result.accepted);
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * f.input.size()));
@@ -71,9 +71,9 @@ void BM_Translate(benchmark::State& state) {
   const WorkloadSpec spec = bible_workload();
   Prng prng(1);
   const std::string text = spec.text(1u << 18, prng);
-  const LanguageEngines engines = LanguageEngines::from_nfa(glushkov_nfa(spec.regex()));
+  const Pattern pattern = Pattern::from_nfa(glushkov_nfa(spec.regex()));
   for (auto _ : state) {
-    const auto symbols = engines.translate(text);
+    const auto symbols = pattern.translate(text);
     benchmark::DoNotOptimize(symbols.data());
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * text.size()));

@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
 
     Prng prng(seed ^ stable_hash(spec.name));
     const auto input = nfa.symbols().translate(spec.text(bytes, prng));
-    const DeviceOptions options{.chunks = chunks, .convergence = false};
+    const QueryOptions options{.chunks = chunks};
     const auto rid_stats = RidDevice(ridfa).recognize(input, pool, options);
 
     std::string sfa_states = "EXPLODED";

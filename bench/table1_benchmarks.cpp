@@ -5,7 +5,7 @@
 #include <iostream>
 
 #include "automata/glushkov.hpp"
-#include "parallel/recognizer.hpp"
+#include "engine/engine.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "workloads/suite.hpp"
@@ -23,17 +23,16 @@ int main(int argc, char** argv) {
   const char* paper_sizes[] = {"5", "k+2", "16", "29", "101"};
   int row = 0;
   for (const auto& spec : benchmark_suite(static_cast<int>(cli.get_int("k")))) {
-    const LanguageEngines engines =
-        LanguageEngines::from_nfa(glushkov_nfa(spec.regex()));
+    const Pattern pattern = Pattern::from_nfa(glushkov_nfa(spec.regex()));
     char text_size[32];
     std::snprintf(text_size, sizeof text_size, "%.2f MB",
                   static_cast<double>(spec.paper_bytes) / (1 << 20));
     table.add_row({spec.name, spec.winning ? "winning" : "even",
-                   Table::cell(static_cast<std::int64_t>(engines.nfa().num_states())),
+                   Table::cell(static_cast<std::int64_t>(pattern.nfa().num_states())),
                    paper_sizes[row++],
-                   Table::cell(static_cast<std::int64_t>(engines.min_dfa().num_states())),
-                   Table::cell(static_cast<std::int64_t>(engines.ridfa().num_states())),
-                   Table::cell(static_cast<std::int64_t>(engines.ridfa().initial_count())),
+                   Table::cell(static_cast<std::int64_t>(pattern.min_dfa().num_states())),
+                   Table::cell(static_cast<std::int64_t>(pattern.ridfa().num_states())),
+                   Table::cell(static_cast<std::int64_t>(pattern.ridfa().initial_count())),
                    text_size});
   }
   table.render(std::cout);

@@ -30,9 +30,6 @@ int main(int argc, char** argv) {
   const double budget = cli.get_double("min-seconds");
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 
-  ThreadPool pool(static_cast<unsigned>(threads));
-  const DeviceOptions options{.chunks = threads, .convergence = false};
-
   std::printf("=== Table 3: %zu threads (host has %u hardware threads) ===\n\n",
               threads, std::thread::hardware_concurrency());
 
@@ -41,15 +38,18 @@ int main(int argc, char** argv) {
 
   for (const auto& spec : benchmark_suite(static_cast<int>(cli.get_int("k")))) {
     const std::size_t bytes = scaled_bytes(spec.paper_bytes, scale);
-    const Prepared prepared(spec, bytes, seed);
+    const Prepared prepared(spec, bytes, seed, static_cast<unsigned>(threads));
+    const QueryOptions rid_options{.variant = Variant::kRid, .chunks = threads};
+    const QueryOptions dfa_options{.variant = Variant::kDfa, .chunks = threads};
+    const QueryOptions nfa_options{.variant = Variant::kNfa, .chunks = threads};
 
-    const double rid_time = timed_recognition(prepared, Variant::kRid, pool, options, budget);
-    const double dfa_time = timed_recognition(prepared, Variant::kDfa, pool, options, budget);
-    const double nfa_time = timed_recognition(prepared, Variant::kNfa, pool, options, budget);
+    const double rid_time = timed_recognition(prepared, rid_options, budget);
+    const double dfa_time = timed_recognition(prepared, dfa_options, budget);
+    const double nfa_time = timed_recognition(prepared, nfa_options, budget);
 
-    const auto dfa_trans = transitions_of(prepared, Variant::kDfa, pool, options);
-    const auto nfa_trans = transitions_of(prepared, Variant::kNfa, pool, options);
-    const auto rid_trans = transitions_of(prepared, Variant::kRid, pool, options);
+    const auto dfa_trans = transitions_of(prepared, dfa_options);
+    const auto nfa_trans = transitions_of(prepared, nfa_options);
+    const auto rid_trans = transitions_of(prepared, rid_options);
 
     table.add_row(
         {spec.name, spec.winning ? "winning" : "even",

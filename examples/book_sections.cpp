@@ -6,7 +6,7 @@
 #include <string>
 
 #include "automata/glushkov.hpp"
-#include "parallel/recognizer.hpp"
+#include "engine/engine.hpp"
 #include "util/prng.hpp"
 #include "util/stopwatch.hpp"
 #include "workloads/suite.hpp"
@@ -21,25 +21,26 @@ int main(int argc, char** argv) {
   const std::string manuscript = spec.text(megabytes << 20, prng);
   std::printf("manuscript: %zu bytes\n", manuscript.size());
 
-  const LanguageEngines engines = LanguageEngines::from_nfa(glushkov_nfa(spec.regex()));
-  const double state_ratio = static_cast<double>(engines.min_dfa().num_states()) /
-                             static_cast<double>(engines.ridfa().initial_count());
+  const Engine engine(Pattern::from_nfa(glushkov_nfa(spec.regex())));
+  const Pattern& pattern = engine.pattern();
+  const double state_ratio = static_cast<double>(pattern.min_dfa().num_states()) /
+                             static_cast<double>(pattern.ridfa().initial_count());
   std::printf("grammar: NFA %d states, min DFA %d states, RI-DFA interface %d "
               "(DFA/interface = %.1fx)\n\n",
-              engines.nfa().num_states(), engines.min_dfa().num_states(),
-              engines.ridfa().initial_count(), state_ratio);
+              pattern.nfa().num_states(), pattern.min_dfa().num_states(),
+              pattern.ridfa().initial_count(), state_ratio);
 
-  const std::vector<Symbol> input = engines.translate(manuscript);
-  ThreadPool pool;
+  const std::vector<Symbol> input = engine.translate(manuscript);
 
   std::puts("chunks   DFA variant        RID variant        speedup");
   for (const std::size_t chunks : {8u, 16u, 32u}) {
-    const DeviceOptions options{.chunks = chunks, .convergence = false};
     Stopwatch dfa_clock;
-    const RecognitionStats dfa = engines.recognize(Variant::kDfa, input, pool, options);
+    const QueryResult dfa =
+        engine.recognize(input, {.variant = Variant::kDfa, .chunks = chunks});
     const double dfa_ms = dfa_clock.millis();
     Stopwatch rid_clock;
-    const RecognitionStats rid = engines.recognize(Variant::kRid, input, pool, options);
+    const QueryResult rid =
+        engine.recognize(input, {.variant = Variant::kRid, .chunks = chunks});
     const double rid_ms = rid_clock.millis();
     std::printf("%-6zu  %8.2f ms (%s)  %8.2f ms (%s)   %.2fx\n", chunks, dfa_ms,
                 dfa.accepted ? "ok" : "??", rid_ms, rid.accepted ? "ok" : "??",

@@ -6,7 +6,7 @@
 #include <string>
 
 #include "automata/glushkov.hpp"
-#include "parallel/recognizer.hpp"
+#include "engine/engine.hpp"
 #include "util/prng.hpp"
 #include "workloads/suite.hpp"
 
@@ -20,19 +20,19 @@ int main(int argc, char** argv) {
   const std::string archive = spec.text(kilobytes << 10, prng);
   std::printf("FASTA archive: %zu bytes\n", archive.size());
 
-  const LanguageEngines engines = LanguageEngines::from_nfa(glushkov_nfa(spec.regex()));
+  const Engine engine(Pattern::from_nfa(glushkov_nfa(spec.regex())));
+  const Pattern& pattern = engine.pattern();
   std::printf("record grammar: NFA %d states (paper Tab. 1: 29), min DFA %d, "
               "RI-DFA interface %d\n\n",
-              engines.nfa().num_states(), engines.min_dfa().num_states(),
-              engines.ridfa().initial_count());
+              pattern.nfa().num_states(), pattern.min_dfa().num_states(),
+              pattern.ridfa().initial_count());
 
-  const std::vector<Symbol> input = engines.translate(archive);
-  ThreadPool pool;
-  const DeviceOptions options{.chunks = 16, .convergence = false};
+  const std::vector<Symbol> input = engine.translate(archive);
 
   std::puts("variant  decision  transitions   overhead vs serial n");
   for (const Variant variant : {Variant::kDfa, Variant::kNfa, Variant::kRid}) {
-    const RecognitionStats stats = engines.recognize(variant, input, pool, options);
+    const QueryResult stats =
+        engine.recognize(input, {.variant = variant, .chunks = 16});
     const double overhead =
         static_cast<double>(stats.transitions) / static_cast<double>(input.size());
     std::printf("%-7s  %-8s  %11llu   %.2fx\n", variant_name(variant),

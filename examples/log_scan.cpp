@@ -7,7 +7,7 @@
 #include <string>
 
 #include "automata/glushkov.hpp"
-#include "parallel/recognizer.hpp"
+#include "engine/engine.hpp"
 #include "util/prng.hpp"
 #include "util/stopwatch.hpp"
 #include "workloads/suite.hpp"
@@ -22,17 +22,17 @@ int main(int argc, char** argv) {
   std::printf("generating ~%zu MB of syslog records...\n", megabytes);
   const std::string log = spec.text(megabytes << 20, prng);
 
-  const LanguageEngines engines = LanguageEngines::from_nfa(glushkov_nfa(spec.regex()));
+  const Engine engine(Pattern::from_nfa(glushkov_nfa(spec.regex())));
+  const Pattern& pattern = engine.pattern();
   std::printf("line grammar: NFA %d states, min DFA %d states, RI-DFA interface %d\n\n",
-              engines.nfa().num_states(), engines.min_dfa().num_states(),
-              engines.ridfa().initial_count());
+              pattern.nfa().num_states(), pattern.min_dfa().num_states(),
+              pattern.ridfa().initial_count());
 
-  const std::vector<Symbol> input = engines.translate(log);
-  ThreadPool pool;
+  const std::vector<Symbol> input = engine.translate(log);
   for (const std::size_t chunks : {1u, 8u, 32u}) {
-    const DeviceOptions options{.chunks = chunks, .convergence = false};
     Stopwatch clock;
-    const RecognitionStats stats = engines.recognize(Variant::kRid, input, pool, options);
+    const QueryResult stats =
+        engine.recognize(input, {.variant = Variant::kRid, .chunks = chunks});
     std::printf("RID  c=%-3zu: %-8s  %7.2f ms   (%llu transitions)\n", chunks,
                 stats.accepted ? "VALID" : "MALFORMED", clock.millis(),
                 static_cast<unsigned long long>(stats.transitions));
@@ -42,9 +42,8 @@ int main(int argc, char** argv) {
   // chunk containing the corruption reports it through the join phase.
   std::string corrupted = log;
   corrupted[corrupted.size() / 2] = '#';
-  const std::vector<Symbol> bad_input = engines.translate(corrupted);
-  const DeviceOptions options{.chunks = 32, .convergence = false};
-  const RecognitionStats bad = engines.recognize(Variant::kRid, bad_input, pool, options);
+  const QueryResult bad =
+      engine.recognize(corrupted, {.variant = Variant::kRid, .chunks = 32});
   std::printf("\nafter corrupting one byte: %s\n",
               bad.accepted ? "VALID (unexpected!)" : "MALFORMED (as expected)");
   return bad.accepted ? 1 : 0;

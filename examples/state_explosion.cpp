@@ -7,7 +7,7 @@
 #include <string>
 
 #include "automata/glushkov.hpp"
-#include "parallel/recognizer.hpp"
+#include "engine/engine.hpp"
 #include "util/prng.hpp"
 #include "util/stopwatch.hpp"
 #include "workloads/suite.hpp"
@@ -19,10 +19,9 @@ int main(int argc, char** argv) {
 
   std::puts("k    NFA states   min DFA states   RI-DFA interface");
   for (int k = 2; k <= max_k; k += 2) {
-    const LanguageEngines engines =
-        LanguageEngines::from_nfa(glushkov_nfa(regexp_workload(k).regex()));
-    std::printf("%-3d  %-11d  %-15d  %d\n", k, engines.nfa().num_states(),
-                engines.min_dfa().num_states(), engines.ridfa().initial_count());
+    const Pattern pattern = Pattern::from_nfa(glushkov_nfa(regexp_workload(k).regex()));
+    std::printf("%-3d  %-11d  %-15d  %d\n", k, pattern.nfa().num_states(),
+                pattern.min_dfa().num_states(), pattern.ridfa().initial_count());
   }
 
   // Demonstrate the speculation gap at a moderate k.
@@ -30,15 +29,14 @@ int main(int argc, char** argv) {
   const WorkloadSpec spec = regexp_workload(k);
   Prng prng(1961);  // Brzozowski
   const std::string text = spec.text(1u << 20, prng);
-  const LanguageEngines engines = LanguageEngines::from_nfa(glushkov_nfa(spec.regex()));
-  const std::vector<Symbol> input = engines.translate(text);
-  ThreadPool pool;
-  const DeviceOptions options{.chunks = 32, .convergence = false};
+  const Engine engine(Pattern::from_nfa(glushkov_nfa(spec.regex())));
+  const std::vector<Symbol> input = engine.translate(text);
 
   std::printf("\nrecognizing %zu bytes with k = %d, c = 32 chunks:\n", text.size(), k);
   for (const Variant variant : {Variant::kDfa, Variant::kRid}) {
     Stopwatch clock;
-    const RecognitionStats stats = engines.recognize(variant, input, pool, options);
+    const QueryResult stats =
+        engine.recognize(input, {.variant = variant, .chunks = 32});
     std::printf("  %-4s: %s in %7.2f ms, %llu transitions (%.1fx the input length)\n",
                 variant_name(variant), stats.accepted ? "accepted" : "rejected",
                 clock.millis(), static_cast<unsigned long long>(stats.transitions),

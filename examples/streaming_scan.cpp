@@ -1,12 +1,12 @@
-// Streaming validation of a log too large to hold in memory: the
-// StreamingRecognizer consumes one window at a time, recognizing each
-// window in parallel and carrying only the PLAS set across windows.
+// Streaming validation of a log too large to hold in memory: a
+// StreamSession from Engine::stream() consumes one window of raw bytes at
+// a time, recognizing each window in parallel and carrying only the PLAS
+// set across windows — the streaming corollary of the paper's join phase.
 #include <cstdio>
 #include <string>
 
 #include "automata/glushkov.hpp"
-#include "core/interface_min.hpp"
-#include "parallel/streaming.hpp"
+#include "engine/engine.hpp"
 #include "util/prng.hpp"
 #include "util/stopwatch.hpp"
 #include "workloads/suite.hpp"
@@ -18,28 +18,20 @@ int main(int argc, char** argv) {
   const std::size_t window_kb = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 256;
 
   const WorkloadSpec spec = traffic_workload();
-  const Nfa nfa = glushkov_nfa(spec.regex());
-  const Ridfa ridfa = build_minimized_ridfa(nfa);
-
-  ThreadPool pool;
-  const DeviceOptions options{.chunks = 16, .convergence = false};
-  StreamingRecognizer stream(ridfa, pool, options);
+  const Engine engine(Pattern::from_nfa(glushkov_nfa(spec.regex())));
+  StreamSession stream = engine.stream({.variant = Variant::kRid, .chunks = 16});
 
   // Simulate an unbounded source: generate and feed window-sized slabs —
-  // at no point does the full text exist in memory.
+  // at no point does the full text exist in memory, and the session takes
+  // raw bytes (the translation happens inside).
   Prng prng(314159);
   Stopwatch clock;
   std::size_t fed = 0;
-  std::string carry;  // records split across window boundaries
   while (fed < (total_mb << 20)) {
-    std::string slab = carry + spec.text(window_kb << 10, prng);
-    carry.clear();
-    // Windows may split a record anywhere — the recognizer doesn't care,
-    // but keep the generator honest by cutting at the requested size.
-    const auto window = nfa.symbols().translate(slab);
-    stream.feed(window);
+    const std::string slab = spec.text(window_kb << 10, prng);
+    stream.feed(slab);
     fed += slab.size();
-    if (stream.dead()) break;
+    if (stream.dead()) break;  // every run died — stop reading early
   }
   std::printf("streamed %.1f MB in %llu windows of ~%zu KB: %s\n",
               static_cast<double>(fed) / (1 << 20),

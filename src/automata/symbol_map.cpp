@@ -62,7 +62,7 @@ std::vector<std::int32_t> SymbolMap::symbols_of(const ByteSet& bytes) const {
   return result;
 }
 
-std::vector<std::int32_t> SymbolMap::translate(const std::string& text) const {
+std::vector<std::int32_t> SymbolMap::translate(std::string_view text) const {
   std::vector<std::int32_t> symbols;
   symbols.reserve(text.size());
   for (const char ch : text)

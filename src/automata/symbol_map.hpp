@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "regex/ast.hpp"
@@ -50,7 +51,7 @@ class SymbolMap {
   /// is a single scan for out-of-range values (first_invalid_symbol below)
   /// and the per-symbol range checks can be hoisted out of the kernels'
   /// inner loops.
-  std::vector<std::int32_t> translate(const std::string& text) const;
+  std::vector<std::int32_t> translate(std::string_view text) const;
 
   const std::array<std::int32_t, 256>& raw_table() const { return byte_to_symbol_; }
 

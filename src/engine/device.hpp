@@ -1,0 +1,79 @@
+// The polymorphic device interface of the query API.
+//
+// A Device is one speculative recognition scheme over one compiled
+// language: the classic CSDPA over the minimal DFA or the NFA, the paper's
+// RID over the RI-DFA, or the speculation-free SFA comparator. The concrete
+// devices live in parallel/csdpa.hpp; Engine (engine/engine.hpp) holds one
+// of each behind this base, so every query shape dispatches through the
+// same two virtuals:
+//
+//  * recognize()   — one-shot parallel recognition of a whole input;
+//  * stream_feed() — consume one window of an unbounded input, carrying
+//    only the device-specific PLAS representation across windows (the
+//    paper's join condition applied at window granularity — feeding a text
+//    in any segmentation yields the one-shot decision, property-tested).
+//
+// capabilities() declares which QueryOptions knobs the device honors;
+// validate_query() rejects anything beyond that set.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "automata/nfa.hpp"
+#include "engine/query.hpp"
+
+namespace rispar {
+
+class ThreadPool;
+
+/// The state a StreamSession carries between windows. `states` is
+/// device-specific: DFA/RI-DFA states of the surviving runs (PLAS), NFA
+/// frontier states, or the single composed chunk-automaton state of the
+/// SFA. Empty states after the first window means every run died — the
+/// stream is dead and every extension rejects.
+struct StreamCarry {
+  std::vector<State> states;
+  bool at_start = true;  ///< nothing fed yet
+  std::uint64_t transitions = 0;
+  std::uint64_t windows = 0;
+};
+
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  virtual Variant variant() const = 0;
+  virtual DeviceCaps capabilities() const = 0;
+
+  /// What the device honors in streaming mode: its one-shot capabilities
+  /// minus look-back and tree-join (there is no look-back window across
+  /// the carry and the join is serial per window). stream_feed validates
+  /// against this, so direct device callers and Engine::stream get the
+  /// same reject-don't-ignore contract.
+  DeviceCaps stream_capabilities() const {
+    DeviceCaps caps = capabilities();
+    caps.lookback = false;
+    caps.tree_join = false;
+    return caps;
+  }
+
+  /// Parallel recognition of `input` (reach on the pool + join).
+  /// Throws QueryError when `options` requests a knob outside
+  /// capabilities(); Engine validates too, so direct callers and Engine
+  /// users get the same contract.
+  virtual QueryResult recognize(std::span<const Symbol> input, ThreadPool& pool,
+                                const QueryOptions& options) const = 0;
+
+  /// Consumes the next window of a streamed input, updating `carry` in
+  /// place (empty windows are a no-op). Streaming always runs the chunk
+  /// kernels selected by `options.kernel`; lookback/tree_join are not
+  /// available in streaming mode (Engine::stream rejects them).
+  virtual void stream_feed(StreamCarry& carry, std::span<const Symbol> window,
+                           ThreadPool& pool, const QueryOptions& options) const = 0;
+
+  /// Decision over everything fed into `carry` so far.
+  virtual bool stream_accepted(const StreamCarry& carry) const = 0;
+};
+
+}  // namespace rispar

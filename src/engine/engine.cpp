@@ -1,0 +1,111 @@
+#include "engine/engine.hpp"
+
+#include <string>
+
+#include "parallel/match_count.hpp"
+
+namespace rispar {
+
+Engine::Engine(Pattern pattern, EngineConfig config)
+    : pattern_(std::move(pattern)),
+      config_(config),
+      pool_(std::make_unique<ThreadPool>(config.threads)),
+      dfa_device_(pattern_.min_dfa()),
+      nfa_device_(pattern_.nfa()),
+      rid_device_(pattern_.ridfa()) {}
+
+const Device* Engine::try_device(Variant variant) const {
+  switch (variant) {
+    case Variant::kDfa: return &dfa_device_;
+    case Variant::kNfa: return &nfa_device_;
+    case Variant::kRid: return &rid_device_;
+    case Variant::kSfa: return pattern_.sfa_device(config_.sfa_budget);
+  }
+  return nullptr;
+}
+
+const Device& Engine::device(Variant variant) const {
+  const Device* found = try_device(variant);
+  if (found == nullptr) {
+    // The probe is cached per Pattern, so the effective budget may not be
+    // this Engine's configured one — report the budget that actually ran.
+    const std::int32_t probed = pattern_.sfa_probe_budget();
+    std::string message =
+        std::string(variant_name(variant)) +
+        ": device unavailable (SFA construction exceeded the budget of " +
+        std::to_string(probed) +
+        " mappings — the explosion case the paper reports)";
+    if (probed != config_.sfa_budget)
+      message += "; the shared Pattern was first probed with that budget, so "
+                 "this Engine's sfa_budget of " +
+                 std::to_string(config_.sfa_budget) + " was not applied";
+    throw QueryError(message);
+  }
+  return *found;
+}
+
+QueryResult Engine::recognize(std::string_view text, const QueryOptions& options) const {
+  return recognize(pattern_.translate(text), options);
+}
+
+QueryResult Engine::recognize(std::span<const Symbol> input,
+                              const QueryOptions& options) const {
+  return device(options.variant).recognize(input, *pool_, options);
+}
+
+QueryResult Engine::count(std::string_view text, const QueryOptions& options) const {
+  // Reject up front — before paying the lazy searcher build (determinize +
+  // minimize) and the full-text translation; count_matches re-validates.
+  validate_query(options, kCountingCaps, kCountingContext);
+  const Dfa& dfa = searcher();
+  return count_matches(dfa, dfa.symbols().translate(text), *pool_, options);
+}
+
+StreamSession Engine::stream(const QueryOptions& options) const {
+  const Device& dev = device(options.variant);
+  // Fail at session creation, not at the first feed (which re-validates).
+  validate_query(options, dev.stream_capabilities(),
+                 device_context("stream", options.variant));
+  return StreamSession(dev, pattern_, *pool_, options);
+}
+
+std::vector<QueryResult> Engine::match_all(std::span<const std::string_view> texts,
+                                           const QueryOptions& options) const {
+  const Device& dev = device(options.variant);
+  // Fail before any text is translated; per-text recognize re-validates.
+  validate_query(options, dev.capabilities(),
+                 device_context("match_all", options.variant));
+  std::vector<QueryResult> results(texts.size());
+  // One task per text; per-text chunk runs nest on the same pool and
+  // execute inline (ThreadPool reentrancy), so the sharding unit is the
+  // text — the right shape for many small-to-medium documents.
+  pool_->run(texts.size(), [&](std::size_t i) {
+    results[i] = dev.recognize(pattern_.translate(texts[i]), *pool_, options);
+  });
+  return results;
+}
+
+bool Engine::accepts(std::span<const Symbol> input) const {
+  const Dfa& dfa = pattern_.min_dfa();
+  State state = dfa.initial();
+  for (const Symbol symbol : input) {
+    if (symbol < 0 || symbol >= dfa.num_symbols()) return false;
+    state = dfa.step(state, symbol);
+    if (state == kDeadState) return false;
+  }
+  return dfa.is_final(state);
+}
+
+bool Engine::accepts(std::string_view text) const {
+  return accepts(pattern_.translate(text));
+}
+
+void StreamSession::feed(std::string_view bytes) {
+  feed(pattern_.translate(bytes));
+}
+
+void StreamSession::feed(std::span<const Symbol> window) {
+  device_->stream_feed(carry_, window, *pool_, options_);
+}
+
+}  // namespace rispar

@@ -1,0 +1,151 @@
+// rispar::Engine — the single entry point of the query API.
+//
+// One Pattern compiles a language once; an Engine binds it to a thread
+// pool and exposes every query shape the paper's tool supports through one
+// options surface (QueryOptions) and one result type (QueryResult):
+//
+//   Engine engine(Pattern::compile("(ab|ba)*"));
+//   engine.recognize("abba");                       // parallel yes/no
+//   engine.count("..abba..abba..");                 // occurrences of p
+//   auto session = engine.stream();                 // window-by-window
+//   engine.match_all(texts);                        // many texts, one pool
+//
+// All entry points accept raw bytes (std::string_view) and translate
+// internally; span<const Symbol> overloads exist for callers that translate
+// once and query many times (the bench drivers). The four devices — DFA,
+// NFA, RID, SFA — sit behind the polymorphic Device registry; options a
+// device cannot honor raise QueryError instead of being silently ignored.
+//
+// Concurrency: one Engine may be queried from one thread at a time (the
+// pool's batch protocol has a single caller). Compile one Pattern and give
+// each querying thread its own Engine — the compiled machines are shared.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "engine/pattern.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace rispar {
+
+class StreamSession;
+
+struct EngineConfig {
+  /// Worker threads of the owned pool (0 = hardware concurrency).
+  unsigned threads = 0;
+  /// SFA construction budget for Variant::kSfa (mappings interned before
+  /// giving up — the explosion guard, see core/sfa.hpp).
+  std::int32_t sfa_budget = 1 << 16;
+};
+
+class Engine {
+ public:
+  explicit Engine(Pattern pattern, EngineConfig config = {});
+
+  /// Not movable: StreamSessions and device references point into this
+  /// object, and a moved-from Engine would leave them dangling. Engines
+  /// are cheap to build from a shared Pattern — construct one where you
+  /// need it (or heap-allocate for containers).
+  Engine(Engine&&) = delete;
+  Engine& operator=(Engine&&) = delete;
+
+  const Pattern& pattern() const { return pattern_; }
+  ThreadPool& pool() const { return *pool_; }
+
+  /// The device answering for `variant`. kSfa is built lazily with the
+  /// configured budget; throws QueryError when its construction explodes.
+  const Device& device(Variant variant) const;
+  /// Same, but nullptr instead of a throw for an unbuildable device.
+  const Device* try_device(Variant variant) const;
+
+  /// Whole-input parallel recognition with options.variant's device.
+  QueryResult recognize(std::string_view text, const QueryOptions& options = {}) const;
+  QueryResult recognize(std::span<const Symbol> input,
+                        const QueryOptions& options = {}) const;
+
+  /// Occurrences of the pattern in `text` (prefixes ending a match, overlaps
+  /// counted) via the lazily built Σ*p searcher. Counting has exactly one
+  /// deterministic device, so options.variant is not consulted; chunks and
+  /// convergence are honored, anything else raises QueryError. Byte-level
+  /// only: the searcher runs on its own all-bytes SymbolMap, NOT the
+  /// pattern's, so symbols from translate() would be misinterpreted —
+  /// callers holding pre-translated searcher symbols use
+  /// count_matches(searcher(), ...) directly.
+  QueryResult count(std::string_view text, const QueryOptions& options = {}) const;
+
+  /// Opens a byte-level streaming session on options.variant's device: feed
+  /// windows of any size, in order; the decision always equals one-shot
+  /// recognition of the concatenation (property-tested). The session
+  /// borrows this Engine — it must not outlive it.
+  StreamSession stream(const QueryOptions& options = {}) const;
+
+  /// Batch recognition: every text translated and recognized on the shared
+  /// pool (texts in parallel, chunks within a text inline), one QueryResult
+  /// per text in input order.
+  std::vector<QueryResult> match_all(std::span<const std::string_view> texts,
+                                     const QueryOptions& options = {}) const;
+
+  /// The counting machine (see Pattern::searcher()).
+  const Dfa& searcher() const { return pattern_.searcher(); }
+
+  /// Translates byte text with the pattern's SymbolMap.
+  std::vector<Symbol> translate(std::string_view text) const {
+    return pattern_.translate(text);
+  }
+
+  /// Serial ground truth (minimal-DFA run from its initial state).
+  bool accepts(std::span<const Symbol> input) const;
+  bool accepts(std::string_view text) const;
+
+ private:
+  Pattern pattern_;
+  EngineConfig config_;
+  mutable std::unique_ptr<ThreadPool> pool_;
+  DfaDevice dfa_device_;
+  NfaDevice nfa_device_;
+  RidDevice rid_device_;
+};
+
+/// A byte-level streaming recognition session (texts larger than memory,
+/// fed window by window). Between windows only the device's PLAS carry
+/// survives, so the footprint is one window plus O(|carry|). Obtained from
+/// Engine::stream(); not thread-safe — feed from one thread, in order.
+class StreamSession {
+ public:
+  /// Consumes the next window (may be empty — a no-op).
+  void feed(std::string_view bytes);
+  void feed(std::span<const Symbol> window);
+
+  /// Decision over everything fed so far (callable repeatedly; feed() may
+  /// continue afterwards).
+  bool accepted() const { return device_->stream_accepted(carry_); }
+
+  /// True when no run survives — every extension is rejected too, so a
+  /// caller can stop reading early.
+  bool dead() const { return !carry_.at_start && carry_.states.empty(); }
+
+  Variant variant() const { return device_->variant(); }
+  std::uint64_t transitions() const { return carry_.transitions; }
+  std::uint64_t windows() const { return carry_.windows; }
+
+  /// Forgets all input; the next feed() starts from the initial state again.
+  void reset() { carry_ = StreamCarry{}; }
+
+ private:
+  friend class Engine;
+  StreamSession(const Device& device, Pattern pattern, ThreadPool& pool,
+                QueryOptions options)
+      : device_(&device), pattern_(std::move(pattern)), pool_(&pool),
+        options_(std::move(options)) {}
+
+  const Device* device_;
+  Pattern pattern_;  ///< shared ownership keeps the automata alive
+  ThreadPool* pool_;
+  QueryOptions options_;
+  StreamCarry carry_;
+};
+
+}  // namespace rispar

@@ -1,0 +1,143 @@
+#include "engine/pattern.hpp"
+
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "automata/glushkov.hpp"
+#include "automata/minimize.hpp"
+#include "automata/nfa_ops.hpp"
+#include "automata/subset.hpp"
+#include "automata/timbuk.hpp"
+#include "core/interface_min.hpp"
+#include "regex/parser.hpp"
+
+namespace rispar {
+
+struct Pattern::Compiled {
+  Nfa nfa;
+  Dfa min_dfa;
+  Ridfa ridfa;
+
+  // Lazily built artifacts, shared by every copy of the Pattern. call_once
+  // keeps concurrent first uses safe; the structs live behind the shared_ptr
+  // so their addresses are stable for the devices that reference them.
+  mutable std::once_flag searcher_once;
+  mutable std::optional<Dfa> searcher;
+
+  mutable std::once_flag sfa_once;
+  mutable std::optional<Sfa> sfa;
+  mutable std::optional<SfaDevice> sfa_dev;
+  mutable std::int32_t sfa_probe_budget = 0;  ///< 0 = never probed
+};
+
+namespace {
+
+/// The Σ*p machine of an ε-free NFA: a new start state that loops on every
+/// symbol of an alphabet extended to cover all 256 bytes (occurrences sit
+/// inside arbitrary text) and mirrors the old initial state's out-edges.
+Dfa build_searcher(const Nfa& nfa) {
+  const SymbolMap& map = nfa.symbols();
+  const std::int32_t k = map.num_symbols();
+
+  // Re-derive the byte partition and add the uncovered bytes as one class,
+  // so every byte translates to a real symbol for the searcher.
+  std::vector<ByteSet> classes(static_cast<std::size_t>(k));
+  ByteSet uncovered;
+  for (int b = 0; b < 256; ++b) {
+    const std::int32_t s = map.symbol_of(static_cast<unsigned char>(b));
+    if (s == SymbolMap::kUnmapped)
+      uncovered.set(static_cast<std::size_t>(b));
+    else
+      classes[static_cast<std::size_t>(s)].set(static_cast<std::size_t>(b));
+  }
+  if (uncovered.any()) classes.push_back(uncovered);
+  const SymbolMap full = SymbolMap::build(classes);
+
+  // Old symbol ids → the (possibly renumbered) ids of the full map.
+  std::vector<Symbol> remap(static_cast<std::size_t>(k));
+  for (std::int32_t s = 0; s < k; ++s)
+    remap[static_cast<std::size_t>(s)] = full.symbol_of(map.representative(s));
+
+  Nfa searcher(full.num_symbols(), full);
+  const State loop = searcher.add_state(nfa.is_final(nfa.initial()));
+  std::vector<State> copy(static_cast<std::size_t>(nfa.num_states()));
+  for (State q = 0; q < nfa.num_states(); ++q)
+    copy[static_cast<std::size_t>(q)] = searcher.add_state(nfa.is_final(q));
+  for (State q = 0; q < nfa.num_states(); ++q)
+    for (const NfaEdge& edge : nfa.edges(q))
+      searcher.add_edge(copy[static_cast<std::size_t>(q)],
+                        remap[static_cast<std::size_t>(edge.symbol)],
+                        copy[static_cast<std::size_t>(edge.target)]);
+  for (Symbol a = 0; a < full.num_symbols(); ++a) searcher.add_edge(loop, a, loop);
+  for (const NfaEdge& edge : nfa.edges(nfa.initial()))
+    searcher.add_edge(loop, remap[static_cast<std::size_t>(edge.symbol)],
+                      copy[static_cast<std::size_t>(edge.target)]);
+  searcher.set_initial(loop);
+
+  Dfa dfa = minimize_dfa(determinize(searcher));
+  dfa.packed();  // pre-warm like every other query machine
+  return dfa;
+}
+
+}  // namespace
+
+Pattern::Pattern(std::shared_ptr<const Compiled> compiled)
+    : compiled_(std::move(compiled)) {}
+
+Pattern Pattern::compile(std::string_view regex) {
+  return from_nfa(glushkov_nfa(parse_regex(std::string(regex))));
+}
+
+Pattern Pattern::from_nfa(Nfa nfa) {
+  Nfa eps_free = nfa.has_epsilon() ? remove_epsilon(nfa) : std::move(nfa);
+  Nfa trimmed = trim_unreachable(eps_free);
+  Dfa min_dfa = minimize_dfa(determinize(trimmed));
+  Ridfa ridfa = build_minimized_ridfa(trimmed);
+  // Pre-warm the packed tables once, before any device or pool sees them.
+  min_dfa.packed();
+  ridfa.dfa().packed();
+  auto compiled = std::make_shared<Compiled>();
+  compiled->nfa = std::move(trimmed);
+  compiled->min_dfa = std::move(min_dfa);
+  compiled->ridfa = std::move(ridfa);
+  return Pattern(std::move(compiled));
+}
+
+Pattern Pattern::from_timbuk(const std::string& text) {
+  return from_nfa(timbuk_from_string(text));
+}
+
+const Nfa& Pattern::nfa() const { return compiled_->nfa; }
+const Dfa& Pattern::min_dfa() const { return compiled_->min_dfa; }
+const Ridfa& Pattern::ridfa() const { return compiled_->ridfa; }
+const SymbolMap& Pattern::symbols() const { return compiled_->nfa.symbols(); }
+
+std::vector<Symbol> Pattern::translate(std::string_view text) const {
+  return symbols().translate(text);
+}
+
+const Dfa& Pattern::searcher() const {
+  const Compiled& c = *compiled_;
+  std::call_once(c.searcher_once, [&] { c.searcher.emplace(build_searcher(c.nfa)); });
+  return *c.searcher;
+}
+
+const Sfa* Pattern::sfa(std::int32_t max_states) const {
+  const Compiled& c = *compiled_;
+  std::call_once(c.sfa_once, [&] {
+    c.sfa_probe_budget = max_states;
+    c.sfa = try_build_sfa(c.min_dfa, max_states);
+    if (c.sfa.has_value()) c.sfa_dev.emplace(*c.sfa, c.min_dfa);
+  });
+  return c.sfa.has_value() ? &*c.sfa : nullptr;
+}
+
+std::int32_t Pattern::sfa_probe_budget() const { return compiled_->sfa_probe_budget; }
+
+const SfaDevice* Pattern::sfa_device(std::int32_t max_states) const {
+  sfa(max_states);  // force the lazy build (same once_flag)
+  return compiled_->sfa_dev.has_value() ? &*compiled_->sfa_dev : nullptr;
+}
+
+}  // namespace rispar

@@ -1,0 +1,79 @@
+// Pattern — one language, compiled once, shared everywhere.
+//
+// A Pattern owns (with shared ownership — copying is a cheap shared_ptr
+// bump) every machine the query devices need: the ε-free Glushkov/cleaned
+// NFA (the source of truth), the minimal DFA, the interface-minimized
+// RI-DFA, and, built lazily on first demand, the SFA comparator and the
+// Σ*p "searcher" DFA that powers occurrence counting. Packed transition
+// tables are pre-warmed at compile time so no pool worker ever pays the
+// build. Engines, stream sessions, and user code can all hold copies of
+// one Pattern; the compiled machines outlive them all together.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "automata/dfa.hpp"
+#include "automata/nfa.hpp"
+#include "core/ridfa.hpp"
+#include "core/sfa.hpp"
+#include "parallel/csdpa.hpp"
+
+namespace rispar {
+
+class Pattern {
+ public:
+  /// Compiles a regular expression via Glushkov (ε-free by construction).
+  /// Throws RegexError on a malformed pattern.
+  static Pattern compile(std::string_view regex);
+
+  /// Takes ownership of an NFA (ε-removed and trimmed internally).
+  static Pattern from_nfa(Nfa nfa);
+
+  /// Parses a Timbuk-format automaton (interchange with other tools).
+  static Pattern from_timbuk(const std::string& text);
+
+  const Nfa& nfa() const;
+  const Dfa& min_dfa() const;
+  const Ridfa& ridfa() const;
+  const SymbolMap& symbols() const;
+
+  /// Translates byte text with the shared SymbolMap (alien bytes become
+  /// SymbolMap::kUnmapped, which every device treats as an immediate dead
+  /// transition — never UB).
+  std::vector<Symbol> translate(std::string_view text) const;
+
+  /// The Σ*p occurrence-counting machine: final after exactly the prefixes
+  /// ending an occurrence of the pattern. Derived from the NFA by adding a
+  /// Σ-self-loop start state over an alphabet extended to cover ALL bytes
+  /// (text between occurrences is arbitrary), then determinizing and
+  /// minimizing. Built lazily on first use, then cached and shared.
+  /// NOTE: translate counting input with searcher().symbols(), not the
+  /// pattern's own map — Engine::count does this internally.
+  const Dfa& searcher() const;
+
+  /// The SFA device (speculation-free comparator), built lazily with the
+  /// given construction budget. Returns nullptr when the SFA explodes past
+  /// `max_states` mappings — the trade-off the paper reports. The first
+  /// call's budget wins; later calls return the cached outcome.
+  const SfaDevice* sfa_device(std::int32_t max_states = 1 << 16) const;
+
+  /// The lazily built SFA itself (nullptr when exploded); see sfa_device().
+  const Sfa* sfa(std::int32_t max_states = 1 << 16) const;
+
+  /// The budget the SFA probe actually ran with (0 when not yet probed) —
+  /// later callers with a different configured budget get the cached
+  /// outcome, and error messages must name this value, not theirs.
+  std::int32_t sfa_probe_budget() const;
+
+ private:
+  struct Compiled;
+  explicit Pattern(std::shared_ptr<const Compiled> compiled);
+
+  std::shared_ptr<const Compiled> compiled_;
+};
+
+}  // namespace rispar

@@ -1,0 +1,30 @@
+#include "engine/query.hpp"
+
+namespace rispar {
+
+const char* variant_name(Variant variant) {
+  switch (variant) {
+    case Variant::kDfa: return "DFA";
+    case Variant::kNfa: return "NFA";
+    case Variant::kRid: return "RID";
+    case Variant::kSfa: return "SFA";
+  }
+  return "?";
+}
+
+void validate_query(const QueryOptions& options, const DeviceCaps& caps,
+                    const std::string& context) {
+  const auto reject = [&](const char* knob) {
+    throw QueryError(context + " cannot honor '" + knob + "'");
+  };
+  if (options.convergence && !caps.convergence) reject("convergence");
+  if (options.kernel != DetKernel::kFused && !caps.kernel_select) reject("kernel");
+  if (options.lookback > 0 && !caps.lookback) reject("lookback");
+  if (options.tree_join && !caps.tree_join) reject("tree_join");
+}
+
+std::string device_context(const char* what, Variant variant) {
+  return std::string("the ") + variant_name(variant) + " device (" + what + ")";
+}
+
+}  // namespace rispar

@@ -1,0 +1,103 @@
+// The one options/result surface of the public query API.
+//
+// Every query shape (recognize / count / stream / match_all) and every
+// speculative device speaks the same vocabulary:
+//
+//  * Variant   — which chunk automaton answers the query (the paper's three
+//    schemes plus the speculation-free SFA comparator [25]);
+//  * QueryOptions — the single knob struct, absorbing what used to be split
+//    between DeviceOptions (chunks, lookback, tree_join) and DetChunkOptions
+//    (convergence, kernel). A device that cannot honor a requested knob
+//    REJECTS the query with QueryError instead of silently ignoring it —
+//    capabilities() says up front what each device honors;
+//  * QueryResult — the unified structured result (decision, occurrence
+//    count, transition accounting, per-phase wall times).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "parallel/ca_run.hpp"
+
+namespace rispar {
+
+enum class Variant {
+  kDfa,  ///< classic CSDPA over the minimal DFA
+  kNfa,  ///< classic CSDPA over the NFA
+  kRid,  ///< the paper's RID over the interface-minimized RI-DFA
+  kSfa,  ///< speculation-free SFA comparator (paper Sect. 1, [25])
+};
+
+const char* variant_name(Variant variant);
+
+/// Thrown when a query asks for an option combination the chosen device (or
+/// query shape) cannot honor, or for a device that cannot be built (SFA
+/// construction explosion).
+class QueryError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// What a device can honor. Anything requested beyond this set raises
+/// QueryError during validation — never a silent ignore.
+struct DeviceCaps {
+  bool convergence = false;    ///< run-convergence in the chunk kernels
+  bool kernel_select = false;  ///< fused/reference kernel choice
+  bool lookback = false;       ///< look-back start pruning (Sect. 5 / [28])
+  bool tree_join = false;      ///< parallel tree-reduction join
+};
+
+struct QueryOptions {
+  /// Which chunk automaton runs the query (ignored by count(), which has
+  /// exactly one deterministic counting device — see engine.hpp).
+  Variant variant = Variant::kRid;
+  /// Requested chunk count c; clamped to the input length. c <= 1 means
+  /// serial execution (single chunk, no speculation).
+  std::size_t chunks = 1;
+  /// Run-convergence optimization in the deterministic kernels (ablation).
+  bool convergence = false;
+  /// Deterministic-kernel implementation (fused default; reference oracle).
+  DetKernel kernel = DetKernel::kFused;
+  /// Look-back state speculation (paper Sect. 5, Yang & Prasanna [28]
+  /// flavour), DFA device only: before the speculative runs of chunk i>=2,
+  /// all starts are advanced over the `lookback` symbols preceding the
+  /// chunk boundary; only the (deduplicated) survivors start real runs.
+  /// Sound because the true boundary state is the image of *some* state
+  /// over that window. 0 disables.
+  std::size_t lookback = 0;
+  /// Parallel tree-reduction join (DFA device only): chunk mappings are
+  /// total functions Q → Q ∪ {dead}, whose composition is associative, so
+  /// the join can reduce pairwise on the pool in O(log c) rounds instead of
+  /// serially. The paper keeps the join serial because it is <1% of the
+  /// time (Sect. 4.4) — this mode exists to *measure* that claim.
+  bool tree_join = false;
+};
+
+/// The unified result of every query shape. recognize/stream fill the
+/// decision and overhead metrics; count() additionally fills `matches` and
+/// `died` (and sets accepted = matches > 0).
+struct QueryResult {
+  bool accepted = false;
+  std::uint64_t transitions = 0;  ///< total over all chunks (reach phase)
+  std::uint64_t chunks = 0;       ///< actual chunk count after clamping
+  double reach_seconds = 0.0;
+  double join_seconds = 0.0;
+  std::uint64_t matches = 0;  ///< count(): prefixes ending an occurrence
+  bool died = false;          ///< count(): the true run left the automaton
+
+  double total_seconds() const { return reach_seconds + join_seconds; }
+};
+
+/// Throws QueryError naming the offending knob when `options` requests
+/// anything outside `caps`. `context` names who is validating, e.g.
+/// "the DFA device (recognize)" or "count (the deterministic counting
+/// kernel)" — it leads the error message.
+void validate_query(const QueryOptions& options, const DeviceCaps& caps,
+                    const std::string& context);
+
+/// The standard validate_query context of a device-backed query shape:
+/// "the DFA device (recognize)".
+std::string device_context(const char* what, Variant variant);
+
+}  // namespace rispar

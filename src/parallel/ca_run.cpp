@@ -352,4 +352,31 @@ NfaChunkResult run_chunk_nfa(const Nfa& nfa, std::span<const Symbol> chunk,
   return result;
 }
 
+NfaChunkResult run_chunk_nfa_union(const Nfa& nfa, std::span<const Symbol> chunk,
+                                   std::span<const State> starts) {
+  NfaChunkResult result;
+  if (starts.empty()) return result;
+  const auto universe = static_cast<std::size_t>(nfa.num_states());
+  Bitset frontier(universe);
+  Bitset next(universe);
+  for (const State start : starts) frontier.set(static_cast<std::size_t>(start));
+  for (const Symbol symbol : chunk) {
+    if (symbol < 0 || symbol >= nfa.num_symbols()) {
+      frontier.clear();
+      break;
+    }
+    next.clear();
+    for (std::size_t s = frontier.first(); s != Bitset::npos; s = frontier.next(s)) {
+      for (const auto& edge : nfa.edges(static_cast<State>(s), symbol)) {
+        ++result.transitions;
+        next.set(static_cast<std::size_t>(edge.target));
+      }
+    }
+    std::swap(frontier, next);
+    if (frontier.empty()) break;
+  }
+  if (!frontier.empty()) result.lambda.emplace_back(starts.front(), frontier);
+  return result;
+}
+
 }  // namespace rispar

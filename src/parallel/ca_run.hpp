@@ -98,4 +98,12 @@ struct NfaChunkResult {
 NfaChunkResult run_chunk_nfa(const Nfa& nfa, std::span<const Symbol> chunk,
                              std::span<const State> starts);
 
+/// One frontier simulation seeded with ALL of `starts` at once: the union
+/// λ image without per-start attribution, reported as a single lambda
+/// entry (starts.front(), union). For consumers that only need the union —
+/// the NFA streaming path's first chunk, whose carried states are all kept
+/// verbatim by the join — this replaces |starts| full chunk scans with one.
+NfaChunkResult run_chunk_nfa_union(const Nfa& nfa, std::span<const Symbol> chunk,
+                                   std::span<const State> starts);
+
 }  // namespace rispar

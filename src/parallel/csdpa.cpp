@@ -10,14 +10,70 @@ namespace rispar {
 namespace {
 
 // Empty input: no chunks run; acceptance is a pure initial/final check.
-template <typename IsFinal>
-RecognitionStats empty_input_result(bool initial_is_final, IsFinal&&) {
-  RecognitionStats stats;
+QueryResult empty_input_result(bool initial_is_final) {
+  QueryResult stats;
   stats.accepted = initial_is_final;
   return stats;
 }
 
+DetChunkOptions kernel_options(const QueryOptions& options) {
+  return DetChunkOptions{.convergence = options.convergence,
+                         .kernel = options.kernel};
+}
+
+// Prologue shared by every stream_feed: empty windows are no-ops; a dead
+// carry only grows the window count. Returns true when the window runs.
+bool stream_window_begins(StreamCarry& carry, std::span<const Symbol> window) {
+  if (window.empty()) return false;
+  ++carry.windows;
+  return carry.at_start || !carry.states.empty();
+}
+
+// Fan-out shared by every stream_feed: the window's first chunk continues
+// from `continuation` (run receives first = true), later chunks speculate
+// from `speculative`.
+template <typename Result, typename Run>
+std::vector<Result> run_window_chunks(std::span<const Symbol> window,
+                                      ThreadPool& pool, std::size_t chunks_requested,
+                                      std::span<const State> continuation,
+                                      std::span<const State> speculative, Run&& run) {
+  const auto chunks = split_chunks(window.size(), chunks_requested);
+  std::vector<Result> results(chunks.size());
+  pool.run(chunks.size(), [&](std::size_t i) {
+    results[i] = run(window.subspan(chunks[i].begin, chunks[i].length),
+                     i == 0 ? continuation : speculative, i == 0);
+  });
+  return results;
+}
+
+// Join fold shared by the DFA/NFA streaming paths, which both track the
+// PLAS as a bitset: the first chunk's survivors are kept verbatim (their
+// starts were exactly the carried PLAS), later chunks filter through the
+// previous PLAS. `accumulate(next, entry)` adds one surviving λ entry.
+template <typename Result, typename Accumulate>
+void join_window_into_carry(StreamCarry& carry, const std::vector<Result>& results,
+                            std::int32_t num_states, Accumulate&& accumulate) {
+  Bitset plas(static_cast<std::size_t>(num_states));
+  bool first_chunk = true;
+  for (const auto& chunk_result : results) {
+    carry.transitions += chunk_result.transitions;
+    Bitset next(static_cast<std::size_t>(num_states));
+    for (const auto& entry : chunk_result.lambda) {
+      if (first_chunk || plas.test(static_cast<std::size_t>(entry.first)))
+        accumulate(next, entry);
+    }
+    plas = std::move(next);
+    first_chunk = false;
+  }
+  carry.states.clear();
+  for (State s = 0; s < num_states; ++s)
+    if (plas.test(static_cast<std::size_t>(s))) carry.states.push_back(s);
+  carry.at_start = false;
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------- DfaDevice
 
 DfaDevice::DfaDevice(const Dfa& dfa) : dfa_(dfa) {
   dfa.packed();  // warm the cache so pool workers never pay the build
@@ -25,19 +81,19 @@ DfaDevice::DfaDevice(const Dfa& dfa) : dfa_(dfa) {
   for (State s = 0; s < dfa.num_states(); ++s) all_states_.push_back(s);
 }
 
-RecognitionStats DfaDevice::recognize(std::span<const Symbol> input, ThreadPool& pool,
-                                      const DeviceOptions& options) const {
-  if (input.empty())
-    return empty_input_result(dfa_.is_final(dfa_.initial()), nullptr);
+QueryResult DfaDevice::recognize(std::span<const Symbol> input, ThreadPool& pool,
+                                 const QueryOptions& options) const {
+  validate_query(options, capabilities(), device_context("recognize", variant()));
+  if (input.empty()) return empty_input_result(dfa_.is_final(dfa_.initial()));
 
   const auto chunks = split_chunks(input.size(), options.chunks);
-  RecognitionStats stats;
+  QueryResult stats;
   stats.chunks = chunks.size();
 
   Stopwatch reach_clock;
   std::vector<DetChunkResult> results(chunks.size());
   const std::vector<State> first_start{dfa_.initial()};
-  const DetChunkOptions run_options{options.convergence};
+  const DetChunkOptions run_options = kernel_options(options);
   pool.run(chunks.size(), [&](std::size_t i) {
     const auto span = input.subspan(chunks[i].begin, chunks[i].length);
     if (i == 0) {
@@ -57,7 +113,8 @@ RecognitionStats DfaDevice::recognize(std::span<const Symbol> input, ThreadPool&
     const std::size_t window_len = std::min(options.lookback, chunks[i].begin);
     const auto window = input.subspan(chunks[i].begin - window_len, window_len);
     const DetChunkResult probe = run_chunk_det(
-        dfa_, window, all_states_, DetChunkOptions{.convergence = true});
+        dfa_, window, all_states_,
+        DetChunkOptions{.convergence = true, .kernel = options.kernel});
     results[i] = run_chunk_det(dfa_, span, probe.distinct_ends, run_options);
     // The probe work is real speculative overhead; account for it
     // (accounting convention: parallel/ca_run.hpp).
@@ -118,19 +175,47 @@ RecognitionStats DfaDevice::recognize(std::span<const Symbol> input, ThreadPool&
   return stats;
 }
 
+void DfaDevice::stream_feed(StreamCarry& carry, std::span<const Symbol> window,
+                            ThreadPool& pool, const QueryOptions& options) const {
+  validate_query(options, stream_capabilities(), device_context("stream", variant()));
+  if (!stream_window_begins(carry, window)) return;
+
+  const std::vector<State> continuation =
+      carry.at_start ? std::vector<State>{dfa_.initial()} : carry.states;
+  const DetChunkOptions run_options = kernel_options(options);
+  const auto results = run_window_chunks<DetChunkResult>(
+      window, pool, options.chunks, continuation, all_states_,
+      [&](std::span<const Symbol> span, std::span<const State> starts, bool) {
+        return run_chunk_det(dfa_, span, starts, run_options);
+      });
+  join_window_into_carry(carry, results, dfa_.num_states(),
+                         [](Bitset& next, const std::pair<State, State>& entry) {
+                           next.set(static_cast<std::size_t>(entry.second));
+                         });
+}
+
+bool DfaDevice::stream_accepted(const StreamCarry& carry) const {
+  if (carry.at_start) return dfa_.is_final(dfa_.initial());
+  for (const State s : carry.states)
+    if (dfa_.is_final(s)) return true;
+  return false;
+}
+
+// ---------------------------------------------------------------- NfaDevice
+
 NfaDevice::NfaDevice(const Nfa& nfa) : nfa_(nfa) {
   assert(!nfa.has_epsilon() && "NfaDevice requires an eps-free NFA");
   all_states_.reserve(static_cast<std::size_t>(nfa.num_states()));
   for (State s = 0; s < nfa.num_states(); ++s) all_states_.push_back(s);
 }
 
-RecognitionStats NfaDevice::recognize(std::span<const Symbol> input, ThreadPool& pool,
-                                      const DeviceOptions& options) const {
-  if (input.empty())
-    return empty_input_result(nfa_.is_final(nfa_.initial()), nullptr);
+QueryResult NfaDevice::recognize(std::span<const Symbol> input, ThreadPool& pool,
+                                 const QueryOptions& options) const {
+  validate_query(options, capabilities(), device_context("recognize", variant()));
+  if (input.empty()) return empty_input_result(nfa_.is_final(nfa_.initial()));
 
   const auto chunks = split_chunks(input.size(), options.chunks);
-  RecognitionStats stats;
+  QueryResult stats;
   stats.chunks = chunks.size();
 
   Stopwatch reach_clock;
@@ -163,24 +248,55 @@ RecognitionStats NfaDevice::recognize(std::span<const Symbol> input, ThreadPool&
   return stats;
 }
 
+void NfaDevice::stream_feed(StreamCarry& carry, std::span<const Symbol> window,
+                            ThreadPool& pool, const QueryOptions& options) const {
+  validate_query(options, stream_capabilities(), device_context("stream", variant()));
+  if (!stream_window_begins(carry, window)) return;
+
+  const std::vector<State> continuation =
+      carry.at_start ? std::vector<State>{nfa_.initial()} : carry.states;
+  const auto results = run_window_chunks<NfaChunkResult>(
+      window, pool, options.chunks, continuation, all_states_,
+      [&](std::span<const Symbol> span, std::span<const State> starts, bool first) {
+        // The first chunk's survivors are all kept verbatim by the join, so
+        // only the UNION of its end sets matters — one frontier simulation
+        // seeded with the whole carry instead of |carry| full chunk scans.
+        return first ? run_chunk_nfa_union(nfa_, span, starts)
+                     : run_chunk_nfa(nfa_, span, starts);
+      });
+  join_window_into_carry(carry, results, nfa_.num_states(),
+                         [](Bitset& next, const std::pair<State, Bitset>& entry) {
+                           next |= entry.second;
+                         });
+}
+
+bool NfaDevice::stream_accepted(const StreamCarry& carry) const {
+  if (carry.at_start) return nfa_.is_final(nfa_.initial());
+  for (const State s : carry.states)
+    if (nfa_.is_final(s)) return true;
+  return false;
+}
+
+// ---------------------------------------------------------------- RidDevice
+
 RidDevice::RidDevice(const Ridfa& ridfa) : ridfa_(ridfa) {
   ridfa.dfa().packed();  // warm the cache so pool workers never pay the build
 }
 
-RecognitionStats RidDevice::recognize(std::span<const Symbol> input, ThreadPool& pool,
-                                      const DeviceOptions& options) const {
+QueryResult RidDevice::recognize(std::span<const Symbol> input, ThreadPool& pool,
+                                 const QueryOptions& options) const {
+  validate_query(options, capabilities(), device_context("recognize", variant()));
   const Dfa& ca = ridfa_.dfa();
-  if (input.empty())
-    return empty_input_result(ridfa_.is_final(ridfa_.start_state()), nullptr);
+  if (input.empty()) return empty_input_result(ridfa_.is_final(ridfa_.start_state()));
 
   const auto chunks = split_chunks(input.size(), options.chunks);
-  RecognitionStats stats;
+  QueryResult stats;
   stats.chunks = chunks.size();
 
   Stopwatch reach_clock;
   std::vector<DetChunkResult> results(chunks.size());
   const std::vector<State> first_start{ridfa_.start_state()};
-  const DetChunkOptions run_options{options.convergence};
+  const DetChunkOptions run_options = kernel_options(options);
   pool.run(chunks.size(), [&](std::size_t i) {
     const auto span = input.subspan(chunks[i].begin, chunks[i].length);
     // Only the interface states are speculative starts — this is the whole
@@ -226,16 +342,88 @@ RecognitionStats RidDevice::recognize(std::span<const Symbol> input, ThreadPool&
   return stats;
 }
 
+void RidDevice::stream_feed(StreamCarry& carry, std::span<const Symbol> window,
+                            ThreadPool& pool, const QueryOptions& options) const {
+  validate_query(options, stream_capabilities(), device_context("stream", variant()));
+  if (!stream_window_begins(carry, window)) return;
+
+  const Dfa& ca = ridfa_.dfa();
+  // Reach phase: the window's first chunk continues from the carried PLAS
+  // (through the interface function), later chunks speculate as usual.
+  const std::vector<State> continuation =
+      carry.at_start ? std::vector<State>{ridfa_.start_state()}
+                     : ridfa_.interface_image(carry.states);
+  const DetChunkOptions run_options = kernel_options(options);
+  const auto results = run_window_chunks<DetChunkResult>(
+      window, pool, options.chunks, continuation, ridfa_.initial_states(),
+      [&](std::span<const Symbol> span, std::span<const State> starts, bool) {
+        return run_chunk_det(ca, span, starts, run_options);
+      });
+
+  // Join within the window. The first chunk's survivors are kept verbatim
+  // (their starts were already filtered through the carried PLAS); later
+  // chunks filter through the interface image as in one-shot recognition.
+  // The PLAS stays an explicit CA-state list (the interface function
+  // consumes it), so this join does not share the bitset fold above.
+  std::vector<State> plas;
+  bool first_chunk = true;
+  for (const auto& chunk_result : results) {
+    carry.transitions += chunk_result.transitions;
+    std::vector<State> next;
+    if (first_chunk) {
+      for (const auto& [start, end] : chunk_result.lambda) {
+        (void)start;
+        next.push_back(end);
+      }
+    } else {
+      const std::vector<State> image = ridfa_.interface_image(plas);
+      Bitset allowed(static_cast<std::size_t>(ca.num_states()));
+      for (const State p : image) allowed.set(static_cast<std::size_t>(p));
+      for (const auto& [start, end] : chunk_result.lambda)
+        if (allowed.test(static_cast<std::size_t>(start))) next.push_back(end);
+    }
+    plas = std::move(next);
+    first_chunk = false;
+  }
+  carry.states = std::move(plas);
+  carry.at_start = false;
+}
+
+bool RidDevice::stream_accepted(const StreamCarry& carry) const {
+  if (carry.at_start) return ridfa_.is_final(ridfa_.start_state());
+  for (const State p : carry.states)
+    if (ridfa_.is_final(p)) return true;
+  return false;
+}
+
+// ---------------------------------------------------------------- SfaDevice
+
 SfaDevice::SfaDevice(const Sfa& sfa, const Dfa& chunk_automaton)
     : sfa_(sfa), ca_(chunk_automaton) {}
 
-RecognitionStats SfaDevice::recognize(std::span<const Symbol> input, ThreadPool& pool,
-                                      const DeviceOptions& options) const {
-  if (input.empty())
-    return empty_input_result(ca_.is_final(ca_.initial()), nullptr);
+State SfaDevice::run_chunk(std::span<const Symbol> chunk,
+                           std::uint64_t& transitions) const {
+  // Validate up front: an alien symbol kills every run. When the chunk
+  // automaton is total its all-dead mapping was never interned as an SFA
+  // state, so Sfa::run alone cannot express the death — return kDeadState
+  // and let the join treat the whole composition as dead. (The symbols
+  // before the alien one were real work and are counted; the alien one is
+  // not — the accounting convention of parallel/ca_run.hpp.)
+  const std::size_t valid = first_invalid_symbol(chunk, sfa_.num_symbols());
+  if (valid == chunk.size()) return sfa_.run(chunk.data(), chunk.size(), transitions);
+  // Alien present: consume the valid prefix (real work, counted), then the
+  // whole chunk dies regardless of start.
+  sfa_.run(chunk.data(), valid, transitions);
+  return sfa_.all_dead_state().value_or(kDeadState);
+}
+
+QueryResult SfaDevice::recognize(std::span<const Symbol> input, ThreadPool& pool,
+                                 const QueryOptions& options) const {
+  validate_query(options, capabilities(), device_context("recognize", variant()));
+  if (input.empty()) return empty_input_result(ca_.is_final(ca_.initial()));
 
   const auto chunks = split_chunks(input.size(), options.chunks);
-  RecognitionStats stats;
+  QueryResult stats;
   stats.chunks = chunks.size();
 
   Stopwatch reach_clock;
@@ -243,7 +431,7 @@ RecognitionStats SfaDevice::recognize(std::span<const Symbol> input, ThreadPool&
   std::vector<State> arrivals(chunks.size());
   std::vector<std::uint64_t> counts(chunks.size(), 0);
   pool.run(chunks.size(), [&](std::size_t i) {
-    arrivals[i] = sfa_.run(input.data() + chunks[i].begin, chunks[i].length, counts[i]);
+    arrivals[i] = run_chunk(input.subspan(chunks[i].begin, chunks[i].length), counts[i]);
   });
   stats.reach_seconds = reach_clock.seconds();
 
@@ -252,11 +440,44 @@ RecognitionStats SfaDevice::recognize(std::span<const Symbol> input, ThreadPool&
   State state = ca_.initial();
   for (std::size_t i = 0; i < chunks.size(); ++i) {
     stats.transitions += counts[i];
-    if (state != kDeadState) state = sfa_.mapping(arrivals[i])[static_cast<std::size_t>(state)];
+    if (state == kDeadState) continue;
+    state = arrivals[i] == kDeadState
+                ? kDeadState
+                : sfa_.mapping(arrivals[i])[static_cast<std::size_t>(state)];
   }
   stats.accepted = state != kDeadState && ca_.is_final(state);
   stats.join_seconds = join_clock.seconds();
   return stats;
+}
+
+void SfaDevice::stream_feed(StreamCarry& carry, std::span<const Symbol> window,
+                            ThreadPool& pool, const QueryOptions& options) const {
+  validate_query(options, stream_capabilities(), device_context("stream", variant()));
+  if (!stream_window_begins(carry, window)) return;
+
+  const auto chunks = split_chunks(window.size(), options.chunks);
+  std::vector<State> arrivals(chunks.size());
+  std::vector<std::uint64_t> counts(chunks.size(), 0);
+  pool.run(chunks.size(), [&](std::size_t i) {
+    arrivals[i] = run_chunk(window.subspan(chunks[i].begin, chunks[i].length), counts[i]);
+  });
+
+  State state = carry.at_start ? ca_.initial() : carry.states.front();
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    carry.transitions += counts[i];
+    if (state == kDeadState) continue;
+    state = arrivals[i] == kDeadState
+                ? kDeadState
+                : sfa_.mapping(arrivals[i])[static_cast<std::size_t>(state)];
+  }
+  carry.states.clear();
+  if (state != kDeadState) carry.states.push_back(state);
+  carry.at_start = false;
+}
+
+bool SfaDevice::stream_accepted(const StreamCarry& carry) const {
+  if (carry.at_start) return ca_.is_final(ca_.initial());
+  return !carry.states.empty() && ca_.is_final(carry.states.front());
 }
 
 }  // namespace rispar

@@ -1,4 +1,5 @@
-// The three speculative data-parallel recognition devices.
+// The four speculative data-parallel recognition devices, behind the
+// polymorphic Device interface (engine/device.hpp).
 //
 //  * DfaDevice — classic CSDPA with a (minimal) DFA chunk automaton: every
 //    DFA state is a speculative start (paper Sect. 2).
@@ -7,15 +8,19 @@
 //  * RidDevice — the paper's contribution (Sect. 3): RI-DFA chunk automaton
 //    whose speculative starts are only the interface states, joined through
 //    the interface function if / if_min.
+//  * SfaDevice — the speculation-free comparator (Sect. 1, SFA [25]).
 //
-// All devices share the same two-phase structure: a parallel *reach* phase
-// (one task per chunk on a ThreadPool; chunk 1 starts in the real initial
-// state only) and a serial *join* phase computing
+// The first three share the same two-phase structure: a parallel *reach*
+// phase (one task per chunk on a ThreadPool; chunk 1 starts in the real
+// initial state only) and a serial *join* phase computing
 //     PLAS_i = λ_i( map(PLAS_{i-1}) ∩ PIS_i ),
 // where map is the identity for DFA/NFA and the interface function for RID.
-// Acceptance: PLAS_c contains a final state. Recognize() returns the
-// decision plus the overhead metrics the paper reports (transition counts,
-// per-phase wall times).
+// Acceptance: PLAS_c contains a final state. The SFA instead runs one
+// mapping-valued chunk automaton per chunk and composes the mappings.
+// recognize() returns the decision plus the overhead metrics the paper
+// reports (transition counts, per-phase wall times); stream_feed() applies
+// the same join condition at window granularity so texts larger than
+// memory recognize window by window with O(|PLAS|) carry-over.
 #pragma once
 
 #include <cstdint>
@@ -27,75 +32,68 @@
 #include "automata/nfa.hpp"
 #include "core/ridfa.hpp"
 #include "core/sfa.hpp"
+#include "engine/device.hpp"
 #include "parallel/ca_run.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace rispar {
 
-struct RecognitionStats {
-  bool accepted = false;
-  std::uint64_t transitions = 0;     ///< total over all chunks (reach phase)
-  std::uint64_t chunks = 0;          ///< actual chunk count after clamping
-  double reach_seconds = 0.0;
-  double join_seconds = 0.0;
-
-  double total_seconds() const { return reach_seconds + join_seconds; }
-};
-
-struct DeviceOptions {
-  /// Requested chunk count c; clamped to the input length. c <= 1 means
-  /// serial execution (single chunk, no speculation).
-  std::size_t chunks = 1;
-  /// Run-convergence optimization in the deterministic kernels (ablation).
-  bool convergence = false;
-  /// Look-back state speculation (paper Sect. 5, Yang & Prasanna [28]
-  /// flavour), DFA device only: before the speculative runs of chunk i>=2,
-  /// all starts are advanced over the `lookback` symbols preceding the
-  /// chunk boundary; only the (deduplicated) survivors start real runs.
-  /// Sound because the true boundary state is the image of *some* state
-  /// over that window. 0 disables.
-  std::size_t lookback = 0;
-  /// Parallel tree-reduction join (DFA device only): chunk mappings are
-  /// total functions Q → Q ∪ {dead}, whose composition is associative, so
-  /// the join can reduce pairwise on the pool in O(log c) rounds instead of
-  /// serially. The paper keeps the join serial because it is <1% of the
-  /// time (Sect. 4.4) — this mode exists to *measure* that claim.
-  bool tree_join = false;
-};
-
-class DfaDevice {
+class DfaDevice : public Device {
  public:
   /// `dfa` must stay alive while the device is used; typically the minimal
   /// DFA of the language.
   explicit DfaDevice(const Dfa& dfa);
 
-  RecognitionStats recognize(std::span<const Symbol> input, ThreadPool& pool,
-                             const DeviceOptions& options) const;
+  Variant variant() const override { return Variant::kDfa; }
+  DeviceCaps capabilities() const override {
+    return {.convergence = true, .kernel_select = true, .lookback = true,
+            .tree_join = true};
+  }
+
+  QueryResult recognize(std::span<const Symbol> input, ThreadPool& pool,
+                        const QueryOptions& options) const override;
+  void stream_feed(StreamCarry& carry, std::span<const Symbol> window,
+                   ThreadPool& pool, const QueryOptions& options) const override;
+  bool stream_accepted(const StreamCarry& carry) const override;
 
  private:
   const Dfa& dfa_;
   std::vector<State> all_states_;  ///< speculative start set = Q
 };
 
-class NfaDevice {
+class NfaDevice : public Device {
  public:
   /// Requires an ε-free NFA (the chunk kernels do not apply closures).
   explicit NfaDevice(const Nfa& nfa);
 
-  RecognitionStats recognize(std::span<const Symbol> input, ThreadPool& pool,
-                             const DeviceOptions& options) const;
+  Variant variant() const override { return Variant::kNfa; }
+  DeviceCaps capabilities() const override { return {}; }
+
+  QueryResult recognize(std::span<const Symbol> input, ThreadPool& pool,
+                        const QueryOptions& options) const override;
+  void stream_feed(StreamCarry& carry, std::span<const Symbol> window,
+                   ThreadPool& pool, const QueryOptions& options) const override;
+  bool stream_accepted(const StreamCarry& carry) const override;
 
  private:
   const Nfa& nfa_;
   std::vector<State> all_states_;
 };
 
-class RidDevice {
+class RidDevice : public Device {
  public:
   explicit RidDevice(const Ridfa& ridfa);
 
-  RecognitionStats recognize(std::span<const Symbol> input, ThreadPool& pool,
-                             const DeviceOptions& options) const;
+  Variant variant() const override { return Variant::kRid; }
+  DeviceCaps capabilities() const override {
+    return {.convergence = true, .kernel_select = true};
+  }
+
+  QueryResult recognize(std::span<const Symbol> input, ThreadPool& pool,
+                        const QueryOptions& options) const override;
+  void stream_feed(StreamCarry& carry, std::span<const Symbol> window,
+                   ThreadPool& pool, const QueryOptions& options) const override;
+  bool stream_accepted(const StreamCarry& carry) const override;
 
  private:
   const Ridfa& ridfa_;
@@ -105,16 +103,27 @@ class RidDevice {
 /// per chunk computes the whole start→end mapping, the join composes the
 /// mappings. Exactly n transitions total, at the cost of the SFA's state
 /// explosion during construction (see core/sfa.hpp).
-class SfaDevice {
+class SfaDevice : public Device {
  public:
   /// `chunk_automaton` is the DFA the SFA was built from (its initial and
   /// final states decide acceptance). Both must outlive the device.
   SfaDevice(const Sfa& sfa, const Dfa& chunk_automaton);
 
-  RecognitionStats recognize(std::span<const Symbol> input, ThreadPool& pool,
-                             const DeviceOptions& options) const;
+  Variant variant() const override { return Variant::kSfa; }
+  DeviceCaps capabilities() const override { return {}; }
+
+  QueryResult recognize(std::span<const Symbol> input, ThreadPool& pool,
+                        const QueryOptions& options) const override;
+  void stream_feed(StreamCarry& carry, std::span<const Symbol> window,
+                   ThreadPool& pool, const QueryOptions& options) const override;
+  bool stream_accepted(const StreamCarry& carry) const override;
 
  private:
+  /// Arrival SFA state of one chunk; kDeadState when the chunk contains an
+  /// alien symbol and the all-dead mapping was never interned (total chunk
+  /// automaton) — the composition must still die.
+  State run_chunk(std::span<const Symbol> chunk, std::uint64_t& transitions) const;
+
   const Sfa& sfa_;
   const Dfa& ca_;
 };

@@ -1,11 +1,13 @@
 #include "parallel/match_count.hpp"
 
 #include "parallel/chunking.hpp"
+#include "util/stopwatch.hpp"
 
 namespace rispar {
 
-MatchCount count_matches_serial(const Dfa& dfa, std::span<const Symbol> input) {
-  MatchCount result;
+QueryResult count_matches_serial(const Dfa& dfa, std::span<const Symbol> input) {
+  QueryResult result;
+  result.chunks = input.empty() ? 0 : 1;
   State state = dfa.initial();
   for (const Symbol symbol : input) {
     if (symbol < 0 || symbol >= dfa.num_symbols()) {
@@ -17,66 +19,179 @@ MatchCount count_matches_serial(const Dfa& dfa, std::span<const Symbol> input) {
       result.died = true;
       return result;
     }
-    if (dfa.is_final(state)) ++result.matches;
+    ++result.transitions;
+    if (dfa.is_final(state)) {
+      ++result.matches;
+      result.accepted = true;
+    }
   }
-  result.chunks = input.empty() ? 0 : 1;
   return result;
 }
 
 namespace {
 
-struct CountingRun {
-  State end = kDeadState;
-  std::uint64_t hits = 0;
-  std::uint64_t survived = 0;  ///< symbols consumed before death (for died runs)
+/// One chunk's counting runs: per start (chunk 1 has a single start, the
+/// initial state; later chunks one per DFA state, indexed by state id), the
+/// end state of the run (kDeadState if it died) and its total hits.
+struct CountChunk {
+  std::vector<State> end;
+  std::vector<std::uint64_t> hits;
+  std::uint64_t transitions = 0;
 };
+
+/// The seed implementation: every start runs independently.
+CountChunk count_chunk_independent(const Dfa& dfa, std::span<const Symbol> span,
+                                   std::span<const State> starts) {
+  CountChunk chunk;
+  chunk.end.resize(starts.size());
+  chunk.hits.assign(starts.size(), 0);
+  for (std::size_t s = 0; s < starts.size(); ++s) {
+    State state = starts[s];
+    for (const Symbol symbol : span) {
+      if (symbol < 0 || symbol >= dfa.num_symbols()) {
+        state = kDeadState;
+        break;
+      }
+      state = dfa.row(state)[symbol];
+      if (state == kDeadState) break;
+      ++chunk.transitions;
+      if (dfa.is_final(state)) ++chunk.hits[s];
+    }
+    chunk.end[s] = state;
+  }
+  return chunk;
+}
+
+/// Run-convergence counting: runs that land in the same state at the same
+/// position share all future hits, so the merged run executes (and counts
+/// transitions) once from the merge point on. Each merged run freezes its
+/// own hit counter and remembers (parent, parent's hits at merge); the
+/// per-start totals are reconstructed through that merge tree at the end —
+/// total(r) = local(r) + (total(parent) - parent_base(r)), because
+/// everything the parent chain accrues after the merge is shared.
+CountChunk count_chunk_convergent(const Dfa& dfa, std::span<const Symbol> span,
+                                  std::span<const State> starts) {
+  struct Node {
+    State state;
+    std::uint64_t hits = 0;
+    std::int32_t parent = -1;
+    std::uint64_t parent_base = 0;
+    bool dead = false;
+  };
+  CountChunk chunk;
+  std::vector<Node> nodes(starts.size());
+  std::vector<std::int32_t> active;
+  active.reserve(starts.size());
+  for (std::size_t s = 0; s < starts.size(); ++s) {
+    nodes[s].state = starts[s];  // starts are distinct states — no merges yet
+    active.push_back(static_cast<std::int32_t>(s));
+  }
+
+  std::vector<std::int32_t> owner(static_cast<std::size_t>(dfa.num_states()), -1);
+  std::vector<State> touched;
+  for (const Symbol symbol : span) {
+    if (active.empty()) break;
+    if (symbol < 0 || symbol >= dfa.num_symbols()) {
+      // Alien symbol: every run dies without the symbol being counted.
+      for (const std::int32_t idx : active) nodes[static_cast<std::size_t>(idx)].dead = true;
+      active.clear();
+      break;
+    }
+    touched.clear();
+    std::size_t write = 0;
+    for (const std::int32_t idx : active) {
+      Node& node = nodes[static_cast<std::size_t>(idx)];
+      const State next = dfa.row(node.state)[symbol];
+      if (next == kDeadState) {
+        node.dead = true;  // the dying symbol is not counted
+        continue;
+      }
+      ++chunk.transitions;
+      node.state = next;
+      if (dfa.is_final(next)) ++node.hits;
+      std::int32_t& claim = owner[static_cast<std::size_t>(next)];
+      if (claim == -1) {
+        claim = idx;
+        touched.push_back(next);
+        active[write++] = idx;
+      } else {
+        // Merge: idx's run is identical to claim's from here on.
+        node.parent = claim;
+        node.parent_base = nodes[static_cast<std::size_t>(claim)].hits;
+      }
+    }
+    active.resize(write);
+    for (const State s : touched) owner[static_cast<std::size_t>(s)] = -1;
+  }
+
+  chunk.end.resize(starts.size());
+  chunk.hits.resize(starts.size());
+  for (std::size_t s = 0; s < starts.size(); ++s) {
+    std::size_t root = s;
+    while (nodes[root].parent != -1) root = static_cast<std::size_t>(nodes[root].parent);
+    chunk.end[s] = nodes[root].dead ? kDeadState : nodes[root].state;
+    std::uint64_t total = nodes[s].hits;
+    std::int32_t parent = nodes[s].parent;
+    std::uint64_t base = nodes[s].parent_base;
+    while (parent != -1) {
+      const Node& up = nodes[static_cast<std::size_t>(parent)];
+      total += up.hits - base;
+      base = up.parent_base;
+      parent = up.parent;
+    }
+    chunk.hits[s] = total;
+  }
+  return chunk;
+}
 
 }  // namespace
 
-MatchCount count_matches(const Dfa& dfa, std::span<const Symbol> input,
-                         ThreadPool& pool, std::size_t chunks_requested) {
-  MatchCount result;
+QueryResult count_matches(const Dfa& dfa, std::span<const Symbol> input,
+                          ThreadPool& pool, const QueryOptions& options) {
+  validate_query(options, kCountingCaps, kCountingContext);
+  QueryResult result;
   if (input.empty()) return result;
 
-  const auto chunks = split_chunks(input.size(), chunks_requested);
+  const auto chunks = split_chunks(input.size(), options.chunks);
   result.chunks = chunks.size();
 
   // Reach: per chunk, one counting run per possible start (chunk 1 only
   // from the initial state).
-  const auto n = static_cast<std::size_t>(dfa.num_states());
-  std::vector<std::vector<CountingRun>> runs(chunks.size());
+  Stopwatch reach_clock;
+  std::vector<State> all_states;
+  all_states.reserve(static_cast<std::size_t>(dfa.num_states()));
+  for (State s = 0; s < dfa.num_states(); ++s) all_states.push_back(s);
+  const std::vector<State> first_start{dfa.initial()};
+
+  std::vector<CountChunk> runs(chunks.size());
   pool.run(chunks.size(), [&](std::size_t i) {
     const auto span = input.subspan(chunks[i].begin, chunks[i].length);
-    const std::size_t starts = (i == 0) ? 1 : n;
-    runs[i].resize(starts);
-    for (std::size_t s = 0; s < starts; ++s) {
-      State state = (i == 0) ? dfa.initial() : static_cast<State>(s);
-      CountingRun& run = runs[i][s];
-      for (const Symbol symbol : span) {
-        if (symbol < 0 || symbol >= dfa.num_symbols()) {
-          state = kDeadState;
-          break;
-        }
-        state = dfa.row(state)[symbol];
-        if (state == kDeadState) break;
-        ++run.survived;
-        if (dfa.is_final(state)) ++run.hits;
-      }
-      run.end = state;
-    }
+    const std::span<const State> starts =
+        (i == 0) ? std::span<const State>(first_start)
+                 : std::span<const State>(all_states);
+    runs[i] = options.convergence ? count_chunk_convergent(dfa, span, starts)
+                                  : count_chunk_independent(dfa, span, starts);
   });
+  result.reach_seconds = reach_clock.seconds();
 
-  // Join: walk the unique consistent path and sum the counters.
+  // Join: walk the unique consistent path and sum the counters. All chunks'
+  // transitions are speculative work actually executed, so they count even
+  // when the true path dies early (convention: parallel/ca_run.hpp).
+  Stopwatch join_clock;
+  for (const CountChunk& run : runs) result.transitions += run.transitions;
   State state = dfa.initial();
   for (std::size_t i = 0; i < chunks.size(); ++i) {
-    const CountingRun& run = runs[i][i == 0 ? 0 : static_cast<std::size_t>(state)];
-    result.matches += run.hits;
-    if (run.end == kDeadState) {
+    const CountChunk& run = runs[i];
+    const std::size_t index = i == 0 ? 0 : static_cast<std::size_t>(state);
+    result.matches += run.hits[index];
+    if (run.end[index] == kDeadState) {
       result.died = true;
-      return result;
+      break;
     }
-    state = run.end;
+    state = run.end[index];
   }
+  result.accepted = result.matches > 0;
+  result.join_seconds = join_clock.seconds();
   return result;
 }
 

@@ -2,39 +2,51 @@
 // (pattern matching in books, biological data, log files) usually want
 // "how many matches", not just yes/no.
 //
-// Build the DFA of Σ*p (".*pattern" in this library's syntax): a prefix
-// x[0..j] ends an occurrence of p iff the DFA is in a final state after j.
-// Counting those positions parallelizes with the same speculative scheme
-// as recognition: each chunk runs from every state recording (end, hits);
-// the join walks the single consistent path from the initial state and
-// sums the hit counters. Correct for any *total-on-the-text* DFA; if the
-// true run dies, the count up to the death point is returned and `died`
-// is set.
+// Build the DFA of Σ*p (Engine::count derives it from any Pattern): a
+// prefix x[0..j] ends an occurrence of p iff the DFA is in a final state
+// after j. Counting those positions parallelizes with the same speculative
+// scheme as recognition: each chunk runs from every state recording
+// (end, hits); the join walks the single consistent path from the initial
+// state and sums the hit counters. Correct for any *total-on-the-text*
+// DFA; if the true run dies, the count up to the death point is returned
+// and `died` is set.
+//
+// Counting takes the unified QueryOptions: `chunks` as everywhere, and
+// `convergence` enables a run-convergence counting kernel — runs that land
+// in the same state at the same position share all future hits, so merged
+// runs execute (and count) as one from the merge point on, with per-start
+// totals reconstructed through the merge tree at the end. Knobs counting
+// cannot honor (lookback, tree_join, a kernel choice) raise QueryError.
+// Transition accounting follows the convention of parallel/ca_run.hpp.
 #pragma once
 
 #include <cstdint>
 #include <span>
 
 #include "automata/dfa.hpp"
-#include "parallel/csdpa.hpp"
+#include "engine/query.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace rispar {
 
-struct MatchCount {
-  std::uint64_t matches = 0;   ///< prefixes ending in a final state
-  bool died = false;           ///< the run left the automaton (partial count)
-  std::uint64_t chunks = 0;
-};
+/// What counting honors of the unified options, and the validate_query
+/// context naming it — shared with Engine::count so it can reject a bad
+/// query up front, before the searcher build and text translation.
+inline constexpr DeviceCaps kCountingCaps{.convergence = true};
+inline constexpr const char* kCountingContext =
+    "count (the one deterministic counting kernel; it honors chunks and "
+    "convergence)";
 
 /// Serial reference: one scan, counting final-state positions. The empty
 /// prefix is not counted (an occurrence needs at least the position after
-/// its last byte), matching the parallel version.
-MatchCount count_matches_serial(const Dfa& dfa, std::span<const Symbol> input);
+/// its last byte), matching the parallel version. Fills matches/died/
+/// transitions/chunks of the unified result; accepted = matches > 0.
+QueryResult count_matches_serial(const Dfa& dfa, std::span<const Symbol> input);
 
-/// Parallel counting over `chunks` chunks on the pool; equals the serial
-/// count on every input (property-tested).
-MatchCount count_matches(const Dfa& dfa, std::span<const Symbol> input,
-                         ThreadPool& pool, std::size_t chunks);
+/// Parallel counting over options.chunks chunks on the pool; equals the
+/// serial count on every input, with convergence on or off
+/// (property-tested). Throws QueryError for knobs counting cannot honor.
+QueryResult count_matches(const Dfa& dfa, std::span<const Symbol> input,
+                          ThreadPool& pool, const QueryOptions& options);
 
 }  // namespace rispar

@@ -31,7 +31,7 @@ TEST(Csdpa, EmptyInputDecidedByInitialFinality) {
   ThreadPool pool(2);
   const Engines plus(glushkov_nfa(parse_regex("a+")));
   const Engines star(glushkov_nfa(parse_regex("a*")));
-  const DeviceOptions options{.chunks = 4, .convergence = false};
+  const QueryOptions options{.chunks = 4, .convergence = false};
   const std::vector<Symbol> empty;
   EXPECT_FALSE(DfaDevice(plus.min_dfa).recognize(empty, pool, options).accepted);
   EXPECT_TRUE(DfaDevice(star.min_dfa).recognize(empty, pool, options).accepted);
@@ -44,9 +44,9 @@ TEST(Csdpa, EmptyInputDecidedByInitialFinality) {
 TEST(Csdpa, ChunkCountClampsToInputLength) {
   ThreadPool pool(4);
   const Engines engines(glushkov_nfa(parse_regex("(ab)*")));
-  const DeviceOptions options{.chunks = 64, .convergence = false};
+  const QueryOptions options{.chunks = 64, .convergence = false};
   const std::vector<Symbol> input{0, 1};  // "ab"
-  const RecognitionStats stats =
+  const QueryResult stats =
       DfaDevice(engines.min_dfa).recognize(input, pool, options);
   EXPECT_TRUE(stats.accepted);
   EXPECT_EQ(stats.chunks, 2u);
@@ -60,8 +60,8 @@ TEST(Csdpa, StatsReportPhases) {
     input.push_back(0);
     input.push_back(1);
   }
-  const DeviceOptions options{.chunks = 8, .convergence = false};
-  const RecognitionStats stats =
+  const QueryOptions options{.chunks = 8, .convergence = false};
+  const QueryResult stats =
       RidDevice(engines.ridfa).recognize(input, pool, options);
   EXPECT_TRUE(stats.accepted);
   EXPECT_GT(stats.transitions, 0u);
@@ -78,8 +78,8 @@ TEST(Csdpa, SerialChunkingMatchesSerialTransitionCount) {
     input.push_back(0);
     input.push_back(1);
   }
-  const DeviceOptions serial{.chunks = 1, .convergence = false};
-  const RecognitionStats stats =
+  const QueryOptions serial{.chunks = 1, .convergence = false};
+  const QueryResult stats =
       DfaDevice(engines.min_dfa).recognize(input, pool, serial);
   EXPECT_EQ(stats.transitions, input.size());
 }
@@ -92,10 +92,10 @@ TEST(Csdpa, RidNeverDoesMoreTransitionsThanDfaOnWinningFamily) {
   Prng prng(55);
   std::vector<Symbol> input = testing::random_word(prng, 2, 4000);
   input[input.size() - 6] = 0;  // ensure membership
-  const DeviceOptions options{.chunks = 16, .convergence = false};
-  const RecognitionStats dfa_stats =
+  const QueryOptions options{.chunks = 16, .convergence = false};
+  const QueryResult dfa_stats =
       DfaDevice(engines.min_dfa).recognize(input, pool, options);
-  const RecognitionStats rid_stats =
+  const QueryResult rid_stats =
       RidDevice(engines.ridfa).recognize(input, pool, options);
   EXPECT_TRUE(dfa_stats.accepted);
   EXPECT_TRUE(rid_stats.accepted);
@@ -115,7 +115,7 @@ TEST_P(DeviceAgreement, AllVariantsMatchSerialOracleOnRandomRegexes) {
   const Engines engines(nfa);
 
   for (const std::size_t chunks : {1u, 2u, 3u, 7u}) {
-    const DeviceOptions options{.chunks = chunks, .convergence = false};
+    const QueryOptions options{.chunks = chunks, .convergence = false};
     for (int trial = 0; trial < 8; ++trial) {
       // Mix positive samples and random noise.
       std::vector<Symbol> input;
@@ -149,8 +149,8 @@ TEST_P(DeviceAgreement, AllVariantsMatchOnRandomNfas) {
   const Engines engines(nfa);
 
   for (const std::size_t chunks : {2u, 5u}) {
-    const DeviceOptions plain{.chunks = chunks, .convergence = false};
-    const DeviceOptions converging{.chunks = chunks, .convergence = true};
+    const QueryOptions plain{.chunks = chunks, .convergence = false};
+    const QueryOptions converging{.chunks = chunks, .convergence = true};
     for (int trial = 0; trial < 10; ++trial) {
       const auto input = testing::random_word(prng, nfa.num_symbols(),
                                               1 + prng.pick_index(60));
@@ -173,7 +173,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, DeviceAgreement, ::testing::Range<std::uint64_t>
 class LookbackProperty : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(LookbackProperty, DfaWithLookbackMatchesOracle) {
-  // Look-back speculation (DeviceOptions::lookback) must never change the
+  // Look-back speculation (QueryOptions::lookback) must never change the
   // decision, only the amount of speculative work.
   Prng prng(GetParam() ^ 0x100cba);
   ThreadPool pool(4);
@@ -186,7 +186,7 @@ TEST_P(LookbackProperty, DfaWithLookbackMatchesOracle) {
       const auto input = testing::random_word(prng, nfa.num_symbols(),
                                               1 + prng.pick_index(80));
       const bool oracle = serial_match(engines.min_dfa, input).accepted;
-      DeviceOptions options{.chunks = 5, .convergence = false};
+      QueryOptions options{.chunks = 5, .convergence = false};
       options.lookback = lookback;
       EXPECT_EQ(DfaDevice(engines.min_dfa).recognize(input, pool, options).accepted,
                 oracle)
@@ -206,8 +206,8 @@ TEST(Lookback, PrunesStartsWhereTheWindowPinsTheBoundary) {
   Prng prng(77);
   std::vector<Symbol> input = testing::random_word(prng, 2, 4000);
   input[input.size() - 6] = 0;  // membership
-  DeviceOptions plain{.chunks = 8, .convergence = false};
-  DeviceOptions pruned{.chunks = 8, .convergence = false};
+  QueryOptions plain{.chunks = 8, .convergence = false};
+  QueryOptions pruned{.chunks = 8, .convergence = false};
   pruned.lookback = 8;
   const auto base = DfaDevice(engines.min_dfa).recognize(input, pool, plain);
   const auto cut = DfaDevice(engines.min_dfa).recognize(input, pool, pruned);
@@ -230,8 +230,8 @@ TEST(TreeJoin, MatchesSerialJoinDecision) {
     for (const std::size_t chunks : {1u, 2u, 7u, 16u}) {
       const auto input = testing::random_word(prng, nfa.num_symbols(),
                                               1 + prng.pick_index(60));
-      DeviceOptions serial_join{.chunks = chunks, .convergence = false};
-      DeviceOptions tree{.chunks = chunks, .convergence = false};
+      QueryOptions serial_join{.chunks = chunks, .convergence = false};
+      QueryOptions tree{.chunks = chunks, .convergence = false};
       tree.tree_join = true;
       const auto a = DfaDevice(engines.min_dfa).recognize(input, pool, serial_join);
       const auto b = DfaDevice(engines.min_dfa).recognize(input, pool, tree);
@@ -250,7 +250,7 @@ TEST(TreeJoin, HandlesOddChunkCounts) {
     input.push_back(1);
   }
   for (const std::size_t chunks : {3u, 5u, 9u, 13u}) {
-    DeviceOptions tree{.chunks = chunks, .convergence = false};
+    QueryOptions tree{.chunks = chunks, .convergence = false};
     tree.tree_join = true;
     EXPECT_TRUE(DfaDevice(engines.min_dfa).recognize(input, pool, tree).accepted)
         << "chunks=" << chunks;

@@ -4,7 +4,7 @@
 
 #include "automata/glushkov.hpp"
 #include "core/serial_match.hpp"
-#include "parallel/recognizer.hpp"
+#include "engine/engine.hpp"
 #include "workloads/suite.hpp"
 
 namespace rispar {
@@ -29,9 +29,7 @@ TEST_P(IntegrationCase, SerialAndParallelAgreeOnMutatedTexts) {
   const WorkloadSpec spec = benchmark_suite()[static_cast<std::size_t>(GetParam())];
   Prng prng(42);
   const std::string clean = spec.text(15'000, prng);
-  const LanguageEngines engines =
-      LanguageEngines::from_nfa(glushkov_nfa(spec.regex()));
-  ThreadPool pool(6);
+  const Engine engine(Pattern::from_nfa(glushkov_nfa(spec.regex())), {.threads = 6});
 
   std::vector<std::string> texts{clean};
   texts.push_back(mutate(clean, {7'500, '~'}));
@@ -39,12 +37,12 @@ TEST_P(IntegrationCase, SerialAndParallelAgreeOnMutatedTexts) {
   texts.push_back(clean + "~");
 
   for (const auto& text : texts) {
-    const auto input = engines.translate(text);
-    const bool oracle = engines.accepts(input);
+    const auto input = engine.translate(text);
+    const bool oracle = engine.accepts(input);
     for (const std::size_t chunks : {2u, 9u, 32u}) {
-      const DeviceOptions options{.chunks = chunks, .convergence = false};
       for (const Variant variant : {Variant::kDfa, Variant::kNfa, Variant::kRid}) {
-        EXPECT_EQ(engines.recognize(variant, input, pool, options).accepted, oracle)
+        const QueryOptions options{.variant = variant, .chunks = chunks};
+        EXPECT_EQ(engine.recognize(input, options).accepted, oracle)
             << spec.name << " " << variant_name(variant) << " c=" << chunks;
       }
     }
@@ -57,14 +55,11 @@ TEST_P(IntegrationCase, TransitionRatiosMatchPaperGrouping) {
   const WorkloadSpec spec = benchmark_suite()[static_cast<std::size_t>(GetParam())];
   Prng prng(43);
   const std::string text = spec.text(60'000, prng);
-  const LanguageEngines engines =
-      LanguageEngines::from_nfa(glushkov_nfa(spec.regex()));
-  ThreadPool pool(6);
-  const auto input = engines.translate(text);
-  const DeviceOptions options{.chunks = 32, .convergence = false};
+  const Engine engine(Pattern::from_nfa(glushkov_nfa(spec.regex())), {.threads = 6});
+  const auto input = engine.translate(text);
 
-  const auto dfa = engines.recognize(Variant::kDfa, input, pool, options);
-  const auto rid = engines.recognize(Variant::kRid, input, pool, options);
+  const auto dfa = engine.recognize(input, {.variant = Variant::kDfa, .chunks = 32});
+  const auto rid = engine.recognize(input, {.variant = Variant::kRid, .chunks = 32});
   ASSERT_TRUE(dfa.accepted);
   ASSERT_TRUE(rid.accepted);
   const double ratio = static_cast<double>(dfa.transitions) /
@@ -89,13 +84,12 @@ TEST(Integration, NfaVariantCountsMoreTransitionsThanRid) {
   for (const auto& spec : benchmark_suite()) {
     Prng prng(44);
     const std::string text = spec.text(20'000, prng);
-    const LanguageEngines engines =
-        LanguageEngines::from_nfa(glushkov_nfa(spec.regex()));
-    ThreadPool pool(6);
-    const auto input = engines.translate(text);
-    const DeviceOptions options{.chunks = 16, .convergence = false};
-    const auto nfa_stats = engines.recognize(Variant::kNfa, input, pool, options);
-    const auto rid_stats = engines.recognize(Variant::kRid, input, pool, options);
+    const Engine engine(Pattern::from_nfa(glushkov_nfa(spec.regex())), {.threads = 6});
+    const auto input = engine.translate(text);
+    const auto nfa_stats =
+        engine.recognize(input, {.variant = Variant::kNfa, .chunks = 16});
+    const auto rid_stats =
+        engine.recognize(input, {.variant = Variant::kRid, .chunks = 16});
     EXPECT_GE(static_cast<double>(nfa_stats.transitions) * 1.05,
               static_cast<double>(rid_stats.transitions))
         << spec.name;
@@ -106,14 +100,12 @@ TEST(Integration, ConvergenceAblationPreservesDecisions) {
   const WorkloadSpec spec = bible_workload();
   Prng prng(45);
   const std::string text = spec.text(20'000, prng);
-  const LanguageEngines engines =
-      LanguageEngines::from_nfa(glushkov_nfa(spec.regex()));
-  ThreadPool pool(6);
-  const auto input = engines.translate(text);
-  const DeviceOptions plain{.chunks = 16, .convergence = false};
-  const DeviceOptions merged{.chunks = 16, .convergence = true};
-  const auto a = engines.recognize(Variant::kDfa, input, pool, plain);
-  const auto b = engines.recognize(Variant::kDfa, input, pool, merged);
+  const Engine engine(Pattern::from_nfa(glushkov_nfa(spec.regex())), {.threads = 6});
+  const auto input = engine.translate(text);
+  const auto a =
+      engine.recognize(input, {.variant = Variant::kDfa, .chunks = 16});
+  const auto b = engine.recognize(
+      input, {.variant = Variant::kDfa, .chunks = 16, .convergence = true});
   EXPECT_EQ(a.accepted, b.accepted);
   EXPECT_LE(b.transitions, a.transitions);  // convergence can only save work
 }

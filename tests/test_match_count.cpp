@@ -18,6 +18,10 @@ Dfa searcher(const std::string& pattern) {
   return minimize_dfa(determinize(glushkov_nfa(parse_regex(".*" + pattern))));
 }
 
+QueryOptions counting(std::size_t chunks, bool convergence = false) {
+  return QueryOptions{.chunks = chunks, .convergence = convergence};
+}
+
 TEST(MatchCount, SerialCountsOccurrences) {
   const Dfa dfa = searcher("ab");
   // "abab" contains occurrences ending at positions 2 and 4.
@@ -36,12 +40,46 @@ TEST(MatchCount, ParallelEqualsSerialSmall) {
   const Dfa dfa = searcher("aba");
   ThreadPool pool(4);
   const auto input = dfa.symbols().translate("abababbababa");
-  const MatchCount serial = count_matches_serial(dfa, input);
+  const QueryResult serial = count_matches_serial(dfa, input);
   for (const std::size_t chunks : {1u, 2u, 3u, 5u, 12u}) {
-    const MatchCount parallel = count_matches(dfa, input, pool, chunks);
-    EXPECT_EQ(parallel.matches, serial.matches) << "chunks=" << chunks;
-    EXPECT_FALSE(parallel.died);
+    for (const bool convergence : {false, true}) {
+      const QueryResult parallel = count_matches(dfa, input, pool, counting(chunks, convergence));
+      EXPECT_EQ(parallel.matches, serial.matches)
+          << "chunks=" << chunks << " conv=" << convergence;
+      EXPECT_FALSE(parallel.died);
+    }
   }
+}
+
+TEST(MatchCount, UnsupportedKnobsRaiseQueryError) {
+  const Dfa dfa = searcher("ab");
+  ThreadPool pool(2);
+  const auto input = dfa.symbols().translate("abab");
+  QueryOptions bad = counting(2);
+  bad.lookback = 8;
+  EXPECT_THROW(count_matches(dfa, input, pool, bad), QueryError);
+  bad = counting(2);
+  bad.tree_join = true;
+  EXPECT_THROW(count_matches(dfa, input, pool, bad), QueryError);
+  bad = counting(2);
+  bad.kernel = DetKernel::kReference;
+  EXPECT_THROW(count_matches(dfa, input, pool, bad), QueryError);
+}
+
+TEST(MatchCount, ConvergenceSavesTransitionsOnTotalMachines) {
+  // On a Σ*-context machine every speculative run survives, so merged runs
+  // are pure savings; the counts must still agree exactly.
+  const Dfa dfa = searcher("aa");
+  ThreadPool pool(4);
+  std::string text;
+  for (int i = 0; i < 512; ++i) text += (i % 3 == 0) ? "aa" : "ab";
+  const auto input = dfa.symbols().translate(text);
+  const QueryResult independent = count_matches(dfa, input, pool, counting(8, false));
+  const QueryResult convergent = count_matches(dfa, input, pool, counting(8, true));
+  EXPECT_EQ(independent.matches, convergent.matches);
+  EXPECT_EQ(independent.died, convergent.died);
+  EXPECT_LT(convergent.transitions, independent.transitions);
+  EXPECT_EQ(convergent.matches, count_matches_serial(dfa, input).matches);
 }
 
 TEST(MatchCount, DiedRunReportsPartialCount) {
@@ -50,11 +88,13 @@ TEST(MatchCount, DiedRunReportsPartialCount) {
   const Dfa dfa = minimize_dfa(determinize(glushkov_nfa(parse_regex("ab"))));
   ThreadPool pool(2);
   const auto input = dfa.symbols().translate("ba");
-  const MatchCount serial = count_matches_serial(dfa, input);
-  const MatchCount parallel = count_matches(dfa, input, pool, 2);
-  EXPECT_TRUE(serial.died);
-  EXPECT_TRUE(parallel.died);
-  EXPECT_EQ(parallel.matches, serial.matches);
+  const QueryResult serial = count_matches_serial(dfa, input);
+  for (const bool convergence : {false, true}) {
+    const QueryResult parallel = count_matches(dfa, input, pool, counting(2, convergence));
+    EXPECT_TRUE(serial.died);
+    EXPECT_TRUE(parallel.died) << "conv=" << convergence;
+    EXPECT_EQ(parallel.matches, serial.matches);
+  }
 }
 
 TEST(MatchCount, CountsTitlesInBibleText) {
@@ -64,7 +104,7 @@ TEST(MatchCount, CountsTitlesInBibleText) {
   Prng prng(8);
   const std::string text = bible_workload().text(60'000, prng);
   const auto input = dfa.symbols().translate(text);
-  const MatchCount counted = count_matches(dfa, input, pool, 16);
+  const QueryResult counted = count_matches(dfa, input, pool, counting(16));
   // Independently count the substring occurrences.
   std::uint64_t expected = 0;
   for (std::size_t pos = text.find("<h3>"); pos != std::string::npos;
@@ -76,6 +116,10 @@ TEST(MatchCount, CountsTitlesInBibleText) {
 
 class MatchCountProperty : public ::testing::TestWithParam<std::uint64_t> {};
 
+// The satellite property: parallel == serial counts on random machines,
+// with run convergence ON and off, across random chunkings. On partial
+// machines convergent groups die together; the per-start totals must still
+// reconstruct exactly through the merge tree.
 TEST_P(MatchCountProperty, ParallelEqualsSerialOnRandomMachines) {
   Prng prng(GetParam());
   ThreadPool pool(4);
@@ -87,11 +131,15 @@ TEST_P(MatchCountProperty, ParallelEqualsSerialOnRandomMachines) {
   for (int trial = 0; trial < 12; ++trial) {
     const auto input =
         testing::random_word(prng, dfa.num_symbols(), 1 + prng.pick_index(100));
-    const MatchCount serial = count_matches_serial(dfa, input);
+    const QueryResult serial = count_matches_serial(dfa, input);
     const std::size_t chunks = 1 + prng.pick_index(9);
-    const MatchCount parallel = count_matches(dfa, input, pool, chunks);
-    EXPECT_EQ(parallel.matches, serial.matches);
-    EXPECT_EQ(parallel.died, serial.died);
+    for (const bool convergence : {false, true}) {
+      const QueryResult parallel = count_matches(dfa, input, pool, counting(chunks, convergence));
+      EXPECT_EQ(parallel.matches, serial.matches)
+          << "chunks=" << chunks << " conv=" << convergence;
+      EXPECT_EQ(parallel.died, serial.died)
+          << "chunks=" << chunks << " conv=" << convergence;
+    }
   }
 }
 

@@ -21,7 +21,7 @@ class PaperExamples : public ::testing::Test {
   Ridfa ridfa_ = build_ridfa(nfa_);
   ThreadPool pool_{2};
   std::vector<Symbol> input_ = testing::fig1_string();  // a a b | c a b
-  DeviceOptions two_chunks_{.chunks = 2, .convergence = false};
+  QueryOptions two_chunks_{.chunks = 2, .convergence = false};
 };
 
 TEST_F(PaperExamples, MinDfaHasFourStatesAndRidfaFive) {
@@ -37,26 +37,26 @@ TEST_F(PaperExamples, AllDevicesAcceptTheSampleString) {
 }
 
 TEST_F(PaperExamples, Fig1TransitionCountDfaIs15) {
-  const RecognitionStats stats =
+  const QueryResult stats =
       DfaDevice(min_dfa_).recognize(input_, pool_, two_chunks_);
   EXPECT_EQ(stats.transitions, 15u);
 }
 
 TEST_F(PaperExamples, Fig1TransitionCountNfaIs14) {
-  const RecognitionStats stats =
+  const QueryResult stats =
       NfaDevice(nfa_).recognize(input_, pool_, two_chunks_);
   EXPECT_EQ(stats.transitions, 14u);
 }
 
 TEST_F(PaperExamples, Fig1TransitionCountRidfaIs9) {
-  const RecognitionStats stats =
+  const QueryResult stats =
       RidDevice(ridfa_).recognize(input_, pool_, two_chunks_);
   EXPECT_EQ(stats.transitions, 9u);
 }
 
 TEST_F(PaperExamples, SerialDfaDoesExactlyNTransitions) {
-  const DeviceOptions serial{.chunks = 1, .convergence = false};
-  const RecognitionStats stats = DfaDevice(min_dfa_).recognize(input_, pool_, serial);
+  const QueryOptions serial{.chunks = 1, .convergence = false};
+  const QueryResult stats = DfaDevice(min_dfa_).recognize(input_, pool_, serial);
   EXPECT_EQ(stats.transitions, input_.size());
   EXPECT_TRUE(stats.accepted);
 }
@@ -75,8 +75,8 @@ TEST(PaperFig2, NineTransitionsAndAccepted) {
   const Dfa dfa = testing::fig2_dfa();
   ThreadPool pool(2);
   const std::vector<Symbol> input{1, 0, 1, 0, 0, 0};  // b a b a a a
-  const DeviceOptions options{.chunks = 2, .convergence = false};
-  const RecognitionStats stats = DfaDevice(dfa).recognize(input, pool, options);
+  const QueryOptions options{.chunks = 2, .convergence = false};
+  const QueryResult stats = DfaDevice(dfa).recognize(input, pool, options);
   EXPECT_TRUE(stats.accepted);
   EXPECT_EQ(stats.transitions, 9u);
 }

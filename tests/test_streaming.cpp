@@ -1,4 +1,4 @@
-#include "parallel/streaming.hpp"
+#include "engine/engine.hpp"
 
 #include <gtest/gtest.h>
 
@@ -6,7 +6,6 @@
 #include "automata/minimize.hpp"
 #include "automata/random_nfa.hpp"
 #include "automata/subset.hpp"
-#include "core/interface_min.hpp"
 #include "core/serial_match.hpp"
 #include "helpers.hpp"
 #include "regex/parser.hpp"
@@ -16,81 +15,74 @@ namespace rispar {
 namespace {
 
 TEST(Streaming, EmptyStreamDecidedByInitialFinality) {
-  ThreadPool pool(2);
-  const DeviceOptions options{.chunks = 4, .convergence = false};
-  const Ridfa star = build_minimized_ridfa(glushkov_nfa(parse_regex("a*")));
-  const Ridfa plus = build_minimized_ridfa(glushkov_nfa(parse_regex("a+")));
-  EXPECT_TRUE(StreamingRecognizer(star, pool, options).accepted());
-  EXPECT_FALSE(StreamingRecognizer(plus, pool, options).accepted());
+  const QueryOptions options{.variant = Variant::kRid, .chunks = 4};
+  const Engine star(Pattern::compile("a*"), {.threads = 2});
+  const Engine plus(Pattern::compile("a+"), {.threads = 2});
+  EXPECT_TRUE(star.stream(options).accepted());
+  EXPECT_FALSE(plus.stream(options).accepted());
 }
 
 TEST(Streaming, SingleWindowEqualsOneShot) {
-  ThreadPool pool(4);
-  const Ridfa ridfa = build_minimized_ridfa(testing::fig1_nfa());
-  const DeviceOptions options{.chunks = 2, .convergence = false};
-  StreamingRecognizer stream(ridfa, pool, options);
+  const Engine engine(Pattern::from_nfa(testing::fig1_nfa()), {.threads = 4});
+  StreamSession stream = engine.stream({.variant = Variant::kRid, .chunks = 2});
   const auto input = testing::fig1_string();
-  stream.feed(input);
+  stream.feed(std::span<const Symbol>(input));
   EXPECT_TRUE(stream.accepted());
   EXPECT_EQ(stream.windows(), 1u);
 }
 
 TEST(Streaming, EmptyWindowIsANoop) {
-  ThreadPool pool(2);
-  const Ridfa ridfa = build_minimized_ridfa(glushkov_nfa(parse_regex("(ab)*")));
-  const DeviceOptions options{.chunks = 2, .convergence = false};
-  StreamingRecognizer stream(ridfa, pool, options);
-  stream.feed({});
+  const Engine engine(Pattern::compile("(ab)*"), {.threads = 2});
+  StreamSession stream = engine.stream({.variant = Variant::kRid, .chunks = 2});
+  stream.feed(std::span<const Symbol>{});
   EXPECT_TRUE(stream.accepted());  // still the empty string
   EXPECT_EQ(stream.windows(), 0u);
 }
 
 TEST(Streaming, DeadStreamShortCircuits) {
-  ThreadPool pool(2);
-  const Ridfa ridfa = build_minimized_ridfa(glushkov_nfa(parse_regex("a+")));
-  const DeviceOptions options{.chunks = 2, .convergence = false};
-  StreamingRecognizer stream(ridfa, pool, options);
-  // Symbol 0 is 'a'; an unmapped symbol kills every run.
-  const std::vector<Symbol> poison{SymbolMap::kUnmapped};
-  stream.feed(poison);
-  EXPECT_TRUE(stream.dead());
-  const std::vector<Symbol> more{0, 0};
-  stream.feed(more);
-  EXPECT_FALSE(stream.accepted());
+  const Engine engine(Pattern::compile("a+"), {.threads = 2});
+  for (const Variant variant : {Variant::kDfa, Variant::kNfa, Variant::kRid,
+                                Variant::kSfa}) {
+    StreamSession stream = engine.stream({.variant = variant, .chunks = 2});
+    // An unmapped symbol kills every run.
+    const std::vector<Symbol> poison{SymbolMap::kUnmapped};
+    stream.feed(std::span<const Symbol>(poison));
+    EXPECT_TRUE(stream.dead()) << variant_name(variant);
+    const std::vector<Symbol> more{0, 0};
+    stream.feed(std::span<const Symbol>(more));
+    EXPECT_FALSE(stream.accepted()) << variant_name(variant);
+  }
 }
 
 TEST(Streaming, ResetStartsOver) {
-  ThreadPool pool(2);
-  const Ridfa ridfa = build_minimized_ridfa(glushkov_nfa(parse_regex("(ab)*")));
-  const DeviceOptions options{.chunks = 2, .convergence = false};
-  StreamingRecognizer stream(ridfa, pool, options);
-  const std::vector<Symbol> half{0};  // "a" — not a member
-  stream.feed(half);
+  const Engine engine(Pattern::compile("(ab)*"), {.threads = 2});
+  StreamSession stream = engine.stream({.variant = Variant::kRid, .chunks = 2});
+  stream.feed("a");  // not a member
   EXPECT_FALSE(stream.accepted());
   stream.reset();
   EXPECT_TRUE(stream.accepted());
-  const std::vector<Symbol> pair{0, 1};
-  stream.feed(pair);
+  stream.feed("ab");
   EXPECT_TRUE(stream.accepted());
 }
 
 class StreamingProperty : public ::testing::TestWithParam<std::uint64_t> {};
 
+// The window-segmentation equivalence property: feeding a text in any
+// segmentation yields the same decision as the one-shot recognizer, for
+// every variant's streaming session.
 TEST_P(StreamingProperty, AnySegmentationMatchesOneShotOracle) {
   Prng prng(GetParam());
-  ThreadPool pool(4);
   RandomNfaConfig config;
   config.num_states = 6 + static_cast<std::int32_t>(prng.pick_index(20));
   config.num_symbols = 2 + static_cast<std::int32_t>(prng.pick_index(3));
   const Nfa nfa = random_nfa(prng, config);
-  const Ridfa ridfa = build_minimized_ridfa(nfa);
+  const Engine engine(Pattern::from_nfa(nfa), {.threads = 4});
   const Dfa oracle = minimize_dfa(determinize(nfa));
 
-  const DeviceOptions options{.chunks = 3, .convergence = false};
   for (int trial = 0; trial < 10; ++trial) {
     const auto input =
         testing::random_word(prng, nfa.num_symbols(), 1 + prng.pick_index(120));
-    StreamingRecognizer stream(ridfa, pool, options);
+    StreamSession stream = engine.stream({.variant = Variant::kRid, .chunks = 3});
     // Random segmentation into windows.
     std::size_t offset = 0;
     while (offset < input.size()) {
@@ -105,16 +97,13 @@ TEST_P(StreamingProperty, AnySegmentationMatchesOneShotOracle) {
 
 TEST_P(StreamingProperty, WorkloadTextsStreamCorrectly) {
   Prng prng(GetParam() ^ 0x5eed);
-  ThreadPool pool(4);
   const auto suite = benchmark_suite();
   const auto& spec = suite[GetParam() % suite.size()];
-  const Nfa nfa = glushkov_nfa(spec.regex());
-  const Ridfa ridfa = build_minimized_ridfa(nfa);
+  const Engine engine(Pattern::from_nfa(glushkov_nfa(spec.regex())), {.threads = 4});
   const std::string text = spec.text(20'000, prng);
-  const auto input = nfa.symbols().translate(text);
+  const auto input = engine.translate(text);
 
-  const DeviceOptions options{.chunks = 8, .convergence = false};
-  StreamingRecognizer stream(ridfa, pool, options);
+  StreamSession stream = engine.stream({.variant = Variant::kRid, .chunks = 8});
   for (std::size_t offset = 0; offset < input.size(); offset += 4096)
     stream.feed(std::span<const Symbol>(
         input.data() + offset, std::min<std::size_t>(4096, input.size() - offset)));

@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "automata/glushkov.hpp"
-#include "parallel/recognizer.hpp"
+#include "engine/engine.hpp"
 
 namespace rispar {
 namespace {
@@ -17,8 +17,8 @@ TEST_P(WorkloadCase, TextIsAMemberOfTheLanguage) {
   Prng prng(1);
   const std::string text = spec_.text(20'000, prng);
   EXPECT_GE(text.size(), 20'000u);
-  const LanguageEngines engines = LanguageEngines::from_nfa(glushkov_nfa(spec_.regex()));
-  EXPECT_TRUE(engines.accepts(engines.translate(text))) << spec_.name;
+  const Engine engine(Pattern::from_nfa(glushkov_nfa(spec_.regex())));
+  EXPECT_TRUE(engine.accepts(text)) << spec_.name;
 }
 
 TEST_P(WorkloadCase, TextGenerationIsDeterministic) {
@@ -29,12 +29,10 @@ TEST_P(WorkloadCase, TextGenerationIsDeterministic) {
 TEST_P(WorkloadCase, ParallelAgreesWithSerialOnItsText) {
   Prng prng(2);
   const std::string text = spec_.text(30'000, prng);
-  const LanguageEngines engines = LanguageEngines::from_nfa(glushkov_nfa(spec_.regex()));
-  const auto input = engines.translate(text);
-  ThreadPool pool(4);
-  const DeviceOptions options{.chunks = 8, .convergence = false};
+  const Engine engine(Pattern::from_nfa(glushkov_nfa(spec_.regex())), {.threads = 4});
+  const auto input = engine.translate(text);
   for (const Variant variant : {Variant::kDfa, Variant::kNfa, Variant::kRid})
-    EXPECT_TRUE(engines.recognize(variant, input, pool, options).accepted)
+    EXPECT_TRUE(engine.recognize(input, {.variant = variant, .chunks = 8}).accepted)
         << spec_.name << " " << variant_name(variant);
 }
 
@@ -50,14 +48,14 @@ TEST_P(WorkloadCase, AutomataSizesArePinned) {
       {"bigdata", 5, 3, 3},     {"regexp", 9, 128, 8}, {"bible", 16, 17, 13},
       {"fasta", 32, 29, 29},    {"traffic", 102, 92, 93},
   };
-  const LanguageEngines engines = LanguageEngines::from_nfa(glushkov_nfa(spec_.regex()));
+  const Pattern pattern = Pattern::from_nfa(glushkov_nfa(spec_.regex()));
   for (const Pin& pin : kPins) {
     if (spec_.name != pin.name) continue;
-    EXPECT_EQ(engines.nfa().num_states(), pin.nfa) << spec_.name;
-    EXPECT_EQ(engines.min_dfa().num_states(), pin.min_dfa) << spec_.name;
-    EXPECT_EQ(engines.ridfa().initial_count(), pin.interface) << spec_.name;
+    EXPECT_EQ(pattern.nfa().num_states(), pin.nfa) << spec_.name;
+    EXPECT_EQ(pattern.min_dfa().num_states(), pin.min_dfa) << spec_.name;
+    EXPECT_EQ(pattern.ridfa().initial_count(), pin.interface) << spec_.name;
     // The reduced interface is never larger than the NFA (Sect. 3.4).
-    EXPECT_LE(engines.ridfa().initial_count(), engines.nfa().num_states());
+    EXPECT_LE(pattern.ridfa().initial_count(), pattern.nfa().num_states());
     return;
   }
   FAIL() << "no pin for workload " << spec_.name;
@@ -81,10 +79,8 @@ TEST(Workloads, SuiteNamesMatchTable1) {
 }
 
 TEST(Workloads, RegexpFamilyScalesExponentially) {
-  const LanguageEngines k4 =
-      LanguageEngines::from_nfa(glushkov_nfa(regexp_workload(4).regex()));
-  const LanguageEngines k6 =
-      LanguageEngines::from_nfa(glushkov_nfa(regexp_workload(6).regex()));
+  const Pattern k4 = Pattern::from_nfa(glushkov_nfa(regexp_workload(4).regex()));
+  const Pattern k6 = Pattern::from_nfa(glushkov_nfa(regexp_workload(6).regex()));
   EXPECT_EQ(k4.min_dfa().num_states(), 1 << 5);
   EXPECT_EQ(k6.min_dfa().num_states(), 1 << 7);
   EXPECT_EQ(k4.ridfa().initial_count(), 6);

@@ -1,8 +1,11 @@
-// rispar — command-line front end to the library.
+// rispar — command-line front end to the rispar::Engine query API.
 //
 //   rispar compile <pattern>                  automata statistics for an RE
 //   rispar match   <pattern> <file|->         parallel recognition of a file
-//          [--variant dfa|nfa|rid|all] [--chunks N] [--threads N]
+//          [--variant dfa|nfa|rid|sfa|all] [--chunks N] [--threads N]
+//          [--convergence]
+//   rispar count   <pattern> <file|->         occurrences of pattern
+//          [--chunks N] [--convergence]
 //   rispar export  <pattern> [--machine nfa|dfa|ridfa] [--format native|timbuk]
 //   rispar gen     <benchmark> <bytes> [--seed N]     workload text to stdout
 //   rispar bench-list                         the five paper workloads
@@ -13,14 +16,9 @@
 #include <sstream>
 #include <string>
 
-#include "automata/glushkov.hpp"
-#include "automata/minimize.hpp"
 #include "automata/serialize.hpp"
-#include "automata/subset.hpp"
 #include "automata/timbuk.hpp"
-#include "core/interface_min.hpp"
-#include "parallel/match_count.hpp"
-#include "parallel/recognizer.hpp"
+#include "engine/engine.hpp"
 #include "regex/parser.hpp"
 #include "util/stopwatch.hpp"
 #include "workloads/suite.hpp"
@@ -33,9 +31,9 @@ int usage() {
   std::fputs(
       "usage:\n"
       "  rispar compile <pattern>\n"
-      "  rispar match <pattern> <file|-> [--variant dfa|nfa|rid|all]\n"
-      "               [--chunks N] [--threads N]\n"
-      "  rispar count <pattern> <file|-> [--chunks N]   occurrences of pattern\n"
+      "  rispar match <pattern> <file|-> [--variant dfa|nfa|rid|sfa|all]\n"
+      "               [--chunks N] [--threads N] [--convergence]\n"
+      "  rispar count <pattern> <file|-> [--chunks N] [--convergence]\n"
       "  rispar export <pattern> [--machine nfa|dfa|ridfa] [--format native|timbuk]\n"
       "  rispar gen <benchmark> <bytes> [--seed N]\n"
       "  rispar bench-list\n",
@@ -50,73 +48,23 @@ std::string flag_value(int argc, char** argv, const char* name,
   return fallback;
 }
 
-int cmd_compile(const std::string& pattern) {
-  const LanguageEngines engines = LanguageEngines::from_regex(pattern);
-  std::printf("pattern              : %s\n", pattern.c_str());
-  std::printf("symbol classes       : %d\n", engines.symbols().num_symbols());
-  std::printf("NFA states           : %d (%zu edges)\n", engines.nfa().num_states(),
-              engines.nfa().num_edges());
-  std::printf("minimal DFA states   : %d\n", engines.min_dfa().num_states());
-  std::printf("RI-DFA states        : %d\n", engines.ridfa().num_states());
-  std::printf("RI-DFA interface     : %d initial states\n",
-              engines.ridfa().initial_count());
-  return 0;
+bool flag_present(int argc, char** argv, const char* name) {
+  for (int i = 0; i < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return true;
+  return false;
 }
 
-int cmd_match(const std::string& pattern, const std::string& path, int argc,
-              char** argv) {
-  std::string text;
-  if (path == "-") {
-    std::ostringstream buffer;
-    buffer << std::cin.rdbuf();
-    text = buffer.str();
-  } else {
-    std::ifstream file(path, std::ios::binary);
-    if (!file) {
-      std::fprintf(stderr, "rispar: cannot open '%s'\n", path.c_str());
-      return 1;
-    }
-    std::ostringstream buffer;
-    buffer << file.rdbuf();
-    text = buffer.str();
-  }
-
-  const LanguageEngines engines = LanguageEngines::from_regex(pattern);
-  const std::vector<Symbol> input = engines.translate(text);
-
-  const std::string variant_name_arg = flag_value(argc, argv, "--variant", "rid");
-  const auto chunks = static_cast<std::size_t>(
-      std::strtoul(flag_value(argc, argv, "--chunks", "16").c_str(), nullptr, 10));
-  const auto threads = static_cast<unsigned>(
-      std::strtoul(flag_value(argc, argv, "--threads", "0").c_str(), nullptr, 10));
-  ThreadPool pool(threads);
-  const DeviceOptions options{.chunks = chunks, .convergence = false};
-
-  std::vector<Variant> variants;
-  if (variant_name_arg == "all") {
-    variants = {Variant::kDfa, Variant::kNfa, Variant::kRid};
-  } else if (variant_name_arg == "dfa") {
-    variants = {Variant::kDfa};
-  } else if (variant_name_arg == "nfa") {
-    variants = {Variant::kNfa};
-  } else if (variant_name_arg == "rid") {
-    variants = {Variant::kRid};
-  } else {
-    std::fprintf(stderr, "rispar: unknown variant '%s'\n", variant_name_arg.c_str());
-    return 2;
-  }
-
-  bool accepted = false;
-  for (const Variant variant : variants) {
-    Stopwatch clock;
-    const RecognitionStats stats = engines.recognize(variant, input, pool, options);
-    std::printf("%-4s: %-8s %9.3f ms, %llu transitions, c=%llu\n",
-                variant_name(variant), stats.accepted ? "MATCH" : "no-match",
-                clock.millis(), static_cast<unsigned long long>(stats.transitions),
-                static_cast<unsigned long long>(stats.chunks));
-    accepted = stats.accepted;
-  }
-  return accepted ? 0 : 1;
+int cmd_compile(const std::string& pattern_text) {
+  const Pattern pattern = Pattern::compile(pattern_text);
+  std::printf("pattern              : %s\n", pattern_text.c_str());
+  std::printf("symbol classes       : %d\n", pattern.symbols().num_symbols());
+  std::printf("NFA states           : %d (%zu edges)\n", pattern.nfa().num_states(),
+              pattern.nfa().num_edges());
+  std::printf("minimal DFA states   : %d\n", pattern.min_dfa().num_states());
+  std::printf("RI-DFA states        : %d\n", pattern.ridfa().num_states());
+  std::printf("RI-DFA interface     : %d initial states\n",
+              pattern.ridfa().initial_count());
+  return 0;
 }
 
 std::string read_input(const std::string& path, bool& ok) {
@@ -137,21 +85,91 @@ std::string read_input(const std::string& path, bool& ok) {
   return buffer.str();
 }
 
-int cmd_count(const std::string& pattern, const std::string& path, int argc,
+int cmd_match(const std::string& pattern_text, const std::string& path, int argc,
               char** argv) {
   bool ok = false;
   const std::string text = read_input(path, ok);
   if (!ok) return 1;
 
-  // Σ* p searcher: final after every prefix ending an occurrence.
-  const Dfa dfa =
-      minimize_dfa(determinize(glushkov_nfa(parse_regex(".*(" + pattern + ")"))));
-  const std::vector<Symbol> input = dfa.symbols().translate(text);
+  const std::string variant_name_arg = flag_value(argc, argv, "--variant", "rid");
   const auto chunks = static_cast<std::size_t>(
       std::strtoul(flag_value(argc, argv, "--chunks", "16").c_str(), nullptr, 10));
-  ThreadPool pool;
+  const auto threads = static_cast<unsigned>(
+      std::strtoul(flag_value(argc, argv, "--threads", "0").c_str(), nullptr, 10));
+  const bool convergence = flag_present(argc, argv, "--convergence");
+
+  const Engine engine(Pattern::compile(pattern_text), {.threads = threads});
+  const std::vector<Symbol> input = engine.translate(text);
+
+  std::vector<Variant> variants;
+  if (variant_name_arg == "all") {
+    variants = {Variant::kDfa, Variant::kNfa, Variant::kRid, Variant::kSfa};
+  } else if (variant_name_arg == "dfa") {
+    variants = {Variant::kDfa};
+  } else if (variant_name_arg == "nfa") {
+    variants = {Variant::kNfa};
+  } else if (variant_name_arg == "rid") {
+    variants = {Variant::kRid};
+  } else if (variant_name_arg == "sfa") {
+    variants = {Variant::kSfa};
+  } else {
+    std::fprintf(stderr, "rispar: unknown variant '%s'\n", variant_name_arg.c_str());
+    return 2;
+  }
+
+  const bool sweeping_all = variant_name_arg == "all";
+  bool accepted = false;
+  for (const Variant variant : variants) {
+    if (engine.try_device(variant) == nullptr) {
+      if (!sweeping_all) {
+        // The one requested device cannot run: that is an error (exit 2),
+        // not a no-match (exit 1).
+        std::fprintf(stderr,
+                     "rispar: %s device unavailable (SFA construction "
+                     "exceeded its budget)\n",
+                     variant_name(variant));
+        return 2;
+      }
+      std::printf("%-4s: unavailable (SFA construction exceeded its budget)\n",
+                  variant_name(variant));
+      continue;
+    }
+    QueryOptions options{.variant = variant, .chunks = chunks,
+                         .convergence = convergence};
+    // A single requested variant that cannot honor --convergence rejects
+    // (QueryError, exit 2). In the `all` sweep, drop the knob per variant
+    // with an explicit note so rows are never silently mislabeled.
+    if (convergence && sweeping_all &&
+        !engine.device(variant).capabilities().convergence) {
+      std::fprintf(stderr, "rispar: note: %s does not support --convergence; "
+                           "running it without\n",
+                   variant_name(variant));
+      options.convergence = false;
+    }
+    Stopwatch clock;
+    const QueryResult result = engine.recognize(input, options);
+    std::printf("%-4s: %-8s %9.3f ms, %llu transitions, c=%llu\n",
+                variant_name(variant), result.accepted ? "MATCH" : "no-match",
+                clock.millis(), static_cast<unsigned long long>(result.transitions),
+                static_cast<unsigned long long>(result.chunks));
+    accepted = result.accepted;
+  }
+  return accepted ? 0 : 1;
+}
+
+int cmd_count(const std::string& pattern_text, const std::string& path, int argc,
+              char** argv) {
+  bool ok = false;
+  const std::string text = read_input(path, ok);
+  if (!ok) return 1;
+
+  const auto chunks = static_cast<std::size_t>(
+      std::strtoul(flag_value(argc, argv, "--chunks", "16").c_str(), nullptr, 10));
+  const Engine engine(Pattern::compile(pattern_text));
   Stopwatch clock;
-  const MatchCount counted = count_matches(dfa, input, pool, chunks);
+  const QueryResult counted = engine.count(
+      text,
+      {.chunks = chunks, .convergence = flag_present(argc, argv, "--convergence")});
   std::printf("%llu occurrence%s in %zu bytes (%.3f ms%s)\n",
               static_cast<unsigned long long>(counted.matches),
               counted.matches == 1 ? "" : "s", text.size(), clock.millis(),
@@ -159,26 +177,26 @@ int cmd_count(const std::string& pattern, const std::string& path, int argc,
   return 0;
 }
 
-int cmd_export(const std::string& pattern, int argc, char** argv) {
+int cmd_export(const std::string& pattern_text, int argc, char** argv) {
   const std::string machine = flag_value(argc, argv, "--machine", "nfa");
   const std::string format = flag_value(argc, argv, "--format", "native");
-  const LanguageEngines engines = LanguageEngines::from_regex(pattern);
+  const Pattern pattern = Pattern::compile(pattern_text);
   if (machine == "nfa") {
     if (format == "timbuk")
-      save_timbuk(std::cout, engines.nfa());
+      save_timbuk(std::cout, pattern.nfa());
     else
-      save_nfa(std::cout, engines.nfa());
+      save_nfa(std::cout, pattern.nfa());
   } else if (machine == "dfa") {
     if (format == "timbuk")
-      save_timbuk(std::cout, dfa_to_nfa(engines.min_dfa()));
+      save_timbuk(std::cout, dfa_to_nfa(pattern.min_dfa()));
     else
-      save_dfa(std::cout, engines.min_dfa());
+      save_dfa(std::cout, pattern.min_dfa());
   } else if (machine == "ridfa") {
     // The RI-DFA exports as its underlying DFA plus an interface comment.
     std::cout << "# RI-DFA: initial interface states:";
-    for (const State p : engines.ridfa().initial_states()) std::cout << ' ' << p;
+    for (const State p : pattern.ridfa().initial_states()) std::cout << ' ' << p;
     std::cout << '\n';
-    save_dfa(std::cout, engines.ridfa().dfa());
+    save_dfa(std::cout, pattern.ridfa().dfa());
   } else {
     std::fprintf(stderr, "rispar: unknown machine '%s'\n", machine.c_str());
     return 2;
@@ -225,6 +243,9 @@ int main(int argc, char** argv) {
     if (command == "bench-list") return cmd_bench_list();
   } catch (const RegexError& error) {
     std::fprintf(stderr, "rispar: bad pattern: %s\n", error.what());
+    return 2;
+  } catch (const QueryError& error) {
+    std::fprintf(stderr, "rispar: bad query: %s\n", error.what());
     return 2;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "rispar: %s\n", error.what());
