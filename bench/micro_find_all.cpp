@@ -1,0 +1,141 @@
+// Microbenchmarks of the position-emitting finding path (ISSUE 3): the
+// find_matches kernel against the counting kernel it extends, across
+// (convergence × kernel implementation), plus PatternSet multi-pattern
+// serving of one text.
+//
+// Unless the caller passes --benchmark_out, results are also written as
+// machine-readable JSON to BENCH_find_all.json in the working directory,
+// so CI and successive PRs can track the serving-path throughput
+// trajectory next to BENCH_chunk_kernels.json (see docs/perf.md).
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "engine/pattern_set.hpp"
+#include "parallel/match_count.hpp"
+#include "workloads/suite.hpp"
+
+namespace {
+
+using namespace rispar;
+
+struct FindFixture {
+  Pattern pattern;
+  std::string text;
+  std::vector<Symbol> input;  ///< translated with the searcher's map
+  ThreadPool pool;
+
+  FindFixture(const char* regex, std::size_t bytes = 1u << 20)
+      : pattern(Pattern::compile(regex)), pool(4) {
+    Prng prng(stable_hash("find_all"));
+    text = bible_workload().text(bytes, prng);
+    input = pattern.searcher().symbols().translate(text);
+  }
+};
+
+FindFixture& fixture() {
+  static FindFixture f("<h3>");
+  return f;
+}
+
+QueryOptions options_from_args(const benchmark::State& state) {
+  QueryOptions options;
+  options.chunks = static_cast<std::size_t>(state.range(0));
+  options.convergence = state.range(1) != 0;
+  options.kernel = state.range(2) != 0 ? DetKernel::kFused : DetKernel::kReference;
+  return options;
+}
+
+std::string label_from_args(const benchmark::State& state) {
+  std::string label = "c=" + std::to_string(state.range(0));
+  label += state.range(1) ? "/convergent" : "/independent";
+  label += state.range(2) ? "/fused" : "/reference";
+  return label;
+}
+
+// The tentpole path: positioned occurrences over the Σ*p searcher. Args:
+// (chunks, convergence, fused).
+void BM_FindMatches(benchmark::State& state) {
+  FindFixture& f = fixture();
+  const QueryOptions options = options_from_args(state);
+  for (auto _ : state) {
+    const QueryResult result =
+        find_matches(f.pattern.searcher(), f.input, f.pool, options);
+    benchmark::DoNotOptimize(result.positions.size());
+  }
+  state.SetLabel(label_from_args(state));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * f.input.size()));
+}
+BENCHMARK(BM_FindMatches)
+    ->Args({1, 0, 1})
+    ->Args({8, 0, 0})
+    ->Args({8, 0, 1})
+    ->Args({8, 1, 0})
+    ->Args({8, 1, 1})
+    ->Args({32, 1, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// What positions cost over bare counting on the identical scan. Args as
+// above.
+void BM_CountMatchesBaseline(benchmark::State& state) {
+  FindFixture& f = fixture();
+  QueryOptions options = options_from_args(state);
+  options.kernel = DetKernel::kFused;  // counting has no kernel knob
+  for (auto _ : state) {
+    const QueryResult result =
+        count_matches(f.pattern.searcher(), f.input, f.pool, options);
+    benchmark::DoNotOptimize(result.matches);
+  }
+  state.SetLabel("c=" + std::to_string(state.range(0)) +
+                 (state.range(1) ? "/convergent" : "/independent"));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * f.input.size()));
+}
+BENCHMARK(BM_CountMatchesBaseline)
+    ->Args({8, 0, 1})
+    ->Args({8, 1, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// Multi-pattern serving: N patterns, one text, one pool — the PatternSet
+// text×pattern fan-out. Arg: chunks per scan.
+void BM_PatternSetFind(benchmark::State& state) {
+  static const PatternSet set =
+      PatternSet::compile({"<h3>", "section", "the"}, {.threads = 4});
+  const FindFixture& f = fixture();
+  QueryOptions options;
+  options.chunks = static_cast<std::size_t>(state.range(0));
+  options.convergence = true;
+  for (auto _ : state) {
+    const QueryResult result = set.find(f.text, options);
+    benchmark::DoNotOptimize(result.matches);
+  }
+  state.SetLabel("3 patterns, c=" + std::to_string(state.range(0)));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * f.text.size()));
+}
+BENCHMARK(BM_PatternSetFind)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0 &&
+        (argv[i][15] == '=' || argv[i][15] == '\0'))
+      has_out = true;
+  // Stable storage for the injected defaults (benchmark keeps pointers).
+  std::string out_flag = "--benchmark_out=BENCH_find_all.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

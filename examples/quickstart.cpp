@@ -6,8 +6,10 @@
 //   1. Pattern::compile  — one compilation, every chunk automaton;
 //   2. Engine::recognize — parallel recognition with any variant;
 //   3. Engine::count     — occurrences of the pattern in arbitrary bytes;
-//   4. Engine::stream    — window-by-window recognition of unbounded input;
-//   5. Engine::match_all — many texts batched over one shared pool.
+//   4. Engine::find_all  — WHERE those occurrences sit (paged positions);
+//   5. Engine::stream    — window-by-window recognition of unbounded input;
+//   6. Engine::match_all — many texts batched over one shared pool.
+// (For N patterns over one text, see examples/multi_pattern_scan.cpp.)
 #include <cstdio>
 #include <string>
 #include <string_view>
@@ -60,7 +62,20 @@ int main(int argc, char** argv) {
   std::printf("\ncount : %llu occurrences of the pattern in text+noise\n",
               static_cast<unsigned long long>(counted.matches));
 
-  // 4. Stream the same text in 512-byte windows: same decision, bounded
+  // 4. Positioned matches: one Match per counted end position (so
+  //    find_all(t).size() == count(t).matches), offset/limit paging for
+  //    response caps. Match::begin/end are byte offsets.
+  const std::string noisy = "??" + text + "--" + text;
+  const QueryResult found = engine.find(noisy, {.chunks = 8, .limit = 3});
+  std::printf("find  : %llu total, first %zu at",
+              static_cast<unsigned long long>(found.matches),
+              found.positions.size());
+  for (const Match& m : found.positions)
+    std::printf(" [%llu,%llu)", static_cast<unsigned long long>(m.begin),
+                static_cast<unsigned long long>(m.end));
+  std::printf("\n");
+
+  // 5. Stream the same text in 512-byte windows: same decision, bounded
   //    memory — only the PLAS carry crosses window boundaries.
   StreamSession session = engine.stream({.variant = Variant::kRid, .chunks = 4});
   for (std::size_t offset = 0; offset < text.size(); offset += 512)
@@ -70,7 +85,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(session.windows()),
               static_cast<unsigned long long>(session.transitions()));
 
-  // 5. Batch many texts over the one shared pool.
+  // 6. Batch many texts over the one shared pool.
   const std::vector<std::string_view> batch{text, "ab", "ba", "abx", ""};
   const auto results = engine.match_all(batch, {.variant = Variant::kRid, .chunks = 4});
   std::size_t accepted = 0;

@@ -1,5 +1,6 @@
 #include "automata/serialize.hpp"
 
+#include <array>
 #include <sstream>
 #include <stdexcept>
 
@@ -17,7 +18,8 @@ struct Header {
   std::int32_t num_symbols = 0;
 };
 
-Header read_header(std::istream& in, const std::string& expected_kind) {
+Header read_header(std::istream& in, const std::string& expected_kind,
+                   std::int32_t max_symbols) {
   Header header;
   std::string line;
   while (std::getline(in, line)) {
@@ -25,11 +27,117 @@ Header read_header(std::istream& in, const std::string& expected_kind) {
     std::istringstream fields(line);
     fields >> header.kind >> header.num_states >> header.num_symbols;
     if (header.kind != expected_kind) malformed("expected '" + expected_kind + "' header");
-    if (header.num_states < 0 || header.num_symbols < 1 || header.num_symbols > 64)
+    if (header.num_states < 0 || header.num_symbols < 1 ||
+        header.num_symbols > max_symbols)
       malformed("bad header counts");
     return header;
   }
   malformed("missing header");
+}
+
+/// True for the tags that open a new section — the body loops stop there
+/// (seeking back to the line start) so concatenated sections load in
+/// sequence from one stream.
+bool is_section_header(const std::string& tag) {
+  return tag == "nfa" || tag == "dfa" || tag == "bytemap" || tag == "pattern";
+}
+
+Nfa load_nfa_impl(std::istream& in, std::int32_t max_symbols, const SymbolMap* map) {
+  const Header header = read_header(in, "nfa", max_symbols);
+  if (map != nullptr && map->num_symbols() != header.num_symbols)
+    malformed("nfa symbol count disagrees with the bytemap");
+  Nfa nfa = map != nullptr ? Nfa(header.num_symbols, *map)
+                           : Nfa::with_identity_alphabet(header.num_symbols);
+  for (std::int32_t s = 0; s < header.num_states; ++s) nfa.add_state();
+
+  auto check_state = [&](std::int64_t s) {
+    if (s < 0 || s >= header.num_states) malformed("state id out of range");
+    return static_cast<State>(s);
+  };
+
+  std::string line;
+  std::streampos line_start = in.tellg();
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      line_start = in.tellg();
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "initial") {
+      std::int64_t s;
+      if (!(fields >> s)) malformed("initial");
+      nfa.set_initial(check_state(s));
+    } else if (tag == "final") {
+      std::int64_t s;
+      while (fields >> s) nfa.set_final(check_state(s));
+    } else if (tag == "edge") {
+      std::int64_t from, symbol, to;
+      if (!(fields >> from >> symbol >> to)) malformed("edge");
+      if (symbol < 0 || symbol >= header.num_symbols) malformed("symbol out of range");
+      nfa.add_edge(check_state(from), static_cast<Symbol>(symbol), check_state(to));
+    } else if (tag == "eps") {
+      std::int64_t from, to;
+      if (!(fields >> from >> to)) malformed("eps");
+      nfa.add_epsilon(check_state(from), check_state(to));
+    } else if (is_section_header(tag)) {
+      in.clear();
+      in.seekg(line_start);
+      break;
+    } else {
+      malformed("unknown line tag '" + tag + "'");
+    }
+    line_start = in.tellg();
+  }
+  return nfa;
+}
+
+Dfa load_dfa_impl(std::istream& in, std::int32_t max_symbols, const SymbolMap* map) {
+  const Header header = read_header(in, "dfa", max_symbols);
+  if (map != nullptr && map->num_symbols() != header.num_symbols)
+    malformed("dfa symbol count disagrees with the bytemap");
+  Dfa dfa = map != nullptr ? Dfa(header.num_symbols, *map)
+                           : Dfa::with_identity_alphabet(header.num_symbols);
+  for (std::int32_t s = 0; s < header.num_states; ++s) dfa.add_state();
+
+  auto check_state = [&](std::int64_t s) {
+    if (s < 0 || s >= header.num_states) malformed("state id out of range");
+    return static_cast<State>(s);
+  };
+
+  std::string line;
+  std::streampos line_start = in.tellg();
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      line_start = in.tellg();
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "initial") {
+      std::int64_t s;
+      if (!(fields >> s)) malformed("initial");
+      dfa.set_initial(check_state(s));
+    } else if (tag == "final") {
+      std::int64_t s;
+      while (fields >> s) dfa.set_final(check_state(s));
+    } else if (tag == "trans") {
+      std::int64_t from, symbol, to;
+      if (!(fields >> from >> symbol >> to)) malformed("trans");
+      if (symbol < 0 || symbol >= header.num_symbols) malformed("symbol out of range");
+      dfa.set_transition(check_state(from), static_cast<Symbol>(symbol), check_state(to));
+    } else if (is_section_header(tag)) {
+      in.clear();
+      in.seekg(line_start);
+      break;
+    } else {
+      malformed("unknown line tag '" + tag + "'");
+    }
+    line_start = in.tellg();
+  }
+  return dfa;
 }
 
 }  // namespace
@@ -61,78 +169,44 @@ void save_dfa(std::ostream& out, const Dfa& dfa) {
         out << "trans " << s << ' ' << a << ' ' << t << '\n';
 }
 
-Nfa load_nfa(std::istream& in) {
-  const Header header = read_header(in, "nfa");
-  Nfa nfa = Nfa::with_identity_alphabet(header.num_symbols);
-  for (std::int32_t s = 0; s < header.num_states; ++s) nfa.add_state();
-
-  auto check_state = [&](std::int64_t s) {
-    if (s < 0 || s >= header.num_states) malformed("state id out of range");
-    return static_cast<State>(s);
-  };
-
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream fields(line);
-    std::string tag;
-    fields >> tag;
-    if (tag == "initial") {
-      std::int64_t s;
-      if (!(fields >> s)) malformed("initial");
-      nfa.set_initial(check_state(s));
-    } else if (tag == "final") {
-      std::int64_t s;
-      while (fields >> s) nfa.set_final(check_state(s));
-    } else if (tag == "edge") {
-      std::int64_t from, symbol, to;
-      if (!(fields >> from >> symbol >> to)) malformed("edge");
-      if (symbol < 0 || symbol >= header.num_symbols) malformed("symbol out of range");
-      nfa.add_edge(check_state(from), static_cast<Symbol>(symbol), check_state(to));
-    } else if (tag == "eps") {
-      std::int64_t from, to;
-      if (!(fields >> from >> to)) malformed("eps");
-      nfa.add_epsilon(check_state(from), check_state(to));
-    } else {
-      malformed("unknown line tag '" + tag + "'");
-    }
-  }
-  return nfa;
+void save_symbol_map(std::ostream& out, const SymbolMap& map) {
+  out << "bytemap";
+  for (const std::int32_t symbol : map.raw_table()) out << ' ' << symbol;
+  out << '\n';
 }
 
-Dfa load_dfa(std::istream& in) {
-  const Header header = read_header(in, "dfa");
-  Dfa dfa = Dfa::with_identity_alphabet(header.num_symbols);
-  for (std::int32_t s = 0; s < header.num_states; ++s) dfa.add_state();
+Nfa load_nfa(std::istream& in) { return load_nfa_impl(in, 64, nullptr); }
 
-  auto check_state = [&](std::int64_t s) {
-    if (s < 0 || s >= header.num_states) malformed("state id out of range");
-    return static_cast<State>(s);
-  };
+Nfa load_nfa(std::istream& in, const SymbolMap& symbols) {
+  return load_nfa_impl(in, 256, &symbols);
+}
 
+Dfa load_dfa(std::istream& in) { return load_dfa_impl(in, 64, nullptr); }
+
+Dfa load_dfa(std::istream& in, const SymbolMap& symbols) {
+  return load_dfa_impl(in, 256, &symbols);
+}
+
+SymbolMap load_symbol_map(std::istream& in) {
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') continue;
     std::istringstream fields(line);
     std::string tag;
     fields >> tag;
-    if (tag == "initial") {
-      std::int64_t s;
-      if (!(fields >> s)) malformed("initial");
-      dfa.set_initial(check_state(s));
-    } else if (tag == "final") {
-      std::int64_t s;
-      while (fields >> s) dfa.set_final(check_state(s));
-    } else if (tag == "trans") {
-      std::int64_t from, symbol, to;
-      if (!(fields >> from >> symbol >> to)) malformed("trans");
-      if (symbol < 0 || symbol >= header.num_symbols) malformed("symbol out of range");
-      dfa.set_transition(check_state(from), static_cast<Symbol>(symbol), check_state(to));
-    } else {
-      malformed("unknown line tag '" + tag + "'");
+    if (tag != "bytemap") malformed("expected 'bytemap' line");
+    std::array<std::int32_t, 256> table{};
+    for (std::int32_t& entry : table)
+      if (!(fields >> entry)) malformed("bytemap needs 256 entries");
+    if (std::string extra; fields >> extra)
+      malformed("bytemap holds more than 256 entries");
+    try {
+      return SymbolMap::from_table(table);
+    } catch (const std::invalid_argument& error) {
+      malformed(error.what());
     }
   }
-  return dfa;
+  malformed("missing bytemap");
 }
 
 std::string nfa_to_string(const Nfa& nfa) {

@@ -1,4 +1,4 @@
-// Plain-text serialization of NFAs and DFAs.
+// Plain-text serialization of NFAs, DFAs and SymbolMaps.
 //
 // Format (line-oriented, '#' comments):
 //   nfa|dfa <num_states> <num_symbols>
@@ -7,8 +7,17 @@
 //   edge <from> <symbol> <to>          (NFA)
 //   eps <from> <to>                    (NFA)
 //   trans <from> <symbol> <to>         (DFA)
-// SymbolMaps are reconstructed as identity alphabets; the format is meant
-// for test fixtures, examples and collection dumps, not byte-level regexes.
+//   bytemap <256 symbol ids>           (SymbolMap; -1 = unmapped byte)
+//
+// The one-argument loaders reconstruct SymbolMaps as identity alphabets —
+// good for test fixtures, examples and collection dumps. Byte-level
+// automata (regex compilations) serialize their map with save_symbol_map
+// and load through the map-taking overloads, which preserve the exact
+// symbol numbering; Pattern::serialize()/deserialize() bundle sections
+// this way. Loaders stop (without consuming) at the next section header,
+// so sections concatenate in one SEEKABLE stream (string/file streams —
+// the stop seeks back to the header line; an unseekable stream such as
+// std::cin supports single-section loads only).
 #pragma once
 
 #include <iosfwd>
@@ -21,10 +30,18 @@ namespace rispar {
 
 void save_nfa(std::ostream& out, const Nfa& nfa);
 void save_dfa(std::ostream& out, const Dfa& dfa);
+void save_symbol_map(std::ostream& out, const SymbolMap& map);
 
 /// Throws std::runtime_error on malformed input.
 Nfa load_nfa(std::istream& in);
 Dfa load_dfa(std::istream& in);
+SymbolMap load_symbol_map(std::istream& in);
+
+/// Loaders for byte-level automata: the automaton's alphabet is the given
+/// map (symbol counts must agree — up to 256 classes instead of the
+/// identity loaders' 64).
+Nfa load_nfa(std::istream& in, const SymbolMap& symbols);
+Dfa load_dfa(std::istream& in, const SymbolMap& symbols);
 
 /// String round-trip conveniences.
 std::string nfa_to_string(const Nfa& nfa);

@@ -1,7 +1,9 @@
 #include "automata/symbol_map.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <map>
+#include <stdexcept>
 
 namespace rispar {
 
@@ -46,6 +48,31 @@ SymbolMap SymbolMap::build(const std::vector<ByteSet>& classes) {
     }
     map.byte_to_symbol_[static_cast<std::size_t>(b)] = it->second;
   }
+  return map;
+}
+
+SymbolMap SymbolMap::from_table(const std::array<std::int32_t, 256>& table) {
+  SymbolMap map;
+  map.byte_to_symbol_ = table;
+  std::int32_t max_symbol = -1;
+  for (const std::int32_t symbol : table) {
+    if (symbol == kUnmapped) continue;
+    if (symbol < 0 || symbol > 255)
+      throw std::invalid_argument("SymbolMap::from_table: symbol id out of range");
+    max_symbol = std::max(max_symbol, symbol);
+  }
+  map.num_symbols_ = max_symbol + 1;
+  map.reps_.assign(static_cast<std::size_t>(map.num_symbols_), 0);
+  std::vector<bool> seen(static_cast<std::size_t>(map.num_symbols_), false);
+  for (int b = 255; b >= 0; --b) {  // walk down so the smallest byte wins
+    const std::int32_t symbol = table[static_cast<std::size_t>(b)];
+    if (symbol == kUnmapped) continue;
+    map.reps_[static_cast<std::size_t>(symbol)] = static_cast<unsigned char>(b);
+    seen[static_cast<std::size_t>(symbol)] = true;
+  }
+  for (std::int32_t s = 0; s < map.num_symbols_; ++s)
+    if (!seen[static_cast<std::size_t>(s)])
+      throw std::invalid_argument("SymbolMap::from_table: gap in symbol ids");
   return map;
 }
 

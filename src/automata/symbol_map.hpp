@@ -35,6 +35,14 @@ class SymbolMap {
   /// dead transition.
   static constexpr std::int32_t kUnmapped = -1;
 
+  /// Rebuilds a map from a raw byte → symbol table (deserialization:
+  /// automata/serialize.* writes raw_table() and loads through here,
+  /// preserving the exact symbol numbering). Entries must be kUnmapped or
+  /// a dense id range [0, max]; a gap or out-of-range id throws
+  /// std::invalid_argument. The representative of each symbol is its
+  /// smallest byte.
+  static SymbolMap from_table(const std::array<std::int32_t, 256>& table);
+
   std::int32_t num_symbols() const { return num_symbols_; }
 
   std::int32_t symbol_of(unsigned char byte) const { return byte_to_symbol_[byte]; }

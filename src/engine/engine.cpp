@@ -61,6 +61,19 @@ QueryResult Engine::count(std::string_view text, const QueryOptions& options) co
   return count_matches(dfa, dfa.symbols().translate(text), *pool_, options);
 }
 
+QueryResult Engine::find(std::string_view text, const QueryOptions& options) const {
+  // Reject up front, like count() — before the lazy searcher build and the
+  // full-text translation; find_matches re-validates.
+  validate_query(options, kFindingCaps, kFindingContext);
+  const Dfa& dfa = searcher();
+  return find_matches(dfa, dfa.symbols().translate(text), *pool_, options);
+}
+
+std::vector<Match> Engine::find_all(std::string_view text,
+                                    const QueryOptions& options) const {
+  return std::move(find(text, options).positions);
+}
+
 StreamSession Engine::stream(const QueryOptions& options) const {
   const Device& dev = device(options.variant);
   // Fail at session creation, not at the first feed (which re-validates).

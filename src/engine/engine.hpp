@@ -16,9 +16,15 @@
 // NFA, RID, SFA — sit behind the polymorphic Device registry; options a
 // device cannot honor raise QueryError instead of being silently ignored.
 //
-// Concurrency: one Engine may be queried from one thread at a time (the
-// pool's batch protocol has a single caller). Compile one Pattern and give
-// each querying thread its own Engine — the compiled machines are shared.
+// Concurrency: read-only queries (recognize/count/find/find_all/match_all)
+// are safe from concurrent threads on one shared Engine — the compiled
+// machines are immutable (lazy builds are call_once) and the pool
+// serializes external reach batches, so concurrent callers queue rather
+// than corrupt each other (ConcurrentQueries smoke tests in
+// tests/test_find_all.cpp). For reach-phase parallelism ACROSS queries,
+// compile one Pattern and give each querying thread its own Engine.
+// StreamSessions remain single-threaded: feed each session from one thread,
+// in order.
 #pragma once
 
 #include <memory>
@@ -75,6 +81,20 @@ class Engine {
   /// callers holding pre-translated searcher symbols use
   /// count_matches(searcher(), ...) directly.
   QueryResult count(std::string_view text, const QueryOptions& options = {}) const;
+
+  /// Positioned occurrences of the pattern in `text` (one Match per prefix
+  /// ending an occurrence, overlaps counted — find(t).matches always equals
+  /// count(t).matches, and Match semantics are documented in query.hpp).
+  /// Runs the position-emitting parallel kernel over the same Σ*p searcher
+  /// as count(): options.variant is not consulted; chunks, convergence,
+  /// kernel and offset/limit paging are honored, anything else raises
+  /// QueryError. Offsets in the returned Match records are byte offsets
+  /// into `text`.
+  QueryResult find(std::string_view text, const QueryOptions& options = {}) const;
+
+  /// Convenience over find(): just the positions payload.
+  std::vector<Match> find_all(std::string_view text,
+                              const QueryOptions& options = {}) const;
 
   /// Opens a byte-level streaming session on options.variant's device: feed
   /// windows of any size, in order; the decision always equals one-shot

@@ -2,11 +2,14 @@
 
 #include <mutex>
 #include <optional>
+#include <sstream>
+#include <stdexcept>
 #include <utility>
 
 #include "automata/glushkov.hpp"
 #include "automata/minimize.hpp"
 #include "automata/nfa_ops.hpp"
+#include "automata/serialize.hpp"
 #include "automata/subset.hpp"
 #include "automata/timbuk.hpp"
 #include "core/interface_min.hpp"
@@ -106,6 +109,52 @@ Pattern Pattern::from_nfa(Nfa nfa) {
 
 Pattern Pattern::from_timbuk(const std::string& text) {
   return from_nfa(timbuk_from_string(text));
+}
+
+std::string Pattern::serialize() const {
+  std::ostringstream out;
+  out << "# rispar compiled pattern (docs/api.md, 'Ahead-of-time compiled fleets')\n";
+  out << "pattern 1\n";
+  save_symbol_map(out, symbols());
+  save_nfa(out, nfa());
+  save_dfa(out, min_dfa());
+  return out.str();
+}
+
+Pattern Pattern::deserialize(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string kind;
+    std::int32_t version = 0;
+    fields >> kind >> version;
+    if (kind != "pattern" || version != 1)
+      throw std::runtime_error(
+          "malformed pattern file: expected 'pattern 1' header, got '" + line + "'");
+    saw_header = true;
+    break;
+  }
+  if (!saw_header) throw std::runtime_error("malformed pattern file: missing header");
+
+  const SymbolMap map = load_symbol_map(in);
+  Nfa nfa = load_nfa(in, map);
+  Dfa min_dfa = load_dfa(in, map);
+
+  // The serialized NFA was ε-free and trimmed, but hand-edited bundles get
+  // the same normalization a fresh compile would.
+  Nfa eps_free = nfa.has_epsilon() ? remove_epsilon(nfa) : std::move(nfa);
+  Nfa trimmed = trim_unreachable(eps_free);
+  Ridfa ridfa = build_minimized_ridfa(trimmed);
+  min_dfa.packed();  // pre-warm like from_nfa
+  ridfa.dfa().packed();
+  auto compiled = std::make_shared<Compiled>();
+  compiled->nfa = std::move(trimmed);
+  compiled->min_dfa = std::move(min_dfa);
+  compiled->ridfa = std::move(ridfa);
+  return Pattern(std::move(compiled));
 }
 
 const Nfa& Pattern::nfa() const { return compiled_->nfa; }

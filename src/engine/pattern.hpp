@@ -36,6 +36,21 @@ class Pattern {
   /// Parses a Timbuk-format automaton (interchange with other tools).
   static Pattern from_timbuk(const std::string& text);
 
+  /// Serializes the compiled pattern — byte classes (bytemap), ε-free NFA
+  /// (the source of truth) and minimal DFA — as concatenated sections of
+  /// the line-oriented automata/serialize.* format. For ahead-of-time
+  /// compiled fleets: deserialize() skips regex parsing AND the subset
+  /// construction/minimization of the DFA (the RI-DFA and the lazy
+  /// artifacts — SFA, Σ*p searcher — are rebuilt on demand). Round-trip is
+  /// exact: symbol numbering, state numbering of the DFA, and every query
+  /// result are preserved (property-tested in tests/test_serialize.cpp).
+  std::string serialize() const;
+
+  /// Rebuilds a pattern from serialize() output. Throws std::runtime_error
+  /// on malformed input. The bundle is trusted: the DFA section is used as
+  /// the minimal DFA without re-deriving it from the NFA.
+  static Pattern deserialize(const std::string& text);
+
   const Nfa& nfa() const;
   const Dfa& min_dfa() const;
   const Ridfa& ridfa() const;

@@ -1,0 +1,133 @@
+#include "engine/pattern_set.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "parallel/match_count.hpp"
+
+namespace rispar {
+
+namespace {
+
+constexpr const char* kPatternSetContext =
+    "PatternSet::find (the position-emitting counting kernel per pattern; "
+    "it honors chunks, convergence, kernel and offset/limit)";
+
+/// Merges the N per-pattern scans of one text into one QueryResult:
+/// positions ascending by (end, begin, pattern_id) — unique, since each
+/// pattern emits at most one Match per end — then windowed by the caller's
+/// offset/limit. Counts/transitions sum; the phase times and chunk count
+/// report the maximum, because the scans overlap on the pool.
+QueryResult merge_text(std::span<QueryResult> per_pattern, const QueryOptions& options) {
+  QueryResult merged;
+  std::size_t total = 0;
+  for (QueryResult& r : per_pattern) {
+    merged.transitions += r.transitions;
+    merged.matches += r.matches;
+    merged.died = merged.died || r.died;
+    merged.chunks = std::max(merged.chunks, r.chunks);
+    merged.reach_seconds = std::max(merged.reach_seconds, r.reach_seconds);
+    merged.join_seconds = std::max(merged.join_seconds, r.join_seconds);
+    total += r.positions.size();
+  }
+  merged.accepted = merged.matches > 0;
+  merged.positions.reserve(total);
+  for (QueryResult& r : per_pattern)
+    merged.positions.insert(merged.positions.end(),
+                            std::make_move_iterator(r.positions.begin()),
+                            std::make_move_iterator(r.positions.end()));
+  std::sort(merged.positions.begin(), merged.positions.end(),
+            [](const Match& a, const Match& b) {
+              if (a.end != b.end) return a.end < b.end;
+              if (a.begin != b.begin) return a.begin < b.begin;
+              return a.pattern_id < b.pattern_id;
+            });
+  // Page the MERGED stream (the per-pattern kernels ran unpaged — a global
+  // window cannot be cut per pattern).
+  if (options.offset >= merged.positions.size()) {
+    merged.positions.clear();
+  } else if (options.offset > 0) {
+    merged.positions.erase(merged.positions.begin(),
+                           merged.positions.begin() +
+                               static_cast<std::ptrdiff_t>(options.offset));
+  }
+  if (merged.positions.size() > options.limit)
+    merged.positions.resize(options.limit);
+  return merged;
+}
+
+}  // namespace
+
+PatternSet::PatternSet(std::vector<Pattern> patterns, EngineConfig config)
+    : patterns_(std::move(patterns)),
+      pool_(std::make_unique<ThreadPool>(config.threads)) {
+  // Pre-warm every searcher (the expensive lazy artifact: determinize +
+  // minimize over an all-bytes alphabet) in parallel, once, before any
+  // query fans out — pool workers never pay a build mid-query and the
+  // first concurrent callers contend on nothing.
+  pool_->run(patterns_.size(), [&](std::size_t p) { patterns_[p].searcher(); });
+}
+
+PatternSet PatternSet::compile(std::span<const std::string_view> regexes,
+                               EngineConfig config) {
+  std::vector<Pattern> patterns;
+  patterns.reserve(regexes.size());
+  for (const std::string_view regex : regexes)
+    patterns.push_back(Pattern::compile(regex));
+  return PatternSet(std::move(patterns), config);
+}
+
+PatternSet PatternSet::compile(std::initializer_list<std::string_view> regexes,
+                               EngineConfig config) {
+  return compile(std::span<const std::string_view>(regexes.begin(), regexes.size()),
+                 config);
+}
+
+QueryResult PatternSet::find(std::string_view text, const QueryOptions& options) const {
+  const std::string_view one[]{text};
+  return std::move(find_all(std::span<const std::string_view>(one), options).front());
+}
+
+std::vector<Match> PatternSet::find_all(std::string_view text,
+                                        const QueryOptions& options) const {
+  return std::move(find(text, options).positions);
+}
+
+std::vector<QueryResult> PatternSet::find_all(std::span<const std::string_view> texts,
+                                              const QueryOptions& options) const {
+  // Reject before any fan-out; the kernels re-validate the stripped copy.
+  validate_query(options, kFindingCaps, kPatternSetContext);
+  QueryOptions scan_options = options;
+  scan_options.offset = 0;
+  scan_options.limit = QueryOptions::kNoLimit;
+
+  // One task per (text, pattern) pair on the shared pool; the per-scan
+  // chunk runs nest inline (ThreadPool reentrancy), so pattern scans of
+  // one text and scans of different texts all shard at the same level.
+  // The one-pair case skips the outer fan-out entirely — a nested run()
+  // would execute its chunk tasks inline on one thread, and a lone scan
+  // should parallelize at chunk level instead (one pattern, one text is
+  // exactly the Engine::find shape).
+  const std::size_t n = patterns_.size();
+  std::vector<QueryResult> per_pair(texts.size() * n);
+  const auto scan_pair = [&](std::size_t task) {
+    const std::size_t t = task / n;
+    const auto p = static_cast<std::uint32_t>(task % n);
+    const Dfa& dfa = patterns_[p].searcher();
+    per_pair[task] = find_matches(dfa, dfa.symbols().translate(texts[t]), *pool_,
+                                  scan_options, p);
+  };
+  if (per_pair.size() == 1)
+    scan_pair(0);
+  else
+    pool_->run(per_pair.size(), scan_pair);
+
+  std::vector<QueryResult> results;
+  results.reserve(texts.size());
+  for (std::size_t t = 0; t < texts.size(); ++t)
+    results.push_back(
+        merge_text(std::span<QueryResult>(per_pair).subspan(t * n, n), options));
+  return results;
+}
+
+}  // namespace rispar

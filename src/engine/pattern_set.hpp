@@ -1,0 +1,90 @@
+// PatternSet — N compiled patterns, one pool, one pass over the text.
+//
+// The production scanners the paper motivates (grep over a ruleset, log
+// triage, DPI signature sets) rarely serve a single regex: they hold a
+// fleet of compiled patterns and answer "which patterns match this text,
+// and where" for every document that arrives. PatternSet is that
+// dispatcher, built on the same query vocabulary as Engine:
+//
+//   PatternSet set = PatternSet::compile({"ERROR", "timeout", "oom-kill"});
+//   for (const Match& m : set.find_all(log_line))        // tagged by pattern_id
+//     report(set.pattern(m.pattern_id), m.begin, m.end);
+//   auto reports = set.find_all(documents);              // text × pattern fan-out
+//
+// Every pattern compiles once (searchers pre-warmed in parallel at
+// construction); queries fan out text×pattern tasks over ONE shared
+// ThreadPool — the per-pattern chunk runs nest inline on the same pool
+// (ThreadPool reentrancy), so the sharding unit is the (text, pattern)
+// pair. Results merge per text into one ascending (end, begin, pattern_id)
+// stream of Match records; QueryOptions::offset/limit page the MERGED
+// stream, the way a server caps a response, while `matches` still reports
+// the total across all patterns.
+//
+// Concurrency: like Engine, a PatternSet is safe for concurrent read-only
+// callers — the compiled machines are immutable and the pool serializes
+// external batches (queries from different threads queue; each still runs
+// with full parallelism).
+#pragma once
+
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "engine/pattern.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace rispar {
+
+class PatternSet {
+ public:
+  /// Takes ownership of already-compiled patterns (shared-ownership copies
+  /// are cheap — the same Pattern may live in an Engine too). Pattern ids
+  /// in emitted Match records are indices into this vector. Searchers are
+  /// pre-warmed in parallel on the owned pool. Of EngineConfig only
+  /// `threads` applies: finding runs the one deterministic searcher per
+  /// pattern, so there is no SFA and `sfa_budget` has nothing to govern.
+  explicit PatternSet(std::vector<Pattern> patterns, EngineConfig config = {});
+
+  /// Compiles one regex per entry. Throws RegexError on the first bad one.
+  static PatternSet compile(std::span<const std::string_view> regexes,
+                            EngineConfig config = {});
+  static PatternSet compile(std::initializer_list<std::string_view> regexes,
+                            EngineConfig config = {});
+
+  /// Not movable, like Engine: the pool is referenced by in-flight queries.
+  PatternSet(PatternSet&&) = delete;
+  PatternSet& operator=(PatternSet&&) = delete;
+
+  std::size_t size() const { return patterns_.size(); }
+  const Pattern& pattern(std::size_t id) const { return patterns_[id]; }
+  ThreadPool& pool() const { return *pool_; }
+
+  /// Positioned occurrences of EVERY pattern in `text`, merged ascending by
+  /// (end, begin, pattern_id) and windowed by options.offset/limit;
+  /// `matches` totals all patterns' occurrences (equal to the sum of N
+  /// independent Engine::find runs, property-tested). Honors chunks,
+  /// convergence, kernel and paging; anything else raises QueryError.
+  /// `transitions`/`matches` sum over the patterns' scans; `reach_seconds`/
+  /// `join_seconds`/`chunks` report the maximum, since the scans overlap on
+  /// the pool. `died` is true when any pattern's consistent run died.
+  QueryResult find(std::string_view text, const QueryOptions& options = {}) const;
+
+  /// Convenience over find(): just the merged positions payload.
+  std::vector<Match> find_all(std::string_view text,
+                              const QueryOptions& options = {}) const;
+
+  /// Batch serving: every (text, pattern) pair is one pool task, one merged
+  /// QueryResult per text in input order — match_all-shaped, but positioned
+  /// and tagged.
+  std::vector<QueryResult> find_all(std::span<const std::string_view> texts,
+                                    const QueryOptions& options = {}) const;
+
+ private:
+  std::vector<Pattern> patterns_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace rispar

@@ -15,8 +15,10 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "parallel/ca_run.hpp"
 
@@ -46,6 +48,28 @@ struct DeviceCaps {
   bool kernel_select = false;  ///< fused/reference kernel choice
   bool lookback = false;       ///< look-back start pruning (Sect. 5 / [28])
   bool tree_join = false;      ///< parallel tree-reduction join
+  bool paging = false;         ///< offset/limit on the positions payload
+};
+
+/// One positioned occurrence, the unit of Engine::find_all and
+/// PatternSet::find_all. Offsets are byte offsets into the queried text
+/// (the Σ*p searcher maps one byte to one symbol), `end` exclusive: the
+/// occurrence's last byte is text[end - 1].
+///
+/// `begin` is the searcher's *last separator* before the hit — the last
+/// position at which the scan held no live partial occurrence (its state's
+/// residual language was again the full Σ*p). Every occurrence ending at
+/// `end` starts at or after `begin`, so text[begin..end) always contains
+/// the match; when partial occurrences chain (e.g. "aab" for pattern "ab"),
+/// `begin` points at the leftmost still-pending candidate start rather than
+/// the exact match start. One Match is emitted per match-ending position —
+/// find_all(text).size() equals count(text).matches (overlaps counted).
+struct Match {
+  std::uint32_t pattern_id = 0;  ///< 0 for Engine; the pattern's index in a PatternSet
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+
+  bool operator==(const Match&) const = default;
 };
 
 struct QueryOptions {
@@ -72,19 +96,34 @@ struct QueryOptions {
   /// serially. The paper keeps the join serial because it is <1% of the
   /// time (Sect. 4.4) — this mode exists to *measure* that claim.
   bool tree_join = false;
+  /// Paging of the positions payload (find/find_all only — other query
+  /// shapes REJECT a non-default offset/limit): skip the first `offset`
+  /// matches and materialize at most `limit` of the rest. QueryResult's
+  /// `matches` still reports the TOTAL occurrence count, so a server can
+  /// return one page plus the overall total from a single scan.
+  std::size_t offset = 0;
+  std::size_t limit = kNoLimit;
+
+  static constexpr std::size_t kNoLimit = std::numeric_limits<std::size_t>::max();
 };
 
 /// The unified result of every query shape. recognize/stream fill the
 /// decision and overhead metrics; count() additionally fills `matches` and
-/// `died` (and sets accepted = matches > 0).
+/// `died` (and sets accepted = matches > 0); find() fills all of those plus
+/// the `positions` payload.
 struct QueryResult {
   bool accepted = false;
   std::uint64_t transitions = 0;  ///< total over all chunks (reach phase)
   std::uint64_t chunks = 0;       ///< actual chunk count after clamping
   double reach_seconds = 0.0;
   double join_seconds = 0.0;
-  std::uint64_t matches = 0;  ///< count(): prefixes ending an occurrence
-  bool died = false;          ///< count(): the true run left the automaton
+  std::uint64_t matches = 0;  ///< count()/find(): prefixes ending an occurrence
+  bool died = false;          ///< count()/find(): the true run left the automaton
+  /// find()/find_all(): the positioned matches, ascending by (end, begin,
+  /// pattern_id), windowed by QueryOptions::offset/limit. `matches` counts
+  /// ALL occurrences even when paging trims this payload. Empty for every
+  /// other query shape.
+  std::vector<Match> positions;
 
   double total_seconds() const { return reach_seconds + join_seconds; }
 };

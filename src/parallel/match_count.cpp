@@ -144,6 +144,173 @@ CountChunk count_chunk_convergent(const Dfa& dfa, std::span<const Symbol> span,
   return chunk;
 }
 
+/// One recorded occurrence of a chunk run: `pos` is the chunk-local end
+/// position (1-based: after consuming `pos` symbols) and `sep` the run's
+/// last separator at that moment — chunk-local, or -1 when the run has not
+/// passed through the initial state since the chunk began (the begin then
+/// resolves through the join's carried tracker).
+struct FindHit {
+  std::uint64_t pos;
+  std::int64_t sep;
+};
+
+/// One chunk run of the finding kernels. While a run leads (no parent) it
+/// records its own hits and separator tracker; when convergence merges it
+/// into `parent` at `merge_pos`, everything from the parent's hit list at
+/// index >= parent_base on is shared, with `last_sep` frozen as the run's
+/// own history up to the merge. Reconstruction happens at JOIN time, only
+/// for the one consistent start per chunk — per-start hit lists are never
+/// materialized.
+struct FindNode {
+  State state = kDeadState;
+  std::vector<FindHit> hits;
+  std::int64_t last_sep = -1;
+  std::int32_t parent = -1;
+  std::size_t parent_base = 0;
+  std::int64_t merge_pos = 0;
+  bool dead = false;
+};
+
+struct FindChunk {
+  std::vector<FindNode> nodes;  ///< one per start, in `starts` order
+  std::uint64_t transitions = 0;
+};
+
+/// Step policy of the reference finding kernel: plain row-table lookups
+/// with the per-symbol range check, the oracle-side implementation.
+struct RowStep {
+  const Dfa& dfa;
+  Symbol symbol = 0;
+
+  bool prepare(Symbol a) {
+    symbol = a;
+    return a >= 0 && a < dfa.num_symbols();
+  }
+  State advance(State state) const { return dfa.row(state)[symbol]; }
+};
+
+/// Step policy of the fused finding kernel: the width-packed symbol-major
+/// table, one column base per symbol hoisted out of the per-run loop
+/// (same mechanism as the lockstep kernels in ca_run.cpp).
+template <typename T>
+struct PackedStep {
+  const PackedTable& table;
+  const T* column = nullptr;
+
+  bool prepare(Symbol a) {
+    if (static_cast<std::uint32_t>(a) >=
+        static_cast<std::uint32_t>(table.num_symbols()))
+      return false;
+    column = table.column<T>(a);
+    return true;
+  }
+  State advance(State state) const {
+    const T next = column[static_cast<std::size_t>(state)];
+    return next == PackedDead<T>::value ? kDeadState : static_cast<State>(next);
+  }
+};
+
+/// The one finding kernel: lockstep over the live runs (dead runs compacted
+/// out), recording (end, last-separator) per hit. With kConvergent, runs
+/// landing in the same state at the same position merge exactly like the
+/// counting kernel — but instead of reconstructing per-start totals here,
+/// the merge forest itself is returned and the join resolves only the
+/// consistent start's chain.
+template <bool kConvergent, typename Step>
+FindChunk find_chunk(const Dfa& dfa, std::span<const Symbol> span,
+                     std::span<const State> starts, Step step) {
+  const State initial = dfa.initial();
+  FindChunk chunk;
+  chunk.nodes.resize(starts.size());
+  std::vector<std::int32_t> active;
+  active.reserve(starts.size());
+  for (std::size_t s = 0; s < starts.size(); ++s) {
+    FindNode& node = chunk.nodes[s];
+    node.state = starts[s];  // starts are distinct states — no merges yet
+    if (starts[s] == initial) node.last_sep = 0;
+    active.push_back(static_cast<std::int32_t>(s));
+  }
+
+  std::vector<std::int32_t> owner;
+  std::vector<State> touched;
+  if constexpr (kConvergent)
+    owner.assign(static_cast<std::size_t>(dfa.num_states()), -1);
+
+  std::int64_t pos = 0;
+  for (const Symbol symbol : span) {
+    if (active.empty()) break;
+    if (!step.prepare(symbol)) {
+      // Alien symbol: every run dies without the symbol being counted.
+      for (const std::int32_t idx : active)
+        chunk.nodes[static_cast<std::size_t>(idx)].dead = true;
+      active.clear();
+      break;
+    }
+    ++pos;
+    if constexpr (kConvergent) touched.clear();
+    std::size_t write = 0;
+    for (const std::int32_t idx : active) {
+      FindNode& node = chunk.nodes[static_cast<std::size_t>(idx)];
+      const State next = step.advance(node.state);
+      if (next == kDeadState) {
+        node.dead = true;  // the dying symbol is not counted
+        continue;
+      }
+      ++chunk.transitions;
+      node.state = next;
+      if (next == initial) node.last_sep = pos;
+      if (dfa.is_final(next))
+        node.hits.push_back({static_cast<std::uint64_t>(pos), node.last_sep});
+      if constexpr (kConvergent) {
+        std::int32_t& claim = owner[static_cast<std::size_t>(next)];
+        if (claim == -1) {
+          claim = idx;
+          touched.push_back(next);
+          active[write++] = idx;
+        } else {
+          // Merge: idx's run is identical to claim's from here on. The
+          // claiming run was advanced earlier this round, so its hit list
+          // already holds this position's hit — sharing starts after it.
+          node.parent = claim;
+          node.parent_base = chunk.nodes[static_cast<std::size_t>(claim)].hits.size();
+          node.merge_pos = pos;
+        }
+      } else {
+        active[write++] = idx;
+      }
+    }
+    active.resize(write);
+    if constexpr (kConvergent)
+      for (const State s : touched) owner[static_cast<std::size_t>(s)] = -1;
+  }
+  return chunk;
+}
+
+FindChunk run_find_chunk(const Dfa& dfa, std::span<const Symbol> span,
+                         std::span<const State> starts, const QueryOptions& options) {
+  if (options.kernel == DetKernel::kReference) {
+    return options.convergence
+               ? find_chunk<true>(dfa, span, starts, RowStep{dfa})
+               : find_chunk<false>(dfa, span, starts, RowStep{dfa});
+  }
+  const PackedTable& table = dfa.packed();
+  switch (table.width()) {
+    case TableWidth::kU8:
+      return options.convergence
+                 ? find_chunk<true>(dfa, span, starts, PackedStep<std::uint8_t>{table})
+                 : find_chunk<false>(dfa, span, starts, PackedStep<std::uint8_t>{table});
+    case TableWidth::kU16:
+      return options.convergence
+                 ? find_chunk<true>(dfa, span, starts, PackedStep<std::uint16_t>{table})
+                 : find_chunk<false>(dfa, span, starts, PackedStep<std::uint16_t>{table});
+    case TableWidth::kI32:
+      break;
+  }
+  return options.convergence
+             ? find_chunk<true>(dfa, span, starts, PackedStep<std::int32_t>{table})
+             : find_chunk<false>(dfa, span, starts, PackedStep<std::int32_t>{table});
+}
+
 }  // namespace
 
 QueryResult count_matches(const Dfa& dfa, std::span<const Symbol> input,
@@ -189,6 +356,120 @@ QueryResult count_matches(const Dfa& dfa, std::span<const Symbol> input,
       break;
     }
     state = run.end[index];
+  }
+  result.accepted = result.matches > 0;
+  result.join_seconds = join_clock.seconds();
+  return result;
+}
+
+QueryResult find_matches_serial(const Dfa& dfa, std::span<const Symbol> input,
+                                std::uint32_t pattern_id) {
+  QueryResult result;
+  result.chunks = input.empty() ? 0 : 1;
+  const State initial = dfa.initial();
+  State state = initial;
+  std::uint64_t pos = 0;
+  std::uint64_t last_sep = 0;  // position 0: the scan starts in the initial state
+  for (const Symbol symbol : input) {
+    if (symbol < 0 || symbol >= dfa.num_symbols()) {
+      result.died = true;
+      break;
+    }
+    state = dfa.row(state)[symbol];
+    if (state == kDeadState) {
+      result.died = true;
+      break;
+    }
+    ++result.transitions;
+    ++pos;
+    if (state == initial) last_sep = pos;
+    if (dfa.is_final(state)) {
+      ++result.matches;
+      result.positions.push_back({pattern_id, last_sep, pos});
+    }
+  }
+  result.accepted = result.matches > 0;
+  return result;
+}
+
+QueryResult find_matches(const Dfa& dfa, std::span<const Symbol> input,
+                         ThreadPool& pool, const QueryOptions& options,
+                         std::uint32_t pattern_id) {
+  validate_query(options, kFindingCaps, kFindingContext);
+  QueryResult result;
+  if (input.empty()) return result;
+
+  const auto chunks = split_chunks(input.size(), options.chunks);
+  result.chunks = chunks.size();
+
+  // Reach: per chunk, one finding run per possible start (chunk 1 only from
+  // the initial state), exactly like counting.
+  Stopwatch reach_clock;
+  std::vector<State> all_states;
+  all_states.reserve(static_cast<std::size_t>(dfa.num_states()));
+  for (State s = 0; s < dfa.num_states(); ++s) all_states.push_back(s);
+  const std::vector<State> first_start{dfa.initial()};
+
+  std::vector<FindChunk> runs(chunks.size());
+  pool.run(chunks.size(), [&](std::size_t i) {
+    const auto span = input.subspan(chunks[i].begin, chunks[i].length);
+    const std::span<const State> starts =
+        (i == 0) ? std::span<const State>(first_start)
+                 : std::span<const State>(all_states);
+    runs[i] = run_find_chunk(dfa, span, starts, options);
+  });
+  result.reach_seconds = reach_clock.seconds();
+
+  // Join: walk the unique consistent path, resolving each hit's begin.
+  // Within a chunk a hit whose separator predates the chunk (or, under
+  // convergence, predates a merge in its chain) falls back first to the
+  // chain's own earlier tracker and ultimately to the globally carried
+  // separator of the consistent path. Paging trims the emitted window but
+  // never the count. Transition accounting: parallel/ca_run.hpp.
+  Stopwatch join_clock;
+  for (const FindChunk& run : runs) result.transitions += run.transitions;
+  auto emit = [&](std::uint64_t begin, std::uint64_t end) {
+    if (result.matches >= options.offset && result.positions.size() < options.limit)
+      result.positions.push_back({pattern_id, begin, end});
+    ++result.matches;
+  };
+  State state = dfa.initial();
+  std::uint64_t carried_sep = 0;  // global: position 0 is always a separator
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    const FindChunk& run = runs[i];
+    const std::uint64_t base = chunks[i].begin;
+    // Walk the consistent start's chain through the merge forest. `floor`
+    // is the position where the previous chain node merged into the current
+    // one — separators recorded before it belong to the current node's own
+    // history, not the consistent run's, and substitute through `sub`.
+    std::size_t node_index = i == 0 ? 0 : static_cast<std::size_t>(state);
+    std::size_t hit_base = 0;
+    std::int64_t floor = 0;
+    std::int64_t sub = -1;
+    while (true) {
+      const FindNode& node = run.nodes[node_index];
+      for (std::size_t h = hit_base; h < node.hits.size(); ++h) {
+        const FindHit& hit = node.hits[h];
+        const std::int64_t sep = hit.sep >= floor ? hit.sep : sub;
+        emit(sep >= 0 ? base + static_cast<std::uint64_t>(sep) : carried_sep,
+             base + hit.pos);
+      }
+      if (node.parent == -1) {
+        const std::int64_t final_sep = node.last_sep >= floor ? node.last_sep : sub;
+        if (final_sep >= 0) carried_sep = base + static_cast<std::uint64_t>(final_sep);
+        if (node.dead) {
+          result.died = true;
+        } else {
+          state = node.state;
+        }
+        break;
+      }
+      sub = node.last_sep >= floor ? node.last_sep : sub;
+      floor = node.merge_pos;
+      hit_base = node.parent_base;
+      node_index = static_cast<std::size_t>(node.parent);
+    }
+    if (result.died) break;
   }
   result.accepted = result.matches > 0;
   result.join_seconds = join_clock.seconds();

@@ -18,6 +18,26 @@
 // totals reconstructed through the merge tree at the end. Knobs counting
 // cannot honor (lookback, tree_join, a kernel choice) raise QueryError.
 // Transition accounting follows the convention of parallel/ca_run.hpp.
+//
+// ## Finding (positions, not just totals)
+//
+// find_matches extends the same speculative scheme to emit WHERE the
+// occurrences are (Match — semantics documented on the struct in
+// engine/query.hpp). Each chunk run records, per hit, the chunk-local end
+// position and the run's *last separator* (the last position at which its
+// state was the searcher's initial state again, i.e. no partial occurrence
+// pending); the join walks the consistent path, resolves separators that
+// predate a chunk (or a convergence merge) through the carried/global
+// tracker, and pages the emitted list with QueryOptions::offset/limit while
+// still counting every occurrence in `matches`.
+//
+// Finding honors the full kernel vocabulary: `convergence` shares hit
+// LISTS through the merge tree (per-start lists reconstructed lazily, only
+// for the one consistent start per chunk, at join time), and `kernel`
+// selects between the fused lockstep loop on the width-packed table
+// (kFused, the serving path) and a plain row-table stepping loop
+// (kReference) — with find_matches_serial as the one-scan oracle above
+// both (property-tested equal across every combination).
 #pragma once
 
 #include <cstdint>
@@ -48,5 +68,31 @@ QueryResult count_matches_serial(const Dfa& dfa, std::span<const Symbol> input);
 /// (property-tested). Throws QueryError for knobs counting cannot honor.
 QueryResult count_matches(const Dfa& dfa, std::span<const Symbol> input,
                           ThreadPool& pool, const QueryOptions& options);
+
+/// What finding honors of the unified options (chunks, convergence, kernel,
+/// offset/limit paging) — shared with Engine::find / PatternSet so they can
+/// reject a bad query before the searcher build and text translation.
+inline constexpr DeviceCaps kFindingCaps{
+    .convergence = true, .kernel_select = true, .paging = true};
+inline constexpr const char* kFindingContext =
+    "find (the position-emitting counting kernel; it honors chunks, "
+    "convergence, kernel and offset/limit)";
+
+/// Serial reference oracle for finding: one scan of `input` emitting a
+/// Match per final-state position (begin = the scan's last separator; see
+/// engine/query.hpp). Fills positions/matches/died/transitions/chunks;
+/// accepted = matches > 0. No paging — the full list, for the property
+/// tests.
+QueryResult find_matches_serial(const Dfa& dfa, std::span<const Symbol> input,
+                                std::uint32_t pattern_id = 0);
+
+/// Parallel position finding over options.chunks chunks on the pool; the
+/// positions equal the serial oracle's on every input for every
+/// (convergence, kernel) combination (property-tested), then windowed by
+/// options.offset/limit (`matches` still counts all). Throws QueryError for
+/// knobs finding cannot honor. Every emitted Match carries `pattern_id`.
+QueryResult find_matches(const Dfa& dfa, std::span<const Symbol> input,
+                         ThreadPool& pool, const QueryOptions& options,
+                         std::uint32_t pattern_id = 0);
 
 }  // namespace rispar

@@ -70,6 +70,12 @@ void ThreadPool::run(std::size_t count, std::function<void(std::size_t)> fn) {
     return;
   }
 
+  // External callers serialize here: one batch owns the pool at a time,
+  // concurrent querying threads queue instead of clobbering each other's
+  // batch slot. Reentrant calls returned above, so a caller never waits on
+  // its own lock.
+  std::lock_guard callers_lock(callers_mutex_);
+
   auto batch = std::make_shared<Batch>();
   batch->fn = std::move(fn);
   batch->count = count;

@@ -46,6 +46,20 @@ class ThreadPool {
   /// their batch inline on the calling thread, serially: they never
   /// deadlock, but they also do not parallelize. Calling into a different
   /// pool from inside a task dispatches normally and stays parallel.
+  ///
+  /// Concurrent run() calls from DIFFERENT threads are safe: the batch slot
+  /// is single-entry, so callers serialize on an internal mutex and each
+  /// batch still executes with full parallelism. This is what makes a
+  /// shared Engine/PatternSet safe for concurrent read-only queries —
+  /// their reach phases queue rather than corrupt each other (see
+  /// tests/test_thread_pool.cpp and the ConcurrentQueries smoke tests in
+  /// tests/test_find_all.cpp).
+  ///
+  /// Lock-ordering caveat: a task on pool A calling B.run() while another
+  /// thread's task on pool B calls A.run() can deadlock on the two caller
+  /// mutexes (as any unordered two-lock acquisition would). Nest distinct
+  /// pools in one consistent direction; same-pool nesting is always safe
+  /// (inline, no mutex).
   void run(std::size_t count, std::function<void(std::size_t)> fn);
 
  private:
@@ -66,6 +80,10 @@ class ThreadPool {
 
   void worker_loop();
 
+  /// Serializes external run() callers (the batch slot is single-entry).
+  /// Taken only on the non-reentrant path, so nested same-pool run() calls
+  /// from inside tasks still execute inline without touching it.
+  std::mutex callers_mutex_;
   std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;

@@ -1,10 +1,13 @@
 #include "automata/serialize.hpp"
 
+#include <sstream>
+
 #include <gtest/gtest.h>
 
 #include "automata/equivalence.hpp"
 #include "automata/random_nfa.hpp"
 #include "automata/subset.hpp"
+#include "engine/engine.hpp"
 #include "helpers.hpp"
 #include "util/prng.hpp"
 
@@ -66,6 +69,83 @@ TEST(Serialize, MalformedInputsThrow) {
   EXPECT_THROW(nfa_from_string("nfa -1 1\n"), std::runtime_error);
   EXPECT_THROW(dfa_from_string("nfa 2 1\n"), std::runtime_error);
   EXPECT_THROW(dfa_from_string("dfa 2 1\ntrans 0 0 9\n"), std::runtime_error);
+}
+
+TEST(Serialize, SymbolMapRoundTripPreservesNumbering) {
+  const Pattern pattern = Pattern::compile("[a-c]x|yz*");
+  const SymbolMap& map = pattern.symbols();
+  std::ostringstream out;
+  save_symbol_map(out, map);
+  std::istringstream in(out.str());
+  const SymbolMap loaded = load_symbol_map(in);
+  EXPECT_EQ(loaded.num_symbols(), map.num_symbols());
+  for (int b = 0; b < 256; ++b)
+    EXPECT_EQ(loaded.symbol_of(static_cast<unsigned char>(b)),
+              map.symbol_of(static_cast<unsigned char>(b)))
+        << "byte " << b;
+}
+
+TEST(Serialize, MapTakingLoadersStopAtNextSection) {
+  // Two concatenated sections load in sequence from one stream — the
+  // Pattern bundle format relies on this.
+  const Pattern pattern = Pattern::compile("ab*");
+  std::ostringstream out;
+  save_nfa(out, pattern.nfa());
+  save_dfa(out, pattern.min_dfa());
+  std::istringstream in(out.str());
+  const Nfa nfa = load_nfa(in, pattern.symbols());
+  const Dfa dfa = load_dfa(in, pattern.symbols());
+  EXPECT_EQ(nfa.num_states(), pattern.nfa().num_states());
+  EXPECT_EQ(dfa.num_states(), pattern.min_dfa().num_states());
+  EXPECT_TRUE(dfa_equivalent(dfa, pattern.min_dfa()));
+}
+
+// ISSUE 3 satellite: Pattern::serialize()/deserialize() round-trips the
+// compiled machines — exact symbol numbering, equivalent automata, equal
+// query results — without reparsing the regex.
+TEST(Serialize, PatternRoundTrip) {
+  for (const std::string regex : {"(ab|ba)*", "[a-c]x|yz*", "<h3>", "a"}) {
+    const Pattern original = Pattern::compile(regex);
+    const Pattern loaded = Pattern::deserialize(original.serialize());
+
+    for (int b = 0; b < 256; ++b)
+      EXPECT_EQ(loaded.symbols().symbol_of(static_cast<unsigned char>(b)),
+                original.symbols().symbol_of(static_cast<unsigned char>(b)));
+    EXPECT_EQ(loaded.min_dfa().num_states(), original.min_dfa().num_states());
+    EXPECT_TRUE(dfa_equivalent(loaded.min_dfa(), original.min_dfa()));
+    EXPECT_TRUE(nfa_equivalent(loaded.nfa(), original.nfa()));
+    EXPECT_EQ(loaded.ridfa().num_states(), original.ridfa().num_states());
+
+    // Query-level equality through a fresh Engine on the loaded pattern.
+    const Engine before(original);
+    const Engine after(loaded);
+    for (const std::string text : {"abbaabba", "axbxcx", "yzzzy", "<h3>x<h3>", ""}) {
+      EXPECT_EQ(after.recognize(text, {.chunks = 3}).accepted,
+                before.recognize(text, {.chunks = 3}).accepted)
+          << regex << " on " << text;
+      EXPECT_EQ(after.count(text).matches, before.count(text).matches)
+          << regex << " on " << text;
+      EXPECT_EQ(after.find_all(text), before.find_all(text)) << regex << " on " << text;
+    }
+  }
+}
+
+TEST(Serialize, PatternDeserializeRejectsMalformedBundles) {
+  EXPECT_THROW(Pattern::deserialize(""), std::runtime_error);
+  EXPECT_THROW(Pattern::deserialize("pattern 2\n"), std::runtime_error);
+  EXPECT_THROW(Pattern::deserialize("pattern 1\nnfa 1 1\n"), std::runtime_error);
+  EXPECT_THROW(Pattern::deserialize("pattern 1\nbytemap 0 1\n"), std::runtime_error);
+  // A bytemap with a gap in symbol ids is rejected by SymbolMap validation.
+  std::string gappy = "pattern 1\nbytemap";
+  for (int b = 0; b < 256; ++b) gappy += b == 0 ? " 2" : " -1";
+  gappy += "\n";
+  EXPECT_THROW(Pattern::deserialize(gappy), std::runtime_error);
+  // A bytemap with MORE than 256 entries (shifted/corrupted table) is
+  // rejected too, not silently truncated.
+  std::string overlong = "pattern 1\nbytemap";
+  for (int b = 0; b < 257; ++b) overlong += " 0";
+  overlong += "\n";
+  EXPECT_THROW(Pattern::deserialize(overlong), std::runtime_error);
 }
 
 TEST(Serialize, RandomNfaRoundTripSweep) {

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <numeric>
 #include <set>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -171,6 +172,27 @@ TEST(ThreadPool, CallerParticipatesWhenPoolIsBusy) {
   std::atomic<int> done{0};
   pool.run(2, [&](std::size_t) { done.fetch_add(1); });
   EXPECT_EQ(done.load(), 2);
+}
+
+TEST(ThreadPool, ConcurrentExternalCallersSerializeSafely) {
+  // The batch slot is single-entry; concurrent run() callers must queue on
+  // the callers mutex instead of clobbering each other. Every batch's
+  // counter must land exactly on its own count.
+  ThreadPool pool(2);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back([&, c] {
+      for (int round = 0; round < 50; ++round) {
+        std::atomic<int> done{0};
+        const std::size_t count = 1 + static_cast<std::size_t>((c + round) % 7);
+        pool.run(count, [&](std::size_t) { done.fetch_add(1); });
+        if (done.load() != static_cast<int>(count)) ++failures;
+      }
+    });
+  }
+  for (std::thread& caller : callers) caller.join();
+  EXPECT_EQ(failures.load(), 0);
 }
 
 TEST(ThreadPool, StressSlowStragglerWakesSleepingCaller) {

@@ -6,6 +6,9 @@
 //          [--convergence]
 //   rispar count   <pattern> <file|->         occurrences of pattern
 //          [--chunks N] [--convergence]
+//   rispar find    <pattern|--patterns FILE> <file|->   positioned matches
+//          [--positions] [--chunks N] [--threads N] [--convergence]
+//          [--offset N] [--limit N]
 //   rispar export  <pattern> [--machine nfa|dfa|ridfa] [--format native|timbuk]
 //   rispar gen     <benchmark> <bytes> [--seed N]     workload text to stdout
 //   rispar bench-list                         the five paper workloads
@@ -19,6 +22,7 @@
 #include "automata/serialize.hpp"
 #include "automata/timbuk.hpp"
 #include "engine/engine.hpp"
+#include "engine/pattern_set.hpp"
 #include "regex/parser.hpp"
 #include "util/stopwatch.hpp"
 #include "workloads/suite.hpp"
@@ -27,17 +31,41 @@ using namespace rispar;
 
 namespace {
 
+const char* const kUsage =
+    "usage:\n"
+    "  rispar compile <pattern>\n"
+    "  rispar match <pattern> <file|-> [--variant dfa|nfa|rid|sfa|all]\n"
+    "               [--chunks N] [--threads N] [--convergence]\n"
+    "  rispar count <pattern> <file|-> [--chunks N] [--convergence]\n"
+    "  rispar find <pattern> <file|-> [--positions] [--chunks N] [--threads N]\n"
+    "              [--convergence] [--offset N] [--limit N]\n"
+    "  rispar find --patterns <patterns-file> <file|-> [same flags]\n"
+    "  rispar export <pattern> [--machine nfa|dfa|ridfa] [--format native|timbuk]\n"
+    "  rispar gen <benchmark> <bytes> [--seed N]\n"
+    "  rispar bench-list\n"
+    "\n"
+    "find reports positioned occurrences. --positions prints one grep-style\n"
+    "line per match, 'offset:length:slice': the smallest region guaranteed\n"
+    "to contain the match ending there (its start is the scan's last\n"
+    "restart point, so when overlapping partial matches chain — e.g. 'aa'\n"
+    "in 'aaaa' — the region extends left of the match; for patterns that\n"
+    "cannot chain, offset/length are exact). With --patterns a leading\n"
+    "'id:' gives the pattern's 0-based index among the patterns actually\n"
+    "loaded (blank lines and lines starting with '#' are skipped and not\n"
+    "counted). Without --positions, a per-pattern summary is printed.\n"
+    "--offset/--limit page the match list server-style: the printed window\n"
+    "moves, the reported total does not. A patterns file holds one regex\n"
+    "per line.\n"
+    "\n"
+    "exit status (grep semantics):\n"
+    "  0  match / count / find found at least one match (or the command has\n"
+    "     no match notion: compile, export, gen, bench-list succeeded)\n"
+    "  1  the input was searched cleanly but nothing matched\n"
+    "  2  error: bad usage, bad pattern, unsupported option combination\n"
+    "     (QueryError), or unreadable input\n";
+
 int usage() {
-  std::fputs(
-      "usage:\n"
-      "  rispar compile <pattern>\n"
-      "  rispar match <pattern> <file|-> [--variant dfa|nfa|rid|sfa|all]\n"
-      "               [--chunks N] [--threads N] [--convergence]\n"
-      "  rispar count <pattern> <file|-> [--chunks N] [--convergence]\n"
-      "  rispar export <pattern> [--machine nfa|dfa|ridfa] [--format native|timbuk]\n"
-      "  rispar gen <benchmark> <bytes> [--seed N]\n"
-      "  rispar bench-list\n",
-      stderr);
+  std::fputs(kUsage, stderr);
   return 2;
 }
 
@@ -89,7 +117,7 @@ int cmd_match(const std::string& pattern_text, const std::string& path, int argc
               char** argv) {
   bool ok = false;
   const std::string text = read_input(path, ok);
-  if (!ok) return 1;
+  if (!ok) return 2;
 
   const std::string variant_name_arg = flag_value(argc, argv, "--variant", "rid");
   const auto chunks = static_cast<std::size_t>(
@@ -161,7 +189,7 @@ int cmd_count(const std::string& pattern_text, const std::string& path, int argc
               char** argv) {
   bool ok = false;
   const std::string text = read_input(path, ok);
-  if (!ok) return 1;
+  if (!ok) return 2;
 
   const auto chunks = static_cast<std::size_t>(
       std::strtoul(flag_value(argc, argv, "--chunks", "16").c_str(), nullptr, 10));
@@ -174,7 +202,92 @@ int cmd_count(const std::string& pattern_text, const std::string& path, int argc
               static_cast<unsigned long long>(counted.matches),
               counted.matches == 1 ? "" : "s", text.size(), clock.millis(),
               counted.died ? "; scan aborted on foreign byte" : "");
-  return 0;
+  return counted.matches > 0 ? 0 : 1;
+}
+
+int cmd_find(int argc, char** argv) {
+  // Grammar: find <pattern> <file|->  |  find --patterns <file> <file|->.
+  std::vector<std::string> pattern_texts;
+  std::string input_path;
+  bool from_file = false;
+  if (std::strcmp(argv[2], "--patterns") == 0) {
+    if (argc < 5) return usage();
+    from_file = true;
+    std::ifstream patterns_file(argv[3]);
+    if (!patterns_file) {
+      std::fprintf(stderr, "rispar: cannot open patterns file '%s'\n", argv[3]);
+      return 2;
+    }
+    std::string line;
+    while (std::getline(patterns_file, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF rulesets
+      if (line.empty() || line[0] == '#') continue;
+      pattern_texts.push_back(line);
+    }
+    if (pattern_texts.empty()) {
+      std::fprintf(stderr, "rispar: patterns file '%s' holds no patterns\n", argv[3]);
+      return 2;
+    }
+    input_path = argv[4];
+  } else {
+    pattern_texts.emplace_back(argv[2]);
+    input_path = argv[3];
+  }
+
+  bool ok = false;
+  const std::string text = read_input(input_path, ok);
+  if (!ok) return 2;
+
+  QueryOptions options;
+  options.chunks = static_cast<std::size_t>(
+      std::strtoul(flag_value(argc, argv, "--chunks", "16").c_str(), nullptr, 10));
+  options.convergence = flag_present(argc, argv, "--convergence");
+  options.offset = static_cast<std::size_t>(
+      std::strtoull(flag_value(argc, argv, "--offset", "0").c_str(), nullptr, 10));
+  const std::string limit_flag = flag_value(argc, argv, "--limit", "");
+  if (!limit_flag.empty())
+    options.limit =
+        static_cast<std::size_t>(std::strtoull(limit_flag.c_str(), nullptr, 10));
+  const auto threads = static_cast<unsigned>(
+      std::strtoul(flag_value(argc, argv, "--threads", "0").c_str(), nullptr, 10));
+
+  std::vector<Pattern> patterns;
+  patterns.reserve(pattern_texts.size());
+  for (const std::string& pattern_text : pattern_texts)
+    patterns.push_back(Pattern::compile(pattern_text));
+  const PatternSet set(std::move(patterns), {.threads = threads});
+
+  Stopwatch clock;
+  const QueryResult result = set.find(text, options);
+  const double millis = clock.millis();
+
+  if (flag_present(argc, argv, "--positions")) {
+    for (const Match& m : result.positions) {
+      if (from_file) std::printf("%u:", m.pattern_id);
+      std::printf("%llu:%llu:%.*s\n", static_cast<unsigned long long>(m.begin),
+                  static_cast<unsigned long long>(m.end - m.begin),
+                  static_cast<int>(m.end - m.begin), text.data() + m.begin);
+    }
+    if (result.matches > result.positions.size())
+      std::fprintf(stderr, "rispar: showing %zu of %llu matches (--offset/--limit)\n",
+                   result.positions.size(),
+                   static_cast<unsigned long long>(result.matches));
+  } else {
+    std::printf("%llu match%s across %zu pattern%s in %zu bytes (%.3f ms%s)\n",
+                static_cast<unsigned long long>(result.matches),
+                result.matches == 1 ? "" : "es", set.size(),
+                set.size() == 1 ? "" : "s", text.size(), millis,
+                result.died ? "; a scan aborted on foreign byte" : "");
+    if (set.size() > 1) {
+      std::vector<std::uint64_t> per_pattern(set.size(), 0);
+      for (const Match& m : result.positions) ++per_pattern[m.pattern_id];
+      for (std::size_t p = 0; p < set.size(); ++p)
+        std::printf("  pattern %zu '%s': %llu in window\n", p,
+                    pattern_texts[p].c_str(),
+                    static_cast<unsigned long long>(per_pattern[p]));
+    }
+  }
+  return result.matches > 0 ? 0 : 1;
 }
 
 int cmd_export(const std::string& pattern_text, int argc, char** argv) {
@@ -229,12 +342,17 @@ int cmd_bench_list() {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  if (command == "--help" || command == "-h" || command == "help") {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
   try {
     if (command == "compile" && argc >= 3) return cmd_compile(argv[2]);
     if (command == "match" && argc >= 4)
       return cmd_match(argv[2], argv[3], argc, argv);
     if (command == "count" && argc >= 4)
       return cmd_count(argv[2], argv[3], argc, argv);
+    if (command == "find" && argc >= 4) return cmd_find(argc, argv);
     if (command == "export" && argc >= 3) return cmd_export(argv[2], argc, argv);
     if (command == "gen" && argc >= 4)
       return cmd_gen(argv[2], std::strtoul(argv[3], nullptr, 10),
@@ -249,7 +367,7 @@ int main(int argc, char** argv) {
     return 2;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "rispar: %s\n", error.what());
-    return 1;
+    return 2;
   }
   return usage();
 }
