@@ -62,11 +62,13 @@ int main(int argc, char** argv) {
     const Prepared prepared(spec, bytes, seed);
     ablation2.add_row(
         {spec.name,
-         Table::cell(transitions_of(prepared, {.variant = Variant::kDfa, .chunks = chunks})),
+         Table::cell(transitions_of(
+             prepared, {.variant = Variant::kDfa, .chunks = chunks})),
          Table::cell(transitions_of(prepared, {.variant = Variant::kDfa,
                                                .chunks = chunks,
                                                .convergence = true})),
-         Table::cell(transitions_of(prepared, {.variant = Variant::kRid, .chunks = chunks})),
+         Table::cell(transitions_of(
+             prepared, {.variant = Variant::kRid, .chunks = chunks})),
          Table::cell(transitions_of(prepared, {.variant = Variant::kRid,
                                                .chunks = chunks,
                                                .convergence = true}))});
@@ -81,12 +83,14 @@ int main(int argc, char** argv) {
     const Prepared prepared(spec, bytes, seed);
     ablation3.add_row(
         {spec.name,
-         Table::cell(transitions_of(prepared, {.variant = Variant::kDfa, .chunks = chunks})),
+         Table::cell(transitions_of(
+             prepared, {.variant = Variant::kDfa, .chunks = chunks})),
          Table::cell(transitions_of(
              prepared, {.variant = Variant::kDfa, .chunks = chunks, .lookback = 16})),
          Table::cell(transitions_of(
              prepared, {.variant = Variant::kDfa, .chunks = chunks, .lookback = 64})),
-         Table::cell(transitions_of(prepared, {.variant = Variant::kRid, .chunks = chunks}))});
+         Table::cell(transitions_of(
+             prepared, {.variant = Variant::kRid, .chunks = chunks}))});
   }
   ablation3.render(std::cout);
 

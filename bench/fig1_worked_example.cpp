@@ -51,17 +51,21 @@ int main() {
 
   Table table({"chunk automaton", "states", "initial states", "transitions",
                "accepted", "paper says"});
-  table.add_row({"min DFA (classic)", Table::cell(static_cast<std::int64_t>(min_dfa.num_states())),
+  table.add_row({"min DFA (classic)",
                  Table::cell(static_cast<std::int64_t>(min_dfa.num_states())),
-                 Table::cell(dfa_stats.transitions), dfa_stats.accepted ? "yes" : "no", "15"});
+                 Table::cell(static_cast<std::int64_t>(min_dfa.num_states())),
+                 Table::cell(dfa_stats.transitions),
+                 dfa_stats.accepted ? "yes" : "no", "15"});
   table.add_row({"NFA (classic optimized)",
                  Table::cell(static_cast<std::int64_t>(nfa.num_states())),
                  Table::cell(static_cast<std::int64_t>(nfa.num_states())),
-                 Table::cell(nfa_stats.transitions), nfa_stats.accepted ? "yes" : "no", "14"});
+                 Table::cell(nfa_stats.transitions),
+                 nfa_stats.accepted ? "yes" : "no", "14"});
   table.add_row({"RI-DFA (new method)",
                  Table::cell(static_cast<std::int64_t>(ridfa.num_states())),
                  Table::cell(static_cast<std::int64_t>(ridfa.initial_count())),
-                 Table::cell(rid_stats.transitions), rid_stats.accepted ? "yes" : "no", "9"});
+                 Table::cell(rid_stats.transitions),
+                 rid_stats.accepted ? "yes" : "no", "9"});
   table.render(std::cout);
 
   std::puts("\nSerial DFA executes exactly n = 6 transitions; everything above");

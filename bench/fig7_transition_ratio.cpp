@@ -45,7 +45,8 @@ int main(int argc, char** argv) {
           transitions_of(prepared, {.variant = Variant::kNfa, .chunks = chunks});
       const std::uint64_t rid =
           transitions_of(prepared, {.variant = Variant::kRid, .chunks = chunks});
-      table.add_row({Table::cell(static_cast<std::uint64_t>(prepared.input.size() / 1024)),
+      table.add_row(
+          {Table::cell(static_cast<std::uint64_t>(prepared.input.size() / 1024)),
                      Table::cell(dfa), Table::cell(nfa), Table::cell(rid),
                      Table::ratio(static_cast<double>(dfa), static_cast<double>(rid)),
                      Table::ratio(static_cast<double>(nfa), static_cast<double>(rid))});

@@ -36,8 +36,8 @@ int main(int argc, char** argv) {
               "flattens) ===\n",
               std::thread::hardware_concurrency());
 
-  const std::vector<WorkloadSpec> winning{bible_workload(),
-                                          regexp_workload(static_cast<int>(cli.get_int("k")))};
+  const std::vector<WorkloadSpec> winning{
+      bible_workload(), regexp_workload(static_cast<int>(cli.get_int("k")))};
 
   // --- Fig. 8a / 8b: speedup vs threads at max text size -------------------
   for (const auto& spec : winning) {
@@ -79,7 +79,8 @@ int main(int argc, char** argv) {
           prepared, {.variant = Variant::kRid, .chunks = fixed_threads}, budget);
       const double dfa = timed_recognition(
           prepared, {.variant = Variant::kDfa, .chunks = fixed_threads}, budget);
-      table.add_row({Table::cell(static_cast<std::uint64_t>(prepared.input.size() / 1024)),
+      table.add_row(
+          {Table::cell(static_cast<std::uint64_t>(prepared.input.size() / 1024)),
                      Table::cell(dfa * 1e3, 3), Table::cell(rid * 1e3, 3),
                      Table::ratio(dfa, rid)});
     }

@@ -9,10 +9,10 @@
 // trajectory (see docs/perf.md).
 #include <benchmark/benchmark.h>
 
-#include <cstring>
 #include <string>
 #include <vector>
 
+#include "benchmark_json_main.hpp"
 #include "automata/glushkov.hpp"
 #include "parallel/ca_run.hpp"
 #include "engine/pattern.hpp"
@@ -137,23 +137,6 @@ BENCHMARK(BM_SingleDfaRun)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<char*> args(argv, argv + argc);
-  bool has_out = false;
-  for (int i = 1; i < argc; ++i)
-    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0 &&
-        (argv[i][15] == '=' || argv[i][15] == '\0'))
-      has_out = true;
-  // Stable storage for the injected defaults (benchmark keeps pointers).
-  std::string out_flag = "--benchmark_out=BENCH_chunk_kernels.json";
-  std::string format_flag = "--benchmark_out_format=json";
-  if (!has_out) {
-    args.push_back(out_flag.data());
-    args.push_back(format_flag.data());
-  }
-  int args_count = static_cast<int>(args.size());
-  benchmark::Initialize(&args_count, args.data());
-  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return rispar::bench::run_benchmarks_with_default_out(
+      argc, argv, "BENCH_chunk_kernels.json");
 }

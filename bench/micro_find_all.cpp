@@ -9,10 +9,10 @@
 // trajectory next to BENCH_chunk_kernels.json (see docs/perf.md).
 #include <benchmark/benchmark.h>
 
-#include <cstring>
 #include <string>
 #include <vector>
 
+#include "benchmark_json_main.hpp"
 #include "engine/engine.hpp"
 #include "engine/pattern_set.hpp"
 #include "parallel/match_count.hpp"
@@ -119,23 +119,6 @@ BENCHMARK(BM_PatternSetFind)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<char*> args(argv, argv + argc);
-  bool has_out = false;
-  for (int i = 1; i < argc; ++i)
-    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0 &&
-        (argv[i][15] == '=' || argv[i][15] == '\0'))
-      has_out = true;
-  // Stable storage for the injected defaults (benchmark keeps pointers).
-  std::string out_flag = "--benchmark_out=BENCH_find_all.json";
-  std::string format_flag = "--benchmark_out_format=json";
-  if (!has_out) {
-    args.push_back(out_flag.data());
-    args.push_back(format_flag.data());
-  }
-  int args_count = static_cast<int>(args.size());
-  benchmark::Initialize(&args_count, args.data());
-  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return rispar::bench::run_benchmarks_with_default_out(
+      argc, argv, "BENCH_find_all.json");
 }

@@ -32,7 +32,8 @@ int main(int argc, char** argv) {
   const std::vector<Nfa> collection = make_collection(config);
 
   std::uint64_t nfa_states = 0, dfa_states = 0, ridfa_states = 0, initials = 0;
-  for (const Nfa& nfa : collection) nfa_states += static_cast<std::uint64_t>(nfa.num_states());
+  for (const Nfa& nfa : collection)
+    nfa_states += static_cast<std::uint64_t>(nfa.num_states());
 
   Stopwatch dfa_clock;
   for (const Nfa& nfa : collection)
@@ -51,10 +52,13 @@ int main(int argc, char** argv) {
   std::printf("NFA -> DFA     : %8.3f s   (one-shot powerset)\n", dfa_seconds);
   std::printf("NFA -> RI-DFA  : %8.3f s   (%s interface minimization)\n", ridfa_seconds,
               with_min ? "with" : "without");
-  std::printf("time ratio     : %8.2f     (paper: ~20 on Ondrik; worst case ~|Q|avg = %.0f)\n",
+  std::printf(
+      "time ratio     : %8.2f     (paper: ~20 on Ondrik; worst case ~|Q|avg = %.0f)\n",
               dfa_seconds > 0 ? ridfa_seconds / dfa_seconds : 0.0,
               static_cast<double>(nfa_states) / static_cast<double>(config.count));
-  std::printf("\nstate totals   : NFA %llu, DFA %llu, RI-DFA %llu (paper: 2.70M / 1.49M / 6.75M)\n",
+  std::printf(
+      "\nstate totals   : NFA %llu, DFA %llu, RI-DFA %llu (paper: 2.70M / 1.49M / "
+      "6.75M)\n",
               static_cast<unsigned long long>(nfa_states),
               static_cast<unsigned long long>(dfa_states),
               static_cast<unsigned long long>(ridfa_states));

@@ -61,9 +61,11 @@ int main(int argc, char** argv) {
       if (!sfa_stats.accepted || !rid_stats.accepted)
         std::fprintf(stderr, "WARNING: %s decision mismatch\n", spec.name.c_str());
     }
-    table.add_row({spec.name, Table::cell(static_cast<std::int64_t>(min_dfa.num_states())),
+    table.add_row({spec.name,
+                   Table::cell(static_cast<std::int64_t>(min_dfa.num_states())),
                    Table::cell(static_cast<std::int64_t>(ridfa.num_states())), sfa_states,
-                   Table::cell(sfa_ms, 2), Table::cell(rid_stats.transitions), sfa_trans});
+                   Table::cell(sfa_ms, 2), Table::cell(rid_stats.transitions),
+                   sfa_trans});
   }
   table.render(std::cout);
 

@@ -32,7 +32,8 @@ int main(int argc, char** argv) {
                    paper_sizes[row++],
                    Table::cell(static_cast<std::int64_t>(pattern.min_dfa().num_states())),
                    Table::cell(static_cast<std::int64_t>(pattern.ridfa().num_states())),
-                   Table::cell(static_cast<std::int64_t>(pattern.ridfa().initial_count())),
+                   Table::cell(
+                       static_cast<std::int64_t>(pattern.ridfa().initial_count())),
                    text_size});
   }
   table.render(std::cout);

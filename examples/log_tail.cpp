@@ -1,0 +1,99 @@
+// Tailing a log for positioned hits — the streaming-find corollary of the
+// ROADMAP's serving north star. A synthetic service log streams through a
+// positions StreamSession window by window: the session recognizes nothing
+// about the whole file (the decision side is irrelevant here) but emits
+// every occurrence of the alert pattern incrementally, with ABSOLUTE byte
+// offsets, while only one window plus the O(1) find carry is ever resident.
+// Matches that straddle a window boundary are found exactly — the carried
+// separator resolves their begin into the previous window.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "util/prng.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace rispar;
+
+namespace {
+
+// One synthetic syslog-ish line; roughly 1 in 16 carries an alert.
+std::string make_line(Prng& prng, std::size_t index) {
+  static const char* kUnits[] = {"disk", "net", "auth", "sched"};
+  static const char* kAlerts[] = {"ERROR", "FATAL"};
+  std::string line = "t=" + std::to_string(1000000 + index);
+  line += " unit=";
+  line += kUnits[prng.pick_index(std::size(kUnits))];
+  if (prng.pick_index(16) == 0) {
+    line += " level=";
+    line += kAlerts[prng.pick_index(std::size(kAlerts))];
+    line += " code=";
+    line += std::to_string(prng.pick_index(99));
+  } else {
+    line += " level=info ok";
+  }
+  line += '\n';
+  return line;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t total_kb = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 512;
+  const std::size_t window_kb = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 16;
+
+  // Occurrence search, not whole-file validation: the alert pattern.
+  const Engine engine(Pattern::compile("level=(ERROR|FATAL) code="));
+  StreamSession stream = engine.stream({.chunks = 4, .positions = true});
+
+  // The sink fires as each window joins. Offsets are absolute, so they stay
+  // meaningful long after the window that produced them is gone; the slice
+  // is printed only when the match still lies inside the resident window.
+  std::uint64_t window_base = 0;
+  const std::string* resident = nullptr;
+  std::vector<std::uint64_t> alert_offsets;
+  const MatchSink sink = [&](const Match& m) {
+    alert_offsets.push_back(m.begin);
+    if (alert_offsets.size() > 5) return;  // print the first few, count the rest
+    if (m.begin >= window_base && resident != nullptr) {
+      const std::size_t local = static_cast<std::size_t>(m.begin - window_base);
+      std::printf("  alert @ %-10llu %.*s\n", static_cast<unsigned long long>(m.begin),
+                  static_cast<int>(m.end - m.begin), resident->data() + local);
+    } else {
+      std::printf("  alert @ %-10llu (begins in an already-scrolled window)\n",
+                  static_cast<unsigned long long>(m.begin));
+    }
+  };
+
+  Prng prng(42);
+  Stopwatch clock;
+  std::string window;
+  std::size_t line_index = 0;
+  std::uint64_t fed = 0;
+  while (fed < (total_kb << 10)) {
+    window.clear();
+    while (window.size() < (window_kb << 10))
+      window += make_line(prng, line_index++);
+    window_base = fed;
+    resident = &window;
+    stream.feed(window, sink);  // nothing accumulates in the session
+    fed += window.size();
+  }
+
+  std::printf("\ntailed %.1f KB in %llu windows of ~%zu KB: %llu alerts (%.2f ms)\n",
+              static_cast<double>(fed) / 1024,
+              static_cast<unsigned long long>(stream.windows()), window_kb,
+              static_cast<unsigned long long>(stream.matches()), clock.millis());
+
+  // Offsets must be strictly increasing ends — spot-check monotonic begins
+  // as a smoke invariant (CTest runs this example).
+  const bool sorted = std::is_sorted(alert_offsets.begin(), alert_offsets.end());
+  std::printf("offsets monotone: %s\n", sorted ? "yes" : "NO (bug!)");
+  std::puts("\nOnly one window plus the one-state find carry is ever resident —");
+  std::puts("absolute offsets survive window scrolling (docs/api.md, Streaming find).");
+  return stream.matches() > 0 && sorted ? 0 : 1;
+}

@@ -40,7 +40,8 @@ int main(int argc, char** argv) {
     std::printf("  %-4s: %s in %7.2f ms, %llu transitions (%.1fx the input length)\n",
                 variant_name(variant), stats.accepted ? "accepted" : "rejected",
                 clock.millis(), static_cast<unsigned long long>(stats.transitions),
-                static_cast<double>(stats.transitions) / static_cast<double>(input.size()));
+                static_cast<double>(stats.transitions) /
+                    static_cast<double>(input.size()));
   }
   std::puts("\nThe paper's regexp benchmark (Fig. 7b, 8b, 8d) is exactly this race.");
   return 0;

@@ -23,7 +23,8 @@ State Dfa::add_state(bool is_final) {
   const State state = num_states();
   table_.insert(table_.end(), static_cast<std::size_t>(num_symbols_), kDeadState);
   Bitset grown(static_cast<std::size_t>(state) + 1);
-  for (std::size_t i = finals_.first(); i != Bitset::npos; i = finals_.next(i)) grown.set(i);
+  for (std::size_t i = finals_.first(); i != Bitset::npos; i = finals_.next(i))
+    grown.set(i);
   finals_ = std::move(grown);
   if (is_final) finals_.set(static_cast<std::size_t>(state));
   return state;
@@ -41,7 +42,8 @@ void Dfa::set_transition(State from, Symbol symbol, State to) {
   assert(from >= 0 && from < num_states());
   assert(symbol >= 0 && symbol < num_symbols_);
   assert(to == kDeadState || (to >= 0 && to < num_states()));
-  table_[static_cast<std::size_t>(from) * num_symbols_ + static_cast<std::size_t>(symbol)] = to;
+  table_[static_cast<std::size_t>(from) * num_symbols_ +
+         static_cast<std::size_t>(symbol)] = to;
 }
 
 std::size_t Dfa::num_transitions() const {

@@ -32,11 +32,14 @@ class Dfa {
   void set_transition(State from, Symbol symbol, State to);
 
   std::int32_t num_states() const {
-    return num_symbols_ == 0 ? 0 : static_cast<std::int32_t>(table_.size()) / num_symbols_;
+    return num_symbols_ == 0 ? 0
+                             : static_cast<std::int32_t>(table_.size()) / num_symbols_;
   }
   std::int32_t num_symbols() const { return num_symbols_; }
   State initial() const { return initial_; }
-  bool is_final(State state) const { return finals_.test(static_cast<std::size_t>(state)); }
+  bool is_final(State state) const {
+    return finals_.test(static_cast<std::size_t>(state));
+  }
   const Bitset& finals() const { return finals_; }
   const SymbolMap& symbols() const { return symbols_; }
   void set_symbols(SymbolMap symbols) { symbols_ = std::move(symbols); }

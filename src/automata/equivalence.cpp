@@ -42,14 +42,19 @@ struct PairItem {
 };
 
 std::optional<std::vector<Symbol>> check(const Dfa& a, const Dfa& b, bool want_witness) {
-  if (a.num_symbols() != b.num_symbols()) return std::vector<Symbol>{};  // trivially different
+  if (a.num_symbols() != b.num_symbols())
+    return std::vector<Symbol>{};  // trivially different
   const std::size_t na = static_cast<std::size_t>(a.num_states());
   const std::size_t nb = static_cast<std::size_t>(b.num_states());
   const std::size_t dead = na + nb;  // shared dead node
   UnionFind classes(dead + 1);
 
-  auto id_a = [&](State s) { return s == kDeadState ? dead : static_cast<std::size_t>(s); };
-  auto id_b = [&](State s) { return s == kDeadState ? dead : na + static_cast<std::size_t>(s); };
+  auto id_a = [&](State s) {
+    return s == kDeadState ? dead : static_cast<std::size_t>(s);
+  };
+  auto id_b = [&](State s) {
+    return s == kDeadState ? dead : na + static_cast<std::size_t>(s);
+  };
   auto final_a = [&](State s) { return s != kDeadState && a.is_final(s); };
   auto final_b = [&](State s) { return s != kDeadState && b.is_final(s); };
 
@@ -61,7 +66,8 @@ std::optional<std::vector<Symbol>> check(const Dfa& a, const Dfa& b, bool want_w
     PairItem item = std::move(queue.front());
     queue.pop_front();
     if (final_a(item.in_a) != final_b(item.in_b))
-      return want_witness ? std::optional(item.path) : std::optional(std::vector<Symbol>{});
+      return want_witness ? std::optional(item.path)
+                          : std::optional(std::vector<Symbol>{});
     for (Symbol x = 0; x < a.num_symbols(); ++x) {
       const State ta = item.in_a == kDeadState ? kDeadState : a.step(item.in_a, x);
       const State tb = item.in_b == kDeadState ? kDeadState : b.step(item.in_b, x);

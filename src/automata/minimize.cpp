@@ -177,7 +177,8 @@ NerodePartition nerode_classes(const Dfa& dfa) {
     const std::int32_t block = refiner.block_of(s);
     if (remap[static_cast<std::size_t>(block)] == -1)
       remap[static_cast<std::size_t>(block)] = partition.num_classes++;
-    partition.class_of[static_cast<std::size_t>(s)] = remap[static_cast<std::size_t>(block)];
+    partition.class_of[static_cast<std::size_t>(s)] =
+        remap[static_cast<std::size_t>(block)];
   }
   (void)added_sink;
 
@@ -193,7 +194,8 @@ NerodePartition nerode_classes(const Dfa& dfa) {
       stack.push_back(s);
     }
   // Build reverse adjacency once.
-  std::vector<std::vector<State>> predecessors(static_cast<std::size_t>(dfa.num_states()));
+  std::vector<std::vector<State>> predecessors(
+      static_cast<std::size_t>(dfa.num_states()));
   for (State s = 0; s < dfa.num_states(); ++s)
     for (Symbol a = 0; a < dfa.num_symbols(); ++a)
       if (const State t = dfa.step(s, a); t != kDeadState)
@@ -268,7 +270,8 @@ Dfa minimize_dfa(const Dfa& dfa) {
       if (t == kDeadState) continue;
       const std::int32_t c = partition.class_of[static_cast<std::size_t>(t)];
       if (c == partition.dead_class) continue;
-      result.set_transition(static_cast<State>(i), a, new_id[static_cast<std::size_t>(c)]);
+      result.set_transition(static_cast<State>(i), a,
+                            new_id[static_cast<std::size_t>(c)]);
     }
   }
   return result;

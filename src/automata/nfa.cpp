@@ -10,7 +10,8 @@ State Nfa::add_state(bool is_final) {
   edges_.emplace_back();
   epsilon_.emplace_back();
   Bitset grown(static_cast<std::size_t>(state) + 1);
-  for (std::size_t i = finals_.first(); i != Bitset::npos; i = finals_.next(i)) grown.set(i);
+  for (std::size_t i = finals_.first(); i != Bitset::npos; i = finals_.next(i))
+    grown.set(i);
   finals_ = std::move(grown);
   if (is_final) finals_.set(static_cast<std::size_t>(state));
   return state;

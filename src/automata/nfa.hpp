@@ -52,7 +52,9 @@ class Nfa {
   std::int32_t num_states() const { return static_cast<std::int32_t>(edges_.size()); }
   std::int32_t num_symbols() const { return num_symbols_; }
   State initial() const { return initial_; }
-  bool is_final(State state) const { return finals_.test(static_cast<std::size_t>(state)); }
+  bool is_final(State state) const {
+    return finals_.test(static_cast<std::size_t>(state));
+  }
   const Bitset& finals() const { return finals_; }
   const SymbolMap& symbols() const { return symbols_; }
   void set_symbols(SymbolMap symbols) { symbols_ = std::move(symbols); }

@@ -68,7 +68,8 @@ Nfa trim_unreachable(const Nfa& nfa, std::vector<State>* kept) {
   for (const State old_state : order) {
     const State new_state = remap[static_cast<std::size_t>(old_state)];
     for (const auto& edge : nfa.edges(old_state))
-      result.add_edge(new_state, edge.symbol, remap[static_cast<std::size_t>(edge.target)]);
+      result.add_edge(new_state, edge.symbol,
+                      remap[static_cast<std::size_t>(edge.target)]);
     for (const State next : nfa.epsilon_edges(old_state))
       result.add_epsilon(new_state, remap[static_cast<std::size_t>(next)]);
   }

@@ -26,7 +26,8 @@ Header read_header(std::istream& in, const std::string& expected_kind,
     if (line.empty() || line[0] == '#') continue;
     std::istringstream fields(line);
     fields >> header.kind >> header.num_states >> header.num_symbols;
-    if (header.kind != expected_kind) malformed("expected '" + expected_kind + "' header");
+    if (header.kind != expected_kind)
+      malformed("expected '" + expected_kind + "' header");
     if (header.num_states < 0 || header.num_symbols < 1 ||
         header.num_symbols > max_symbols)
       malformed("bad header counts");

@@ -43,7 +43,8 @@ bool SubsetConstruction::run() {
     for (auto& subset : successor) subset.clear();
 
     // One pass over the member states' edge lists fills all symbol columns.
-    const Bitset members = contents_[static_cast<std::size_t>(state)];  // copy: contents_ may grow
+    // Copy, not a reference: contents_ may grow while columns fill.
+    const Bitset members = contents_[static_cast<std::size_t>(state)];
     for (std::size_t q = members.first(); q != Bitset::npos; q = members.next(q))
       for (const auto& edge : nfa_.edges(static_cast<State>(q)))
         successor[static_cast<std::size_t>(edge.symbol)].set(
@@ -52,8 +53,8 @@ bool SubsetConstruction::run() {
     for (Symbol a = 0; a < num_symbols_; ++a) {
       if (successor[static_cast<std::size_t>(a)].empty()) continue;
       const State target = add_seed(successor[static_cast<std::size_t>(a)]);
-      table_[static_cast<std::size_t>(state) * num_symbols_ + static_cast<std::size_t>(a)] =
-          target;
+      table_[static_cast<std::size_t>(state) * num_symbols_ +
+             static_cast<std::size_t>(a)] = target;
     }
   }
   return true;

@@ -43,7 +43,9 @@ class SubsetConstruction {
   bool run();
 
   std::int32_t num_states() const { return static_cast<std::int32_t>(contents_.size()); }
-  const Bitset& contents(State state) const { return contents_[static_cast<std::size_t>(state)]; }
+  const Bitset& contents(State state) const {
+    return contents_[static_cast<std::size_t>(state)];
+  }
   State transition(State state, Symbol symbol) const {
     return table_[static_cast<std::size_t>(state) * num_symbols_ +
                   static_cast<std::size_t>(symbol)];
@@ -52,7 +54,8 @@ class SubsetConstruction {
 
   /// Exports a standalone Dfa with the given initial state. `contents_out`
   /// (optional) receives each DFA state's subset as sorted NFA state ids.
-  Dfa to_dfa(State initial, std::vector<std::vector<State>>* contents_out = nullptr) const;
+  Dfa to_dfa(State initial,
+             std::vector<std::vector<State>>* contents_out = nullptr) const;
 
  private:
   const Nfa& nfa_;

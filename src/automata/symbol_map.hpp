@@ -51,7 +51,9 @@ class SymbolMap {
   std::vector<std::int32_t> symbols_of(const ByteSet& bytes) const;
 
   /// A representative byte per symbol (for diagnostics and text synthesis).
-  unsigned char representative(std::int32_t symbol) const { return reps_[static_cast<std::size_t>(symbol)]; }
+  unsigned char representative(std::int32_t symbol) const {
+    return reps_[static_cast<std::size_t>(symbol)];
+  }
 
   /// Translates a byte string into symbol ids (kUnmapped for alien bytes).
   /// Guarantee used by the recognizers: every output symbol is either

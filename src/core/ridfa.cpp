@@ -52,7 +52,8 @@ std::vector<State> Ridfa::interface_image(const std::vector<State>& plas) const 
 namespace {
 
 std::optional<Ridfa> build_ridfa_impl(const Nfa& nfa, std::int32_t max_states) {
-  assert(!nfa.has_epsilon() && "build_ridfa requires an eps-free NFA (use Glushkov or remove_epsilon)");
+  assert(!nfa.has_epsilon() &&
+         "build_ridfa requires an eps-free NFA (use Glushkov or remove_epsilon)");
   const std::int32_t l = nfa.num_states();
 
   SubsetConstruction construction(nfa);
@@ -73,7 +74,8 @@ std::optional<Ridfa> build_ridfa_impl(const Nfa& nfa, std::int32_t max_states) {
   }
 
   std::vector<std::vector<State>> contents;
-  Dfa dfa = construction.to_dfa(singleton[static_cast<std::size_t>(nfa.initial())], &contents);
+  Dfa dfa = construction.to_dfa(singleton[static_cast<std::size_t>(nfa.initial())],
+                                &contents);
 
   // Re-index the singleton table (ids are construction-order stable, but
   // double-check the subsets actually are singletons).
@@ -83,7 +85,8 @@ std::optional<Ridfa> build_ridfa_impl(const Nfa& nfa, std::int32_t max_states) {
            contents[static_cast<std::size_t>(p)][0] == q);
   }
 
-  return RidfaBuilderAccess::make(std::move(dfa), std::move(contents), std::move(singleton), l);
+  return RidfaBuilderAccess::make(std::move(dfa), std::move(contents),
+                                  std::move(singleton), l);
 }
 
 }  // namespace

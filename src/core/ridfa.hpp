@@ -60,7 +60,9 @@ class Ridfa {
   /// The distinct initial states (sorted, deduplicated interface range) —
   /// the speculative starting set of every chunk automaton B_i, i >= 2.
   const std::vector<State>& initial_states() const { return initials_; }
-  std::int32_t initial_count() const { return static_cast<std::int32_t>(initials_.size()); }
+  std::int32_t initial_count() const {
+    return static_cast<std::int32_t>(initials_.size());
+  }
 
   /// Start state of the first chunk automaton: the singleton {q0} itself
   /// (its initial *role* may be delegated, but B_1 knows its true start).

@@ -40,7 +40,8 @@ void compose_mapping(const PackedTable& table, const std::vector<State>& current
 
 }  // namespace
 
-State Sfa::run(const Symbol* input, std::size_t length, std::uint64_t& transitions) const {
+State Sfa::run(const Symbol* input, std::size_t length,
+               std::uint64_t& transitions) const {
   State state = initial();
   for (std::size_t i = 0; i < length; ++i) {
     const Symbol symbol = input[i];

@@ -1,0 +1,25 @@
+#include "engine/device.hpp"
+
+#include "parallel/thread_pool.hpp"
+
+namespace rispar {
+
+void Device::stream_feed(StreamCarry& carry, std::span<const Symbol> window,
+                         ThreadPool& pool, const QueryOptions& options,
+                         const StreamFindWindow* find) const {
+  validate_query(options, stream_capabilities(), device_context("stream", variant()));
+  stream_window(carry, window, pool, options);
+  if (find == nullptr) return;
+  // The find side scans the same bytes re-translated with the searcher's
+  // all-bytes map; only the knobs streaming find honors are forwarded, so
+  // a device-only knob (a future one) can never leak into the kernel.
+  QueryOptions find_options;
+  find_options.chunks = options.chunks;
+  find_options.convergence = options.convergence;
+  find_options.kernel = options.kernel;
+  find_options.positions = true;
+  stream_find_feed(find->searcher, carry.find, find->window, pool, find_options,
+                   find->sink, find->pattern_id);
+}
+
+}  // namespace rispar

@@ -12,6 +12,11 @@
 //    only the device-specific PLAS representation across windows (the
 //    paper's join condition applied at window granularity — feeding a text
 //    in any segmentation yields the one-shot decision, property-tested).
+//    When the caller hands it a StreamFindWindow, the feed ALSO advances
+//    the carry's find side over the Σ*p searcher and emits every
+//    occurrence ending in the window with absolute byte offsets — the
+//    streaming-find discipline (Hyperscan-style), equal to the one-shot
+//    find_all under any window segmentation (fuzz-tested).
 //
 // capabilities() declares which QueryOptions knobs the device honors;
 // validate_query() rejects anything beyond that set.
@@ -22,6 +27,7 @@
 
 #include "automata/nfa.hpp"
 #include "engine/query.hpp"
+#include "parallel/match_count.hpp"
 
 namespace rispar {
 
@@ -31,12 +37,30 @@ class ThreadPool;
 /// device-specific: DFA/RI-DFA states of the surviving runs (PLAS), NFA
 /// frontier states, or the single composed chunk-automaton state of the
 /// SFA. Empty states after the first window means every run died — the
-/// stream is dead and every extension rejects.
+/// stream's DECISION is dead and every extension rejects; the find side
+/// (`find`, fed only on positions sessions) keeps emitting occurrences
+/// regardless, because occurrence search never dies on byte input.
 struct StreamCarry {
   std::vector<State> states;
   bool at_start = true;  ///< nothing fed yet
   std::uint64_t transitions = 0;
   std::uint64_t windows = 0;
+  /// The (end, last-separator) hit tracking of streaming find, carried
+  /// across windows (parallel/match_count.hpp). Untouched unless the feed
+  /// receives a StreamFindWindow.
+  FindCarry find;
+};
+
+/// The find side of one streamed window: the Σ*p searcher runs on its OWN
+/// all-bytes SymbolMap, so the window arrives twice — device-translated
+/// for the decision, searcher-translated here (one symbol per byte; both
+/// spans cover the same bytes, so they have equal length). Matches emit
+/// through `sink` as they are joined, with absolute byte offsets.
+struct StreamFindWindow {
+  const Dfa& searcher;
+  std::span<const Symbol> window;
+  const MatchSink& sink;
+  std::uint32_t pattern_id = 0;
 };
 
 class Device {
@@ -48,13 +72,18 @@ class Device {
 
   /// What the device honors in streaming mode: its one-shot capabilities
   /// minus look-back and tree-join (there is no look-back window across
-  /// the carry and the join is serial per window). stream_feed validates
-  /// against this, so direct device callers and Engine::stream get the
-  /// same reject-don't-ignore contract.
-  DeviceCaps stream_capabilities() const {
+  /// the carry and the join is serial per window), plus `positions` —
+  /// every shipped device serves streaming find, because the emission
+  /// rides the variant-independent Σ*p searcher alongside the decision
+  /// carry. A device that cannot (or a future decision-only one) overrides
+  /// this and positions sessions REJECT at Engine::stream. stream_feed
+  /// validates against this set, so direct device callers and
+  /// Engine::stream get the same reject-don't-ignore contract.
+  virtual DeviceCaps stream_capabilities() const {
     DeviceCaps caps = capabilities();
     caps.lookback = false;
     caps.tree_join = false;
+    caps.positions = true;
     return caps;
   }
 
@@ -68,12 +97,24 @@ class Device {
   /// Consumes the next window of a streamed input, updating `carry` in
   /// place (empty windows are a no-op). Streaming always runs the chunk
   /// kernels selected by `options.kernel`; lookback/tree_join are not
-  /// available in streaming mode (Engine::stream rejects them).
-  virtual void stream_feed(StreamCarry& carry, std::span<const Symbol> window,
-                           ThreadPool& pool, const QueryOptions& options) const = 0;
+  /// available in streaming mode (Engine::stream rejects them). With
+  /// `find` non-null the same feed advances carry.find over the searcher
+  /// and emits the window's occurrences through find->sink (absolute byte
+  /// offsets, begins resolved through the carried separator) — the find
+  /// side runs even after the decision carry died, since substring
+  /// occurrences outlive whole-stream membership.
+  void stream_feed(StreamCarry& carry, std::span<const Symbol> window,
+                   ThreadPool& pool, const QueryOptions& options,
+                   const StreamFindWindow* find = nullptr) const;
 
   /// Decision over everything fed into `carry` so far.
   virtual bool stream_accepted(const StreamCarry& carry) const = 0;
+
+ protected:
+  /// The device-specific decision half of stream_feed (the PLAS window
+  /// join). Validation and the find side live in the shared front end.
+  virtual void stream_window(StreamCarry& carry, std::span<const Symbol> window,
+                             ThreadPool& pool, const QueryOptions& options) const = 0;
 };
 
 }  // namespace rispar

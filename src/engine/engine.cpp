@@ -79,6 +79,9 @@ StreamSession Engine::stream(const QueryOptions& options) const {
   // Fail at session creation, not at the first feed (which re-validates).
   validate_query(options, dev.stream_capabilities(),
                  device_context("stream", options.variant));
+  // Positions sessions pay the lazy searcher build here, at open — never
+  // inside the first feed on the hot path.
+  if (options.positions) (void)pattern_.searcher();
   return StreamSession(dev, pattern_, *pool_, options);
 }
 
@@ -114,11 +117,54 @@ bool Engine::accepts(std::string_view text) const {
 }
 
 void StreamSession::feed(std::string_view bytes) {
-  feed(pattern_.translate(bytes));
+  if (!options_.positions) {
+    device_->stream_feed(carry_, pattern_.translate(bytes), *pool_, options_);
+    return;
+  }
+  feed(bytes, [this](const Match& match) { pending_.push_back(match); });
+}
+
+void StreamSession::feed(std::string_view bytes, const MatchSink& sink) {
+  if (!options_.positions)
+    throw QueryError(
+        "stream (match drain): this session was not opened with positions — "
+        "set QueryOptions::positions at Engine::stream to request streaming "
+        "find");
+  // The decision and the find side consume the same bytes through two maps:
+  // the pattern's classes for the device carry, the searcher's all-bytes
+  // map (one symbol per byte) for position emission.
+  const Dfa& searcher = pattern_.searcher();
+  const std::vector<Symbol> find_window = searcher.symbols().translate(bytes);
+  const StreamFindWindow find{searcher, find_window, sink};
+  if (dead()) {
+    // The decision already died — its window would no-op anyway, so skip
+    // the device-side translation (the tailing steady state: only the find
+    // side still scans). Keep the window accounting stream_window would do.
+    if (!bytes.empty()) ++carry_.windows;
+    device_->stream_feed(carry_, std::span<const Symbol>{}, *pool_, options_, &find);
+    return;
+  }
+  device_->stream_feed(carry_, pattern_.translate(bytes), *pool_, options_, &find);
 }
 
 void StreamSession::feed(std::span<const Symbol> window) {
+  if (options_.positions)
+    throw QueryError(
+        "stream (positions): symbol-span windows cannot serve streaming find "
+        "— the searcher translates raw bytes with its own map; feed "
+        "string_view windows (or open the session without positions)");
   device_->stream_feed(carry_, window, *pool_, options_);
+}
+
+std::vector<Match> StreamSession::take_matches() {
+  if (!options_.positions)
+    throw QueryError(
+        "stream (take_matches): this session was not opened with positions — "
+        "set QueryOptions::positions at Engine::stream to request streaming "
+        "find");
+  std::vector<Match> taken = std::move(pending_);
+  pending_.clear();
+  return taken;
 }
 
 }  // namespace rispar

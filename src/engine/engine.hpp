@@ -98,8 +98,12 @@ class Engine {
 
   /// Opens a byte-level streaming session on options.variant's device: feed
   /// windows of any size, in order; the decision always equals one-shot
-  /// recognition of the concatenation (property-tested). The session
-  /// borrows this Engine — it must not outlive it.
+  /// recognition of the concatenation (property-tested). With
+  /// options.positions the session is a STREAMING FIND: every feed also
+  /// emits the pattern's occurrences incrementally with absolute byte
+  /// offsets, equal to find_all of the concatenation under any window
+  /// segmentation (fuzz-tested) — drain with take_matches() or a MatchSink
+  /// feed. The session borrows this Engine — it must not outlive it.
   StreamSession stream(const QueryOptions& options = {}) const;
 
   /// Batch recognition: every text translated and recognized on the shared
@@ -129,30 +133,70 @@ class Engine {
   RidDevice rid_device_;
 };
 
-/// A byte-level streaming recognition session (texts larger than memory,
-/// fed window by window). Between windows only the device's PLAS carry
-/// survives, so the footprint is one window plus O(|carry|). Obtained from
-/// Engine::stream(); not thread-safe — feed from one thread, in order.
+/// A byte-level streaming session (texts larger than memory, fed window by
+/// window). Between windows only the device's PLAS carry survives — plus,
+/// on positions sessions, the searcher's one-state find carry — so the
+/// footprint is one window plus O(|carry|) plus any undrained matches.
+/// Obtained from Engine::stream(); not thread-safe — feed from one thread,
+/// in order.
+///
+/// Streaming find (sessions opened with QueryOptions::positions): every
+/// byte feed also advances the Σ*p searcher and emits Match records with
+/// ABSOLUTE byte offsets into the concatenation of everything fed. Two
+/// drain shapes:
+///   * feed(bytes) then take_matches() — the session buffers the window's
+///     matches until taken (unbounded if never drained — drain per window);
+///   * feed(bytes, sink) — the sink sees each match as the window joins;
+///     nothing accumulates in the session.
+/// A match's begin may point into an EARLIER window (the carried separator
+/// — same documented over-approximation as one-shot find, see Match in
+/// engine/query.hpp); callers that slice text around matches must retain
+/// bytes accordingly. Symbol-span feeds cannot serve finding (the searcher
+/// translates raw bytes with its own map) and REJECT on positions sessions.
 class StreamSession {
  public:
-  /// Consumes the next window (may be empty — a no-op).
+  /// Consumes the next window (may be empty — a no-op). On positions
+  /// sessions the window's matches are buffered for take_matches().
   void feed(std::string_view bytes);
+  /// Consumes the next window, draining its matches through `sink` instead
+  /// of buffering. QueryError unless the session was opened with positions.
+  void feed(std::string_view bytes, const MatchSink& sink);
+  /// Device-symbol window (callers that translate once). QueryError on a
+  /// positions session — finding needs the raw bytes.
   void feed(std::span<const Symbol> window);
 
   /// Decision over everything fed so far (callable repeatedly; feed() may
   /// continue afterwards).
   bool accepted() const { return device_->stream_accepted(carry_); }
 
-  /// True when no run survives — every extension is rejected too, so a
-  /// caller can stop reading early.
+  /// True when no DECISION run survives — every extension is rejected too,
+  /// so a caller that only wants the decision can stop reading early. The
+  /// find side of a positions session never dies on byte input: matches
+  /// keep flowing after the decision is dead (substring occurrences outlive
+  /// whole-stream membership), so streaming-find callers keep feeding.
   bool dead() const { return !carry_.at_start && carry_.states.empty(); }
+
+  /// Takes the matches buffered since the last take (positions sessions;
+  /// QueryError otherwise). Ascending (end, begin); absolute byte offsets.
+  std::vector<Match> take_matches();
+
+  /// Total occurrences emitted so far (buffered + drained + taken).
+  std::uint64_t matches() const { return carry_.find.matches; }
+  /// Whether this session emits positions (opened with
+  /// QueryOptions::positions).
+  bool finds_positions() const { return options_.positions; }
 
   Variant variant() const { return device_->variant(); }
   std::uint64_t transitions() const { return carry_.transitions; }
   std::uint64_t windows() const { return carry_.windows; }
+  /// Bytes consumed by the find side so far (positions sessions).
+  std::uint64_t bytes_consumed() const { return carry_.find.consumed; }
 
   /// Forgets all input; the next feed() starts from the initial state again.
-  void reset() { carry_ = StreamCarry{}; }
+  void reset() {
+    carry_ = StreamCarry{};
+    pending_.clear();
+  }
 
  private:
   friend class Engine;
@@ -166,6 +210,7 @@ class StreamSession {
   ThreadPool* pool_;
   QueryOptions options_;
   StreamCarry carry_;
+  std::vector<Match> pending_;  ///< buffered matches awaiting take_matches()
 };
 
 }  // namespace rispar

@@ -23,6 +23,7 @@ void validate_query(const QueryOptions& options, const DeviceCaps& caps,
   if (options.tree_join && !caps.tree_join) reject("tree_join");
   if ((options.offset != 0 || options.limit != QueryOptions::kNoLimit) && !caps.paging)
     reject("offset/limit");
+  if (options.positions && !caps.positions) reject("positions");
 }
 
 std::string device_context(const char* what, Variant variant) {

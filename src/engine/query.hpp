@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <stdexcept>
 #include <string>
@@ -49,6 +50,7 @@ struct DeviceCaps {
   bool lookback = false;       ///< look-back start pruning (Sect. 5 / [28])
   bool tree_join = false;      ///< parallel tree-reduction join
   bool paging = false;         ///< offset/limit on the positions payload
+  bool positions = false;      ///< Match emission (find payloads, streaming find)
 };
 
 /// One positioned occurrence, the unit of Engine::find_all and
@@ -71,6 +73,12 @@ struct Match {
 
   bool operator==(const Match&) const = default;
 };
+
+/// Consumer of incrementally emitted matches (streaming find): invoked once
+/// per occurrence, in ascending (end, begin) order, from the feeding thread.
+/// Sinks let a caller drain an unbounded stream's matches without the
+/// session accumulating them (StreamSession::feed(window, sink)).
+using MatchSink = std::function<void(const Match&)>;
 
 struct QueryOptions {
   /// Which chunk automaton runs the query (ignored by count(), which has
@@ -103,6 +111,13 @@ struct QueryOptions {
   /// return one page plus the overall total from a single scan.
   std::size_t offset = 0;
   std::size_t limit = kNoLimit;
+  /// Ask for Match emission. find/find_all always emit positions (the knob
+  /// is implied); on Engine::stream it turns the session into a streaming
+  /// find: every feed also advances the Σ*p searcher and emits positioned
+  /// matches with absolute byte offsets (drain with take_matches() or a
+  /// MatchSink). Query shapes without position support REJECT the knob via
+  /// DeviceCaps (recognize/count/match_all).
+  bool positions = false;
 
   static constexpr std::size_t kNoLimit = std::numeric_limits<std::size_t>::max();
 };

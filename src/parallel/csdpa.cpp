@@ -175,9 +175,8 @@ QueryResult DfaDevice::recognize(std::span<const Symbol> input, ThreadPool& pool
   return stats;
 }
 
-void DfaDevice::stream_feed(StreamCarry& carry, std::span<const Symbol> window,
-                            ThreadPool& pool, const QueryOptions& options) const {
-  validate_query(options, stream_capabilities(), device_context("stream", variant()));
+void DfaDevice::stream_window(StreamCarry& carry, std::span<const Symbol> window,
+                              ThreadPool& pool, const QueryOptions& options) const {
   if (!stream_window_begins(carry, window)) return;
 
   const std::vector<State> continuation =
@@ -224,7 +223,8 @@ QueryResult NfaDevice::recognize(std::span<const Symbol> input, ThreadPool& pool
   pool.run(chunks.size(), [&](std::size_t i) {
     const auto span = input.subspan(chunks[i].begin, chunks[i].length);
     const std::span<const State> starts =
-        (i == 0) ? std::span<const State>(first_start) : std::span<const State>(all_states_);
+        (i == 0) ? std::span<const State>(first_start)
+                 : std::span<const State>(all_states_);
     results[i] = run_chunk_nfa(nfa_, span, starts);
   });
   stats.reach_seconds = reach_clock.seconds();
@@ -248,9 +248,8 @@ QueryResult NfaDevice::recognize(std::span<const Symbol> input, ThreadPool& pool
   return stats;
 }
 
-void NfaDevice::stream_feed(StreamCarry& carry, std::span<const Symbol> window,
-                            ThreadPool& pool, const QueryOptions& options) const {
-  validate_query(options, stream_capabilities(), device_context("stream", variant()));
+void NfaDevice::stream_window(StreamCarry& carry, std::span<const Symbol> window,
+                              ThreadPool& pool, const QueryOptions& options) const {
   if (!stream_window_begins(carry, window)) return;
 
   const std::vector<State> continuation =
@@ -301,9 +300,9 @@ QueryResult RidDevice::recognize(std::span<const Symbol> input, ThreadPool& pool
     const auto span = input.subspan(chunks[i].begin, chunks[i].length);
     // Only the interface states are speculative starts — this is the whole
     // point of the RI-DFA (|I_B| = |Q_N| or less after minimization).
-    const std::span<const State> starts = (i == 0)
-                                              ? std::span<const State>(first_start)
-                                              : std::span<const State>(ridfa_.initial_states());
+    const std::span<const State> starts =
+        (i == 0) ? std::span<const State>(first_start)
+                 : std::span<const State>(ridfa_.initial_states());
     results[i] = run_chunk_det(ca, span, starts, run_options);
   });
   stats.reach_seconds = reach_clock.seconds();
@@ -342,9 +341,8 @@ QueryResult RidDevice::recognize(std::span<const Symbol> input, ThreadPool& pool
   return stats;
 }
 
-void RidDevice::stream_feed(StreamCarry& carry, std::span<const Symbol> window,
-                            ThreadPool& pool, const QueryOptions& options) const {
-  validate_query(options, stream_capabilities(), device_context("stream", variant()));
+void RidDevice::stream_window(StreamCarry& carry, std::span<const Symbol> window,
+                              ThreadPool& pool, const QueryOptions& options) const {
   if (!stream_window_begins(carry, window)) return;
 
   const Dfa& ca = ridfa_.dfa();
@@ -450,9 +448,8 @@ QueryResult SfaDevice::recognize(std::span<const Symbol> input, ThreadPool& pool
   return stats;
 }
 
-void SfaDevice::stream_feed(StreamCarry& carry, std::span<const Symbol> window,
-                            ThreadPool& pool, const QueryOptions& options) const {
-  validate_query(options, stream_capabilities(), device_context("stream", variant()));
+void SfaDevice::stream_window(StreamCarry& carry, std::span<const Symbol> window,
+                              ThreadPool& pool, const QueryOptions& options) const {
   if (!stream_window_begins(carry, window)) return;
 
   const auto chunks = split_chunks(window.size(), options.chunks);

@@ -52,9 +52,11 @@ class DfaDevice : public Device {
 
   QueryResult recognize(std::span<const Symbol> input, ThreadPool& pool,
                         const QueryOptions& options) const override;
-  void stream_feed(StreamCarry& carry, std::span<const Symbol> window,
-                   ThreadPool& pool, const QueryOptions& options) const override;
   bool stream_accepted(const StreamCarry& carry) const override;
+
+ protected:
+  void stream_window(StreamCarry& carry, std::span<const Symbol> window,
+                     ThreadPool& pool, const QueryOptions& options) const override;
 
  private:
   const Dfa& dfa_;
@@ -71,9 +73,11 @@ class NfaDevice : public Device {
 
   QueryResult recognize(std::span<const Symbol> input, ThreadPool& pool,
                         const QueryOptions& options) const override;
-  void stream_feed(StreamCarry& carry, std::span<const Symbol> window,
-                   ThreadPool& pool, const QueryOptions& options) const override;
   bool stream_accepted(const StreamCarry& carry) const override;
+
+ protected:
+  void stream_window(StreamCarry& carry, std::span<const Symbol> window,
+                     ThreadPool& pool, const QueryOptions& options) const override;
 
  private:
   const Nfa& nfa_;
@@ -91,9 +95,11 @@ class RidDevice : public Device {
 
   QueryResult recognize(std::span<const Symbol> input, ThreadPool& pool,
                         const QueryOptions& options) const override;
-  void stream_feed(StreamCarry& carry, std::span<const Symbol> window,
-                   ThreadPool& pool, const QueryOptions& options) const override;
   bool stream_accepted(const StreamCarry& carry) const override;
+
+ protected:
+  void stream_window(StreamCarry& carry, std::span<const Symbol> window,
+                     ThreadPool& pool, const QueryOptions& options) const override;
 
  private:
   const Ridfa& ridfa_;
@@ -114,9 +120,11 @@ class SfaDevice : public Device {
 
   QueryResult recognize(std::span<const Symbol> input, ThreadPool& pool,
                         const QueryOptions& options) const override;
-  void stream_feed(StreamCarry& carry, std::span<const Symbol> window,
-                   ThreadPool& pool, const QueryOptions& options) const override;
   bool stream_accepted(const StreamCarry& carry) const override;
+
+ protected:
+  void stream_window(StreamCarry& carry, std::span<const Symbol> window,
+                     ThreadPool& pool, const QueryOptions& options) const override;
 
  private:
   /// Arrival SFA state of one chunk; kDeadState when the chunk contains an

@@ -93,7 +93,8 @@ CountChunk count_chunk_convergent(const Dfa& dfa, std::span<const Symbol> span,
     if (active.empty()) break;
     if (symbol < 0 || symbol >= dfa.num_symbols()) {
       // Alien symbol: every run dies without the symbol being counted.
-      for (const std::int32_t idx : active) nodes[static_cast<std::size_t>(idx)].dead = true;
+      for (const std::int32_t idx : active)
+        nodes[static_cast<std::size_t>(idx)].dead = true;
       active.clear();
       break;
     }
@@ -286,6 +287,61 @@ FindChunk find_chunk(const Dfa& dfa, std::span<const Symbol> span,
   return chunk;
 }
 
+/// Joins one batch of finding-kernel chunk runs: walks the consistent
+/// start's chain through each chunk's merge forest, resolving every hit's
+/// begin and emitting (begin, end) as ABSOLUTE positions (`origin` is the
+/// absolute offset of runs[0]'s first symbol; chunk 0 must have run from
+/// the single start `state`, later chunks from all states, indexed by state
+/// id). `state` enters as the consistent run's state before the batch and
+/// leaves as its state after it; `carried_sep` is the absolute last
+/// separator and advances with the walk — which is exactly the state a
+/// streaming caller keeps between windows. Shared by the one-shot
+/// find_matches (origin 0, one batch) and stream_find_feed (one batch per
+/// window). Within a chunk a hit whose separator predates the chunk (or,
+/// under convergence, predates a merge in its chain) falls back first to
+/// the chain's own earlier tracker and ultimately to `carried_sep`.
+template <typename Emit>
+void join_find_chunks(std::span<const FindChunk> runs, std::span<const ChunkSpan> chunks,
+                      std::uint64_t origin, State& state, std::uint64_t& carried_sep,
+                      bool& died, Emit&& emit) {
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    const FindChunk& run = runs[i];
+    const std::uint64_t base = origin + chunks[i].begin;
+    // Walk the consistent start's chain through the merge forest. `floor`
+    // is the position where the previous chain node merged into the current
+    // one — separators recorded before it belong to the current node's own
+    // history, not the consistent run's, and substitute through `sub`.
+    std::size_t node_index = i == 0 ? 0 : static_cast<std::size_t>(state);
+    std::size_t hit_base = 0;
+    std::int64_t floor = 0;
+    std::int64_t sub = -1;
+    while (true) {
+      const FindNode& node = run.nodes[node_index];
+      for (std::size_t h = hit_base; h < node.hits.size(); ++h) {
+        const FindHit& hit = node.hits[h];
+        const std::int64_t sep = hit.sep >= floor ? hit.sep : sub;
+        emit(sep >= 0 ? base + static_cast<std::uint64_t>(sep) : carried_sep,
+             base + hit.pos);
+      }
+      if (node.parent == -1) {
+        const std::int64_t final_sep = node.last_sep >= floor ? node.last_sep : sub;
+        if (final_sep >= 0) carried_sep = base + static_cast<std::uint64_t>(final_sep);
+        if (node.dead) {
+          died = true;
+        } else {
+          state = node.state;
+        }
+        break;
+      }
+      sub = node.last_sep >= floor ? node.last_sep : sub;
+      floor = node.merge_pos;
+      hit_base = node.parent_base;
+      node_index = static_cast<std::size_t>(node.parent);
+    }
+    if (died) break;
+  }
+}
+
 FindChunk run_find_chunk(const Dfa& dfa, std::span<const Symbol> span,
                          std::span<const State> starts, const QueryOptions& options) {
   if (options.kernel == DetKernel::kReference) {
@@ -420,60 +476,70 @@ QueryResult find_matches(const Dfa& dfa, std::span<const Symbol> input,
   });
   result.reach_seconds = reach_clock.seconds();
 
-  // Join: walk the unique consistent path, resolving each hit's begin.
-  // Within a chunk a hit whose separator predates the chunk (or, under
-  // convergence, predates a merge in its chain) falls back first to the
-  // chain's own earlier tracker and ultimately to the globally carried
-  // separator of the consistent path. Paging trims the emitted window but
-  // never the count. Transition accounting: parallel/ca_run.hpp.
+  // Join: walk the unique consistent path, resolving each hit's begin
+  // (join_find_chunks). Paging trims the emitted window but never the
+  // count. Transition accounting: parallel/ca_run.hpp.
   Stopwatch join_clock;
   for (const FindChunk& run : runs) result.transitions += run.transitions;
-  auto emit = [&](std::uint64_t begin, std::uint64_t end) {
-    if (result.matches >= options.offset && result.positions.size() < options.limit)
-      result.positions.push_back({pattern_id, begin, end});
-    ++result.matches;
-  };
   State state = dfa.initial();
   std::uint64_t carried_sep = 0;  // global: position 0 is always a separator
-  for (std::size_t i = 0; i < chunks.size(); ++i) {
-    const FindChunk& run = runs[i];
-    const std::uint64_t base = chunks[i].begin;
-    // Walk the consistent start's chain through the merge forest. `floor`
-    // is the position where the previous chain node merged into the current
-    // one — separators recorded before it belong to the current node's own
-    // history, not the consistent run's, and substitute through `sub`.
-    std::size_t node_index = i == 0 ? 0 : static_cast<std::size_t>(state);
-    std::size_t hit_base = 0;
-    std::int64_t floor = 0;
-    std::int64_t sub = -1;
-    while (true) {
-      const FindNode& node = run.nodes[node_index];
-      for (std::size_t h = hit_base; h < node.hits.size(); ++h) {
-        const FindHit& hit = node.hits[h];
-        const std::int64_t sep = hit.sep >= floor ? hit.sep : sub;
-        emit(sep >= 0 ? base + static_cast<std::uint64_t>(sep) : carried_sep,
-             base + hit.pos);
-      }
-      if (node.parent == -1) {
-        const std::int64_t final_sep = node.last_sep >= floor ? node.last_sep : sub;
-        if (final_sep >= 0) carried_sep = base + static_cast<std::uint64_t>(final_sep);
-        if (node.dead) {
-          result.died = true;
-        } else {
-          state = node.state;
-        }
-        break;
-      }
-      sub = node.last_sep >= floor ? node.last_sep : sub;
-      floor = node.merge_pos;
-      hit_base = node.parent_base;
-      node_index = static_cast<std::size_t>(node.parent);
-    }
-    if (result.died) break;
-  }
+  join_find_chunks(runs, chunks, 0, state, carried_sep, result.died,
+                   [&](std::uint64_t begin, std::uint64_t end) {
+                     if (result.matches >= options.offset &&
+                         result.positions.size() < options.limit)
+                       result.positions.push_back({pattern_id, begin, end});
+                     ++result.matches;
+                   });
   result.accepted = result.matches > 0;
   result.join_seconds = join_clock.seconds();
   return result;
+}
+
+void stream_find_feed(const Dfa& dfa, FindCarry& carry, std::span<const Symbol> window,
+                      ThreadPool& pool, const QueryOptions& options,
+                      const MatchSink& sink, std::uint32_t pattern_id) {
+  validate_query(options, kStreamFindingCaps, kStreamFindingContext);
+  if (window.empty()) return;
+  const std::uint64_t origin = carry.consumed;
+  carry.consumed += window.size();
+  if (carry.died) return;  // the run already left the automaton — nothing
+                           // downstream can match, only the offset advances
+  if (carry.at_start) {
+    carry.state = dfa.initial();
+    carry.last_sep = 0;  // position 0: the stream starts in the initial state
+    carry.at_start = false;
+  }
+
+  // Reach: exactly the one-shot fan-out, except the window's first chunk
+  // continues from the CARRIED state instead of the initial one; later
+  // chunks speculate from every searcher state. The speculative start set
+  // is filled once per session (first multi-chunk window) and reused —
+  // single-chunk windows, the tailing hot path, never build it.
+  const auto chunks = split_chunks(window.size(), options.chunks);
+  if (chunks.size() > 1 && carry.speculative_starts.empty()) {
+    carry.speculative_starts.reserve(static_cast<std::size_t>(dfa.num_states()));
+    for (State s = 0; s < dfa.num_states(); ++s) carry.speculative_starts.push_back(s);
+  }
+  const std::vector<State> first_start{carry.state};
+
+  std::vector<FindChunk> runs(chunks.size());
+  pool.run(chunks.size(), [&](std::size_t i) {
+    const auto span = window.subspan(chunks[i].begin, chunks[i].length);
+    const std::span<const State> starts =
+        (i == 0) ? std::span<const State>(first_start)
+                 : std::span<const State>(carry.speculative_starts);
+    runs[i] = run_find_chunk(dfa, span, starts, options);
+  });
+
+  // Join, serialized per window: the carried (state, last separator) enter
+  // the walk and leave updated for the next window; hits emit through the
+  // sink with absolute offsets.
+  for (const FindChunk& run : runs) carry.transitions += run.transitions;
+  join_find_chunks(runs, chunks, origin, carry.state, carry.last_sep, carry.died,
+                   [&](std::uint64_t begin, std::uint64_t end) {
+                     ++carry.matches;
+                     sink(Match{pattern_id, begin, end});
+                   });
 }
 
 }  // namespace rispar

@@ -72,8 +72,10 @@ QueryResult count_matches(const Dfa& dfa, std::span<const Symbol> input,
 /// What finding honors of the unified options (chunks, convergence, kernel,
 /// offset/limit paging) — shared with Engine::find / PatternSet so they can
 /// reject a bad query before the searcher build and text translation.
-inline constexpr DeviceCaps kFindingCaps{
-    .convergence = true, .kernel_select = true, .paging = true};
+inline constexpr DeviceCaps kFindingCaps{.convergence = true,
+                                         .kernel_select = true,
+                                         .paging = true,
+                                         .positions = true};
 inline constexpr const char* kFindingContext =
     "find (the position-emitting counting kernel; it honors chunks, "
     "convergence, kernel and offset/limit)";
@@ -94,5 +96,49 @@ QueryResult find_matches_serial(const Dfa& dfa, std::span<const Symbol> input,
 QueryResult find_matches(const Dfa& dfa, std::span<const Symbol> input,
                          ThreadPool& pool, const QueryOptions& options,
                          std::uint32_t pattern_id = 0);
+
+/// The find side of a streaming session's carry. The Σ*p searcher is
+/// deterministic, so between windows only one state plus absolute-offset
+/// bookkeeping survives — the streaming analogue of the (end, last-
+/// separator) tracking the one-shot join carries across chunks. `last_sep`
+/// is the absolute position of the searcher's last separator (see Match in
+/// engine/query.hpp); a hit whose chunk-local separator predates its window
+/// resolves through it, which is how cross-window begins stay exact.
+struct FindCarry {
+  State state = kDeadState;    ///< searcher state after the consumed prefix
+  bool at_start = true;        ///< nothing fed yet
+  bool died = false;           ///< the searcher run left the automaton
+  std::uint64_t consumed = 0;  ///< absolute bytes consumed so far
+  std::uint64_t last_sep = 0;  ///< absolute last-separator position
+  std::uint64_t matches = 0;   ///< total occurrences emitted so far
+  std::uint64_t transitions = 0;
+  /// Cached speculative start set (all searcher states), filled on the
+  /// first window that fans out to more than one chunk and reused across
+  /// windows — the per-feed analogue of the devices' constructor-time
+  /// all_states_ members. Session-scoped scratch, not semantic state.
+  std::vector<State> speculative_starts;
+};
+
+/// What streaming find honors (chunks, convergence, kernel — no paging: an
+/// unbounded stream has no total to page against, so offset/limit REJECT),
+/// and the validate_query context naming it.
+inline constexpr DeviceCaps kStreamFindingCaps{
+    .convergence = true, .kernel_select = true, .positions = true};
+inline constexpr const char* kStreamFindingContext =
+    "streaming find (the window-fed position-emitting kernel; it honors "
+    "chunks, convergence and kernel)";
+
+/// Consumes one window of a streamed input on the Σ*p searcher `dfa`,
+/// updating `carry` in place and emitting every occurrence ending inside
+/// the window through `sink` with ABSOLUTE offsets (begin may predate the
+/// window — the carried separator). Windows of any size: large windows fan
+/// out over options.chunks finding-kernel runs (the window's first chunk
+/// continues from the carried state, later chunks speculate from every
+/// searcher state), with the join serialized per window. Feeding a text in
+/// any segmentation emits exactly the one-shot find_matches/serial-oracle
+/// list (property- and fuzz-tested). Empty windows are no-ops.
+void stream_find_feed(const Dfa& dfa, FindCarry& carry, std::span<const Symbol> window,
+                      ThreadPool& pool, const QueryOptions& options,
+                      const MatchSink& sink, std::uint32_t pattern_id = 0);
 
 }  // namespace rispar

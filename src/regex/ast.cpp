@@ -77,7 +77,8 @@ RePtr re_alternate(std::vector<RePtr> parts) {
 }
 
 RePtr re_star(RePtr inner) {
-  if (inner->kind == ReKind::kEmpty || inner->kind == ReKind::kEpsilon) return re_epsilon();
+  if (inner->kind == ReKind::kEmpty || inner->kind == ReKind::kEpsilon)
+    return re_epsilon();
   if (inner->kind == ReKind::kStar) return inner;
   auto node = std::make_shared<ReNode>(ReKind::kStar);
   node->children.push_back(std::move(inner));

@@ -25,14 +25,16 @@ RePtr gen(Prng& prng, const RandomRegexConfig& config, int budget) {
   double dice = prng.next_double() * total;
 
   if ((dice -= config.w_concat) < 0) {
-    const int left = 1 + static_cast<int>(prng.pick_index(static_cast<std::size_t>(budget - 1)));
+    const int left =
+        1 + static_cast<int>(prng.pick_index(static_cast<std::size_t>(budget - 1)));
     std::vector<RePtr> parts;
     parts.push_back(gen(prng, config, left));
     parts.push_back(gen(prng, config, budget - left));
     return re_concat(std::move(parts));
   }
   if ((dice -= config.w_alternate) < 0) {
-    const int left = 1 + static_cast<int>(prng.pick_index(static_cast<std::size_t>(budget - 1)));
+    const int left =
+        1 + static_cast<int>(prng.pick_index(static_cast<std::size_t>(budget - 1)));
     std::vector<RePtr> parts;
     parts.push_back(gen(prng, config, left));
     parts.push_back(gen(prng, config, budget - left));

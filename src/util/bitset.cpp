@@ -84,7 +84,8 @@ std::vector<std::int32_t> Bitset::to_indices() const {
   return indices;
 }
 
-Bitset Bitset::from_indices(std::size_t universe, const std::vector<std::int32_t>& indices) {
+Bitset Bitset::from_indices(std::size_t universe,
+                            const std::vector<std::int32_t>& indices) {
   Bitset set(universe);
   for (const auto index : indices) set.set(static_cast<std::size_t>(index));
   return set;

@@ -51,7 +51,8 @@ class Bitset {
   /// Materializes the set as a sorted vector of indices.
   std::vector<std::int32_t> to_indices() const;
   /// Builds a set from indices (each must be < universe).
-  static Bitset from_indices(std::size_t universe, const std::vector<std::int32_t>& indices);
+  static Bitset from_indices(std::size_t universe,
+                             const std::vector<std::int32_t>& indices);
 
   /// Word-level access for hashing.
   const std::vector<std::uint64_t>& words() const { return words_; }

@@ -25,7 +25,8 @@ void Histogram::add(double value) {
 std::string Histogram::bin_label(std::size_t bin, int precision) const {
   char buffer[64];
   const double lo = origin_ + width_ * static_cast<double>(bin);
-  std::snprintf(buffer, sizeof buffer, "%.*f - %.*f", precision, lo, precision, lo + width_);
+  std::snprintf(buffer, sizeof buffer, "%.*f - %.*f", precision, lo, precision,
+                lo + width_);
   return buffer;
 }
 

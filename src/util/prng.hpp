@@ -43,7 +43,9 @@ class Prng {
 
   /// Picks a uniformly random element index of a container of size n.
   /// Precondition: n > 0.
-  std::size_t pick_index(std::size_t n) { return static_cast<std::size_t>(next_below(n)); }
+  std::size_t pick_index(std::size_t n) {
+    return static_cast<std::size_t>(next_below(n));
+  }
 
   /// Fisher-Yates shuffle of an index range [0, n) returned as a vector.
   std::vector<std::size_t> permutation(std::size_t n);

@@ -83,7 +83,8 @@ Nfa succinct_nfa(Prng& prng, std::int32_t num_states, std::int32_t num_symbols) 
 
 Nfa collection_nfa(const CollectionConfig& config, int index) {
   // Per-automaton stream: independent of `count` and of generation order.
-  Prng prng(config.seed ^ (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(index + 1)));
+  Prng prng(config.seed ^
+            (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(index + 1)));
 
   // Reject-and-retry until the incremental powerset fits the blow-up
   // budget — a curated collection (like the paper's, whose DFA totals are

@@ -38,7 +38,8 @@ struct WorkloadSpec {
 WorkloadSpec bigdata_workload();
 
 /// regexp: the DFA-explosion family (a|b)*a(a|b)^k (paper uses a series;
-/// the default k is 6 giving a 128-state minimal DFA from an 8-state NFA, matching the paper's DFA/RID transition ratio of ~127).
+/// the default k is 6 giving a 128-state minimal DFA from an 8-state NFA,
+/// matching the paper's DFA/RID transition ratio of ~127).
 WorkloadSpec regexp_workload(int k = 6);
 
 /// bible: HTML-manuscript model — body text with <h3> section titles whose

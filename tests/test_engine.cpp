@@ -113,8 +113,10 @@ TEST(Engine, ValidationRejectsUnsupportedKnobs) {
                QueryError);
   EXPECT_THROW(engine.recognize(text, {.variant = Variant::kSfa, .convergence = true}),
                QueryError);
-  EXPECT_NO_THROW(engine.recognize(text, {.variant = Variant::kDfa, .convergence = true}));
-  EXPECT_NO_THROW(engine.recognize(text, {.variant = Variant::kRid, .convergence = true}));
+  EXPECT_NO_THROW(
+      engine.recognize(text, {.variant = Variant::kDfa, .convergence = true}));
+  EXPECT_NO_THROW(
+      engine.recognize(text, {.variant = Variant::kRid, .convergence = true}));
   // Kernel selection follows the same split.
   EXPECT_THROW(engine.recognize(text, {.variant = Variant::kNfa,
                                        .kernel = DetKernel::kReference}),
@@ -174,8 +176,9 @@ TEST(Engine, MatchAllBatchesManyTexts) {
   ASSERT_EQ(results.size(), texts.size());
   for (std::size_t i = 0; i < texts.size(); ++i) {
     EXPECT_EQ(results[i].accepted, engine.accepts(texts[i])) << texts[i];
-    EXPECT_EQ(results[i].accepted,
-              engine.recognize(texts[i], {.variant = Variant::kRid, .chunks = 2}).accepted);
+    EXPECT_EQ(
+        results[i].accepted,
+        engine.recognize(texts[i], {.variant = Variant::kRid, .chunks = 2}).accepted);
   }
 }
 

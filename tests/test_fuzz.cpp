@@ -1,10 +1,19 @@
 // Failure-injection and fuzz tests: random byte noise through the parser,
-// hostile structures through the pipeline, budget exhaustion paths, and
-// structural invariants of the RI-DFA. Nothing here may crash, hang, or
-// corrupt — errors must surface as exceptions or nullopt.
+// hostile structures through the pipeline, budget exhaustion paths,
+// structural invariants of the RI-DFA, Pattern bundle corruption, and the
+// ISSUE 4 differential fuzz driver (streaming find vs one-shot find vs the
+// serial scan). Nothing here may crash, hang, or corrupt — errors must
+// surface as exceptions or nullopt.
+//
+// The differential driver's iteration count comes from RISPAR_FUZZ_ITERS
+// (default sized for CI's tier-1 lane); the nightly long-fuzz CI job sets
+// it high for a soak.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "automata/glushkov.hpp"
 #include "automata/minimize.hpp"
@@ -13,9 +22,12 @@
 #include "automata/subset.hpp"
 #include "automata/timbuk.hpp"
 #include "core/interface_min.hpp"
+#include "engine/engine.hpp"
 #include "helpers.hpp"
+#include "parallel/match_count.hpp"
 #include "regex/parser.hpp"
 #include "regex/printer.hpp"
+#include "regex/random_regex.hpp"
 #include "regex/simplify.hpp"
 
 namespace rispar {
@@ -174,6 +186,173 @@ TEST_P(RidfaInvariants, StructuralInvariantsHold) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RidfaInvariants, ::testing::Range<std::uint64_t>(0, 15));
+
+// ------------------------------------------------- differential fuzz driver
+// (ISSUE 4 acceptance): random regex × random text × random window splits;
+// streaming find must equal one-shot Engine::find AND the serial one-scan
+// oracle for every variant × chunks {1, 2, 7, 64} × convergence × kernel
+// the device admits, with absolute offsets stable across arbitrary window
+// boundaries — and the streamed DECISION must equal serial membership.
+
+std::size_t fuzz_iterations(std::size_t fallback) {
+  const char* env = std::getenv("RISPAR_FUZZ_ITERS");
+  if (env == nullptr || *env == '\0') return fallback;
+  const unsigned long long parsed = std::strtoull(env, nullptr, 10);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+/// Random text that actually matches: members of L(re) embedded in noise
+/// that includes bytes outside the pattern's classes (exercising the
+/// searcher's extended all-bytes alphabet and device death).
+std::string fuzz_text(Prng& prng, const RePtr& re, std::size_t target) {
+  static const char kNoise[] = "abc xy.";
+  std::string text;
+  while (text.size() < target) {
+    std::string member;
+    if (prng.pick_index(2) == 0 && random_member(re, prng, member)) text += member;
+    const std::size_t pad = prng.pick_index(6);
+    for (std::size_t i = 0; i < pad; ++i)
+      text += kNoise[prng.pick_index(sizeof(kNoise) - 1)];
+    if (text.size() > 4 * target) break;  // star-heavy members can run long
+  }
+  return text;
+}
+
+TEST(DifferentialFuzz, StreamingFindEqualsOneShotAndSerialOracles) {
+  const std::size_t iters = fuzz_iterations(12);
+  Prng prng(0xd1ff5eed);
+  static constexpr std::size_t kChunks[] = {1, 2, 7, 64};
+  static constexpr Variant kVariants[] = {Variant::kDfa, Variant::kNfa,
+                                          Variant::kRid, Variant::kSfa};
+  static constexpr DetKernel kKernels[] = {DetKernel::kFused, DetKernel::kReference};
+
+  for (std::size_t iter = 0; iter < iters; ++iter) {
+    RandomRegexConfig config;
+    config.alphabet = prng.pick_index(2) == 0 ? "ab" : "abc";
+    config.target_size = 3 + static_cast<int>(prng.pick_index(10));
+    const RePtr re = random_regex(prng, config);
+    const std::string regex = regex_to_string(re);
+    const std::string text = fuzz_text(prng, re, 40 + prng.pick_index(200));
+    SCOPED_TRACE("iter " + std::to_string(iter) + " regex=" + regex +
+                 " text=" + text);
+
+    const Engine engine(Pattern::compile(regex), {.threads = 2});
+    const Dfa& searcher = engine.searcher();
+    const QueryResult oracle =
+        find_matches_serial(searcher, searcher.symbols().translate(text));
+    const bool oracle_accepts = engine.accepts(text);
+
+    // One-shot find across the full kernel matrix (variant not consulted).
+    for (const std::size_t chunks : kChunks) {
+      for (const bool convergence : {false, true}) {
+        for (const DetKernel kernel : kKernels) {
+          const QueryResult one_shot = engine.find(
+              text,
+              {.chunks = chunks, .convergence = convergence, .kernel = kernel});
+          ASSERT_EQ(one_shot.positions, oracle.positions)
+              << "one-shot chunks=" << chunks << " conv=" << convergence
+              << " fused=" << (kernel == DetKernel::kFused);
+          ASSERT_EQ(one_shot.matches, oracle.matches);
+        }
+      }
+    }
+
+    // Streaming find: every variant × chunks × convergence × kernel the
+    // device's streaming caps admit, each under a fresh random window
+    // split, alternating the two drain shapes.
+    for (const Variant variant : kVariants) {
+      if (engine.try_device(variant) == nullptr) continue;  // SFA explosion
+      const DeviceCaps caps = engine.device(variant).stream_capabilities();
+      for (const std::size_t chunks : kChunks) {
+        for (const bool convergence : {false, true}) {
+          if (convergence && !caps.convergence) continue;
+          for (const DetKernel kernel : kKernels) {
+            if (kernel != DetKernel::kFused && !caps.kernel_select) continue;
+            StreamSession stream = engine.stream({.variant = variant,
+                                                  .chunks = chunks,
+                                                  .convergence = convergence,
+                                                  .kernel = kernel,
+                                                  .positions = true});
+            std::vector<Match> collected;
+            const MatchSink sink = [&](const Match& m) { collected.push_back(m); };
+            const bool use_sink = prng.pick_index(2) == 0;
+            std::size_t offset = 0;
+            while (offset < text.size()) {
+              const std::size_t take =
+                  std::min(text.size() - offset, 1 + prng.pick_index(40));
+              const std::string_view window(text.data() + offset, take);
+              if (use_sink) {
+                stream.feed(window, sink);
+              } else {
+                stream.feed(window);
+                for (const Match& m : stream.take_matches()) collected.push_back(m);
+              }
+              offset += take;
+            }
+            ASSERT_EQ(collected, oracle.positions)
+                << variant_name(variant) << " chunks=" << chunks
+                << " conv=" << convergence
+                << " fused=" << (kernel == DetKernel::kFused)
+                << " sink=" << use_sink;
+            ASSERT_EQ(stream.matches(), oracle.matches);
+            ASSERT_EQ(stream.accepted(), oracle_accepts) << variant_name(variant);
+            ASSERT_EQ(stream.bytes_consumed(), text.size());
+          }
+        }
+      }
+    }
+  }
+}
+
+// -------------------------------------------------- pattern bundle fuzzing
+// (ISSUE 4 satellite): Pattern::deserialize on hostile bundles — truncated,
+// corrupted-section, wrong-magic — must return errors, never crash (the
+// ASan/UBSan CI job runs these too).
+
+TEST(PatternBundleFuzz, WrongMagicRejected) {
+  EXPECT_THROW((void)Pattern::deserialize(""), std::runtime_error);
+  EXPECT_THROW((void)Pattern::deserialize("# comments only\n"), std::runtime_error);
+  EXPECT_THROW((void)Pattern::deserialize("bogus 1\n"), std::runtime_error);
+  EXPECT_THROW((void)Pattern::deserialize("pattern 2\n"), std::runtime_error);
+  EXPECT_THROW((void)Pattern::deserialize("pattern\n"), std::runtime_error);
+  // A valid header with nothing behind it is just as dead.
+  EXPECT_THROW((void)Pattern::deserialize("pattern 1\n"), std::runtime_error);
+}
+
+TEST(PatternBundleFuzz, TruncatedBundlesErrorCleanly) {
+  const std::string bundle = Pattern::compile("(ab|ba)*a").serialize();
+  // Every prefix near the front (header + section starts), then a stride
+  // through the body: each must throw or load, never crash.
+  for (std::size_t cut = 0; cut < bundle.size();
+       cut += (cut < 64 || cut + 64 >= bundle.size()) ? 1 : 7) {
+    try {
+      (void)Pattern::deserialize(bundle.substr(0, cut));
+    } catch (const std::runtime_error&) {
+      // Rejection is the expected outcome for a torn bundle.
+    }
+  }
+}
+
+TEST(PatternBundleFuzz, CorruptedSectionsErrorCleanly) {
+  const std::string bundle = Pattern::compile("a(b|c)*d").serialize();
+  Prng prng(0xc0de);
+  static const char kJunk[] = "0123456789 -#abz\n";
+  for (int trial = 0; trial < 150; ++trial) {
+    std::string corrupt = bundle;
+    const std::size_t edits = 1 + prng.pick_index(6);
+    for (std::size_t e = 0; e < edits; ++e)
+      corrupt[prng.pick_index(corrupt.size())] =
+          kJunk[prng.pick_index(sizeof(kJunk) - 1)];
+    try {
+      const Pattern loaded = Pattern::deserialize(corrupt);
+      // A mutation that still parses must yield a USABLE pattern — queries
+      // may disagree with the original, but nothing may crash.
+      (void)Engine(loaded, {.threads = 1}).recognize("abd");
+    } catch (const std::runtime_error&) {
+      // Rejection (including RegexError-free load failures) is fine.
+    }
+  }
+}
 
 TEST(HostileInputs, DeepNestingParses) {
   std::string pattern;

@@ -43,7 +43,8 @@ TEST(MatchCount, ParallelEqualsSerialSmall) {
   const QueryResult serial = count_matches_serial(dfa, input);
   for (const std::size_t chunks : {1u, 2u, 3u, 5u, 12u}) {
     for (const bool convergence : {false, true}) {
-      const QueryResult parallel = count_matches(dfa, input, pool, counting(chunks, convergence));
+      const QueryResult parallel =
+          count_matches(dfa, input, pool, counting(chunks, convergence));
       EXPECT_EQ(parallel.matches, serial.matches)
           << "chunks=" << chunks << " conv=" << convergence;
       EXPECT_FALSE(parallel.died);
@@ -90,7 +91,8 @@ TEST(MatchCount, DiedRunReportsPartialCount) {
   const auto input = dfa.symbols().translate("ba");
   const QueryResult serial = count_matches_serial(dfa, input);
   for (const bool convergence : {false, true}) {
-    const QueryResult parallel = count_matches(dfa, input, pool, counting(2, convergence));
+    const QueryResult parallel =
+        count_matches(dfa, input, pool, counting(2, convergence));
     EXPECT_TRUE(serial.died);
     EXPECT_TRUE(parallel.died) << "conv=" << convergence;
     EXPECT_EQ(parallel.matches, serial.matches);
@@ -134,7 +136,8 @@ TEST_P(MatchCountProperty, ParallelEqualsSerialOnRandomMachines) {
     const QueryResult serial = count_matches_serial(dfa, input);
     const std::size_t chunks = 1 + prng.pick_index(9);
     for (const bool convergence : {false, true}) {
-      const QueryResult parallel = count_matches(dfa, input, pool, counting(chunks, convergence));
+      const QueryResult parallel =
+          count_matches(dfa, input, pool, counting(chunks, convergence));
       EXPECT_EQ(parallel.matches, serial.matches)
           << "chunks=" << chunks << " conv=" << convergence;
       EXPECT_EQ(parallel.died, serial.died)

@@ -33,7 +33,8 @@ TEST(RandomRegex, SizeTracksBudget) {
   RandomRegexConfig config;
   config.target_size = 30;
   double total = 0;
-  for (int i = 0; i < 20; ++i) total += static_cast<double>(re_size(random_regex(prng, config)));
+  for (int i = 0; i < 20; ++i)
+    total += static_cast<double>(re_size(random_regex(prng, config)));
   // Normalizing constructors may shrink the tree, but not to a leaf.
   EXPECT_GT(total / 20, 5.0);
 }
@@ -63,7 +64,8 @@ TEST_P(RandomMemberProperty, GeneratedMembersAreAccepted) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, RandomMemberProperty, ::testing::Range<std::uint64_t>(0, 25));
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMemberProperty,
+                         ::testing::Range<std::uint64_t>(0, 25));
 
 TEST(RandomMember, EmptyLanguageReturnsFalse) {
   Prng prng(1);

@@ -150,7 +150,8 @@ TEST_P(Lemma32Property, NstOfPlasEqualsNfaReach) {
     std::vector<State> next;
     for (const State start : starts) {
       std::uint64_t ignore = 0;
-      const State end = run_dfa_span(ridfa.dfa(), start, span.data(), span.size(), ignore);
+      const State end =
+          run_dfa_span(ridfa.dfa(), start, span.data(), span.size(), ignore);
       if (end != kDeadState) next.push_back(end);
     }
     plas = std::move(next);

@@ -27,7 +27,8 @@ TEST(SymbolMap, BuildSingleClass) {
 TEST(SymbolMap, BuildRefinesOverlaps) {
   ByteSet lower, vowels;
   for (char c = 'a'; c <= 'z'; ++c) lower.set(static_cast<unsigned char>(c));
-  for (const char c : {'a', 'e', 'i', 'o', 'u'}) vowels.set(static_cast<unsigned char>(c));
+  for (const char c : {'a', 'e', 'i', 'o', 'u'})
+    vowels.set(static_cast<unsigned char>(c));
   const SymbolMap map = SymbolMap::build({lower, vowels});
   // Two classes: vowels (in both) and consonants (lower only).
   EXPECT_EQ(map.num_symbols(), 2);
@@ -48,7 +49,8 @@ TEST(SymbolMap, BuildDisjointClasses) {
 TEST(SymbolMap, SymbolsOfIntersection) {
   ByteSet lower, vowels;
   for (char c = 'a'; c <= 'z'; ++c) lower.set(static_cast<unsigned char>(c));
-  for (const char c : {'a', 'e', 'i', 'o', 'u'}) vowels.set(static_cast<unsigned char>(c));
+  for (const char c : {'a', 'e', 'i', 'o', 'u'})
+    vowels.set(static_cast<unsigned char>(c));
   const SymbolMap map = SymbolMap::build({lower, vowels});
   EXPECT_EQ(map.symbols_of(vowels).size(), 1u);
   EXPECT_EQ(map.symbols_of(lower).size(), 2u);

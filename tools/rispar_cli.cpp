@@ -12,7 +12,10 @@
 //   rispar export  <pattern> [--machine nfa|dfa|ridfa] [--format native|timbuk]
 //   rispar gen     <benchmark> <bytes> [--seed N]     workload text to stdout
 //   rispar bench-list                         the five paper workloads
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -40,6 +43,8 @@ const char* const kUsage =
     "  rispar find <pattern> <file|-> [--positions] [--chunks N] [--threads N]\n"
     "              [--convergence] [--offset N] [--limit N]\n"
     "  rispar find --patterns <patterns-file> <file|-> [same flags]\n"
+    "  rispar find <pattern> <file|-> --stream [--window BYTES] [--positions]\n"
+    "              [--chunks N] [--threads N] [--convergence]\n"
     "  rispar export <pattern> [--machine nfa|dfa|ridfa] [--format native|timbuk]\n"
     "  rispar gen <benchmark> <bytes> [--seed N]\n"
     "  rispar bench-list\n"
@@ -56,6 +61,17 @@ const char* const kUsage =
     "--offset/--limit page the match list server-style: the printed window\n"
     "moves, the reported total does not. A patterns file holds one regex\n"
     "per line.\n"
+    "\n"
+    "--stream reads the input in windows of at most --window bytes (default\n"
+    "64 KiB) through a streaming-find session: at no point does the whole\n"
+    "input exist in memory, matches print as each window is joined, and\n"
+    "offsets are absolute positions in the stream. The log-tailing shape:\n"
+    "pipe an unbounded source to stdin ('-') — a slow pipe feeds whatever\n"
+    "has arrived instead of waiting for a full window. With --positions\n"
+    "each match prints as 'offset:length' (no slice: its begin may lie in\n"
+    "a window already scrolled away). --offset/--limit do not apply to\n"
+    "streams (an unbounded input has no total to page against) and are\n"
+    "rejected, as is --patterns (one pattern per streaming session).\n"
     "\n"
     "exit status (grep semantics):\n"
     "  0  match / count / find found at least one match (or the command has\n"
@@ -205,8 +221,94 @@ int cmd_count(const std::string& pattern_text, const std::string& path, int argc
   return counted.matches > 0 ? 0 : 1;
 }
 
+int cmd_find_stream(const std::string& pattern_text, const std::string& path,
+                    int argc, char** argv) {
+  QueryOptions options;
+  options.positions = true;
+  options.chunks = static_cast<std::size_t>(
+      std::strtoul(flag_value(argc, argv, "--chunks", "16").c_str(), nullptr, 10));
+  options.convergence = flag_present(argc, argv, "--convergence");
+  // Paging knobs pass through so the session REJECTS them (QueryError,
+  // exit 2) instead of this front end silently dropping them.
+  options.offset = static_cast<std::size_t>(
+      std::strtoull(flag_value(argc, argv, "--offset", "0").c_str(), nullptr, 10));
+  const std::string limit_flag = flag_value(argc, argv, "--limit", "");
+  if (!limit_flag.empty())
+    options.limit =
+        static_cast<std::size_t>(std::strtoull(limit_flag.c_str(), nullptr, 10));
+  const auto threads = static_cast<unsigned>(
+      std::strtoul(flag_value(argc, argv, "--threads", "0").c_str(), nullptr, 10));
+  const auto window_bytes = static_cast<std::size_t>(std::strtoull(
+      flag_value(argc, argv, "--window", "65536").c_str(), nullptr, 10));
+  if (window_bytes == 0) {
+    std::fprintf(stderr, "rispar: --window must be positive\n");
+    return 2;
+  }
+
+  const Engine engine(Pattern::compile(pattern_text), {.threads = threads});
+  StreamSession stream = engine.stream(options);  // QueryError -> exit 2
+
+  std::ifstream file;
+  if (path != "-") {
+    file.open(path, std::ios::binary);
+    if (!file) {
+      std::fprintf(stderr, "rispar: cannot open '%s'\n", path.c_str());
+      return 2;
+    }
+  }
+
+  const bool print_positions = flag_present(argc, argv, "--positions");
+  const MatchSink sink = [&](const Match& m) {
+    if (!print_positions) return;
+    std::printf("%llu:%llu\n", static_cast<unsigned long long>(m.begin),
+                static_cast<unsigned long long>(m.end - m.begin));
+  };
+
+  // A tailing consumer reads matches as they happen: line-buffer stdout
+  // even when it is a pipe (block buffering would sit on matches for ages).
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  Stopwatch clock;
+  std::string buffer(window_bytes, '\0');
+  while (true) {
+    std::size_t got = 0;
+    if (path == "-") {
+      // POSIX read on the stdin fd: returns as soon as SOME bytes are
+      // available on a pipe — the tailing shape. istream::read would block
+      // until a full window accumulated, stalling slow sources for hours.
+      const ssize_t n = ::read(STDIN_FILENO, buffer.data(), buffer.size());
+      if (n < 0) {
+        std::fprintf(stderr, "rispar: read error on stdin\n");
+        return 2;
+      }
+      got = static_cast<std::size_t>(n);
+    } else {
+      file.read(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+      got = static_cast<std::size_t>(file.gcount());
+    }
+    if (got == 0) break;
+    stream.feed(std::string_view(buffer.data(), got), sink);
+  }
+  std::fprintf(stderr,
+               "rispar: %llu match%s in %llu bytes over %llu windows (%.3f ms)\n",
+               static_cast<unsigned long long>(stream.matches()),
+               stream.matches() == 1 ? "" : "es",
+               static_cast<unsigned long long>(stream.bytes_consumed()),
+               static_cast<unsigned long long>(stream.windows()), clock.millis());
+  return stream.matches() > 0 ? 0 : 1;
+}
+
 int cmd_find(int argc, char** argv) {
-  // Grammar: find <pattern> <file|->  |  find --patterns <file> <file|->.
+  // Grammar: find <pattern> <file|->  |  find --patterns <file> <file|->
+  //          |  find <pattern> <file|-> --stream.
+  if (flag_present(argc, argv, "--stream")) {
+    if (std::strcmp(argv[2], "--patterns") == 0) {
+      std::fprintf(stderr,
+                   "rispar: --stream serves one pattern per session; --patterns "
+                   "is a one-shot shape\n");
+      return 2;
+    }
+    return cmd_find_stream(argv[2], argv[3], argc, argv);
+  }
   std::vector<std::string> pattern_texts;
   std::string input_path;
   bool from_file = false;
