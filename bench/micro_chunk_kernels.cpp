@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "benchmark_json_main.hpp"
+#include "common.hpp"
 #include "automata/glushkov.hpp"
 #include "parallel/ca_run.hpp"
 #include "engine/pattern.hpp"
@@ -48,20 +49,21 @@ const ChunkFixture& traffic_fixture() {
   return fixture;
 }
 
+using rispar::bench::kernel_from_range;
+
 DetChunkOptions options_from_args(const benchmark::State& state) {
-  return DetChunkOptions{
-      .convergence = state.range(0) != 0,
-      .kernel = state.range(1) != 0 ? DetKernel::kFused : DetKernel::kReference};
+  return DetChunkOptions{.convergence = state.range(0) != 0,
+                         .kernel = kernel_from_range(state.range(1))};
 }
 
 std::string label_from_args(const benchmark::State& state) {
   std::string label = state.range(0) ? "convergent" : "independent";
-  label += state.range(1) ? "/fused" : "/reference";
+  label += std::string("/") + kernel_name(kernel_from_range(state.range(1)));
   return label;
 }
 
 // The acceptance-criterion shape: >= 16 speculative starts over a 64 KiB
-// chunk (bible's minimal DFA has 17 states). Args: (convergence, fused).
+// chunk (bible's minimal DFA has 17 states). Args: (convergence, kernel).
 void BM_DetKernelAllStarts_Winning(benchmark::State& state) {
   const ChunkFixture& f = bible_fixture();
   const DetChunkOptions options = options_from_args(state);
@@ -76,8 +78,10 @@ void BM_DetKernelAllStarts_Winning(benchmark::State& state) {
 BENCHMARK(BM_DetKernelAllStarts_Winning)
     ->Args({0, 0})
     ->Args({0, 1})
+    ->Args({0, 2})
     ->Args({1, 0})
     ->Args({1, 1})
+    ->Args({1, 2})
     ->Unit(benchmark::kMillisecond);
 
 void BM_DetKernelAllStarts_Even(benchmark::State& state) {
@@ -94,23 +98,80 @@ void BM_DetKernelAllStarts_Even(benchmark::State& state) {
 BENCHMARK(BM_DetKernelAllStarts_Even)
     ->Args({0, 0})
     ->Args({0, 1})
+    ->Args({0, 2})
     ->Args({1, 0})
     ->Args({1, 1})
+    ->Args({1, 2})
     ->Unit(benchmark::kMillisecond);
 
 void BM_RidKernelInterfaceStarts(benchmark::State& state) {
   const ChunkFixture& f = bible_fixture();
-  const DetChunkOptions options{
-      .kernel = state.range(0) != 0 ? DetKernel::kFused : DetKernel::kReference};
+  const DetChunkOptions options{.kernel = kernel_from_range(state.range(0))};
   for (auto _ : state) {
     const DetChunkResult result = run_chunk_det(
         f.pattern.ridfa().dfa(), f.chunk, f.pattern.ridfa().initial_states(), options);
     benchmark::DoNotOptimize(result.lambda.size());
   }
-  state.SetLabel(state.range(0) ? "fused" : "reference");
+  state.SetLabel(kernel_name(kernel_from_range(state.range(0))));
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * f.chunk.size()));
 }
-BENCHMARK(BM_RidKernelInterfaceStarts)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RidKernelInterfaceStarts)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+// Gather-vs-scalar sweep across the three table widths: synthetic cycle
+// DFAs sized to force u8 / u16 / i32 packing, 64 speculative starts that
+// all survive a 64 KiB chunk — the pure many-live-runs shape where the
+// per-symbol advance is everything and the vector gather has the most to
+// win. Cycle steps preserve start distinctness, so the convergent rows
+// keep every group live too (no collapse to the shared scalar tail).
+// Args: (width: 0=u8 1=u16 2=i32, kernel: 1=fused 2=simd, convergence).
+Dfa cycle_dfa(std::int32_t n) {
+  Dfa dfa = Dfa::with_identity_alphabet(2);
+  for (std::int32_t s = 0; s < n; ++s) dfa.add_state(s == n - 1);
+  dfa.set_initial(0);
+  for (std::int32_t s = 0; s < n; ++s) dfa.set_transition(s, 0, (s + 1) % n);
+  dfa.set_transition(0, 1, 0);  // symbol 1 is dead everywhere else
+  return dfa;
+}
+
+void BM_GatherWidthSweep(benchmark::State& state) {
+  static const Dfa u8_dfa = cycle_dfa(200);
+  static const Dfa u16_dfa = cycle_dfa(4000);
+  static const Dfa i32_dfa = cycle_dfa(70000);
+  const Dfa& dfa =
+      state.range(0) == 0 ? u8_dfa : (state.range(0) == 1 ? u16_dfa : i32_dfa);
+  static const std::vector<Symbol> chunk(1u << 16, 0);  // every run survives
+  std::vector<State> starts;
+  Prng prng(7);
+  for (int i = 0; i < 64; ++i)
+    starts.push_back(static_cast<State>(
+        prng.pick_index(static_cast<std::size_t>(dfa.num_states()))));
+  const DetChunkOptions options{.convergence = state.range(2) != 0,
+                                .kernel = kernel_from_range(state.range(1))};
+  for (auto _ : state) {
+    const DetChunkResult result = run_chunk_det(dfa, chunk, starts, options);
+    benchmark::DoNotOptimize(result.lambda.size());
+  }
+  const char* width = state.range(0) == 0 ? "u8" : (state.range(0) == 1 ? "u16" : "i32");
+  state.SetLabel(std::string(width) + (state.range(2) ? "/convergent/" : "/") +
+                 kernel_name(kernel_from_range(state.range(1))));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * chunk.size()));
+}
+BENCHMARK(BM_GatherWidthSweep)
+    ->Args({0, 1, 0})
+    ->Args({0, 2, 0})
+    ->Args({1, 1, 0})
+    ->Args({1, 2, 0})
+    ->Args({2, 1, 0})
+    ->Args({2, 2, 0})
+    ->Args({0, 1, 1})
+    ->Args({0, 2, 1})
+    ->Args({1, 1, 1})
+    ->Args({1, 2, 1})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_NfaKernelAllStarts(benchmark::State& state) {
   const ChunkFixture& f = traffic_fixture();

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "benchmark_json_main.hpp"
+#include "common.hpp"
 #include "engine/engine.hpp"
 #include "engine/pattern_set.hpp"
 #include "parallel/match_count.hpp"
@@ -41,23 +42,25 @@ FindFixture& fixture() {
   return f;
 }
 
+using rispar::bench::kernel_from_range;
+
 QueryOptions options_from_args(const benchmark::State& state) {
   QueryOptions options;
   options.chunks = static_cast<std::size_t>(state.range(0));
   options.convergence = state.range(1) != 0;
-  options.kernel = state.range(2) != 0 ? DetKernel::kFused : DetKernel::kReference;
+  options.kernel = kernel_from_range(state.range(2));
   return options;
 }
 
 std::string label_from_args(const benchmark::State& state) {
   std::string label = "c=" + std::to_string(state.range(0));
   label += state.range(1) ? "/convergent" : "/independent";
-  label += state.range(2) ? "/fused" : "/reference";
+  label += std::string("/") + kernel_name(kernel_from_range(state.range(2)));
   return label;
 }
 
 // The tentpole path: positioned occurrences over the Σ*p searcher. Args:
-// (chunks, convergence, fused).
+// (chunks, convergence, kernel).
 void BM_FindMatches(benchmark::State& state) {
   FindFixture& f = fixture();
   const QueryOptions options = options_from_args(state);
@@ -73,9 +76,12 @@ BENCHMARK(BM_FindMatches)
     ->Args({1, 0, 1})
     ->Args({8, 0, 0})
     ->Args({8, 0, 1})
+    ->Args({8, 0, 2})
     ->Args({8, 1, 0})
     ->Args({8, 1, 1})
+    ->Args({8, 1, 2})
     ->Args({32, 1, 1})
+    ->Args({32, 1, 2})
     ->Unit(benchmark::kMillisecond);
 
 // What positions cost over bare counting on the identical scan. Args as

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "benchmark_json_main.hpp"
+#include "common.hpp"
 #include "engine/engine.hpp"
 #include "parallel/match_count.hpp"
 #include "workloads/suite.hpp"
@@ -51,7 +52,7 @@ void BM_StreamFind(benchmark::State& state) {
   options.positions = true;
   options.chunks = static_cast<std::size_t>(state.range(1));
   options.convergence = state.range(2) != 0;
-  options.kernel = state.range(3) != 0 ? DetKernel::kFused : DetKernel::kReference;
+  options.kernel = rispar::bench::kernel_from_range(state.range(3));
   const std::size_t window = static_cast<std::size_t>(state.range(0)) << 10;
 
   for (auto _ : state) {
@@ -68,7 +69,7 @@ void BM_StreamFind(benchmark::State& state) {
   state.SetLabel("w=" + std::to_string(state.range(0)) + "KiB/c=" +
                  std::to_string(state.range(1)) +
                  (state.range(2) ? "/convergent" : "/independent") +
-                 (state.range(3) ? "/fused" : "/reference"));
+                 "/" + kernel_name(options.kernel));
   state.SetBytesProcessed(
       static_cast<std::int64_t>(state.iterations() * f.text.size()));
 }
@@ -77,7 +78,9 @@ BENCHMARK(BM_StreamFind)
     ->Args({64, 1, 0, 1})
     ->Args({64, 8, 0, 1})
     ->Args({64, 8, 0, 0})
+    ->Args({64, 8, 0, 2})
     ->Args({64, 8, 1, 1})
+    ->Args({64, 8, 1, 2})
     ->Args({256, 8, 0, 1})
     ->Args({256, 8, 1, 1})
     ->Unit(benchmark::kMillisecond);

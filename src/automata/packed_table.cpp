@@ -9,7 +9,9 @@ std::vector<T> pack_transposed(const std::vector<State>& table, std::int32_t num
                                std::int32_t num_symbols) {
   const auto n = static_cast<std::size_t>(num_states);
   const auto k = static_cast<std::size_t>(num_symbols);
-  std::vector<T> packed(table.size());
+  // Tail slack for the dword gathers (kGatherSlackEntries, packed_table.hpp);
+  // sentinel-filled so a stray read can only ever see "dead".
+  std::vector<T> packed(table.size() + kGatherSlackEntries, PackedDead<T>::value);
   for (std::size_t s = 0; s < n; ++s) {
     for (std::size_t a = 0; a < k; ++a) {
       const State entry = table[s * k + a];

@@ -44,6 +44,20 @@ struct PackedDead<std::int32_t> {
   static constexpr std::int32_t value = kDeadState;
 };
 
+/// The dead sentinel as it arrives from a zero-extending column gather
+/// (util/simd_gather.hpp): 0xFF / 0xFFFF for the narrow widths, kDeadState
+/// for i32. The kSimd kernels compare gathered i32 lanes against this.
+template <typename T>
+inline constexpr std::int32_t PackedWideDead =
+    static_cast<std::int32_t>(PackedDead<T>::value);
+
+/// Entries of tail slack appended after the num_states × num_symbols table
+/// body. The AVX2 gathers load a full dword at each entry's byte offset, so
+/// the last u8/u16 entries over-read up to 3 bytes; four sentinel-filled
+/// slack entries (>= 4 bytes at every width) keep those loads inside the
+/// allocation. The slack is not part of any column and never holds a state.
+inline constexpr std::size_t kGatherSlackEntries = 4;
+
 class PackedTable {
  public:
   PackedTable() = default;

@@ -40,22 +40,49 @@ void compose_mapping(const PackedTable& table, const std::vector<State>& current
 
 }  // namespace
 
-State Sfa::run(const Symbol* input, std::size_t length,
-               std::uint64_t& transitions) const {
-  State state = initial();
+namespace {
+
+// The packed scan: one unchecked column lookup per symbol (δ_SFA is total,
+// so the loop has exactly one branch — the alien-symbol range check, folded
+// into a single unsigned compare as in run_packed_single).
+template <typename T>
+State run_packed_sfa(const PackedTable& table, const Symbol* input, std::size_t length,
+                     const std::optional<State>& all_dead, std::uint64_t& transitions) {
+  const T* entries = table.data<T>();
+  const auto n = static_cast<std::size_t>(table.num_states());
+  const auto limit = static_cast<std::uint32_t>(table.num_symbols());
+  T state = 0;  // Sfa::initial() — the identity mapping
   for (std::size_t i = 0; i < length; ++i) {
-    const Symbol symbol = input[i];
-    if (symbol < 0 || symbol >= num_symbols_) {
+    if (static_cast<std::uint32_t>(input[i]) >= limit) {
       // Alien symbol: every run dies, so the arrival state is the all-dead
       // mapping (a fixpoint of every symbol), precomputed at build time.
       // When it was never interned the chunk automaton is total and alien
       // symbols cannot occur for texts translated with its SymbolMap.
-      return all_dead_.value_or(state);
+      transitions += i;
+      return all_dead.value_or(static_cast<State>(state));
     }
-    state = step(state, symbol);
-    ++transitions;
+    state = entries[static_cast<std::size_t>(input[i]) * n +
+                    static_cast<std::size_t>(state)];
   }
-  return state;
+  transitions += length;
+  return static_cast<State>(state);
+}
+
+}  // namespace
+
+State Sfa::run(const Symbol* input, std::size_t length,
+               std::uint64_t& transitions) const {
+  switch (packed_.width()) {
+    case TableWidth::kU8:
+      return run_packed_sfa<std::uint8_t>(packed_, input, length, all_dead_,
+                                          transitions);
+    case TableWidth::kU16:
+      return run_packed_sfa<std::uint16_t>(packed_, input, length, all_dead_,
+                                           transitions);
+    case TableWidth::kI32:
+      break;
+  }
+  return run_packed_sfa<std::int32_t>(packed_, input, length, all_dead_, transitions);
 }
 
 std::optional<Sfa> try_build_sfa(const Dfa& chunk_automaton, std::int32_t max_states) {
@@ -112,6 +139,9 @@ std::optional<Sfa> try_build_sfa(const Dfa& chunk_automaton, std::int32_t max_st
           target;
     }
   }
+  // Pack δ_SFA like every other scan table: width by state count,
+  // symbol-major. Built once here so Sfa::run never touches the int32 rows.
+  sfa.packed_ = PackedTable::build(sfa.table_, sfa.num_states(), k);
   return sfa;
 }
 

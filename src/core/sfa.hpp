@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "automata/dfa.hpp"
+#include "automata/packed_table.hpp"
 
 namespace rispar {
 
@@ -32,6 +33,12 @@ class Sfa {
     return table_[static_cast<std::size_t>(state) * num_symbols_ +
                   static_cast<std::size_t>(symbol)];
   }
+
+  /// The SFA's own δ, width-packed and symbol-major (automata/
+  /// packed_table.hpp) — the same layout the pattern DFA's scans use, so
+  /// chunk runs walk u8/u16 entries instead of the int32 state-major rows.
+  /// δ_SFA is total, so no packed entry is ever the dead sentinel.
+  const PackedTable& packed() const { return packed_; }
 
   /// The mapping of an SFA state: entry q is the chunk-automaton state
   /// reached from start q, or kDeadState if that run died.
@@ -53,6 +60,7 @@ class Sfa {
   friend std::optional<Sfa> try_build_sfa(const Dfa&, std::int32_t);
   std::int32_t num_symbols_ = 0;
   std::vector<State> table_;
+  PackedTable packed_;  ///< width-packed symbol-major copy of table_
   std::vector<std::vector<State>> mappings_;
   std::optional<State> all_dead_;
 };

@@ -6,6 +6,7 @@
 
 #include "automata/packed_table.hpp"
 #include "automata/symbol_map.hpp"
+#include "util/simd_gather.hpp"
 
 namespace rispar {
 
@@ -302,7 +303,185 @@ DetChunkResult run_fused(const PackedTable& table, std::span<const Symbol> chunk
                      : fused_lockstep<T>(table, chunk, starts);
 }
 
+// ---------------------------------------------------------------------------
+// SIMD kernels — the lockstep structure of the fused kernels, but every
+// symbol advances the whole live block through one vector gather
+// (util/simd_gather.hpp) instead of N dependent scalar column loads. States
+// live in an i32 SoA vector (the gather index type), dead runs are
+// compacted out after every symbol so the gather block stays dense, and the
+// scalar single-run tail is shared with the fused kernels — accounting and
+// λ emission are bit-identical across all three implementations.
+// ---------------------------------------------------------------------------
+
+// Lockstep gather kernel (independent-run semantics). Mirrors
+// fused_lockstep symbol for symbol; the whole inner loop over a validated
+// symbol window — column gathers, survivor tests, dead-run compaction,
+// transition accounting — is one backend call (simd::AdvanceSpanFn), so
+// per-symbol work never crosses the dispatch boundary.
+template <typename T>
+DetChunkResult simd_lockstep(const PackedTable& table, std::span<const Symbol> chunk,
+                             std::span<const State> starts) {
+  if (starts.size() == 1) return fused_single<T>(table, chunk, starts[0]);
+
+  const simd::AdvanceSpanFn advance = simd::advance_span_fn<T>(simd::gather_ops());
+  const T* entries = table.data<T>();
+  const auto n = static_cast<std::size_t>(table.num_states());
+
+  DetChunkResult result;
+  std::vector<std::int32_t> state(starts.size());
+  std::vector<std::uint32_t> origin(starts.size());  // index into starts
+  for (std::size_t i = 0; i < starts.size(); ++i) {
+    state[i] = starts[i];
+    origin[i] = static_cast<std::uint32_t>(i);
+  }
+
+  std::size_t live = starts.size();
+  std::size_t pos = 0;
+  while (pos < chunk.size() && live > 0) {
+    if (live == 1) {
+      // Lone survivor: finish with the scalar loop (no SoA bookkeeping).
+      DetChunkResult tail = fused_single<T>(table, chunk.subspan(pos),
+                                            static_cast<State>(state[0]));
+      result.transitions += tail.transitions;
+      if (!tail.lambda.empty())
+        result.lambda.emplace_back(starts[origin[0]], tail.lambda.front().second);
+      return result;
+    }
+    const auto [valid_end, block_end] = validated_prefix(chunk, pos, table.num_symbols());
+    pos += advance(entries, n, chunk.data() + pos, valid_end - pos, state.data(),
+                   origin.data(), live, result.transitions);
+    if (live > 1 && pos == valid_end && valid_end < block_end)
+      return result;  // alien symbol at pos: every run dies uncounted
+  }
+
+  result.lambda.reserve(live);
+  // Compaction preserves relative order, so origin[] ascends = starts order.
+  for (std::size_t i = 0; i < live; ++i)
+    result.lambda.emplace_back(starts[origin[i]], static_cast<State>(state[i]));
+  return result;
+}
+
+// Gather-fed convergent kernel: the per-symbol advance of all live groups
+// is one vector gather IN PLACE over the group-state vector (the gather
+// contract allows out == idx); the epoch-stamped merge bookkeeping of
+// fused_convergent then runs over the advanced states. Group order, member
+// splice order and the emitted λ are identical to the fused kernel.
+template <typename T>
+DetChunkResult simd_convergent(const PackedTable& table, std::span<const Symbol> chunk,
+                               std::span<const State> starts) {
+  constexpr std::int32_t kDeadWide = PackedWideDead<T>;
+  const simd::GatherFn gather = simd::gather_fn<T>(simd::gather_ops());
+  const T* entries = table.data<T>();
+  const auto num_states = static_cast<std::size_t>(table.num_states());
+
+  DetChunkResult result;
+  std::vector<std::int32_t> group_state(starts.size());
+  std::vector<std::uint32_t> head(starts.size());
+  std::vector<std::uint32_t> tail(starts.size());
+  std::vector<std::uint32_t> next_member(starts.size(), kNoMember);
+
+  std::vector<std::uint64_t> stamp(num_states, 0);
+  std::vector<std::uint32_t> group_at(num_states);
+  std::uint64_t epoch = 1;
+
+  std::size_t groups = 0;
+  for (std::size_t i = 0; i < starts.size(); ++i) {
+    const auto s = static_cast<std::size_t>(starts[i]);
+    if (stamp[s] == epoch) {
+      const std::uint32_t g = group_at[s];
+      next_member[tail[g]] = static_cast<std::uint32_t>(i);
+      tail[g] = static_cast<std::uint32_t>(i);
+    } else {
+      stamp[s] = epoch;
+      group_at[s] = static_cast<std::uint32_t>(groups);
+      group_state[groups] = starts[i];
+      head[groups] = tail[groups] = static_cast<std::uint32_t>(i);
+      ++groups;
+    }
+  }
+
+  std::size_t pos = 0;
+  while (pos < chunk.size() && groups > 0) {
+    if (groups == 1) {
+      // All runs converged: finish with the scalar loop and scatter the one
+      // end state over the group's members.
+      DetChunkResult scalar_tail = fused_single<T>(
+          table, chunk.subspan(pos), static_cast<State>(group_state[0]));
+      result.transitions += scalar_tail.transitions;
+      if (scalar_tail.lambda.empty()) return result;  // the merged run died
+      const State end = scalar_tail.lambda.front().second;
+      result.distinct_ends.push_back(end);
+      std::vector<State> end_of(starts.size(), kDeadState);
+      for (std::uint32_t i = head[0]; i != kNoMember; i = next_member[i]) end_of[i] = end;
+      for (std::size_t i = 0; i < starts.size(); ++i)
+        if (end_of[i] != kDeadState) result.lambda.emplace_back(starts[i], end_of[i]);
+      return result;
+    }
+    const auto [valid_end, block_end] = validated_prefix(chunk, pos, table.num_symbols());
+    for (; pos < valid_end && groups > 1; ++pos) {
+      const T* col = entries + static_cast<std::size_t>(chunk[pos]) * num_states;
+      gather(col, group_state.data(), groups, group_state.data());
+      ++epoch;
+      // The merge loop reads group_state[g] (the advanced value) before any
+      // write to slot g: write <= g throughout, and the write at g is the
+      // value itself.
+      std::size_t write = 0;
+      for (std::size_t g = 0; g < groups; ++g) {
+        const std::int32_t value = group_state[g];
+        if (value == kDeadWide) continue;  // whole group dies (not counted)
+        ++result.transitions;              // one executed transition per live group
+        const auto ns = static_cast<std::size_t>(value);
+        if (stamp[ns] == epoch) {
+          // Collision: splice g's member list onto the owning group's tail.
+          const std::uint32_t dst = group_at[ns];
+          next_member[tail[dst]] = head[g];
+          tail[dst] = tail[g];
+        } else {
+          stamp[ns] = epoch;
+          group_at[ns] = static_cast<std::uint32_t>(write);
+          group_state[write] = value;  // write <= g: slot already consumed
+          head[write] = head[g];
+          tail[write] = tail[g];
+          ++write;
+        }
+      }
+      groups = write;
+    }
+    if (groups > 0 && pos == valid_end && valid_end < block_end)
+      return result;  // alien symbol at pos: every run dies uncounted
+  }
+
+  result.distinct_ends.reserve(groups);
+  // Emit λ in `starts` order: scatter each group's end over its members.
+  std::vector<State> end_of(starts.size(), kDeadState);
+  for (std::size_t g = 0; g < groups; ++g) {
+    const auto end = static_cast<State>(group_state[g]);
+    result.distinct_ends.push_back(end);
+    for (std::uint32_t i = head[g]; i != kNoMember; i = next_member[i]) end_of[i] = end;
+  }
+  result.lambda.reserve(starts.size());
+  for (std::size_t i = 0; i < starts.size(); ++i)
+    if (end_of[i] != kDeadState) result.lambda.emplace_back(starts[i], end_of[i]);
+  return result;
+}
+
+template <typename T>
+DetChunkResult run_simd(const PackedTable& table, std::span<const Symbol> chunk,
+                        std::span<const State> starts, bool convergence) {
+  return convergence ? simd_convergent<T>(table, chunk, starts)
+                     : simd_lockstep<T>(table, chunk, starts);
+}
+
 }  // namespace
+
+const char* kernel_name(DetKernel kernel) {
+  switch (kernel) {
+    case DetKernel::kFused: return "fused";
+    case DetKernel::kReference: return "reference";
+    case DetKernel::kSimd: return "simd";
+  }
+  return "?";
+}
 
 DetChunkResult run_chunk_det(const Dfa& dfa, std::span<const Symbol> chunk,
                              std::span<const State> starts,
@@ -312,6 +491,17 @@ DetChunkResult run_chunk_det(const Dfa& dfa, std::span<const Symbol> chunk,
                                : reference_independent(dfa, chunk, starts);
   }
   const PackedTable& table = dfa.packed();
+  if (options.kernel == DetKernel::kSimd) {
+    switch (table.width()) {
+      case TableWidth::kU8:
+        return run_simd<std::uint8_t>(table, chunk, starts, options.convergence);
+      case TableWidth::kU16:
+        return run_simd<std::uint16_t>(table, chunk, starts, options.convergence);
+      case TableWidth::kI32:
+        break;
+    }
+    return run_simd<std::int32_t>(table, chunk, starts, options.convergence);
+  }
   switch (table.width()) {
     case TableWidth::kU8:
       return run_fused<std::uint8_t>(table, chunk, starts, options.convergence);

@@ -27,7 +27,7 @@
 //
 // ## Kernel implementations
 //
-// The deterministic kernels exist in two implementations, selected by
+// The deterministic kernels exist in three implementations, selected by
 // DetChunkOptions::kernel and proven equivalent by property tests:
 //
 //  * kFused (default) — single pass over the chunk for ALL starts.
@@ -39,6 +39,15 @@
 //    Both run on the width-specialized packed table (automata/
 //    packed_table.hpp) and validate the chunk's symbols once up front
 //    (first_invalid_symbol) instead of per step.
+//  * kSimd — the same lockstep structure, but each symbol advances the
+//    whole live block through ONE vector gather over the packed column
+//    (util/simd_gather.hpp: AVX2 vpgatherdd with i32-widened indices for
+//    the u8/u16 widths, or the portable unrolled fallback — picked once at
+//    runtime by util/cpuid.hpp, so kSimd runs everywhere and never
+//    rejects). Dead runs are compacted out of the index vector after every
+//    symbol so the gather block stays dense; convergent mode gathers the
+//    group states and reuses the epoch-stamped merge bookkeeping on the
+//    gathered buffer. Results are bit-identical to kFused/kReference.
 //  * kReference — the seed implementations (start-at-a-time independent
 //    runs; unordered_map convergence), kept as the oracle for the property
 //    tests and for A/B benchmarks.
@@ -74,7 +83,11 @@ struct DetChunkResult {
 enum class DetKernel : std::uint8_t {
   kFused,      ///< lockstep SoA / epoch-stamped convergence on packed tables
   kReference,  ///< seed implementations (test oracle, A/B baseline)
+  kSimd,       ///< vector-gather lockstep (AVX2 or portable, runtime-picked)
 };
+
+/// "fused" / "reference" / "simd" — CLI values and bench labels.
+const char* kernel_name(DetKernel kernel);
 
 struct DetChunkOptions {
   bool convergence = false;

@@ -1,6 +1,7 @@
 #include "parallel/match_count.hpp"
 
 #include "parallel/chunking.hpp"
+#include "util/simd_gather.hpp"
 #include "util/stopwatch.hpp"
 
 namespace rispar {
@@ -342,8 +343,134 @@ void join_find_chunks(std::span<const FindChunk> runs, std::span<const ChunkSpan
   }
 }
 
+/// The SIMD finding kernel: the same lockstep/merge bookkeeping as
+/// find_chunk, but each symbol advances ALL active runs through one vector
+/// gather over the packed column (util/simd_gather.hpp) into a buffer the
+/// scalar bookkeeping then consumes. Hit recording is branch-light: a
+/// per-state flag byte (final | initial) is extracted from the gathered
+/// next state, the separator update is a conditional move, and the only
+/// branch left on the common path is the rare hit push. Emits node fields,
+/// accounting and merge forests bit-identical to the scalar kernels.
+template <bool kConvergent, typename T>
+FindChunk find_chunk_simd(const Dfa& dfa, const PackedTable& table,
+                          std::span<const Symbol> span,
+                          std::span<const State> starts) {
+  constexpr std::int32_t kDeadWide = PackedWideDead<T>;
+  const simd::GatherFn gather = simd::gather_fn<T>(simd::gather_ops());
+  const T* entries = table.data<T>();
+  const auto n = static_cast<std::size_t>(table.num_states());
+  const auto limit = static_cast<std::uint32_t>(table.num_symbols());
+  const State initial = dfa.initial();
+
+  // flag[s]: bit 0 = final (record a hit), bit 1 = initial (new separator).
+  std::vector<std::uint8_t> flags(n, 0);
+  for (State s = 0; s < dfa.num_states(); ++s)
+    flags[static_cast<std::size_t>(s)] = static_cast<std::uint8_t>(
+        (dfa.is_final(s) ? 1u : 0u) | (s == initial ? 2u : 0u));
+
+  FindChunk chunk;
+  chunk.nodes.resize(starts.size());
+  std::vector<std::int32_t> active;  // node indices, in `starts` order
+  std::vector<std::int32_t> astate;  // i32 gather indices, parallel to active
+  active.reserve(starts.size());
+  astate.reserve(starts.size());
+  for (std::size_t s = 0; s < starts.size(); ++s) {
+    FindNode& node = chunk.nodes[s];
+    node.state = starts[s];  // starts are distinct states — no merges yet
+    if (starts[s] == initial) node.last_sep = 0;
+    active.push_back(static_cast<std::int32_t>(s));
+    astate.push_back(starts[s]);
+  }
+
+  std::vector<std::int32_t> owner;
+  std::vector<State> touched;
+  if constexpr (kConvergent) owner.assign(n, -1);
+
+  std::int64_t pos = 0;
+  for (const Symbol symbol : span) {
+    if (active.empty()) break;
+    if (static_cast<std::uint32_t>(symbol) >= limit) {
+      // Alien symbol: every run dies without the symbol being counted.
+      for (const std::int32_t idx : active)
+        chunk.nodes[static_cast<std::size_t>(idx)].dead = true;
+      active.clear();
+      break;
+    }
+    const T* col = entries + static_cast<std::size_t>(symbol) * n;
+    // In-place gather (the contract allows out == idx): astate[a] becomes
+    // the advanced state; the bookkeeping below reads slot a before the
+    // compaction writes slot `write` <= a.
+    gather(col, astate.data(), active.size(), astate.data());
+    ++pos;
+    if constexpr (kConvergent) touched.clear();
+    std::size_t write = 0;
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      const std::int32_t idx = active[a];
+      FindNode& node = chunk.nodes[static_cast<std::size_t>(idx)];
+      const std::int32_t value = astate[a];
+      if (value == kDeadWide) {
+        node.dead = true;  // the dying symbol is not counted
+        continue;
+      }
+      ++chunk.transitions;
+      node.state = static_cast<State>(value);
+      const std::uint8_t flag = flags[static_cast<std::size_t>(value)];
+      node.last_sep = (flag & 2) != 0 ? pos : node.last_sep;
+      if ((flag & 1) != 0)
+        node.hits.push_back({static_cast<std::uint64_t>(pos), node.last_sep});
+      if constexpr (kConvergent) {
+        std::int32_t& claim = owner[static_cast<std::size_t>(value)];
+        if (claim == -1) {
+          claim = idx;
+          touched.push_back(static_cast<State>(value));
+          active[write] = idx;
+          astate[write] = value;
+          ++write;
+        } else {
+          // Merge: idx's run is identical to claim's from here on (see
+          // find_chunk — the claiming run already holds this position's
+          // hit, so sharing starts after it).
+          node.parent = claim;
+          node.parent_base = chunk.nodes[static_cast<std::size_t>(claim)].hits.size();
+          node.merge_pos = pos;
+        }
+      } else {
+        active[write] = idx;
+        astate[write] = value;
+        ++write;
+      }
+    }
+    active.resize(write);
+    astate.resize(write);
+    if constexpr (kConvergent)
+      for (const State s : touched) owner[static_cast<std::size_t>(s)] = -1;
+  }
+  return chunk;
+}
+
 FindChunk run_find_chunk(const Dfa& dfa, std::span<const Symbol> span,
                          std::span<const State> starts, const QueryOptions& options) {
+  // A gather block is 8 lanes; below that kSimd would pay one dispatch
+  // call per symbol for a pure scalar tail, so small start sets take the
+  // fused step policy instead (bit-identical results either way).
+  if (options.kernel == DetKernel::kSimd && starts.size() >= 8) {
+    const PackedTable& table = dfa.packed();
+    switch (table.width()) {
+      case TableWidth::kU8:
+        return options.convergence
+                   ? find_chunk_simd<true, std::uint8_t>(dfa, table, span, starts)
+                   : find_chunk_simd<false, std::uint8_t>(dfa, table, span, starts);
+      case TableWidth::kU16:
+        return options.convergence
+                   ? find_chunk_simd<true, std::uint16_t>(dfa, table, span, starts)
+                   : find_chunk_simd<false, std::uint16_t>(dfa, table, span, starts);
+      case TableWidth::kI32:
+        break;
+    }
+    return options.convergence
+               ? find_chunk_simd<true, std::int32_t>(dfa, table, span, starts)
+               : find_chunk_simd<false, std::int32_t>(dfa, table, span, starts);
+  }
   if (options.kernel == DetKernel::kReference) {
     return options.convergence
                ? find_chunk<true>(dfa, span, starts, RowStep{dfa})

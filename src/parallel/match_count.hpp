@@ -35,9 +35,12 @@
 // LISTS through the merge tree (per-start lists reconstructed lazily, only
 // for the one consistent start per chunk, at join time), and `kernel`
 // selects between the fused lockstep loop on the width-packed table
-// (kFused, the serving path) and a plain row-table stepping loop
-// (kReference) — with find_matches_serial as the one-scan oracle above
-// both (property-tested equal across every combination).
+// (kFused, the default serving path), the vector-gather lockstep with
+// branch-light flag-extract hit recording (kSimd — AVX2 or the portable
+// unrolled fallback, runtime-picked; see util/simd_gather.hpp), and a
+// plain row-table stepping loop (kReference) — with find_matches_serial as
+// the one-scan oracle above all three (property-tested equal across every
+// combination).
 #pragma once
 
 #include <cstdint>

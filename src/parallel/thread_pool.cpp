@@ -6,141 +6,274 @@ namespace rispar {
 
 namespace {
 
-// The pool whose batch this thread is currently executing a task of (null
-// outside tasks); run() uses it to detect reentrant calls on the SAME pool
-// and execute them inline instead of deadlocking on the single batch slot.
-// Calls into a *different* pool dispatch normally and stay parallel.
-thread_local const void* current_pool = nullptr;
+// How long a run() caller polls its batch's completion counter before
+// advertising itself on sleeping_callers_ and blocking on the done CV.
+// In-flight stragglers are one task long, so a short spin almost always
+// observes completion without any mutex traffic.
+constexpr int kCallerSpinIterations = 2048;
 
-// How long the caller polls the completion counter before sleeping on the
-// condition variable. In-flight stragglers are one task long, so a short
-// spin almost always observes completion without any mutex traffic.
-constexpr int kSpinIterations = 2048;
+// Idle steal sweeps a worker makes before entering the sleep protocol —
+// enough to ride out transient steal races and back-to-back batches.
+constexpr int kWorkerIdleSweeps = 64;
 
 }  // namespace
 
+thread_local ThreadPool::Tls ThreadPool::tls_;
+
+// ---------------------------------------------------------------------------
+// Chase-Lev deque (weak-memory formulation of Lê, Pop, Cohen, Zappa
+// Nardelli, "Correct and Efficient Work-Stealing for Weak Memory Models").
+// The owner pushes and pops at the bottom; thieves CAS the top. A slot is
+// claimed exactly once, which is what makes the Task pointers safe: a
+// claimed task's batch is by definition not yet complete, so the stack
+// frame owning the Task is still alive.
+// ---------------------------------------------------------------------------
+
+ThreadPool::Deque::Deque(std::int64_t capacity) {
+  auto initial = std::make_unique<Buffer>(capacity);
+  buffer_.store(initial.get(), std::memory_order_relaxed);
+  buffers_.push_back(std::move(initial));
+}
+
+ThreadPool::Deque::Buffer* ThreadPool::Deque::grow(Buffer* old, std::int64_t top,
+                                                   std::int64_t bottom) {
+  auto fresh = std::make_unique<Buffer>(old->capacity * 2);
+  for (std::int64_t i = top; i < bottom; ++i)
+    fresh->slots[i % fresh->capacity].store(
+        old->slots[i % old->capacity].load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+  Buffer* raw = fresh.get();
+  // The old buffer stays in buffers_: a thief that loaded its pointer may
+  // still read a slot from it (never written again — pushes go to `raw`).
+  buffers_.push_back(std::move(fresh));
+  buffer_.store(raw, std::memory_order_release);
+  return raw;
+}
+
+void ThreadPool::Deque::push(Task* task) {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+  const std::int64_t t = top_.load(std::memory_order_acquire);
+  Buffer* buffer = buffer_.load(std::memory_order_relaxed);
+  if (b - t >= buffer->capacity) buffer = grow(buffer, t, b);
+  buffer->slots[b % buffer->capacity].store(task, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  bottom_.store(b + 1, std::memory_order_relaxed);
+}
+
+ThreadPool::Task* ThreadPool::Deque::pop() {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+  Buffer* buffer = buffer_.load(std::memory_order_relaxed);
+  bottom_.store(b, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  std::int64_t t = top_.load(std::memory_order_relaxed);
+  Task* task = nullptr;
+  if (t <= b) {
+    task = buffer->slots[b % buffer->capacity].load(std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: race the thieves for it through the top CAS.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed))
+        task = nullptr;
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+  } else {
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+  return task;
+}
+
+ThreadPool::Task* ThreadPool::Deque::steal() {
+  std::int64_t t = top_.load(std::memory_order_acquire);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  const std::int64_t b = bottom_.load(std::memory_order_acquire);
+  if (t >= b) return nullptr;
+  Buffer* buffer = buffer_.load(std::memory_order_acquire);
+  Task* task = buffer->slots[t % buffer->capacity].load(std::memory_order_relaxed);
+  if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                    std::memory_order_relaxed))
+    return nullptr;  // lost the race (to the owner's pop or another thief)
+  return task;
+}
+
+// ------------------------------------------------------------------- pool
+
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  deques_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) deques_.push_back(std::make_unique<Deque>());
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    std::lock_guard lock(sleep_mutex_);
     stopping_ = true;
   }
   work_cv_.notify_all();
   for (auto& worker : workers_) worker.join();
 }
 
-std::size_t ThreadPool::drain(Batch& batch) {
-  // Save/restore (RAII, so a throwing task cannot corrupt it): restoring
-  // the previous value keeps cross-pool nesting working — a task on pool A
-  // draining a batch of pool B is "inside" B for the duration.
-  struct PoolScope {
-    const void* saved = current_pool;
-    explicit PoolScope(const void* pool) { current_pool = pool; }
-    ~PoolScope() { current_pool = saved; }
-  };
-  std::size_t done_here = 0;
-  {
-    PoolScope scope(this);
-    while (true) {
-      const std::size_t index = batch.cursor.fetch_add(1, std::memory_order_relaxed);
-      if (index >= batch.count) break;
-      batch.fn(index);
-      ++done_here;
-    }
+void ThreadPool::execute(const Task& task) {
+  Batch* batch = task.batch;
+  const std::size_t count = batch->count;
+  try {
+    (*batch->fn)(task.index);
+  } catch (...) {
+    // First throwing task wins; the write to `error` happens before this
+    // task's completed increment, so the caller (who reads only after the
+    // barrier) sees it without a race. The batch still completes — run()
+    // must never unwind while unclaimed tasks of its batch sit in queues.
+    if (!batch->error_claimed.exchange(true, std::memory_order_acq_rel))
+      batch->error = std::current_exception();
   }
-  if (done_here == 0) return batch.completed.load(std::memory_order_seq_cst);
-  // seq_cst: must be ordered against the caller's `caller_sleeping` store —
-  // see the completion protocol in run().
-  return batch.completed.fetch_add(done_here, std::memory_order_seq_cst) + done_here;
+  // The moment this fetch_add reaches `count` the submitting run() may
+  // return and destroy the batch — everything after it touches only pool
+  // state. The seq_cst pairing with the caller's sleeping_callers_
+  // increment (drain) makes the notification race-free: either this load
+  // sees the sleeper and notifies, or the sleeper's predicate sees the
+  // final count.
+  const std::size_t done =
+      batch->completed.fetch_add(1, std::memory_order_seq_cst) + 1;
+  if (done == count && sleeping_callers_.load(std::memory_order_seq_cst) != 0) {
+    // Empty critical section: the notify must not slip into the window
+    // between a sleeper's predicate check and its wait.
+    { std::lock_guard lock(sleep_mutex_); }
+    done_cv_.notify_all();
+  }
+}
+
+ThreadPool::Task* ThreadPool::take_injected() {
+  if (injected_size_.load(std::memory_order_acquire) == 0) return nullptr;
+  std::lock_guard lock(injection_mutex_);
+  if (injected_.empty()) return nullptr;
+  Task* task = injected_.front();
+  injected_.pop_front();
+  injected_size_.store(injected_.size(), std::memory_order_release);
+  return task;
+}
+
+ThreadPool::Task* ThreadPool::find_task(Deque* own) {
+  if (own != nullptr)
+    if (Task* task = own->pop()) return task;
+  if (Task* task = take_injected()) return task;
+  // One sweep over the worker deques from a rotating start, so concurrent
+  // thieves fan out over victims instead of convoying on deque 0.
+  const std::uint32_t seed =
+      steal_seed_.fetch_add(0x9e3779b9u, std::memory_order_relaxed);
+  const std::size_t n = deques_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    Deque* victim = deques_[(seed + i) % n].get();
+    if (victim == own) continue;
+    if (Task* task = victim->steal()) return task;
+  }
+  return nullptr;
+}
+
+void ThreadPool::signal_work() {
+  {
+    std::lock_guard lock(sleep_mutex_);
+    ++wake_epoch_;
+  }
+  work_cv_.notify_all();
 }
 
 void ThreadPool::run(std::size_t count, std::function<void(std::size_t)> fn) {
   if (count == 0) return;
-  if (current_pool == this) {
-    // Reentrant call from inside one of this pool's own tasks: execute
-    // inline, serially. The batch slot is single-entry, so handing this to
-    // the pool would deadlock the draining thread against itself.
-    for (std::size_t i = 0; i < count; ++i) fn(i);
-    return;
+  Batch batch;
+  batch.fn = &fn;
+  batch.count = count;
+  std::vector<Task> tasks(count);
+  for (std::size_t i = 0; i < count; ++i) tasks[i] = {&batch, i};
+
+  Deque* own = tls_.pool == this ? tls_.deque : nullptr;
+  if (own != nullptr) {
+    // On one of this pool's workers (a nested run): the worker's own deque
+    // makes the batch immediately stealable while this thread drains it.
+    // Pushed in reverse so the LIFO pop hands the caller index 0 first and
+    // thieves start from the high indices.
+    for (std::size_t i = count; i-- > 0;) own->push(&tasks[i]);
+  } else {
+    std::lock_guard lock(injection_mutex_);
+    for (std::size_t i = 0; i < count; ++i) injected_.push_back(&tasks[i]);
+    injected_size_.store(injected_.size(), std::memory_order_release);
   }
-
-  // External callers serialize here: one batch owns the pool at a time,
-  // concurrent querying threads queue instead of clobbering each other's
-  // batch slot. Reentrant calls returned above, so a caller never waits on
-  // its own lock.
-  std::lock_guard callers_lock(callers_mutex_);
-
-  auto batch = std::make_shared<Batch>();
-  batch->fn = std::move(fn);
-  batch->count = count;
-  {
-    std::lock_guard lock(mutex_);
-    batch_ = batch;
-    ++generation_;
-  }
-  work_cv_.notify_all();
-
-  // The caller participates: with fewer tasks than threads it often drains
-  // the whole batch itself and never blocks.
-  std::size_t total = drain(*batch);
-
-  // Completion fast path: poll the counter briefly — in-flight stragglers
-  // finish in one task's time — so neither caller nor workers touch the
-  // mutex on the overwhelmingly common path.
-  for (int spin = 0; total != count && spin < kSpinIterations; ++spin) {
-    if (spin % 64 == 63) std::this_thread::yield();
-    total = batch->completed.load(std::memory_order_acquire);
-  }
-
-  if (total != count) {
-    // Slow path: publish that we are about to sleep, then wait. The seq_cst
-    // store below and the seq_cst fetch_add in drain() form the classic
-    // store/load pairing: either the finishing worker sees
-    // caller_sleeping == true and notifies under the mutex, or this thread's
-    // predicate (checked under the mutex after the store) already sees the
-    // final count — a lost wakeup would require both loads to read stale
-    // values, which the seq_cst total order forbids.
-    std::unique_lock lock(mutex_);
-    batch->caller_sleeping.store(true, std::memory_order_seq_cst);
-    done_cv_.wait(lock, [&] {
-      return batch->completed.load(std::memory_order_seq_cst) == batch->count;
-    });
-  }
-
-  std::lock_guard lock(mutex_);
-  batch_.reset();
+  signal_work();
+  drain(batch, own);
+  if (batch.error_claimed.load(std::memory_order_acquire) && batch.error)
+    std::rethrow_exception(batch.error);
 }
 
-void ThreadPool::worker_loop() {
-  std::uint64_t seen_generation = 0;
-  std::unique_lock lock(mutex_);
-  while (true) {
-    work_cv_.wait(lock,
-                  [&] { return stopping_ || generation_ != seen_generation; });
-    if (stopping_) return;
-    seen_generation = generation_;
-    const std::shared_ptr<Batch> batch = batch_;
-    lock.unlock();
-
-    if (batch) {
-      const std::size_t total = drain(*batch);
-      if (total == batch->count &&
-          batch->caller_sleeping.load(std::memory_order_seq_cst)) {
-        // The caller is (about to be) asleep. Take the mutex before
-        // notifying so the notify cannot slip into the window between the
-        // caller's predicate check and its wait.
-        { std::lock_guard done_lock(mutex_); }
-        done_cv_.notify_all();
+void ThreadPool::drain(Batch& batch, Deque* own) {
+  const std::size_t count = batch.count;
+  while (batch.completed.load(std::memory_order_acquire) != count) {
+    if (Task* task = find_task(own)) {
+      execute(*task);
+      continue;
+    }
+    // Nothing claimable anywhere. The caller's own submissions are exact
+    // (own pop / injection are race-free for their owner), so every
+    // remaining task of THIS batch is already executing on another thread.
+    // Spin briefly — stragglers are one task long — then sleep.
+    bool completed = false;
+    for (int spin = 0; spin < kCallerSpinIterations; ++spin) {
+      if (spin % 64 == 63) std::this_thread::yield();
+      if (batch.completed.load(std::memory_order_acquire) == count) {
+        completed = true;
+        break;
       }
     }
-    lock.lock();
+    if (completed) return;
+    sleeping_callers_.fetch_add(1, std::memory_order_seq_cst);
+    {
+      std::unique_lock lock(sleep_mutex_);
+      done_cv_.wait(lock, [&] {
+        return batch.completed.load(std::memory_order_seq_cst) == count;
+      });
+    }
+    sleeping_callers_.fetch_sub(1, std::memory_order_seq_cst);
+    return;
   }
+}
+
+void ThreadPool::worker_loop(unsigned id) {
+  tls_.pool = this;
+  tls_.deque = deques_[id].get();
+  while (true) {
+    if (Task* task = find_task(tls_.deque)) {
+      execute(*task);
+      continue;
+    }
+    // Idle: a few yielding sweeps (steal races resolve, back-to-back
+    // batches arrive), then the epoch-guarded sleep. Recording the epoch
+    // BEFORE the final probe closes the probe-then-sleep race: a submitter
+    // bumps the epoch after publishing its tasks, so either the probe sees
+    // the tasks or the wait predicate sees the new epoch.
+    bool found = false;
+    for (int sweep = 0; sweep < kWorkerIdleSweeps && !found; ++sweep) {
+      std::this_thread::yield();
+      if (Task* task = find_task(tls_.deque)) {
+        execute(*task);
+        found = true;
+      }
+    }
+    if (found) continue;
+    std::uint64_t seen = 0;
+    {
+      std::lock_guard lock(sleep_mutex_);
+      if (stopping_) break;
+      seen = wake_epoch_;
+    }
+    if (Task* task = find_task(tls_.deque)) {
+      execute(*task);
+      continue;
+    }
+    std::unique_lock lock(sleep_mutex_);
+    work_cv_.wait(lock, [&] { return stopping_ || wake_epoch_ != seen; });
+    if (stopping_) break;
+  }
+  tls_ = {};
 }
 
 }  // namespace rispar

@@ -1,24 +1,38 @@
-// Fixed-size worker pool for the reach phase.
+// Work-stealing worker pool for the reach phase.
 //
-// Mirrors the paper's runtime structure (Sect. 4: a thread pool started via
-// an executor, reach runs one task per chunk, the join is serial — the only
-// synchronization point is the barrier between the two phases). Tasks pull
-// indices from an atomic cursor, so `run(count, fn)` executes fn(0..count-1)
-// with parallelism min(count, size() + 1): the calling thread participates
-// in draining the batch instead of sleeping, which usually lets it observe
-// completion on the atomic counter without ever touching the mutex or the
-// condition variable (see thread_pool.cpp for the completion protocol).
-// All chunk state is task-owned; the pool itself is the only shared mutable
-// object (Core Guidelines CP.3).
+// The paper's runtime structure (Sect. 4) needs a barrier between reach and
+// join, but nothing says the pool may only hold ONE batch: chunk counts ≫
+// threads, PatternSet text×pattern fan-outs and concurrent Engine callers
+// all want their tasks interleaved instead of queueing on a single batch
+// slot. This pool schedules with per-worker Chase-Lev deques:
 //
-// Each run() allocates an immutable Batch shared by the participating
-// workers; a worker that wakes late simply drains an already-exhausted
-// batch, so batches from different generations can never alias each other.
+//  * every worker owns a deque (LIFO push/pop at the bottom, lock-free
+//    FIFO steals at the top — the classic Chase-Lev protocol, in the
+//    weak-memory formulation of Lê et al.);
+//  * a nested run() from inside a task pushes its batch onto the CALLING
+//    worker's own deque — the tasks are immediately stealable by idle
+//    workers, so nesting parallelizes instead of executing inline;
+//  * run() from an external thread submits through a small mutex-guarded
+//    injection queue and then PARTICIPATES: it claims tasks (its own
+//    batch's or anyone's) until its batch completes, so concurrent Engine
+//    callers drain each other instead of serializing;
+//  * idle workers sleep on a condition variable behind an epoch counter
+//    (every submission bumps the epoch under the sleep mutex, so the
+//    probe-then-sleep race cannot lose a wakeup).
+//
+// run(count, fn) is still a blocking barrier FOR ITS CALLER — batch, task
+// array and fn live on the caller's stack — but batches from any number of
+// callers are in flight concurrently. Completion is an atomic per-batch
+// counter; the finishing thread nudges the pool-wide done CV only when some
+// caller advertised it went to sleep. All chunk state stays task-owned; the
+// pool is the only shared mutable object (Core Guidelines CP.3).
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -40,57 +54,133 @@ class ThreadPool {
 
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
-  /// Blocks until fn has been applied to every index in [0, count).
-  /// The caller participates in executing tasks. Reentrant calls — run()
-  /// on the SAME pool from inside one of its tasks — are legal and execute
-  /// their batch inline on the calling thread, serially: they never
-  /// deadlock, but they also do not parallelize. Calling into a different
-  /// pool from inside a task dispatches normally and stays parallel.
+  /// Blocks until fn has been applied to every index in [0, count), each
+  /// exactly once. The caller participates in executing tasks — its own
+  /// batch's and, while waiting, anyone else's.
   ///
-  /// Concurrent run() calls from DIFFERENT threads are safe: the batch slot
-  /// is single-entry, so callers serialize on an internal mutex and each
-  /// batch still executes with full parallelism. This is what makes a
-  /// shared Engine/PatternSet safe for concurrent read-only queries —
-  /// their reach phases queue rather than corrupt each other (see
-  /// tests/test_thread_pool.cpp and the ConcurrentQueries smoke tests in
-  /// tests/test_find_all.cpp).
+  /// A task that throws fails its batch: the remaining tasks still run
+  /// (the barrier always completes, so no stack-owned batch state is ever
+  /// abandoned with claims outstanding), and the FIRST captured exception
+  /// is rethrown from run() on the submitting caller's thread. Under the
+  /// old pool a throwing worker task terminated the process; now it
+  /// surfaces where the query was issued.
   ///
-  /// Lock-ordering caveat: a task on pool A calling B.run() while another
-  /// thread's task on pool B calls A.run() can deadlock on the two caller
-  /// mutexes (as any unordered two-lock acquisition would). Nest distinct
-  /// pools in one consistent direction; same-pool nesting is always safe
-  /// (inline, no mutex).
+  /// Reentrant calls — run() on the SAME pool from inside one of its
+  /// tasks — are legal and PARALLEL: the nested batch is pushed onto the
+  /// calling worker's deque, where idle workers steal from it while the
+  /// caller drains it. (A task executed by an EXTERNAL participant's
+  /// thread has no deque; its nested calls go through the injection queue,
+  /// which is just as parallel.)
+  ///
+  /// Concurrent run() calls from different threads interleave: each
+  /// batch's tasks spread over the deques and every participant works on
+  /// whatever is claimable. This is what makes a shared Engine/PatternSet
+  /// scale under concurrent read-only queries instead of queueing them
+  /// (see tests/test_thread_pool.cpp and the ConcurrentQueries tests in
+  /// tests/test_find_all.cpp). Cross-pool nesting needs no lock ordering:
+  /// submission holds no lock while executing, so tasks on pool A may call
+  /// B.run() and vice versa concurrently.
   void run(std::size_t count, std::function<void(std::size_t)> fn);
 
  private:
   struct Batch {
-    std::function<void(std::size_t)> fn;
+    const std::function<void(std::size_t)>* fn = nullptr;
     std::size_t count = 0;
-    std::atomic<std::size_t> cursor{0};
     std::atomic<std::size_t> completed{0};
-    /// Set (under mutex_) only when the caller gives up spinning and goes
-    /// to sleep on done_cv_; workers skip the mutex entirely while it is
-    /// false. seq_cst pairing with `completed` prevents a lost wakeup.
-    std::atomic<bool> caller_sleeping{false};
+    /// First-wins capture of a throwing task (see execute()): `error` is
+    /// written by whichever executor claims `error_claimed`, strictly
+    /// before that task's completed increment, so the submitting caller —
+    /// who only looks after observing completed == count — reads it
+    /// race-free and rethrows after the barrier.
+    std::atomic<bool> error_claimed{false};
+    std::exception_ptr error;
   };
 
-  /// Pulls indices until the batch's cursor is exhausted; adds the credit
-  /// to batch.completed and returns the new total.
-  std::size_t drain(Batch& batch);
+  /// One claimable unit: fn(index) of a batch. Tasks live in the
+  /// submitting run()'s stack frame; a pointer is claimed exactly once
+  /// (deque protocol / injection pop), and the frame outlives every claim
+  /// because run() returns only after all its tasks completed.
+  struct Task {
+    Batch* batch;
+    std::size_t index;
+  };
 
-  void worker_loop();
+  /// Chase-Lev deque of Task pointers. push/pop are owner-only; steal is
+  /// safe from any thread. Grows by buffer doubling; retired buffers stay
+  /// alive until destruction because thieves may still hold them.
+  class Deque {
+   public:
+    explicit Deque(std::int64_t capacity = 256);
 
-  /// Serializes external run() callers (the batch slot is single-entry).
-  /// Taken only on the non-reentrant path, so nested same-pool run() calls
-  /// from inside tasks still execute inline without touching it.
-  std::mutex callers_mutex_;
-  std::mutex mutex_;
+    void push(Task* task);  ///< owner only
+    Task* pop();            ///< owner only (bottom, LIFO)
+    Task* steal();          ///< any thread (top, FIFO); nullptr on miss/race
+
+   private:
+    struct Buffer {
+      explicit Buffer(std::int64_t n) : capacity(n), slots(new std::atomic<Task*>[n]) {}
+      std::int64_t capacity;
+      std::unique_ptr<std::atomic<Task*>[]> slots;
+    };
+
+    Buffer* grow(Buffer* old, std::int64_t top, std::int64_t bottom);
+
+    std::atomic<std::int64_t> top_{0};
+    std::atomic<std::int64_t> bottom_{0};
+    std::atomic<Buffer*> buffer_;
+    std::vector<std::unique_ptr<Buffer>> buffers_;  ///< owner-only; keeps retired alive
+  };
+
+  /// Executes one claimed task and publishes its completion. After the
+  /// final fetch_add the batch may be destroyed by its returning caller,
+  /// so everything read afterwards is pool state, never batch state.
+  void execute(const Task& task);
+
+  /// Claims one task: own deque (workers only) → injection queue → one
+  /// steal sweep over all worker deques. nullptr when nothing was
+  /// claimable this sweep.
+  Task* find_task(Deque* own);
+
+  Task* take_injected();
+
+  /// Bumps the wake epoch and wakes sleeping workers; called after every
+  /// submission.
+  void signal_work();
+
+  /// Caller side of run(): claim-and-execute until `batch` completes,
+  /// sleeping on done_cv_ when nothing is claimable anywhere.
+  void drain(Batch& batch, Deque* own);
+
+  void worker_loop(unsigned id);
+
+  std::vector<std::unique_ptr<Deque>> deques_;  ///< one per worker, fixed
+  std::mutex injection_mutex_;
+  std::deque<Task*> injected_;  ///< external submissions, FIFO
+
+  /// Sleep/wake state. wake_epoch_ is written under sleep_mutex_ so the
+  /// record-epoch → probe → wait-for-new-epoch protocol in worker_loop
+  /// cannot miss a submission; sleeping_callers_ lets task epilogues skip
+  /// the done notification entirely while nobody is blocked on it.
+  std::mutex sleep_mutex_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  std::shared_ptr<Batch> batch_;  // guarded by mutex_
-  std::uint64_t generation_ = 0;
-  bool stopping_ = false;
+  std::uint64_t wake_epoch_ = 0;  // guarded by sleep_mutex_
+  bool stopping_ = false;         // guarded by sleep_mutex_
+  std::atomic<std::uint64_t> sleeping_callers_{0};
+
+  std::atomic<std::uint32_t> steal_seed_{0x9e3779b9u};
+  std::atomic<std::size_t> injected_size_{0};  ///< lock-free empty probe
   std::vector<std::thread> workers_;
+
+  /// Which pool's worker this thread is (and its deque). Lets run() detect
+  /// "I am on one of this pool's workers" and push to that worker's own
+  /// deque; any other thread — external callers, workers of OTHER pools —
+  /// takes the injection path.
+  struct Tls {
+    const ThreadPool* pool = nullptr;
+    Deque* deque = nullptr;
+  };
+  static thread_local Tls tls_;
 };
 
 }  // namespace rispar

@@ -1,0 +1,24 @@
+#include "util/cpuid.hpp"
+
+namespace rispar {
+
+namespace {
+
+bool detect_avx2() {
+#if defined(RISPAR_DISABLE_AVX2)
+  return false;
+#elif defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+bool cpu_has_avx2() {
+  static const bool cached = detect_avx2();
+  return cached;
+}
+
+}  // namespace rispar

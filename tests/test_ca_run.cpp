@@ -114,21 +114,25 @@ TEST(DetChunkRun, DuplicateStartsHandledByConvergence) {
 }
 
 // ---------------------------------------------------------------------------
-// Fused-vs-reference equivalence properties: the lockstep / epoch-stamped
-// kernels must produce λ maps and transition counts identical to the seed
-// implementations over randomized machines, starts, and chunk boundaries.
+// Kernel-equivalence properties: the fused lockstep / epoch-stamped kernels
+// AND the vector-gather kSimd kernels must produce λ maps and transition
+// counts identical to the seed implementations over randomized machines,
+// starts, and chunk boundaries (whatever gather backend this machine runs).
 // ---------------------------------------------------------------------------
 
 void expect_kernels_agree(const Dfa& dfa, std::span<const Symbol> chunk,
                           std::span<const State> starts, bool convergence) {
-  const DetChunkResult fused = run_chunk_det(
-      dfa, chunk, starts, {.convergence = convergence, .kernel = DetKernel::kFused});
   const DetChunkResult reference =
       run_chunk_det(dfa, chunk, starts,
                     {.convergence = convergence, .kernel = DetKernel::kReference});
-  EXPECT_EQ(fused.lambda, reference.lambda);
-  EXPECT_EQ(fused.transitions, reference.transitions);
-  if (convergence) EXPECT_EQ(fused.distinct_ends, reference.distinct_ends);
+  for (const DetKernel kernel : {DetKernel::kFused, DetKernel::kSimd}) {
+    const DetChunkResult candidate =
+        run_chunk_det(dfa, chunk, starts, {.convergence = convergence, .kernel = kernel});
+    SCOPED_TRACE(kernel_name(kernel));
+    EXPECT_EQ(candidate.lambda, reference.lambda);
+    EXPECT_EQ(candidate.transitions, reference.transitions);
+    if (convergence) EXPECT_EQ(candidate.distinct_ends, reference.distinct_ends);
+  }
 }
 
 // Random chunk that may contain invalid symbols (kUnmapped and >= k) so the

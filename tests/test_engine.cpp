@@ -277,7 +277,8 @@ TEST_P(EngineEquivalence, StreamAnySegmentationMatchesOneShot) {
       const Device* device = engine.try_device(variant);
       if (device == nullptr) continue;  // SFA exploded
       for (const bool convergence : {false, true}) {
-        for (const DetKernel kernel : {DetKernel::kFused, DetKernel::kReference}) {
+        for (const DetKernel kernel :
+             {DetKernel::kFused, DetKernel::kReference, DetKernel::kSimd}) {
           if (convergence && !device->capabilities().convergence) continue;
           if (kernel != DetKernel::kFused && !device->capabilities().kernel_select)
             continue;

@@ -127,7 +127,8 @@ TEST_P(FindAllEquivalence, ParallelEqualsSerialOracleEverywhere) {
        {Variant::kDfa, Variant::kNfa, Variant::kRid, Variant::kSfa}) {
     for (const std::size_t chunks : {1u, 2u, 7u, 64u}) {
       for (const bool convergence : {false, true}) {
-        for (const DetKernel kernel : {DetKernel::kFused, DetKernel::kReference}) {
+        for (const DetKernel kernel :
+             {DetKernel::kFused, DetKernel::kReference, DetKernel::kSimd}) {
           const QueryResult result =
               engine.find(text, {.variant = variant,
                                  .chunks = chunks,
@@ -135,7 +136,7 @@ TEST_P(FindAllEquivalence, ParallelEqualsSerialOracleEverywhere) {
                                  .kernel = kernel});
           EXPECT_EQ(result.positions, oracle)
               << "regex=" << regex << " text=" << text << " chunks=" << chunks
-              << " conv=" << convergence << " fused=" << (kernel == DetKernel::kFused);
+              << " conv=" << convergence << " kernel=" << kernel_name(kernel);
           EXPECT_EQ(result.matches, oracle.size());
         }
       }
@@ -165,12 +166,14 @@ TEST(FindAll, WorkloadTextMatchesNaiveSubstringSearch) {
   // merge chains and chunk-boundary separators only show up at this size.
   for (const std::size_t chunks : {16u, 64u}) {
     for (const bool convergence : {false, true}) {
-      for (const DetKernel kernel : {DetKernel::kFused, DetKernel::kReference}) {
+      for (const DetKernel kernel :
+           {DetKernel::kFused, DetKernel::kReference, DetKernel::kSimd}) {
         EXPECT_EQ(engine.find_all(text, {.chunks = chunks,
                                          .convergence = convergence,
                                          .kernel = kernel}),
                   expected)
-            << "chunks=" << chunks << " conv=" << convergence;
+            << "chunks=" << chunks << " conv=" << convergence
+            << " kernel=" << kernel_name(kernel);
       }
     }
   }
@@ -296,6 +299,41 @@ TEST(ConcurrentQueries, SharedPatternSetServesManyThreads) {
     threads.emplace_back([&] {
       for (int i = 0; i < 25; ++i)
         if (set.find_all(text, {.chunks = 3}) != expected) ++failures;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ConcurrentQueries, MixedOptionsStressOnSharedEngineAndSet) {
+  // The work-stealing shape: one Engine and one PatternSet sharing nothing
+  // but their pools, hammered from many threads with varying chunk counts,
+  // convergence and all three kernels at once — batches interleave in the
+  // pools instead of queueing, and every answer must still be exact.
+  const Engine engine(Pattern::compile("(ab|ba)*a"), {.threads = 3});
+  const PatternSet set = PatternSet::compile({"ab", "aab", "<h3>"}, {.threads = 3});
+  Prng prng(2026);
+  std::string text;
+  static const char kBytes[] = "aab<h3> b";
+  for (int i = 0; i < 4000; ++i) text += kBytes[prng.pick_index(sizeof(kBytes) - 1)];
+
+  const std::vector<Match> engine_expected = engine.find_all(text, {.chunks = 7});
+  const std::vector<Match> set_expected = set.find_all(text, {.chunks = 7});
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      static constexpr DetKernel kKernels[] = {
+          DetKernel::kFused, DetKernel::kReference, DetKernel::kSimd};
+      for (int i = 0; i < 15; ++i) {
+        const QueryOptions options{
+            .chunks = static_cast<std::size_t>(1 + (t + i) % 16),
+            .convergence = (t + i) % 2 == 0,
+            .kernel = kKernels[(t + i) % 3]};
+        if (engine.find_all(text, options) != engine_expected) ++failures;
+        if (set.find_all(text, options) != set_expected) ++failures;
+      }
     });
   }
   for (std::thread& thread : threads) thread.join();

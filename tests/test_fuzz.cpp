@@ -224,7 +224,8 @@ TEST(DifferentialFuzz, StreamingFindEqualsOneShotAndSerialOracles) {
   static constexpr std::size_t kChunks[] = {1, 2, 7, 64};
   static constexpr Variant kVariants[] = {Variant::kDfa, Variant::kNfa,
                                           Variant::kRid, Variant::kSfa};
-  static constexpr DetKernel kKernels[] = {DetKernel::kFused, DetKernel::kReference};
+  static constexpr DetKernel kKernels[] = {DetKernel::kFused, DetKernel::kReference,
+                                           DetKernel::kSimd};
 
   for (std::size_t iter = 0; iter < iters; ++iter) {
     RandomRegexConfig config;
@@ -251,7 +252,7 @@ TEST(DifferentialFuzz, StreamingFindEqualsOneShotAndSerialOracles) {
               {.chunks = chunks, .convergence = convergence, .kernel = kernel});
           ASSERT_EQ(one_shot.positions, oracle.positions)
               << "one-shot chunks=" << chunks << " conv=" << convergence
-              << " fused=" << (kernel == DetKernel::kFused);
+              << " kernel=" << kernel_name(kernel);
           ASSERT_EQ(one_shot.matches, oracle.matches);
         }
       }
@@ -292,7 +293,7 @@ TEST(DifferentialFuzz, StreamingFindEqualsOneShotAndSerialOracles) {
             ASSERT_EQ(collected, oracle.positions)
                 << variant_name(variant) << " chunks=" << chunks
                 << " conv=" << convergence
-                << " fused=" << (kernel == DetKernel::kFused)
+                << " kernel=" << kernel_name(kernel)
                 << " sink=" << use_sink;
             ASSERT_EQ(stream.matches(), oracle.matches);
             ASSERT_EQ(stream.accepted(), oracle_accepts) << variant_name(variant);

@@ -117,6 +117,53 @@ TEST_P(SfaAgreement, MatchesSerialOracleOnRandomMachines) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SfaAgreement, ::testing::Range<std::uint64_t>(0, 15));
 
+TEST(Sfa, PackedDeltaMatchesStepLoop) {
+  // The SFA's own δ is width-packed at build time (the satellite of the
+  // SIMD PR): packed() must hold the symbol-major copy of the step table,
+  // run() must walk it to the same arrival state and transition count as a
+  // naive step() loop, and the width must follow the state count.
+  Prng prng(77);
+  for (int trial = 0; trial < 8; ++trial) {
+    RandomNfaConfig config;
+    config.num_states = 3 + static_cast<std::int32_t>(prng.pick_index(5));
+    config.num_symbols = 2;
+    const Nfa nfa = random_nfa(prng, config);
+    const Dfa dfa = minimize_dfa(determinize(nfa));
+    const auto sfa = try_build_sfa(dfa, 1 << 14);
+    if (!sfa.has_value()) continue;
+
+    const PackedTable& packed = sfa->packed();
+    EXPECT_EQ(packed.num_states(), sfa->num_states());
+    EXPECT_EQ(packed.num_symbols(), sfa->num_symbols());
+    EXPECT_EQ(packed.width(), sfa->num_states() < 0xFF ? TableWidth::kU8
+              : sfa->num_states() < 0xFFFF              ? TableWidth::kU16
+                                                        : TableWidth::kI32);
+
+    for (int word_trial = 0; word_trial < 10; ++word_trial) {
+      auto word = testing::random_word(prng, sfa->num_symbols(),
+                                       prng.pick_index(60));
+      if (!word.empty() && prng.pick_index(3) == 0)
+        word[prng.pick_index(word.size())] = sfa->num_symbols();  // alien
+      State expected = sfa->initial();
+      std::uint64_t expected_transitions = 0;
+      bool aborted = false;
+      for (const Symbol symbol : word) {
+        if (symbol < 0 || symbol >= sfa->num_symbols()) {
+          expected = sfa->all_dead_state().value_or(expected);
+          aborted = true;
+          break;
+        }
+        expected = sfa->step(expected, symbol);
+        ++expected_transitions;
+      }
+      (void)aborted;
+      std::uint64_t transitions = 0;
+      EXPECT_EQ(sfa->run(word.data(), word.size(), transitions), expected);
+      EXPECT_EQ(transitions, expected_transitions);
+    }
+  }
+}
+
 TEST(Sfa, ConstructionCostDwarfsRidfa) {
   // The paper's qualitative claim: SFA construction is far bigger than the
   // RI-DFA for rigid formats. The traffic line grammar: RI-DFA ~103 states

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <numeric>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -208,6 +209,162 @@ TEST(ThreadPool, StressSlowStragglerWakesSleepingCaller) {
     });
     EXPECT_EQ(done.load(), 3);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Work-stealing coverage: the per-worker deques, cross-batch interleaving
+// and parallel nested runs the stealing pool introduced.
+// ---------------------------------------------------------------------------
+
+TEST(WorkStealing, StealHeavyManyTinyTasksNoDoubleExecution) {
+  // The steal-heavy shape: tasks ≫ workers, each task near-zero work, so
+  // claims race constantly between the two workers and the participating
+  // caller. Every index must execute exactly once — a double claim would
+  // push some counter to 2, a lost task would leave one at 0 (and hang the
+  // barrier before that).
+  ThreadPool pool(2);
+  for (int round = 0; round < 5; ++round) {
+    constexpr std::size_t kTasks = 10000;
+    std::vector<std::atomic<int>> hits(kTasks);
+    pool.run(kTasks, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kTasks; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(WorkStealing, NestedRunFromWorkerIsStealable) {
+  // A nested run() pushed onto a worker's own deque must be visible to
+  // thieves: the inner batch rendezvouses two threads, which can never
+  // complete if nesting executed inline on one thread (the old pool's
+  // semantics).
+  ThreadPool pool(2);
+  std::atomic<int> arrived{0};
+  pool.run(1, [&](std::size_t) {
+    pool.run(2, [&](std::size_t) {
+      arrived.fetch_add(1);
+      while (arrived.load() < 2) std::this_thread::yield();
+    });
+  });
+  EXPECT_EQ(arrived.load(), 2);
+}
+
+TEST(WorkStealing, NestedRunFromWorkersAndExternalParticipant) {
+  // Pin all three participants — both workers (whose nested calls take the
+  // own-deque path) and the external caller (whose nested calls take the
+  // injection path) — inside tasks at once, then nest from each.
+  ThreadPool pool(2);
+  std::atomic<int> arrived{0};
+  std::atomic<std::uint64_t> inner_sum{0};
+  pool.run(3, [&](std::size_t) {
+    arrived.fetch_add(1);
+    while (arrived.load() < 3) std::this_thread::yield();
+    pool.run(10, [&](std::size_t i) { inner_sum.fetch_add(i + 1); });
+  });
+  EXPECT_EQ(inner_sum.load(), 3u * 55);
+}
+
+TEST(WorkStealing, ConcurrentCallersBatchesInterleave) {
+  // Two external callers whose single-task batches rendezvous with each
+  // other: completing requires BOTH batches in flight simultaneously. A
+  // pool that serializes external callers (the pre-stealing design) can
+  // never finish the first batch.
+  ThreadPool pool(2);
+  std::atomic<int> rendezvous{0};
+  std::thread other([&] {
+    pool.run(1, [&](std::size_t) {
+      rendezvous.fetch_add(1);
+      while (rendezvous.load() < 2) std::this_thread::yield();
+    });
+  });
+  pool.run(1, [&](std::size_t) {
+    rendezvous.fetch_add(1);
+    while (rendezvous.load() < 2) std::this_thread::yield();
+  });
+  other.join();
+  EXPECT_EQ(rendezvous.load(), 2);
+}
+
+TEST(WorkStealing, ConcurrentCallersWithNestingStress) {
+  // Many external threads, each submitting batches whose tasks nest again
+  // — the sanitizer-stress shape for claim exclusivity across deques and
+  // the injection queue. Checksums catch double/lost execution.
+  ThreadPool pool(3);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back([&, c] {
+      for (int round = 0; round < 40; ++round) {
+        const std::size_t outer = 1 + static_cast<std::size_t>((c + round) % 4);
+        std::atomic<std::uint64_t> sum{0};
+        pool.run(outer, [&](std::size_t) {
+          pool.run(5, [&](std::size_t i) { sum.fetch_add(i + 1); });
+        });
+        if (sum.load() != outer * 15) ++failures;
+      }
+    });
+  }
+  for (std::thread& caller : callers) caller.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(WorkStealing, ThrowingTaskFailsItsBatchAndPoolSurvives) {
+  // A throwing task must not unwind run() while sister tasks are still
+  // claimable (their Task pointers live on run()'s stack): the barrier
+  // completes, every non-throwing index executes, the FIRST exception is
+  // rethrown on the submitting thread, and the pool stays usable.
+  ThreadPool pool(2);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<std::atomic<int>> hits(64);
+    bool thrown = false;
+    try {
+      pool.run(64, [&](std::size_t i) {
+        if (i == 3) throw std::runtime_error("task 3 failed");
+        hits[i].fetch_add(1);
+      });
+    } catch (const std::runtime_error& error) {
+      thrown = true;
+      EXPECT_STREQ(error.what(), "task 3 failed");
+    }
+    EXPECT_TRUE(thrown);
+    for (std::size_t i = 0; i < hits.size(); ++i)
+      EXPECT_EQ(hits[i].load(), i == 3 ? 0 : 1) << i;
+  }
+  std::atomic<int> after{0};
+  pool.run(16, [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 16);
+}
+
+TEST(WorkStealing, ThrowingNestedTaskPropagatesToOuterCaller) {
+  // A nested batch's exception surfaces at the nested run() inside the
+  // outer task; uncaught there, the outer batch captures it and the
+  // outermost caller sees it.
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run(2,
+                        [&](std::size_t) {
+                          pool.run(4, [&](std::size_t i) {
+                            if (i == 1) throw std::runtime_error("inner");
+                          });
+                        }),
+               std::runtime_error);
+}
+
+TEST(WorkStealing, ExternalCallerDrainsOtherBatchesWhileWaiting) {
+  // An external caller with a straggling batch keeps claiming other work:
+  // submit a slow 1-task batch from a helper thread, then a large batch
+  // from the main thread — everything must complete without the main
+  // thread's batch waiting behind the slow one (no single-batch slot).
+  ThreadPool pool(1);
+  std::atomic<int> slow_done{0};
+  std::atomic<int> fast_done{0};
+  std::thread slow_caller([&] {
+    pool.run(1, [&](std::size_t) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      slow_done.fetch_add(1);
+    });
+  });
+  pool.run(64, [&](std::size_t) { fast_done.fetch_add(1); });
+  EXPECT_EQ(fast_done.load(), 64);
+  slow_caller.join();
+  EXPECT_EQ(slow_done.load(), 1);
 }
 
 }  // namespace

@@ -39,12 +39,15 @@ const char* const kUsage =
     "  rispar compile <pattern>\n"
     "  rispar match <pattern> <file|-> [--variant dfa|nfa|rid|sfa|all]\n"
     "               [--chunks N] [--threads N] [--convergence]\n"
+    "               [--kernel fused|simd|reference]\n"
     "  rispar count <pattern> <file|-> [--chunks N] [--convergence]\n"
     "  rispar find <pattern> <file|-> [--positions] [--chunks N] [--threads N]\n"
-    "              [--convergence] [--offset N] [--limit N]\n"
+    "              [--convergence] [--kernel fused|simd|reference]\n"
+    "              [--offset N] [--limit N]\n"
     "  rispar find --patterns <patterns-file> <file|-> [same flags]\n"
     "  rispar find <pattern> <file|-> --stream [--window BYTES] [--positions]\n"
     "              [--chunks N] [--threads N] [--convergence]\n"
+    "              [--kernel fused|simd|reference]\n"
     "  rispar export <pattern> [--machine nfa|dfa|ridfa] [--format native|timbuk]\n"
     "  rispar gen <benchmark> <bytes> [--seed N]\n"
     "  rispar bench-list\n"
@@ -61,6 +64,15 @@ const char* const kUsage =
     "--offset/--limit page the match list server-style: the printed window\n"
     "moves, the reported total does not. A patterns file holds one regex\n"
     "per line.\n"
+    "\n"
+    "--kernel picks the deterministic chunk-kernel implementation: 'fused'\n"
+    "(default) is the scalar lockstep loop on the width-packed tables,\n"
+    "'simd' advances all live runs per symbol through vector gathers (AVX2\n"
+    "when the CPU has it, a portable unrolled loop otherwise — detected at\n"
+    "runtime, so 'simd' works on any machine), and 'reference' is the seed\n"
+    "oracle implementation. All three return identical results; variants\n"
+    "that run no deterministic kernel (nfa, sfa) reject a non-default\n"
+    "choice. count has one counting kernel and takes no --kernel.\n"
     "\n"
     "--stream reads the input in windows of at most --window bytes (default\n"
     "64 KiB) through a streaming-find session: at no point does the whole\n"
@@ -96,6 +108,25 @@ bool flag_present(int argc, char** argv, const char* name) {
   for (int i = 0; i < argc; ++i)
     if (std::strcmp(argv[i], name) == 0) return true;
   return false;
+}
+
+/// Parses --kernel (default: fused). Returns false after printing the
+/// error when the value is unknown. 'simd' is always accepted — hardware
+/// without AVX2 runs the portable fallback, picked at runtime.
+bool parse_kernel_flag(int argc, char** argv, DetKernel& kernel) {
+  const std::string value = flag_value(argc, argv, "--kernel", "fused");
+  if (value == "fused") {
+    kernel = DetKernel::kFused;
+  } else if (value == "simd") {
+    kernel = DetKernel::kSimd;
+  } else if (value == "reference") {
+    kernel = DetKernel::kReference;
+  } else {
+    std::fprintf(stderr, "rispar: unknown kernel '%s' (fused|simd|reference)\n",
+                 value.c_str());
+    return false;
+  }
+  return true;
 }
 
 int cmd_compile(const std::string& pattern_text) {
@@ -141,6 +172,8 @@ int cmd_match(const std::string& pattern_text, const std::string& path, int argc
   const auto threads = static_cast<unsigned>(
       std::strtoul(flag_value(argc, argv, "--threads", "0").c_str(), nullptr, 10));
   const bool convergence = flag_present(argc, argv, "--convergence");
+  DetKernel kernel = DetKernel::kFused;
+  if (!parse_kernel_flag(argc, argv, kernel)) return 2;
 
   const Engine engine(Pattern::compile(pattern_text), {.threads = threads});
   const std::vector<Symbol> input = engine.translate(text);
@@ -179,16 +212,25 @@ int cmd_match(const std::string& pattern_text, const std::string& path, int argc
       continue;
     }
     QueryOptions options{.variant = variant, .chunks = chunks,
-                         .convergence = convergence};
-    // A single requested variant that cannot honor --convergence rejects
-    // (QueryError, exit 2). In the `all` sweep, drop the knob per variant
-    // with an explicit note so rows are never silently mislabeled.
+                         .convergence = convergence, .kernel = kernel};
+    // A single requested variant that cannot honor --convergence or
+    // --kernel rejects (QueryError, exit 2). In the `all` sweep, drop the
+    // knob per variant with an explicit note so rows are never silently
+    // mislabeled.
     if (convergence && sweeping_all &&
         !engine.device(variant).capabilities().convergence) {
       std::fprintf(stderr, "rispar: note: %s does not support --convergence; "
                            "running it without\n",
                    variant_name(variant));
       options.convergence = false;
+    }
+    if (kernel != DetKernel::kFused && sweeping_all &&
+        !engine.device(variant).capabilities().kernel_select) {
+      std::fprintf(stderr,
+                   "rispar: note: %s runs no deterministic kernel; ignoring "
+                   "--kernel %s for it\n",
+                   variant_name(variant), kernel_name(kernel));
+      options.kernel = DetKernel::kFused;
     }
     Stopwatch clock;
     const QueryResult result = engine.recognize(input, options);
@@ -228,6 +270,7 @@ int cmd_find_stream(const std::string& pattern_text, const std::string& path,
   options.chunks = static_cast<std::size_t>(
       std::strtoul(flag_value(argc, argv, "--chunks", "16").c_str(), nullptr, 10));
   options.convergence = flag_present(argc, argv, "--convergence");
+  if (!parse_kernel_flag(argc, argv, options.kernel)) return 2;
   // Paging knobs pass through so the session REJECTS them (QueryError,
   // exit 2) instead of this front end silently dropping them.
   options.offset = static_cast<std::size_t>(
@@ -344,6 +387,7 @@ int cmd_find(int argc, char** argv) {
   options.chunks = static_cast<std::size_t>(
       std::strtoul(flag_value(argc, argv, "--chunks", "16").c_str(), nullptr, 10));
   options.convergence = flag_present(argc, argv, "--convergence");
+  if (!parse_kernel_flag(argc, argv, options.kernel)) return 2;
   options.offset = static_cast<std::size_t>(
       std::strtoull(flag_value(argc, argv, "--offset", "0").c_str(), nullptr, 10));
   const std::string limit_flag = flag_value(argc, argv, "--limit", "");
