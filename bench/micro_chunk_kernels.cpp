@@ -173,6 +173,37 @@ BENCHMARK(BM_GatherWidthSweep)
     ->Args({1, 2, 1})
     ->Unit(benchmark::kMillisecond);
 
+// Governance-overhead series (the deadline_checkpoint rows of
+// BENCH_chunk_kernels.json, guarded by CI's bench-compare gate): the same
+// all-starts chunk run with an ACTIVE governor — a generous 1 h deadline
+// that makes every stride poll take the real clock-read path but never
+// trips — against the ungoverned baseline. The poll amortizes over
+// kGovernorStride symbols (util/governance.hpp), so the governed rows must
+// stay within the documented <2% of their baselines (docs/perf.md,
+// "Checkpoint polling granularity"). Args: (kernel, governed).
+void BM_DeadlineCheckpoint(benchmark::State& state) {
+  const ChunkFixture& f = bible_fixture();
+  static const QueryGovernor governor(std::chrono::hours(1), CancelToken{});
+  DetChunkOptions options{.kernel = kernel_from_range(state.range(0))};
+  if (state.range(1) != 0) options.governor = &governor;
+  for (auto _ : state) {
+    const DetChunkResult result =
+        run_chunk_det(f.pattern.min_dfa(), f.chunk, f.dfa_starts, options);
+    benchmark::DoNotOptimize(result.lambda.size());
+  }
+  state.SetLabel(std::string(kernel_name(kernel_from_range(state.range(0)))) +
+                 (state.range(1) ? "/governed" : "/baseline"));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * f.chunk.size()));
+}
+BENCHMARK(BM_DeadlineCheckpoint)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_NfaKernelAllStarts(benchmark::State& state) {
   const ChunkFixture& f = traffic_fixture();
   for (auto _ : state) {

@@ -1,5 +1,7 @@
 #include "automata/packed_table.hpp"
 
+#include "util/fault_inject.hpp"
+
 namespace rispar {
 
 namespace {
@@ -26,6 +28,8 @@ std::vector<T> pack_transposed(const std::vector<State>& table, std::int32_t num
 
 PackedTable PackedTable::build(const std::vector<State>& table, std::int32_t num_states,
                                std::int32_t num_symbols) {
+  // Fault site: the packed copy is the big allocation of a table build.
+  if (fault::should_fail("packed.alloc")) throw std::bad_alloc();
   PackedTable result;
   result.num_states_ = num_states;
   result.num_symbols_ = num_symbols;

@@ -3,6 +3,8 @@
 #include <cassert>
 
 #include "automata/nfa_ops.hpp"
+#include "util/fault_inject.hpp"
+#include "util/governance.hpp"
 
 namespace rispar {
 
@@ -15,6 +17,8 @@ State SubsetConstruction::add_seed(const Bitset& subset) {
   assert(!subset.empty());
   const auto it = index_.find(subset);
   if (it != index_.end()) return it->second;
+  // Fault site: interning a new subset is where construction allocates.
+  if (fault::should_fail("subset.alloc")) throw std::bad_alloc();
   const State id = num_states();
   index_.emplace(subset, id);
   contents_.push_back(subset);
@@ -88,6 +92,21 @@ Dfa determinize(const Nfa& nfa, std::vector<std::vector<State>>* contents_out) {
   start.set(static_cast<std::size_t>(eps_free.initial()));
   const State initial = construction.add_seed(start);
   construction.run();
+  return construction.to_dfa(initial, contents_out);
+}
+
+Dfa determinize_bounded(const Nfa& nfa, std::int32_t max_states,
+                        std::vector<std::vector<State>>* contents_out) {
+  if (max_states <= 0) return determinize(nfa, contents_out);
+  const Nfa eps_free = nfa.has_epsilon() ? remove_epsilon(nfa) : nfa;
+  SubsetConstruction construction(eps_free);
+  construction.set_state_limit(max_states);
+  Bitset start(static_cast<std::size_t>(eps_free.num_states()));
+  start.set(static_cast<std::size_t>(eps_free.initial()));
+  const State initial = construction.add_seed(start);
+  if (!construction.run())
+    throw ResourceExhausted("subset construction", max_states,
+                            construction.num_states());
   return construction.to_dfa(initial, contents_out);
 }
 

@@ -71,4 +71,13 @@ class SubsetConstruction {
 /// One-shot classic determinization from closure({q0}).
 Dfa determinize(const Nfa& nfa, std::vector<std::vector<State>>* contents_out = nullptr);
 
+/// Budgeted determinization: like determinize(), but throws
+/// ResourceExhausted("subset construction", limit, interned) when the
+/// powerset exploration interns more than `max_states` subsets — the guard
+/// Engine::Config::subset_budget hangs the searcher/DFA builds on so a
+/// pathological regex fails compile instead of consuming unbounded memory.
+/// max_states <= 0 means unbounded (identical to determinize()).
+Dfa determinize_bounded(const Nfa& nfa, std::int32_t max_states,
+                        std::vector<std::vector<State>>* contents_out = nullptr);
+
 }  // namespace rispar

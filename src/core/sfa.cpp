@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "automata/packed_table.hpp"
+#include "util/fault_inject.hpp"
 
 namespace rispar {
 
@@ -99,6 +100,8 @@ std::optional<Sfa> try_build_sfa(const Dfa& chunk_automaton, std::int32_t max_st
   auto intern = [&](std::vector<State> mapping) -> State {
     const auto it = index.find(mapping);
     if (it != index.end()) return it->second;
+    // Fault site: interning a new mapping is where SFA construction grows.
+    if (fault::should_fail("sfa.alloc")) throw std::bad_alloc();
     const State id = sfa.num_states();
     if (!sfa.all_dead_ &&
         std::all_of(mapping.begin(), mapping.end(),

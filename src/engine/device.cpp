@@ -8,7 +8,12 @@ void Device::stream_feed(StreamCarry& carry, std::span<const Symbol> window,
                          ThreadPool& pool, const QueryOptions& options,
                          const StreamFindWindow* find) const {
   validate_query(options, stream_capabilities(), device_context("stream", variant()));
-  stream_window(carry, window, pool, options);
+  // One governor per FEED: its clock starts here and covers both the
+  // decision window and the find side, so a feed's deadline is the budget
+  // for everything that window triggers.
+  const QueryGovernor own(options.deadline, options.cancel);
+  const QueryGovernor* gov = own.active() ? &own : nullptr;
+  stream_window(carry, window, pool, options, gov);
   if (find == nullptr) return;
   // The find side scans the same bytes re-translated with the searcher's
   // all-bytes map; only the knobs streaming find honors are forwarded, so
@@ -19,7 +24,7 @@ void Device::stream_feed(StreamCarry& carry, std::span<const Symbol> window,
   find_options.kernel = options.kernel;
   find_options.positions = true;
   stream_find_feed(find->searcher, carry.find, find->window, pool, find_options,
-                   find->sink, find->pattern_id);
+                   find->sink, find->pattern_id, gov);
 }
 
 }  // namespace rispar

@@ -103,6 +103,11 @@ class Device {
   /// offsets, begins resolved through the carried separator) — the find
   /// side runs even after the decision carry died, since substring
   /// occurrences outlive whole-stream membership.
+  ///
+  /// Governance is PER FEED: options.deadline/cancel build one governor at
+  /// the top of each feed, shared by the decision and the find side — a
+  /// trip throws out of this call; the session-level poisoning contract
+  /// lives in StreamSession (engine/engine.hpp).
   void stream_feed(StreamCarry& carry, std::span<const Symbol> window,
                    ThreadPool& pool, const QueryOptions& options,
                    const StreamFindWindow* find = nullptr) const;
@@ -112,9 +117,12 @@ class Device {
 
  protected:
   /// The device-specific decision half of stream_feed (the PLAS window
-  /// join). Validation and the find side live in the shared front end.
+  /// join). Validation, governor construction and the find side live in
+  /// the shared front end; `governor` is pre-normalized (nullptr when
+  /// inactive) and polled at every chunk-task start inside the window.
   virtual void stream_window(StreamCarry& carry, std::span<const Symbol> window,
-                             ThreadPool& pool, const QueryOptions& options) const = 0;
+                             ThreadPool& pool, const QueryOptions& options,
+                             const QueryGovernor* governor) const = 0;
 };
 
 }  // namespace rispar

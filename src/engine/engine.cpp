@@ -9,7 +9,7 @@ namespace rispar {
 Engine::Engine(Pattern pattern, EngineConfig config)
     : pattern_(std::move(pattern)),
       config_(config),
-      pool_(std::make_unique<ThreadPool>(config.threads)),
+      pool_(std::make_unique<ThreadPool>(config.threads, config.admission)),
       dfa_device_(pattern_.min_dfa()),
       nfa_device_(pattern_.nfa()),
       rid_device_(pattern_.ridfa()) {}
@@ -29,17 +29,18 @@ const Device& Engine::device(Variant variant) const {
   if (found == nullptr) {
     // The probe is cached per Pattern, so the effective budget may not be
     // this Engine's configured one — report the budget that actually ran.
+    // (try_build_sfa gives up when the interned mappings pass the budget,
+    // so the observed demand is at least limit + 1 — the explosion case
+    // the paper reports.)
     const std::int32_t probed = pattern_.sfa_probe_budget();
-    std::string message =
-        std::string(variant_name(variant)) +
-        ": device unavailable (SFA construction exceeded the budget of " +
-        std::to_string(probed) +
-        " mappings — the explosion case the paper reports)";
+    std::string resource =
+        std::string(variant_name(variant)) + ": SFA construction";
     if (probed != config_.sfa_budget)
-      message += "; the shared Pattern was first probed with that budget, so "
-                 "this Engine's sfa_budget of " +
-                 std::to_string(config_.sfa_budget) + " was not applied";
-    throw QueryError(message);
+      resource += " (the shared Pattern was first probed with budget " +
+                  std::to_string(probed) + ", so this Engine's sfa_budget of " +
+                  std::to_string(config_.sfa_budget) + " was not applied)";
+    throw ResourceExhausted(std::move(resource), probed,
+                            static_cast<std::int64_t>(probed) + 1);
   }
   return *found;
 }
@@ -57,16 +58,26 @@ QueryResult Engine::count(std::string_view text, const QueryOptions& options) co
   // Reject up front — before paying the lazy searcher build (determinize +
   // minimize) and the full-text translation; count_matches re-validates.
   validate_query(options, kCountingCaps, kCountingContext);
+  // The governor's clock starts BEFORE the lazy searcher build and the
+  // translation: the deadline budgets the whole call, not just the kernel.
+  const QueryGovernor governor(options.deadline, options.cancel);
   const Dfa& dfa = searcher();
-  return count_matches(dfa, dfa.symbols().translate(text), *pool_, options);
+  governor.poll();
+  const std::vector<Symbol> input = dfa.symbols().translate(text);
+  governor.poll();
+  return count_matches(dfa, input, *pool_, options, &governor);
 }
 
 QueryResult Engine::find(std::string_view text, const QueryOptions& options) const {
   // Reject up front, like count() — before the lazy searcher build and the
   // full-text translation; find_matches re-validates.
   validate_query(options, kFindingCaps, kFindingContext);
+  const QueryGovernor governor(options.deadline, options.cancel);
   const Dfa& dfa = searcher();
-  return find_matches(dfa, dfa.symbols().translate(text), *pool_, options);
+  governor.poll();
+  const std::vector<Symbol> input = dfa.symbols().translate(text);
+  governor.poll();
+  return find_matches(dfa, input, *pool_, options, /*pattern_id=*/0, &governor);
 }
 
 std::vector<Match> Engine::find_all(std::string_view text,
@@ -80,8 +91,9 @@ StreamSession Engine::stream(const QueryOptions& options) const {
   validate_query(options, dev.stream_capabilities(),
                  device_context("stream", options.variant));
   // Positions sessions pay the lazy searcher build here, at open — never
-  // inside the first feed on the hot path.
-  if (options.positions) (void)pattern_.searcher();
+  // inside the first feed on the hot path (and under this Engine's
+  // subset_budget, so a blow-up pattern trips ResourceExhausted at open).
+  if (options.positions) (void)searcher();
   return StreamSession(dev, pattern_, *pool_, options);
 }
 
@@ -95,9 +107,14 @@ std::vector<QueryResult> Engine::match_all(std::span<const std::string_view> tex
   // One task per text; per-text chunk runs nest on the same pool and
   // execute inline (ThreadPool reentrancy), so the sharding unit is the
   // text — the right shape for many small-to-medium documents.
+  //
+  // Governance is PER TASK: each text's recognize builds its own governor,
+  // so the deadline budgets one text, not the batch. The batch-level
+  // governor below only paces admission blocking (OverloadPolicy::kBlock).
+  const QueryGovernor batch_governor(options.deadline, options.cancel);
   pool_->run(texts.size(), [&](std::size_t i) {
     results[i] = dev.recognize(pattern_.translate(texts[i]), *pool_, options);
-  });
+  }, batch_governor.active() ? &batch_governor : nullptr);
   return results;
 }
 
@@ -116,49 +133,79 @@ bool Engine::accepts(std::string_view text) const {
   return accepts(pattern_.translate(text));
 }
 
+void StreamSession::ensure_live() const {
+  if (poisoned_)
+    throw ValidationError(
+        "stream (feed): session is poisoned — a previous feed failed "
+        "mid-window (deadline, cancellation or fault), so the carry is "
+        "inconsistent; reset() to reuse the session (take_matches() still "
+        "drains what was buffered)");
+}
+
 void StreamSession::feed(std::string_view bytes) {
   if (!options_.positions) {
-    device_->stream_feed(carry_, pattern_.translate(bytes), *pool_, options_);
+    ensure_live();
+    try {
+      device_->stream_feed(carry_, pattern_.translate(bytes), *pool_, options_);
+    } catch (...) {
+      poisoned_ = true;
+      throw;
+    }
     return;
   }
   feed(bytes, [this](const Match& match) { pending_.push_back(match); });
 }
 
 void StreamSession::feed(std::string_view bytes, const MatchSink& sink) {
+  // Shape precondition first: rejecting here never poisons — nothing ran.
   if (!options_.positions)
-    throw QueryError(
+    throw ValidationError(
         "stream (match drain): this session was not opened with positions — "
         "set QueryOptions::positions at Engine::stream to request streaming "
         "find");
-  // The decision and the find side consume the same bytes through two maps:
-  // the pattern's classes for the device carry, the searcher's all-bytes
-  // map (one symbol per byte) for position emission.
-  const Dfa& searcher = pattern_.searcher();
-  const std::vector<Symbol> find_window = searcher.symbols().translate(bytes);
-  const StreamFindWindow find{searcher, find_window, sink};
-  if (dead()) {
-    // The decision already died — its window would no-op anyway, so skip
-    // the device-side translation (the tailing steady state: only the find
-    // side still scans). Keep the window accounting stream_window would do.
-    if (!bytes.empty()) ++carry_.windows;
-    device_->stream_feed(carry_, std::span<const Symbol>{}, *pool_, options_, &find);
-    return;
+  ensure_live();
+  try {
+    // The decision and the find side consume the same bytes through two
+    // maps: the pattern's classes for the device carry, the searcher's
+    // all-bytes map (one symbol per byte) for position emission.
+    const Dfa& searcher = pattern_.searcher();
+    const std::vector<Symbol> find_window = searcher.symbols().translate(bytes);
+    const StreamFindWindow find{searcher, find_window, sink};
+    if (dead()) {
+      // The decision already died — its window would no-op anyway, so skip
+      // the device-side translation (the tailing steady state: only the
+      // find side still scans). Keep the window accounting stream_window
+      // would do.
+      if (!bytes.empty()) ++carry_.windows;
+      device_->stream_feed(carry_, std::span<const Symbol>{}, *pool_, options_,
+                           &find);
+      return;
+    }
+    device_->stream_feed(carry_, pattern_.translate(bytes), *pool_, options_, &find);
+  } catch (...) {
+    poisoned_ = true;
+    throw;
   }
-  device_->stream_feed(carry_, pattern_.translate(bytes), *pool_, options_, &find);
 }
 
 void StreamSession::feed(std::span<const Symbol> window) {
   if (options_.positions)
-    throw QueryError(
+    throw ValidationError(
         "stream (positions): symbol-span windows cannot serve streaming find "
         "— the searcher translates raw bytes with its own map; feed "
         "string_view windows (or open the session without positions)");
-  device_->stream_feed(carry_, window, *pool_, options_);
+  ensure_live();
+  try {
+    device_->stream_feed(carry_, window, *pool_, options_);
+  } catch (...) {
+    poisoned_ = true;
+    throw;
+  }
 }
 
 std::vector<Match> StreamSession::take_matches() {
   if (!options_.positions)
-    throw QueryError(
+    throw ValidationError(
         "stream (take_matches): this session was not opened with positions — "
         "set QueryOptions::positions at Engine::stream to request streaming "
         "find");

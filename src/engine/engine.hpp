@@ -45,6 +45,18 @@ struct EngineConfig {
   /// SFA construction budget for Variant::kSfa (mappings interned before
   /// giving up — the explosion guard, see core/sfa.hpp).
   std::int32_t sfa_budget = 1 << 16;
+  /// Subset-construction budget for the lazily built Σ*p searcher that
+  /// count()/find() use, ON TOP of the Pattern's own
+  /// PatternLimits::max_subset_states (the tighter wins; 0 = just the
+  /// pattern's). A blow-up regex trips ResourceExhausted("subset
+  /// construction", ...) at the first count/find instead of consuming
+  /// unbounded memory; the searcher stays unbuilt, so retrying through an
+  /// Engine with a bigger budget still works.
+  std::int32_t subset_budget = 0;
+  /// Admission control of the owned pool: bound the external injection
+  /// queue and pick the overload response (reject with ResourceExhausted,
+  /// or block — see parallel/thread_pool.hpp). Default: unbounded.
+  PoolAdmission admission{};
 };
 
 class Engine {
@@ -112,8 +124,9 @@ class Engine {
   std::vector<QueryResult> match_all(std::span<const std::string_view> texts,
                                      const QueryOptions& options = {}) const;
 
-  /// The counting machine (see Pattern::searcher()).
-  const Dfa& searcher() const { return pattern_.searcher(); }
+  /// The counting machine (see Pattern::searcher()), built under this
+  /// Engine's subset_budget — throws ResourceExhausted when it trips.
+  const Dfa& searcher() const { return pattern_.searcher(config_.subset_budget); }
 
   /// Translates byte text with the pattern's SymbolMap.
   std::vector<Symbol> translate(std::string_view text) const {
@@ -153,6 +166,16 @@ class Engine {
 /// engine/query.hpp); callers that slice text around matches must retain
 /// bytes accordingly. Symbol-span feeds cannot serve finding (the searcher
 /// translates raw bytes with its own map) and REJECT on positions sessions.
+///
+/// Governance and poisoning: QueryOptions::{deadline, cancel} apply PER
+/// FEED — each feed's governor starts at the feed call. A trip (or any
+/// other failure escaping a feed) leaves the carry mid-window, so the
+/// session is POISONED: further feeds throw ValidationError
+/// deterministically until reset(). Matches already buffered remain
+/// drainable through take_matches(), accepted()/dead()/the counters stay
+/// readable (they describe the last consistent join), and destruction is
+/// always clean. Precondition rejects (wrong feed shape for the session)
+/// never poison — nothing ran.
 class StreamSession {
  public:
   /// Consumes the next window (may be empty — a no-op). On positions
@@ -192,10 +215,17 @@ class StreamSession {
   /// Bytes consumed by the find side so far (positions sessions).
   std::uint64_t bytes_consumed() const { return carry_.find.consumed; }
 
+  /// True once a feed failed part-way (deadline, cancellation, injected
+  /// fault): the carry is mid-window and further feeds reject until
+  /// reset(). See the class comment.
+  bool poisoned() const { return poisoned_; }
+
   /// Forgets all input; the next feed() starts from the initial state again.
+  /// Also clears poisoning — the session is reusable after a tripped feed.
   void reset() {
     carry_ = StreamCarry{};
     pending_.clear();
+    poisoned_ = false;
   }
 
  private:
@@ -205,12 +235,17 @@ class StreamSession {
       : device_(&device), pattern_(std::move(pattern)), pool_(&pool),
         options_(std::move(options)) {}
 
+  /// Throws ValidationError when the session is poisoned (call before any
+  /// feed runs — preconditions that reject BEFORE this never poison).
+  void ensure_live() const;
+
   const Device* device_;
   Pattern pattern_;  ///< shared ownership keeps the automata alive
   ThreadPool* pool_;
   QueryOptions options_;
   StreamCarry carry_;
   std::vector<Match> pending_;  ///< buffered matches awaiting take_matches()
+  bool poisoned_ = false;  ///< a feed failed mid-window; see class comment
 };
 
 }  // namespace rispar

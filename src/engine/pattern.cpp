@@ -21,6 +21,7 @@ struct Pattern::Compiled {
   Nfa nfa;
   Dfa min_dfa;
   Ridfa ridfa;
+  PatternLimits limits;
 
   // Lazily built artifacts, shared by every copy of the Pattern. call_once
   // keeps concurrent first uses safe; the structs live behind the shared_ptr
@@ -39,7 +40,7 @@ namespace {
 /// The Σ*p machine of an ε-free NFA: a new start state that loops on every
 /// symbol of an alphabet extended to cover all 256 bytes (occurrences sit
 /// inside arbitrary text) and mirrors the old initial state's out-edges.
-Dfa build_searcher(const Nfa& nfa) {
+Dfa build_searcher(const Nfa& nfa, std::int32_t max_subset_states) {
   const SymbolMap& map = nfa.symbols();
   const std::int32_t k = map.num_symbols();
 
@@ -78,7 +79,7 @@ Dfa build_searcher(const Nfa& nfa) {
                       copy[static_cast<std::size_t>(edge.target)]);
   searcher.set_initial(loop);
 
-  Dfa dfa = minimize_dfa(determinize(searcher));
+  Dfa dfa = minimize_dfa(determinize_bounded(searcher, max_subset_states));
   dfa.packed();  // pre-warm like every other query machine
   return dfa;
 }
@@ -88,14 +89,14 @@ Dfa build_searcher(const Nfa& nfa) {
 Pattern::Pattern(std::shared_ptr<const Compiled> compiled)
     : compiled_(std::move(compiled)) {}
 
-Pattern Pattern::compile(std::string_view regex) {
-  return from_nfa(glushkov_nfa(parse_regex(std::string(regex))));
+Pattern Pattern::compile(std::string_view regex, PatternLimits limits) {
+  return from_nfa(glushkov_nfa(parse_regex(std::string(regex))), limits);
 }
 
-Pattern Pattern::from_nfa(Nfa nfa) {
+Pattern Pattern::from_nfa(Nfa nfa, PatternLimits limits) {
   Nfa eps_free = nfa.has_epsilon() ? remove_epsilon(nfa) : std::move(nfa);
   Nfa trimmed = trim_unreachable(eps_free);
-  Dfa min_dfa = minimize_dfa(determinize(trimmed));
+  Dfa min_dfa = minimize_dfa(determinize_bounded(trimmed, limits.max_subset_states));
   Ridfa ridfa = build_minimized_ridfa(trimmed);
   // Pre-warm the packed tables once, before any device or pool sees them.
   min_dfa.packed();
@@ -104,11 +105,12 @@ Pattern Pattern::from_nfa(Nfa nfa) {
   compiled->nfa = std::move(trimmed);
   compiled->min_dfa = std::move(min_dfa);
   compiled->ridfa = std::move(ridfa);
+  compiled->limits = limits;
   return Pattern(std::move(compiled));
 }
 
-Pattern Pattern::from_timbuk(const std::string& text) {
-  return from_nfa(timbuk_from_string(text));
+Pattern Pattern::from_timbuk(const std::string& text, PatternLimits limits) {
+  return from_nfa(timbuk_from_string(text), limits);
 }
 
 std::string Pattern::serialize() const {
@@ -166,9 +168,16 @@ std::vector<Symbol> Pattern::translate(std::string_view text) const {
   return symbols().translate(text);
 }
 
-const Dfa& Pattern::searcher() const {
+const Dfa& Pattern::searcher(std::int32_t max_subset_states) const {
   const Compiled& c = *compiled_;
-  std::call_once(c.searcher_once, [&] { c.searcher.emplace(build_searcher(c.nfa)); });
+  // The tighter of the caller's and the pattern's own budget (0 = none). A
+  // throw (ResourceExhausted, or an injected bad_alloc) leaves the once
+  // flag unset, so a later call may retry — possibly with a bigger budget.
+  std::int32_t budget = c.limits.max_subset_states;
+  if (max_subset_states > 0 && (budget <= 0 || max_subset_states < budget))
+    budget = max_subset_states;
+  std::call_once(c.searcher_once,
+                 [&] { c.searcher.emplace(build_searcher(c.nfa, budget)); });
   return *c.searcher;
 }
 
@@ -183,6 +192,8 @@ const Sfa* Pattern::sfa(std::int32_t max_states) const {
 }
 
 std::int32_t Pattern::sfa_probe_budget() const { return compiled_->sfa_probe_budget; }
+
+const PatternLimits& Pattern::limits() const { return compiled_->limits; }
 
 const SfaDevice* Pattern::sfa_device(std::int32_t max_states) const {
   sfa(max_states);  // force the lazy build (same once_flag)

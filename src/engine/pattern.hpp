@@ -24,17 +24,28 @@
 
 namespace rispar {
 
+/// Construction budgets of a Pattern. The compile-time guard against
+/// pathological inputs: a regex whose powerset construction explodes fails
+/// with ResourceExhausted instead of consuming unbounded memory.
+struct PatternLimits {
+  /// Max interned subsets per determinization (the minimal DFA at compile
+  /// time and the lazily built Σ*p searcher); 0 = unbounded. Exceeding it
+  /// throws ResourceExhausted("subset construction", ...).
+  std::int32_t max_subset_states = 0;
+};
+
 class Pattern {
  public:
   /// Compiles a regular expression via Glushkov (ε-free by construction).
-  /// Throws RegexError on a malformed pattern.
-  static Pattern compile(std::string_view regex);
+  /// Throws RegexError on a malformed pattern and ResourceExhausted when a
+  /// construction budget in `limits` trips.
+  static Pattern compile(std::string_view regex, PatternLimits limits = {});
 
   /// Takes ownership of an NFA (ε-removed and trimmed internally).
-  static Pattern from_nfa(Nfa nfa);
+  static Pattern from_nfa(Nfa nfa, PatternLimits limits = {});
 
   /// Parses a Timbuk-format automaton (interchange with other tools).
-  static Pattern from_timbuk(const std::string& text);
+  static Pattern from_timbuk(const std::string& text, PatternLimits limits = {});
 
   /// Serializes the compiled pattern — byte classes (bytemap), ε-free NFA
   /// (the source of truth) and minimal DFA — as concatenated sections of
@@ -68,7 +79,13 @@ class Pattern {
   /// minimizing. Built lazily on first use, then cached and shared.
   /// NOTE: translate counting input with searcher().symbols(), not the
   /// pattern's own map — Engine::count does this internally.
-  const Dfa& searcher() const;
+  ///
+  /// `max_subset_states` bounds the searcher's determinization on top of
+  /// the pattern's own limit (0 = just the pattern's limit); the FIRST
+  /// caller's budget wins, like sfa(). A tripped budget throws
+  /// ResourceExhausted and leaves the searcher unbuilt, so a later call
+  /// with a bigger (or no) budget may still succeed.
+  const Dfa& searcher(std::int32_t max_subset_states = 0) const;
 
   /// The SFA device (speculation-free comparator), built lazily with the
   /// given construction budget. Returns nullptr when the SFA explodes past
@@ -83,6 +100,9 @@ class Pattern {
   /// later callers with a different configured budget get the cached
   /// outcome, and error messages must name this value, not theirs.
   std::int32_t sfa_probe_budget() const;
+
+  /// The construction budgets this pattern was compiled with.
+  const PatternLimits& limits() const;
 
  private:
   struct Compiled;

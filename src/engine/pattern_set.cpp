@@ -60,7 +60,7 @@ QueryResult merge_text(std::span<QueryResult> per_pattern, const QueryOptions& o
 
 PatternSet::PatternSet(std::vector<Pattern> patterns, EngineConfig config)
     : patterns_(std::move(patterns)),
-      pool_(std::make_unique<ThreadPool>(config.threads)) {
+      pool_(std::make_unique<ThreadPool>(config.threads, config.admission)) {
   // Pre-warm every searcher (the expensive lazy artifact: determinize +
   // minimize over an all-bytes alphabet) in parallel, once, before any
   // query fans out — pool workers never pay a build mid-query and the
@@ -108,6 +108,10 @@ std::vector<QueryResult> PatternSet::find_all(std::span<const std::string_view> 
   // would execute its chunk tasks inline on one thread, and a lone scan
   // should parallelize at chunk level instead (one pattern, one text is
   // exactly the Engine::find shape).
+  // Governance is PER (text, pattern) SCAN: each task's find_matches builds
+  // its own governor from the options, so the deadline budgets one scan.
+  // The batch-level governor only paces admission blocking (kBlock).
+  const QueryGovernor batch_governor(options.deadline, options.cancel);
   const std::size_t n = patterns_.size();
   std::vector<QueryResult> per_pair(texts.size() * n);
   const auto scan_pair = [&](std::size_t task) {
@@ -120,7 +124,8 @@ std::vector<QueryResult> PatternSet::find_all(std::span<const std::string_view> 
   if (per_pair.size() == 1)
     scan_pair(0);
   else
-    pool_->run(per_pair.size(), scan_pair);
+    pool_->run(per_pair.size(), scan_pair,
+               batch_governor.active() ? &batch_governor : nullptr);
 
   std::vector<QueryResult> results;
   results.reserve(texts.size());

@@ -43,9 +43,12 @@ class PatternSet {
   /// Takes ownership of already-compiled patterns (shared-ownership copies
   /// are cheap — the same Pattern may live in an Engine too). Pattern ids
   /// in emitted Match records are indices into this vector. Searchers are
-  /// pre-warmed in parallel on the owned pool. Of EngineConfig only
-  /// `threads` applies: finding runs the one deterministic searcher per
-  /// pattern, so there is no SFA and `sfa_budget` has nothing to govern.
+  /// pre-warmed in parallel on the owned pool. Of EngineConfig `threads`
+  /// and `admission` apply (the owned pool); finding runs the one
+  /// deterministic searcher per pattern, so there is no SFA and
+  /// `sfa_budget` has nothing to govern, and the patterns arrive already
+  /// compiled so `subset_budget` does not either (set
+  /// PatternLimits::max_subset_states at compile time instead).
   explicit PatternSet(std::vector<Pattern> patterns, EngineConfig config = {});
 
   /// Compiles one regex per entry. Throws RegexError on the first bad one.

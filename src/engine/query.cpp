@@ -15,7 +15,7 @@ const char* variant_name(Variant variant) {
 void validate_query(const QueryOptions& options, const DeviceCaps& caps,
                     const std::string& context) {
   const auto reject = [&](const char* knob) {
-    throw QueryError(context + " cannot honor '" + knob + "'");
+    throw ValidationError(context + " cannot honor '" + knob + "'");
   };
   if (options.convergence && !caps.convergence) reject("convergence");
   if (options.kernel != DetKernel::kFused && !caps.kernel_select) reject("kernel");

@@ -14,6 +14,7 @@
 //    count, transition accounting, per-phase wall times).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -22,6 +23,7 @@
 #include <vector>
 
 #include "parallel/ca_run.hpp"
+#include "util/governance.hpp"
 
 namespace rispar {
 
@@ -34,13 +36,11 @@ enum class Variant {
 
 const char* variant_name(Variant variant);
 
-/// Thrown when a query asks for an option combination the chosen device (or
-/// query shape) cannot honor, or for a device that cannot be built (SFA
-/// construction explosion).
-class QueryError : public std::invalid_argument {
- public:
-  using std::invalid_argument::invalid_argument;
-};
+// The query failure taxonomy (QueryError and its subclasses ValidationError,
+// DeadlineExceeded, QueryCancelled, ResourceExhausted — plus CancelSource/
+// CancelToken and the QueryGovernor checkpoints) lives in
+// util/governance.hpp, re-exported here: the chunk kernels sit below this
+// header and throw the same types.
 
 /// What a device can honor. Anything requested beyond this set raises
 /// QueryError during validation — never a silent ignore.
@@ -118,6 +118,18 @@ struct QueryOptions {
   /// MatchSink). Query shapes without position support REJECT the knob via
   /// DeviceCaps (recognize/count/match_all).
   bool positions = false;
+  /// Wall-clock budget for the query, 0 = none. Checked cooperatively at
+  /// chunk boundaries and every kGovernorStride symbols inside the kernels
+  /// (see util/governance.hpp); a trip throws DeadlineExceeded. Every query
+  /// shape honors it (no DeviceCaps gate — the chunk-boundary poll is the
+  /// universal floor). One-shot shapes budget the whole call; on a
+  /// StreamSession the budget applies PER FEED; match_all/PatternSet apply
+  /// it per task (per text / per (text, pattern) scan).
+  std::chrono::nanoseconds deadline{0};
+  /// Shareable cancellation flag (from CancelSource::token()); a tripped
+  /// token throws QueryCancelled at the next checkpoint. Default token =
+  /// never cancelled. Honored everywhere, like `deadline`.
+  CancelToken cancel{};
 
   static constexpr std::size_t kNoLimit = std::numeric_limits<std::size_t>::max();
 };
@@ -143,7 +155,7 @@ struct QueryResult {
   double total_seconds() const { return reach_seconds + join_seconds; }
 };
 
-/// Throws QueryError naming the offending knob when `options` requests
+/// Throws ValidationError naming the offending knob when `options` requests
 /// anything outside `caps`. `context` names who is validating, e.g.
 /// "the DFA device (recognize)" or "count (the deterministic counting
 /// kernel)" — it leads the error message.

@@ -19,13 +19,16 @@ namespace {
 // ---------------------------------------------------------------------------
 
 DetChunkResult reference_independent(const Dfa& dfa, std::span<const Symbol> chunk,
-                                     std::span<const State> starts) {
+                                     std::span<const State> starts,
+                                     const QueryGovernor* gov) {
   DetChunkResult result;
   result.lambda.reserve(starts.size());
+  GovPoll poll(gov);
   for (const State start : starts) {
     State state = start;
     std::uint64_t steps = 0;
     for (const Symbol symbol : chunk) {
+      poll.step();
       if (symbol < 0 || symbol >= dfa.num_symbols()) {
         state = kDeadState;
         break;
@@ -41,7 +44,8 @@ DetChunkResult reference_independent(const Dfa& dfa, std::span<const Symbol> chu
 }
 
 DetChunkResult reference_convergent(const Dfa& dfa, std::span<const Symbol> chunk,
-                                    std::span<const State> starts) {
+                                    std::span<const State> starts,
+                                    const QueryGovernor* gov) {
   DetChunkResult result;
   // group_state[g] = current state of merged group g; members[g] = starts.
   std::vector<State> group_state;
@@ -60,7 +64,9 @@ DetChunkResult reference_convergent(const Dfa& dfa, std::span<const Symbol> chun
   }
 
   std::unordered_map<State, std::size_t> collide;
+  GovPoll poll(gov);
   for (const Symbol symbol : chunk) {
+    poll.step();
     if (group_state.empty()) break;
     if (symbol < 0 || symbol >= dfa.num_symbols()) {
       group_state.clear();
@@ -123,14 +129,31 @@ std::pair<std::size_t, std::size_t> validated_prefix(std::span<const Symbol> chu
 }
 
 // Scalar fast path for a single speculative start (chunk 1 of every device
-// and the serial ablations): run_packed_single, no SoA bookkeeping.
+// and the serial ablations): run_packed_single, no SoA bookkeeping. Under
+// governance the chunk is consumed in kGovernorStride slices with a poll
+// between them — the ungoverned path keeps the one-call hot loop intact.
 template <typename T>
 DetChunkResult fused_single(const PackedTable& table, std::span<const Symbol> chunk,
-                            State start) {
+                            State start, const QueryGovernor* gov) {
   DetChunkResult result;
-  const PackedRun run = run_packed_single<T>(table, start, chunk.data(), chunk.size());
-  result.transitions = run.consumed;
-  if (run.end != kDeadState) result.lambda.emplace_back(start, run.end);
+  if (gov == nullptr) {
+    const PackedRun run = run_packed_single<T>(table, start, chunk.data(), chunk.size());
+    result.transitions = run.consumed;
+    if (run.end != kDeadState) result.lambda.emplace_back(start, run.end);
+    return result;
+  }
+  State state = start;
+  std::size_t pos = 0;
+  while (pos < chunk.size()) {
+    gov->poll();
+    const std::size_t len = std::min(kGovernorStride, chunk.size() - pos);
+    const PackedRun run = run_packed_single<T>(table, state, chunk.data() + pos, len);
+    result.transitions += run.consumed;
+    if (run.end == kDeadState) return result;  // died; killing symbol uncounted
+    state = run.end;
+    pos += len;
+  }
+  result.lambda.emplace_back(start, state);
   return result;
 }
 
@@ -139,8 +162,9 @@ DetChunkResult fused_single(const PackedTable& table, std::span<const Symbol> ch
 // is O(live). The chunk is streamed exactly once regardless of |starts|.
 template <typename T>
 DetChunkResult fused_lockstep(const PackedTable& table, std::span<const Symbol> chunk,
-                              std::span<const State> starts) {
-  if (starts.size() == 1) return fused_single<T>(table, chunk, starts[0]);
+                              std::span<const State> starts,
+                              const QueryGovernor* gov) {
+  if (starts.size() == 1) return fused_single<T>(table, chunk, starts[0], gov);
 
   constexpr T kDead = PackedDead<T>::value;
   const T* entries = table.data<T>();
@@ -156,11 +180,16 @@ DetChunkResult fused_lockstep(const PackedTable& table, std::span<const Symbol> 
 
   std::size_t live = starts.size();
   std::size_t pos = 0;
+  std::size_t next_poll = kGovernorStride;  // governance checkpoint position
   while (pos < chunk.size() && live > 0) {
+    if (gov != nullptr && pos >= next_poll) {
+      gov->poll();
+      next_poll = pos + kGovernorStride;
+    }
     if (live == 1) {
       // Lone survivor: finish with the scalar loop (no SoA bookkeeping).
       DetChunkResult tail = fused_single<T>(table, chunk.subspan(pos),
-                                            static_cast<State>(state[0]));
+                                            static_cast<State>(state[0]), gov);
       result.transitions += tail.transitions;
       if (!tail.lambda.empty())
         result.lambda.emplace_back(starts[origin[0]], tail.lambda.front().second);
@@ -199,7 +228,8 @@ DetChunkResult fused_lockstep(const PackedTable& table, std::span<const Symbol> 
 // allocation anywhere in the loop.
 template <typename T>
 DetChunkResult fused_convergent(const PackedTable& table, std::span<const Symbol> chunk,
-                                std::span<const State> starts) {
+                                std::span<const State> starts,
+                                const QueryGovernor* gov) {
   constexpr T kDead = PackedDead<T>::value;
   const T* entries = table.data<T>();
   const auto num_states = static_cast<std::size_t>(table.num_states());
@@ -236,12 +266,17 @@ DetChunkResult fused_convergent(const PackedTable& table, std::span<const Symbol
   }
 
   std::size_t pos = 0;
+  std::size_t next_poll = kGovernorStride;  // governance checkpoint position
   while (pos < chunk.size() && groups > 0) {
+    if (gov != nullptr && pos >= next_poll) {
+      gov->poll();
+      next_poll = pos + kGovernorStride;
+    }
     if (groups == 1) {
       // All runs converged: finish with the scalar loop and scatter the one
       // end state over the group's members.
       DetChunkResult tail = fused_single<T>(table, chunk.subspan(pos),
-                                            static_cast<State>(group_state[0]));
+                                            static_cast<State>(group_state[0]), gov);
       result.transitions += tail.transitions;
       if (tail.lambda.empty()) return result;  // the merged run died
       const State end = tail.lambda.front().second;
@@ -298,9 +333,10 @@ DetChunkResult fused_convergent(const PackedTable& table, std::span<const Symbol
 
 template <typename T>
 DetChunkResult run_fused(const PackedTable& table, std::span<const Symbol> chunk,
-                         std::span<const State> starts, bool convergence) {
-  return convergence ? fused_convergent<T>(table, chunk, starts)
-                     : fused_lockstep<T>(table, chunk, starts);
+                         std::span<const State> starts, bool convergence,
+                         const QueryGovernor* gov) {
+  return convergence ? fused_convergent<T>(table, chunk, starts, gov)
+                     : fused_lockstep<T>(table, chunk, starts, gov);
 }
 
 // ---------------------------------------------------------------------------
@@ -320,8 +356,9 @@ DetChunkResult run_fused(const PackedTable& table, std::span<const Symbol> chunk
 // per-symbol work never crosses the dispatch boundary.
 template <typename T>
 DetChunkResult simd_lockstep(const PackedTable& table, std::span<const Symbol> chunk,
-                             std::span<const State> starts) {
-  if (starts.size() == 1) return fused_single<T>(table, chunk, starts[0]);
+                             std::span<const State> starts,
+                             const QueryGovernor* gov) {
+  if (starts.size() == 1) return fused_single<T>(table, chunk, starts[0], gov);
 
   const simd::AdvanceSpanFn advance = simd::advance_span_fn<T>(simd::gather_ops());
   const T* entries = table.data<T>();
@@ -337,11 +374,16 @@ DetChunkResult simd_lockstep(const PackedTable& table, std::span<const Symbol> c
 
   std::size_t live = starts.size();
   std::size_t pos = 0;
+  std::size_t next_poll = kGovernorStride;  // governance checkpoint position
   while (pos < chunk.size() && live > 0) {
+    if (gov != nullptr && pos >= next_poll) {
+      gov->poll();
+      next_poll = pos + kGovernorStride;
+    }
     if (live == 1) {
       // Lone survivor: finish with the scalar loop (no SoA bookkeeping).
       DetChunkResult tail = fused_single<T>(table, chunk.subspan(pos),
-                                            static_cast<State>(state[0]));
+                                            static_cast<State>(state[0]), gov);
       result.transitions += tail.transitions;
       if (!tail.lambda.empty())
         result.lambda.emplace_back(starts[origin[0]], tail.lambda.front().second);
@@ -368,7 +410,8 @@ DetChunkResult simd_lockstep(const PackedTable& table, std::span<const Symbol> c
 // splice order and the emitted λ are identical to the fused kernel.
 template <typename T>
 DetChunkResult simd_convergent(const PackedTable& table, std::span<const Symbol> chunk,
-                               std::span<const State> starts) {
+                               std::span<const State> starts,
+                               const QueryGovernor* gov) {
   constexpr std::int32_t kDeadWide = PackedWideDead<T>;
   const simd::GatherFn gather = simd::gather_fn<T>(simd::gather_ops());
   const T* entries = table.data<T>();
@@ -401,12 +444,17 @@ DetChunkResult simd_convergent(const PackedTable& table, std::span<const Symbol>
   }
 
   std::size_t pos = 0;
+  std::size_t next_poll = kGovernorStride;  // governance checkpoint position
   while (pos < chunk.size() && groups > 0) {
+    if (gov != nullptr && pos >= next_poll) {
+      gov->poll();
+      next_poll = pos + kGovernorStride;
+    }
     if (groups == 1) {
       // All runs converged: finish with the scalar loop and scatter the one
       // end state over the group's members.
       DetChunkResult scalar_tail = fused_single<T>(
-          table, chunk.subspan(pos), static_cast<State>(group_state[0]));
+          table, chunk.subspan(pos), static_cast<State>(group_state[0]), gov);
       result.transitions += scalar_tail.transitions;
       if (scalar_tail.lambda.empty()) return result;  // the merged run died
       const State end = scalar_tail.lambda.front().second;
@@ -467,9 +515,10 @@ DetChunkResult simd_convergent(const PackedTable& table, std::span<const Symbol>
 
 template <typename T>
 DetChunkResult run_simd(const PackedTable& table, std::span<const Symbol> chunk,
-                        std::span<const State> starts, bool convergence) {
-  return convergence ? simd_convergent<T>(table, chunk, starts)
-                     : simd_lockstep<T>(table, chunk, starts);
+                        std::span<const State> starts, bool convergence,
+                        const QueryGovernor* gov) {
+  return convergence ? simd_convergent<T>(table, chunk, starts, gov)
+                     : simd_lockstep<T>(table, chunk, starts, gov);
 }
 
 }  // namespace
@@ -486,43 +535,51 @@ const char* kernel_name(DetKernel kernel) {
 DetChunkResult run_chunk_det(const Dfa& dfa, std::span<const Symbol> chunk,
                              std::span<const State> starts,
                              const DetChunkOptions& options) {
+  // Normalize so the kernels only test a single pointer: inactive
+  // governors (no deadline, no token) cost nothing inside the loops.
+  const QueryGovernor* gov =
+      options.governor != nullptr && options.governor->active() ? options.governor
+                                                                : nullptr;
   if (options.kernel == DetKernel::kReference) {
-    return options.convergence ? reference_convergent(dfa, chunk, starts)
-                               : reference_independent(dfa, chunk, starts);
+    return options.convergence ? reference_convergent(dfa, chunk, starts, gov)
+                               : reference_independent(dfa, chunk, starts, gov);
   }
   const PackedTable& table = dfa.packed();
   if (options.kernel == DetKernel::kSimd) {
     switch (table.width()) {
       case TableWidth::kU8:
-        return run_simd<std::uint8_t>(table, chunk, starts, options.convergence);
+        return run_simd<std::uint8_t>(table, chunk, starts, options.convergence, gov);
       case TableWidth::kU16:
-        return run_simd<std::uint16_t>(table, chunk, starts, options.convergence);
+        return run_simd<std::uint16_t>(table, chunk, starts, options.convergence, gov);
       case TableWidth::kI32:
         break;
     }
-    return run_simd<std::int32_t>(table, chunk, starts, options.convergence);
+    return run_simd<std::int32_t>(table, chunk, starts, options.convergence, gov);
   }
   switch (table.width()) {
     case TableWidth::kU8:
-      return run_fused<std::uint8_t>(table, chunk, starts, options.convergence);
+      return run_fused<std::uint8_t>(table, chunk, starts, options.convergence, gov);
     case TableWidth::kU16:
-      return run_fused<std::uint16_t>(table, chunk, starts, options.convergence);
+      return run_fused<std::uint16_t>(table, chunk, starts, options.convergence, gov);
     case TableWidth::kI32:
       break;
   }
-  return run_fused<std::int32_t>(table, chunk, starts, options.convergence);
+  return run_fused<std::int32_t>(table, chunk, starts, options.convergence, gov);
 }
 
 NfaChunkResult run_chunk_nfa(const Nfa& nfa, std::span<const Symbol> chunk,
-                             std::span<const State> starts) {
+                             std::span<const State> starts,
+                             const QueryGovernor* governor) {
   NfaChunkResult result;
   const auto universe = static_cast<std::size_t>(nfa.num_states());
   Bitset frontier(universe);
   Bitset next(universe);
+  GovPoll poll(governor);
   for (const State start : starts) {
     frontier.clear();
     frontier.set(static_cast<std::size_t>(start));
     for (const Symbol symbol : chunk) {
+      poll.step();
       if (symbol < 0 || symbol >= nfa.num_symbols()) {
         frontier.clear();
         break;
@@ -543,14 +600,17 @@ NfaChunkResult run_chunk_nfa(const Nfa& nfa, std::span<const Symbol> chunk,
 }
 
 NfaChunkResult run_chunk_nfa_union(const Nfa& nfa, std::span<const Symbol> chunk,
-                                   std::span<const State> starts) {
+                                   std::span<const State> starts,
+                                   const QueryGovernor* governor) {
   NfaChunkResult result;
   if (starts.empty()) return result;
   const auto universe = static_cast<std::size_t>(nfa.num_states());
   Bitset frontier(universe);
   Bitset next(universe);
+  GovPoll poll(governor);
   for (const State start : starts) frontier.set(static_cast<std::size_t>(start));
   for (const Symbol symbol : chunk) {
+    poll.step();
     if (symbol < 0 || symbol >= nfa.num_symbols()) {
       frontier.clear();
       break;

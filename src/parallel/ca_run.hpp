@@ -65,6 +65,7 @@
 #include "automata/dfa.hpp"
 #include "automata/nfa.hpp"
 #include "util/bitset.hpp"
+#include "util/governance.hpp"
 
 namespace rispar {
 
@@ -92,6 +93,12 @@ const char* kernel_name(DetKernel kernel);
 struct DetChunkOptions {
   bool convergence = false;
   DetKernel kernel = DetKernel::kFused;
+  /// Cooperative governance checkpoints (deadline/cancellation): polled
+  /// roughly every kGovernorStride consumed symbols inside every kernel
+  /// implementation. Null or inactive = zero per-symbol cost (the kernels
+  /// normalize to nullptr up front). The pointer must outlive the call; it
+  /// is shared read-only across the pool's chunk tasks.
+  const QueryGovernor* governor = nullptr;
 };
 
 /// Advances every state in `starts` over `chunk`. See the header comment
@@ -107,9 +114,12 @@ struct NfaChunkResult {
   std::uint64_t transitions = 0;  ///< NFA edge traversals (see header)
 };
 
-/// Runs the NFA frontier simulation once per starting state.
+/// Runs the NFA frontier simulation once per starting state. `governor`
+/// adds the same cooperative per-stride checkpoints as the deterministic
+/// kernels (null = ungoverned).
 NfaChunkResult run_chunk_nfa(const Nfa& nfa, std::span<const Symbol> chunk,
-                             std::span<const State> starts);
+                             std::span<const State> starts,
+                             const QueryGovernor* governor = nullptr);
 
 /// One frontier simulation seeded with ALL of `starts` at once: the union
 /// λ image without per-start attribution, reported as a single lambda
@@ -117,6 +127,7 @@ NfaChunkResult run_chunk_nfa(const Nfa& nfa, std::span<const Symbol> chunk,
 /// the NFA streaming path's first chunk, whose carried states are all kept
 /// verbatim by the join — this replaces |starts| full chunk scans with one.
 NfaChunkResult run_chunk_nfa_union(const Nfa& nfa, std::span<const Symbol> chunk,
-                                   std::span<const State> starts);
+                                   std::span<const State> starts,
+                                   const QueryGovernor* governor = nullptr);
 
 }  // namespace rispar

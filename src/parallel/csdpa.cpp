@@ -16,9 +16,18 @@ QueryResult empty_input_result(bool initial_is_final) {
   return stats;
 }
 
-DetChunkOptions kernel_options(const QueryOptions& options) {
+DetChunkOptions kernel_options(const QueryOptions& options,
+                               const QueryGovernor* governor) {
   return DetChunkOptions{.convergence = options.convergence,
-                         .kernel = options.kernel};
+                         .kernel = options.kernel,
+                         .governor = governor};
+}
+
+// Per-query governor shared by every chunk task of a recognize() call.
+// Normalized to nullptr when inactive so the kernels' fast paths never
+// even branch on the pointer.
+const QueryGovernor* normalize(const QueryGovernor& own) {
+  return own.active() ? &own : nullptr;
 }
 
 // Prologue shared by every stream_feed: empty windows are no-ops; a dead
@@ -36,13 +45,16 @@ template <typename Result, typename Run>
 std::vector<Result> run_window_chunks(std::span<const Symbol> window,
                                       ThreadPool& pool, std::size_t chunks_requested,
                                       std::span<const State> continuation,
-                                      std::span<const State> speculative, Run&& run) {
+                                      std::span<const State> speculative,
+                                      const QueryGovernor* governor, Run&& run) {
   const auto chunks = split_chunks(window.size(), chunks_requested);
   std::vector<Result> results(chunks.size());
   pool.run(chunks.size(), [&](std::size_t i) {
+    // Chunk boundary: the universal checkpoint every window shape honors.
+    if (governor != nullptr) governor->poll();
     results[i] = run(window.subspan(chunks[i].begin, chunks[i].length),
                      i == 0 ? continuation : speculative, i == 0);
-  });
+  }, governor);
   return results;
 }
 
@@ -93,8 +105,11 @@ QueryResult DfaDevice::recognize(std::span<const Symbol> input, ThreadPool& pool
   Stopwatch reach_clock;
   std::vector<DetChunkResult> results(chunks.size());
   const std::vector<State> first_start{dfa_.initial()};
-  const DetChunkOptions run_options = kernel_options(options);
+  const QueryGovernor own(options.deadline, options.cancel);
+  const QueryGovernor* gov = normalize(own);
+  const DetChunkOptions run_options = kernel_options(options, gov);
   pool.run(chunks.size(), [&](std::size_t i) {
+    if (gov != nullptr) gov->poll();  // chunk boundary
     const auto span = input.subspan(chunks[i].begin, chunks[i].length);
     if (i == 0) {
       // Chunk 1 knows its start.
@@ -114,12 +129,13 @@ QueryResult DfaDevice::recognize(std::span<const Symbol> input, ThreadPool& pool
     const auto window = input.subspan(chunks[i].begin - window_len, window_len);
     const DetChunkResult probe = run_chunk_det(
         dfa_, window, all_states_,
-        DetChunkOptions{.convergence = true, .kernel = options.kernel});
+        DetChunkOptions{.convergence = true, .kernel = options.kernel,
+                        .governor = gov});
     results[i] = run_chunk_det(dfa_, span, probe.distinct_ends, run_options);
     // The probe work is real speculative overhead; account for it
     // (accounting convention: parallel/ca_run.hpp).
     results[i].transitions += probe.transitions;
-  });
+  }, gov);
   stats.reach_seconds = reach_clock.seconds();
 
   Stopwatch join_clock;
@@ -130,14 +146,16 @@ QueryResult DfaDevice::recognize(std::span<const Symbol> input, ThreadPool& pool
     const auto n = static_cast<std::size_t>(dfa_.num_states());
     std::vector<std::vector<State>> maps(results.size());
     pool.run(results.size(), [&](std::size_t i) {
+      if (gov != nullptr) gov->poll();
       maps[i].assign(n, kDeadState);
       for (const auto& [start, end] : results[i].lambda)
         maps[i][static_cast<std::size_t>(start)] = end;
-    });
+    }, gov);
     while (maps.size() > 1) {
       const std::size_t pairs = maps.size() / 2;
       std::vector<std::vector<State>> folded(pairs + (maps.size() % 2));
       pool.run(pairs, [&](std::size_t p) {
+        if (gov != nullptr) gov->poll();
         const auto& first = maps[2 * p];
         const auto& second = maps[2 * p + 1];
         auto& out = folded[p];
@@ -147,7 +165,7 @@ QueryResult DfaDevice::recognize(std::span<const Symbol> input, ThreadPool& pool
           out[q] = mid == kDeadState ? kDeadState
                                      : second[static_cast<std::size_t>(mid)];
         }
-      });
+      }, gov);
       if (maps.size() % 2) folded.back() = std::move(maps.back());
       maps = std::move(folded);
     }
@@ -176,14 +194,15 @@ QueryResult DfaDevice::recognize(std::span<const Symbol> input, ThreadPool& pool
 }
 
 void DfaDevice::stream_window(StreamCarry& carry, std::span<const Symbol> window,
-                              ThreadPool& pool, const QueryOptions& options) const {
+                              ThreadPool& pool, const QueryOptions& options,
+                              const QueryGovernor* governor) const {
   if (!stream_window_begins(carry, window)) return;
 
   const std::vector<State> continuation =
       carry.at_start ? std::vector<State>{dfa_.initial()} : carry.states;
-  const DetChunkOptions run_options = kernel_options(options);
+  const DetChunkOptions run_options = kernel_options(options, governor);
   const auto results = run_window_chunks<DetChunkResult>(
-      window, pool, options.chunks, continuation, all_states_,
+      window, pool, options.chunks, continuation, all_states_, governor,
       [&](std::span<const Symbol> span, std::span<const State> starts, bool) {
         return run_chunk_det(dfa_, span, starts, run_options);
       });
@@ -220,13 +239,16 @@ QueryResult NfaDevice::recognize(std::span<const Symbol> input, ThreadPool& pool
   Stopwatch reach_clock;
   std::vector<NfaChunkResult> results(chunks.size());
   const std::vector<State> first_start{nfa_.initial()};
+  const QueryGovernor own(options.deadline, options.cancel);
+  const QueryGovernor* gov = normalize(own);
   pool.run(chunks.size(), [&](std::size_t i) {
+    if (gov != nullptr) gov->poll();  // chunk boundary
     const auto span = input.subspan(chunks[i].begin, chunks[i].length);
     const std::span<const State> starts =
         (i == 0) ? std::span<const State>(first_start)
                  : std::span<const State>(all_states_);
-    results[i] = run_chunk_nfa(nfa_, span, starts);
-  });
+    results[i] = run_chunk_nfa(nfa_, span, starts, gov);
+  }, gov);
   stats.reach_seconds = reach_clock.seconds();
 
   Stopwatch join_clock;
@@ -249,19 +271,20 @@ QueryResult NfaDevice::recognize(std::span<const Symbol> input, ThreadPool& pool
 }
 
 void NfaDevice::stream_window(StreamCarry& carry, std::span<const Symbol> window,
-                              ThreadPool& pool, const QueryOptions& options) const {
+                              ThreadPool& pool, const QueryOptions& options,
+                              const QueryGovernor* governor) const {
   if (!stream_window_begins(carry, window)) return;
 
   const std::vector<State> continuation =
       carry.at_start ? std::vector<State>{nfa_.initial()} : carry.states;
   const auto results = run_window_chunks<NfaChunkResult>(
-      window, pool, options.chunks, continuation, all_states_,
+      window, pool, options.chunks, continuation, all_states_, governor,
       [&](std::span<const Symbol> span, std::span<const State> starts, bool first) {
         // The first chunk's survivors are all kept verbatim by the join, so
         // only the UNION of its end sets matters — one frontier simulation
         // seeded with the whole carry instead of |carry| full chunk scans.
-        return first ? run_chunk_nfa_union(nfa_, span, starts)
-                     : run_chunk_nfa(nfa_, span, starts);
+        return first ? run_chunk_nfa_union(nfa_, span, starts, governor)
+                     : run_chunk_nfa(nfa_, span, starts, governor);
       });
   join_window_into_carry(carry, results, nfa_.num_states(),
                          [](Bitset& next, const std::pair<State, Bitset>& entry) {
@@ -295,8 +318,11 @@ QueryResult RidDevice::recognize(std::span<const Symbol> input, ThreadPool& pool
   Stopwatch reach_clock;
   std::vector<DetChunkResult> results(chunks.size());
   const std::vector<State> first_start{ridfa_.start_state()};
-  const DetChunkOptions run_options = kernel_options(options);
+  const QueryGovernor own(options.deadline, options.cancel);
+  const QueryGovernor* gov = normalize(own);
+  const DetChunkOptions run_options = kernel_options(options, gov);
   pool.run(chunks.size(), [&](std::size_t i) {
+    if (gov != nullptr) gov->poll();  // chunk boundary
     const auto span = input.subspan(chunks[i].begin, chunks[i].length);
     // Only the interface states are speculative starts — this is the whole
     // point of the RI-DFA (|I_B| = |Q_N| or less after minimization).
@@ -304,7 +330,7 @@ QueryResult RidDevice::recognize(std::span<const Symbol> input, ThreadPool& pool
         (i == 0) ? std::span<const State>(first_start)
                  : std::span<const State>(ridfa_.initial_states());
     results[i] = run_chunk_det(ca, span, starts, run_options);
-  });
+  }, gov);
   stats.reach_seconds = reach_clock.seconds();
 
   Stopwatch join_clock;
@@ -342,7 +368,8 @@ QueryResult RidDevice::recognize(std::span<const Symbol> input, ThreadPool& pool
 }
 
 void RidDevice::stream_window(StreamCarry& carry, std::span<const Symbol> window,
-                              ThreadPool& pool, const QueryOptions& options) const {
+                              ThreadPool& pool, const QueryOptions& options,
+                              const QueryGovernor* governor) const {
   if (!stream_window_begins(carry, window)) return;
 
   const Dfa& ca = ridfa_.dfa();
@@ -351,9 +378,9 @@ void RidDevice::stream_window(StreamCarry& carry, std::span<const Symbol> window
   const std::vector<State> continuation =
       carry.at_start ? std::vector<State>{ridfa_.start_state()}
                      : ridfa_.interface_image(carry.states);
-  const DetChunkOptions run_options = kernel_options(options);
+  const DetChunkOptions run_options = kernel_options(options, governor);
   const auto results = run_window_chunks<DetChunkResult>(
-      window, pool, options.chunks, continuation, ridfa_.initial_states(),
+      window, pool, options.chunks, continuation, ridfa_.initial_states(), governor,
       [&](std::span<const Symbol> span, std::span<const State> starts, bool) {
         return run_chunk_det(ca, span, starts, run_options);
       });
@@ -426,11 +453,17 @@ QueryResult SfaDevice::recognize(std::span<const Symbol> input, ThreadPool& pool
 
   Stopwatch reach_clock;
   // One SFA run per chunk, from the identity mapping — no speculation.
+  // Governance is chunk-boundary only: Sfa::run is an opaque packed scan
+  // with no start parameter, so there is no mid-chunk resume point worth a
+  // finer stride (raise options.chunks for tighter trip latency).
+  const QueryGovernor own(options.deadline, options.cancel);
+  const QueryGovernor* gov = normalize(own);
   std::vector<State> arrivals(chunks.size());
   std::vector<std::uint64_t> counts(chunks.size(), 0);
   pool.run(chunks.size(), [&](std::size_t i) {
+    if (gov != nullptr) gov->poll();  // chunk boundary
     arrivals[i] = run_chunk(input.subspan(chunks[i].begin, chunks[i].length), counts[i]);
-  });
+  }, gov);
   stats.reach_seconds = reach_clock.seconds();
 
   Stopwatch join_clock;
@@ -449,15 +482,17 @@ QueryResult SfaDevice::recognize(std::span<const Symbol> input, ThreadPool& pool
 }
 
 void SfaDevice::stream_window(StreamCarry& carry, std::span<const Symbol> window,
-                              ThreadPool& pool, const QueryOptions& options) const {
+                              ThreadPool& pool, const QueryOptions& options,
+                              const QueryGovernor* governor) const {
   if (!stream_window_begins(carry, window)) return;
 
   const auto chunks = split_chunks(window.size(), options.chunks);
   std::vector<State> arrivals(chunks.size());
   std::vector<std::uint64_t> counts(chunks.size(), 0);
   pool.run(chunks.size(), [&](std::size_t i) {
+    if (governor != nullptr) governor->poll();  // chunk boundary (see recognize)
     arrivals[i] = run_chunk(window.subspan(chunks[i].begin, chunks[i].length), counts[i]);
-  });
+  }, governor);
 
   State state = carry.at_start ? ca_.initial() : carry.states.front();
   for (std::size_t i = 0; i < chunks.size(); ++i) {

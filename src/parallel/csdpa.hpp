@@ -56,7 +56,8 @@ class DfaDevice : public Device {
 
  protected:
   void stream_window(StreamCarry& carry, std::span<const Symbol> window,
-                     ThreadPool& pool, const QueryOptions& options) const override;
+                     ThreadPool& pool, const QueryOptions& options,
+                     const QueryGovernor* governor) const override;
 
  private:
   const Dfa& dfa_;
@@ -77,7 +78,8 @@ class NfaDevice : public Device {
 
  protected:
   void stream_window(StreamCarry& carry, std::span<const Symbol> window,
-                     ThreadPool& pool, const QueryOptions& options) const override;
+                     ThreadPool& pool, const QueryOptions& options,
+                     const QueryGovernor* governor) const override;
 
  private:
   const Nfa& nfa_;
@@ -99,7 +101,8 @@ class RidDevice : public Device {
 
  protected:
   void stream_window(StreamCarry& carry, std::span<const Symbol> window,
-                     ThreadPool& pool, const QueryOptions& options) const override;
+                     ThreadPool& pool, const QueryOptions& options,
+                     const QueryGovernor* governor) const override;
 
  private:
   const Ridfa& ridfa_;
@@ -124,7 +127,8 @@ class SfaDevice : public Device {
 
  protected:
   void stream_window(StreamCarry& carry, std::span<const Symbol> window,
-                     ThreadPool& pool, const QueryOptions& options) const override;
+                     ThreadPool& pool, const QueryOptions& options,
+                     const QueryGovernor* governor) const override;
 
  private:
   /// Arrival SFA state of one chunk; kDeadState when the chunk contains an

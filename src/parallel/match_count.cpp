@@ -42,13 +42,16 @@ struct CountChunk {
 
 /// The seed implementation: every start runs independently.
 CountChunk count_chunk_independent(const Dfa& dfa, std::span<const Symbol> span,
-                                   std::span<const State> starts) {
+                                   std::span<const State> starts,
+                                   const QueryGovernor* gov) {
   CountChunk chunk;
   chunk.end.resize(starts.size());
   chunk.hits.assign(starts.size(), 0);
+  GovPoll poll(gov);
   for (std::size_t s = 0; s < starts.size(); ++s) {
     State state = starts[s];
     for (const Symbol symbol : span) {
+      poll.step();
       if (symbol < 0 || symbol >= dfa.num_symbols()) {
         state = kDeadState;
         break;
@@ -71,7 +74,8 @@ CountChunk count_chunk_independent(const Dfa& dfa, std::span<const Symbol> span,
 /// total(r) = local(r) + (total(parent) - parent_base(r)), because
 /// everything the parent chain accrues after the merge is shared.
 CountChunk count_chunk_convergent(const Dfa& dfa, std::span<const Symbol> span,
-                                  std::span<const State> starts) {
+                                  std::span<const State> starts,
+                                  const QueryGovernor* gov) {
   struct Node {
     State state;
     std::uint64_t hits = 0;
@@ -90,7 +94,9 @@ CountChunk count_chunk_convergent(const Dfa& dfa, std::span<const Symbol> span,
 
   std::vector<std::int32_t> owner(static_cast<std::size_t>(dfa.num_states()), -1);
   std::vector<State> touched;
+  GovPoll poll(gov);
   for (const Symbol symbol : span) {
+    poll.step();
     if (active.empty()) break;
     if (symbol < 0 || symbol >= dfa.num_symbols()) {
       // Alien symbol: every run dies without the symbol being counted.
@@ -220,7 +226,8 @@ struct PackedStep {
 /// consistent start's chain.
 template <bool kConvergent, typename Step>
 FindChunk find_chunk(const Dfa& dfa, std::span<const Symbol> span,
-                     std::span<const State> starts, Step step) {
+                     std::span<const State> starts, Step step,
+                     const QueryGovernor* gov) {
   const State initial = dfa.initial();
   FindChunk chunk;
   chunk.nodes.resize(starts.size());
@@ -239,7 +246,9 @@ FindChunk find_chunk(const Dfa& dfa, std::span<const Symbol> span,
     owner.assign(static_cast<std::size_t>(dfa.num_states()), -1);
 
   std::int64_t pos = 0;
+  GovPoll poll(gov);
   for (const Symbol symbol : span) {
+    poll.step();
     if (active.empty()) break;
     if (!step.prepare(symbol)) {
       // Alien symbol: every run dies without the symbol being counted.
@@ -354,7 +363,8 @@ void join_find_chunks(std::span<const FindChunk> runs, std::span<const ChunkSpan
 template <bool kConvergent, typename T>
 FindChunk find_chunk_simd(const Dfa& dfa, const PackedTable& table,
                           std::span<const Symbol> span,
-                          std::span<const State> starts) {
+                          std::span<const State> starts,
+                          const QueryGovernor* gov) {
   constexpr std::int32_t kDeadWide = PackedWideDead<T>;
   const simd::GatherFn gather = simd::gather_fn<T>(simd::gather_ops());
   const T* entries = table.data<T>();
@@ -387,7 +397,9 @@ FindChunk find_chunk_simd(const Dfa& dfa, const PackedTable& table,
   if constexpr (kConvergent) owner.assign(n, -1);
 
   std::int64_t pos = 0;
+  GovPoll poll(gov);
   for (const Symbol symbol : span) {
+    poll.step();
     if (active.empty()) break;
     if (static_cast<std::uint32_t>(symbol) >= limit) {
       // Alien symbol: every run dies without the symbol being counted.
@@ -449,7 +461,8 @@ FindChunk find_chunk_simd(const Dfa& dfa, const PackedTable& table,
 }
 
 FindChunk run_find_chunk(const Dfa& dfa, std::span<const Symbol> span,
-                         std::span<const State> starts, const QueryOptions& options) {
+                         std::span<const State> starts, const QueryOptions& options,
+                         const QueryGovernor* gov) {
   // A gather block is 8 lanes; below that kSimd would pay one dispatch
   // call per symbol for a pure scalar tail, so small start sets take the
   // fused step policy instead (bit-identical results either way).
@@ -458,47 +471,65 @@ FindChunk run_find_chunk(const Dfa& dfa, std::span<const Symbol> span,
     switch (table.width()) {
       case TableWidth::kU8:
         return options.convergence
-                   ? find_chunk_simd<true, std::uint8_t>(dfa, table, span, starts)
-                   : find_chunk_simd<false, std::uint8_t>(dfa, table, span, starts);
+                   ? find_chunk_simd<true, std::uint8_t>(dfa, table, span, starts, gov)
+                   : find_chunk_simd<false, std::uint8_t>(dfa, table, span, starts, gov);
       case TableWidth::kU16:
         return options.convergence
-                   ? find_chunk_simd<true, std::uint16_t>(dfa, table, span, starts)
-                   : find_chunk_simd<false, std::uint16_t>(dfa, table, span, starts);
+                   ? find_chunk_simd<true, std::uint16_t>(dfa, table, span, starts, gov)
+                   : find_chunk_simd<false, std::uint16_t>(dfa, table, span, starts, gov);
       case TableWidth::kI32:
         break;
     }
     return options.convergence
-               ? find_chunk_simd<true, std::int32_t>(dfa, table, span, starts)
-               : find_chunk_simd<false, std::int32_t>(dfa, table, span, starts);
+               ? find_chunk_simd<true, std::int32_t>(dfa, table, span, starts, gov)
+               : find_chunk_simd<false, std::int32_t>(dfa, table, span, starts, gov);
   }
   if (options.kernel == DetKernel::kReference) {
     return options.convergence
-               ? find_chunk<true>(dfa, span, starts, RowStep{dfa})
-               : find_chunk<false>(dfa, span, starts, RowStep{dfa});
+               ? find_chunk<true>(dfa, span, starts, RowStep{dfa}, gov)
+               : find_chunk<false>(dfa, span, starts, RowStep{dfa}, gov);
   }
   const PackedTable& table = dfa.packed();
   switch (table.width()) {
     case TableWidth::kU8:
       return options.convergence
-                 ? find_chunk<true>(dfa, span, starts, PackedStep<std::uint8_t>{table})
-                 : find_chunk<false>(dfa, span, starts, PackedStep<std::uint8_t>{table});
+                 ? find_chunk<true>(dfa, span, starts, PackedStep<std::uint8_t>{table},
+                                    gov)
+                 : find_chunk<false>(dfa, span, starts, PackedStep<std::uint8_t>{table},
+                                     gov);
     case TableWidth::kU16:
       return options.convergence
-                 ? find_chunk<true>(dfa, span, starts, PackedStep<std::uint16_t>{table})
-                 : find_chunk<false>(dfa, span, starts, PackedStep<std::uint16_t>{table});
+                 ? find_chunk<true>(dfa, span, starts, PackedStep<std::uint16_t>{table},
+                                    gov)
+                 : find_chunk<false>(dfa, span, starts, PackedStep<std::uint16_t>{table},
+                                     gov);
     case TableWidth::kI32:
       break;
   }
   return options.convergence
-             ? find_chunk<true>(dfa, span, starts, PackedStep<std::int32_t>{table})
-             : find_chunk<false>(dfa, span, starts, PackedStep<std::int32_t>{table});
+             ? find_chunk<true>(dfa, span, starts, PackedStep<std::int32_t>{table}, gov)
+             : find_chunk<false>(dfa, span, starts, PackedStep<std::int32_t>{table},
+                                 gov);
+}
+
+/// Resolves the governor an entry point runs under: an explicit one from
+/// the caller (a streaming device sharing its per-feed clock), else one
+/// built from the options — normalized to nullptr when inactive so the
+/// kernels and the per-task polls stay free.
+const QueryGovernor* resolve_governor(const QueryGovernor* provided,
+                                      const QueryGovernor& own) {
+  const QueryGovernor* gov = provided != nullptr ? provided : &own;
+  return gov->active() ? gov : nullptr;
 }
 
 }  // namespace
 
 QueryResult count_matches(const Dfa& dfa, std::span<const Symbol> input,
-                          ThreadPool& pool, const QueryOptions& options) {
+                          ThreadPool& pool, const QueryOptions& options,
+                          const QueryGovernor* governor) {
   validate_query(options, kCountingCaps, kCountingContext);
+  const QueryGovernor own(options.deadline, options.cancel);
+  const QueryGovernor* gov = resolve_governor(governor, own);
   QueryResult result;
   if (input.empty()) return result;
 
@@ -515,12 +546,13 @@ QueryResult count_matches(const Dfa& dfa, std::span<const Symbol> input,
 
   std::vector<CountChunk> runs(chunks.size());
   pool.run(chunks.size(), [&](std::size_t i) {
+    if (gov != nullptr) gov->poll();  // chunk boundary: the universal checkpoint
     const auto span = input.subspan(chunks[i].begin, chunks[i].length);
     const std::span<const State> starts =
         (i == 0) ? std::span<const State>(first_start)
                  : std::span<const State>(all_states);
-    runs[i] = options.convergence ? count_chunk_convergent(dfa, span, starts)
-                                  : count_chunk_independent(dfa, span, starts);
+    runs[i] = options.convergence ? count_chunk_convergent(dfa, span, starts, gov)
+                                  : count_chunk_independent(dfa, span, starts, gov);
   });
   result.reach_seconds = reach_clock.seconds();
 
@@ -577,8 +609,10 @@ QueryResult find_matches_serial(const Dfa& dfa, std::span<const Symbol> input,
 
 QueryResult find_matches(const Dfa& dfa, std::span<const Symbol> input,
                          ThreadPool& pool, const QueryOptions& options,
-                         std::uint32_t pattern_id) {
+                         std::uint32_t pattern_id, const QueryGovernor* governor) {
   validate_query(options, kFindingCaps, kFindingContext);
+  const QueryGovernor own(options.deadline, options.cancel);
+  const QueryGovernor* gov = resolve_governor(governor, own);
   QueryResult result;
   if (input.empty()) return result;
 
@@ -595,11 +629,12 @@ QueryResult find_matches(const Dfa& dfa, std::span<const Symbol> input,
 
   std::vector<FindChunk> runs(chunks.size());
   pool.run(chunks.size(), [&](std::size_t i) {
+    if (gov != nullptr) gov->poll();  // chunk boundary: the universal checkpoint
     const auto span = input.subspan(chunks[i].begin, chunks[i].length);
     const std::span<const State> starts =
         (i == 0) ? std::span<const State>(first_start)
                  : std::span<const State>(all_states);
-    runs[i] = run_find_chunk(dfa, span, starts, options);
+    runs[i] = run_find_chunk(dfa, span, starts, options, gov);
   });
   result.reach_seconds = reach_clock.seconds();
 
@@ -624,8 +659,11 @@ QueryResult find_matches(const Dfa& dfa, std::span<const Symbol> input,
 
 void stream_find_feed(const Dfa& dfa, FindCarry& carry, std::span<const Symbol> window,
                       ThreadPool& pool, const QueryOptions& options,
-                      const MatchSink& sink, std::uint32_t pattern_id) {
+                      const MatchSink& sink, std::uint32_t pattern_id,
+                      const QueryGovernor* governor) {
   validate_query(options, kStreamFindingCaps, kStreamFindingContext);
+  const QueryGovernor own(options.deadline, options.cancel);
+  const QueryGovernor* gov = resolve_governor(governor, own);
   if (window.empty()) return;
   const std::uint64_t origin = carry.consumed;
   carry.consumed += window.size();
@@ -651,11 +689,12 @@ void stream_find_feed(const Dfa& dfa, FindCarry& carry, std::span<const Symbol> 
 
   std::vector<FindChunk> runs(chunks.size());
   pool.run(chunks.size(), [&](std::size_t i) {
+    if (gov != nullptr) gov->poll();  // window/chunk boundary checkpoint
     const auto span = window.subspan(chunks[i].begin, chunks[i].length);
     const std::span<const State> starts =
         (i == 0) ? std::span<const State>(first_start)
                  : std::span<const State>(carry.speculative_starts);
-    runs[i] = run_find_chunk(dfa, span, starts, options);
+    runs[i] = run_find_chunk(dfa, span, starts, options, gov);
   });
 
   // Join, serialized per window: the carried (state, last separator) enter

@@ -69,8 +69,12 @@ QueryResult count_matches_serial(const Dfa& dfa, std::span<const Symbol> input);
 /// Parallel counting over options.chunks chunks on the pool; equals the
 /// serial count on every input, with convergence on or off
 /// (property-tested). Throws QueryError for knobs counting cannot honor.
+/// `governor` overrides the one built from options.deadline/cancel (a
+/// streaming device passes its per-feed governor so the whole feed shares
+/// one clock); null = build from the options.
 QueryResult count_matches(const Dfa& dfa, std::span<const Symbol> input,
-                          ThreadPool& pool, const QueryOptions& options);
+                          ThreadPool& pool, const QueryOptions& options,
+                          const QueryGovernor* governor = nullptr);
 
 /// What finding honors of the unified options (chunks, convergence, kernel,
 /// offset/limit paging) — shared with Engine::find / PatternSet so they can
@@ -98,7 +102,8 @@ QueryResult find_matches_serial(const Dfa& dfa, std::span<const Symbol> input,
 /// knobs finding cannot honor. Every emitted Match carries `pattern_id`.
 QueryResult find_matches(const Dfa& dfa, std::span<const Symbol> input,
                          ThreadPool& pool, const QueryOptions& options,
-                         std::uint32_t pattern_id = 0);
+                         std::uint32_t pattern_id = 0,
+                         const QueryGovernor* governor = nullptr);
 
 /// The find side of a streaming session's carry. The Σ*p searcher is
 /// deterministic, so between windows only one state plus absolute-offset
@@ -142,6 +147,7 @@ inline constexpr const char* kStreamFindingContext =
 /// list (property- and fuzz-tested). Empty windows are no-ops.
 void stream_find_feed(const Dfa& dfa, FindCarry& carry, std::span<const Symbol> window,
                       ThreadPool& pool, const QueryOptions& options,
-                      const MatchSink& sink, std::uint32_t pattern_id = 0);
+                      const MatchSink& sink, std::uint32_t pattern_id = 0,
+                      const QueryGovernor* governor = nullptr);
 
 }  // namespace rispar

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/fault_inject.hpp"
+
 namespace rispar {
 
 namespace {
@@ -56,8 +58,12 @@ void ThreadPool::Deque::push(Task* task) {
   Buffer* buffer = buffer_.load(std::memory_order_relaxed);
   if (b - t >= buffer->capacity) buffer = grow(buffer, t, b);
   buffer->slots[b % buffer->capacity].store(task, std::memory_order_relaxed);
-  std::atomic_thread_fence(std::memory_order_release);
-  bottom_.store(b + 1, std::memory_order_relaxed);
+  // Publish with a release STORE on bottom_, not the fence+relaxed-store of
+  // the Lê et al. paper: semantically identical (everything written before
+  // this store — the Task fields and the slot — is visible to a thief whose
+  // acquire load of bottom_ observes it), but standalone fences are opaque
+  // to ThreadSanitizer, which would report the thief's Task read as a race.
+  bottom_.store(b + 1, std::memory_order_release);
 }
 
 ThreadPool::Task* ThreadPool::Deque::pop() {
@@ -97,7 +103,8 @@ ThreadPool::Task* ThreadPool::Deque::steal() {
 
 // ------------------------------------------------------------------- pool
 
-ThreadPool::ThreadPool(unsigned threads) {
+ThreadPool::ThreadPool(unsigned threads, PoolAdmission admission)
+    : admission_(admission) {
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
   deques_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i) deques_.push_back(std::make_unique<Deque>());
@@ -118,7 +125,9 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::execute(const Task& task) {
   Batch* batch = task.batch;
   const std::size_t count = batch->count;
+  running_.fetch_add(1, std::memory_order_relaxed);
   try {
+    fault::maybe_throw("pool.task");  // injected task failure (tests only)
     (*batch->fn)(task.index);
   } catch (...) {
     // First throwing task wins; the write to `error` happens before this
@@ -128,6 +137,8 @@ void ThreadPool::execute(const Task& task) {
     if (!batch->error_claimed.exchange(true, std::memory_order_acq_rel))
       batch->error = std::current_exception();
   }
+  running_.fetch_sub(1, std::memory_order_relaxed);
+  executed_.fetch_add(1, std::memory_order_relaxed);
   // The moment this fetch_add reaches `count` the submitting run() may
   // return and destroy the batch — everything after it touches only pool
   // state. The seq_cst pairing with the caller's sleeping_callers_
@@ -146,11 +157,17 @@ void ThreadPool::execute(const Task& task) {
 
 ThreadPool::Task* ThreadPool::take_injected() {
   if (injected_size_.load(std::memory_order_acquire) == 0) return nullptr;
-  std::lock_guard lock(injection_mutex_);
-  if (injected_.empty()) return nullptr;
-  Task* task = injected_.front();
-  injected_.pop_front();
-  injected_size_.store(injected_.size(), std::memory_order_release);
+  Task* task = nullptr;
+  {
+    std::lock_guard lock(injection_mutex_);
+    if (injected_.empty()) return nullptr;
+    task = injected_.front();
+    injected_.pop_front();
+    injected_size_.store(injected_.size(), std::memory_order_release);
+  }
+  // Bounded blocking admission: a pop frees queue space, so wake waiters.
+  if (admission_.max_injected != 0 && admission_.policy == OverloadPolicy::kBlock)
+    admission_cv_.notify_all();
   return task;
 }
 
@@ -166,7 +183,10 @@ ThreadPool::Task* ThreadPool::find_task(Deque* own) {
   for (std::size_t i = 0; i < n; ++i) {
     Deque* victim = deques_[(seed + i) % n].get();
     if (victim == own) continue;
-    if (Task* task = victim->steal()) return task;
+    if (Task* task = victim->steal()) {
+      stolen_.fetch_add(1, std::memory_order_relaxed);
+      return task;
+    }
   }
   return nullptr;
 }
@@ -180,6 +200,11 @@ void ThreadPool::signal_work() {
 }
 
 void ThreadPool::run(std::size_t count, std::function<void(std::size_t)> fn) {
+  run(count, std::move(fn), nullptr);
+}
+
+void ThreadPool::run(std::size_t count, std::function<void(std::size_t)> fn,
+                     const QueryGovernor* governor) {
   if (count == 0) return;
   Batch batch;
   batch.fn = &fn;
@@ -192,17 +217,76 @@ void ThreadPool::run(std::size_t count, std::function<void(std::size_t)> fn) {
     // On one of this pool's workers (a nested run): the worker's own deque
     // makes the batch immediately stealable while this thread drains it.
     // Pushed in reverse so the LIFO pop hands the caller index 0 first and
-    // thieves start from the high indices.
+    // thieves start from the high indices. Never admission-bounded: nested
+    // batches are continuations of already-admitted work.
     for (std::size_t i = count; i-- > 0;) own->push(&tasks[i]);
   } else {
-    std::lock_guard lock(injection_mutex_);
-    for (std::size_t i = 0; i < count; ++i) injected_.push_back(&tasks[i]);
-    injected_size_.store(injected_.size(), std::memory_order_release);
+    inject(tasks, governor);  // throws ResourceExhausted on overload
   }
   signal_work();
   drain(batch, own);
   if (batch.error_claimed.load(std::memory_order_acquire) && batch.error)
     std::rethrow_exception(batch.error);
+}
+
+void ThreadPool::inject(std::vector<Task>& tasks, const QueryGovernor* governor) {
+  const std::size_t count = tasks.size();
+  std::unique_lock lock(injection_mutex_);
+  if (admission_.max_injected != 0) {
+    // Admission rule: an empty queue admits ANY batch (one oversized batch
+    // must make progress, never deadlock); otherwise the whole batch must
+    // fit under the bound.
+    const auto admissible = [&] {
+      return injected_.empty() || injected_.size() + count <= admission_.max_injected;
+    };
+    if (!admissible()) {
+      if (admission_.policy == OverloadPolicy::kReject) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        throw ResourceExhausted("pool admission",
+                                static_cast<std::int64_t>(admission_.max_injected),
+                                static_cast<std::int64_t>(injected_.size() + count));
+      }
+      // kBlock: wait for workers to drain the queue, in short slices so a
+      // governed submitter notices its own deadline/cancellation while
+      // queued. block_timeout 0 = wait forever (minus governance).
+      const auto started = std::chrono::steady_clock::now();
+      while (!admissible()) {
+        const auto slice = std::chrono::milliseconds(5);
+        admission_cv_.wait_for(lock, slice);
+        if (governor != nullptr) {
+          lock.unlock();
+          try {
+            governor->poll();  // throws on deadline/cancel while queued
+          } catch (...) {
+            rejected_.fetch_add(1, std::memory_order_relaxed);
+            throw;
+          }
+          lock.lock();
+        }
+        if (admission_.block_timeout.count() > 0 &&
+            std::chrono::steady_clock::now() - started >= admission_.block_timeout &&
+            !admissible()) {
+          rejected_.fetch_add(1, std::memory_order_relaxed);
+          throw ResourceExhausted(
+              "pool admission (block timeout)",
+              static_cast<std::int64_t>(admission_.max_injected),
+              static_cast<std::int64_t>(injected_.size() + count));
+        }
+      }
+    }
+  }
+  for (std::size_t i = 0; i < count; ++i) injected_.push_back(&tasks[i]);
+  injected_size_.store(injected_.size(), std::memory_order_release);
+}
+
+PoolStats ThreadPool::stats() const {
+  PoolStats stats;
+  stats.queued = injected_size_.load(std::memory_order_relaxed);
+  stats.running = running_.load(std::memory_order_relaxed);
+  stats.executed = executed_.load(std::memory_order_relaxed);
+  stats.stolen = stolen_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 void ThreadPool::drain(Batch& batch, Deque* own) {

@@ -29,6 +29,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -39,12 +40,51 @@
 #include <thread>
 #include <vector>
 
+#include "util/governance.hpp"
+
 namespace rispar {
+
+/// What to do when a bounded injection queue is full (admission control on
+/// the EXTERNAL submission path; nested run() calls from workers go through
+/// the deques and are never bounded — they are continuations of work
+/// already admitted).
+enum class OverloadPolicy : std::uint8_t {
+  kReject,  ///< throw ResourceExhausted("pool admission", ...) immediately
+  kBlock,   ///< wait for the queue to drain, up to block_timeout (then throw)
+};
+
+/// Admission configuration of a pool. The default (max_injected = 0) is
+/// unbounded — exactly the pre-admission behavior.
+struct PoolAdmission {
+  /// Upper bound on queued external tasks; 0 = unbounded. A batch is
+  /// admitted whole (all-or-nothing): when the queue is EMPTY a batch of
+  /// any size is admitted (a single oversized batch must never deadlock),
+  /// otherwise the whole batch must fit under the bound.
+  std::size_t max_injected = 0;
+  OverloadPolicy policy = OverloadPolicy::kReject;
+  /// kBlock: how long a submitter may wait for space before the overload
+  /// surfaces as ResourceExhausted anyway. 0 = wait forever.
+  std::chrono::nanoseconds block_timeout{0};
+};
+
+/// Snapshot of the pool's observability counters (the first server hook:
+/// rispard's /stats will serve exactly this). Counters are monotone over
+/// the pool's lifetime except `queued`, which is the instantaneous
+/// injection-queue depth. Relaxed atomics — a snapshot is approximate by
+/// nature, never used for synchronization.
+struct PoolStats {
+  std::size_t queued = 0;     ///< external tasks currently waiting
+  std::size_t running = 0;    ///< tasks executing right now
+  std::uint64_t executed = 0; ///< tasks completed since construction
+  std::uint64_t stolen = 0;   ///< tasks claimed via deque steals
+  std::uint64_t rejected = 0; ///< batches refused by admission control
+};
 
 class ThreadPool {
  public:
-  /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
-  explicit ThreadPool(unsigned threads = 0);
+  /// Spawns `threads` workers (defaults to hardware concurrency, min 1)
+  /// with the given admission policy for external submissions.
+  explicit ThreadPool(unsigned threads = 0, PoolAdmission admission = {});
 
   /// Joins all workers (any in-flight run() must have completed).
   ~ThreadPool();
@@ -81,6 +121,18 @@ class ThreadPool {
   /// submission holds no lock while executing, so tasks on pool A may call
   /// B.run() and vice versa concurrently.
   void run(std::size_t count, std::function<void(std::size_t)> fn);
+
+  /// run() with a governor: an external submission that must block for
+  /// admission (OverloadPolicy::kBlock) polls `governor` while waiting, so
+  /// a deadline/cancellation trips a queued query before it ever runs.
+  /// Null governor = plain admission wait.
+  void run(std::size_t count, std::function<void(std::size_t)> fn,
+           const QueryGovernor* governor);
+
+  /// Observability snapshot (see PoolStats).
+  PoolStats stats() const;
+
+  const PoolAdmission& admission() const { return admission_; }
 
  private:
   struct Batch {
@@ -153,9 +205,18 @@ class ThreadPool {
 
   void worker_loop(unsigned id);
 
+  /// External-path admission: enqueues all `count` tasks, enforcing
+  /// admission_ (reject or block per policy). Throws ResourceExhausted on
+  /// overload; on success every task is queued.
+  void inject(std::vector<Task>& tasks, const QueryGovernor* governor);
+
   std::vector<std::unique_ptr<Deque>> deques_;  ///< one per worker, fixed
+  const PoolAdmission admission_;
   std::mutex injection_mutex_;
   std::deque<Task*> injected_;  ///< external submissions, FIFO
+  /// kBlock submitters wait here (on injection_mutex_) for queue space;
+  /// notified by take_injected() pops when the queue is bounded.
+  std::condition_variable admission_cv_;
 
   /// Sleep/wake state. wake_epoch_ is written under sleep_mutex_ so the
   /// record-epoch → probe → wait-for-new-epoch protocol in worker_loop
@@ -170,6 +231,14 @@ class ThreadPool {
 
   std::atomic<std::uint32_t> steal_seed_{0x9e3779b9u};
   std::atomic<std::size_t> injected_size_{0};  ///< lock-free empty probe
+
+  /// Observability counters (PoolStats). Relaxed: they feed a snapshot,
+  /// not synchronization.
+  std::atomic<std::size_t> running_{0};
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> stolen_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+
   std::vector<std::thread> workers_;
 
   /// Which pool's worker this thread is (and its deque). Lets run() detect

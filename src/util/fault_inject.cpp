@@ -1,0 +1,83 @@
+#include "util/fault_inject.hpp"
+
+#ifdef RISPAR_FAULT_INJECT
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+namespace rispar::fault {
+
+namespace {
+
+// Armed state. The draw counter is atomic so concurrently polling workers
+// each consume a distinct sample; everything else changes only under
+// configure()/disable(), which the sweep calls between batteries (no
+// queries in flight).
+std::atomic<bool> armed{false};
+std::atomic<std::uint64_t> seed_{0};
+std::atomic<std::uint64_t> threshold{0};  // fail iff sample < threshold
+std::atomic<std::uint64_t> draws{0};
+std::atomic<std::uint64_t> fires{0};
+std::once_flag env_once;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void arm(std::uint64_t seed, double rate) {
+  if (rate < 0.0) rate = 0.0;
+  if (rate > 1.0) rate = 1.0;
+  seed_.store(seed, std::memory_order_relaxed);
+  threshold.store(
+      static_cast<std::uint64_t>(rate * 18446744073709551615.0),
+      std::memory_order_relaxed);
+  draws.store(0, std::memory_order_relaxed);
+  fires.store(0, std::memory_order_relaxed);
+  armed.store(rate > 0.0, std::memory_order_release);
+}
+
+void init_from_env() {
+  const char* seed_env = std::getenv("RISPAR_FAULT_SEED");
+  const char* rate_env = std::getenv("RISPAR_FAULT_RATE");
+  if (seed_env == nullptr && rate_env == nullptr) return;
+  const std::uint64_t seed =
+      seed_env != nullptr ? std::strtoull(seed_env, nullptr, 10) : 1;
+  const double rate = rate_env != nullptr ? std::strtod(rate_env, nullptr) : 0.01;
+  arm(seed, rate);
+}
+
+}  // namespace
+
+bool should_fail(const char* site) {
+  std::call_once(env_once, init_from_env);
+  if (!armed.load(std::memory_order_acquire)) return false;
+  // Fold the site name in so distinct sites sharing a draw index diverge.
+  std::uint64_t mix = seed_.load(std::memory_order_relaxed);
+  for (const char* c = site; *c != '\0'; ++c)
+    mix = mix * 31 + static_cast<unsigned char>(*c);
+  const std::uint64_t draw = draws.fetch_add(1, std::memory_order_relaxed);
+  const bool fail = splitmix64(mix ^ (draw * 0x2545f4914f6cdd1dULL)) <
+                    threshold.load(std::memory_order_relaxed);
+  if (fail) fires.fetch_add(1, std::memory_order_relaxed);
+  return fail;
+}
+
+void configure(std::uint64_t seed, double rate) {
+  std::call_once(env_once, [] {});  // explicit configure wins over env
+  arm(seed, rate);
+}
+
+void disable() {
+  std::call_once(env_once, [] {});
+  armed.store(false, std::memory_order_release);
+}
+
+std::uint64_t fire_count() { return fires.load(std::memory_order_relaxed); }
+
+}  // namespace rispar::fault
+
+#endif  // RISPAR_FAULT_INJECT

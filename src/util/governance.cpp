@@ -1,0 +1,51 @@
+#include "util/governance.hpp"
+
+#include <string>
+
+#include "util/fault_inject.hpp"
+
+namespace rispar {
+
+namespace {
+
+std::string millis(std::chrono::nanoseconds d) {
+  const double ms = std::chrono::duration<double, std::milli>(d).count();
+  std::string text = std::to_string(ms);
+  // Trim to one decimal — these strings land in error messages, not logs.
+  const std::size_t dot = text.find('.');
+  if (dot != std::string::npos && dot + 2 < text.size()) text.resize(dot + 2);
+  return text;
+}
+
+}  // namespace
+
+DeadlineExceeded::DeadlineExceeded(std::chrono::nanoseconds elapsed,
+                                   std::chrono::nanoseconds budget)
+    : QueryError("query deadline exceeded: ran " + millis(elapsed) +
+                 " ms of a " + millis(budget) + " ms budget"),
+      elapsed_(elapsed),
+      budget_(budget) {}
+
+QueryCancelled::QueryCancelled(std::chrono::nanoseconds elapsed)
+    : QueryError("query cancelled after " + millis(elapsed) + " ms"),
+      elapsed_(elapsed) {}
+
+ResourceExhausted::ResourceExhausted(std::string resource, std::int64_t limit,
+                                     std::int64_t observed)
+    : QueryError(resource + " budget exhausted: limit " + std::to_string(limit) +
+                 ", observed " + std::to_string(observed)),
+      resource_(std::move(resource)),
+      limit_(limit),
+      observed_(observed) {}
+
+void QueryGovernor::check() const {
+  // Fault site: models a cancellation arriving at this exact checkpoint.
+  if (fault::should_fail("governor.poll")) throw QueryCancelled(elapsed());
+  if (cancel_.cancel_requested()) throw QueryCancelled(elapsed());
+  if (deadline_.count() > 0) {
+    const std::chrono::nanoseconds ran = elapsed();
+    if (ran >= deadline_) throw DeadlineExceeded(ran, deadline_);
+  }
+}
+
+}  // namespace rispar

@@ -159,6 +159,37 @@ TEST(Engine, SfaBudgetExplosionIsAnError) {
   EXPECT_TRUE(engine.recognize("abab", {.variant = Variant::kRid}).accepted);
 }
 
+TEST(Engine, SubsetBudgetGuardsBlowupRegexes) {
+  // The classic subset-construction bomb: (a|b)*a(a|b){k} determinizes to
+  // ~2^k states (the DFA must remember the last k symbols). A bounded
+  // Engine trips ResourceExhausted at the first count/find instead of
+  // consuming unbounded memory — and the searcher stays UNBUILT, so the
+  // same Pattern retried through a roomier Engine still works.
+  const std::string bomb = "(a|b)*a(a|b)(a|b)(a|b)(a|b)(a|b)(a|b)(a|b)(a|b)";
+  const Pattern pattern = Pattern::compile(bomb);
+  const Engine tight(pattern, {.threads = 2, .subset_budget = 16});
+  try {
+    (void)tight.count("abab");
+    FAIL() << "the subset budget did not trip";
+  } catch (const ResourceExhausted& error) {
+    EXPECT_EQ(error.resource(), "subset construction");
+    EXPECT_EQ(error.limit(), 16);
+    EXPECT_GT(error.observed(), error.limit());
+  }
+  EXPECT_THROW((void)tight.find("abab"), ResourceExhausted);
+  // Recognition never needs the searcher — the same Engine still decides.
+  EXPECT_TRUE(tight.recognize("aabbbbbbbb").accepted);
+
+  // Same shared Pattern, bigger budget: the lazy build retries and wins.
+  const Engine roomy(pattern, {.threads = 2});
+  EXPECT_EQ(roomy.count("abbbbbbbb").matches, 1u);
+
+  // The compile-time limit guards the minimal-DFA determinization too, so
+  // a capped compile of the bomb trips the same typed error up front.
+  EXPECT_THROW((void)Pattern::compile(bomb, {.max_subset_states = 16}),
+               ResourceExhausted);
+}
+
 TEST(Engine, CountOccurrencesByteLevel) {
   const Engine engine(Pattern::compile("ab"), {.threads = 2});
   // Arbitrary bytes between occurrences are fine: the searcher's alphabet

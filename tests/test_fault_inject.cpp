@@ -1,0 +1,169 @@
+// The fault-injection sweep (ISSUE 6 tentpole part 4, acceptance: "the
+// sweep runs green under ASan/UBSan — every injected fault surfaces as a
+// typed error or a clean result, never a crash, leak or wedged pool").
+//
+// Self-skips unless the library was built with -DRISPAR_FAULT_INJECT=ON
+// (the sanitize and long-fuzz CI legs build that way). Each swept seed arms
+// the harness at a given rate, runs the full query battery — construction,
+// one-shot recognize/count/find on every variant, streaming, PatternSet —
+// and accepts exactly three outcomes per call: a correct result, a
+// QueryError subclass, fault::FaultInjected or std::bad_alloc. Anything
+// else (crash, terminate, wedge) fails the test run itself. After every
+// battery the harness is disarmed and the SAME engine must answer
+// correctly — injected faults never corrupt surviving state.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "engine/pattern_set.hpp"
+#include "util/fault_inject.hpp"
+
+namespace rispar {
+namespace {
+
+/// Outcome classifier: run `body`, swallowing exactly the legal failure
+/// shapes. Returns true when the call completed (so the caller may check
+/// the result), false when a typed fault surfaced. Anything else escapes
+/// and fails the test.
+template <typename Body>
+bool survives(Body&& body) {
+  try {
+    body();
+    return true;
+  } catch (const QueryError&) {  // governance, validation, budgets
+  } catch (const fault::FaultInjected&) {
+  } catch (const std::bad_alloc&) {  // allocation sites
+  }
+  return false;
+}
+
+/// One full pass over the public query surface. Every call is wrapped in
+/// survives(); the assertions only ever check completed calls.
+void run_battery(const Engine& engine) {
+  const std::string text = "abba abab baab abba";
+  for (const Variant variant :
+       {Variant::kDfa, Variant::kNfa, Variant::kRid, Variant::kSfa}) {
+    survives([&] {
+      const QueryOptions options{.variant = variant, .chunks = 3};
+      (void)engine.recognize(text, options);
+    });
+  }
+  survives([&] { (void)engine.count(text, {.chunks = 2}); });
+  survives([&] { (void)engine.find(text, {.chunks = 2}); });
+  survives([&] {
+    const std::vector<std::string_view> texts{"abab", "ba", "abba"};
+    (void)engine.match_all(texts, {.chunks = 2});
+  });
+  survives([&] {
+    StreamSession stream = engine.stream({.chunks = 2, .positions = true});
+    for (const std::string_view window : {"abba ", "abab ", "baab"}) {
+      try {
+        stream.feed(window);
+      } catch (const ValidationError&) {
+        break;  // poisoned by an earlier injected trip — documented behavior
+      }
+    }
+    (void)stream.take_matches();  // drains whatever survived, poisoned or not
+  });
+}
+
+/// Fixture so the harness is ALWAYS disarmed when a test exits, however it
+/// exits — an armed harness leaking into later suites would fault their
+/// pool tasks and turn unrelated tests into crashes.
+class FaultInject : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!fault::kEnabled)
+      GTEST_SKIP() << "library built without RISPAR_FAULT_INJECT";
+  }
+  void TearDown() override { fault::disable(); }
+};
+
+TEST_F(FaultInject, SeedSweepNeverCrashesAndStateSurvives) {
+  std::uint64_t fired_total = 0;
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    // Construction under fire: subset/SFA/packed allocation sites may trip.
+    fault::configure(seed, 0.02);
+    survives([&] {
+      const Engine engine(Pattern::compile("(ab|ba)*"), {.threads = 2});
+      run_battery(engine);
+      run_battery(engine);  // second pass: the pool survived the first
+    });
+    fired_total += fault::fire_count();
+
+    // Disarmed rerun: the same configuration must answer correctly — no
+    // injected fault may have corrupted anything that survived.
+    const fault::ScopedDisable clean;
+    (void)clean;
+    const Engine engine(Pattern::compile("(ab|ba)*"), {.threads = 2});
+    EXPECT_TRUE(engine.recognize("abba").accepted) << "seed " << seed;
+    EXPECT_FALSE(engine.recognize("aba").accepted) << "seed " << seed;
+    const Engine counter(Pattern::compile("ab"), {.threads = 2});
+    EXPECT_EQ(counter.count("abba abab").matches, 3u) << "seed " << seed;
+  }
+  // A harness that never fires is a dead harness — fail loudly.
+  EXPECT_GT(fired_total, 0u);
+}
+
+TEST_F(FaultInject, HighRateBatteryStillSurfacesTypedErrorsOnly) {
+  // 30% per draw: nearly every query path trips somewhere. The point is
+  // the worst case — even saturated with faults, nothing crashes and the
+  // pool keeps accepting work.
+  fault::configure(0xDEADu, 0.3);
+  for (int round = 0; round < 8; ++round) {
+    survives([&] {
+      const Engine engine(Pattern::compile("a(b|c)*d"), {.threads = 2});
+      run_battery(engine);
+    });
+  }
+  EXPECT_GT(fault::fire_count(), 0u);
+
+  const fault::ScopedDisable clean;
+  (void)clean;
+  const Engine engine(Pattern::compile("a(b|c)*d"), {.threads = 2});
+  EXPECT_TRUE(engine.recognize("abcbcd").accepted);
+}
+
+TEST_F(FaultInject, PatternSetSurvivesInjectedFaults) {
+  for (std::uint64_t seed = 100; seed < 108; ++seed) {
+    fault::configure(seed, 0.05);
+    survives([&] {
+      const PatternSet set =
+          PatternSet::compile({"ab", "ba", "abba"}, {.threads = 2});
+      (void)set.find_all("abba abab baab");
+      const std::vector<std::string_view> texts{"abab", "baab"};
+      (void)set.find_all(texts);
+    });
+  }
+
+  const fault::ScopedDisable clean;
+  (void)clean;
+  const PatternSet set = PatternSet::compile({"ab", "ba"}, {.threads = 2});
+  EXPECT_EQ(set.find("abba").matches, 2u);
+}
+
+TEST_F(FaultInject, SameSeedSameFireCount) {
+  // Determinism anchor: the same seed over the same single-threaded draw
+  // sequence fires identically — a failing sweep seed reproduces exactly.
+  // (Pool-task draws interleave across workers, so the battery here stays
+  // on the serial construction path: compile + searcher build only.)
+  const auto one_run = [] {
+    survives([] {
+      const Pattern pattern = Pattern::compile("(a|b)*abb");
+      const Engine engine(pattern, {.threads = 1});
+      (void)engine.count("abb aabb babb", {.chunks = 1});
+    });
+    return fault::fire_count();
+  };
+  fault::configure(42, 0.5);
+  const std::uint64_t first = one_run();
+  fault::configure(42, 0.5);
+  const std::uint64_t second = one_run();
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace rispar

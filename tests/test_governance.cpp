@@ -1,0 +1,360 @@
+// Deadlines, cooperative cancellation and pool admission control
+// (util/governance.hpp, the QueryOptions::{deadline, cancel} plumbing and
+// ThreadPool's PoolAdmission) — the robustness layer of the query API.
+//
+// The determinism anchors: a pre-cancelled token and an already-elapsed
+// deadline MUST trip at the first chunk-boundary poll (the top of every
+// pool task), on every variant, kernel and query shape — no sleeps, no
+// timing assumptions. The non-interference property: a governed run that
+// completes returns bit-identical results to the ungoverned run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "engine/pattern_set.hpp"
+#include "helpers.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/prng.hpp"
+
+namespace rispar {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr Variant kVariants[] = {Variant::kDfa, Variant::kNfa, Variant::kRid,
+                                 Variant::kSfa};
+
+/// Kernels a variant's device accepts (NFA/SFA run no deterministic kernel
+/// and reject a non-default --kernel, so their row is just kFused).
+std::vector<DetKernel> kernels_for(const Engine& engine, Variant variant) {
+  if (engine.device(variant).capabilities().kernel_select)
+    return {DetKernel::kFused, DetKernel::kSimd, DetKernel::kReference};
+  return {DetKernel::kFused};
+}
+
+CancelToken cancelled_token() {
+  CancelSource source;
+  source.request_cancel();
+  return source.token();
+}
+
+/// A governed options set that can never trip: a huge deadline plus a live
+/// (valid, uncancelled) token. Forces every poll site onto its active path.
+QueryOptions never_trips(QueryOptions options, const CancelSource& source) {
+  options.deadline = std::chrono::hours(1);
+  options.cancel = source.token();
+  return options;
+}
+
+// ------------------------------------------------------------ determinism
+
+TEST(Governance, PreCancelledTokenTripsEveryVariantAndKernel) {
+  const Engine engine(Pattern::compile("(ab|ba)*"), {.threads = 2});
+  const std::vector<Symbol> input = engine.translate(std::string(4096, 'a'));
+  for (const Variant variant : kVariants) {
+    for (const DetKernel kernel : kernels_for(engine, variant)) {
+      QueryOptions options{.variant = variant, .chunks = 7, .kernel = kernel};
+      options.cancel = cancelled_token();
+      EXPECT_THROW(engine.recognize(input, options), QueryCancelled)
+          << variant_name(variant) << "/" << kernel_name(kernel);
+    }
+  }
+}
+
+TEST(Governance, ElapsedDeadlineTripsEveryVariantAndKernel) {
+  const Engine engine(Pattern::compile("(ab|ba)*"), {.threads = 2});
+  const std::vector<Symbol> input = engine.translate(std::string(4096, 'a'));
+  for (const Variant variant : kVariants) {
+    for (const DetKernel kernel : kernels_for(engine, variant)) {
+      QueryOptions options{.variant = variant, .chunks = 7, .kernel = kernel};
+      options.deadline = 1ns;  // elapsed before the first chunk task polls
+      EXPECT_THROW(engine.recognize(input, options), DeadlineExceeded)
+          << variant_name(variant) << "/" << kernel_name(kernel);
+    }
+  }
+}
+
+TEST(Governance, CancellationBeatsDeadlineWhenBothTripped) {
+  const Engine engine(Pattern::compile("(ab)*"), {.threads = 2});
+  const std::vector<Symbol> input = engine.translate("abababab");
+  QueryOptions options{.chunks = 2};
+  options.deadline = 1ns;
+  options.cancel = cancelled_token();
+  EXPECT_THROW(engine.recognize(input, options), QueryCancelled);
+}
+
+TEST(Governance, DeadlineCarriesElapsedAndBudget) {
+  const Engine engine(Pattern::compile("(ab)*"), {.threads = 2});
+  const std::vector<Symbol> input = engine.translate("abababab");
+  QueryOptions options{.chunks = 2};
+  options.deadline = 1ns;
+  try {
+    engine.recognize(input, options);
+    FAIL() << "deadline did not trip";
+  } catch (const DeadlineExceeded& error) {
+    EXPECT_EQ(error.budget(), 1ns);
+    EXPECT_GE(error.elapsed(), error.budget());
+    EXPECT_NE(std::string(error.what()).find("deadline"), std::string::npos);
+  }
+}
+
+TEST(Governance, CountAndFindHonorGovernance) {
+  const Engine engine(Pattern::compile("ab"), {.threads = 2});
+  const std::string text(4096, 'a');
+  QueryOptions by_deadline{.chunks = 5};
+  by_deadline.deadline = 1ns;
+  EXPECT_THROW(engine.count(text, by_deadline), DeadlineExceeded);
+  EXPECT_THROW(engine.find(text, by_deadline), DeadlineExceeded);
+  QueryOptions by_cancel{.chunks = 5};
+  by_cancel.cancel = cancelled_token();
+  EXPECT_THROW(engine.count(text, by_cancel), QueryCancelled);
+  EXPECT_THROW(engine.find(text, by_cancel), QueryCancelled);
+}
+
+TEST(Governance, MatchAllAndPatternSetHonorGovernance) {
+  const Engine engine(Pattern::compile("(ab)*"), {.threads = 2});
+  const std::vector<std::string_view> texts{"abab", "ab", "ba"};
+  QueryOptions options;
+  options.cancel = cancelled_token();
+  EXPECT_THROW(engine.match_all(texts, options), QueryCancelled);
+
+  const PatternSet set = PatternSet::compile({"ab", "ba"}, {.threads = 2});
+  EXPECT_THROW(set.find_all(texts, options), QueryCancelled);
+}
+
+TEST(Governance, StreamingFeedTripsPerFeed) {
+  const Engine engine(Pattern::compile("(ab|ba)*"), {.threads = 2});
+  for (const Variant variant : kVariants) {
+    for (const DetKernel kernel : kernels_for(engine, variant)) {
+      QueryOptions options{.variant = variant, .chunks = 3, .kernel = kernel};
+      options.deadline = 1ns;
+      StreamSession stream = engine.stream(options);
+      EXPECT_THROW(stream.feed("abbaabba"), DeadlineExceeded)
+          << variant_name(variant) << "/" << kernel_name(kernel);
+    }
+  }
+}
+
+// -------------------------------------------------------- non-interference
+
+// A governed run that completes is indistinguishable from the ungoverned
+// run: same decision, same transition counts, same positions. This is the
+// fuzz-style sweep of the acceptance criteria — every variant × applicable
+// kernel × one-shot and streaming, on random inputs long enough that the
+// in-kernel stride polls actually execute (length ≫ kGovernorStride).
+TEST(Governance, GovernedRunThatCompletesEqualsUngoverned) {
+  const CancelSource live;  // never cancelled
+  Prng prng(0xC0FFEEu);
+  const Engine engine(Pattern::from_nfa(testing::fig1_nfa()), {.threads = 2});
+  const std::vector<Symbol> input =
+      testing::random_word(prng, 3, 3 * kGovernorStride + 17);
+
+  for (const Variant variant : kVariants) {
+    for (const DetKernel kernel : kernels_for(engine, variant)) {
+      for (const std::size_t chunks : {1u, 2u, 7u}) {
+        const QueryOptions plain{.variant = variant, .chunks = chunks,
+                                 .kernel = kernel};
+        const QueryOptions governed = never_trips(plain, live);
+        const QueryResult expected = engine.recognize(input, plain);
+        const QueryResult actual = engine.recognize(input, governed);
+        EXPECT_EQ(expected.accepted, actual.accepted)
+            << variant_name(variant) << "/" << kernel_name(kernel)
+            << " chunks=" << chunks;
+        EXPECT_EQ(expected.transitions, actual.transitions)
+            << variant_name(variant) << "/" << kernel_name(kernel)
+            << " chunks=" << chunks;
+
+        // Streaming: same window segmentation, governed vs not.
+        StreamSession a = engine.stream(plain);
+        StreamSession b = engine.stream(governed);
+        std::size_t pos = 0;
+        while (pos < input.size()) {
+          const std::size_t len =
+              std::min<std::size_t>(1 + prng.pick_index(9000), input.size() - pos);
+          const std::span<const Symbol> window(input.data() + pos, len);
+          a.feed(window);
+          b.feed(window);
+          pos += len;
+        }
+        EXPECT_EQ(a.accepted(), b.accepted()) << variant_name(variant);
+        EXPECT_EQ(a.transitions(), b.transitions()) << variant_name(variant);
+      }
+    }
+  }
+}
+
+TEST(Governance, GovernedFindEqualsUngoverned) {
+  const CancelSource live;
+  Prng prng(0xF00Du);
+  const Engine engine(Pattern::compile("(ab|ba)"), {.threads = 2});
+  std::string text;
+  text.reserve(2 * kGovernorStride);
+  for (std::size_t i = 0; i < 2 * kGovernorStride; ++i)
+    text.push_back("ab x"[prng.pick_index(4)]);
+
+  for (const DetKernel kernel :
+       {DetKernel::kFused, DetKernel::kSimd, DetKernel::kReference}) {
+    const QueryOptions plain{.chunks = 7, .kernel = kernel};
+    const QueryOptions governed = never_trips(plain, live);
+    const QueryResult expected = engine.find(text, plain);
+    const QueryResult actual = engine.find(text, governed);
+    EXPECT_EQ(expected.matches, actual.matches) << kernel_name(kernel);
+    ASSERT_EQ(expected.positions.size(), actual.positions.size())
+        << kernel_name(kernel);
+    for (std::size_t i = 0; i < expected.positions.size(); ++i) {
+      EXPECT_EQ(expected.positions[i].begin, actual.positions[i].begin);
+      EXPECT_EQ(expected.positions[i].end, actual.positions[i].end);
+    }
+  }
+
+  // count() has no kernel knob (kCountingCaps) — compare it once, governed
+  // vs not, on the default options.
+  const QueryOptions plain{.chunks = 7};
+  EXPECT_EQ(engine.count(text, plain).matches,
+            engine.count(text, never_trips(plain, live)).matches);
+}
+
+// ------------------------------------------------------- admission control
+
+/// Occupies a 1-worker pool plus the submitting helper thread with blocking
+/// tasks so a batch sits in the injection queue deterministically: a batch
+/// of 4 is enqueued whole, the worker claims one task and the submitter
+/// claims another (both block on the gate), leaving exactly 2 queued.
+struct OccupiedPool {
+  explicit OccupiedPool(PoolAdmission admission)
+      : pool(1, admission), gate_future(gate.get_future().share()) {
+    submitter = std::thread([this] {
+      pool.run(4, [this](std::size_t) {
+        started.fetch_add(1);
+        gate_future.wait();
+      });
+    });
+    while (started.load() < 2) std::this_thread::yield();
+  }
+
+  ~OccupiedPool() {
+    gate.set_value();  // release the blocked tasks
+    submitter.join();
+  }
+
+  ThreadPool pool;
+  std::atomic<int> started{0};
+  std::promise<void> gate;
+  std::shared_future<void> gate_future;
+  std::thread submitter;
+};
+
+TEST(PoolAdmission, RejectPolicyThrowsResourceExhausted) {
+  OccupiedPool occupied({.max_injected = 1, .policy = OverloadPolicy::kReject});
+  EXPECT_EQ(occupied.pool.stats().queued, 2u);
+  try {
+    occupied.pool.run(1, [](std::size_t) {});
+    FAIL() << "overloaded pool admitted the batch";
+  } catch (const ResourceExhausted& error) {
+    EXPECT_EQ(error.resource(), "pool admission");
+    EXPECT_EQ(error.limit(), 1);
+    EXPECT_EQ(error.observed(), 3);  // 2 queued + the batch of 1
+  }
+  EXPECT_EQ(occupied.pool.stats().rejected, 1u);
+}
+
+TEST(PoolAdmission, BlockPolicyTimesOutThenThrows) {
+  OccupiedPool occupied({.max_injected = 1, .policy = OverloadPolicy::kBlock,
+                         .block_timeout = 50ms});
+  EXPECT_THROW(occupied.pool.run(1, [](std::size_t) {}), ResourceExhausted);
+  EXPECT_EQ(occupied.pool.stats().rejected, 1u);
+}
+
+TEST(PoolAdmission, BlockPolicyHonorsGovernorWhileWaiting) {
+  OccupiedPool occupied({.max_injected = 1, .policy = OverloadPolicy::kBlock});
+  const QueryGovernor governor(20ms, CancelToken{});
+  EXPECT_THROW(occupied.pool.run(1, [](std::size_t) {}, &governor),
+               DeadlineExceeded);
+}
+
+TEST(PoolAdmission, BlockPolicyAdmitsOnceSpaceFrees) {
+  std::atomic<bool> ran{false};
+  {
+    OccupiedPool occupied({.max_injected = 1, .policy = OverloadPolicy::kBlock});
+    std::thread releaser([&] {
+      std::this_thread::sleep_for(20ms);
+      occupied.gate.set_value();
+    });
+    occupied.pool.run(1, [&](std::size_t) { ran = true; });  // blocks, then runs
+    releaser.join();
+    occupied.submitter.join();
+    occupied.submitter = std::thread([] {});  // dtor gate already released
+    occupied.gate = std::promise<void>();     // avoid double set_value in dtor
+  }
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(PoolAdmission, PoolStaysUsableAfterRejection) {
+  {
+    OccupiedPool occupied({.max_injected = 1, .policy = OverloadPolicy::kReject});
+    EXPECT_THROW(occupied.pool.run(1, [](std::size_t) {}), ResourceExhausted);
+  }  // blocked batch released and joined
+  ThreadPool pool(1, {.max_injected = 1, .policy = OverloadPolicy::kReject});
+  std::atomic<int> hits{0};
+  pool.run(8, [&](std::size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 8);
+}
+
+TEST(PoolAdmission, OversizedBatchAdmittedWhenQueueEmpty) {
+  // All-or-nothing with the empty-queue overshoot: a batch larger than the
+  // bound must still be admitted when nothing is queued, or a single big
+  // query could never run at all.
+  ThreadPool pool(2, {.max_injected = 4, .policy = OverloadPolicy::kReject});
+  std::atomic<int> hits{0};
+  pool.run(64, [&](std::size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 64);
+}
+
+TEST(PoolAdmission, NestedSubmissionsNeverDeadlockABoundedPool) {
+  // Nesting under a tight bound must always make progress: worker-side
+  // nested run() goes through the deques (never bounded — it is a
+  // continuation of admitted work), and an external participant's nested
+  // submission may wait for admission but the workers keep draining, so a
+  // kBlock pool can never deadlock against its own nesting.
+  ThreadPool pool(2, {.max_injected = 1, .policy = OverloadPolicy::kBlock});
+  std::atomic<int> inner{0};
+  pool.run(2, [&](std::size_t) {
+    pool.run(16, [&](std::size_t) { inner.fetch_add(1); });
+  });
+  EXPECT_EQ(inner.load(), 32);
+}
+
+TEST(PoolAdmission, StatsCountersTrack) {
+  ThreadPool pool(2);
+  const PoolStats before = pool.stats();
+  std::atomic<int> hits{0};
+  pool.run(100, [&](std::size_t) { hits.fetch_add(1); });
+  const PoolStats after = pool.stats();
+  EXPECT_EQ(after.executed, before.executed + 100);
+  EXPECT_EQ(after.queued, 0u);
+  EXPECT_EQ(after.running, 0u);
+  EXPECT_EQ(after.rejected, 0u);
+}
+
+TEST(PoolAdmission, EngineConfigThreadsAdmissionThrough) {
+  // End to end: an Engine built over a bounded kReject pool still answers
+  // queries (the owned pool's queue is empty between calls — admission only
+  // bites under concurrent overload).
+  const Engine engine(Pattern::compile("(ab)*"),
+                      {.threads = 2,
+                       .admission = {.max_injected = 2,
+                                     .policy = OverloadPolicy::kReject}});
+  EXPECT_EQ(engine.pool().admission().max_injected, 2u);
+  EXPECT_TRUE(engine.recognize("abab").accepted);
+}
+
+}  // namespace
+}  // namespace rispar

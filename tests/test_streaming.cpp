@@ -308,6 +308,75 @@ TEST(StreamMisuse, ZeroLengthWindowsAreNoopsEverywhere) {
   EXPECT_EQ(matches[0], (Match{0, 0, 2}));  // offsets unperturbed by no-ops
 }
 
+// Satellite of the governance layer: a feed that fails mid-window
+// (deadline, cancellation, injected fault) leaves the carry inconsistent,
+// so the session poisons — deterministically rejecting further feeds until
+// reset() — while everything already consistent stays readable. See the
+// StreamSession class comment in engine/engine.hpp.
+TEST(StreamPoisoning, CancelMidSessionPoisonsButBufferedMatchesDrain) {
+  const Engine engine(Pattern::compile("ab"), {.threads = 2});
+  for (const Variant variant :
+       {Variant::kDfa, Variant::kNfa, Variant::kRid, Variant::kSfa}) {
+    CancelSource source;
+    QueryOptions options{.variant = variant, .chunks = 2, .positions = true};
+    options.cancel = source.token();
+    StreamSession stream = engine.stream(options);
+
+    stream.feed("abab");  // live token: the window runs and buffers matches
+    EXPECT_FALSE(stream.poisoned()) << variant_name(variant);
+
+    source.request_cancel();
+    EXPECT_THROW(stream.feed("abab"), QueryCancelled) << variant_name(variant);
+    EXPECT_TRUE(stream.poisoned()) << variant_name(variant);
+
+    // Further feeds reject deterministically — ValidationError, not a
+    // fresh governance trip — and repeatably.
+    EXPECT_THROW(stream.feed("ab"), ValidationError) << variant_name(variant);
+    EXPECT_THROW(stream.feed("ab"), ValidationError) << variant_name(variant);
+
+    // What was consistent before the trip stays readable and drainable
+    // (windows() may count the aborted attempt — the carry is mid-window,
+    // which is exactly why the session poisons).
+    (void)stream.accepted();
+    (void)stream.dead();
+    const std::vector<Match> drained = stream.take_matches();
+    ASSERT_EQ(drained.size(), 2u) << variant_name(variant);
+    EXPECT_EQ(drained[0].end, 2u);  // begin is the documented last-separator
+    EXPECT_EQ(drained[1].end, 4u);  // over-approximation — assert ends only
+  }  // destruction of every poisoned session is clean (ASan leg runs this)
+}
+
+TEST(StreamPoisoning, ResetClearsPoisonAndTheSessionIsReusable) {
+  const Engine engine(Pattern::compile("(ab)*"), {.threads = 2});
+  QueryOptions options{.chunks = 2};
+  options.deadline = std::chrono::nanoseconds(1);  // trips every feed
+  StreamSession stream = engine.stream(options);
+  EXPECT_THROW(stream.feed("ab"), DeadlineExceeded);
+  EXPECT_TRUE(stream.poisoned());
+  EXPECT_THROW(stream.feed("ab"), ValidationError);
+
+  stream.reset();
+  EXPECT_FALSE(stream.poisoned());
+  // The per-feed budget still trips, but as a FRESH governance error — the
+  // reset demonstrably cleared the poison (the error type changed back).
+  EXPECT_THROW(stream.feed("ab"), DeadlineExceeded);
+  EXPECT_TRUE(stream.poisoned());
+}
+
+TEST(StreamPoisoning, ShapePreconditionRejectsNeverPoison) {
+  const Engine engine(Pattern::compile("ab"), {.threads = 2});
+  StreamSession stream = engine.stream();  // decision-only session
+  EXPECT_THROW((void)stream.take_matches(), ValidationError);
+  const std::vector<Symbol> window{0, 1};
+  EXPECT_NO_THROW(stream.feed(std::span<const Symbol>(window)));
+
+  StreamSession finder = engine.stream({.positions = true});
+  EXPECT_THROW(finder.feed(std::span<const Symbol>(window)), ValidationError);
+  EXPECT_FALSE(finder.poisoned());  // nothing ran — the carry is untouched
+  finder.feed("ab");  // the session still works
+  EXPECT_EQ(finder.matches(), 1u);
+}
+
 TEST(StreamMisuse, FeedingAfterARejectingStateStaysRejected) {
   const Engine engine(Pattern::compile("(ab)+"), {.threads = 2});
   for (const Variant variant :

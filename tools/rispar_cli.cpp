@@ -14,6 +14,7 @@
 //   rispar bench-list                         the five paper workloads
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,15 +40,16 @@ const char* const kUsage =
     "  rispar compile <pattern>\n"
     "  rispar match <pattern> <file|-> [--variant dfa|nfa|rid|sfa|all]\n"
     "               [--chunks N] [--threads N] [--convergence]\n"
-    "               [--kernel fused|simd|reference]\n"
+    "               [--kernel fused|simd|reference] [--timeout-ms N]\n"
     "  rispar count <pattern> <file|-> [--chunks N] [--convergence]\n"
+    "               [--timeout-ms N]\n"
     "  rispar find <pattern> <file|-> [--positions] [--chunks N] [--threads N]\n"
     "              [--convergence] [--kernel fused|simd|reference]\n"
-    "              [--offset N] [--limit N]\n"
+    "              [--offset N] [--limit N] [--timeout-ms N]\n"
     "  rispar find --patterns <patterns-file> <file|-> [same flags]\n"
     "  rispar find <pattern> <file|-> --stream [--window BYTES] [--positions]\n"
     "              [--chunks N] [--threads N] [--convergence]\n"
-    "              [--kernel fused|simd|reference]\n"
+    "              [--kernel fused|simd|reference] [--timeout-ms N]\n"
     "  rispar export <pattern> [--machine nfa|dfa|ridfa] [--format native|timbuk]\n"
     "  rispar gen <benchmark> <bytes> [--seed N]\n"
     "  rispar bench-list\n"
@@ -85,12 +87,20 @@ const char* const kUsage =
     "streams (an unbounded input has no total to page against) and are\n"
     "rejected, as is --patterns (one pattern per streaming session).\n"
     "\n"
+    "--timeout-ms bounds the query's wall-clock budget: the kernels poll a\n"
+    "deadline cooperatively (sub-millisecond granularity) and a query that\n"
+    "overruns exits with status 4 instead of running away. On --stream the\n"
+    "budget applies PER WINDOW — each feed must complete within it.\n"
+    "\n"
     "exit status (grep semantics):\n"
     "  0  match / count / find found at least one match (or the command has\n"
     "     no match notion: compile, export, gen, bench-list succeeded)\n"
     "  1  the input was searched cleanly but nothing matched\n"
     "  2  error: bad usage, bad pattern, unsupported option combination\n"
-    "     (QueryError), or unreadable input\n";
+    "     (QueryError), or unreadable input\n"
+    "  4  resource governance tripped: --timeout-ms elapsed before the query\n"
+    "     finished (DeadlineExceeded) or a construction/admission budget ran\n"
+    "     out (ResourceExhausted)\n";
 
 int usage() {
   std::fputs(kUsage, stderr);
@@ -108,6 +118,13 @@ bool flag_present(int argc, char** argv, const char* name) {
   for (int i = 0; i < argc; ++i)
     if (std::strcmp(argv[i], name) == 0) return true;
   return false;
+}
+
+/// Parses --timeout-ms into a deadline (0 / absent = ungoverned). A tripped
+/// deadline surfaces as DeadlineExceeded, mapped to exit 4 in main().
+std::chrono::nanoseconds parse_timeout_flag(int argc, char** argv) {
+  const std::string value = flag_value(argc, argv, "--timeout-ms", "0");
+  return std::chrono::milliseconds(std::strtoull(value.c_str(), nullptr, 10));
 }
 
 /// Parses --kernel (default: fused). Returns false after printing the
@@ -199,13 +216,9 @@ int cmd_match(const std::string& pattern_text, const std::string& path, int argc
   for (const Variant variant : variants) {
     if (engine.try_device(variant) == nullptr) {
       if (!sweeping_all) {
-        // The one requested device cannot run: that is an error (exit 2),
-        // not a no-match (exit 1).
-        std::fprintf(stderr,
-                     "rispar: %s device unavailable (SFA construction "
-                     "exceeded its budget)\n",
-                     variant_name(variant));
-        return 2;
+        // The one requested device cannot run: surface the typed
+        // ResourceExhausted (exit 4 in main), not a no-match (exit 1).
+        (void)engine.device(variant);  // throws with the probed budget
       }
       std::printf("%-4s: unavailable (SFA construction exceeded its budget)\n",
                   variant_name(variant));
@@ -213,6 +226,7 @@ int cmd_match(const std::string& pattern_text, const std::string& path, int argc
     }
     QueryOptions options{.variant = variant, .chunks = chunks,
                          .convergence = convergence, .kernel = kernel};
+    options.deadline = parse_timeout_flag(argc, argv);
     // A single requested variant that cannot honor --convergence or
     // --kernel rejects (QueryError, exit 2). In the `all` sweep, drop the
     // knob per variant with an explicit note so rows are never silently
@@ -252,10 +266,11 @@ int cmd_count(const std::string& pattern_text, const std::string& path, int argc
   const auto chunks = static_cast<std::size_t>(
       std::strtoul(flag_value(argc, argv, "--chunks", "16").c_str(), nullptr, 10));
   const Engine engine(Pattern::compile(pattern_text));
+  QueryOptions options{.chunks = chunks,
+                       .convergence = flag_present(argc, argv, "--convergence")};
+  options.deadline = parse_timeout_flag(argc, argv);
   Stopwatch clock;
-  const QueryResult counted = engine.count(
-      text,
-      {.chunks = chunks, .convergence = flag_present(argc, argv, "--convergence")});
+  const QueryResult counted = engine.count(text, options);
   std::printf("%llu occurrence%s in %zu bytes (%.3f ms%s)\n",
               static_cast<unsigned long long>(counted.matches),
               counted.matches == 1 ? "" : "s", text.size(), clock.millis(),
@@ -271,6 +286,8 @@ int cmd_find_stream(const std::string& pattern_text, const std::string& path,
       std::strtoul(flag_value(argc, argv, "--chunks", "16").c_str(), nullptr, 10));
   options.convergence = flag_present(argc, argv, "--convergence");
   if (!parse_kernel_flag(argc, argv, options.kernel)) return 2;
+  // Per-feed deadline: each window must join within the budget.
+  options.deadline = parse_timeout_flag(argc, argv);
   // Paging knobs pass through so the session REJECTS them (QueryError,
   // exit 2) instead of this front end silently dropping them.
   options.offset = static_cast<std::size_t>(
@@ -388,6 +405,7 @@ int cmd_find(int argc, char** argv) {
       std::strtoul(flag_value(argc, argv, "--chunks", "16").c_str(), nullptr, 10));
   options.convergence = flag_present(argc, argv, "--convergence");
   if (!parse_kernel_flag(argc, argv, options.kernel)) return 2;
+  options.deadline = parse_timeout_flag(argc, argv);
   options.offset = static_cast<std::size_t>(
       std::strtoull(flag_value(argc, argv, "--offset", "0").c_str(), nullptr, 10));
   const std::string limit_flag = flag_value(argc, argv, "--limit", "");
@@ -508,6 +526,14 @@ int main(int argc, char** argv) {
   } catch (const RegexError& error) {
     std::fprintf(stderr, "rispar: bad pattern: %s\n", error.what());
     return 2;
+  } catch (const DeadlineExceeded& error) {
+    // Governance trips get their own exit status (documented above): a
+    // timeout is not a bad query — the caller's retry policy differs.
+    std::fprintf(stderr, "rispar: %s\n", error.what());
+    return 4;
+  } catch (const ResourceExhausted& error) {
+    std::fprintf(stderr, "rispar: %s\n", error.what());
+    return 4;
   } catch (const QueryError& error) {
     std::fprintf(stderr, "rispar: bad query: %s\n", error.what());
     return 2;
