@@ -9,7 +9,9 @@ namespace rispar {
 Engine::Engine(Pattern pattern, EngineConfig config)
     : pattern_(std::move(pattern)),
       config_(config),
-      pool_(std::make_unique<ThreadPool>(config.threads, config.admission)),
+      pool_(config.shared_pool != nullptr
+                ? config.shared_pool
+                : std::make_shared<ThreadPool>(config.threads, config.admission)),
       dfa_device_(pattern_.min_dfa()),
       nfa_device_(pattern_.nfa()),
       rid_device_(pattern_.ridfa()) {}

@@ -57,6 +57,14 @@ struct EngineConfig {
   /// queue and pick the overload response (reject with ResourceExhausted,
   /// or block — see parallel/thread_pool.hpp). Default: unbounded.
   PoolAdmission admission{};
+  /// Run on THIS pool instead of owning one. A multi-tenant fleet of
+  /// Engines (one per pattern, the rispard serving catalog) shares one
+  /// work-stealing pool this way — N tenants, hardware-many workers, one
+  /// admission gate — instead of N× oversubscribed worker sets. When set,
+  /// `threads` and `admission` are ignored (the shared pool was already
+  /// built with its own); the pool must outlive every Engine holding it,
+  /// which shared ownership guarantees.
+  std::shared_ptr<ThreadPool> shared_pool;
 };
 
 class Engine {
@@ -140,7 +148,7 @@ class Engine {
  private:
   Pattern pattern_;
   EngineConfig config_;
-  mutable std::unique_ptr<ThreadPool> pool_;
+  mutable std::shared_ptr<ThreadPool> pool_;  ///< owned, or config_.shared_pool
   DfaDevice dfa_device_;
   NfaDevice nfa_device_;
   RidDevice rid_device_;

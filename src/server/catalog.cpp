@@ -1,0 +1,47 @@
+#include "server/catalog.hpp"
+
+#include <utility>
+
+namespace rispar::rispard {
+
+std::vector<std::string> parse_manifest(std::string_view text) {
+  std::vector<std::string> regexes;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    std::size_t start = line.find_first_not_of(" \t");
+    if (start == std::string_view::npos) continue;
+    std::size_t end = line.find_last_not_of(" \t");
+    line = line.substr(start, end - start + 1);
+    if (line.empty() || line.front() == '#') continue;
+    regexes.emplace_back(line);
+  }
+  return regexes;
+}
+
+std::shared_ptr<const PatternCatalog> build_catalog(
+    const std::vector<std::string>& regexes, std::uint64_t generation,
+    std::shared_ptr<ThreadPool> pool, const EngineConfig& base_config) {
+  auto catalog = std::make_shared<PatternCatalog>();
+  catalog->generation = generation;
+  catalog->patterns.reserve(regexes.size());
+  for (const std::string& regex : regexes) {
+    EngineConfig config = base_config;
+    config.shared_pool = pool;
+    TenantPattern tenant;
+    tenant.regex = regex;
+    tenant.engine = std::make_unique<Engine>(Pattern::compile(regex), config);
+    // Pre-warm the Σ*p searcher (streaming find runs on it): a blow-up
+    // pattern trips ResourceExhausted HERE — at reload, where the old
+    // generation still serves — never inside a session open or feed.
+    (void)tenant.engine->searcher();
+    catalog->patterns.push_back(std::move(tenant));
+  }
+  return catalog;
+}
+
+}  // namespace rispar::rispard

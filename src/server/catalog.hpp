@@ -1,0 +1,62 @@
+// The multi-tenant pattern catalog behind rispard's RELOAD.
+//
+// One PatternCatalog is an IMMUTABLE generation of the serving set: N
+// compiled patterns, each bound to an Engine, all sharing the server's one
+// work-stealing pool (EngineConfig::shared_pool). The server holds the
+// current generation behind a std::atomic<std::shared_ptr<...>>; RELOAD (or
+// SIGHUP) builds a whole new catalog off to the side and swaps the pointer
+// in one atomic store:
+//
+//  * sessions opened BEFORE the swap copied the shared_ptr at open and keep
+//    feeding against the generation they opened with — a reload never tears
+//    an in-flight session;
+//  * the retired generation (and its Engines, whose devices the sessions'
+//    StreamSessions point into) is destroyed when the LAST such session
+//    closes — plain shared_ptr reference counting, property-tested in
+//    tests/test_server.cpp (RispardReload.OldSetOutlivesItsSessions);
+//  * a reload that fails to compile leaves the current generation in place:
+//    swap-on-success, never swap-then-fix.
+//
+// The manifest is the operator surface: one regex per line, '#' comments,
+// blank lines ignored. Pattern ids are line order — the contract a client
+// and its manifest must agree on (docs/rispard.md).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/engine.hpp"
+
+namespace rispar::rispard {
+
+/// One tenant: the manifest line and the Engine serving it. Engines are not
+/// movable, hence the unique_ptr.
+struct TenantPattern {
+  std::string regex;
+  std::unique_ptr<Engine> engine;
+};
+
+/// One immutable generation of the serving set.
+struct PatternCatalog {
+  std::uint64_t generation = 0;
+  std::vector<TenantPattern> patterns;
+};
+
+/// Splits a manifest into its pattern lines ('#' comments and blank lines
+/// dropped, trailing '\r' of CRLF manifests stripped). Line order is
+/// pattern-id order.
+std::vector<std::string> parse_manifest(std::string_view text);
+
+/// Compiles every regex into a catalog whose Engines share `pool`. The Σ*p
+/// searcher each streaming-find session needs is pre-warmed here, at reload
+/// time, so no session-open or feed ever pays a lazy subset construction.
+/// Throws RegexError on a malformed pattern and ResourceExhausted when a
+/// construction budget trips — the caller keeps serving the old generation.
+std::shared_ptr<const PatternCatalog> build_catalog(
+    const std::vector<std::string>& regexes, std::uint64_t generation,
+    std::shared_ptr<ThreadPool> pool, const EngineConfig& base_config);
+
+}  // namespace rispar::rispard

@@ -1,0 +1,313 @@
+// The rispard wire protocol: length-prefixed binary frames over TCP.
+//
+// Both sides of the serving path speak the same framing (this header is the
+// whole contract — the server, the example client, the load generator and
+// the tests all include it, so protocol drift fails the build or the smoke
+// tests, never a deployed fleet):
+//
+//   frame := u32le payload_length | u8 frame_type | payload bytes
+//
+// Integers are little-endian, unaligned. One TCP connection multiplexes any
+// number of client-named streaming-find sessions; every request frame that
+// concerns a session carries its id, and every response frame echoes it, so
+// responses of interleaved sessions are attributable without ordering
+// assumptions beyond TCP's per-connection FIFO. The full protocol semantics
+// (session lifecycle, backpressure, reload, error taxonomy mapping) are
+// documented in docs/rispard.md.
+//
+// Client -> server:
+//   OPEN_SESSION {session_id, pattern_id, feed_deadline_ns, chunks}
+//   FEED         {session_id, bytes...}        one streaming-find window
+//   CLOSE        {session_id}
+//   STATS        {}                            server + pool counters as JSON
+//   RELOAD       {manifest text | empty}       swap the PatternSet (empty =
+//                                              re-read the manifest file)
+//
+// Server -> client:
+//   OPENED      {session_id, pattern_id, generation}
+//   MATCHES     {session_id, count, count x {pattern_id, begin, end}}
+//   FED         {session_id, consumed_total, matches_total}    per-FEED ack
+//   CLOSED      {session_id, matches_total, accepted}
+//   STATS_JSON  {json bytes}
+//   RELOADED    {generation, pattern_count}
+//   ERROR       {session_id | kNoSession, code, message bytes}
+#pragma once
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace rispar::rispard {
+
+/// Frame types. Requests are < 0x80, responses >= 0x80.
+enum class FrameType : std::uint8_t {
+  kOpenSession = 0x01,
+  kFeed = 0x02,
+  kClose = 0x03,
+  kStats = 0x04,
+  kReload = 0x05,
+
+  kOpened = 0x81,
+  kMatches = 0x82,
+  kFed = 0x83,
+  kClosed = 0x84,
+  kStatsJson = 0x85,
+  kReloaded = 0x86,
+  kError = 0x87,
+};
+
+/// Typed error frames: the QueryError taxonomy (util/governance.hpp) plus
+/// the protocol-level failures that have no exception to map.
+enum class ErrorCode : std::uint8_t {
+  kProtocol = 1,          ///< malformed frame; the server closes after sending
+  kUnknownPattern = 2,    ///< pattern_id outside the current catalog
+  kUnknownSession = 3,    ///< FEED/CLOSE for a session_id never opened (or closed)
+  kSessionExists = 4,     ///< OPEN_SESSION reusing a live session_id
+  kTooManySessions = 5,   ///< per-connection session cap reached
+  kValidation = 6,        ///< ValidationError — incl. feeds to a poisoned session
+  kDeadlineExceeded = 7,  ///< DeadlineExceeded — the per-feed budget tripped
+  kCancelled = 8,         ///< QueryCancelled
+  kResourceExhausted = 9, ///< ResourceExhausted — pool admission reject, budgets
+  kBadManifest = 10,      ///< RELOAD manifest empty/unreadable/uncompilable
+  kInternal = 11,         ///< anything else; the session (if any) is poisoned
+};
+
+const char* error_code_name(ErrorCode code);
+
+/// ERROR frames not scoped to a session carry this sentinel id (session ids
+/// are client-chosen, so 0 is a legal id and cannot be the sentinel).
+inline constexpr std::uint32_t kNoSession = 0xffffffffu;
+
+/// Frame header: u32 length + u8 type.
+inline constexpr std::size_t kFrameHeaderBytes = 5;
+/// Hard cap on one frame's payload. Bounds per-connection buffering against
+/// a hostile or broken peer; a FEED window this large is far past the point
+/// where splitting it helps latency anyway (docs/rispard.md, backpressure).
+inline constexpr std::size_t kMaxFramePayload = 1u << 24;  // 16 MiB
+
+// ------------------------------------------------------------- serialization
+
+inline void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+inline void put_u32(std::string& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8)
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+}
+
+inline void put_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8)
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+}
+
+/// Appends one whole frame (header + payload) to `out`.
+inline void put_frame(std::string& out, FrameType type, std::string_view payload) {
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u8(out, static_cast<std::uint8_t>(type));
+  out.append(payload);
+}
+
+/// Bounds-checked payload reader. Every get_* returns a value and clears
+/// `ok` on underrun; callers check `ok` once at the end (a short frame reads
+/// zeros, then fails the single check — no per-field error plumbing).
+struct PayloadReader {
+  const char* data;
+  std::size_t size;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  explicit PayloadReader(std::string_view payload)
+      : data(payload.data()), size(payload.size()) {}
+
+  std::uint8_t get_u8() {
+    if (pos + 1 > size) {
+      ok = false;
+      return 0;
+    }
+    return static_cast<std::uint8_t>(data[pos++]);
+  }
+
+  std::uint32_t get_u32() {
+    if (pos + 4 > size) {
+      ok = false;
+      return 0;
+    }
+    std::uint32_t v = 0;
+    for (int shift = 0; shift < 32; shift += 8)
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(data[pos++])) << shift;
+    return v;
+  }
+
+  std::uint64_t get_u64() {
+    if (pos + 8 > size) {
+      ok = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 8)
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data[pos++])) << shift;
+    return v;
+  }
+
+  /// The unread remainder (FEED bytes, ERROR message, manifest text).
+  std::string_view rest() {
+    std::string_view tail(data + pos, size - pos);
+    pos = size;
+    return tail;
+  }
+
+  /// True when every read succeeded AND the payload was fully consumed —
+  /// trailing garbage is a protocol error, not padding.
+  bool exhausted() const { return ok && pos == size; }
+};
+
+/// One parsed frame. `payload` points into the FrameReader's buffer and is
+/// valid until the next append()/next() call.
+struct Frame {
+  FrameType type{};
+  std::string_view payload;
+};
+
+/// Incremental frame reassembly over a byte stream. Feed whatever recv()
+/// produced; pop complete frames. Oversized length prefixes are reported as
+/// a hard error (the stream is unrecoverable — there is no way to resync).
+class FrameReader {
+ public:
+  /// Appends raw stream bytes.
+  void append(const char* data, std::size_t size) { buffer_.append(data, size); }
+
+  /// True when the buffered prefix declares a payload past kMaxFramePayload.
+  /// The connection should send ERROR{kProtocol} and close.
+  bool overflowed() const {
+    if (buffer_.size() - pos_ < 4) return false;
+    return peek_len() > kMaxFramePayload;
+  }
+
+  /// Pops the next complete frame into `frame`. Returns false when the
+  /// buffer holds only a partial frame (or an overflowed one — check
+  /// overflowed() separately).
+  bool next(Frame& frame) {
+    const std::size_t available = buffer_.size() - pos_;
+    if (available < kFrameHeaderBytes) return maybe_compact(), false;
+    const std::uint32_t len = peek_len();
+    if (len > kMaxFramePayload) return false;
+    if (available < kFrameHeaderBytes + len) return maybe_compact(), false;
+    frame.type = static_cast<FrameType>(
+        static_cast<unsigned char>(buffer_[pos_ + 4]));
+    frame.payload = std::string_view(buffer_.data() + pos_ + kFrameHeaderBytes, len);
+    pos_ += kFrameHeaderBytes + len;
+    return true;
+  }
+
+  /// Bytes buffered but not yet popped (partial frame tail).
+  std::size_t pending() const { return buffer_.size() - pos_; }
+
+ private:
+  std::uint32_t peek_len() const {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(buffer_[pos_ + i]))
+           << (8 * i);
+    return v;
+  }
+
+  /// Drops consumed bytes once they dominate the buffer. Safe only when no
+  /// Frame::payload is live — which next()'s contract already requires
+  /// (payloads are invalidated by the next call).
+  void maybe_compact() {
+    if (pos_ >= 4096 && pos_ * 2 >= buffer_.size()) {
+      buffer_.erase(0, pos_);
+      pos_ = 0;
+    }
+  }
+
+  std::string buffer_;
+  std::size_t pos_ = 0;
+};
+
+// -------------------------------------------------- request frame builders
+
+inline std::string make_open_session(std::uint32_t session_id, std::uint32_t pattern_id,
+                                     std::uint64_t feed_deadline_ns,
+                                     std::uint32_t chunks) {
+  std::string payload;
+  put_u32(payload, session_id);
+  put_u32(payload, pattern_id);
+  put_u64(payload, feed_deadline_ns);
+  put_u32(payload, chunks);
+  std::string frame;
+  put_frame(frame, FrameType::kOpenSession, payload);
+  return frame;
+}
+
+inline std::string make_feed(std::uint32_t session_id, std::string_view bytes) {
+  std::string frame;
+  put_u32(frame, static_cast<std::uint32_t>(4 + bytes.size()));
+  put_u8(frame, static_cast<std::uint8_t>(FrameType::kFeed));
+  put_u32(frame, session_id);
+  frame.append(bytes);
+  return frame;
+}
+
+inline std::string make_close(std::uint32_t session_id) {
+  std::string payload;
+  put_u32(payload, session_id);
+  std::string frame;
+  put_frame(frame, FrameType::kClose, payload);
+  return frame;
+}
+
+inline std::string make_stats() {
+  std::string frame;
+  put_frame(frame, FrameType::kStats, {});
+  return frame;
+}
+
+inline std::string make_reload(std::string_view manifest_text) {
+  std::string frame;
+  put_frame(frame, FrameType::kReload, manifest_text);
+  return frame;
+}
+
+// ------------------------------------------------- blocking client helpers
+// For the minimal clients (example, tests): the server itself never blocks.
+
+/// Writes all of `data` to a blocking socket. Returns false on error/EPIPE.
+inline bool send_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads from a blocking socket into `reader` until one complete frame pops
+/// into `frame`. Returns false on EOF/error/oversized frame.
+inline bool recv_frame(int fd, FrameReader& reader, Frame& frame) {
+  while (!reader.next(frame)) {
+    if (reader.overflowed()) return false;
+    char chunk[65536];
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n == 0) return false;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    reader.append(chunk, static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+}  // namespace rispar::rispard

@@ -1,0 +1,825 @@
+#include "server/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <signal.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/signalfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <utility>
+
+namespace rispar::rispard {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+std::string opened_frame(std::uint32_t session_id, std::uint32_t pattern_id,
+                         std::uint64_t generation) {
+  std::string payload;
+  put_u32(payload, session_id);
+  put_u32(payload, pattern_id);
+  put_u64(payload, generation);
+  std::string frame;
+  put_frame(frame, FrameType::kOpened, payload);
+  return frame;
+}
+
+/// MATCHES frames are capped so one prolific window cannot produce a frame
+/// past kMaxFramePayload; overflow just emits several frames in order.
+constexpr std::size_t kMatchesPerFrame = 16384;
+
+void append_matches_frames(std::string& out, std::uint32_t session_id,
+                           const std::vector<Match>& matches) {
+  std::size_t emitted = 0;
+  while (emitted < matches.size()) {
+    const std::size_t batch = std::min(kMatchesPerFrame, matches.size() - emitted);
+    put_u32(out, static_cast<std::uint32_t>(8 + batch * 20));
+    put_u8(out, static_cast<std::uint8_t>(FrameType::kMatches));
+    put_u32(out, session_id);
+    put_u32(out, static_cast<std::uint32_t>(batch));
+    for (std::size_t i = 0; i < batch; ++i) {
+      const Match& m = matches[emitted + i];
+      put_u32(out, m.pattern_id);
+      put_u64(out, m.begin);
+      put_u64(out, m.end);
+    }
+    emitted += batch;
+  }
+}
+
+void append_fed_frame(std::string& out, std::uint32_t session_id,
+                      std::uint64_t consumed, std::uint64_t matches_total) {
+  std::string payload;
+  put_u32(payload, session_id);
+  put_u64(payload, consumed);
+  put_u64(payload, matches_total);
+  put_frame(out, FrameType::kFed, payload);
+}
+
+std::string closed_frame(std::uint32_t session_id, std::uint64_t matches_total,
+                         bool accepted) {
+  std::string payload;
+  put_u32(payload, session_id);
+  put_u64(payload, matches_total);
+  put_u8(payload, accepted ? 1 : 0);
+  std::string frame;
+  put_frame(frame, FrameType::kClosed, payload);
+  return frame;
+}
+
+std::string reloaded_frame(std::uint64_t generation, std::uint32_t pattern_count) {
+  std::string payload;
+  put_u64(payload, generation);
+  put_u32(payload, pattern_count);
+  std::string frame;
+  put_frame(frame, FrameType::kReloaded, payload);
+  return frame;
+}
+
+std::string error_frame(std::uint32_t session_id, ErrorCode code,
+                        std::string_view message) {
+  std::string payload;
+  put_u32(payload, session_id);
+  put_u8(payload, static_cast<std::uint8_t>(code));
+  payload.append(message);
+  std::string frame;
+  put_frame(frame, FrameType::kError, payload);
+  return frame;
+}
+
+}  // namespace
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kProtocol: return "protocol";
+    case ErrorCode::kUnknownPattern: return "unknown_pattern";
+    case ErrorCode::kUnknownSession: return "unknown_session";
+    case ErrorCode::kSessionExists: return "session_exists";
+    case ErrorCode::kTooManySessions: return "too_many_sessions";
+    case ErrorCode::kValidation: return "validation";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kResourceExhausted: return "resource_exhausted";
+    case ErrorCode::kBadManifest: return "bad_manifest";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+// ------------------------------------------------------------- state types
+
+struct Server::Session {
+  std::uint32_t id;
+  std::uint32_t pattern_id;
+  /// Pins the generation this session opened against: the Engines (and the
+  /// Device the StreamSession points into) stay alive until the last
+  /// pinning session closes, however many RELOADs happen meanwhile.
+  std::shared_ptr<const PatternCatalog> catalog;
+  StreamSession stream;
+  std::deque<std::string> pending;  ///< feed windows awaiting their turn
+  bool busy = false;                ///< a crew worker owns `stream` right now
+  bool closing = false;             ///< CLOSE received; ack after feeds drain
+
+  Session(std::uint32_t id_, std::uint32_t pattern_id_,
+          std::shared_ptr<const PatternCatalog> catalog_, StreamSession stream_)
+      : id(id_),
+        pattern_id(pattern_id_),
+        catalog(std::move(catalog_)),
+        stream(std::move(stream_)) {}
+};
+
+struct Server::Connection {
+  int fd = -1;
+  std::uint64_t uid = 0;
+  FrameReader reader;
+  std::string outbuf;
+  std::size_t outpos = 0;
+  std::uint32_t registered_events = 0;
+  bool reading = true;         ///< EPOLLIN interest (false = backpressured)
+  bool draining_close = false; ///< protocol error: close once outbuf flushes
+  bool broken = false;         ///< hard socket error; close at next safe point
+  std::unordered_map<std::uint32_t, std::shared_ptr<Session>> sessions;
+  std::size_t queued_feeds = 0;  ///< windows pending + in flight, all sessions
+};
+
+// ------------------------------------------------------------ construction
+
+Server::Server(std::vector<std::string> seed_regexes, ServerConfig config)
+    : config_(std::move(config)) {
+  if (config_.feed_workers == 0) config_.feed_workers = 1;
+  if (config_.handle_sighup) {
+    // Block SIGHUP BEFORE any thread exists (the pool spawns below):
+    // spawned threads inherit the mask, so the signal can only surface
+    // through the signalfd in run(), never as a default-action death of a
+    // worker.
+    sigset_t mask;
+    sigemptyset(&mask);
+    sigaddset(&mask, SIGHUP);
+    pthread_sigmask(SIG_BLOCK, &mask, nullptr);
+  }
+  pool_ = std::make_shared<ThreadPool>(config_.pool_threads, config_.admission);
+  catalog_.store(build_catalog(seed_regexes, 1, pool_, EngineConfig{}));
+  generation_.store(1);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw_errno("rispard: socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1)
+    throw std::invalid_argument("rispard: bad bind address " + config_.bind_address);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0)
+    throw_errno("rispard: bind");
+  if (::listen(listen_fd_, 1024) < 0) throw_errno("rispard: listen");
+  socklen_t addr_len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len) < 0)
+    throw_errno("rispard: getsockname");
+  port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw_errno("rispard: epoll_create1");
+  event_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (event_fd_ < 0) throw_errno("rispard: eventfd");
+}
+
+Server::~Server() {
+  stop();
+  // run() must have returned by now (the caller owns that thread); all that
+  // is left is releasing descriptors run() did not own.
+  if (signal_fd_ >= 0) ::close(signal_fd_);
+  if (event_fd_ >= 0) ::close(event_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (auto& [fd, conn] : connections_) ::close(fd);
+}
+
+std::uint64_t Server::generation() const { return generation_.load(); }
+
+std::weak_ptr<const PatternCatalog> Server::catalog_handle() const {
+  return catalog_.load();
+}
+
+ServerCounters Server::counters() const {
+  ServerCounters c;
+  c.connections_accepted = connections_accepted_.load();
+  c.connections_open = connections_open_.load();
+  c.sessions_opened = sessions_opened_.load();
+  c.sessions_open = sessions_open_.load();
+  c.feeds = feeds_.load();
+  c.bytes_fed = bytes_fed_.load();
+  c.matches_emitted = matches_emitted_.load();
+  c.error_frames = error_frames_.load();
+  c.feed_rejects = feed_rejects_.load();
+  c.reloads = reloads_.load();
+  c.protocol_errors = protocol_errors_.load();
+  return c;
+}
+
+void Server::stop() {
+  stop_requested_.store(true);
+  if (event_fd_ >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(event_fd_, &one, sizeof one);
+  }
+}
+
+// --------------------------------------------------------------- the loop
+
+void Server::run() {
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0)
+    throw_errno("rispard: epoll_ctl(listen)");
+  ev.data.fd = event_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, event_fd_, &ev) < 0)
+    throw_errno("rispard: epoll_ctl(eventfd)");
+  if (config_.handle_sighup) {
+    sigset_t mask;
+    sigemptyset(&mask);
+    sigaddset(&mask, SIGHUP);
+    pthread_sigmask(SIG_BLOCK, &mask, nullptr);  // run() may be another thread
+    signal_fd_ = ::signalfd(-1, &mask, SFD_NONBLOCK | SFD_CLOEXEC);
+    if (signal_fd_ < 0) throw_errno("rispard: signalfd");
+    ev.data.fd = signal_fd_;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, signal_fd_, &ev) < 0)
+      throw_errno("rispard: epoll_ctl(signalfd)");
+  }
+
+  crew_.reserve(config_.feed_workers);
+  for (unsigned i = 0; i < config_.feed_workers; ++i)
+    crew_.emplace_back([this] { feed_worker_loop(); });
+
+  while (!stop_requested_.load(std::memory_order_relaxed)) event_loop_iteration();
+
+  // Shutdown: stop the crew first (their completions are dropped), then
+  // tear the connection table down. Sessions pinning retired catalogs
+  // release them here.
+  {
+    std::lock_guard<std::mutex> lock(feed_mutex_);
+    crew_stop_ = true;
+  }
+  feed_cv_.notify_all();
+  for (std::thread& t : crew_) t.join();
+  crew_.clear();
+  {
+    std::lock_guard<std::mutex> lock(done_mutex_);
+    done_.clear();
+  }
+  for (auto& [fd, conn] : connections_) ::close(fd);
+  connections_.clear();
+  connections_by_uid_.clear();
+}
+
+void Server::event_loop_iteration() {
+  epoll_event events[128];
+  const int n = ::epoll_wait(epoll_fd_, events, 128, -1);
+  if (n < 0) {
+    if (errno == EINTR) return;
+    throw_errno("rispard: epoll_wait");
+  }
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    const std::uint32_t mask = events[i].events;
+    if (fd == listen_fd_) {
+      accept_ready();
+      continue;
+    }
+    if (fd == event_fd_) {
+      std::uint64_t drained = 0;
+      while (::read(event_fd_, &drained, sizeof drained) > 0) {
+      }
+      handle_completions();
+      continue;
+    }
+    if (fd == signal_fd_) {
+      signalfd_siginfo info;
+      while (::read(signal_fd_, &info, sizeof info) == sizeof info) {
+        std::fprintf(stderr, "rispard: SIGHUP — re-reading manifest\n");
+        apply_reload(nullptr, {});
+      }
+      continue;
+    }
+    auto it = connections_.find(fd);
+    if (it == connections_.end()) continue;  // closed earlier this sweep
+    Connection& conn = *it->second;
+    if ((mask & (EPOLLHUP | EPOLLERR)) != 0) {
+      close_connection(fd);
+      continue;
+    }
+    if ((mask & EPOLLOUT) != 0) handle_writable(conn);
+    if (connections_.find(fd) == connections_.end()) continue;
+    if ((mask & EPOLLIN) != 0) handle_readable(conn);
+  }
+}
+
+void Server::accept_ready() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // transient accept failures (EMFILE, ECONNABORTED): keep serving
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->uid = next_connection_uid_++;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      continue;
+    }
+    conn->registered_events = EPOLLIN;
+    connections_by_uid_[conn->uid] = conn.get();
+    connections_[fd] = std::move(conn);
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    connections_open_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::close_connection(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& conn = *it->second;
+  sessions_open_.fetch_sub(conn.sessions.size(), std::memory_order_relaxed);
+  // In-flight FeedJobs hold their Session shared_ptr (and its catalog pin);
+  // their completions route by uid, find nothing, and are dropped.
+  connections_by_uid_.erase(conn.uid);
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  connections_.erase(it);
+  connections_open_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Server::epoll_update(Connection& conn) {
+  const std::uint32_t wanted =
+      (conn.reading && !conn.draining_close ? EPOLLIN : 0u) |
+      (conn.outpos < conn.outbuf.size() ? EPOLLOUT : 0u);
+  if (wanted == conn.registered_events) return;
+  epoll_event ev{};
+  ev.events = wanted;
+  ev.data.fd = conn.fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev) == 0)
+    conn.registered_events = wanted;
+}
+
+void Server::update_read_interest(Connection& conn) {
+  const std::size_t backlog = conn.outbuf.size() - conn.outpos;
+  if (conn.reading) {
+    if (backlog >= config_.write_high_water ||
+        conn.queued_feeds >= config_.max_pending_feeds)
+      conn.reading = false;
+  } else {
+    // Hysteresis: resume only once both brakes are clearly released, so a
+    // connection riding the limit doesn't thrash epoll_ctl.
+    if (backlog <= config_.write_high_water / 2 &&
+        conn.queued_feeds <= config_.max_pending_feeds / 2)
+      conn.reading = true;
+  }
+  epoll_update(conn);
+}
+
+// ------------------------------------------------------------------- reads
+
+void Server::handle_readable(Connection& conn) {
+  char chunk[65536];
+  const ssize_t n = ::recv(conn.fd, chunk, sizeof chunk, 0);
+  if (n == 0) {
+    close_connection(conn.fd);
+    return;
+  }
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+    close_connection(conn.fd);
+    return;
+  }
+  conn.reader.append(chunk, static_cast<std::size_t>(n));
+  Frame frame;
+  while (!conn.draining_close && conn.reader.next(frame)) process_frame(conn, frame);
+  if (conn.reader.overflowed() && !conn.draining_close) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    send_error(conn, kNoSession, ErrorCode::kProtocol,
+               "frame exceeds the 16 MiB payload cap");
+    conn.draining_close = true;
+  }
+  if (conn.broken) {
+    close_connection(conn.fd);
+    return;
+  }
+  if (conn.draining_close && conn.outpos >= conn.outbuf.size()) {
+    close_connection(conn.fd);
+    return;
+  }
+  update_read_interest(conn);
+}
+
+void Server::handle_writable(Connection& conn) {
+  flush_output(conn);
+  if (conn.broken || (conn.draining_close && conn.outpos >= conn.outbuf.size())) {
+    close_connection(conn.fd);
+    return;
+  }
+  update_read_interest(conn);
+}
+
+// ------------------------------------------------------------------ writes
+
+void Server::enqueue_output(Connection& conn, std::string_view frames) {
+  conn.outbuf.append(frames);
+  flush_output(conn);
+}
+
+void Server::flush_output(Connection& conn) {
+  while (conn.outpos < conn.outbuf.size()) {
+    const ssize_t n = ::send(conn.fd, conn.outbuf.data() + conn.outpos,
+                             conn.outbuf.size() - conn.outpos, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      conn.broken = true;  // peer reset; closed at the caller's safe point
+      conn.outbuf.clear();
+      conn.outpos = 0;
+      return;
+    }
+    conn.outpos += static_cast<std::size_t>(n);
+  }
+  if (conn.outpos >= conn.outbuf.size()) {
+    conn.outbuf.clear();
+    conn.outpos = 0;
+  } else if (conn.outpos > (1u << 20) && conn.outpos * 2 >= conn.outbuf.size()) {
+    conn.outbuf.erase(0, conn.outpos);
+    conn.outpos = 0;
+  }
+  epoll_update(conn);
+}
+
+void Server::send_error(Connection& conn, std::uint32_t session_id, ErrorCode code,
+                        std::string_view message) {
+  error_frames_.fetch_add(1, std::memory_order_relaxed);
+  enqueue_output(conn, error_frame(session_id, code, message));
+}
+
+// ----------------------------------------------------------------- frames
+
+void Server::process_frame(Connection& conn, const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kOpenSession: handle_open_session(conn, frame); return;
+    case FrameType::kFeed: handle_feed(conn, frame); return;
+    case FrameType::kClose: handle_close(conn, frame); return;
+    case FrameType::kStats: handle_stats(conn); return;
+    case FrameType::kReload: handle_reload(conn, frame); return;
+    default: break;
+  }
+  protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+  send_error(conn, kNoSession, ErrorCode::kProtocol, "unknown frame type");
+  conn.draining_close = true;
+}
+
+void Server::handle_open_session(Connection& conn, const Frame& frame) {
+  PayloadReader reader(frame.payload);
+  const std::uint32_t session_id = reader.get_u32();
+  const std::uint32_t pattern_id = reader.get_u32();
+  std::uint64_t deadline_ns = reader.get_u64();
+  const std::uint32_t chunks = reader.get_u32();
+  if (!reader.exhausted()) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    send_error(conn, kNoSession, ErrorCode::kProtocol, "malformed OPEN_SESSION");
+    conn.draining_close = true;
+    return;
+  }
+  if (session_id == kNoSession) {
+    send_error(conn, kNoSession, ErrorCode::kValidation,
+               "session id 0xffffffff is reserved");
+    return;
+  }
+  if (conn.sessions.count(session_id) != 0) {
+    send_error(conn, session_id, ErrorCode::kSessionExists,
+               "session id already open on this connection");
+    return;
+  }
+  if (conn.sessions.size() >= config_.max_sessions_per_connection) {
+    send_error(conn, session_id, ErrorCode::kTooManySessions,
+               "per-connection session cap reached");
+    return;
+  }
+  std::shared_ptr<const PatternCatalog> catalog = catalog_.load();
+  if (pattern_id >= catalog->patterns.size()) {
+    send_error(conn, session_id, ErrorCode::kUnknownPattern,
+               "pattern_id outside the current catalog (generation " +
+                   std::to_string(catalog->generation) + " has " +
+                   std::to_string(catalog->patterns.size()) + " patterns)");
+    return;
+  }
+  if (config_.max_feed_deadline_ns != 0 && deadline_ns > config_.max_feed_deadline_ns)
+    deadline_ns = config_.max_feed_deadline_ns;
+  QueryOptions options;
+  options.positions = true;
+  options.chunks = std::max<std::uint32_t>(chunks, 1);
+  options.deadline = std::chrono::nanoseconds(deadline_ns);
+  try {
+    StreamSession stream = catalog->patterns[pattern_id].engine->stream(options);
+    auto session = std::make_shared<Session>(session_id, pattern_id, catalog,
+                                             std::move(stream));
+    conn.sessions.emplace(session_id, std::move(session));
+  } catch (const ValidationError& e) {
+    send_error(conn, session_id, ErrorCode::kValidation, e.what());
+    return;
+  } catch (const ResourceExhausted& e) {
+    send_error(conn, session_id, ErrorCode::kResourceExhausted, e.what());
+    return;
+  } catch (const QueryError& e) {
+    send_error(conn, session_id, ErrorCode::kValidation, e.what());
+    return;
+  }
+  sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+  sessions_open_.fetch_add(1, std::memory_order_relaxed);
+  enqueue_output(conn, opened_frame(session_id, pattern_id, catalog->generation));
+}
+
+void Server::handle_feed(Connection& conn, const Frame& frame) {
+  PayloadReader reader(frame.payload);
+  const std::uint32_t session_id = reader.get_u32();
+  if (!reader.ok) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    send_error(conn, kNoSession, ErrorCode::kProtocol, "malformed FEED");
+    conn.draining_close = true;
+    return;
+  }
+  const std::string_view bytes = reader.rest();
+  auto it = conn.sessions.find(session_id);
+  if (it == conn.sessions.end() || it->second->closing) {
+    send_error(conn, session_id, ErrorCode::kUnknownSession,
+               "FEED for a session that is not open");
+    return;
+  }
+  feeds_.fetch_add(1, std::memory_order_relaxed);
+  bytes_fed_.fetch_add(bytes.size(), std::memory_order_relaxed);
+  const std::shared_ptr<Session>& session = it->second;
+  session->pending.emplace_back(bytes);
+  ++conn.queued_feeds;
+  if (!session->busy) dispatch_next_feed(conn, session);
+  update_read_interest(conn);
+}
+
+void Server::dispatch_next_feed(Connection& conn,
+                                const std::shared_ptr<Session>& session) {
+  FeedJob job;
+  job.connection_uid = conn.uid;
+  job.session = session;
+  job.bytes = std::move(session->pending.front());
+  session->pending.pop_front();
+  session->busy = true;
+  {
+    std::lock_guard<std::mutex> lock(feed_mutex_);
+    feed_queue_.push_back(std::move(job));
+  }
+  feed_cv_.notify_one();
+}
+
+void Server::handle_close(Connection& conn, const Frame& frame) {
+  PayloadReader reader(frame.payload);
+  const std::uint32_t session_id = reader.get_u32();
+  if (!reader.exhausted()) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    send_error(conn, kNoSession, ErrorCode::kProtocol, "malformed CLOSE");
+    conn.draining_close = true;
+    return;
+  }
+  auto it = conn.sessions.find(session_id);
+  if (it == conn.sessions.end() || it->second->closing) {
+    send_error(conn, session_id, ErrorCode::kUnknownSession,
+               "CLOSE for a session that is not open");
+    return;
+  }
+  Session& session = *it->second;
+  if (session.busy || !session.pending.empty()) {
+    session.closing = true;  // ack after the in-flight/queued feeds drain
+    return;
+  }
+  finish_close(conn, session_id);
+}
+
+void Server::finish_close(Connection& conn, std::uint32_t session_id) {
+  auto it = conn.sessions.find(session_id);
+  if (it == conn.sessions.end()) return;
+  Session& session = *it->second;
+  const std::string frame =
+      closed_frame(session_id, session.stream.matches(), session.stream.accepted());
+  conn.sessions.erase(it);  // drops the catalog pin
+  sessions_open_.fetch_sub(1, std::memory_order_relaxed);
+  enqueue_output(conn, frame);
+}
+
+void Server::handle_stats(Connection& conn) {
+  enqueue_output(conn, [this] {
+    std::string frame;
+    put_frame(frame, FrameType::kStatsJson, stats_json());
+    return frame;
+  }());
+}
+
+std::string Server::stats_json() const {
+  const ServerCounters c = counters();
+  const PoolStats p = pool_->stats();
+  const std::shared_ptr<const PatternCatalog> catalog = catalog_.load();
+  std::ostringstream json;
+  json << "{"
+       << "\"generation\":" << catalog->generation
+       << ",\"patterns\":" << catalog->patterns.size()
+       << ",\"connections_accepted\":" << c.connections_accepted
+       << ",\"connections_open\":" << c.connections_open
+       << ",\"sessions_opened\":" << c.sessions_opened
+       << ",\"sessions_open\":" << c.sessions_open
+       << ",\"feeds\":" << c.feeds
+       << ",\"bytes_fed\":" << c.bytes_fed
+       << ",\"matches_emitted\":" << c.matches_emitted
+       << ",\"error_frames\":" << c.error_frames
+       << ",\"feed_rejects\":" << c.feed_rejects
+       << ",\"reloads\":" << c.reloads
+       << ",\"protocol_errors\":" << c.protocol_errors
+       << ",\"pool\":{"
+       << "\"queued\":" << p.queued << ",\"running\":" << p.running
+       << ",\"executed\":" << p.executed << ",\"stolen\":" << p.stolen
+       << ",\"rejected\":" << p.rejected << "}}";
+  return json.str();
+}
+
+void Server::handle_reload(Connection& conn, const Frame& frame) {
+  apply_reload(&conn, frame.payload);
+}
+
+void Server::apply_reload(Connection* conn, std::string_view manifest_text) {
+  std::string from_file;
+  if (manifest_text.empty()) {
+    if (config_.manifest_path.empty()) {
+      const char* message =
+          "empty RELOAD needs a server --manifest file; send the manifest "
+          "text inline instead";
+      if (conn != nullptr)
+        send_error(*conn, kNoSession, ErrorCode::kBadManifest, message);
+      else
+        std::fprintf(stderr, "rispard: reload failed: %s\n", message);
+      return;
+    }
+    std::ifstream file(config_.manifest_path, std::ios::binary);
+    if (!file) {
+      const std::string message =
+          "cannot read manifest file " + config_.manifest_path;
+      if (conn != nullptr)
+        send_error(*conn, kNoSession, ErrorCode::kBadManifest, message);
+      else
+        std::fprintf(stderr, "rispard: reload failed: %s\n", message.c_str());
+      return;
+    }
+    std::ostringstream content;
+    content << file.rdbuf();
+    from_file = content.str();
+    manifest_text = from_file;
+  }
+  const std::vector<std::string> regexes = parse_manifest(manifest_text);
+  if (regexes.empty()) {
+    if (conn != nullptr)
+      send_error(*conn, kNoSession, ErrorCode::kBadManifest,
+                 "manifest has no patterns");
+    else
+      std::fprintf(stderr, "rispard: reload failed: manifest has no patterns\n");
+    return;
+  }
+  std::shared_ptr<const PatternCatalog> next;
+  try {
+    // Built aside while the current generation keeps serving; in-flight
+    // sessions are untouched either way.
+    next = build_catalog(regexes, generation_.load() + 1, pool_, EngineConfig{});
+  } catch (const std::exception& e) {
+    if (conn != nullptr)
+      send_error(*conn, kNoSession, ErrorCode::kBadManifest, e.what());
+    else
+      std::fprintf(stderr, "rispard: reload failed: %s\n", e.what());
+    return;
+  }
+  catalog_.store(next);
+  generation_.store(next->generation);
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  if (conn != nullptr)
+    enqueue_output(*conn,
+                   reloaded_frame(next->generation,
+                                  static_cast<std::uint32_t>(next->patterns.size())));
+  else
+    std::fprintf(stderr, "rispard: reloaded generation %llu (%zu patterns)\n",
+                 static_cast<unsigned long long>(next->generation),
+                 next->patterns.size());
+}
+
+// ------------------------------------------------------------- completions
+
+void Server::handle_completions() {
+  std::vector<FeedDone> batch;
+  {
+    std::lock_guard<std::mutex> lock(done_mutex_);
+    batch.swap(done_);
+  }
+  for (FeedDone& done : batch) {
+    matches_emitted_.fetch_add(done.new_matches, std::memory_order_relaxed);
+    if (done.rejected) feed_rejects_.fetch_add(1, std::memory_order_relaxed);
+    if (done.errored) error_frames_.fetch_add(1, std::memory_order_relaxed);
+    Session& session = *done.session;
+    session.busy = false;
+    auto it = connections_by_uid_.find(done.connection_uid);
+    if (it == connections_by_uid_.end()) continue;  // connection died mid-feed
+    Connection& conn = *it->second;
+    --conn.queued_feeds;
+    enqueue_output(conn, done.frames);
+    if (conn.broken) {
+      close_connection(conn.fd);
+      continue;
+    }
+    if (!session.pending.empty())
+      dispatch_next_feed(conn, done.session);
+    else if (session.closing)
+      finish_close(conn, session.id);
+    update_read_interest(conn);
+  }
+}
+
+// -------------------------------------------------------------------- crew
+
+void Server::feed_worker_loop() {
+  for (;;) {
+    FeedJob job;
+    {
+      std::unique_lock<std::mutex> lock(feed_mutex_);
+      feed_cv_.wait(lock, [this] { return crew_stop_ || !feed_queue_.empty(); });
+      if (crew_stop_) return;
+      job = std::move(feed_queue_.front());
+      feed_queue_.pop_front();
+    }
+    FeedDone done = execute_feed(std::move(job));
+    {
+      std::lock_guard<std::mutex> lock(done_mutex_);
+      done_.push_back(std::move(done));
+    }
+    const std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(event_fd_, &one, sizeof one);
+  }
+}
+
+Server::FeedDone Server::execute_feed(FeedJob job) {
+  FeedDone done;
+  done.connection_uid = job.connection_uid;
+  done.session = job.session;
+  Session& session = *job.session;
+  std::vector<Match> matches;
+  try {
+    // The governed feed: StreamSession re-arms QueryOptions::deadline per
+    // feed, and the chunk fan-out inside goes through the shared pool's
+    // admission gate — every PR 6 failure mode funnels into the catch
+    // ladder below as a typed error frame.
+    const MatchSink sink = [&matches](const Match& m) { matches.push_back(m); };
+    session.stream.feed(job.bytes, sink);
+    append_matches_frames(done.frames, session.id, matches);
+    append_fed_frame(done.frames, session.id, session.stream.bytes_consumed(),
+                     session.stream.matches());
+    done.new_matches = matches.size();
+    done.fed_bytes = job.bytes.size();
+  } catch (const DeadlineExceeded& e) {
+    done.errored = true;
+    done.frames = error_frame(session.id, ErrorCode::kDeadlineExceeded, e.what());
+  } catch (const QueryCancelled& e) {
+    done.errored = true;
+    done.frames = error_frame(session.id, ErrorCode::kCancelled, e.what());
+  } catch (const ResourceExhausted& e) {
+    done.errored = true;
+    done.rejected = true;
+    done.frames = error_frame(session.id, ErrorCode::kResourceExhausted, e.what());
+  } catch (const QueryError& e) {
+    // ValidationError and the base: feeds to a poisoned session land here.
+    done.errored = true;
+    done.frames = error_frame(session.id, ErrorCode::kValidation, e.what());
+  } catch (const std::exception& e) {
+    done.errored = true;
+    done.frames = error_frame(session.id, ErrorCode::kInternal, e.what());
+  }
+  return done;
+}
+
+}  // namespace rispar::rispard

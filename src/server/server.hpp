@@ -1,0 +1,240 @@
+// rispard — the epoll-based streaming query server over StreamSession.
+//
+// This is the serving path the ROADMAP's north star asks for: thousands of
+// TCP connections, each multiplexing client-named streaming-find sessions
+// over the length-prefixed protocol of server/protocol.hpp, on top of the
+// transport-agnostic StreamSession/MatchSink API (PR 4), the work-stealing
+// pool (PR 5) and the governance plumbing (PR 6 — per-feed deadlines, typed
+// QueryErrors, PoolAdmission, PoolStats).
+//
+// ## Threading model
+//
+// ONE event-loop thread owns every socket, buffer and session table: a
+// level-triggered epoll loop over non-blocking sockets. It never runs a
+// kernel and never blocks on the pool — FEED payloads are handed to a small
+// crew of feed workers (`ServerConfig::feed_workers`), each of which drives
+// the session's governed StreamSession::feed; the chunk fan-out inside the
+// feed goes through the pool's EXTERNAL admission path (the PR 6
+// PoolAdmission gate — this is where overload surfaces), and the submitting
+// feed worker participates in the pool until its feed completes. Completed
+// feeds post their response frames back to the event loop through an
+// eventfd-signalled completion queue. Feeds of ONE session are strictly
+// serialized (StreamSession is single-threaded by contract); feeds of
+// different sessions run concurrently up to the crew size.
+//
+// ## Backpressure
+//
+// Two per-connection brakes, both released on the event that clears them:
+//  * write-buffer high water: a connection whose unsent responses exceed
+//    `write_high_water` stops being read (EPOLLIN dropped) until the buffer
+//    drains below half the mark — a slow consumer throttles itself, never
+//    the server;
+//  * feed-queue depth: a connection with `max_pending_feeds` windows queued
+//    or in flight stops being read until completions drain the queue — a
+//    producer faster than the pool is paced by ack latency, and the bytes
+//    it keeps sending accumulate in ITS socket buffer, not our heap.
+//
+// ## Errors never drop connections
+//
+// Every failure a query can produce — deadline, cancellation, admission
+// reject, poisoned session, validation — maps to a typed ERROR frame scoped
+// to the offending session (protocol.hpp ErrorCode); the connection and its
+// other sessions keep serving. The only close the server initiates is a
+// protocol error (unparseable frame), where no framing remains to answer in.
+//
+// ## Hot reload
+//
+// The serving PatternSet lives behind std::atomic<std::shared_ptr<const
+// PatternCatalog>> (server/catalog.hpp): RELOAD frames (and SIGHUP, when
+// `handle_sighup`) build the next generation aside and swap one pointer.
+// In-flight sessions pin the generation they opened with.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "server/catalog.hpp"
+#include "server/protocol.hpp"
+
+namespace rispar::rispard {
+
+struct ServerConfig {
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back with port()).
+  std::uint16_t port = 0;
+  /// Manifest file re-read by empty RELOAD frames and SIGHUP; may be empty
+  /// when every reload ships its manifest inline.
+  std::string manifest_path;
+  /// Workers of the shared query pool (0 = hardware concurrency).
+  unsigned pool_threads = 0;
+  /// Feed crew size: concurrent governed feeds in flight. Each worker
+  /// participates in the pool while its feed runs, so the crew adds
+  /// submission concurrency, not oversubscription.
+  unsigned feed_workers = 2;
+  /// Admission policy of the shared pool — the overload gate every feed's
+  /// chunk batch passes through (parallel/thread_pool.hpp).
+  PoolAdmission admission{};
+  /// Per-connection brakes (class comment).
+  std::size_t write_high_water = 4u << 20;
+  std::size_t max_pending_feeds = 32;
+  /// Per-connection live-session cap (kTooManySessions past it).
+  std::size_t max_sessions_per_connection = 1024;
+  /// Upper bound a client may set as per-feed deadline; 0 = no cap.
+  std::uint64_t max_feed_deadline_ns = 0;
+  /// Route SIGHUP to a manifest re-read via signalfd (the rispard binary
+  /// sets this; tests and embedded servers reload via RELOAD frames).
+  bool handle_sighup = false;
+};
+
+/// Monotone serving counters (the STATS frame serializes these plus
+/// PoolStats as JSON). `connections_open`/`sessions_open` are gauges.
+struct ServerCounters {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_open = 0;
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t sessions_open = 0;
+  std::uint64_t feeds = 0;
+  std::uint64_t bytes_fed = 0;
+  std::uint64_t matches_emitted = 0;
+  std::uint64_t error_frames = 0;
+  std::uint64_t feed_rejects = 0;  ///< ResourceExhausted feeds (admission/budgets)
+  std::uint64_t reloads = 0;
+  std::uint64_t protocol_errors = 0;
+};
+
+class Server {
+ public:
+  /// Compiles `seed_regexes` as generation 1 and binds the listening
+  /// socket. Throws RegexError/ResourceExhausted on a bad seed set and
+  /// std::system_error on socket failures. The server is not yet serving —
+  /// call run() (typically from a dedicated thread).
+  Server(std::vector<std::string> seed_regexes, ServerConfig config = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound TCP port (the ephemeral one when config.port was 0).
+  std::uint16_t port() const { return port_; }
+
+  /// The event loop. Blocks until stop(); reentering after stop is invalid.
+  void run();
+
+  /// Thread-safe shutdown request; run() returns after in-flight feeds
+  /// complete. Idempotent.
+  void stop();
+
+  /// Thread-safe observability snapshot (tests, the STATS frame).
+  ServerCounters counters() const;
+  PoolStats pool_stats() const { return pool_->stats(); }
+  std::uint64_t generation() const;
+
+  /// The live catalog as a weak handle — tests observe retired-generation
+  /// destruction through it without pinning anything themselves.
+  std::weak_ptr<const PatternCatalog> catalog_handle() const;
+
+ private:
+  struct Session;
+  struct Connection;
+
+  /// One governed feed handed to the crew. The shared_ptr keeps the session
+  /// (and, through its catalog pin, the Engines its StreamSession points
+  /// into) alive even if the connection dies while the feed runs.
+  struct FeedJob {
+    std::uint64_t connection_uid = 0;
+    std::shared_ptr<Session> session;
+    std::string bytes;
+  };
+
+  /// What a finished feed posts back to the event loop.
+  struct FeedDone {
+    std::uint64_t connection_uid = 0;
+    std::shared_ptr<Session> session;
+    std::string frames;           ///< MATCHES* + FED, or one ERROR frame
+    std::uint64_t new_matches = 0;
+    std::uint64_t fed_bytes = 0;
+    bool rejected = false;        ///< ResourceExhausted (the overload counter)
+    bool errored = false;
+  };
+
+  // Event-loop internals (all run on the run() thread unless noted).
+  void event_loop_iteration();
+  void accept_ready();
+  void handle_readable(Connection& conn);
+  void handle_writable(Connection& conn);
+  void process_frame(Connection& conn, const Frame& frame);
+  void handle_open_session(Connection& conn, const Frame& frame);
+  void handle_feed(Connection& conn, const Frame& frame);
+  void handle_close(Connection& conn, const Frame& frame);
+  void handle_stats(Connection& conn);
+  void handle_reload(Connection& conn, const Frame& frame);
+  void handle_completions();
+  void dispatch_next_feed(Connection& conn, const std::shared_ptr<Session>& session);
+  void finish_close(Connection& conn, std::uint32_t session_id);
+  void send_error(Connection& conn, std::uint32_t session_id, ErrorCode code,
+                  std::string_view message);
+  void enqueue_output(Connection& conn, std::string_view frames);
+  void flush_output(Connection& conn);
+  void update_read_interest(Connection& conn);
+  void close_connection(int fd);
+  void apply_reload(Connection* conn, std::string_view manifest_text);
+  std::string stats_json() const;
+
+  /// Crew side: governed feeds, response-frame assembly (not event loop).
+  void feed_worker_loop();
+  static FeedDone execute_feed(FeedJob job);
+
+  void epoll_update(Connection& conn);
+
+  ServerConfig config_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int event_fd_ = -1;   ///< completion + stop wakeups
+  int signal_fd_ = -1;  ///< SIGHUP, when config_.handle_sighup
+
+  std::shared_ptr<ThreadPool> pool_;
+  std::atomic<std::shared_ptr<const PatternCatalog>> catalog_;
+  std::atomic<std::uint64_t> generation_{0};
+
+  std::unordered_map<int, std::unique_ptr<Connection>> connections_;     // by fd
+  std::unordered_map<std::uint64_t, Connection*> connections_by_uid_;
+  std::uint64_t next_connection_uid_ = 1;
+
+  // Feed crew handoff.
+  std::mutex feed_mutex_;
+  std::condition_variable feed_cv_;
+  std::deque<FeedJob> feed_queue_;
+  bool crew_stop_ = false;
+  std::vector<std::thread> crew_;
+
+  // Completion queue (crew -> event loop), drained on eventfd wakeups.
+  std::mutex done_mutex_;
+  std::vector<FeedDone> done_;
+
+  std::atomic<bool> stop_requested_{false};
+
+  // Counters: atomics because counters()/STATS may race the crew's bumps.
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_open_{0};
+  std::atomic<std::uint64_t> sessions_opened_{0};
+  std::atomic<std::uint64_t> sessions_open_{0};
+  std::atomic<std::uint64_t> feeds_{0};
+  std::atomic<std::uint64_t> bytes_fed_{0};
+  std::atomic<std::uint64_t> matches_emitted_{0};
+  std::atomic<std::uint64_t> error_frames_{0};
+  std::atomic<std::uint64_t> feed_rejects_{0};
+  std::atomic<std::uint64_t> reloads_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+};
+
+}  // namespace rispar::rispard

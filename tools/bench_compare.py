@@ -9,7 +9,10 @@ The guarded series are the production kernels (benchmark labels containing
 only, so a slow oracle never blocks a PR. Benchmarks are matched by
 name+label; entries present on only one side are reported and skipped (new
 benchmarks have no baseline yet, retired ones no longer matter). The metric
-is bytes_per_second when both sides report it, else 1/real_time.
+is bytes_per_second when both sides report it, else 1/real_time. Entries
+that carry a "p99_ms" tail-latency figure (the rispard serving sweep) are
+additionally gated on it, lower-is-better, at the same threshold — a serving
+path can lose a PR on p99 growth even when aggregate throughput held.
 
 A missing or unreadable baseline file exits 0 with a note: the very first CI
 run (and any run after artifact expiry) has nothing to compare against —
@@ -99,6 +102,17 @@ def main():
         print(f"  {marker:>10}: {key[0]} [{key[1]}] {change:+.1%} ({how})")
         if change < -args.threshold:
             regressions.append((key, change))
+
+        # Tail latency, where reported: p99 is lower-is-better, so the
+        # regression direction flips relative to throughput.
+        old_p99 = float(old[key].get("p99_ms", 0.0))
+        new_p99 = float(entry.get("p99_ms", 0.0))
+        if old_p99 > 0 and new_p99 > 0:
+            latency_change = new_p99 / old_p99 - 1.0
+            marker = "REGRESSION" if latency_change > args.threshold else "ok"
+            print(f"  {marker:>10}: {key[0]} [{key[1]}] {latency_change:+.1%} (p99_ms)")
+            if latency_change > args.threshold:
+                regressions.append((key, latency_change))
 
     for key in sorted(set(old) - set(new)):
         if guarded(old[key], tags):

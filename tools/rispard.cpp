@@ -1,0 +1,163 @@
+// rispard — the streaming query server binary (src/server/).
+//
+// Serves a manifest of patterns over the length-prefixed TCP protocol of
+// server/protocol.hpp: thousands of connections, each multiplexing
+// streaming-find sessions with per-feed deadlines, typed error frames,
+// admission-controlled overload and hot pattern reload (RELOAD frames or
+// SIGHUP re-reading the manifest). docs/rispard.md documents the protocol
+// and deployment notes; tools/rispard_loadgen drives it under load.
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "server/catalog.hpp"
+#include "server/server.hpp"
+
+using namespace rispar;
+using namespace rispar::rispard;
+
+namespace {
+
+int usage(const char* argv0, int exit_code) {
+  std::FILE* out = exit_code == 0 ? stdout : stderr;
+  std::fprintf(out,
+               "usage: %s [--manifest FILE | --pattern RE ...] [options]\n"
+               "\n"
+               "Serves streaming-find sessions over TCP (docs/rispard.md).\n"
+               "\n"
+               "  --manifest FILE      pattern manifest (one regex per line, #\n"
+               "                       comments); SIGHUP and empty RELOAD frames\n"
+               "                       re-read it\n"
+               "  --pattern RE         add one pattern (repeatable; ids in order;\n"
+               "                       combined after the manifest's patterns)\n"
+               "  --bind ADDR          bind address (default 127.0.0.1)\n"
+               "  --port N             TCP port; 0 = ephemeral, printed on stdout\n"
+               "                       (default 7542)\n"
+               "  --threads N          query-pool workers (default: hardware)\n"
+               "  --feed-workers N     concurrent governed feeds (default 2)\n"
+               "  --max-injected N     pool admission bound (default unbounded)\n"
+               "  --admission POLICY   reject|block when the bound trips\n"
+               "                       (default reject)\n"
+               "  --max-deadline-ms N  cap on client-requested per-feed deadlines\n"
+               "  --help               this text\n",
+               argv0);
+  return exit_code;
+}
+
+bool parse_size(const char* text, std::size_t& out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerConfig config;
+  config.port = 7542;
+  config.handle_sighup = true;
+  std::vector<std::string> patterns;
+  std::string manifest_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "rispard: %s needs a value\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") return usage(argv[0], 0);
+    if (arg == "--manifest") {
+      manifest_path = value();
+    } else if (arg == "--pattern") {
+      patterns.emplace_back(value());
+    } else if (arg == "--bind") {
+      config.bind_address = value();
+    } else if (arg == "--port") {
+      std::size_t port = 0;
+      if (!parse_size(value(), port) || port > 65535) return usage(argv[0], 2);
+      config.port = static_cast<std::uint16_t>(port);
+    } else if (arg == "--threads") {
+      std::size_t threads = 0;
+      if (!parse_size(value(), threads)) return usage(argv[0], 2);
+      config.pool_threads = static_cast<unsigned>(threads);
+    } else if (arg == "--feed-workers") {
+      std::size_t workers = 0;
+      if (!parse_size(value(), workers)) return usage(argv[0], 2);
+      config.feed_workers = static_cast<unsigned>(workers);
+    } else if (arg == "--max-injected") {
+      if (!parse_size(value(), config.admission.max_injected))
+        return usage(argv[0], 2);
+    } else if (arg == "--admission") {
+      const std::string_view policy = value();
+      if (policy == "reject") {
+        config.admission.policy = OverloadPolicy::kReject;
+      } else if (policy == "block") {
+        config.admission.policy = OverloadPolicy::kBlock;
+      } else {
+        std::fprintf(stderr, "rispard: unknown --admission %s\n",
+                     std::string(policy).c_str());
+        return 2;
+      }
+    } else if (arg == "--max-deadline-ms") {
+      std::size_t ms = 0;
+      if (!parse_size(value(), ms)) return usage(argv[0], 2);
+      config.max_feed_deadline_ns = static_cast<std::uint64_t>(ms) * 1000000ull;
+    } else {
+      std::fprintf(stderr, "rispard: unknown argument %s\n",
+                   std::string(arg).c_str());
+      return usage(argv[0], 2);
+    }
+  }
+
+  if (!manifest_path.empty()) {
+    std::ifstream file(manifest_path, std::ios::binary);
+    if (!file) {
+      std::fprintf(stderr, "rispard: cannot read manifest %s\n",
+                   manifest_path.c_str());
+      return 2;
+    }
+    std::ostringstream content;
+    content << file.rdbuf();
+    std::vector<std::string> from_manifest = parse_manifest(content.str());
+    patterns.insert(patterns.begin(), from_manifest.begin(), from_manifest.end());
+    config.manifest_path = manifest_path;
+  }
+  if (patterns.empty()) {
+    std::fprintf(stderr, "rispard: no patterns (--manifest or --pattern)\n");
+    return 2;
+  }
+
+  // Thousands of connections need thousands of descriptors; lift the soft
+  // cap to the hard cap so the default 1024 does not masquerade as a
+  // protocol bug under load.
+  rlimit nofile{};
+  if (getrlimit(RLIMIT_NOFILE, &nofile) == 0 && nofile.rlim_cur < nofile.rlim_max) {
+    nofile.rlim_cur = nofile.rlim_max;
+    setrlimit(RLIMIT_NOFILE, &nofile);
+  }
+
+  try {
+    Server server(patterns, config);
+    std::printf("rispard: serving %zu patterns on %s:%u (SIGHUP reloads%s)\n",
+                patterns.size(), config.bind_address.c_str(),
+                static_cast<unsigned>(server.port()),
+                config.manifest_path.empty() ? " inline manifests only" : "");
+    std::fflush(stdout);
+    server.run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rispard: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,459 @@
+// rispard_loadgen — the serving-path load generator and fourth gated bench.
+//
+// Sweeps connections × patterns × feed sizes against a rispard server (an
+// in-process one on an ephemeral port by default, or --connect HOST:PORT),
+// with every connection running one streaming-find session at pipeline
+// depth 1: send FEED, await the FED ack, repeat. Reported per sweep point:
+//
+//   * p50 / p99 feed latency (send -> ack, measured per feed),
+//   * aggregate feed throughput (bytes acked / wall time, all connections),
+//   * dropped connections and error frames — both must be ZERO; any drop
+//     fails the run (exit 1), which is the CI acceptance bar for "overload
+//     surfaces as typed frames, never as resets".
+//
+// Results land in BENCH_rispard.json in google-benchmark JSON shape, so
+// tools/bench_compare.py gates the trajectory exactly like the other three
+// artifacts (>15% throughput loss or p99 growth in the "rispard" series
+// fails CI; docs/perf.md, "The serving path").
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+#include "util/prng.hpp"
+
+using namespace rispar;
+using namespace rispar::rispard;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct SweepPoint {
+  std::size_t connections;
+  std::size_t feed_bytes;
+  std::size_t feeds_per_connection;
+  std::size_t chunks;
+};
+
+// The multi-tenant serving set; sessions round-robin over it.
+const std::vector<std::string> kPatterns = {
+    "level=(ERROR|FATAL) code=",
+    "timeout=[0-9]+ms",
+    "(GET|POST) /api/",
+};
+
+std::string synthetic_window(std::size_t bytes) {
+  static const char* kUnits[] = {"disk", "net", "auth", "sched"};
+  Prng prng(11);
+  std::string text;
+  std::size_t line = 0;
+  while (text.size() < bytes) {
+    text += "t=" + std::to_string(1000000 + line++) + " unit=";
+    text += kUnits[prng.next_below(4)];
+    switch (prng.next_below(24)) {
+      case 0: text += " level=ERROR code=7"; break;
+      case 1: text += " GET /api/users 200"; break;
+      case 2: text += " timeout=250ms retrying"; break;
+      default: text += " level=info ok"; break;
+    }
+    text += '\n';
+  }
+  text.resize(bytes);
+  return text;
+}
+
+struct ClientConn {
+  int fd = -1;
+  FrameReader reader;
+  std::string out;            // unsent request bytes
+  std::size_t out_pos = 0;
+  bool awaiting_ack = false;
+  Clock::time_point sent_at{};
+  std::size_t acks = 0;
+  std::uint64_t matches = 0;
+};
+
+struct ThreadResult {
+  std::vector<double> latencies_ms;
+  std::uint64_t matches = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t drops = 0;
+};
+
+int connect_blocking(std::uint16_t port) {
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return fd;
+    }
+    ::close(fd);
+    // Transient refusals under a full accept backlog: back off and retry.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2 * (attempt + 1)));
+  }
+  return -1;
+}
+
+void queue_feed(ClientConn& conn, const std::string& window) {
+  conn.out = make_feed(/*session_id=*/1, window);
+  conn.out_pos = 0;
+  conn.awaiting_ack = true;
+  conn.sent_at = Clock::now();
+}
+
+/// Drives one thread's share of connections through the feed rounds:
+/// depth-1 pipelining per connection, poll()-multiplexed, latency sampled
+/// per FED ack.
+void feed_phase(std::vector<ClientConn>& conns, const std::string& window,
+                std::size_t rounds, ThreadResult& result) {
+  std::size_t outstanding = 0;
+  for (ClientConn& conn : conns) {
+    queue_feed(conn, window);
+    ++outstanding;
+  }
+  std::vector<pollfd> fds(conns.size());
+  while (outstanding > 0) {
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      fds[i].fd = conns[i].fd;
+      fds[i].events = static_cast<short>(
+          (conns[i].fd >= 0 && conns[i].awaiting_ack ? POLLIN : 0) |
+          (conns[i].fd >= 0 && conns[i].out_pos < conns[i].out.size() ? POLLOUT
+                                                                      : 0));
+      fds[i].revents = 0;
+    }
+    if (::poll(fds.data(), fds.size(), 10000) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      ClientConn& conn = conns[i];
+      if (conn.fd < 0) continue;
+      const auto drop = [&] {
+        ::close(conn.fd);
+        conn.fd = -1;
+        ++result.drops;
+        if (conn.awaiting_ack) --outstanding;
+      };
+      if ((fds[i].revents & (POLLERR | POLLHUP)) != 0) {
+        drop();
+        continue;
+      }
+      if ((fds[i].revents & POLLOUT) != 0) {
+        while (conn.out_pos < conn.out.size()) {
+          const ssize_t n = ::send(conn.fd, conn.out.data() + conn.out_pos,
+                                   conn.out.size() - conn.out_pos, MSG_NOSIGNAL);
+          if (n < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+            if (errno == EINTR) continue;
+            break;
+          }
+          conn.out_pos += static_cast<std::size_t>(n);
+        }
+      }
+      if ((fds[i].revents & POLLIN) != 0) {
+        char chunk[65536];
+        const ssize_t n = ::recv(conn.fd, chunk, sizeof chunk, 0);
+        if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                       errno != EINTR)) {
+          drop();
+          continue;
+        }
+        if (n > 0) conn.reader.append(chunk, static_cast<std::size_t>(n));
+        Frame frame;
+        while (conn.fd >= 0 && conn.reader.next(frame)) {
+          if (frame.type == FrameType::kMatches) {
+            PayloadReader payload(frame.payload);
+            payload.get_u32();
+            result.matches += payload.get_u32();
+          } else if (frame.type == FrameType::kFed) {
+            const double ms =
+                std::chrono::duration<double, std::milli>(Clock::now() -
+                                                          conn.sent_at)
+                    .count();
+            result.latencies_ms.push_back(ms);
+            conn.awaiting_ack = false;
+            --outstanding;
+            if (++conn.acks < rounds) {
+              queue_feed(conn, window);
+              ++outstanding;
+            }
+          } else if (frame.type == FrameType::kError) {
+            ++result.errors;
+            conn.awaiting_ack = false;
+            --outstanding;
+          }
+        }
+      }
+    }
+  }
+}
+
+double percentile(std::vector<double>& values, double fraction) {
+  if (values.empty()) return 0.0;
+  const std::size_t index = static_cast<std::size_t>(
+      fraction * static_cast<double>(values.size() - 1));
+  std::nth_element(values.begin(), values.begin() + index, values.end());
+  return values[index];
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_blocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_rispard.json";
+  std::string connect_spec;
+  unsigned client_threads = std::min(8u, std::thread::hardware_concurrency());
+  if (client_threads == 0) client_threads = 4;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--connect" && i + 1 < argc) {
+      connect_spec = argv[++i];
+    } else if (arg == "--client-threads" && i + 1 < argc) {
+      client_threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--out FILE] [--connect HOST:PORT] "
+                   "[--client-threads N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  // 1000 connections client-side + 1000 server-side in one process: lift
+  // the descriptor soft cap before it masquerades as dropped connections.
+  rlimit nofile{};
+  if (getrlimit(RLIMIT_NOFILE, &nofile) == 0 && nofile.rlim_cur < nofile.rlim_max) {
+    nofile.rlim_cur = nofile.rlim_max;
+    setrlimit(RLIMIT_NOFILE, &nofile);
+  }
+
+  const std::vector<SweepPoint> sweep =
+      quick ? std::vector<SweepPoint>{{64, 4096, 16, 1}, {1000, 4096, 6, 1}}
+            : std::vector<SweepPoint>{{64, 4096, 64, 1},
+                                      {256, 16384, 24, 4},
+                                      {1000, 8192, 12, 2}};
+
+  std::unique_ptr<Server> server;
+  std::thread server_thread;
+  std::uint16_t port = 0;
+  if (connect_spec.empty()) {
+    ServerConfig config;
+    config.feed_workers = 3;
+    server = std::make_unique<Server>(kPatterns, config);
+    port = server->port();
+    server_thread = std::thread([&] { server->run(); });
+  } else {
+    const std::size_t colon = connect_spec.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "--connect needs HOST:PORT\n");
+      return 2;
+    }
+    port = static_cast<std::uint16_t>(
+        std::strtoul(connect_spec.c_str() + colon + 1, nullptr, 10));
+  }
+
+  struct PointResult {
+    SweepPoint point;
+    double wall_seconds = 0;
+    double p50_ms = 0, p99_ms = 0, mean_ms = 0;
+    std::uint64_t feeds = 0, matches = 0, errors = 0, drops = 0;
+    std::size_t opened = 0;
+  };
+  std::vector<PointResult> results;
+  bool failed = false;
+
+  for (const SweepPoint& point : sweep) {
+    PointResult pr;
+    pr.point = point;
+    const std::string window = synthetic_window(point.feed_bytes);
+
+    // Connect + open (blocking): one session per connection, patterns
+    // round-robin over the multi-tenant set.
+    std::vector<ClientConn> conns(point.connections);
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      conns[i].fd = connect_blocking(port);
+      if (conns[i].fd < 0) {
+        ++pr.drops;
+        continue;
+      }
+      const std::uint32_t pattern_id =
+          static_cast<std::uint32_t>(i % kPatterns.size());
+      send_all(conns[i].fd,
+               make_open_session(1, pattern_id, /*feed_deadline_ns=*/0,
+                                 static_cast<std::uint32_t>(point.chunks)));
+    }
+    for (ClientConn& conn : conns) {
+      if (conn.fd < 0) continue;
+      Frame frame;
+      if (!recv_frame(conn.fd, conn.reader, frame) ||
+          frame.type != FrameType::kOpened) {
+        ::close(conn.fd);
+        conn.fd = -1;
+        ++pr.drops;
+        continue;
+      }
+      set_nonblocking(conn.fd);
+      ++pr.opened;
+    }
+
+    // Feed phase, thread-partitioned.
+    const unsigned threads = std::max(1u, std::min<unsigned>(
+        client_threads, static_cast<unsigned>(conns.size())));
+    std::vector<ThreadResult> shares(threads);
+    std::vector<std::thread> crew;
+    const auto t0 = Clock::now();
+    for (unsigned t = 0; t < threads; ++t) {
+      crew.emplace_back([&, t] {
+        const std::size_t lo = conns.size() * t / threads;
+        const std::size_t hi = conns.size() * (t + 1) / threads;
+        std::vector<ClientConn> share(std::make_move_iterator(conns.begin() + lo),
+                                      std::make_move_iterator(conns.begin() + hi));
+        feed_phase(share, window, point.feeds_per_connection, shares[t]);
+        std::move(share.begin(), share.end(), conns.begin() + lo);
+      });
+    }
+    for (std::thread& t : crew) t.join();
+    pr.wall_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+
+    // Close phase (blocking) — drops here count too.
+    for (ClientConn& conn : conns) {
+      if (conn.fd < 0) continue;
+      set_blocking(conn.fd);
+      send_all(conn.fd, make_close(1));
+      Frame frame;
+      bool closed = false;
+      while (recv_frame(conn.fd, conn.reader, frame)) {
+        if (frame.type == FrameType::kClosed) {
+          closed = true;
+          break;
+        }
+      }
+      if (!closed) ++pr.drops;
+      ::close(conn.fd);
+      conn.fd = -1;
+    }
+
+    std::vector<double> latencies;
+    for (ThreadResult& share : shares) {
+      latencies.insert(latencies.end(), share.latencies_ms.begin(),
+                       share.latencies_ms.end());
+      pr.matches += share.matches;
+      pr.errors += share.errors;
+      pr.drops += share.drops;
+    }
+    pr.feeds = latencies.size();
+    pr.p50_ms = percentile(latencies, 0.50);
+    pr.p99_ms = percentile(latencies, 0.99);
+    if (!latencies.empty()) {
+      double sum = 0;
+      for (double ms : latencies) sum += ms;
+      pr.mean_ms = sum / static_cast<double>(latencies.size());
+    }
+
+    const double throughput =
+        pr.wall_seconds > 0
+            ? static_cast<double>(pr.feeds) *
+                  static_cast<double>(point.feed_bytes) / pr.wall_seconds
+            : 0;
+    std::printf(
+        "conns=%4zu feed=%6zuB x%-3zu  opened=%4zu feeds=%6llu  "
+        "p50=%7.3fms p99=%7.3fms  %8.1f MB/s  matches=%llu errors=%llu "
+        "drops=%llu\n",
+        point.connections, point.feed_bytes, point.feeds_per_connection,
+        pr.opened, static_cast<unsigned long long>(pr.feeds), pr.p50_ms,
+        pr.p99_ms, throughput / 1e6, static_cast<unsigned long long>(pr.matches),
+        static_cast<unsigned long long>(pr.errors),
+        static_cast<unsigned long long>(pr.drops));
+    if (pr.drops > 0 || pr.errors > 0 || pr.opened != point.connections ||
+        pr.feeds != pr.opened * point.feeds_per_connection)
+      failed = true;
+    results.push_back(std::move(pr));
+  }
+
+  if (server != nullptr) {
+    server->stop();
+    server_thread.join();
+  }
+
+  // google-benchmark JSON shape: bench_compare.py gates bytes_per_second
+  // (higher is better) and p99_ms (lower is better) of the rispard series.
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"context\": {\"executable\": \"rispard_loadgen\", "
+                    "\"quick\": %s},\n  \"benchmarks\": [\n",
+               quick ? "true" : "false");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const PointResult& pr = results[i];
+    const double throughput =
+        pr.wall_seconds > 0
+            ? static_cast<double>(pr.feeds) *
+                  static_cast<double>(pr.point.feed_bytes) / pr.wall_seconds
+            : 0;
+    std::fprintf(
+        out,
+        "    {\"name\": \"rispard_feed/conns:%zu/bytes:%zu\", "
+        "\"label\": \"rispard/serving\", \"iterations\": %llu, "
+        "\"real_time\": %.6f, \"time_unit\": \"ms\", "
+        "\"bytes_per_second\": %.1f, \"p50_ms\": %.6f, \"p99_ms\": %.6f, "
+        "\"connections\": %zu, \"dropped_connections\": %llu, "
+        "\"error_frames\": %llu}%s\n",
+        pr.point.connections, pr.point.feed_bytes,
+        static_cast<unsigned long long>(pr.feeds), pr.mean_ms, throughput,
+        pr.p50_ms, pr.p99_ms, pr.point.connections,
+        static_cast<unsigned long long>(pr.drops),
+        static_cast<unsigned long long>(pr.errors),
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+
+  if (failed) {
+    std::fprintf(stderr,
+                 "rispard_loadgen: FAILED — dropped connections, error frames "
+                 "or missing acks (see above); the serving acceptance bar is "
+                 "zero of each\n");
+    return 1;
+  }
+  std::printf("rispard_loadgen: all connections served, zero drops — wrote %s\n",
+              out_path.c_str());
+  return 0;
+}
