@@ -80,7 +80,17 @@ class Dfa {
   /// the build.
   const PackedTable& packed() const;
 
+  /// Pre-installs the packed cache with an externally built table — the
+  /// mmap'd bundle loader adopts the file's entries so packed() never packs
+  /// (src/bundle/). The table must describe exactly this DFA; mutations
+  /// still invalidate it like any cached pack.
+  void adopt_packed(std::shared_ptr<const PackedTable> packed) {
+    std::atomic_store_explicit(&packed_, std::move(packed),
+                               std::memory_order_release);
+  }
+
  private:
+  friend struct BundleRestoreAccess;  ///< src/bundle/restore.hpp
   std::int32_t num_symbols_ = 0;
   State initial_ = 0;
   Bitset finals_{0};

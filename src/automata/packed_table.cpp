@@ -1,8 +1,17 @@
 #include "automata/packed_table.hpp"
 
+#include <atomic>
+#include <utility>
+
 #include "util/fault_inject.hpp"
 
 namespace rispar {
+
+namespace {
+/// See PackedTable::build_count(). Relaxed: the assertion tests snapshot and
+/// compare on one thread; cross-thread precision is not required.
+std::atomic<std::uint64_t> g_build_count{0};
+}  // namespace
 
 namespace {
 
@@ -30,6 +39,7 @@ PackedTable PackedTable::build(const std::vector<State>& table, std::int32_t num
                                std::int32_t num_symbols) {
   // Fault site: the packed copy is the big allocation of a table build.
   if (fault::should_fail("packed.alloc")) throw std::bad_alloc();
+  g_build_count.fetch_add(1, std::memory_order_relaxed);
   PackedTable result;
   result.num_states_ = num_states;
   result.num_symbols_ = num_symbols;
@@ -44,6 +54,22 @@ PackedTable PackedTable::build(const std::vector<State>& table, std::int32_t num
     result.i32_ = pack_transposed<std::int32_t>(table, num_states, num_symbols);
   }
   return result;
+}
+
+PackedTable PackedTable::adopt(TableWidth width, std::int32_t num_states,
+                               std::int32_t num_symbols, const void* entries,
+                               std::shared_ptr<const void> owner) {
+  PackedTable result;
+  result.width_ = width;
+  result.num_states_ = num_states;
+  result.num_symbols_ = num_symbols;
+  result.borrowed_ = entries;
+  result.owner_ = std::move(owner);
+  return result;
+}
+
+std::uint64_t PackedTable::build_count() {
+  return g_build_count.load(std::memory_order_relaxed);
 }
 
 }  // namespace rispar

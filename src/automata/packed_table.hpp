@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "automata/nfa.hpp"
@@ -69,9 +70,37 @@ class PackedTable {
   static PackedTable build(const std::vector<State>& table, std::int32_t num_states,
                            std::int32_t num_symbols);
 
+  /// Adopts an already-packed entry array IN PLACE — the zero-copy path of
+  /// the mmap'd bundle loader (src/bundle/). `entries` must point at
+  /// `num_states × num_symbols + kGatherSlackEntries` entries of the given
+  /// width, laid out exactly as build() produces them (symbol-major,
+  /// sentinel-filled slack tail), aligned to the entry size; `owner` keeps
+  /// the backing storage (the file mapping) alive for as long as this table
+  /// or ANY copy of it exists, so a Dfa copied out of a mapped Pattern stays
+  /// valid on its own.
+  static PackedTable adopt(TableWidth width, std::int32_t num_states,
+                           std::int32_t num_symbols, const void* entries,
+                           std::shared_ptr<const void> owner);
+
+  /// True when the entries are a borrowed view (adopt()) rather than owned
+  /// storage (build()).
+  bool adopted() const { return borrowed_ != nullptr; }
+
+  /// Monotone count of build() calls across the process — the observability
+  /// hook behind the "a mapped load never re-packs" assertion
+  /// (tests/test_bundle.cpp). Snapshot before, compare after.
+  static std::uint64_t build_count();
+
   TableWidth width() const { return width_; }
   std::int32_t num_states() const { return num_states_; }
   std::int32_t num_symbols() const { return num_symbols_; }
+
+  /// Total entries including the gather slack tail — the byte size of the
+  /// entry array is total_entries() × entry size (bundle section writer).
+  std::size_t total_entries() const {
+    return static_cast<std::size_t>(num_states_) * static_cast<std::size_t>(num_symbols_) +
+           kGatherSlackEntries;
+  }
 
   /// Symbol-major entry array; T must match width(). Column `a` starts at
   /// data<T>() + a * num_states() and is indexed by state.
@@ -90,6 +119,9 @@ class PackedTable {
   std::vector<std::uint8_t> u8_;
   std::vector<std::uint16_t> u16_;
   std::vector<std::int32_t> i32_;
+  /// adopt() view: entries live in external storage kept alive by owner_.
+  const void* borrowed_ = nullptr;
+  std::shared_ptr<const void> owner_;
 };
 
 /// Result of a single run over a packed table: `end` is kDeadState when the
@@ -123,17 +155,23 @@ PackedRun run_packed_single(const PackedTable& table, State start, const Symbol*
   return {static_cast<State>(state), length};
 }
 
+// The borrowed-view branch costs one predictable compare per data<T>() call;
+// kernels hoist the column base out of their inner loops, so this is once
+// per chunk run, not per symbol.
 template <>
 inline const std::uint8_t* PackedTable::data<std::uint8_t>() const {
-  return u8_.data();
+  return borrowed_ != nullptr ? static_cast<const std::uint8_t*>(borrowed_)
+                              : u8_.data();
 }
 template <>
 inline const std::uint16_t* PackedTable::data<std::uint16_t>() const {
-  return u16_.data();
+  return borrowed_ != nullptr ? static_cast<const std::uint16_t*>(borrowed_)
+                              : u16_.data();
 }
 template <>
 inline const std::int32_t* PackedTable::data<std::int32_t>() const {
-  return i32_.data();
+  return borrowed_ != nullptr ? static_cast<const std::int32_t*>(borrowed_)
+                              : i32_.data();
 }
 
 }  // namespace rispar

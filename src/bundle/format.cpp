@@ -1,0 +1,73 @@
+#include "bundle/format.hpp"
+
+#include <cstring>
+
+namespace rispar::bundle {
+
+const char* section_type_name(SectionType type) {
+  switch (type) {
+    case SectionType::kSource:
+      return "source";
+    case SectionType::kSymbolMap:
+      return "symbol_map";
+    case SectionType::kNfa:
+      return "nfa";
+    case SectionType::kMinDfa:
+      return "min_dfa";
+    case SectionType::kMinDfaPacked:
+      return "min_dfa_packed";
+    case SectionType::kRidfaDfa:
+      return "ridfa_dfa";
+    case SectionType::kRidfaPacked:
+      return "ridfa_packed";
+    case SectionType::kRidfaAux:
+      return "ridfa_aux";
+    case SectionType::kSearcherMap:
+      return "searcher_map";
+    case SectionType::kSearcherDfa:
+      return "searcher_dfa";
+    case SectionType::kSearcherPacked:
+      return "searcher_packed";
+    case SectionType::kSfa:
+      return "sfa";
+    case SectionType::kSfaPacked:
+      return "sfa_packed";
+    case SectionType::kSfaMappings:
+      return "sfa_mappings";
+  }
+  return "unknown";
+}
+
+std::uint64_t checksum64(const void* data, std::size_t bytes) {
+  constexpr std::uint64_t kBasis = 0xcbf29ce484222325ull;
+  constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  const auto* p = static_cast<const unsigned char*>(data);
+
+  // Four independent FNV-1a lanes over 8-byte words: each lane is a serial
+  // xor-multiply chain, but four chains in flight hide the multiply latency
+  // and keep validation at memory speed on multi-megabyte sections.
+  std::uint64_t lane0 = kBasis + 1, lane1 = kBasis + 2;
+  std::uint64_t lane2 = kBasis + 3, lane3 = kBasis + 4;
+  std::size_t i = 0;
+  for (; i + 32 <= bytes; i += 32) {
+    std::uint64_t words[4];
+    std::memcpy(words, p + i, sizeof words);
+    lane0 = (lane0 ^ words[0]) * kPrime;
+    lane1 = (lane1 ^ words[1]) * kPrime;
+    lane2 = (lane2 ^ words[2]) * kPrime;
+    lane3 = (lane3 ^ words[3]) * kPrime;
+  }
+
+  // Fold the lanes and the length, then absorb the sub-32-byte tail one
+  // byte at a time (plain FNV-1a), so every input length hashes uniquely.
+  std::uint64_t hash = (kBasis ^ static_cast<std::uint64_t>(bytes)) * kPrime;
+  for (const std::uint64_t lane : {lane0, lane1, lane2, lane3})
+    hash = (hash ^ lane) * kPrime;
+  for (; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= kPrime;
+  }
+  return hash;
+}
+
+}  // namespace rispar::bundle

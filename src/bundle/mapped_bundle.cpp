@@ -1,0 +1,173 @@
+#include "bundle/mapped_bundle.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <system_error>
+
+#include "util/governance.hpp"
+
+namespace rispar::bundle {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw ValidationError("bundle: " + what);
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::system_error(errno, std::generic_category(), "bundle: " + what);
+}
+
+}  // namespace
+
+MappedBundle::~MappedBundle() {
+  if (map_ != nullptr) ::munmap(map_, map_bytes_);
+}
+
+std::shared_ptr<const MappedBundle> MappedBundle::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) throw_errno("open " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("fstat " + path);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size < sizeof(FileHeader)) {
+    ::close(fd);
+    fail(path + ": " + std::to_string(size) + " bytes is smaller than the " +
+         std::to_string(sizeof(FileHeader)) + "-byte header");
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  const int saved = errno;
+  ::close(fd);  // the mapping holds its own reference to the file
+  if (map == MAP_FAILED) {
+    errno = saved;
+    throw_errno("mmap " + path);
+  }
+
+  // shared_ptr<MappedBundle> so a validation throw unmaps via the dtor.
+  std::shared_ptr<MappedBundle> bundle(new MappedBundle());
+  bundle->path_ = path;
+  bundle->map_ = map;
+  bundle->map_bytes_ = size;
+  bundle->data_ = static_cast<const unsigned char*>(map);
+  bundle->size_ = size;
+  bundle->validate();
+  return bundle;
+}
+
+std::shared_ptr<const MappedBundle> MappedBundle::from_memory(std::string_view bytes) {
+  std::shared_ptr<MappedBundle> bundle(new MappedBundle());
+  bundle->owned_.resize((bytes.size() + sizeof(std::uint64_t) - 1) /
+                        sizeof(std::uint64_t));
+  if (!bytes.empty())
+    std::memcpy(bundle->owned_.data(), bytes.data(), bytes.size());
+  bundle->data_ = reinterpret_cast<const unsigned char*>(bundle->owned_.data());
+  bundle->size_ = bytes.size();
+  bundle->validate();
+  return bundle;
+}
+
+void MappedBundle::validate() {
+  if (size_ < sizeof(FileHeader))
+    fail(std::to_string(size_) + " bytes is smaller than the " +
+         std::to_string(sizeof(FileHeader)) + "-byte header");
+  std::memcpy(&header_, data_, sizeof(FileHeader));
+
+  if (std::memcmp(header_.magic, kMagic.data(), kMagic.size()) != 0)
+    fail("bad magic (not a .rpb bundle)");
+  if (header_.version != kFormatVersion)
+    fail("format version " + std::to_string(header_.version) +
+         " (this build reads version " + std::to_string(kFormatVersion) + ")");
+  if (header_.header_bytes != sizeof(FileHeader))
+    fail("header claims " + std::to_string(header_.header_bytes) +
+         " header bytes, expected " + std::to_string(sizeof(FileHeader)));
+
+  FileHeader zeroed = header_;
+  zeroed.header_checksum = 0;
+  if (checksum64(&zeroed, sizeof zeroed) != header_.header_checksum)
+    fail("header checksum mismatch");
+  if (header_.file_bytes != size_)
+    fail("header claims " + std::to_string(header_.file_bytes) +
+         " file bytes, mapped " + std::to_string(size_) + " (truncated copy?)");
+
+  // Directory bounds. The count caps keep the size arithmetic far from
+  // overflow; a real bundle is nowhere near either limit.
+  if (header_.pattern_count > (1u << 20) || header_.section_count > (1u << 24))
+    fail("implausible directory counts");
+  const std::uint64_t directory_bytes =
+      std::uint64_t{header_.pattern_count} * sizeof(PatternEntry) +
+      std::uint64_t{header_.section_count} * sizeof(SectionEntry);
+  const std::uint64_t directory_end = sizeof(FileHeader) + directory_bytes;
+  if (directory_end > size_) fail("directory extends past end of file");
+  if (checksum64(data_ + sizeof(FileHeader), directory_bytes) !=
+      header_.directory_checksum)
+    fail("directory checksum mismatch");
+
+  patterns_.resize(header_.pattern_count);
+  sections_.resize(header_.section_count);
+  if (header_.pattern_count != 0)
+    std::memcpy(patterns_.data(), data_ + sizeof(FileHeader),
+                header_.pattern_count * sizeof(PatternEntry));
+  if (header_.section_count != 0)
+    std::memcpy(sections_.data(), data_ + directory_end - header_.section_count *
+                                              sizeof(SectionEntry),
+                header_.section_count * sizeof(SectionEntry));
+
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    const SectionEntry& section = sections_[i];
+    const std::string name = "section " + std::to_string(i) + " (" +
+                             section_type_name(static_cast<SectionType>(section.type)) +
+                             ")";
+    if (section.offset % kSectionAlign != 0) fail(name + ": unaligned offset");
+    if (section.offset < directory_end || section.offset > size_ ||
+        section.bytes > size_ - section.offset)
+      fail(name + ": payload out of bounds");
+    if (checksum64(data_ + section.offset, section.bytes) != section.checksum)
+      fail(name + ": payload checksum mismatch");
+  }
+  for (std::size_t i = 0; i < patterns_.size(); ++i) {
+    const PatternEntry& entry = patterns_[i];
+    if (entry.first_section > sections_.size() ||
+        entry.section_count > sections_.size() - entry.first_section)
+      fail("pattern " + std::to_string(i) + ": section range out of bounds");
+  }
+}
+
+const PatternEntry& MappedBundle::pattern(std::uint32_t index) const {
+  if (index >= patterns_.size())
+    fail("pattern index " + std::to_string(index) + " out of range (bundle has " +
+         std::to_string(patterns_.size()) + ")");
+  return patterns_[index];
+}
+
+std::span<const SectionEntry> MappedBundle::sections(std::uint32_t index) const {
+  const PatternEntry& entry = pattern(index);
+  return {sections_.data() + entry.first_section, entry.section_count};
+}
+
+const SectionEntry* MappedBundle::find_section(std::uint32_t index,
+                                               SectionType type) const {
+  for (const SectionEntry& section : sections(index))
+    if (section.type == static_cast<std::uint32_t>(type)) return &section;
+  return nullptr;
+}
+
+std::string_view MappedBundle::source(std::uint32_t index) const {
+  const SectionEntry* section = find_section(index, SectionType::kSource);
+  if (section == nullptr) return {};
+  return {reinterpret_cast<const char*>(payload(*section)), section->bytes};
+}
+
+bool MappedBundle::source_is_regex(std::uint32_t index) const {
+  return (pattern(index).flags & kPatternSourceIsRegex) != 0;
+}
+
+}  // namespace rispar::bundle

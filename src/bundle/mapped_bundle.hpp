@@ -1,0 +1,89 @@
+// MappedBundle — a validated, shared-ownership view of one .rpb file.
+//
+// open() mmaps the file read-only, validates the header, directory and
+// every per-section checksum (throwing ValidationError on any mismatch —
+// see format.hpp for the integrity model), and hands back a
+// shared_ptr<const MappedBundle>. Everything loaded out of the bundle —
+// every Pattern, every adopted PackedTable view — co-owns that pointer, so
+// the mapping outlives the last machine referencing it regardless of
+// destruction order (Pattern outlives Engine, bundle outlives Pattern;
+// property-tested in tests/test_bundle.cpp).
+//
+// from_memory() serves the same validated view over an owned byte buffer:
+// the fuzz harness corrupts bundles in memory without touching the
+// filesystem, and tests round-trip without temp files.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bundle/format.hpp"
+
+namespace rispar::bundle {
+
+class MappedBundle {
+ public:
+  MappedBundle(const MappedBundle&) = delete;
+  MappedBundle& operator=(const MappedBundle&) = delete;
+  ~MappedBundle();
+
+  /// mmaps and validates `path`. Throws ValidationError on any structural
+  /// or checksum failure and std::system_error when the file cannot be
+  /// opened or mapped.
+  static std::shared_ptr<const MappedBundle> open(const std::string& path);
+
+  /// Validates a bundle held in memory (copied into aligned storage).
+  /// Throws ValidationError exactly like open().
+  static std::shared_ptr<const MappedBundle> from_memory(std::string_view bytes);
+
+  const FileHeader& header() const { return header_; }
+  std::uint32_t pattern_count() const { return header_.pattern_count; }
+  /// The file path this bundle was mapped from ("" for from_memory).
+  const std::string& path() const { return path_; }
+
+  const unsigned char* data() const { return data_; }
+  std::size_t size() const { return size_; }
+
+  /// Directory entry of pattern `index`; throws ValidationError out of range.
+  const PatternEntry& pattern(std::uint32_t index) const;
+  /// The section-table slice belonging to pattern `index`.
+  std::span<const SectionEntry> sections(std::uint32_t index) const;
+  /// First section of the given type within pattern `index`, or nullptr.
+  const SectionEntry* find_section(std::uint32_t index, SectionType type) const;
+
+  /// Payload bytes of a directory entry (checksummed at open time).
+  const unsigned char* payload(const SectionEntry& section) const {
+    return data_ + section.offset;
+  }
+
+  /// The kSource string of pattern `index` ("" when the section is absent).
+  std::string_view source(std::uint32_t index) const;
+  /// Whether that source is the compiling regex (kPatternSourceIsRegex).
+  bool source_is_regex(std::uint32_t index) const;
+
+ private:
+  MappedBundle() = default;
+  void validate();  ///< throws ValidationError; fills header_/directory
+
+  std::string path_;
+  /// from_memory storage: u64 words so data_ is 8-byte aligned even for
+  /// buffers too small for the heap (SSO strings give no such guarantee).
+  std::vector<std::uint64_t> owned_;
+  const unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+  void* map_ = nullptr;  ///< munmap target when open()-mapped
+  std::size_t map_bytes_ = 0;
+
+  FileHeader header_{};
+  /// Validated copies of the directory tables (memcpy'd out of the mapping
+  /// — tiny, and dodges every alignment/aliasing question for the part of
+  /// the file we re-walk constantly; payloads stay zero-copy).
+  std::vector<PatternEntry> patterns_;
+  std::vector<SectionEntry> sections_;
+};
+
+}  // namespace rispar::bundle

@@ -1,0 +1,49 @@
+// The consumer side of the .rpb format: materializes one pattern's machine
+// family out of a validated MappedBundle.
+//
+// The contract the acceptance tests assert: NO regex parse, NO subset
+// construction, NO table re-pack happens here. Dense tables, finals sets
+// and subset labels are memcpy-reconstructed; the width-packed tables —
+// the arrays every hot kernel actually reads — are ADOPTED in place as
+// views into the mapping (PackedTable::adopt), each view co-owning the
+// MappedBundle so copies stay valid on their own. Every count, range and
+// cross-section consistency condition is checked before a byte is trusted;
+// violations throw ValidationError (the checksums in MappedBundle::open
+// already rule out accidental corruption — these checks rule out confused
+// or truncated WRITERS, and give the fuzzer a typed failure mode).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "automata/dfa.hpp"
+#include "automata/nfa.hpp"
+#include "bundle/mapped_bundle.hpp"
+#include "core/ridfa.hpp"
+#include "core/sfa.hpp"
+
+namespace rispar::bundle {
+
+/// One pattern's machines, restored. Pattern::from_bundle moves these into
+/// its Compiled block (engine/pattern.cpp) — the searcher/sfa optionals
+/// pre-seed the lazy artifacts when the bundle shipped them.
+struct LoadedPattern {
+  std::string source;
+  bool source_is_regex = false;
+  std::int32_t max_subset_states = 0;
+  Nfa nfa;
+  Dfa min_dfa;
+  Ridfa ridfa;
+  std::optional<Dfa> searcher;
+  std::optional<Sfa> sfa;
+  std::int32_t sfa_probe_budget = 0;
+};
+
+/// Restores pattern `index`. Throws ValidationError on any structural
+/// violation. `bundle` is retained by every adopted packed view.
+LoadedPattern load_pattern(const std::shared_ptr<const MappedBundle>& bundle,
+                           std::uint32_t index);
+
+}  // namespace rispar::bundle

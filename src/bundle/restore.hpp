@@ -1,0 +1,67 @@
+// BundleRestoreAccess — the bundle reader's private door into Dfa, Ridfa
+// and Sfa.
+//
+// Loading a bundle must reconstruct machines FIELD-FOR-FIELD: the public
+// mutation APIs (add_state/set_transition/...) exist for construction
+// algorithms, re-validate per call, and cannot express "install this table
+// verbatim". Each class befriends this one struct (the existing
+// RidfaBuilderAccess is defined inside ridfa.cpp, so it cannot be reused
+// across translation units); the restore functions take fully-formed field
+// values and do nothing but move them into place — every invariant is the
+// reader's responsibility (src/bundle/reader.cpp validates before calling).
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "automata/dfa.hpp"
+#include "core/ridfa.hpp"
+#include "core/sfa.hpp"
+
+namespace rispar {
+
+struct BundleRestoreAccess {
+  static Dfa restore_dfa(std::int32_t num_symbols, SymbolMap symbols, State initial,
+                         Bitset finals, std::vector<State> table) {
+    Dfa dfa;
+    dfa.num_symbols_ = num_symbols;
+    dfa.symbols_ = std::move(symbols);
+    dfa.initial_ = initial;
+    dfa.finals_ = std::move(finals);
+    dfa.table_ = std::move(table);
+    return dfa;
+  }
+
+  /// `interface_fn` goes through the public set_interface(), which also
+  /// re-derives the deduplicated initial-state set.
+  static Ridfa restore_ridfa(Dfa dfa, std::vector<std::vector<State>> contents,
+                             std::vector<State> singleton,
+                             std::vector<State> interface_fn, State start,
+                             std::int32_t num_nfa_states) {
+    Ridfa ridfa;
+    ridfa.dfa_ = std::move(dfa);
+    ridfa.contents_ = std::move(contents);
+    ridfa.singleton_ = std::move(singleton);
+    ridfa.start_ = start;
+    ridfa.num_nfa_states_ = num_nfa_states;
+    ridfa.set_interface(std::move(interface_fn));
+    return ridfa;
+  }
+
+  /// Both arrays arrive as PackedTables (typically adopted views into the
+  /// mapped bundle): `packed` is δ_SFA, `mappings` the transposed packing
+  /// Sfa::mappings() documents — its dimensions also carry the SFA's state
+  /// count and map width.
+  static Sfa restore_sfa(std::int32_t num_symbols, PackedTable packed,
+                         PackedTable mappings, std::optional<State> all_dead) {
+    Sfa sfa;
+    sfa.num_symbols_ = num_symbols;
+    sfa.packed_ = std::move(packed);
+    sfa.mappings_ = std::move(mappings);
+    sfa.all_dead_ = all_dead;
+    return sfa;
+  }
+};
+
+}  // namespace rispar

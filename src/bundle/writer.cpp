@@ -1,0 +1,253 @@
+#include "bundle/writer.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <system_error>
+#include <vector>
+
+#include "bundle/format.hpp"
+#include "bundle/mapped_bundle.hpp"
+
+namespace rispar::bundle {
+
+namespace {
+
+void append_raw(std::string& out, const void* data, std::size_t bytes) {
+  out.append(static_cast<const char*>(data), bytes);
+}
+
+std::string symbol_map_payload(const SymbolMap& map) {
+  std::string payload;
+  append_raw(payload, map.raw_table().data(), map.raw_table().size() * sizeof(std::int32_t));
+  return payload;
+}
+
+void append_finals(std::string& out, const Bitset& finals) {
+  append_raw(out, finals.words().data(), finals.words().size() * sizeof(std::uint64_t));
+}
+
+std::string dfa_payload(const Dfa& dfa) {
+  DfaSectionHeader header{};
+  header.num_states = dfa.num_states();
+  header.num_symbols = dfa.num_symbols();
+  header.initial = dfa.initial();
+  header.finals_words = static_cast<std::uint32_t>(dfa.finals().words().size());
+  header.table_entries = dfa.table().size();
+  std::string payload;
+  append_raw(payload, &header, sizeof header);
+  append_finals(payload, dfa.finals());
+  append_raw(payload, dfa.table().data(), dfa.table().size() * sizeof(State));
+  return payload;
+}
+
+std::string nfa_payload(const Nfa& nfa) {
+  NfaSectionHeader header{};
+  header.num_states = nfa.num_states();
+  header.num_symbols = nfa.num_symbols();
+  header.initial = nfa.initial();
+  header.finals_words = static_cast<std::uint32_t>(nfa.finals().words().size());
+  header.num_edges = nfa.num_edges();
+  std::string payload;
+  append_raw(payload, &header, sizeof header);
+  append_finals(payload, nfa.finals());
+  for (State q = 0; q < nfa.num_states(); ++q)
+    for (const NfaEdge& edge : nfa.edges(q)) {
+      const std::int32_t triple[3] = {q, edge.symbol, edge.target};
+      append_raw(payload, triple, sizeof triple);
+    }
+  return payload;
+}
+
+std::string packed_payload(const PackedTable& packed) {
+  PackedSectionHeader header{};
+  header.width = static_cast<std::uint32_t>(packed.width());
+  header.num_states = packed.num_states();
+  header.num_symbols = packed.num_symbols();
+  header.total_entries = packed.total_entries();
+  const void* entries = nullptr;
+  switch (packed.width()) {
+    case TableWidth::kU8:
+      header.entry_bytes = 1;
+      entries = packed.data<std::uint8_t>();
+      break;
+    case TableWidth::kU16:
+      header.entry_bytes = 2;
+      entries = packed.data<std::uint16_t>();
+      break;
+    case TableWidth::kI32:
+      header.entry_bytes = 4;
+      entries = packed.data<std::int32_t>();
+      break;
+  }
+  std::string payload;
+  append_raw(payload, &header, sizeof header);
+  append_raw(payload, entries, packed.total_entries() * header.entry_bytes);
+  return payload;
+}
+
+std::string ridfa_aux_payload(const Ridfa& ridfa) {
+  const std::int32_t nq = ridfa.num_nfa_states();
+  const std::int32_t np = ridfa.num_states();
+  RidfaAuxSectionHeader header{};
+  header.num_nfa_states = nq;
+  header.num_states = np;
+  header.start = ridfa.start_state();
+  std::vector<std::uint64_t> offsets(static_cast<std::size_t>(np) + 1, 0);
+  for (State p = 0; p < np; ++p)
+    offsets[static_cast<std::size_t>(p) + 1] =
+        offsets[static_cast<std::size_t>(p)] + ridfa.contents(p).size();
+  header.contents_total = offsets.back();
+
+  std::string payload;
+  append_raw(payload, &header, sizeof header);
+  for (State q = 0; q < nq; ++q) {
+    const State s = ridfa.singleton(q);
+    append_raw(payload, &s, sizeof s);
+  }
+  for (State q = 0; q < nq; ++q) {
+    const State s = ridfa.interface_of(q);
+    append_raw(payload, &s, sizeof s);
+  }
+  append_raw(payload, offsets.data(), offsets.size() * sizeof(std::uint64_t));
+  for (State p = 0; p < np; ++p)
+    append_raw(payload, ridfa.contents(p).data(),
+               ridfa.contents(p).size() * sizeof(State));
+  return payload;
+}
+
+std::string sfa_payload(const Sfa& sfa) {
+  SfaSectionHeader header{};
+  header.num_states = sfa.num_states();
+  header.num_symbols = sfa.num_symbols();
+  header.map_width = sfa.map_width();
+  header.has_all_dead = sfa.all_dead_state().has_value() ? 1 : 0;
+  header.all_dead = sfa.all_dead_state().value_or(kDeadState);
+
+  std::string payload;
+  append_raw(payload, &header, sizeof header);
+  return payload;
+}
+
+}  // namespace
+
+std::string write_bundle(std::span<const PatternSections> patterns) {
+  std::vector<PatternEntry> pattern_entries;
+  std::vector<SectionEntry> section_entries;
+  std::vector<std::string> payloads;
+
+  const auto add = [&](SectionType type, std::string payload) {
+    SectionEntry entry{};
+    entry.type = static_cast<std::uint32_t>(type);
+    entry.bytes = payload.size();
+    entry.checksum = checksum64(payload.data(), payload.size());
+    section_entries.push_back(entry);
+    payloads.push_back(std::move(payload));
+  };
+
+  for (const PatternSections& p : patterns) {
+    PatternEntry entry{};
+    entry.first_section = static_cast<std::uint32_t>(section_entries.size());
+    entry.max_subset_states = p.max_subset_states;
+    if (!p.source.empty()) {
+      add(SectionType::kSource, std::string(p.source));
+      if (p.source_is_regex) entry.flags |= kPatternSourceIsRegex;
+    }
+    add(SectionType::kSymbolMap, symbol_map_payload(p.nfa->symbols()));
+    add(SectionType::kNfa, nfa_payload(*p.nfa));
+    add(SectionType::kMinDfa, dfa_payload(*p.min_dfa));
+    add(SectionType::kMinDfaPacked, packed_payload(p.min_dfa->packed()));
+    add(SectionType::kRidfaDfa, dfa_payload(p.ridfa->dfa()));
+    add(SectionType::kRidfaPacked, packed_payload(p.ridfa->dfa().packed()));
+    add(SectionType::kRidfaAux, ridfa_aux_payload(*p.ridfa));
+    if (p.searcher != nullptr) {
+      entry.flags |= kPatternHasSearcher;
+      add(SectionType::kSearcherMap, symbol_map_payload(p.searcher->symbols()));
+      add(SectionType::kSearcherDfa, dfa_payload(*p.searcher));
+      add(SectionType::kSearcherPacked, packed_payload(p.searcher->packed()));
+    }
+    if (p.sfa != nullptr) {
+      entry.flags |= kPatternHasSfa;
+      entry.sfa_probe_budget = p.sfa_probe_budget;
+      add(SectionType::kSfa, sfa_payload(*p.sfa));
+      add(SectionType::kSfaPacked, packed_payload(p.sfa->packed()));
+      add(SectionType::kSfaMappings, packed_payload(p.sfa->mappings()));
+    }
+    entry.section_count =
+        static_cast<std::uint32_t>(section_entries.size()) - entry.first_section;
+    pattern_entries.push_back(entry);
+  }
+
+  // Lay the payloads out: directory first, then each section rounded up to
+  // the cache-line boundary its packed entries rely on.
+  const std::uint64_t directory_end =
+      sizeof(FileHeader) + pattern_entries.size() * sizeof(PatternEntry) +
+      section_entries.size() * sizeof(SectionEntry);
+  std::uint64_t cursor = align_up(directory_end);
+  for (std::size_t i = 0; i < section_entries.size(); ++i) {
+    section_entries[i].offset = cursor;
+    cursor = align_up(cursor + section_entries[i].bytes);
+  }
+  const std::uint64_t file_bytes =
+      section_entries.empty()
+          ? directory_end
+          : section_entries.back().offset + payloads.back().size();
+
+  FileHeader header{};
+  std::memcpy(header.magic, kMagic.data(), kMagic.size());
+  header.version = kFormatVersion;
+  header.header_bytes = sizeof(FileHeader);
+  header.file_bytes = file_bytes;
+  header.pattern_count = static_cast<std::uint32_t>(pattern_entries.size());
+  header.section_count = static_cast<std::uint32_t>(section_entries.size());
+
+  std::string directory;
+  append_raw(directory, pattern_entries.data(),
+             pattern_entries.size() * sizeof(PatternEntry));
+  append_raw(directory, section_entries.data(),
+             section_entries.size() * sizeof(SectionEntry));
+  header.directory_checksum = checksum64(directory.data(), directory.size());
+  header.header_checksum = checksum64(&header, sizeof header);  // field is zero here
+
+  std::string image;
+  image.reserve(file_bytes);
+  append_raw(image, &header, sizeof header);
+  image += directory;
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    image.resize(section_entries[i].offset, '\0');  // alignment padding
+    image += payloads[i];
+  }
+  return image;
+}
+
+void write_bundle_file(const std::string& path,
+                       std::span<const PatternSections> patterns) {
+  const std::string image = write_bundle(patterns);
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0)
+    throw std::system_error(errno, std::generic_category(), "bundle: open " + tmp);
+  std::size_t written = 0;
+  while (written < image.size()) {
+    const ssize_t n = ::write(fd, image.data() + written, image.size() - written);
+    if (n < 0) {
+      const int saved = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw std::system_error(saved, std::generic_category(), "bundle: write " + tmp);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    throw std::system_error(errno, std::generic_category(), "bundle: fsync " + tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int saved = errno;
+    ::unlink(tmp.c_str());
+    throw std::system_error(saved, std::generic_category(), "bundle: rename " + path);
+  }
+}
+
+}  // namespace rispar::bundle

@@ -1,0 +1,49 @@
+// The producer side of the .rpb format: serializes compiled machines into
+// the mmap-ready section layout of format.hpp.
+//
+// The writer is deliberately below engine/ in the layering — it takes raw
+// machine references, not Patterns, so bundle <- automata/core only.
+// Pattern::save_bundle and the rispar_bundle CLI assemble PatternSections
+// from a compiled Pattern's public accessors.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "automata/dfa.hpp"
+#include "automata/nfa.hpp"
+#include "core/ridfa.hpp"
+#include "core/sfa.hpp"
+
+namespace rispar::bundle {
+
+/// Everything the writer serializes for ONE pattern. nfa/min_dfa/ridfa are
+/// required; searcher and sfa ship when present (nullptr omits the
+/// sections — the mapped pattern rebuilds them lazily, like a text-loaded
+/// one). Referenced machines must outlive the write call; their packed
+/// tables are built here if not already warm (the ONE place the producer
+/// pays the pack so the consumer never does).
+struct PatternSections {
+  std::string_view source;      ///< regex or display name ("" = no section)
+  bool source_is_regex = false;
+  std::int32_t max_subset_states = 0;  ///< PatternLimits to restore
+  const Nfa* nfa = nullptr;
+  const Dfa* min_dfa = nullptr;
+  const Ridfa* ridfa = nullptr;
+  const Dfa* searcher = nullptr;
+  const Sfa* sfa = nullptr;
+  std::int32_t sfa_probe_budget = 0;  ///< budget the sfa was built with
+};
+
+/// Serializes the patterns into one bundle image (header, directory,
+/// aligned checksummed sections — see format.hpp).
+std::string write_bundle(std::span<const PatternSections> patterns);
+
+/// write_bundle + atomic file replace (write to `path`.tmp, fsync, rename)
+/// so a crashed save never leaves a torn bundle at `path`. Throws
+/// std::system_error on I/O failure.
+void write_bundle_file(const std::string& path,
+                       std::span<const PatternSections> patterns);
+
+}  // namespace rispar::bundle

@@ -80,6 +80,7 @@ class Ridfa {
 
  private:
   friend struct RidfaBuilderAccess;
+  friend struct BundleRestoreAccess;  ///< src/bundle/restore.hpp
   Dfa dfa_;
   std::vector<std::vector<State>> contents_;
   std::vector<State> singleton_;

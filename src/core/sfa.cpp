@@ -1,7 +1,9 @@
 #include "core/sfa.hpp"
 
 #include <algorithm>
+#include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "automata/packed_table.hpp"
 #include "util/fault_inject.hpp"
@@ -24,7 +26,7 @@ struct MappingHash {
 // Composes `current` with symbol `a` of the packed chunk-automaton table.
 // The symbol-major layout makes this a walk over one contiguous column.
 template <typename T>
-void compose_mapping(const PackedTable& table, const std::vector<State>& current,
+void compose_mapping(const PackedTable& table, std::span<const State> current,
                      Symbol a, std::vector<State>& next) {
   constexpr T kDead = PackedDead<T>::value;
   const T* col = table.column<T>(a);
@@ -94,6 +96,10 @@ std::optional<Sfa> try_build_sfa(const Dfa& chunk_automaton, std::int32_t max_st
   Sfa sfa;
   sfa.num_symbols_ = k;
 
+  // Construction scratch, both dense and dead on return: the state-major
+  // δ_SFA and the row-major mappings (only the packed copies survive).
+  std::vector<State> table;
+  std::vector<State> rows;
   std::unordered_map<std::vector<State>, State, MappingHash> index;
   std::vector<State> worklist;
 
@@ -102,14 +108,14 @@ std::optional<Sfa> try_build_sfa(const Dfa& chunk_automaton, std::int32_t max_st
     if (it != index.end()) return it->second;
     // Fault site: interning a new mapping is where SFA construction grows.
     if (fault::should_fail("sfa.alloc")) throw std::bad_alloc();
-    const State id = sfa.num_states();
+    const auto id = static_cast<State>(index.size());
     if (!sfa.all_dead_ &&
         std::all_of(mapping.begin(), mapping.end(),
                     [](const State s) { return s == kDeadState; }))
       sfa.all_dead_ = id;
-    index.emplace(mapping, id);
-    sfa.mappings_.push_back(std::move(mapping));
-    sfa.table_.insert(sfa.table_.end(), static_cast<std::size_t>(k), kDeadState);
+    rows.insert(rows.end(), mapping.begin(), mapping.end());
+    index.emplace(std::move(mapping), id);
+    table.insert(table.end(), static_cast<std::size_t>(k), kDeadState);
     worklist.push_back(id);
     return id;
   };
@@ -120,12 +126,15 @@ std::optional<Sfa> try_build_sfa(const Dfa& chunk_automaton, std::int32_t max_st
   intern(std::move(identity));
 
   while (!worklist.empty()) {
-    if (sfa.num_states() > max_states) return std::nullopt;
+    if (static_cast<std::int32_t>(index.size()) > max_states) return std::nullopt;
     const State state = worklist.back();
     worklist.pop_back();
     for (Symbol a = 0; a < k; ++a) {
       std::vector<State> next(static_cast<std::size_t>(n));
-      const std::vector<State>& current = sfa.mappings_[static_cast<std::size_t>(state)];
+      // Re-fetched per symbol: intern() may grow (and reallocate) `rows`.
+      const std::span<const State> current{
+          rows.data() + static_cast<std::size_t>(state) * static_cast<std::size_t>(n),
+          static_cast<std::size_t>(n)};
       switch (packed.width()) {
         case TableWidth::kU8:
           compose_mapping<std::uint8_t>(packed, current, a, next);
@@ -138,13 +147,25 @@ std::optional<Sfa> try_build_sfa(const Dfa& chunk_automaton, std::int32_t max_st
           break;
       }
       const State target = intern(std::move(next));
-      sfa.table_[static_cast<std::size_t>(state) * k + static_cast<std::size_t>(a)] =
+      table[static_cast<std::size_t>(state) * k + static_cast<std::size_t>(a)] =
           target;
     }
   }
+  const auto ns = static_cast<std::int32_t>(index.size());
   // Pack δ_SFA like every other scan table: width by state count,
-  // symbol-major. Built once here so Sfa::run never touches the int32 rows.
-  sfa.packed_ = PackedTable::build(sfa.table_, sfa.num_states(), k);
+  // symbol-major.
+  sfa.packed_ = PackedTable::build(table, ns, k);
+  // Pack the mappings under the transposed identification mappings()
+  // documents — "states" are chunk-automaton states (the value bound, so
+  // width is canonical on n), "symbols" are SFA states. The builder takes
+  // state-major input, so transpose the row-major scratch first; the
+  // packed result's column(s) is then exactly mapping row s.
+  std::vector<State> transposed(rows.size());
+  for (std::int32_t s = 0; s < ns; ++s)
+    for (std::int32_t q = 0; q < n; ++q)
+      transposed[static_cast<std::size_t>(q) * ns + s] =
+          rows[static_cast<std::size_t>(s) * n + q];
+  sfa.mappings_ = PackedTable::build(transposed, n, ns);
   return sfa;
 }
 

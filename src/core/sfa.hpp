@@ -13,7 +13,6 @@
 
 #include <cstdint>
 #include <optional>
-#include <vector>
 
 #include "automata/dfa.hpp"
 #include "automata/packed_table.hpp"
@@ -22,29 +21,71 @@ namespace rispar {
 
 class Sfa {
  public:
-  std::int32_t num_states() const { return static_cast<std::int32_t>(mappings_.size()); }
+  std::int32_t num_states() const { return mappings_.num_symbols(); }
   std::int32_t num_symbols() const { return num_symbols_; }
+
+  /// Chunk-automaton states per mapping (the |Q| of the machine the SFA
+  /// was built from).
+  std::int32_t map_width() const { return mappings_.num_states(); }
 
   /// The identity mapping — the SFA's initial state for every chunk.
   State initial() const { return 0; }
 
   /// δ_SFA(state, symbol); never dead (the all-dead mapping is a real state).
+  /// Reads the packed table — the only copy of δ_SFA the Sfa keeps; a dense
+  /// int32 duplicate would double the footprint of the explosion-prone
+  /// machine for the benefit of this cold accessor alone.
   State step(State state, Symbol symbol) const {
-    return table_[static_cast<std::size_t>(state) * num_symbols_ +
-                  static_cast<std::size_t>(symbol)];
+    const std::size_t at =
+        static_cast<std::size_t>(symbol) * static_cast<std::size_t>(num_states()) +
+        static_cast<std::size_t>(state);
+    switch (packed_.width()) {
+      case TableWidth::kU8:
+        return static_cast<State>(packed_.data<std::uint8_t>()[at]);
+      case TableWidth::kU16:
+        return static_cast<State>(packed_.data<std::uint16_t>()[at]);
+      case TableWidth::kI32:
+        break;
+    }
+    return packed_.data<std::int32_t>()[at];
   }
 
   /// The SFA's own δ, width-packed and symbol-major (automata/
-  /// packed_table.hpp) — the same layout the pattern DFA's scans use, so
-  /// chunk runs walk u8/u16 entries instead of the int32 state-major rows.
-  /// δ_SFA is total, so no packed entry is ever the dead sentinel.
+  /// packed_table.hpp) — the same layout the pattern DFA's scans use, and
+  /// the only representation of δ_SFA the Sfa stores. δ_SFA is total, so no
+  /// packed body entry is ever the dead sentinel.
   const PackedTable& packed() const { return packed_; }
 
-  /// The mapping of an SFA state: entry q is the chunk-automaton state
-  /// reached from start q, or kDeadState if that run died.
-  const std::vector<State>& mapping(State state) const {
-    return mappings_[static_cast<std::size_t>(state)];
+  /// Entry q of SFA state `state`'s mapping: the chunk-automaton state
+  /// reached from start q, or kDeadState if that run died. One width
+  /// dispatch per call — the SFA join reads a single entry per chunk.
+  State mapping_entry(State state, State q) const {
+    const auto at = static_cast<std::size_t>(q);
+    switch (mappings_.width()) {
+      case TableWidth::kU8: {
+        const std::uint8_t v = mappings_.column<std::uint8_t>(state)[at];
+        return v == PackedDead<std::uint8_t>::value ? kDeadState
+                                                    : static_cast<State>(v);
+      }
+      case TableWidth::kU16: {
+        const std::uint16_t v = mappings_.column<std::uint16_t>(state)[at];
+        return v == PackedDead<std::uint16_t>::value ? kDeadState
+                                                     : static_cast<State>(v);
+      }
+      case TableWidth::kI32:
+        break;
+    }
+    return mappings_.column<std::int32_t>(state)[at];
   }
+
+  /// The mappings as a PackedTable, reusing its width-packing, slack-tail
+  /// and zero-copy adoption machinery with a transposed identification:
+  /// "symbols" are SFA states and "states" are chunk-automaton states, so
+  /// column(s) is the contiguous (narrow) mapping row of SFA state s. This
+  /// is what a bundle stores verbatim and adopts in place — the mappings
+  /// dominate an SFA's footprint, and materializing them on load is most
+  /// of a cold start.
+  const PackedTable& mappings() const { return mappings_; }
 
   /// Runs the SFA over a chunk from the identity, returning the arrival
   /// SFA state and counting one transition per symbol.
@@ -58,10 +99,10 @@ class Sfa {
 
  private:
   friend std::optional<Sfa> try_build_sfa(const Dfa&, std::int32_t);
+  friend struct BundleRestoreAccess;  ///< src/bundle/restore.hpp
   std::int32_t num_symbols_ = 0;
-  std::vector<State> table_;
-  PackedTable packed_;  ///< width-packed symbol-major copy of table_
-  std::vector<std::vector<State>> mappings_;
+  PackedTable packed_;    ///< δ_SFA, width-packed and symbol-major
+  PackedTable mappings_;  ///< mapping rows as columns (see mappings())
   std::optional<State> all_dead_;
 };
 

@@ -1,0 +1,95 @@
+#include "engine/compile_cache.hpp"
+
+#include <sys/stat.h>
+
+#include <utility>
+
+namespace rispar {
+
+CompileCache::CompileCache(std::size_t capacity_bytes)
+    : capacity_(capacity_bytes) {}
+
+std::string CompileCache::regex_key(std::string_view regex,
+                                    std::int32_t max_subset_states) {
+  std::string key = "re:";
+  key += std::to_string(max_subset_states);
+  key += ':';
+  key += regex;
+  return key;
+}
+
+std::string CompileCache::bundle_key(const std::string& path,
+                                     std::uint32_t index) {
+  std::string key = "rpb:";
+  key += path;
+  key += '#';
+  key += std::to_string(index);
+  key += '@';
+  struct stat st{};
+  if (::stat(path.c_str(), &st) == 0) {
+    key += std::to_string(st.st_mtime);
+    key += ':';
+    key += std::to_string(st.st_size);
+  } else {
+    // Unstattable file: still a valid key — the load itself will throw, and
+    // nothing gets cached under it.
+    key += "unstattable";
+  }
+  return key;
+}
+
+Pattern CompileCache::get_or_compile(const std::string& key,
+                                     const std::function<Pattern()>& make) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->pattern;
+    }
+    ++misses_;
+  }
+
+  Pattern pattern = make();  // outside the lock: a slow compile blocks nobody
+  const std::size_t pattern_bytes = pattern.approx_bytes();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Lost a double-compile race; the first insert wins, ours is discarded.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->pattern;
+  }
+  lru_.push_front(Entry{key, std::move(pattern), pattern_bytes});
+  index_.emplace(key, lru_.begin());
+  bytes_ += pattern_bytes;
+  while (bytes_ > capacity_ && lru_.size() > 1) {  // newest always survives
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  return lru_.front().pattern;
+}
+
+CompileCacheStats CompileCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CompileCacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.entries = lru_.size();
+  s.bytes = bytes_;
+  return s;
+}
+
+void CompileCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace rispar

@@ -1,0 +1,94 @@
+// CompileCache — memoized Pattern compilation for fleets that see the same
+// sources repeatedly.
+//
+// rispard's hot reload recompiles its WHOLE manifest to build a new catalog
+// generation, even when one line changed — with a cache, the unchanged
+// lines are shared_ptr bumps. The same applies to multi-tenant manifests
+// that repeat patterns, and to .rpb bundle entries (keyed with the file's
+// identity stamp so a republished bundle misses cleanly).
+//
+// Semantics: an LRU keyed by an opaque string (regex_key/bundle_key build
+// the canonical shapes), bounded by approximate resident BYTES rather than
+// entry count — Pattern::approx_bytes() is the accounting unit, so a
+// handful of pathological patterns cannot pin unbounded memory behind a
+// generous entry budget. Thread-safe; compilation runs OUTSIDE the lock
+// (a slow compile never blocks hits), and a concurrent double compile is
+// resolved first-insert-wins.
+//
+// Patterns are returned BY VALUE (shared-ownership copies): an eviction
+// never invalidates a Pattern someone already holds — it just drops the
+// cache's own reference.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "engine/pattern.hpp"
+
+namespace rispar {
+
+struct CompileCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t bytes = 0;  ///< sum of approx_bytes over resident entries
+};
+
+class CompileCache {
+ public:
+  /// `capacity_bytes` bounds the summed approx_bytes of resident entries
+  /// (the newest entry is always retained, even when it alone exceeds the
+  /// capacity — a cache that cannot hold the pattern it just compiled
+  /// would thrash on every call).
+  explicit CompileCache(std::size_t capacity_bytes = kDefaultCapacityBytes);
+
+  static constexpr std::size_t kDefaultCapacityBytes = 64u << 20;
+
+  /// Key of a regex compile under the given subset budget (the budget is
+  /// part of the key: the same regex under a different PatternLimits is a
+  /// different Pattern).
+  static std::string regex_key(std::string_view regex,
+                               std::int32_t max_subset_states);
+
+  /// Key of pattern `index` inside the .rpb bundle at `path`, stamped with
+  /// the file's (mtime, size) identity so republishing the bundle under the
+  /// same name misses instead of serving stale machines.
+  static std::string bundle_key(const std::string& path, std::uint32_t index);
+
+  /// The cached Pattern for `key`, or `make()`'s result, inserted. `make`
+  /// runs without the lock held; its exceptions propagate and insert
+  /// nothing. When two threads miss the same key concurrently, the first
+  /// insert wins and the loser adopts it (one compile is discarded — never
+  /// two live copies of one key).
+  Pattern get_or_compile(const std::string& key,
+                         const std::function<Pattern()>& make);
+
+  CompileCacheStats stats() const;
+  void clear();
+  std::size_t capacity_bytes() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    Pattern pattern;
+    std::size_t bytes;
+  };
+
+  mutable std::mutex mutex_;
+  const std::size_t capacity_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace rispar

@@ -38,6 +38,7 @@
 namespace rispar {
 
 class StreamSession;
+class CompileCache;
 
 struct EngineConfig {
   /// Worker threads of the owned pool (0 = hardware concurrency).
@@ -64,7 +65,14 @@ struct EngineConfig {
   /// `threads` and `admission` are ignored (the shared pool was already
   /// built with its own); the pool must outlive every Engine holding it,
   /// which shared ownership guarantees.
-  std::shared_ptr<ThreadPool> shared_pool;
+  std::shared_ptr<ThreadPool> shared_pool{};
+  /// Memoize Pattern compilation through THIS cache
+  /// (engine/compile_cache.hpp). Consulted by the compile-from-source entry
+  /// points that accept an EngineConfig — PatternSet::compile and rispard's
+  /// build_catalog — so repeated sources (hot reloads, repeated manifest
+  /// lines, unchanged .rpb bundles) are shared_ptr bumps instead of fresh
+  /// subset constructions. nullptr = compile every time.
+  std::shared_ptr<CompileCache> compile_cache{};
 };
 
 class Engine {

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 #include "automata/glushkov.hpp"
 #include "automata/minimize.hpp"
@@ -12,12 +13,21 @@
 #include "automata/serialize.hpp"
 #include "automata/subset.hpp"
 #include "automata/timbuk.hpp"
+#include "bundle/mapped_bundle.hpp"
+#include "bundle/reader.hpp"
+#include "bundle/writer.hpp"
 #include "core/interface_min.hpp"
 #include "regex/parser.hpp"
 
 namespace rispar {
 
 struct Pattern::Compiled {
+  /// First member so it is destroyed LAST: adopted packed views co-own the
+  /// mapping independently, but keeping the declaration order honest makes
+  /// the lifetime story local. nullptr unless loaded via from_bundle.
+  std::shared_ptr<const bundle::MappedBundle> bundle;
+  std::string source;          ///< regex (source_is_regex) or display name
+  bool source_is_regex = false;
   Nfa nfa;
   Dfa min_dfa;
   Ridfa ridfa;
@@ -90,10 +100,15 @@ Pattern::Pattern(std::shared_ptr<const Compiled> compiled)
     : compiled_(std::move(compiled)) {}
 
 Pattern Pattern::compile(std::string_view regex, PatternLimits limits) {
-  return from_nfa(glushkov_nfa(parse_regex(std::string(regex))), limits);
+  Pattern pattern = from_nfa(glushkov_nfa(parse_regex(std::string(regex))), limits);
+  // Safe: the Compiled block has no other owner yet.
+  auto& c = const_cast<Compiled&>(*pattern.compiled_);
+  c.source = std::string(regex);
+  c.source_is_regex = true;
+  return pattern;
 }
 
-Pattern Pattern::from_nfa(Nfa nfa, PatternLimits limits) {
+Pattern Pattern::from_nfa(Nfa nfa, PatternLimits limits, std::string_view source) {
   Nfa eps_free = nfa.has_epsilon() ? remove_epsilon(nfa) : std::move(nfa);
   Nfa trimmed = trim_unreachable(eps_free);
   Dfa min_dfa = minimize_dfa(determinize_bounded(trimmed, limits.max_subset_states));
@@ -102,6 +117,7 @@ Pattern Pattern::from_nfa(Nfa nfa, PatternLimits limits) {
   min_dfa.packed();
   ridfa.dfa().packed();
   auto compiled = std::make_shared<Compiled>();
+  compiled->source = std::string(source);
   compiled->nfa = std::move(trimmed);
   compiled->min_dfa = std::move(min_dfa);
   compiled->ridfa = std::move(ridfa);
@@ -150,8 +166,10 @@ Pattern Pattern::deserialize(const std::string& text) {
   Nfa eps_free = nfa.has_epsilon() ? remove_epsilon(nfa) : std::move(nfa);
   Nfa trimmed = trim_unreachable(eps_free);
   Ridfa ridfa = build_minimized_ridfa(trimmed);
-  min_dfa.packed();  // pre-warm like from_nfa
-  ridfa.dfa().packed();
+  // Deliberately NO packed() pre-warm here: a fleet deserializing hundreds
+  // of patterns should pay the pack on first use, not at load time (the
+  // devices warm it in their constructors anyway). Same laziness as the
+  // mmap'd bundle path, which never packs at all.
   auto compiled = std::make_shared<Compiled>();
   compiled->nfa = std::move(trimmed);
   compiled->min_dfa = std::move(min_dfa);
@@ -198,6 +216,106 @@ const PatternLimits& Pattern::limits() const { return compiled_->limits; }
 const SfaDevice* Pattern::sfa_device(std::int32_t max_states) const {
   sfa(max_states);  // force the lazy build (same once_flag)
   return compiled_->sfa_dev.has_value() ? &*compiled_->sfa_dev : nullptr;
+}
+
+// --- binary bundles ---
+
+namespace {
+
+/// Assembles the writer's view of one pattern, forcing the lazy artifacts
+/// so the bundle ships the full family (an exploded SFA stays absent — the
+/// mapped pattern keeps the same nullptr outcome lazily).
+bundle::PatternSections sections_of(const Pattern& pattern) {
+  bundle::PatternSections s;
+  s.source = pattern.source();
+  s.source_is_regex = pattern.source_is_regex();
+  s.max_subset_states = pattern.limits().max_subset_states;
+  s.nfa = &pattern.nfa();
+  s.min_dfa = &pattern.min_dfa();
+  s.ridfa = &pattern.ridfa();
+  s.searcher = &pattern.searcher();
+  s.sfa = pattern.sfa();
+  s.sfa_probe_budget = pattern.sfa_probe_budget();
+  return s;
+}
+
+std::vector<bundle::PatternSections> sections_of_all(
+    std::span<const Pattern> patterns) {
+  std::vector<bundle::PatternSections> sections;
+  sections.reserve(patterns.size());
+  for (const Pattern& pattern : patterns) sections.push_back(sections_of(pattern));
+  return sections;
+}
+
+}  // namespace
+
+void Pattern::save_bundle(const std::string& path) const {
+  save_bundle_many(path, std::span<const Pattern>(this, 1));
+}
+
+void Pattern::save_bundle_many(const std::string& path,
+                               std::span<const Pattern> patterns) {
+  bundle::write_bundle_file(path, sections_of_all(patterns));
+}
+
+std::string Pattern::bundle_image(std::span<const Pattern> patterns) {
+  return bundle::write_bundle(sections_of_all(patterns));
+}
+
+Pattern Pattern::from_bundle(std::shared_ptr<const bundle::MappedBundle> bundle,
+                             std::uint32_t index) {
+  bundle::LoadedPattern loaded = bundle::load_pattern(bundle, index);
+  auto compiled = std::make_shared<Compiled>();
+  compiled->bundle = std::move(bundle);
+  compiled->source = std::move(loaded.source);
+  compiled->source_is_regex = loaded.source_is_regex;
+  compiled->limits.max_subset_states = loaded.max_subset_states;
+  compiled->nfa = std::move(loaded.nfa);
+  compiled->min_dfa = std::move(loaded.min_dfa);
+  compiled->ridfa = std::move(loaded.ridfa);
+  // Pre-seed the lazy artifacts the bundle shipped: consuming the once_flag
+  // now means searcher()/sfa() hand back the mapped machines instead of
+  // rebuilding them. A bundle WITHOUT these sections leaves the flags
+  // unconsumed — the artifacts rebuild lazily, like a text-loaded pattern.
+  if (loaded.searcher.has_value()) {
+    std::call_once(compiled->searcher_once,
+                   [&] { compiled->searcher = std::move(loaded.searcher); });
+  }
+  if (loaded.sfa.has_value()) {
+    std::call_once(compiled->sfa_once, [&] {
+      compiled->sfa_probe_budget = loaded.sfa_probe_budget;
+      compiled->sfa = std::move(loaded.sfa);
+      compiled->sfa_dev.emplace(*compiled->sfa, compiled->min_dfa);
+    });
+  }
+  return Pattern(std::move(compiled));
+}
+
+Pattern Pattern::load_mapped(const std::string& path, std::uint32_t index) {
+  return from_bundle(bundle::MappedBundle::open(path), index);
+}
+
+const std::shared_ptr<const bundle::MappedBundle>& Pattern::mapped_bundle() const {
+  return compiled_->bundle;
+}
+
+std::string_view Pattern::source() const { return compiled_->source; }
+bool Pattern::source_is_regex() const { return compiled_->source_is_regex; }
+
+std::size_t Pattern::approx_bytes() const {
+  const Compiled& c = *compiled_;
+  std::size_t bytes = sizeof(Compiled) + c.source.size();
+  bytes += c.nfa.num_edges() * sizeof(NfaEdge) +
+           static_cast<std::size_t>(c.nfa.num_states()) * 32;
+  bytes += c.min_dfa.table().size() * sizeof(State);
+  bytes += c.ridfa.dfa().table().size() * sizeof(State);
+  for (State p = 0; p < c.ridfa.num_states(); ++p)
+    bytes += c.ridfa.contents(p).size() * sizeof(State) + sizeof(std::vector<State>);
+  bytes += static_cast<std::size_t>(c.ridfa.num_nfa_states()) * 2 * sizeof(State);
+  // ×2 headroom stands in for the packed copies and the lazy artifacts —
+  // deliberately NOT forcing packed()/searcher()/sfa() here (the cache must
+  // be able to account for a pattern without materializing it).
+  return bytes * 2;
 }
 
 }  // namespace rispar

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -21,6 +22,10 @@
 #include "core/ridfa.hpp"
 #include "core/sfa.hpp"
 #include "parallel/csdpa.hpp"
+
+namespace rispar::bundle {
+class MappedBundle;
+}
 
 namespace rispar {
 
@@ -42,7 +47,10 @@ class Pattern {
   static Pattern compile(std::string_view regex, PatternLimits limits = {});
 
   /// Takes ownership of an NFA (ε-removed and trimmed internally).
-  static Pattern from_nfa(Nfa nfa, PatternLimits limits = {});
+  /// `source` is an optional display name recorded in saved bundles ("" =
+  /// none); it is NOT a regex (compile() records the regex itself).
+  static Pattern from_nfa(Nfa nfa, PatternLimits limits = {},
+                          std::string_view source = "");
 
   /// Parses a Timbuk-format automaton (interchange with other tools).
   static Pattern from_timbuk(const std::string& text, PatternLimits limits = {});
@@ -61,6 +69,53 @@ class Pattern {
   /// on malformed input. The bundle is trusted: the DFA section is used as
   /// the minimal DFA without re-deriving it from the NFA.
   static Pattern deserialize(const std::string& text);
+
+  // --- binary bundles (src/bundle/, docs/api.md "Bundles and the compile
+  // --- cache"): the zero-copy deployment path ---
+
+  /// Saves this pattern as a one-pattern .rpb bundle (atomic replace).
+  /// Forces the lazy artifacts first — the searcher always, the SFA with
+  /// the default budget — so the bundle ships the full machine family and a
+  /// mapped consumer never derives anything. Throws std::system_error on
+  /// I/O failure.
+  void save_bundle(const std::string& path) const;
+
+  /// Multi-pattern bundle: one .rpb holding every pattern in order —
+  /// load_mapped(path, i) restores patterns[i].
+  static void save_bundle_many(const std::string& path,
+                               std::span<const Pattern> patterns);
+
+  /// The bundle image as bytes (what save_bundle writes) — for tests and
+  /// the in-memory fuzz harness.
+  static std::string bundle_image(std::span<const Pattern> patterns);
+
+  /// Maps a .rpb bundle and restores pattern `index` zero-copy: NO regex
+  /// parse, NO subset construction, NO table re-pack — the packed tables
+  /// every kernel reads are adopted in place as views into the mapping.
+  /// The mapping is shared: fleet processes loading the same bundle share
+  /// page-cache pages, and every machine copied out of the pattern co-owns
+  /// it. Throws ValidationError on a corrupt or malformed bundle and
+  /// std::system_error when the file cannot be mapped.
+  static Pattern load_mapped(const std::string& path, std::uint32_t index = 0);
+
+  /// load_mapped over an already-open bundle (one map, many patterns).
+  static Pattern from_bundle(std::shared_ptr<const bundle::MappedBundle> bundle,
+                             std::uint32_t index = 0);
+
+  /// The mapping this pattern was loaded from (nullptr when compiled or
+  /// text-deserialized).
+  const std::shared_ptr<const bundle::MappedBundle>& mapped_bundle() const;
+
+  /// The recorded source: the regex for compile()d patterns (see
+  /// source_is_regex()), the display name given to from_nfa, or "" —
+  /// persisted through bundles.
+  std::string_view source() const;
+  bool source_is_regex() const;
+
+  /// Rough resident footprint of the compiled machines (dense + packed
+  /// headroom), WITHOUT forcing any lazy artifact — the byte-capacity
+  /// accounting unit of engine/compile_cache.hpp.
+  std::size_t approx_bytes() const;
 
   const Nfa& nfa() const;
   const Dfa& min_dfa() const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "engine/compile_cache.hpp"
 #include "parallel/match_count.hpp"
 
 namespace rispar {
@@ -72,8 +73,15 @@ PatternSet PatternSet::compile(std::span<const std::string_view> regexes,
                                EngineConfig config) {
   std::vector<Pattern> patterns;
   patterns.reserve(regexes.size());
-  for (const std::string_view regex : regexes)
-    patterns.push_back(Pattern::compile(regex));
+  for (const std::string_view regex : regexes) {
+    if (config.compile_cache != nullptr) {
+      patterns.push_back(config.compile_cache->get_or_compile(
+          CompileCache::regex_key(regex, 0),
+          [&] { return Pattern::compile(regex); }));
+    } else {
+      patterns.push_back(Pattern::compile(regex));
+    }
+  }
   return PatternSet(std::move(patterns), config);
 }
 

@@ -474,7 +474,7 @@ QueryResult SfaDevice::recognize(std::span<const Symbol> input, ThreadPool& pool
     if (state == kDeadState) continue;
     state = arrivals[i] == kDeadState
                 ? kDeadState
-                : sfa_.mapping(arrivals[i])[static_cast<std::size_t>(state)];
+                : sfa_.mapping_entry(arrivals[i], state);
   }
   stats.accepted = state != kDeadState && ca_.is_final(state);
   stats.join_seconds = join_clock.seconds();
@@ -500,7 +500,7 @@ void SfaDevice::stream_window(StreamCarry& carry, std::span<const Symbol> window
     if (state == kDeadState) continue;
     state = arrivals[i] == kDeadState
                 ? kDeadState
-                : sfa_.mapping(arrivals[i])[static_cast<std::size_t>(state)];
+                : sfa_.mapping_entry(arrivals[i], state);
   }
   carry.states.clear();
   if (state != kDeadState) carry.states.push_back(state);

@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "bundle/mapped_bundle.hpp"
+#include "engine/compile_cache.hpp"
+
 namespace rispar::rispard {
 
 std::vector<std::string> parse_manifest(std::string_view text) {
@@ -23,23 +26,59 @@ std::vector<std::string> parse_manifest(std::string_view text) {
   return regexes;
 }
 
+bool is_bundle_entry(std::string_view manifest_line) {
+  return manifest_line.size() > 4 &&
+         manifest_line.substr(manifest_line.size() - 4) == ".rpb";
+}
+
 std::shared_ptr<const PatternCatalog> build_catalog(
     const std::vector<std::string>& regexes, std::uint64_t generation,
     std::shared_ptr<ThreadPool> pool, const EngineConfig& base_config) {
   auto catalog = std::make_shared<PatternCatalog>();
   catalog->generation = generation;
   catalog->patterns.reserve(regexes.size());
-  for (const std::string& regex : regexes) {
+  const auto& cache = base_config.compile_cache;
+
+  const auto add_tenant = [&](std::string display, Pattern pattern) {
     EngineConfig config = base_config;
     config.shared_pool = pool;
     TenantPattern tenant;
-    tenant.regex = regex;
-    tenant.engine = std::make_unique<Engine>(Pattern::compile(regex), config);
+    tenant.regex = std::move(display);
+    tenant.engine = std::make_unique<Engine>(std::move(pattern), config);
     // Pre-warm the Σ*p searcher (streaming find runs on it): a blow-up
     // pattern trips ResourceExhausted HERE — at reload, where the old
-    // generation still serves — never inside a session open or feed.
+    // generation still serves — never inside a session open or feed. A
+    // bundle-shipped searcher makes this a no-op.
     (void)tenant.engine->searcher();
     catalog->patterns.push_back(std::move(tenant));
+  };
+
+  for (const std::string& entry : regexes) {
+    if (is_bundle_entry(entry)) {
+      // One map per manifest entry; every pattern of the bundle becomes a
+      // tenant (ids keep line-then-bundle order). Cached under the file's
+      // (path, index, mtime, size) identity — an unchanged bundle across
+      // reloads is pure hits, and even a miss is a zero-copy mapped load,
+      // not a compile.
+      const auto bundle = bundle::MappedBundle::open(entry);
+      for (std::uint32_t i = 0; i < bundle->pattern_count(); ++i) {
+        Pattern pattern =
+            cache != nullptr
+                ? cache->get_or_compile(
+                      CompileCache::bundle_key(entry, i),
+                      [&] { return Pattern::from_bundle(bundle, i); })
+                : Pattern::from_bundle(bundle, i);
+        std::string display = !pattern.source().empty()
+                                  ? std::string(pattern.source())
+                                  : entry + "#" + std::to_string(i);
+        add_tenant(std::move(display), std::move(pattern));
+      }
+    } else if (cache != nullptr) {
+      add_tenant(entry, cache->get_or_compile(CompileCache::regex_key(entry, 0),
+                                              [&] { return Pattern::compile(entry); }));
+    } else {
+      add_tenant(entry, Pattern::compile(entry));
+    }
   }
   return catalog;
 }

@@ -50,11 +50,22 @@ struct PatternCatalog {
 /// pattern-id order.
 std::vector<std::string> parse_manifest(std::string_view text);
 
-/// Compiles every regex into a catalog whose Engines share `pool`. The Σ*p
-/// searcher each streaming-find session needs is pre-warmed here, at reload
-/// time, so no session-open or feed ever pays a lazy subset construction.
-/// Throws RegexError on a malformed pattern and ResourceExhausted when a
-/// construction budget trips — the caller keeps serving the old generation.
+/// True when a manifest line names a compiled .rpb bundle instead of a
+/// regex. A bundle line expands IN PLACE to all of its patterns (ids keep
+/// line-then-bundle order), loaded zero-copy via Pattern::load_mapped —
+/// the cold-start path of docs/rispard.md "Bundle deployment".
+bool is_bundle_entry(std::string_view manifest_line);
+
+/// Compiles every manifest entry into a catalog whose Engines share `pool`.
+/// Regex entries compile (through base_config.compile_cache when set — an
+/// unchanged manifest reloads as pure cache hits); .rpb entries map their
+/// bundles and expand to every contained pattern (cached under the file's
+/// identity stamp). The Σ*p searcher each streaming-find session needs is
+/// pre-warmed here, at reload time, so no session-open or feed ever pays a
+/// lazy subset construction. Throws RegexError on a malformed pattern,
+/// ResourceExhausted when a construction budget trips, and ValidationError /
+/// std::system_error on a bad bundle — in every case the caller keeps
+/// serving the old generation.
 std::shared_ptr<const PatternCatalog> build_catalog(
     const std::vector<std::string>& regexes, std::uint64_t generation,
     std::shared_ptr<ThreadPool> pool, const EngineConfig& base_config);

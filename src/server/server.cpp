@@ -19,6 +19,8 @@
 #include <system_error>
 #include <utility>
 
+#include "engine/compile_cache.hpp"
+
 namespace rispar::rispard {
 
 namespace {
@@ -172,7 +174,10 @@ Server::Server(std::vector<std::string> seed_regexes, ServerConfig config)
     pthread_sigmask(SIG_BLOCK, &mask, nullptr);
   }
   pool_ = std::make_shared<ThreadPool>(config_.pool_threads, config_.admission);
-  catalog_.store(build_catalog(seed_regexes, 1, pool_, EngineConfig{}));
+  compile_cache_ = std::make_shared<CompileCache>();
+  EngineConfig seed_config;
+  seed_config.compile_cache = compile_cache_;
+  catalog_.store(build_catalog(seed_regexes, 1, pool_, seed_config));
   generation_.store(1);
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
@@ -641,6 +646,7 @@ void Server::handle_stats(Connection& conn) {
 std::string Server::stats_json() const {
   const ServerCounters c = counters();
   const PoolStats p = pool_->stats();
+  const CompileCacheStats cc = compile_cache_->stats();
   const std::shared_ptr<const PatternCatalog> catalog = catalog_.load();
   std::ostringstream json;
   json << "{"
@@ -660,7 +666,11 @@ std::string Server::stats_json() const {
        << ",\"pool\":{"
        << "\"queued\":" << p.queued << ",\"running\":" << p.running
        << ",\"executed\":" << p.executed << ",\"stolen\":" << p.stolen
-       << ",\"rejected\":" << p.rejected << "}}";
+       << ",\"rejected\":" << p.rejected << "}"
+       << ",\"compile_cache\":{"
+       << "\"hits\":" << cc.hits << ",\"misses\":" << cc.misses
+       << ",\"evictions\":" << cc.evictions << ",\"entries\":" << cc.entries
+       << ",\"bytes\":" << cc.bytes << "}}";
   return json.str();
 }
 
@@ -708,8 +718,11 @@ void Server::apply_reload(Connection* conn, std::string_view manifest_text) {
   std::shared_ptr<const PatternCatalog> next;
   try {
     // Built aside while the current generation keeps serving; in-flight
-    // sessions are untouched either way.
-    next = build_catalog(regexes, generation_.load() + 1, pool_, EngineConfig{});
+    // sessions are untouched either way. The server-lifetime compile cache
+    // makes an unchanged manifest a pure-hit rebuild: no recompilation.
+    EngineConfig reload_config;
+    reload_config.compile_cache = compile_cache_;
+    next = build_catalog(regexes, generation_.load() + 1, pool_, reload_config);
   } catch (const std::exception& e) {
     if (conn != nullptr)
       send_error(*conn, kNoSession, ErrorCode::kBadManifest, e.what());

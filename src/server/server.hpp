@@ -138,6 +138,13 @@ class Server {
   PoolStats pool_stats() const { return pool_->stats(); }
   std::uint64_t generation() const;
 
+  /// The server-lifetime compile cache every generation builds through —
+  /// reloading an unchanged manifest is pure hits (its stats ride in
+  /// STATS_JSON as "compile_cache").
+  const std::shared_ptr<CompileCache>& compile_cache() const {
+    return compile_cache_;
+  }
+
   /// The live catalog as a weak handle — tests observe retired-generation
   /// destruction through it without pinning anything themselves.
   std::weak_ptr<const PatternCatalog> catalog_handle() const;
@@ -203,6 +210,9 @@ class Server {
   int signal_fd_ = -1;  ///< SIGHUP, when config_.handle_sighup
 
   std::shared_ptr<ThreadPool> pool_;
+  /// Outlives every catalog generation: unchanged manifest lines and .rpb
+  /// entries carry their compiled Patterns across reloads.
+  std::shared_ptr<CompileCache> compile_cache_;
   std::atomic<std::shared_ptr<const PatternCatalog>> catalog_;
   std::atomic<std::uint64_t> generation_{0};
 

@@ -1,0 +1,127 @@
+// CompileCache tests — LRU semantics, byte-capacity accounting, the
+// (mtime, size)-stamped bundle keys, and the concurrent first-insert-wins
+// contract (ISSUE 8: the engine compile cache behind rispard's hot reload).
+#include "engine/compile_cache.hpp"
+
+#include <sys/stat.h>
+#include <unistd.h>
+#include <utime.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rispar {
+namespace {
+
+Pattern make_pattern(const std::string& regex, int* compiles = nullptr) {
+  if (compiles != nullptr) ++*compiles;
+  return Pattern::compile(regex);
+}
+
+TEST(CompileCache, HitsAreSharedPtrBumpsNotRecompiles) {
+  CompileCache cache;
+  int compiles = 0;
+  const auto key = CompileCache::regex_key("(ab)*", 0);
+  const Pattern first =
+      cache.get_or_compile(key, [&] { return make_pattern("(ab)*", &compiles); });
+  const Pattern second =
+      cache.get_or_compile(key, [&] { return make_pattern("(ab)*", &compiles); });
+  EXPECT_EQ(compiles, 1);
+  // Same compiled core, not merely equivalent: shared-ownership copies.
+  EXPECT_EQ(&first.min_dfa(), &second.min_dfa());
+  const CompileCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes, first.approx_bytes());
+}
+
+TEST(CompileCache, SubsetBudgetIsPartOfTheKey) {
+  EXPECT_NE(CompileCache::regex_key("a*", 0), CompileCache::regex_key("a*", 100));
+  EXPECT_NE(CompileCache::regex_key("a*", 0), CompileCache::regex_key("a+", 0));
+}
+
+TEST(CompileCache, ByteCapacityEvictsLeastRecentlyUsed) {
+  // Budget two small patterns, then touch the first so the SECOND is the
+  // LRU victim when a third arrives.
+  const std::size_t one = Pattern::compile("a").approx_bytes();
+  CompileCache cache(2 * one + one / 2);
+  (void)cache.get_or_compile("k1", [] { return Pattern::compile("a"); });
+  (void)cache.get_or_compile("k2", [] { return Pattern::compile("b"); });
+  (void)cache.get_or_compile("k1", [] { return Pattern::compile("a"); });
+  (void)cache.get_or_compile("k3", [] { return Pattern::compile("c"); });
+
+  CompileCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  int recompiled = 0;
+  (void)cache.get_or_compile("k1", [&] { return make_pattern("a", &recompiled); });
+  (void)cache.get_or_compile("k2", [&] { return make_pattern("b", &recompiled); });
+  EXPECT_EQ(recompiled, 1) << "k2 should have been the evicted entry";
+}
+
+TEST(CompileCache, OversizedNewestEntryIsStillRetained) {
+  CompileCache cache(1);  // nothing fits, yet the latest compile must stay
+  (void)cache.get_or_compile("big", [] { return Pattern::compile("(a|b)*abb"); });
+  EXPECT_EQ(cache.stats().entries, 1u);
+  int recompiled = 0;
+  (void)cache.get_or_compile("big", [&] { return make_pattern("x", &recompiled); });
+  EXPECT_EQ(recompiled, 0);
+}
+
+TEST(CompileCache, ClearDropsEntriesButKeepsCounters) {
+  CompileCache cache;
+  (void)cache.get_or_compile("k", [] { return Pattern::compile("a"); });
+  cache.clear();
+  const CompileCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(CompileCache, BundleKeyTracksFileIdentity) {
+  const std::string path = ::testing::TempDir() + "rispar_cc_key_" +
+                           std::to_string(::getpid()) + ".rpb";
+  Pattern::compile("a+").save_bundle(path);
+  const std::string before = CompileCache::bundle_key(path, 0);
+  EXPECT_EQ(before, CompileCache::bundle_key(path, 0));
+  EXPECT_NE(before, CompileCache::bundle_key(path, 1));
+
+  // Republish with a different mtime: the key must change, so a reload
+  // misses instead of serving the machines of the retired file.
+  struct utimbuf times{.actime = 1'000'000, .modtime = 1'000'000};
+  ASSERT_EQ(::utime(path.c_str(), &times), 0);
+  EXPECT_NE(CompileCache::bundle_key(path, 0), before);
+  std::filesystem::remove(path);
+}
+
+TEST(CompileCache, ConcurrentMissesResolveFirstInsertWins) {
+  CompileCache cache;
+  constexpr int kThreads = 8;
+  std::atomic<int> compiles{0};
+  std::vector<const void*> cores(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      const Pattern p = cache.get_or_compile("shared", [&] {
+        compiles.fetch_add(1);
+        return Pattern::compile("(ab|ba)*");
+      });
+      cores[static_cast<std::size_t>(t)] = &p.min_dfa();
+    });
+  for (auto& thread : threads) thread.join();
+  // Several threads may have compiled (the factory runs unlocked), but all
+  // of them must end up holding the one winning Pattern.
+  EXPECT_GE(compiles.load(), 1);
+  for (const void* core : cores) EXPECT_EQ(core, cores[0]);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+}  // namespace
+}  // namespace rispar

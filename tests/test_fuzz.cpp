@@ -21,6 +21,7 @@
 #include "automata/serialize.hpp"
 #include "automata/subset.hpp"
 #include "automata/timbuk.hpp"
+#include "bundle/mapped_bundle.hpp"
 #include "core/interface_min.hpp"
 #include "engine/engine.hpp"
 #include "helpers.hpp"
@@ -351,6 +352,89 @@ TEST(PatternBundleFuzz, CorruptedSectionsErrorCleanly) {
       (void)Engine(loaded, {.threads = 1}).recognize("abd");
     } catch (const std::runtime_error&) {
       // Rejection (including RegexError-free load failures) is fine.
+    }
+  }
+}
+
+// ------------------------------------------------ binary bundle fuzzing
+// (ISSUE 8 satellite): the .rpb zero-copy path on hostile images. Unlike
+// the text path above, a mapped bundle's tables are ADOPTED, not parsed —
+// so validation is the only line of defense: every corruption must surface
+// as ValidationError (or load cleanly when the checksums happen to still
+// hold), never as a crash or a wild read. from_memory() exercises the exact
+// open() validation pipeline without touching the filesystem.
+
+TEST(BinaryBundleFuzz, WrongMagicVersionAndGarbageRejected) {
+  EXPECT_THROW((void)bundle::MappedBundle::from_memory(""), ValidationError);
+  EXPECT_THROW((void)bundle::MappedBundle::from_memory("rispar"), ValidationError);
+  EXPECT_THROW((void)bundle::MappedBundle::from_memory(std::string(4096, 'x')),
+               ValidationError);
+  std::string image = Pattern::bundle_image({});
+  // Flip the magic, then (on a fresh image) the version field.
+  std::string bad_magic = image;
+  bad_magic[0] ^= 0x20;
+  EXPECT_THROW((void)bundle::MappedBundle::from_memory(bad_magic), ValidationError);
+  std::string bad_version = image;
+  bad_version[8] = 99;
+  EXPECT_THROW((void)bundle::MappedBundle::from_memory(bad_version),
+               ValidationError);
+}
+
+TEST(BinaryBundleFuzz, TruncationsErrorCleanly) {
+  const Pattern pattern = Pattern::compile("(ab|ba)*a");
+  const std::string image = Pattern::bundle_image({&pattern, 1});
+  // Dense sweep through the header + directory, strided through the body.
+  for (std::size_t cut = 0; cut < image.size();
+       cut += (cut < 256 || cut + 64 >= image.size()) ? 1 : 97) {
+    try {
+      const auto bundle = bundle::MappedBundle::from_memory(image.substr(0, cut));
+      (void)Pattern::from_bundle(bundle);
+      ADD_FAILURE() << "truncation at " << cut << " validated";
+    } catch (const ValidationError&) {
+      // The only acceptable outcome: file_bytes/checksums catch every cut.
+    }
+  }
+}
+
+TEST(BinaryBundleFuzz, RandomByteFlipsNeverCrash) {
+  const Pattern pattern = Pattern::compile("a(b|c)*d");
+  const std::string image = Pattern::bundle_image({&pattern, 1});
+  Prng prng(0xbadb17);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string corrupt = image;
+    const std::size_t edits = 1 + prng.pick_index(8);
+    for (std::size_t e = 0; e < edits; ++e)
+      corrupt[prng.pick_index(corrupt.size())] ^=
+          static_cast<char>(1 + prng.pick_index(255));
+    try {
+      const Pattern loaded =
+          Pattern::from_bundle(bundle::MappedBundle::from_memory(corrupt));
+      // Checksums make a silent survival astronomically unlikely, but IF an
+      // image validates it must serve queries without crashing.
+      (void)Engine(loaded, {.threads = 1}).recognize("abcd");
+    } catch (const ValidationError&) {
+      // The expected outcome.
+    }
+  }
+}
+
+TEST(BinaryBundleFuzz, DirectoryFieldMutationsAreContained) {
+  // Target the header + directory specifically (offsets, sizes, counts,
+  // section types): these drive every downstream read, so a wild value here
+  // is where an unvalidated loader would walk off the mapping.
+  const Pattern pattern = Pattern::compile("x[yz]{2,5}");
+  const std::string image = Pattern::bundle_image({&pattern, 1});
+  const std::size_t directory_end = std::min<std::size_t>(image.size(), 512);
+  for (std::size_t at = 8; at < directory_end; ++at) {
+    for (const unsigned char value : {0x00, 0x01, 0x7f, 0xff}) {
+      std::string corrupt = image;
+      corrupt[at] = static_cast<char>(value);
+      try {
+        const Pattern loaded =
+            Pattern::from_bundle(bundle::MappedBundle::from_memory(corrupt));
+        (void)Engine(loaded, {.threads = 1}).recognize("xyz");
+      } catch (const ValidationError&) {
+      }
     }
   }
 }

@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -19,6 +20,7 @@
 
 #include <gtest/gtest.h>
 
+#include "engine/compile_cache.hpp"
 #include "engine/engine.hpp"
 #include "server/catalog.hpp"
 #include "server/protocol.hpp"
@@ -503,6 +505,87 @@ TEST(RispardReload, RetiredGenerationIsFreedWhenItsLastSessionCloses) {
   for (int i = 0; i < 200 && !gen1.expired(); ++i)
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   EXPECT_TRUE(gen1.expired());
+}
+
+// ISSUE 8 satellite: an UNCHANGED manifest reload is served from the compile
+// cache — every line is a hit (shared_ptr bump), no recompilation — and the
+// cache counters are observable over the socket via STATS_JSON.
+TEST(RispardReload, UnchangedManifestReloadServesFromTheCompileCache) {
+  ServerHarness harness({"ab", "a[0-9]+b"});
+  Client client(harness.port());
+  ASSERT_GE(client.fd, 0);
+
+  const auto cache_stats = [&] { return harness.server->compile_cache()->stats(); };
+  // Seeding compiled both lines through the cache: two misses, no hits.
+  EXPECT_EQ(cache_stats().misses, 2u);
+  EXPECT_EQ(cache_stats().hits, 0u);
+
+  // Reload the exact same manifest: generation bumps, both lines hit.
+  ASSERT_TRUE(client.send(make_reload("ab\na[0-9]+b\n")));
+  Frame frame;
+  ASSERT_TRUE(client.recv(frame));
+  ASSERT_EQ(frame.type, FrameType::kReloaded);
+  EXPECT_EQ(cache_stats().misses, 2u);
+  EXPECT_EQ(cache_stats().hits, 2u);
+
+  // And the new generation serves correctly.
+  ASSERT_EQ(client.open(1, 1), 2u);
+  EXPECT_EQ(client.feed(1, "xa42by").matches_total, 1u);
+
+  // The counters surface over the wire too (the fleet's observability path).
+  ASSERT_TRUE(client.send(make_stats()));
+  ASSERT_TRUE(client.recv(frame));
+  ASSERT_EQ(frame.type, FrameType::kStatsJson);
+  const std::string json(frame.payload);
+  EXPECT_NE(json.find("\"compile_cache\":{\"hits\":2,\"misses\":2"),
+            std::string::npos)
+      << json;
+}
+
+// ISSUE 8 satellite: a manifest line may name a .rpb bundle; its patterns
+// expand in place (zero-copy mapped) and repeated reloads of the unchanged
+// file are cache hits keyed on the bundle's (mtime, size) identity.
+TEST(RispardReload, BundleManifestEntryServesMappedPatterns) {
+  const std::string bundle_path = ::testing::TempDir() + "rispard_manifest_" +
+                                  std::to_string(::getpid()) + ".rpb";
+  {
+    const std::vector<Pattern> patterns = {Pattern::compile("cd+"),
+                                           Pattern::compile("[xy]z")};
+    Pattern::save_bundle_many(bundle_path, patterns);
+  }
+
+  ServerHarness harness({"ab"});
+  Client client(harness.port());
+  ASSERT_GE(client.fd, 0);
+
+  const std::string manifest = "ab\n" + bundle_path + "\n";
+  Frame frame;
+  ASSERT_TRUE(client.send(make_reload(manifest)));
+  ASSERT_TRUE(client.recv(frame));
+  ASSERT_EQ(frame.type, FrameType::kReloaded);
+  {
+    PayloadReader payload(frame.payload);
+    EXPECT_EQ(payload.get_u64(), 2u);  // generation
+    EXPECT_EQ(payload.get_u32(), 3u);  // ab + two bundle patterns
+  }
+
+  // Pattern ids keep line-then-bundle order: 0 = /ab/, 1 = /cd+/, 2 = /[xy]z/.
+  ASSERT_EQ(client.open(1, 1), 2u);
+  EXPECT_EQ(client.feed(1, "acda").matches_total, 1u);
+  ASSERT_EQ(client.open(2, 2), 2u);
+  EXPECT_EQ(client.feed(2, "wxz yz").matches_total, 2u);
+
+  // Unchanged file ⇒ reload hits the cache for both bundle patterns.
+  const auto before = harness.server->compile_cache()->stats();
+  ASSERT_TRUE(client.send(make_reload(manifest)));
+  ASSERT_TRUE(client.recv(frame));
+  ASSERT_EQ(frame.type, FrameType::kReloaded);
+  const auto after = harness.server->compile_cache()->stats();
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_EQ(after.hits, before.hits + 3);
+
+  std::error_code ec;
+  std::filesystem::remove(bundle_path, ec);
 }
 
 // The concurrent hammer the issue asks for: feeds racing RELOAD swaps. Runs

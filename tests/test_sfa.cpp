@@ -18,10 +18,9 @@ TEST(Sfa, IdentityIsInitialState) {
   const Dfa dfa = testing::fig2_dfa();
   const auto sfa = try_build_sfa(dfa);
   ASSERT_TRUE(sfa.has_value());
-  const auto& identity = sfa->mapping(sfa->initial());
-  ASSERT_EQ(identity.size(), 2u);
-  EXPECT_EQ(identity[0], 0);
-  EXPECT_EQ(identity[1], 1);
+  ASSERT_EQ(sfa->map_width(), 2);
+  EXPECT_EQ(sfa->mapping_entry(sfa->initial(), 0), 0);
+  EXPECT_EQ(sfa->mapping_entry(sfa->initial(), 1), 1);
 }
 
 TEST(Sfa, MappingsComposeLikeDfaRuns) {
@@ -38,7 +37,7 @@ TEST(Sfa, MappingsComposeLikeDfaRuns) {
     for (State q = 0; q < dfa.num_states(); ++q) {
       std::uint64_t ignore = 0;
       const State direct = run_dfa_span(dfa, q, word.data(), word.size(), ignore);
-      EXPECT_EQ(sfa->mapping(arrival)[static_cast<std::size_t>(q)], direct);
+      EXPECT_EQ(sfa->mapping_entry(arrival, q), direct);
     }
   }
 }

@@ -10,9 +10,12 @@ only, so a slow oracle never blocks a PR. Benchmarks are matched by
 name+label; entries present on only one side are reported and skipped (new
 benchmarks have no baseline yet, retired ones no longer matter). The metric
 is bytes_per_second when both sides report it, else 1/real_time. Entries
-that carry a "p99_ms" tail-latency figure (the rispard serving sweep) are
-additionally gated on it, lower-is-better, at the same threshold — a serving
-path can lose a PR on p99 growth even when aggregate throughput held.
+that carry one of the LOWER_IS_BETTER side metrics — "p99_ms" tail latency
+(the rispard serving sweep) or the "load_ms"/"reload_ms" bundle timings (the
+BENCH_bundle_load cold-start sweep) — are additionally gated on each, with
+the regression direction flipped, at the same threshold: a serving path can
+lose a PR on p99 growth even when aggregate throughput held, and the
+zero-copy loader can lose one on load-time growth.
 
 A missing or unreadable baseline file exits 0 with a note: the very first CI
 run (and any run after artifact expiry) has nothing to compare against —
@@ -22,6 +25,12 @@ this script is the gate only once a trajectory exists.
 import argparse
 import json
 import sys
+
+# Per-entry side metrics gated lower-is-better (latency-shaped), unlike the
+# higher-is-better throughput headline. Benchmark counters surface as
+# top-level fields of each entry in google-benchmark JSON, so adding a
+# counter with one of these names to any benchmark opts it into the gate.
+LOWER_IS_BETTER = ("p99_ms", "load_ms", "reload_ms")
 
 
 def load(path):
@@ -103,16 +112,19 @@ def main():
         if change < -args.threshold:
             regressions.append((key, change))
 
-        # Tail latency, where reported: p99 is lower-is-better, so the
-        # regression direction flips relative to throughput.
-        old_p99 = float(old[key].get("p99_ms", 0.0))
-        new_p99 = float(entry.get("p99_ms", 0.0))
-        if old_p99 > 0 and new_p99 > 0:
-            latency_change = new_p99 / old_p99 - 1.0
-            marker = "REGRESSION" if latency_change > args.threshold else "ok"
-            print(f"  {marker:>10}: {key[0]} [{key[1]}] {latency_change:+.1%} (p99_ms)")
-            if latency_change > args.threshold:
-                regressions.append((key, latency_change))
+        # Lower-is-better side metrics, where reported (tail latency, bundle
+        # load/reload timings): the regression direction flips relative to
+        # throughput.
+        for field in LOWER_IS_BETTER:
+            old_side = float(old[key].get(field, 0.0))
+            new_side = float(entry.get(field, 0.0))
+            if old_side > 0 and new_side > 0:
+                side_change = new_side / old_side - 1.0
+                marker = "REGRESSION" if side_change > args.threshold else "ok"
+                print(f"  {marker:>10}: {key[0]} [{key[1]}] "
+                      f"{side_change:+.1%} ({field})")
+                if side_change > args.threshold:
+                    regressions.append((key, side_change))
 
     for key in sorted(set(old) - set(new)):
         if guarded(old[key], tags):
