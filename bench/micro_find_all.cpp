@@ -84,6 +84,34 @@ BENCHMARK(BM_FindMatches)
     ->Args({32, 1, 2})
     ->Unit(benchmark::kMillisecond);
 
+// Exact-begin resolution layered on the same scan (ISSUE 9): every joined
+// hit additionally walks the cached reverse DFA backwards from its end to
+// the leftmost start. New series — no baseline in earlier BENCH files, so
+// bench_compare.py reports it as "new" rather than gating it; the expected
+// cost over BM_FindMatches is the per-hit backward walk, bounded by
+// match density × backward distance to the resolution floor (small for
+// separator-sound patterns like this literal). Args: (chunks, convergence,
+// kernel).
+void BM_FindMatchesExactBegin(benchmark::State& state) {
+  FindFixture& f = fixture();
+  const ReverseBegins& reverse = f.pattern.reverse_begins();  // cached, unpaid
+  QueryOptions options = options_from_args(state);
+  options.begin_mode = BeginMode::kExact;
+  for (auto _ : state) {
+    const QueryResult result = find_matches(f.pattern.searcher(), f.input,
+                                            f.pool, options, 0, nullptr, &reverse);
+    benchmark::DoNotOptimize(result.positions.size());
+  }
+  state.SetLabel(label_from_args(state) + "/exact");
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * f.input.size()));
+}
+BENCHMARK(BM_FindMatchesExactBegin)
+    ->Args({1, 0, 1})
+    ->Args({8, 0, 1})
+    ->Args({8, 1, 1})
+    ->Args({32, 1, 1})
+    ->Unit(benchmark::kMillisecond);
+
 // What positions cost over bare counting on the identical scan. Args as
 // above.
 void BM_CountMatchesBaseline(benchmark::State& state) {

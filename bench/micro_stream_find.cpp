@@ -19,6 +19,7 @@
 #include "benchmark_json_main.hpp"
 #include "common.hpp"
 #include "engine/engine.hpp"
+#include "engine/pattern_set.hpp"
 #include "parallel/match_count.hpp"
 #include "workloads/suite.hpp"
 
@@ -110,6 +111,75 @@ BENCHMARK(BM_OneShotFindBaseline)
     ->Args({1, 0, 1})
     ->Args({8, 0, 1})
     ->Args({8, 1, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// Streaming exact begins (ISSUE 9): the same windowed feed with
+// begin_mode = kExact — each window's hits resolve through the reverse DFA
+// and the carry retains the history tail between windows. New series (no
+// baseline → bench_compare.py reports "new", not gated); expected overhead
+// over BM_StreamFind is the per-hit backward walk plus the history
+// bookkeeping, both small for separator-sound patterns. Args: (window KiB,
+// chunks).
+void BM_StreamFindExactBegin(benchmark::State& state) {
+  StreamFixture& f = fixture();
+  QueryOptions options;
+  options.positions = true;
+  options.begin_mode = BeginMode::kExact;
+  options.chunks = static_cast<std::size_t>(state.range(1));
+  const std::size_t window = static_cast<std::size_t>(state.range(0)) << 10;
+  for (auto _ : state) {
+    StreamSession stream = f.engine.stream(options);
+    std::uint64_t sum = 0;
+    const MatchSink sink = [&](const Match& m) { sum += m.begin; };
+    for (std::size_t offset = 0; offset < f.text.size(); offset += window)
+      stream.feed(std::string_view(f.text)
+                      .substr(offset, std::min(window, f.text.size() - offset)),
+                  sink);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetLabel("w=" + std::to_string(state.range(0)) + "KiB/c=" +
+                 std::to_string(state.range(1)) + "/exact");
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * f.text.size()));
+}
+BENCHMARK(BM_StreamFindExactBegin)
+    ->Args({64, 1})
+    ->Args({64, 8})
+    ->Args({256, 8})
+    ->Unit(benchmark::kMillisecond);
+
+// Multi-pattern streaming (ISSUE 9): one feed, N searcher carries, merged
+// tagged emission — against N× the single-pattern cost. New series (no
+// baseline → not gated). Args: (window KiB, chunks, exact).
+void BM_MultiStreamFind(benchmark::State& state) {
+  static const PatternSet set =
+      PatternSet::compile({"<h3>", "section", "the"}, {.threads = 4});
+  StreamFixture& f = fixture();
+  QueryOptions options;
+  options.chunks = static_cast<std::size_t>(state.range(1));
+  if (state.range(2) != 0) options.begin_mode = BeginMode::kExact;
+  const std::size_t window = static_cast<std::size_t>(state.range(0)) << 10;
+  for (auto _ : state) {
+    MultiStreamSession session = set.stream_find(options);
+    std::uint64_t sum = 0;
+    const MatchSink sink = [&](const Match& m) { sum += m.end + m.pattern_id; };
+    for (std::size_t offset = 0; offset < f.text.size(); offset += window)
+      session.feed(std::string_view(f.text)
+                       .substr(offset, std::min(window, f.text.size() - offset)),
+                   sink);
+    benchmark::DoNotOptimize(sum);
+    benchmark::DoNotOptimize(session.matches());
+  }
+  state.SetLabel("3 patterns, w=" + std::to_string(state.range(0)) + "KiB/c=" +
+                 std::to_string(state.range(1)) +
+                 (state.range(2) ? "/exact" : "/separator"));
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * f.text.size()));
+}
+BENCHMARK(BM_MultiStreamFind)
+    ->Args({64, 1, 0})
+    ->Args({64, 1, 1})
+    ->Args({64, 8, 0})
     ->Unit(benchmark::kMillisecond);
 
 // The buffered drain shape (feed + take_matches per window) against the

@@ -1,0 +1,118 @@
+#include "automata/searcher.hpp"
+
+#include <vector>
+
+#include "automata/minimize.hpp"
+#include "automata/nfa_ops.hpp"
+#include "automata/subset.hpp"
+#include "util/fault_inject.hpp"
+
+namespace rispar {
+
+namespace {
+
+/// The pattern's byte partition extended so every byte translates to a real
+/// symbol (occurrences sit inside arbitrary text): the original classes
+/// plus one class of all uncovered bytes. `remap` receives old symbol id →
+/// id in the returned map.
+SymbolMap full_byte_map(const SymbolMap& map, std::vector<Symbol>& remap) {
+  const std::int32_t k = map.num_symbols();
+  std::vector<ByteSet> classes(static_cast<std::size_t>(k));
+  ByteSet uncovered;
+  for (int b = 0; b < 256; ++b) {
+    const std::int32_t s = map.symbol_of(static_cast<unsigned char>(b));
+    if (s == SymbolMap::kUnmapped)
+      uncovered.set(static_cast<std::size_t>(b));
+    else
+      classes[static_cast<std::size_t>(s)].set(static_cast<std::size_t>(b));
+  }
+  if (uncovered.any()) classes.push_back(uncovered);
+  SymbolMap full = SymbolMap::build(classes);
+  remap.resize(static_cast<std::size_t>(k));
+  for (std::int32_t s = 0; s < k; ++s)
+    remap[static_cast<std::size_t>(s)] = full.symbol_of(map.representative(s));
+  return full;
+}
+
+/// The pattern NFA copied onto `full` (no extra states): the backbone both
+/// the searcher and the reverse machine share.
+Nfa lift_to_full_map(const Nfa& nfa, const SymbolMap& full,
+                     const std::vector<Symbol>& remap) {
+  Nfa lifted(full.num_symbols(), full);
+  for (State q = 0; q < nfa.num_states(); ++q) lifted.add_state(nfa.is_final(q));
+  for (State q = 0; q < nfa.num_states(); ++q)
+    for (const NfaEdge& edge : nfa.edges(q))
+      lifted.add_edge(q, remap[static_cast<std::size_t>(edge.symbol)], edge.target);
+  lifted.set_initial(nfa.initial());
+  return lifted;
+}
+
+}  // namespace
+
+Nfa build_searcher_nfa(const Nfa& nfa) {
+  std::vector<Symbol> remap;
+  const SymbolMap full = full_byte_map(nfa.symbols(), remap);
+
+  Nfa searcher(full.num_symbols(), full);
+  const State loop = searcher.add_state(nfa.is_final(nfa.initial()));
+  std::vector<State> copy(static_cast<std::size_t>(nfa.num_states()));
+  for (State q = 0; q < nfa.num_states(); ++q)
+    copy[static_cast<std::size_t>(q)] = searcher.add_state(nfa.is_final(q));
+  for (State q = 0; q < nfa.num_states(); ++q)
+    for (const NfaEdge& edge : nfa.edges(q))
+      searcher.add_edge(copy[static_cast<std::size_t>(q)],
+                        remap[static_cast<std::size_t>(edge.symbol)],
+                        copy[static_cast<std::size_t>(edge.target)]);
+  for (Symbol a = 0; a < full.num_symbols(); ++a) searcher.add_edge(loop, a, loop);
+  for (const NfaEdge& edge : nfa.edges(nfa.initial()))
+    searcher.add_edge(loop, remap[static_cast<std::size_t>(edge.symbol)],
+                      copy[static_cast<std::size_t>(edge.target)]);
+  searcher.set_initial(loop);
+  return searcher;
+}
+
+Dfa build_searcher_dfa(const Nfa& nfa, std::int32_t max_subset_states) {
+  Dfa dfa = minimize_dfa(determinize_bounded(build_searcher_nfa(nfa), max_subset_states));
+  dfa.packed();  // pre-warm like every other query machine
+  return dfa;
+}
+
+ReverseBegins build_reverse_begins(const Nfa& nfa, std::int32_t max_subset_states) {
+  fault::maybe_throw("reverse.build");
+
+  std::vector<Symbol> remap;
+  const SymbolMap full = full_byte_map(nfa.symbols(), remap);
+
+  // reverse() introduces an ε-branching fresh initial; normalize it away so
+  // the subset construction sees the ε-free shape it requires.
+  Nfa reversed = trim_unreachable(remove_epsilon(reverse(lift_to_full_map(nfa, full, remap))));
+  ReverseBegins result;
+  result.dfa = minimize_dfa(determinize_bounded(reversed, max_subset_states));
+  result.dfa.packed();
+
+  // Separator-soundness certificate: determinize the searcher NFA keeping
+  // each DFA state's subset, and check that every state minimization would
+  // merge into the initial's Nerode class is the pure {loop} subset (loop =
+  // searcher state 0). Then "state == initial" in the minimized searcher
+  // really means "no live partial occurrence here", so no occurrence can
+  // straddle a separator and the backward scan may stop at one. If any
+  // merged state still holds pattern states (p = "a|ba" after 'b'), a
+  // separator can sit inside a true occurrence and the certificate fails.
+  std::vector<std::vector<State>> contents;
+  const Dfa det = determinize_bounded(build_searcher_nfa(nfa), max_subset_states, &contents);
+  const NerodePartition classes = nerode_classes(det);
+  const std::int32_t initial_class =
+      classes.class_of[static_cast<std::size_t>(det.initial())];
+  result.separators_sound = true;
+  for (State s = 0; s < det.num_states(); ++s) {
+    if (classes.class_of[static_cast<std::size_t>(s)] != initial_class) continue;
+    const std::vector<State>& subset = contents[static_cast<std::size_t>(s)];
+    if (subset.size() != 1 || subset[0] != 0) {
+      result.separators_sound = false;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace rispar

@@ -1,0 +1,57 @@
+// The Σ*p searcher family and its reverse-DFA companion.
+//
+// Forward: build_searcher_nfa/build_searcher_dfa derive the occurrence
+// machine Pattern::searcher() caches — the pattern NFA over a SymbolMap
+// extended to cover all 256 bytes, plus a Σ-self-loop start state, so the
+// machine is final after exactly the prefixes ending an occurrence.
+//
+// Reverse (ISSUE 9 tentpole): build_reverse_begins derives the machine that
+// pins *leftmost-exact* begins. The reversed pattern NFA (same full byte
+// map, NO Σ-loop) is determinized and minimized; running it backwards from
+// a match end over the searcher-translated text visits final states exactly
+// at the positions b with text[b..end) ∈ L(p) — the smallest such b is the
+// exact begin. The struct also records whether the searcher's separator
+// positions are *sound* truncation points for that backward scan (see
+// ReverseBegins::separators_sound): minimization can merge a subset that
+// still holds a live partial occurrence into the initial state's class
+// (e.g. p = "a|ba": after 'b' the subset {loop, after-b} is language-
+// equivalent to {loop}), in which case a separator may sit strictly inside
+// a true occurrence and the scan must not stop there.
+#pragma once
+
+#include <cstdint>
+
+#include "automata/dfa.hpp"
+#include "automata/nfa.hpp"
+
+namespace rispar {
+
+/// The pattern NFA lifted onto a byte-complete alphabet and extended with a
+/// Σ-self-loop start state (state 0). Requires an ε-free input NFA.
+Nfa build_searcher_nfa(const Nfa& nfa);
+
+/// Minimal packed DFA of build_searcher_nfa — what Pattern::searcher()
+/// caches. Throws ResourceExhausted when the determinization exceeds
+/// `max_subset_states` (<= 0 = unbounded).
+Dfa build_searcher_dfa(const Nfa& nfa, std::int32_t max_subset_states);
+
+/// The cached reverse-confirmation artifact of a Pattern (lazily built by
+/// Pattern::reverse_begins). `dfa` consumes searcher-translated symbols
+/// backwards; its initial state is final iff ε ∈ L(p).
+struct ReverseBegins {
+  Dfa dfa;
+  /// True when every searcher state minimized into the initial state's
+  /// Nerode class corresponds to the pure {loop} subset — i.e. a separator
+  /// position provably carries no live partial occurrence, so the backward
+  /// scan (and a streaming session's history carry) may stop at the last
+  /// separator. When false, exact-begin resolution must scan to the window
+  /// start (one-shot) or retain history from the stream start (streaming).
+  bool separators_sound = false;
+};
+
+/// Builds the reverse machine + the separator-soundness certificate.
+/// Fault-injection site: "reverse.build". Throws ResourceExhausted when a
+/// determinization exceeds `max_subset_states` (<= 0 = unbounded).
+ReverseBegins build_reverse_begins(const Nfa& nfa, std::int32_t max_subset_states);
+
+}  // namespace rispar

@@ -23,8 +23,9 @@ void Device::stream_feed(StreamCarry& carry, std::span<const Symbol> window,
   find_options.convergence = options.convergence;
   find_options.kernel = options.kernel;
   find_options.positions = true;
+  find_options.begin_mode = options.begin_mode;
   stream_find_feed(find->searcher, carry.find, find->window, pool, find_options,
-                   find->sink, find->pattern_id, gov);
+                   find->sink, find->pattern_id, gov, find->reverse);
 }
 
 }  // namespace rispar

@@ -61,6 +61,9 @@ struct StreamFindWindow {
   std::span<const Symbol> window;
   const MatchSink& sink;
   std::uint32_t pattern_id = 0;
+  /// Required under QueryOptions::begin_mode == BeginMode::kExact: the
+  /// pattern's reverse-confirmation artifact (Pattern::reverse_begins).
+  const ReverseBegins* reverse = nullptr;
 };
 
 class Device {
@@ -84,6 +87,7 @@ class Device {
     caps.lookback = false;
     caps.tree_join = false;
     caps.positions = true;
+    caps.exact_begins = true;  // rides the searcher/reverse pair, like positions
     return caps;
   }
 

@@ -77,9 +77,17 @@ QueryResult Engine::find(std::string_view text, const QueryOptions& options) con
   const QueryGovernor governor(options.deadline, options.cancel);
   const Dfa& dfa = searcher();
   governor.poll();
+  // Exact begins pay the lazy reverse-DFA build here, inside the same
+  // deadline budget as the searcher (subsequent calls hit the cache).
+  const ReverseBegins* reverse =
+      options.begin_mode == BeginMode::kExact
+          ? &pattern_.reverse_begins(config_.subset_budget)
+          : nullptr;
+  governor.poll();
   const std::vector<Symbol> input = dfa.symbols().translate(text);
   governor.poll();
-  return find_matches(dfa, input, *pool_, options, /*pattern_id=*/0, &governor);
+  return find_matches(dfa, input, *pool_, options, /*pattern_id=*/0, &governor,
+                      reverse);
 }
 
 std::vector<Match> Engine::find_all(std::string_view text,
@@ -95,7 +103,10 @@ StreamSession Engine::stream(const QueryOptions& options) const {
   // Positions sessions pay the lazy searcher build here, at open — never
   // inside the first feed on the hot path (and under this Engine's
   // subset_budget, so a blow-up pattern trips ResourceExhausted at open).
+  // Exact-begin sessions likewise pre-pay the reverse-DFA build.
   if (options.positions) (void)searcher();
+  if (options.begin_mode == BeginMode::kExact)
+    (void)pattern_.reverse_begins(config_.subset_budget);
   return StreamSession(dev, pattern_, *pool_, options);
 }
 
@@ -172,7 +183,11 @@ void StreamSession::feed(std::string_view bytes, const MatchSink& sink) {
     // all-bytes map (one symbol per byte) for position emission.
     const Dfa& searcher = pattern_.searcher();
     const std::vector<Symbol> find_window = searcher.symbols().translate(bytes);
-    const StreamFindWindow find{searcher, find_window, sink};
+    const ReverseBegins* reverse = options_.begin_mode == BeginMode::kExact
+                                       ? &pattern_.reverse_begins()
+                                       : nullptr;
+    const StreamFindWindow find{searcher, find_window, sink, /*pattern_id=*/0,
+                                reverse};
     if (dead()) {
       // The decision already died — its window would no-op anyway, so skip
       // the device-side translation (the tailing steady state: only the

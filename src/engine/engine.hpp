@@ -177,9 +177,12 @@ class Engine {
 ///     matches until taken (unbounded if never drained — drain per window);
 ///   * feed(bytes, sink) — the sink sees each match as the window joins;
 ///     nothing accumulates in the session.
-/// A match's begin may point into an EARLIER window (the carried separator
-/// — same documented over-approximation as one-shot find, see Match in
-/// engine/query.hpp); callers that slice text around matches must retain
+/// A match's begin may point into an EARLIER window: under the default
+/// BeginMode::kSeparator it is the carried separator (a left BOUND, same
+/// semantics as one-shot find — see Match in engine/query.hpp); under
+/// BeginMode::kExact it is the true leftmost start, resolved through the
+/// reverse DFA over the carried history tail (begins cross window
+/// boundaries exactly). Callers that slice text around matches must retain
 /// bytes accordingly. Symbol-span feeds cannot serve finding (the searcher
 /// translates raw bytes with its own map) and REJECT on positions sessions.
 ///

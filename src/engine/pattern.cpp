@@ -10,6 +10,7 @@
 #include "automata/glushkov.hpp"
 #include "automata/minimize.hpp"
 #include "automata/nfa_ops.hpp"
+#include "automata/searcher.hpp"
 #include "automata/serialize.hpp"
 #include "automata/subset.hpp"
 #include "automata/timbuk.hpp"
@@ -39,6 +40,9 @@ struct Pattern::Compiled {
   mutable std::once_flag searcher_once;
   mutable std::optional<Dfa> searcher;
 
+  mutable std::once_flag reverse_once;
+  mutable std::optional<ReverseBegins> reverse;
+
   mutable std::once_flag sfa_once;
   mutable std::optional<Sfa> sfa;
   mutable std::optional<SfaDevice> sfa_dev;
@@ -47,51 +51,12 @@ struct Pattern::Compiled {
 
 namespace {
 
-/// The Σ*p machine of an ε-free NFA: a new start state that loops on every
-/// symbol of an alphabet extended to cover all 256 bytes (occurrences sit
-/// inside arbitrary text) and mirrors the old initial state's out-edges.
-Dfa build_searcher(const Nfa& nfa, std::int32_t max_subset_states) {
-  const SymbolMap& map = nfa.symbols();
-  const std::int32_t k = map.num_symbols();
-
-  // Re-derive the byte partition and add the uncovered bytes as one class,
-  // so every byte translates to a real symbol for the searcher.
-  std::vector<ByteSet> classes(static_cast<std::size_t>(k));
-  ByteSet uncovered;
-  for (int b = 0; b < 256; ++b) {
-    const std::int32_t s = map.symbol_of(static_cast<unsigned char>(b));
-    if (s == SymbolMap::kUnmapped)
-      uncovered.set(static_cast<std::size_t>(b));
-    else
-      classes[static_cast<std::size_t>(s)].set(static_cast<std::size_t>(b));
-  }
-  if (uncovered.any()) classes.push_back(uncovered);
-  const SymbolMap full = SymbolMap::build(classes);
-
-  // Old symbol ids → the (possibly renumbered) ids of the full map.
-  std::vector<Symbol> remap(static_cast<std::size_t>(k));
-  for (std::int32_t s = 0; s < k; ++s)
-    remap[static_cast<std::size_t>(s)] = full.symbol_of(map.representative(s));
-
-  Nfa searcher(full.num_symbols(), full);
-  const State loop = searcher.add_state(nfa.is_final(nfa.initial()));
-  std::vector<State> copy(static_cast<std::size_t>(nfa.num_states()));
-  for (State q = 0; q < nfa.num_states(); ++q)
-    copy[static_cast<std::size_t>(q)] = searcher.add_state(nfa.is_final(q));
-  for (State q = 0; q < nfa.num_states(); ++q)
-    for (const NfaEdge& edge : nfa.edges(q))
-      searcher.add_edge(copy[static_cast<std::size_t>(q)],
-                        remap[static_cast<std::size_t>(edge.symbol)],
-                        copy[static_cast<std::size_t>(edge.target)]);
-  for (Symbol a = 0; a < full.num_symbols(); ++a) searcher.add_edge(loop, a, loop);
-  for (const NfaEdge& edge : nfa.edges(nfa.initial()))
-    searcher.add_edge(loop, remap[static_cast<std::size_t>(edge.symbol)],
-                      copy[static_cast<std::size_t>(edge.target)]);
-  searcher.set_initial(loop);
-
-  Dfa dfa = minimize_dfa(determinize_bounded(searcher, max_subset_states));
-  dfa.packed();  // pre-warm like every other query machine
-  return dfa;
+/// The tighter of the caller's and the pattern's own subset budget (0 =
+/// none) — shared by the lazy searcher/reverse builds.
+std::int32_t tighter_budget(std::int32_t own, std::int32_t requested) {
+  std::int32_t budget = own;
+  if (requested > 0 && (budget <= 0 || requested < budget)) budget = requested;
+  return budget;
 }
 
 }  // namespace
@@ -188,15 +153,22 @@ std::vector<Symbol> Pattern::translate(std::string_view text) const {
 
 const Dfa& Pattern::searcher(std::int32_t max_subset_states) const {
   const Compiled& c = *compiled_;
-  // The tighter of the caller's and the pattern's own budget (0 = none). A
-  // throw (ResourceExhausted, or an injected bad_alloc) leaves the once
+  // A throw (ResourceExhausted, or an injected bad_alloc) leaves the once
   // flag unset, so a later call may retry — possibly with a bigger budget.
-  std::int32_t budget = c.limits.max_subset_states;
-  if (max_subset_states > 0 && (budget <= 0 || max_subset_states < budget))
-    budget = max_subset_states;
+  const std::int32_t budget =
+      tighter_budget(c.limits.max_subset_states, max_subset_states);
   std::call_once(c.searcher_once,
-                 [&] { c.searcher.emplace(build_searcher(c.nfa, budget)); });
+                 [&] { c.searcher.emplace(build_searcher_dfa(c.nfa, budget)); });
   return *c.searcher;
+}
+
+const ReverseBegins& Pattern::reverse_begins(std::int32_t max_subset_states) const {
+  const Compiled& c = *compiled_;
+  const std::int32_t budget =
+      tighter_budget(c.limits.max_subset_states, max_subset_states);
+  std::call_once(c.reverse_once,
+                 [&] { c.reverse.emplace(build_reverse_begins(c.nfa, budget)); });
+  return *c.reverse;
 }
 
 const Sfa* Pattern::sfa(std::int32_t max_states) const {

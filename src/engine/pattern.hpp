@@ -19,6 +19,7 @@
 
 #include "automata/dfa.hpp"
 #include "automata/nfa.hpp"
+#include "automata/searcher.hpp"
 #include "core/ridfa.hpp"
 #include "core/sfa.hpp"
 #include "parallel/csdpa.hpp"
@@ -141,6 +142,14 @@ class Pattern {
   /// ResourceExhausted and leaves the searcher unbuilt, so a later call
   /// with a bigger (or no) budget may still succeed.
   const Dfa& searcher(std::int32_t max_subset_states = 0) const;
+
+  /// The reverse-DFA confirmation artifact powering BeginMode::kExact
+  /// (automata/searcher.hpp): the reversed minimal pattern DFA over the
+  /// searcher's byte-complete alphabet plus the separator-soundness
+  /// certificate. Built lazily on first exact-begin query, then cached and
+  /// shared; budget semantics identical to searcher(). NOT persisted in
+  /// .rpb bundles — a mapped pattern rebuilds it on demand.
+  const ReverseBegins& reverse_begins(std::int32_t max_subset_states = 0) const;
 
   /// The SFA device (speculation-free comparator), built lazily with the
   /// given construction budget. Returns nullptr when the SFA explodes past

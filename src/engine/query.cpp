@@ -2,6 +2,14 @@
 
 namespace rispar {
 
+const char* begin_mode_name(BeginMode mode) {
+  switch (mode) {
+    case BeginMode::kSeparator: return "separator";
+    case BeginMode::kExact: return "exact";
+  }
+  return "?";
+}
+
 const char* variant_name(Variant variant) {
   switch (variant) {
     case Variant::kDfa: return "DFA";
@@ -24,6 +32,8 @@ void validate_query(const QueryOptions& options, const DeviceCaps& caps,
   if ((options.offset != 0 || options.limit != QueryOptions::kNoLimit) && !caps.paging)
     reject("offset/limit");
   if (options.positions && !caps.positions) reject("positions");
+  if (options.begin_mode == BeginMode::kExact && !caps.exact_begins)
+    reject("begin_mode=exact");
 }
 
 std::string device_context(const char* what, Variant variant) {

@@ -51,21 +51,42 @@ struct DeviceCaps {
   bool tree_join = false;      ///< parallel tree-reduction join
   bool paging = false;         ///< offset/limit on the positions payload
   bool positions = false;      ///< Match emission (find payloads, streaming find)
+  bool exact_begins = false;   ///< BeginMode::kExact (reverse-DFA confirmation)
 };
+
+/// What Match::begin means (find/find_all/streaming find only — other query
+/// shapes reject a non-default mode via DeviceCaps::exact_begins).
+enum class BeginMode {
+  /// The fast default: `begin` is the searcher's last separator before the
+  /// hit — a documented over-approximation when partial occurrences chain
+  /// (see Match). No extra pass, no extra carry.
+  kSeparator,
+  /// Leftmost-exact: after the forward find pins `end`, a reversed minimal
+  /// DFA of the pattern (Pattern::reverse_begins) is run backwards from
+  /// `end` and `begin` becomes the smallest b with text[b..end) in L(p).
+  /// Costs one backward scan per match; streaming sessions retain enough
+  /// window history to resolve begins that cross feed boundaries.
+  kExact,
+};
+
+const char* begin_mode_name(BeginMode mode);
 
 /// One positioned occurrence, the unit of Engine::find_all and
 /// PatternSet::find_all. Offsets are byte offsets into the queried text
 /// (the Σ*p searcher maps one byte to one symbol), `end` exclusive: the
 /// occurrence's last byte is text[end - 1].
 ///
-/// `begin` is the searcher's *last separator* before the hit — the last
-/// position at which the scan held no live partial occurrence (its state's
-/// residual language was again the full Σ*p). Every occurrence ending at
-/// `end` starts at or after `begin`, so text[begin..end) always contains
-/// the match; when partial occurrences chain (e.g. "aab" for pattern "ab"),
-/// `begin` points at the leftmost still-pending candidate start rather than
-/// the exact match start. One Match is emitted per match-ending position —
-/// find_all(text).size() equals count(text).matches (overlaps counted).
+/// What `begin` means is selected by QueryOptions::begin_mode. Under the
+/// default BeginMode::kSeparator it is the searcher's *last separator*
+/// before the hit — the last position at which the scan held no live
+/// partial occurrence (its state's residual language was again the full
+/// Σ*p); when partial occurrences chain (e.g. "aab" for pattern "ab"),
+/// `begin` then points at the leftmost still-pending candidate start
+/// rather than the exact match start. Under BeginMode::kExact a reverse-
+/// DFA confirmation pass pins `begin` to the true leftmost start: the
+/// smallest b such that text[b..end) matches the pattern. In both modes
+/// one Match is emitted per match-ending position — find_all(text).size()
+/// equals count(text).matches (overlaps counted).
 struct Match {
   std::uint32_t pattern_id = 0;  ///< 0 for Engine; the pattern's index in a PatternSet
   std::uint64_t begin = 0;
@@ -118,6 +139,10 @@ struct QueryOptions {
   /// MatchSink). Query shapes without position support REJECT the knob via
   /// DeviceCaps (recognize/count/match_all).
   bool positions = false;
+  /// What Match::begin reports (see BeginMode). Only position-emitting
+  /// query shapes with DeviceCaps::exact_begins honor kExact; everything
+  /// else REJECTS it during validation.
+  BeginMode begin_mode = BeginMode::kSeparator;
   /// Wall-clock budget for the query, 0 = none. Checked cooperatively at
   /// chunk boundaries and every kGovernorStride symbols inside the kernels
   /// (see util/governance.hpp); a trip throws DeadlineExceeded. Every query

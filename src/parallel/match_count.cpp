@@ -522,6 +522,39 @@ const QueryGovernor* resolve_governor(const QueryGovernor* provided,
   return gov->active() ? gov : nullptr;
 }
 
+/// BeginMode::kExact confirmation pass: runs the reversed pattern DFA
+/// backwards from `end` over `text` down to `floor`, returning the SMALLEST
+/// b with text[b..end) ∈ L(p). The forward searcher guaranteed some
+/// occurrence ends at `end`, and the floor is sound (the approximate begin
+/// under a separators_sound certificate, the text/history start otherwise),
+/// so a final state is always visited; `fallback` only guards a corrupt
+/// artifact. Positions are indices into `text` — the caller maps absolute
+/// offsets onto it.
+std::uint64_t resolve_exact_begin(const Dfa& rev, std::span<const Symbol> text,
+                                  std::uint64_t end, std::uint64_t floor,
+                                  std::uint64_t fallback) {
+  State state = rev.initial();
+  std::uint64_t best = fallback;
+  if (rev.is_final(state)) best = end;  // ε ∈ L(p): the empty occurrence at end
+  for (std::uint64_t b = end; b > floor; --b) {
+    const Symbol symbol = text[static_cast<std::size_t>(b - 1)];
+    if (symbol < 0 || symbol >= rev.num_symbols()) break;
+    state = rev.row(state)[symbol];
+    if (state == kDeadState) break;
+    if (rev.is_final(state)) best = b - 1;
+  }
+  return best;
+}
+
+/// The validation shared by the exact-begin entry points: the knob needs
+/// the pattern's cached artifact threaded in.
+void require_reverse(const ReverseBegins* reverse, const char* context) {
+  if (reverse == nullptr)
+    throw ValidationError(std::string(context) +
+                          ": begin_mode=exact requires the pattern's "
+                          "reverse-begins artifact");
+}
+
 }  // namespace
 
 QueryResult count_matches(const Dfa& dfa, std::span<const Symbol> input,
@@ -578,7 +611,7 @@ QueryResult count_matches(const Dfa& dfa, std::span<const Symbol> input,
 }
 
 QueryResult find_matches_serial(const Dfa& dfa, std::span<const Symbol> input,
-                                std::uint32_t pattern_id) {
+                                std::uint32_t pattern_id, const Dfa* exact_reverse) {
   QueryResult result;
   result.chunks = input.empty() ? 0 : 1;
   const State initial = dfa.initial();
@@ -600,7 +633,15 @@ QueryResult find_matches_serial(const Dfa& dfa, std::span<const Symbol> input,
     if (state == initial) last_sep = pos;
     if (dfa.is_final(state)) {
       ++result.matches;
-      result.positions.push_back({pattern_id, last_sep, pos});
+      // Oracle-side exactness deliberately ignores the separator floor and
+      // rescans from the text start — the dumbest correct implementation,
+      // so the property tests catch a parallel-side floor that is too
+      // aggressive rather than inheriting it.
+      const std::uint64_t begin =
+          exact_reverse != nullptr
+              ? resolve_exact_begin(*exact_reverse, input, pos, 0, last_sep)
+              : last_sep;
+      result.positions.push_back({pattern_id, begin, pos});
     }
   }
   result.accepted = result.matches > 0;
@@ -609,8 +650,11 @@ QueryResult find_matches_serial(const Dfa& dfa, std::span<const Symbol> input,
 
 QueryResult find_matches(const Dfa& dfa, std::span<const Symbol> input,
                          ThreadPool& pool, const QueryOptions& options,
-                         std::uint32_t pattern_id, const QueryGovernor* governor) {
+                         std::uint32_t pattern_id, const QueryGovernor* governor,
+                         const ReverseBegins* reverse) {
   validate_query(options, kFindingCaps, kFindingContext);
+  const bool exact = options.begin_mode == BeginMode::kExact;
+  if (exact) require_reverse(reverse, "find");
   const QueryGovernor own(options.deadline, options.cancel);
   const QueryGovernor* gov = resolve_governor(governor, own);
   QueryResult result;
@@ -648,8 +692,18 @@ QueryResult find_matches(const Dfa& dfa, std::span<const Symbol> input,
   join_find_chunks(runs, chunks, 0, state, carried_sep, result.died,
                    [&](std::uint64_t begin, std::uint64_t end) {
                      if (result.matches >= options.offset &&
-                         result.positions.size() < options.limit)
+                         result.positions.size() < options.limit) {
+                       // Exact begins: confirm backwards from the end. The
+                       // approximate begin is a sound scan floor only when
+                       // the artifact certifies separators pure; otherwise
+                       // the occurrence may straddle it and the scan runs
+                       // to the text start.
+                       if (exact)
+                         begin = resolve_exact_begin(
+                             reverse->dfa, input, end,
+                             reverse->separators_sound ? begin : 0, begin);
                        result.positions.push_back({pattern_id, begin, end});
+                     }
                      ++result.matches;
                    });
   result.accepted = result.matches > 0;
@@ -660,8 +714,10 @@ QueryResult find_matches(const Dfa& dfa, std::span<const Symbol> input,
 void stream_find_feed(const Dfa& dfa, FindCarry& carry, std::span<const Symbol> window,
                       ThreadPool& pool, const QueryOptions& options,
                       const MatchSink& sink, std::uint32_t pattern_id,
-                      const QueryGovernor* governor) {
+                      const QueryGovernor* governor, const ReverseBegins* reverse) {
   validate_query(options, kStreamFindingCaps, kStreamFindingContext);
+  const bool exact = options.begin_mode == BeginMode::kExact;
+  if (exact) require_reverse(reverse, "streaming find");
   const QueryGovernor own(options.deadline, options.cancel);
   const QueryGovernor* gov = resolve_governor(governor, own);
   if (window.empty()) return;
@@ -674,6 +730,8 @@ void stream_find_feed(const Dfa& dfa, FindCarry& carry, std::span<const Symbol> 
     carry.last_sep = 0;  // position 0: the stream starts in the initial state
     carry.at_start = false;
   }
+  if (exact)  // history invariant: covers [history_base, consumed)
+    carry.history.insert(carry.history.end(), window.begin(), window.end());
 
   // Reach: exactly the one-shot fan-out, except the window's first chunk
   // continues from the CARRIED state instead of the initial one; later
@@ -703,9 +761,41 @@ void stream_find_feed(const Dfa& dfa, FindCarry& carry, std::span<const Symbol> 
   for (const FindChunk& run : runs) carry.transitions += run.transitions;
   join_find_chunks(runs, chunks, origin, carry.state, carry.last_sep, carry.died,
                    [&](std::uint64_t begin, std::uint64_t end) {
+                     if (exact) {
+                       // Confirm backwards over the retained history. Every
+                       // separator a hit can carry postdates the last
+                       // truncation point, so the floor never leaves the
+                       // tail; positions map through history_base.
+                       const std::uint64_t floor =
+                           reverse->separators_sound ? begin : carry.history_base;
+                       begin = carry.history_base +
+                               resolve_exact_begin(
+                                   reverse->dfa, carry.history,
+                                   end - carry.history_base,
+                                   floor - carry.history_base,
+                                   begin - carry.history_base);
+                     }
                      ++carry.matches;
                      sink(Match{pattern_id, begin, end});
                    });
+
+  if (exact) {
+    if (carry.died) {
+      // Nothing downstream can match — drop the tail outright.
+      carry.history.clear();
+      carry.history.shrink_to_fit();
+      carry.history_base = carry.consumed;
+    } else if (reverse->separators_sound && carry.last_sep > carry.history_base) {
+      // No future match can start before the last separator: truncate the
+      // carried tail to it. Unsound-separator patterns keep the full
+      // history (the documented memory cost of exactness on such shapes).
+      carry.history.erase(carry.history.begin(),
+                          carry.history.begin() +
+                              static_cast<std::ptrdiff_t>(carry.last_sep -
+                                                          carry.history_base));
+      carry.history_base = carry.last_sep;
+    }
+  }
 }
 
 }  // namespace rispar

@@ -47,6 +47,7 @@
 #include <span>
 
 #include "automata/dfa.hpp"
+#include "automata/searcher.hpp"
 #include "engine/query.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -82,28 +83,37 @@ QueryResult count_matches(const Dfa& dfa, std::span<const Symbol> input,
 inline constexpr DeviceCaps kFindingCaps{.convergence = true,
                                          .kernel_select = true,
                                          .paging = true,
-                                         .positions = true};
+                                         .positions = true,
+                                         .exact_begins = true};
 inline constexpr const char* kFindingContext =
     "find (the position-emitting counting kernel; it honors chunks, "
-    "convergence, kernel and offset/limit)";
+    "convergence, kernel, begin_mode and offset/limit)";
 
 /// Serial reference oracle for finding: one scan of `input` emitting a
 /// Match per final-state position (begin = the scan's last separator; see
-/// engine/query.hpp). Fills positions/matches/died/transitions/chunks;
-/// accepted = matches > 0. No paging — the full list, for the property
-/// tests.
+/// engine/query.hpp). With `exact_reverse` (the pattern's ReverseBegins
+/// DFA), every hit's begin is instead pinned by a backward reverse-DFA scan
+/// to the leftmost exact start — the BeginMode::kExact oracle. Fills
+/// positions/matches/died/transitions/chunks; accepted = matches > 0. No
+/// paging — the full list, for the property tests.
 QueryResult find_matches_serial(const Dfa& dfa, std::span<const Symbol> input,
-                                std::uint32_t pattern_id = 0);
+                                std::uint32_t pattern_id = 0,
+                                const Dfa* exact_reverse = nullptr);
 
 /// Parallel position finding over options.chunks chunks on the pool; the
 /// positions equal the serial oracle's on every input for every
 /// (convergence, kernel) combination (property-tested), then windowed by
 /// options.offset/limit (`matches` still counts all). Throws QueryError for
 /// knobs finding cannot honor. Every emitted Match carries `pattern_id`.
+/// Under options.begin_mode == BeginMode::kExact, `reverse` (the pattern's
+/// cached artifact) is REQUIRED — each joined hit's begin is resolved by a
+/// backward scan from its end (floored at the approximate begin when the
+/// artifact certifies separators sound, at the text start otherwise).
 QueryResult find_matches(const Dfa& dfa, std::span<const Symbol> input,
                          ThreadPool& pool, const QueryOptions& options,
                          std::uint32_t pattern_id = 0,
-                         const QueryGovernor* governor = nullptr);
+                         const QueryGovernor* governor = nullptr,
+                         const ReverseBegins* reverse = nullptr);
 
 /// The find side of a streaming session's carry. The Σ*p searcher is
 /// deterministic, so between windows only one state plus absolute-offset
@@ -125,16 +135,29 @@ struct FindCarry {
   /// windows — the per-feed analogue of the devices' constructor-time
   /// all_states_ members. Session-scoped scratch, not semantic state.
   std::vector<State> speculative_starts;
+  /// BeginMode::kExact only: retained window symbols the backward
+  /// reverse-DFA scan resolves cross-window begins over. `history_base` is
+  /// the absolute position of history[0]; the retained tail always covers
+  /// [history_base, consumed). When the reverse artifact certifies
+  /// separators sound, each feed truncates the tail to the post-join last
+  /// separator (a match can never start before it); otherwise the session
+  /// retains from the stream start — the price of exactness on patterns
+  /// whose separators are unsound (docs/api.md, "Begin modes"). Untouched
+  /// (empty) under kSeparator.
+  std::vector<Symbol> history;
+  std::uint64_t history_base = 0;
 };
 
 /// What streaming find honors (chunks, convergence, kernel — no paging: an
 /// unbounded stream has no total to page against, so offset/limit REJECT),
 /// and the validate_query context naming it.
-inline constexpr DeviceCaps kStreamFindingCaps{
-    .convergence = true, .kernel_select = true, .positions = true};
+inline constexpr DeviceCaps kStreamFindingCaps{.convergence = true,
+                                               .kernel_select = true,
+                                               .positions = true,
+                                               .exact_begins = true};
 inline constexpr const char* kStreamFindingContext =
     "streaming find (the window-fed position-emitting kernel; it honors "
-    "chunks, convergence and kernel)";
+    "chunks, convergence, kernel and begin_mode)";
 
 /// Consumes one window of a streamed input on the Σ*p searcher `dfa`,
 /// updating `carry` in place and emitting every occurrence ending inside
@@ -145,9 +168,14 @@ inline constexpr const char* kStreamFindingContext =
 /// searcher state), with the join serialized per window. Feeding a text in
 /// any segmentation emits exactly the one-shot find_matches/serial-oracle
 /// list (property- and fuzz-tested). Empty windows are no-ops.
+/// Under options.begin_mode == BeginMode::kExact, `reverse` is REQUIRED and
+/// the carry retains window history (FindCarry::history) so begins crossing
+/// feed boundaries resolve exactly — segmentation-invariant like the rest
+/// of the carry.
 void stream_find_feed(const Dfa& dfa, FindCarry& carry, std::span<const Symbol> window,
                       ThreadPool& pool, const QueryOptions& options,
                       const MatchSink& sink, std::uint32_t pattern_id = 0,
-                      const QueryGovernor* governor = nullptr);
+                      const QueryGovernor* governor = nullptr,
+                      const ReverseBegins* reverse = nullptr);
 
 }  // namespace rispar

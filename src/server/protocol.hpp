@@ -17,6 +17,11 @@
 //
 // Client -> server:
 //   OPEN_SESSION {session_id, pattern_id, feed_deadline_ns, chunks}
+//                single-pattern; pattern_id == kMultiPattern selects the
+//                MULTI-PATTERN form, whose payload continues with
+//                {flags, count, count x pattern_id} — count == 0 subscribes
+//                the tenant's WHOLE catalog generation (flags bit 0 requests
+//                begin_mode=exact; other bits must be zero)
 //   FEED         {session_id, bytes...}        one streaming-find window
 //   CLOSE        {session_id}
 //   STATS        {}                            server + pool counters as JSON
@@ -24,8 +29,12 @@
 //                                              re-read the manifest file)
 //
 // Server -> client:
-//   OPENED      {session_id, pattern_id, generation}
+//   OPENED      {session_id, pattern_id, generation}   multi-pattern opens
+//               echo kMultiPattern as the pattern_id
 //   MATCHES     {session_id, count, count x {pattern_id, begin, end}}
+//               pattern_id is the CATALOG id (manifest line order) in both
+//               session forms — multi-pattern sessions remap their internal
+//               indices before framing
 //   FED         {session_id, consumed_total, matches_total}    per-FEED ack
 //   CLOSED      {session_id, matches_total, accepted}
 //   STATS_JSON  {json bytes}
@@ -39,6 +48,7 @@
 #include <cstring>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include <sys/socket.h>
 #include <unistd.h>
@@ -83,6 +93,15 @@ const char* error_code_name(ErrorCode code);
 /// ERROR frames not scoped to a session carry this sentinel id (session ids
 /// are client-chosen, so 0 is a legal id and cannot be the sentinel).
 inline constexpr std::uint32_t kNoSession = 0xffffffffu;
+
+/// OPEN_SESSION pattern_id sentinel selecting the multi-pattern session
+/// form (the payload then carries a flags byte and an explicit id list; see
+/// the header comment). Catalogs are capped far below this, so no real
+/// pattern can collide with it. OPENED echoes it back.
+inline constexpr std::uint32_t kMultiPattern = 0xfffffffeu;
+
+/// OPEN_SESSION multi-pattern flags (bit mask; unknown bits reject).
+inline constexpr std::uint8_t kOpenFlagExactBegins = 0x01;
 
 /// Frame header: u32 length + u8 type.
 inline constexpr std::size_t kFrameHeaderBytes = 5;
@@ -242,6 +261,28 @@ inline std::string make_open_session(std::uint32_t session_id, std::uint32_t pat
   put_u32(payload, pattern_id);
   put_u64(payload, feed_deadline_ns);
   put_u32(payload, chunks);
+  std::string frame;
+  put_frame(frame, FrameType::kOpenSession, payload);
+  return frame;
+}
+
+/// The multi-pattern OPEN_SESSION form: subscribes `pattern_ids` (catalog
+/// ids; empty = the whole catalog generation) to one merged streaming-find
+/// session. `flags` is a kOpenFlag* mask (kOpenFlagExactBegins requests
+/// begin_mode=exact on every subscribed pattern).
+inline std::string make_open_session_multi(std::uint32_t session_id,
+                                           std::uint64_t feed_deadline_ns,
+                                           std::uint32_t chunks,
+                                           const std::vector<std::uint32_t>& pattern_ids,
+                                           std::uint8_t flags = 0) {
+  std::string payload;
+  put_u32(payload, session_id);
+  put_u32(payload, kMultiPattern);
+  put_u64(payload, feed_deadline_ns);
+  put_u32(payload, chunks);
+  put_u8(payload, flags);
+  put_u32(payload, static_cast<std::uint32_t>(pattern_ids.size()));
+  for (const std::uint32_t id : pattern_ids) put_u32(payload, id);
   std::string frame;
   put_frame(frame, FrameType::kOpenSession, payload);
   return frame;

@@ -15,11 +15,13 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <system_error>
 #include <utility>
 
 #include "engine/compile_cache.hpp"
+#include "engine/pattern_set.hpp"
 
 namespace rispar::rispard {
 
@@ -126,14 +128,20 @@ const char* error_code_name(ErrorCode code) {
 
 struct Server::Session {
   std::uint32_t id;
-  std::uint32_t pattern_id;
+  std::uint32_t pattern_id;  ///< kMultiPattern for the multi-pattern form
   /// Pins the generation this session opened against: the Engines (and the
-  /// Device the StreamSession points into) stay alive until the last
+  /// Device or Patterns the session points into) stay alive until the last
   /// pinning session closes, however many RELOADs happen meanwhile.
   std::shared_ptr<const PatternCatalog> catalog;
-  StreamSession stream;
+  /// Exactly one of the two is engaged, for the session's whole life.
+  std::optional<StreamSession> stream;      ///< single-pattern form
+  std::optional<MultiStreamSession> multi;  ///< multi-pattern form
+  /// Multi form: session-local pattern index -> catalog id (manifest line
+  /// order), applied to every emitted Match before framing so MATCHES
+  /// always speak catalog ids, whichever subset the session subscribed.
+  std::vector<std::uint32_t> catalog_ids;
   std::deque<std::string> pending;  ///< feed windows awaiting their turn
-  bool busy = false;                ///< a crew worker owns `stream` right now
+  bool busy = false;                ///< a crew worker owns the session right now
   bool closing = false;             ///< CLOSE received; ack after feeds drain
 
   Session(std::uint32_t id_, std::uint32_t pattern_id_,
@@ -142,6 +150,26 @@ struct Server::Session {
         pattern_id(pattern_id_),
         catalog(std::move(catalog_)),
         stream(std::move(stream_)) {}
+
+  Session(std::uint32_t id_, std::shared_ptr<const PatternCatalog> catalog_,
+          MultiStreamSession multi_, std::vector<std::uint32_t> catalog_ids_)
+      : id(id_),
+        pattern_id(kMultiPattern),
+        catalog(std::move(catalog_)),
+        multi(std::move(multi_)),
+        catalog_ids(std::move(catalog_ids_)) {}
+
+  void feed(std::string_view bytes, const MatchSink& sink) {
+    if (multi)
+      multi->feed(bytes, sink);
+    else
+      stream->feed(bytes, sink);
+  }
+  std::uint64_t matches() const { return multi ? multi->matches() : stream->matches(); }
+  bool accepted() const { return multi ? multi->accepted() : stream->accepted(); }
+  std::uint64_t bytes_consumed() const {
+    return multi ? multi->bytes_consumed() : stream->bytes_consumed();
+  }
 };
 
 struct Server::Connection {
@@ -506,10 +534,35 @@ void Server::handle_open_session(Connection& conn, const Frame& frame) {
   const std::uint32_t pattern_id = reader.get_u32();
   std::uint64_t deadline_ns = reader.get_u64();
   const std::uint32_t chunks = reader.get_u32();
+  std::uint8_t open_flags = 0;
+  std::vector<std::uint32_t> requested_ids;
+  bool whole_catalog = false;
+  if (pattern_id == kMultiPattern) {
+    // The multi-pattern extension: {flags, count, count x id}. The count is
+    // validated against the REMAINING payload before any allocation, so a
+    // hostile count cannot reserve gigabytes off a short frame.
+    open_flags = reader.get_u8();
+    const std::uint32_t count = reader.get_u32();
+    const std::size_t remaining = reader.size - reader.pos;
+    if (!reader.ok || static_cast<std::uint64_t>(count) * 4 != remaining) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      send_error(conn, kNoSession, ErrorCode::kProtocol, "malformed OPEN_SESSION");
+      conn.draining_close = true;
+      return;
+    }
+    whole_catalog = count == 0;
+    requested_ids.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) requested_ids.push_back(reader.get_u32());
+  }
   if (!reader.exhausted()) {
     protocol_errors_.fetch_add(1, std::memory_order_relaxed);
     send_error(conn, kNoSession, ErrorCode::kProtocol, "malformed OPEN_SESSION");
     conn.draining_close = true;
+    return;
+  }
+  if ((open_flags & ~kOpenFlagExactBegins) != 0) {
+    send_error(conn, session_id, ErrorCode::kValidation,
+               "unknown OPEN_SESSION flags (only kOpenFlagExactBegins is defined)");
     return;
   }
   if (session_id == kNoSession) {
@@ -528,11 +581,31 @@ void Server::handle_open_session(Connection& conn, const Frame& frame) {
     return;
   }
   std::shared_ptr<const PatternCatalog> catalog = catalog_.load();
-  if (pattern_id >= catalog->patterns.size()) {
+  const auto describe_catalog = [&catalog] {
+    return " outside the current catalog (generation " +
+           std::to_string(catalog->generation) + " has " +
+           std::to_string(catalog->patterns.size()) + " patterns)";
+  };
+  if (pattern_id == kMultiPattern) {
+    if (whole_catalog)
+      for (std::uint32_t id = 0; id < catalog->patterns.size(); ++id)
+        requested_ids.push_back(id);
+    for (const std::uint32_t id : requested_ids) {
+      if (id >= catalog->patterns.size()) {
+        send_error(conn, session_id, ErrorCode::kUnknownPattern,
+                   "multi-pattern id " + std::to_string(id) + describe_catalog());
+        return;
+      }
+    }
+    if (requested_ids.empty()) {
+      send_error(conn, session_id, ErrorCode::kValidation,
+                 "multi-pattern OPEN_SESSION subscribed zero patterns (the "
+                 "catalog generation is empty)");
+      return;
+    }
+  } else if (pattern_id >= catalog->patterns.size()) {
     send_error(conn, session_id, ErrorCode::kUnknownPattern,
-               "pattern_id outside the current catalog (generation " +
-                   std::to_string(catalog->generation) + " has " +
-                   std::to_string(catalog->patterns.size()) + " patterns)");
+               "pattern_id" + describe_catalog());
     return;
   }
   if (config_.max_feed_deadline_ns != 0 && deadline_ns > config_.max_feed_deadline_ns)
@@ -541,11 +614,26 @@ void Server::handle_open_session(Connection& conn, const Frame& frame) {
   options.positions = true;
   options.chunks = std::max<std::uint32_t>(chunks, 1);
   options.deadline = std::chrono::nanoseconds(deadline_ns);
+  if ((open_flags & kOpenFlagExactBegins) != 0)
+    options.begin_mode = BeginMode::kExact;
   try {
-    StreamSession stream = catalog->patterns[pattern_id].engine->stream(options);
-    auto session = std::make_shared<Session>(session_id, pattern_id, catalog,
-                                             std::move(stream));
-    conn.sessions.emplace(session_id, std::move(session));
+    if (pattern_id == kMultiPattern) {
+      // Copies are cheap shared-ownership bumps; the catalog pin keeps the
+      // generation (and its compiled artifacts) alive for the session.
+      std::vector<Pattern> patterns;
+      patterns.reserve(requested_ids.size());
+      for (const std::uint32_t id : requested_ids)
+        patterns.push_back(catalog->patterns[id].engine->pattern());
+      MultiStreamSession multi(std::move(patterns), *pool_, options);
+      auto session = std::make_shared<Session>(session_id, catalog, std::move(multi),
+                                               std::move(requested_ids));
+      conn.sessions.emplace(session_id, std::move(session));
+    } else {
+      StreamSession stream = catalog->patterns[pattern_id].engine->stream(options);
+      auto session = std::make_shared<Session>(session_id, pattern_id, catalog,
+                                               std::move(stream));
+      conn.sessions.emplace(session_id, std::move(session));
+    }
   } catch (const ValidationError& e) {
     send_error(conn, session_id, ErrorCode::kValidation, e.what());
     return;
@@ -629,7 +717,7 @@ void Server::finish_close(Connection& conn, std::uint32_t session_id) {
   if (it == conn.sessions.end()) return;
   Session& session = *it->second;
   const std::string frame =
-      closed_frame(session_id, session.stream.matches(), session.stream.accepted());
+      closed_frame(session_id, session.matches(), session.accepted());
   conn.sessions.erase(it);  // drops the catalog pin
   sessions_open_.fetch_sub(1, std::memory_order_relaxed);
   enqueue_output(conn, frame);
@@ -807,11 +895,18 @@ Server::FeedDone Server::execute_feed(FeedJob job) {
     // feed, and the chunk fan-out inside goes through the shared pool's
     // admission gate — every PR 6 failure mode funnels into the catch
     // ladder below as a typed error frame.
-    const MatchSink sink = [&matches](const Match& m) { matches.push_back(m); };
-    session.stream.feed(job.bytes, sink);
+    // Multi-pattern sessions emit session-local pattern indices; remap to
+    // catalog ids here, so MATCHES frames always speak manifest line order.
+    const bool remap = session.multi.has_value();
+    const MatchSink sink = [&matches, &session, remap](const Match& m) {
+      Match tagged = m;
+      if (remap) tagged.pattern_id = session.catalog_ids[m.pattern_id];
+      matches.push_back(tagged);
+    };
+    session.feed(job.bytes, sink);
     append_matches_frames(done.frames, session.id, matches);
-    append_fed_frame(done.frames, session.id, session.stream.bytes_consumed(),
-                     session.stream.matches());
+    append_fed_frame(done.frames, session.id, session.bytes_consumed(),
+                     session.matches());
     done.new_matches = matches.size();
     done.fed_bytes = job.bytes.size();
   } catch (const DeadlineExceeded& e) {

@@ -32,8 +32,14 @@ void arm(std::uint64_t seed, double rate) {
   if (rate < 0.0) rate = 0.0;
   if (rate > 1.0) rate = 1.0;
   seed_.store(seed, std::memory_order_relaxed);
+  // rate == 1.0 would scale to 2^64 exactly, and a float->int cast of an
+  // out-of-range value is UB (observed as threshold 0 — "always" silently
+  // meaning "never"). Pin it to the all-ones sentinel, which should_fail
+  // treats as fire-unconditionally; every rate below 1.0 scales to a
+  // representable value under 2^64.
   threshold.store(
-      static_cast<std::uint64_t>(rate * 18446744073709551615.0),
+      rate >= 1.0 ? ~0ULL
+                  : static_cast<std::uint64_t>(rate * 18446744073709551615.0),
       std::memory_order_relaxed);
   draws.store(0, std::memory_order_relaxed);
   fires.store(0, std::memory_order_relaxed);
@@ -60,8 +66,9 @@ bool should_fail(const char* site) {
   for (const char* c = site; *c != '\0'; ++c)
     mix = mix * 31 + static_cast<unsigned char>(*c);
   const std::uint64_t draw = draws.fetch_add(1, std::memory_order_relaxed);
-  const bool fail = splitmix64(mix ^ (draw * 0x2545f4914f6cdd1dULL)) <
-                    threshold.load(std::memory_order_relaxed);
+  const std::uint64_t thr = threshold.load(std::memory_order_relaxed);
+  const bool fail =
+      thr == ~0ULL || splitmix64(mix ^ (draw * 0x2545f4914f6cdd1dULL)) < thr;
   if (fail) fires.fetch_add(1, std::memory_order_relaxed);
   return fail;
 }

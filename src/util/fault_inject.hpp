@@ -16,6 +16,11 @@
 //  * "subset.alloc"   — subset construction fails as std::bad_alloc
 //  * "sfa.alloc"      — SFA composition-table growth fails as std::bad_alloc
 //  * "packed.alloc"   — packed-table build fails as std::bad_alloc
+//  * "reverse.build"  — the reverse-begins artifact build (Pattern::
+//                       reverse_begins) throws FaultInjected; the lazy
+//                       once-flag must stay unset so a retry can succeed
+//  * "mpstream.merge" — MultiStreamSession's window merge throws after the
+//                       per-pattern scans ran; the session must poison
 //
 // Configuration: fault::configure(seed, rate) from tests, or the
 // environment (RISPAR_FAULT_SEED, RISPAR_FAULT_RATE — rate in [0,1]) read

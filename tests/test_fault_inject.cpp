@@ -19,6 +19,7 @@
 
 #include "engine/engine.hpp"
 #include "engine/pattern_set.hpp"
+#include "parallel/match_count.hpp"
 #include "util/fault_inject.hpp"
 
 namespace rispar {
@@ -143,6 +144,84 @@ TEST_F(FaultInject, PatternSetSurvivesInjectedFaults) {
   (void)clean;
   const PatternSet set = PatternSet::compile({"ab", "ba"}, {.threads = 2});
   EXPECT_EQ(set.find("abba").matches, 2u);
+}
+
+TEST_F(FaultInject, ReverseBuildFaultLeavesThePatternRetryable) {
+  // Compile clean, then arm at rate 1.0: the reverse-begins build is a
+  // serial path whose FIRST probe is the reverse.build site, so the throw
+  // is deterministic. The lazy once-flag must stay unset on failure — the
+  // SAME Pattern object retries successfully after disarm, and the rebuilt
+  // artifact serves exact begins correctly.
+  fault::disable();
+  const Pattern pattern = Pattern::compile("(ab|ba)*a");
+  fault::configure(11, 1.0);
+  EXPECT_THROW((void)pattern.reverse_begins(), fault::FaultInjected);
+  EXPECT_EQ(fault::fire_count(), 1u);
+
+  fault::disable();
+  const ReverseBegins& reverse = pattern.reverse_begins();  // the retry
+  const Engine engine(pattern, {.threads = 2});
+  const QueryResult exact =
+      engine.find("abbaa", {.begin_mode = BeginMode::kExact});
+  const Dfa& searcher = engine.searcher();
+  const QueryResult oracle = find_matches_serial(
+      searcher, searcher.symbols().translate("abbaa"), 0, &reverse.dfa);
+  EXPECT_EQ(exact.positions, oracle.positions);
+  EXPECT_GT(exact.matches, 0u);
+}
+
+TEST_F(FaultInject, MultiStreamMergeSiteFiresAndPoisons) {
+  // A zero-pattern session fans out no pool tasks, so the feed's FIRST
+  // draw is the mpstream.merge probe itself — rate 1.0 hits exactly that
+  // site. The session must poison, reject further feeds with the
+  // documented ValidationError, and come back clean after reset().
+  fault::disable();
+  const PatternSet empty_set(std::vector<Pattern>{}, {.threads = 2});
+  MultiStreamSession session = empty_set.stream_find();
+  fault::configure(21, 1.0);
+  EXPECT_THROW(session.feed("abba"), fault::FaultInjected);
+  EXPECT_EQ(fault::fire_count(), 1u);
+  EXPECT_TRUE(session.poisoned());
+  EXPECT_THROW(session.feed("x"), ValidationError);
+
+  fault::disable();
+  session.reset();
+  EXPECT_FALSE(session.poisoned());
+  session.feed("abba");
+  EXPECT_EQ(session.matches(), 0u);
+  EXPECT_EQ(session.bytes_consumed(), 4u);
+}
+
+TEST_F(FaultInject, MultiStreamSweepSurvivesAndRecovers) {
+  // Real multi-pattern sessions under a seed sweep: any site may trip
+  // (pool tasks, reverse builds under kExact, the merge). Every outcome
+  // must be a typed error or a correct merge; a poisoned session keeps
+  // draining and a fresh session answers the one-shot list after disarm.
+  for (std::uint64_t seed = 200; seed < 208; ++seed) {
+    fault::configure(seed, 0.05);
+    const BeginMode mode =
+        seed % 2 == 0 ? BeginMode::kSeparator : BeginMode::kExact;
+    survives([&] {
+      const PatternSet set =
+          PatternSet::compile({"ab", "ba", "a(b|c)*"}, {.threads = 2});
+      MultiStreamSession session = set.stream_find({.begin_mode = mode});
+      for (const std::string_view window : {"abba ", "abab ", "bacb"}) {
+        try {
+          session.feed(window);
+        } catch (const ValidationError&) {
+          break;  // poisoned by an earlier injected trip
+        }
+      }
+      (void)session.take_matches();
+    });
+  }
+
+  const fault::ScopedDisable clean;
+  (void)clean;
+  const PatternSet set = PatternSet::compile({"ab", "ba"}, {.threads = 2});
+  MultiStreamSession session = set.stream_find();
+  session.feed("abba abab");
+  EXPECT_EQ(session.take_matches(), set.find_all("abba abab"));
 }
 
 TEST_F(FaultInject, SameSeedSameFireCount) {

@@ -24,6 +24,7 @@
 #include "bundle/mapped_bundle.hpp"
 #include "core/interface_min.hpp"
 #include "engine/engine.hpp"
+#include "engine/pattern_set.hpp"
 #include "helpers.hpp"
 #include "parallel/match_count.hpp"
 #include "regex/parser.hpp"
@@ -302,6 +303,217 @@ TEST(DifferentialFuzz, StreamingFindEqualsOneShotAndSerialOracles) {
           }
         }
       }
+    }
+  }
+}
+
+// ---------------------------------------------- exact-begin differential fuzz
+// (ISSUE 9 tentpole a): under begin_mode=kExact, every emitted begin must be
+// the TRUE leftmost start — min{b : text[b..end) ∈ L(p)} — and the property
+// must hold identically for one-shot find (all chunk counts × kernels),
+// streaming find (all variants × chunk counts × random window splits) and
+// the serial reverse-scan oracle. A brute-force membership sweep over every
+// candidate begin gives a fully independent second oracle on short texts.
+
+/// min{b : engine.accepts(text[b..end))}; end is a reported match end, so
+/// some suffix must accept.
+std::uint64_t brute_force_leftmost(const Engine& engine, std::string_view text,
+                                   std::uint64_t end) {
+  for (std::uint64_t b = 0; b <= end; ++b)
+    if (engine.accepts(text.substr(b, static_cast<std::size_t>(end - b)))) return b;
+  ADD_FAILURE() << "no suffix of text[0.." << end << ") accepts";
+  return end + 1;
+}
+
+TEST(ExactBeginFuzz, ExactBeginsEqualAcrossAllPathsAndOracles) {
+  const std::size_t iters = fuzz_iterations(8);
+  Prng prng(0xe4ac7b39);
+  static constexpr std::size_t kChunks[] = {1, 2, 7, 64};
+  static constexpr Variant kVariants[] = {Variant::kDfa, Variant::kNfa,
+                                          Variant::kRid, Variant::kSfa};
+  static constexpr DetKernel kKernels[] = {DetKernel::kFused, DetKernel::kReference,
+                                           DetKernel::kSimd};
+
+  for (std::size_t iter = 0; iter < iters; ++iter) {
+    RandomRegexConfig config;
+    config.alphabet = prng.pick_index(2) == 0 ? "ab" : "abc";
+    config.target_size = 3 + static_cast<int>(prng.pick_index(10));
+    const RePtr re = random_regex(prng, config);
+    const std::string regex = regex_to_string(re);
+    const std::string text = fuzz_text(prng, re, 30 + prng.pick_index(120));
+    SCOPED_TRACE("iter " + std::to_string(iter) + " regex=" + regex +
+                 " text=" + text);
+
+    const Engine engine(Pattern::compile(regex), {.threads = 2});
+    const Dfa& searcher = engine.searcher();
+    const ReverseBegins& reverse = engine.pattern().reverse_begins();
+    const std::vector<Symbol> input = searcher.symbols().translate(text);
+
+    // The serial reverse-scan oracle: same ends as the separator oracle,
+    // begins pinned by the reverse DFA from text start (floor 0).
+    const QueryResult sep_oracle = find_matches_serial(searcher, input);
+    const QueryResult exact_oracle =
+        find_matches_serial(searcher, input, 0, &reverse.dfa);
+    ASSERT_EQ(exact_oracle.positions.size(), sep_oracle.positions.size());
+    for (std::size_t i = 0; i < exact_oracle.positions.size(); ++i) {
+      const Match& exact = exact_oracle.positions[i];
+      const Match& sep = sep_oracle.positions[i];
+      ASSERT_EQ(exact.end, sep.end);
+      // For patterns whose purity certificate holds, the separator is a
+      // sound floor: never right of the true leftmost begin. (Without the
+      // certificate a minimization merge CAN place the separator inside a
+      // live match — the a|ba hazard — which is exactly why exact
+      // resolution then rescans from the window base instead.)
+      if (reverse.separators_sound)
+        ASSERT_LE(sep.begin, exact.begin) << "end=" << exact.end;
+      // The independent oracle: brute-force leftmost membership.
+      ASSERT_EQ(exact.begin, brute_force_leftmost(engine, text, exact.end))
+          << "end=" << exact.end << " separators_sound=" << reverse.separators_sound;
+    }
+
+    // One-shot exact find across the chunk × kernel matrix.
+    for (const std::size_t chunks : kChunks) {
+      for (const DetKernel kernel : kKernels) {
+        const QueryResult one_shot =
+            engine.find(text, {.chunks = chunks, .kernel = kernel,
+                               .begin_mode = BeginMode::kExact});
+        ASSERT_EQ(one_shot.positions, exact_oracle.positions)
+            << "one-shot chunks=" << chunks << " kernel=" << kernel_name(kernel);
+      }
+    }
+
+    // Streaming exact find: every variant × chunks under fresh random
+    // window splits, alternating the drain shapes.
+    for (const Variant variant : kVariants) {
+      if (engine.try_device(variant) == nullptr) continue;  // SFA explosion
+      for (const std::size_t chunks : kChunks) {
+        StreamSession stream = engine.stream({.variant = variant,
+                                              .chunks = chunks,
+                                              .positions = true,
+                                              .begin_mode = BeginMode::kExact});
+        std::vector<Match> collected;
+        const MatchSink sink = [&](const Match& m) { collected.push_back(m); };
+        const bool use_sink = prng.pick_index(2) == 0;
+        std::size_t offset = 0;
+        while (offset < text.size()) {
+          const std::size_t take =
+              std::min(text.size() - offset, 1 + prng.pick_index(40));
+          const std::string_view window(text.data() + offset, take);
+          if (use_sink) {
+            stream.feed(window, sink);
+          } else {
+            stream.feed(window);
+            for (const Match& m : stream.take_matches()) collected.push_back(m);
+          }
+          offset += take;
+        }
+        ASSERT_EQ(collected, exact_oracle.positions)
+            << variant_name(variant) << " chunks=" << chunks
+            << " sink=" << use_sink;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------- multi-pattern streaming fuzz
+// (ISSUE 9 tentpole b): one MultiStreamSession over N patterns, fed a random
+// window split, must emit exactly the merge of N INDEPENDENT single-pattern
+// StreamSessions fed the same windows — and exactly the one-shot
+// PatternSet::find_all list — in (end, begin, pattern_id) order, under both
+// begin modes and both drain shapes.
+
+TEST(MultiPatternStreamFuzz, MergedStreamEqualsIndependentSessionsAndOneShot) {
+  const std::size_t iters = fuzz_iterations(8);
+  Prng prng(0x3a1b5c7d);
+
+  for (std::size_t iter = 0; iter < iters; ++iter) {
+    RandomRegexConfig config;
+    config.alphabet = prng.pick_index(2) == 0 ? "ab" : "abc";
+    const std::size_t n = 2 + prng.pick_index(3);
+    std::vector<std::string> regexes;
+    std::vector<Pattern> patterns;
+    RePtr sample;  // members of one pattern seed the text with real matches
+    for (std::size_t p = 0; p < n; ++p) {
+      config.target_size = 3 + static_cast<int>(prng.pick_index(8));
+      const RePtr re = random_regex(prng, config);
+      if (p == 0) sample = re;
+      regexes.push_back(regex_to_string(re));
+      patterns.push_back(Pattern::compile(regexes.back()));
+    }
+    const std::string text = fuzz_text(prng, sample, 40 + prng.pick_index(160));
+    const BeginMode begin_mode =
+        prng.pick_index(2) == 0 ? BeginMode::kSeparator : BeginMode::kExact;
+    const std::size_t chunks = 1 + prng.pick_index(8);
+    std::string trace = "iter " + std::to_string(iter) + " text=" + text +
+                        " mode=" + begin_mode_name(begin_mode) + " regexes=";
+    for (const std::string& regex : regexes) trace += regex + " ; ";
+    SCOPED_TRACE(trace);
+
+    QueryOptions options;
+    options.positions = true;
+    options.chunks = chunks;
+    options.begin_mode = begin_mode;
+
+    // Pre-cut the window split so ALL consumers feed identical windows.
+    std::vector<std::string_view> windows;
+    std::size_t offset = 0;
+    while (offset < text.size()) {
+      const std::size_t take = std::min(text.size() - offset, 1 + prng.pick_index(30));
+      windows.emplace_back(text.data() + offset, take);
+      offset += take;
+    }
+
+    // Oracle 1: N independent single-pattern sessions, merged.
+    std::vector<Match> independent;
+    std::uint64_t independent_matches = 0;
+    for (std::size_t p = 0; p < n; ++p) {
+      const Engine engine(patterns[p], {.threads = 2});
+      StreamSession stream = engine.stream(options);
+      for (const std::string_view window : windows) stream.feed(window);
+      for (Match m : stream.take_matches()) {
+        m.pattern_id = static_cast<std::uint32_t>(p);
+        independent.push_back(m);
+      }
+      independent_matches += stream.matches();
+    }
+    std::sort(independent.begin(), independent.end(),
+              [](const Match& a, const Match& b) {
+                if (a.end != b.end) return a.end < b.end;
+                if (a.begin != b.begin) return a.begin < b.begin;
+                return a.pattern_id < b.pattern_id;
+              });
+
+    // Oracle 2: the one-shot multi-pattern fan-out.
+    const PatternSet set(patterns, {.threads = 2});
+    const QueryResult one_shot = set.find(text, options);
+    ASSERT_EQ(one_shot.positions, independent) << "one-shot vs independent";
+
+    // The merged streaming session, under both drain shapes.
+    for (const bool use_sink : {false, true}) {
+      MultiStreamSession session = set.stream_find(options);
+      ASSERT_EQ(session.patterns(), n);
+      std::vector<Match> collected;
+      const MatchSink sink = [&](const Match& m) { collected.push_back(m); };
+      for (const std::string_view window : windows) {
+        if (use_sink) {
+          session.feed(window, sink);
+        } else {
+          session.feed(window);
+          for (const Match& m : session.take_matches()) collected.push_back(m);
+        }
+      }
+      ASSERT_EQ(collected, independent) << "merged stream, sink=" << use_sink;
+      ASSERT_EQ(session.matches(), independent_matches);
+      ASSERT_EQ(session.accepted(), independent_matches > 0);
+      ASSERT_EQ(session.bytes_consumed(), text.size());
+      ASSERT_FALSE(session.poisoned());
+
+      // reset() starts the whole fleet over: a second pass agrees.
+      session.reset();
+      ASSERT_EQ(session.matches(), 0u);
+      std::vector<Match> second;
+      session.feed(text, [&](const Match& m) { second.push_back(m); });
+      ASSERT_EQ(second, independent) << "after reset";
     }
   }
 }

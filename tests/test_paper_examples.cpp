@@ -1,6 +1,7 @@
 // End-to-end checks of the paper's worked examples: the transition totals
 // of Fig. 1 (min-DFA 15 / NFA 14 / RI-DFA 9 on "aabcab" in two chunks), the
-// CSDPA run of Fig. 2, and the join of Fig. 4.
+// CSDPA run of Fig. 2, the join of Fig. 4, and exact-begin (reverse-DFA)
+// resolution on the Fig. 2 language with hand-computed leftmost offsets.
 #include <gtest/gtest.h>
 
 #include "automata/minimize.hpp"
@@ -8,6 +9,7 @@
 #include "core/interface_min.hpp"
 #include "core/ridfa.hpp"
 #include "core/serial_match.hpp"
+#include "engine/engine.hpp"
 #include "helpers.hpp"
 #include "parallel/csdpa.hpp"
 
@@ -102,6 +104,86 @@ TEST(PaperFig4, JoinFiltersThroughInterface) {
   EXPECT_EQ(ridfa.contents(from1), (std::vector<State>{0, 2}));
   EXPECT_EQ(from2, kDeadState);  // {2} has no c-transition
   EXPECT_EQ(transitions, 6u);    // 3 + 3 + 0
+}
+
+// ------------------------------------------------ exact begins (ISSUE 9)
+// Leftmost offsets below are hand-computed from the language definitions;
+// the fuzz driver covers the same property at scale, these pin the paper's
+// own examples as human-checkable regressions.
+
+/// (begin, end) pairs of a find result, for terse literal comparisons.
+std::vector<std::pair<std::uint64_t, std::uint64_t>> spans(const QueryResult& r) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  for (const Match& m : r.positions) out.emplace_back(m.begin, m.end);
+  return out;
+}
+
+// Fig. 2's language L = b*a(ab*a | b+a)* on its own sample string "babaaa".
+// Matches end at 2, 4, 5 and 6; hand-derived leftmost starts:
+//   end 2: "ba" ∈ L (b* = "b")                      -> begin 0
+//   end 4: "baba" ∈ L ("b", a, then b+a = "ba")     -> begin 0
+//   end 5: only "a" (at 4) ∈ L among suffixes       -> begin 4
+//   end 6: "babaaa" ∈ L ("b", a, "ba", then "aa")   -> begin 0
+TEST(PaperExactBegins, Fig2LanguageLeftmostStarts) {
+  const Engine engine(Pattern::compile("b*a(ab*a|b+a)*"), {.threads = 2});
+  const QueryResult exact =
+      engine.find("babaaa", {.chunks = 2, .begin_mode = BeginMode::kExact});
+  EXPECT_EQ(spans(exact),
+            (std::vector<std::pair<std::uint64_t, std::uint64_t>>{
+                {0, 2}, {0, 4}, {4, 5}, {0, 6}}));
+  // Same ends as the default separator mode — the mode changes only begins.
+  const QueryResult separator = engine.find("babaaa", {.chunks = 2});
+  ASSERT_EQ(separator.positions.size(), exact.positions.size());
+  for (std::size_t i = 0; i < exact.positions.size(); ++i)
+    EXPECT_EQ(separator.positions[i].end, exact.positions[i].end);
+}
+
+// The chaining example from the CLI docs: "aa" in "aaaa". Separator mode
+// documents begins that extend left through the overlap chain; exact mode
+// pins each match to exactly its two bytes.
+TEST(PaperExactBegins, OverlapChainPinsToTwoBytes) {
+  const Engine engine(Pattern::compile("aa"), {.threads = 2});
+  const QueryResult exact =
+      engine.find("aaaa", {.begin_mode = BeginMode::kExact});
+  EXPECT_EQ(spans(exact),
+            (std::vector<std::pair<std::uint64_t, std::uint64_t>>{
+                {0, 2}, {1, 3}, {2, 4}}));
+}
+
+// The soundness-certificate counterexample (a|ba): determinization merges a
+// live-progress subset into the restart class, so the separator is NOT a
+// sound reverse-scan floor — the certificate must say so, and exact
+// resolution must still find begins LEFT of the recorded separator.
+TEST(PaperExactBegins, SeparatorPurityCertificate) {
+  const Pattern hazard = Pattern::compile("a|ba");
+  EXPECT_FALSE(hazard.reverse_begins().separators_sound);
+  const Engine engine(hazard, {.threads = 2});
+  const QueryResult exact =
+      engine.find("aba", {.begin_mode = BeginMode::kExact});
+  // "a" ends at 1 (begin 0); "ba" and "a" both end at 3 — leftmost is 1.
+  EXPECT_EQ(spans(exact),
+            (std::vector<std::pair<std::uint64_t, std::uint64_t>>{{0, 1}, {1, 3}}));
+
+  // A pattern with no such merge keeps the certificate (and the cheap
+  // truncation path that rides on it).
+  EXPECT_TRUE(Pattern::compile("ab").reverse_begins().separators_sound);
+}
+
+// Streaming exact begins across the paper's own two-chunk split of Fig. 2:
+// feeding "bab" then "aaa" emits the one-shot list, with the begins of the
+// window-2 matches reaching back into window 1.
+TEST(PaperExactBegins, Fig2StreamingBeginsCrossTheChunkBoundary) {
+  const Engine engine(Pattern::compile("b*a(ab*a|b+a)*"), {.threads = 2});
+  StreamSession stream =
+      engine.stream({.positions = true, .begin_mode = BeginMode::kExact});
+  stream.feed("bab");
+  stream.feed("aaa");
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> collected;
+  for (const Match& m : stream.take_matches()) collected.emplace_back(m.begin, m.end);
+  EXPECT_EQ(collected,
+            (std::vector<std::pair<std::uint64_t, std::uint64_t>>{
+                {0, 2}, {0, 4}, {4, 5}, {0, 6}}));
+  EXPECT_TRUE(stream.accepted());
 }
 
 }  // namespace

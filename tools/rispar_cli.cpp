@@ -20,8 +20,10 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "automata/serialize.hpp"
 #include "automata/timbuk.hpp"
@@ -45,11 +47,12 @@ const char* const kUsage =
     "               [--timeout-ms N]\n"
     "  rispar find <pattern> <file|-> [--positions] [--chunks N] [--threads N]\n"
     "              [--convergence] [--kernel fused|simd|reference]\n"
-    "              [--offset N] [--limit N] [--timeout-ms N]\n"
+    "              [--offset N] [--limit N] [--timeout-ms N] [--exact-begins]\n"
     "  rispar find --patterns <patterns-file> <file|-> [same flags]\n"
-    "  rispar find <pattern> <file|-> --stream [--window BYTES] [--positions]\n"
-    "              [--chunks N] [--threads N] [--convergence]\n"
-    "              [--kernel fused|simd|reference] [--timeout-ms N]\n"
+    "  rispar find <pattern|--patterns FILE> <file|-> --stream\n"
+    "              [--window BYTES] [--positions] [--chunks N] [--threads N]\n"
+    "              [--convergence] [--kernel fused|simd|reference]\n"
+    "              [--timeout-ms N] [--exact-begins]\n"
     "  rispar export <pattern> [--machine nfa|dfa|ridfa] [--format native|timbuk]\n"
     "  rispar gen <benchmark> <bytes> [--seed N]\n"
     "  rispar bench-list\n"
@@ -59,7 +62,10 @@ const char* const kUsage =
     "to contain the match ending there (its start is the scan's last\n"
     "restart point, so when overlapping partial matches chain — e.g. 'aa'\n"
     "in 'aaaa' — the region extends left of the match; for patterns that\n"
-    "cannot chain, offset/length are exact). With --patterns a leading\n"
+    "cannot chain, offset/length are exact). --exact-begins runs the\n"
+    "reverse-DFA confirmation pass instead, pinning every offset to the\n"
+    "true leftmost start of the match ending there (one extra backward\n"
+    "scan per match; see docs/api.md). With --patterns a leading\n"
     "'id:' gives the pattern's 0-based index among the patterns actually\n"
     "loaded (blank lines and lines starting with '#' are skipped and not\n"
     "counted). Without --positions, a per-pattern summary is printed.\n"
@@ -85,7 +91,11 @@ const char* const kUsage =
     "each match prints as 'offset:length' (no slice: its begin may lie in\n"
     "a window already scrolled away). --offset/--limit do not apply to\n"
     "streams (an unbounded input has no total to page against) and are\n"
-    "rejected, as is --patterns (one pattern per streaming session).\n"
+    "rejected. --stream --patterns FILE opens ONE multi-pattern session:\n"
+    "every pattern scans the same byte feed and matches print merged in\n"
+    "(end, begin, id) order as 'id:offset:length' — the streaming face of\n"
+    "the one-shot --patterns fan-out (identical match lists, any window\n"
+    "segmentation).\n"
     "\n"
     "--timeout-ms bounds the query's wall-clock budget: the kernels poll a\n"
     "deadline cooperatively (sub-millisecond granularity) and a query that\n"
@@ -278,14 +288,37 @@ int cmd_count(const std::string& pattern_text, const std::string& path, int argc
   return counted.matches > 0 ? 0 : 1;
 }
 
-int cmd_find_stream(const std::string& pattern_text, const std::string& path,
-                    int argc, char** argv) {
+/// Loads one regex per line ('#' comments and blank lines skipped, CRLF
+/// tolerated). Returns false after printing the error.
+bool read_patterns_file(const char* path, std::vector<std::string>& out) {
+  std::ifstream patterns_file(path);
+  if (!patterns_file) {
+    std::fprintf(stderr, "rispar: cannot open patterns file '%s'\n", path);
+    return false;
+  }
+  std::string line;
+  while (std::getline(patterns_file, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF rulesets
+    if (line.empty() || line[0] == '#') continue;
+    out.push_back(line);
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "rispar: patterns file '%s' holds no patterns\n", path);
+    return false;
+  }
+  return true;
+}
+
+int cmd_find_stream(const std::vector<std::string>& pattern_texts, bool multi,
+                    const std::string& path, int argc, char** argv) {
   QueryOptions options;
   options.positions = true;
   options.chunks = static_cast<std::size_t>(
       std::strtoul(flag_value(argc, argv, "--chunks", "16").c_str(), nullptr, 10));
   options.convergence = flag_present(argc, argv, "--convergence");
   if (!parse_kernel_flag(argc, argv, options.kernel)) return 2;
+  if (flag_present(argc, argv, "--exact-begins"))
+    options.begin_mode = BeginMode::kExact;
   // Per-feed deadline: each window must join within the budget.
   options.deadline = parse_timeout_flag(argc, argv);
   // Paging knobs pass through so the session REJECTS them (QueryError,
@@ -305,8 +338,24 @@ int cmd_find_stream(const std::string& pattern_text, const std::string& path,
     return 2;
   }
 
-  const Engine engine(Pattern::compile(pattern_text), {.threads = threads});
-  StreamSession stream = engine.stream(options);  // QueryError -> exit 2
+  // One of the two session kinds, behind optionals because neither owner
+  // (Engine, PatternSet) is movable. QueryError at open -> exit 2 either way.
+  std::optional<Engine> engine;
+  std::optional<StreamSession> stream;
+  std::optional<PatternSet> set;
+  std::optional<MultiStreamSession> multi_stream;
+  if (multi) {
+    std::vector<Pattern> patterns;
+    patterns.reserve(pattern_texts.size());
+    for (const std::string& pattern_text : pattern_texts)
+      patterns.push_back(Pattern::compile(pattern_text));
+    set.emplace(std::move(patterns), EngineConfig{.threads = threads});
+    multi_stream = set->stream_find(options);
+  } else {
+    engine.emplace(Pattern::compile(pattern_texts.front()),
+                   EngineConfig{.threads = threads});
+    stream = engine->stream(options);
+  }
 
   std::ifstream file;
   if (path != "-") {
@@ -320,6 +369,7 @@ int cmd_find_stream(const std::string& pattern_text, const std::string& path,
   const bool print_positions = flag_present(argc, argv, "--positions");
   const MatchSink sink = [&](const Match& m) {
     if (!print_positions) return;
+    if (multi) std::printf("%u:", m.pattern_id);
     std::printf("%llu:%llu\n", static_cast<unsigned long long>(m.begin),
                 static_cast<unsigned long long>(m.end - m.begin));
   };
@@ -346,15 +396,28 @@ int cmd_find_stream(const std::string& pattern_text, const std::string& path,
       got = static_cast<std::size_t>(file.gcount());
     }
     if (got == 0) break;
-    stream.feed(std::string_view(buffer.data(), got), sink);
+    const std::string_view window(buffer.data(), got);
+    if (multi)
+      multi_stream->feed(window, sink);
+    else
+      stream->feed(window, sink);
+  }
+  if (multi) {
+    std::fprintf(stderr,
+                 "rispar: %llu match%s across %zu patterns in %llu bytes (%.3f ms)\n",
+                 static_cast<unsigned long long>(multi_stream->matches()),
+                 multi_stream->matches() == 1 ? "" : "es", multi_stream->patterns(),
+                 static_cast<unsigned long long>(multi_stream->bytes_consumed()),
+                 clock.millis());
+    return multi_stream->matches() > 0 ? 0 : 1;
   }
   std::fprintf(stderr,
                "rispar: %llu match%s in %llu bytes over %llu windows (%.3f ms)\n",
-               static_cast<unsigned long long>(stream.matches()),
-               stream.matches() == 1 ? "" : "es",
-               static_cast<unsigned long long>(stream.bytes_consumed()),
-               static_cast<unsigned long long>(stream.windows()), clock.millis());
-  return stream.matches() > 0 ? 0 : 1;
+               static_cast<unsigned long long>(stream->matches()),
+               stream->matches() == 1 ? "" : "es",
+               static_cast<unsigned long long>(stream->bytes_consumed()),
+               static_cast<unsigned long long>(stream->windows()), clock.millis());
+  return stream->matches() > 0 ? 0 : 1;
 }
 
 int cmd_find(int argc, char** argv) {
@@ -362,12 +425,12 @@ int cmd_find(int argc, char** argv) {
   //          |  find <pattern> <file|-> --stream.
   if (flag_present(argc, argv, "--stream")) {
     if (std::strcmp(argv[2], "--patterns") == 0) {
-      std::fprintf(stderr,
-                   "rispar: --stream serves one pattern per session; --patterns "
-                   "is a one-shot shape\n");
-      return 2;
+      if (argc < 5) return usage();
+      std::vector<std::string> pattern_texts;
+      if (!read_patterns_file(argv[3], pattern_texts)) return 2;
+      return cmd_find_stream(pattern_texts, /*multi=*/true, argv[4], argc, argv);
     }
-    return cmd_find_stream(argv[2], argv[3], argc, argv);
+    return cmd_find_stream({argv[2]}, /*multi=*/false, argv[3], argc, argv);
   }
   std::vector<std::string> pattern_texts;
   std::string input_path;
@@ -375,21 +438,7 @@ int cmd_find(int argc, char** argv) {
   if (std::strcmp(argv[2], "--patterns") == 0) {
     if (argc < 5) return usage();
     from_file = true;
-    std::ifstream patterns_file(argv[3]);
-    if (!patterns_file) {
-      std::fprintf(stderr, "rispar: cannot open patterns file '%s'\n", argv[3]);
-      return 2;
-    }
-    std::string line;
-    while (std::getline(patterns_file, line)) {
-      if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF rulesets
-      if (line.empty() || line[0] == '#') continue;
-      pattern_texts.push_back(line);
-    }
-    if (pattern_texts.empty()) {
-      std::fprintf(stderr, "rispar: patterns file '%s' holds no patterns\n", argv[3]);
-      return 2;
-    }
+    if (!read_patterns_file(argv[3], pattern_texts)) return 2;
     input_path = argv[4];
   } else {
     pattern_texts.emplace_back(argv[2]);
@@ -405,6 +454,8 @@ int cmd_find(int argc, char** argv) {
       std::strtoul(flag_value(argc, argv, "--chunks", "16").c_str(), nullptr, 10));
   options.convergence = flag_present(argc, argv, "--convergence");
   if (!parse_kernel_flag(argc, argv, options.kernel)) return 2;
+  if (flag_present(argc, argv, "--exact-begins"))
+    options.begin_mode = BeginMode::kExact;
   options.deadline = parse_timeout_flag(argc, argv);
   options.offset = static_cast<std::size_t>(
       std::strtoull(flag_value(argc, argv, "--offset", "0").c_str(), nullptr, 10));

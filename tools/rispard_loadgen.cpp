@@ -49,6 +49,7 @@ struct SweepPoint {
   std::size_t feed_bytes;
   std::size_t feeds_per_connection;
   std::size_t chunks;
+  bool multi = false;  ///< whole-catalog multi-pattern sessions (--multi-pattern)
 };
 
 // The multi-tenant serving set; sessions round-robin over it.
@@ -232,6 +233,7 @@ void set_blocking(int fd) {
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool multi_pattern = false;
   std::string out_path = "BENCH_rispard.json";
   std::string connect_spec;
   unsigned client_threads = std::min(8u, std::thread::hardware_concurrency());
@@ -240,6 +242,8 @@ int main(int argc, char** argv) {
     const std::string_view arg = argv[i];
     if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--multi-pattern") {
+      multi_pattern = true;
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (arg == "--connect" && i + 1 < argc) {
@@ -248,8 +252,8 @@ int main(int argc, char** argv) {
       client_threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--quick] [--out FILE] [--connect HOST:PORT] "
-                   "[--client-threads N]\n",
+                   "usage: %s [--quick] [--multi-pattern] [--out FILE] "
+                   "[--connect HOST:PORT] [--client-threads N]\n",
                    argv[0]);
       return 2;
     }
@@ -263,11 +267,22 @@ int main(int argc, char** argv) {
     setrlimit(RLIMIT_NOFILE, &nofile);
   }
 
-  const std::vector<SweepPoint> sweep =
+  std::vector<SweepPoint> sweep =
       quick ? std::vector<SweepPoint>{{64, 4096, 16, 1}, {1000, 4096, 6, 1}}
             : std::vector<SweepPoint>{{64, 4096, 64, 1},
                                       {256, 16384, 24, 4},
                                       {1000, 8192, 12, 2}};
+  if (multi_pattern) {
+    // Whole-catalog multi-pattern sessions: every connection matches all N
+    // catalog patterns in one feed. A NEW JSON series ("/multi" names), so
+    // bench_compare.py reports it without gating against the single-pattern
+    // baseline — the expected cost is ~N searcher scans per window sharing
+    // one merge.
+    if (quick)
+      sweep.push_back({64, 4096, 16, 1, /*multi=*/true});
+    else
+      sweep.push_back({256, 8192, 24, 2, /*multi=*/true});
+  }
 
   std::unique_ptr<Server> server;
   std::thread server_thread;
@@ -312,11 +327,19 @@ int main(int argc, char** argv) {
         ++pr.drops;
         continue;
       }
-      const std::uint32_t pattern_id =
-          static_cast<std::uint32_t>(i % kPatterns.size());
-      send_all(conns[i].fd,
-               make_open_session(1, pattern_id, /*feed_deadline_ns=*/0,
-                                 static_cast<std::uint32_t>(point.chunks)));
+      if (point.multi) {
+        // Empty id list = subscribe the tenant's whole catalog.
+        send_all(conns[i].fd,
+                 make_open_session_multi(1, /*feed_deadline_ns=*/0,
+                                         static_cast<std::uint32_t>(point.chunks),
+                                         /*pattern_ids=*/{}));
+      } else {
+        const std::uint32_t pattern_id =
+            static_cast<std::uint32_t>(i % kPatterns.size());
+        send_all(conns[i].fd,
+                 make_open_session(1, pattern_id, /*feed_deadline_ns=*/0,
+                                   static_cast<std::uint32_t>(point.chunks)));
+      }
     }
     for (ClientConn& conn : conns) {
       if (conn.fd < 0) continue;
@@ -392,10 +415,11 @@ int main(int argc, char** argv) {
                   static_cast<double>(point.feed_bytes) / pr.wall_seconds
             : 0;
     std::printf(
-        "conns=%4zu feed=%6zuB x%-3zu  opened=%4zu feeds=%6llu  "
+        "conns=%4zu%s feed=%6zuB x%-3zu  opened=%4zu feeds=%6llu  "
         "p50=%7.3fms p99=%7.3fms  %8.1f MB/s  matches=%llu errors=%llu "
         "drops=%llu\n",
-        point.connections, point.feed_bytes, point.feeds_per_connection,
+        point.connections, point.multi ? " (multi)" : "", point.feed_bytes,
+        point.feeds_per_connection,
         pr.opened, static_cast<unsigned long long>(pr.feeds), pr.p50_ms,
         pr.p99_ms, throughput / 1e6, static_cast<unsigned long long>(pr.matches),
         static_cast<unsigned long long>(pr.errors),
@@ -430,13 +454,14 @@ int main(int argc, char** argv) {
             : 0;
     std::fprintf(
         out,
-        "    {\"name\": \"rispard_feed/conns:%zu/bytes:%zu\", "
+        "    {\"name\": \"rispard_feed%s/conns:%zu/bytes:%zu\", "
         "\"label\": \"rispard/serving\", \"iterations\": %llu, "
         "\"real_time\": %.6f, \"time_unit\": \"ms\", "
         "\"bytes_per_second\": %.1f, \"p50_ms\": %.6f, \"p99_ms\": %.6f, "
         "\"connections\": %zu, \"dropped_connections\": %llu, "
         "\"error_frames\": %llu}%s\n",
-        pr.point.connections, pr.point.feed_bytes,
+        pr.point.multi ? "_multi" : "", pr.point.connections,
+        pr.point.feed_bytes,
         static_cast<unsigned long long>(pr.feeds), pr.mean_ms, throughput,
         pr.p50_ms, pr.p99_ms, pr.point.connections,
         static_cast<unsigned long long>(pr.drops),
