@@ -1,13 +1,16 @@
 // A minimal blocking rispard client — the public wire protocol end to end.
 //
 // Opens one streaming-find session, feeds a file (or a synthetic log) in
-// windows, prints the first few match offsets, and closes. By default it
-// SELF-SERVES: an in-process rispard Server binds an ephemeral port and the
-// client talks to it over real TCP, so this example doubles as the CTest
-// smoke test of the protocol — the server's matches are cross-checked
-// against a local Engine::find_all oracle, and any drift in the framing or
-// the session semantics fails CI. Point it at a live server with
-// --connect HOST:PORT instead.
+// windows, prints the first few match offsets, and closes. Halfway through
+// it also exercises the durable-session path: CHECKPOINT, drop the TCP
+// connection outright, and reconnect_and_resume() onto a fresh one — the
+// resumed session continues byte-exact, so the final totals still match.
+// By default it SELF-SERVES: an in-process rispard Server binds an
+// ephemeral port and the client talks to it over real TCP, so this example
+// doubles as the CTest smoke test of the protocol — the server's matches
+// are cross-checked against a local Engine::find_all oracle, and any drift
+// in the framing or the session semantics fails CI. Point it at a live
+// server with --connect HOST:PORT instead.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -140,7 +143,7 @@ int main(int argc, char** argv) {
     }
   };
 
-  const int fd = connect_to(host, port);
+  int fd = connect_to(host, port);
   if (fd < 0) {
     std::fprintf(stderr, "cannot connect to %s:%u\n", host.c_str(),
                  static_cast<unsigned>(port));
@@ -153,6 +156,7 @@ int main(int argc, char** argv) {
   FrameReader reader;
   Frame frame;
   bool failed = false;
+  bool resumed = false;
   std::uint64_t matches_total = 0;
   std::size_t printed = 0;
   send_all(fd, make_open_session(/*session_id=*/1, /*pattern_id=*/0,
@@ -192,6 +196,35 @@ int main(int argc, char** argv) {
                    static_cast<unsigned>(frame.type));
       failed = true;
       break;
+    }
+    // Halfway through (loopback only — the helper reconnects to loopback):
+    // checkpoint, vanish, resume. Everything acked so far rides in the blob.
+    if (!failed && !resumed && host == "127.0.0.1" &&
+        offset + window >= text.size() / 2) {
+      resumed = true;
+      send_all(fd, make_checkpoint(1));
+      if (!recv_frame(fd, reader, frame) ||
+          frame.type != FrameType::kCheckpointed) {
+        std::fprintf(stderr, "CHECKPOINT failed\n");
+        failed = true;
+        break;
+      }
+      ResumeSpec spec;
+      spec.session_id = 1;
+      spec.pattern_id = 0;
+      spec.chunks = 4;
+      spec.checkpoint = frame.payload.substr(8);  // {session, pattern, blob}
+      ::close(fd);
+      reader = FrameReader();
+      fd = reconnect_and_resume(port, spec, reader);
+      if (fd < 0) {
+        std::fprintf(stderr, "RESUME_SESSION failed\n");
+        failed = true;
+        break;
+      }
+      std::printf("  (checkpointed, dropped the connection, resumed "
+                  "byte-exact at offset %zu)\n",
+                  std::min(offset + window, text.size()));
     }
   }
   if (!failed) {

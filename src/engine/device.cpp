@@ -24,6 +24,7 @@ void Device::stream_feed(StreamCarry& carry, std::span<const Symbol> window,
   find_options.kernel = options.kernel;
   find_options.positions = true;
   find_options.begin_mode = options.begin_mode;
+  find_options.max_history_bytes = options.max_history_bytes;
   stream_find_feed(find->searcher, carry.find, find->window, pool, find_options,
                    find->sink, find->pattern_id, gov, find->reverse);
 }

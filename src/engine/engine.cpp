@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "engine/checkpoint.hpp"
 #include "parallel/match_count.hpp"
 
 namespace rispar {
@@ -108,6 +109,23 @@ StreamSession Engine::stream(const QueryOptions& options) const {
   if (options.begin_mode == BeginMode::kExact)
     (void)pattern_.reverse_begins(config_.subset_budget);
   return StreamSession(dev, pattern_, *pool_, options);
+}
+
+StreamSession Engine::resume_stream(std::string_view blob,
+                                    const QueryOptions& options) const {
+  // Exactly stream()'s open-time discipline — validation and lazy-artifact
+  // pre-pay happen BEFORE the blob is decoded, so a resume rejects for the
+  // same reasons at the same point a fresh open would.
+  const Device& dev = device(options.variant);
+  validate_query(options, dev.stream_capabilities(),
+                 device_context("resume_stream", options.variant));
+  if (options.positions) (void)searcher();
+  if (options.begin_mode == BeginMode::kExact)
+    (void)pattern_.reverse_begins(config_.subset_budget);
+  StreamSession session(dev, pattern_, *pool_, options);
+  session.carry_ = checkpoint::decode_stream(
+      blob, options.variant, options, checkpoint::pattern_fingerprint(pattern_));
+  return session;
 }
 
 std::vector<QueryResult> Engine::match_all(std::span<const std::string_view> texts,
@@ -218,6 +236,21 @@ void StreamSession::feed(std::span<const Symbol> window) {
     poisoned_ = true;
     throw;
   }
+}
+
+std::string StreamSession::checkpoint() const {
+  if (poisoned_)
+    throw ValidationError(
+        "stream (checkpoint): session is poisoned — a previous feed failed "
+        "mid-window, so there is no consistent carry to save; reset() and "
+        "refeed, or resume an earlier checkpoint");
+  if (!pending_.empty())
+    throw ValidationError(
+        "stream (checkpoint): " + std::to_string(pending_.size()) +
+        " buffered matches are undrained — take_matches() first; checkpoints "
+        "never carry match payloads, so resuming would silently drop them");
+  return checkpoint::encode_stream(carry_, device_->variant(), options_,
+                                   checkpoint::pattern_fingerprint(pattern_));
 }
 
 std::vector<Match> StreamSession::take_matches() {

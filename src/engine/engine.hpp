@@ -134,6 +134,19 @@ class Engine {
   /// feed. The session borrows this Engine — it must not outlive it.
   StreamSession stream(const QueryOptions& options = {}) const;
 
+  /// Reopens a streaming session from a StreamSession::checkpoint() blob,
+  /// continuing BYTE-EXACT from the checkpointed position: feeding the
+  /// resumed session the remaining stream yields the same decision and the
+  /// same match list as the uninterrupted session and the serial oracle
+  /// (fuzz-tested, engine/checkpoint.hpp). `options` must request the same
+  /// session shape the checkpoint was taken under — variant, positions,
+  /// begin_mode — and the blob must belong to THIS pattern (validated via a
+  /// content fingerprint); any mismatch, corruption or truncation throws
+  /// ValidationError. Works across Engines and processes: only the pattern
+  /// must match, not the Engine instance.
+  StreamSession resume_stream(std::string_view blob,
+                              const QueryOptions& options = {}) const;
+
   /// Batch recognition: every text translated and recognized on the shared
   /// pool (texts in parallel, chunks within a text inline), one QueryResult
   /// per text in input order.
@@ -238,6 +251,17 @@ class StreamSession {
   /// fault): the carry is mid-window and further feeds reject until
   /// reset(). See the class comment.
   bool poisoned() const { return poisoned_; }
+
+  /// Serializes the session's full between-window state — decision carry,
+  /// find carry, counters, the kExact history tail — into a versioned,
+  /// checksummed blob for Engine::resume_stream (engine/checkpoint.hpp has
+  /// the format). Callable between feeds, repeatedly; the session stays
+  /// usable. Two rejects (ValidationError, nothing encoded): a POISONED
+  /// session (its carry is mid-window — there is no consistent state to
+  /// save) and UNDRAINED buffered matches (checkpoints never carry match
+  /// payloads, so take_matches() first — resuming would otherwise silently
+  /// drop them).
+  std::string checkpoint() const;
 
   /// Forgets all input; the next feed() starts from the initial state again.
   /// Also clears poisoning — the session is reusable after a tripped feed.

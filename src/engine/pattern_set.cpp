@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "engine/checkpoint.hpp"
 #include "engine/compile_cache.hpp"
 #include "parallel/match_count.hpp"
 #include "util/fault_inject.hpp"
@@ -160,6 +161,11 @@ MultiStreamSession PatternSet::stream_find(const QueryOptions& options) const {
   return MultiStreamSession(patterns_, *pool_, options);
 }
 
+MultiStreamSession PatternSet::resume_stream(std::string_view blob,
+                                             const QueryOptions& options) const {
+  return MultiStreamSession(patterns_, *pool_, options, blob);
+}
+
 MultiStreamSession::MultiStreamSession(std::vector<Pattern> patterns,
                                        ThreadPool& pool, QueryOptions options)
     : pool_(&pool), options_(std::move(options)) {
@@ -175,6 +181,43 @@ MultiStreamSession::MultiStreamSession(std::vector<Pattern> patterns,
     if (exact) state.reverse = &state.pattern.reverse_begins();
     states_.push_back(std::move(state));
   }
+}
+
+MultiStreamSession::MultiStreamSession(std::vector<Pattern> patterns,
+                                       ThreadPool& pool, QueryOptions options,
+                                       std::string_view checkpoint)
+    : MultiStreamSession(std::move(patterns), pool, std::move(options)) {
+  std::vector<Pattern> fleet;
+  fleet.reserve(states_.size());
+  for (const PatternState& state : states_) fleet.push_back(state.pattern);
+  checkpoint::MultiImage image = checkpoint::decode_multi(
+      checkpoint, states_.size(), options_, checkpoint::fleet_fingerprint(fleet));
+  consumed_ = image.consumed;
+  for (std::size_t p = 0; p < states_.size(); ++p)
+    states_[p].carry = std::move(image.carries[p]);
+}
+
+std::string MultiStreamSession::checkpoint() const {
+  if (poisoned_)
+    throw ValidationError(
+        "stream_find (checkpoint): session is poisoned — some pattern carries "
+        "advanced past others, so there is no consistent state to save; "
+        "reset() and refeed, or resume an earlier checkpoint");
+  if (!pending_.empty())
+    throw ValidationError(
+        "stream_find (checkpoint): " + std::to_string(pending_.size()) +
+        " buffered matches are undrained — take_matches() first; checkpoints "
+        "never carry match payloads, so resuming would silently drop them");
+  std::vector<const FindCarry*> carries;
+  std::vector<Pattern> fleet;
+  carries.reserve(states_.size());
+  fleet.reserve(states_.size());
+  for (const PatternState& state : states_) {
+    carries.push_back(&state.carry);
+    fleet.push_back(state.pattern);
+  }
+  return checkpoint::encode_multi(carries, consumed_, options_,
+                                  checkpoint::fleet_fingerprint(fleet));
 }
 
 void MultiStreamSession::ensure_live() const {

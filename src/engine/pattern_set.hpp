@@ -29,6 +29,7 @@
 #include <initializer_list>
 #include <memory>
 #include <span>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -95,6 +96,15 @@ class PatternSet {
   /// borrows this set's pool — it must not outlive the PatternSet.
   MultiStreamSession stream_find(const QueryOptions& options = {}) const;
 
+  /// Reopens a multi-pattern session from a MultiStreamSession::checkpoint()
+  /// blob, continuing byte-exact (the Engine::resume_stream analogue —
+  /// engine/checkpoint.hpp). The blob must have been taken against the SAME
+  /// fleet in the SAME order (validated via a combined content fingerprint)
+  /// and `options` must request the same shape; any mismatch, corruption or
+  /// truncation throws ValidationError.
+  MultiStreamSession resume_stream(std::string_view blob,
+                                   const QueryOptions& options = {}) const;
+
  private:
   std::vector<Pattern> patterns_;
   std::unique_ptr<ThreadPool> pool_;
@@ -134,6 +144,15 @@ class MultiStreamSession {
   MultiStreamSession(std::vector<Pattern> patterns, ThreadPool& pool,
                      QueryOptions options);
 
+  /// Resume form: opens exactly like the plain constructor, then installs
+  /// the carries decoded from `checkpoint` (a MultiStreamSession::
+  /// checkpoint() blob taken against the same fleet in the same order).
+  /// ValidationError on any mismatch, corruption or truncation — the
+  /// session is never half-resumed. rispard's RESUME_SESSION path for
+  /// multi-pattern sessions; PatternSet::resume_stream is the convenience.
+  MultiStreamSession(std::vector<Pattern> patterns, ThreadPool& pool,
+                     QueryOptions options, std::string_view checkpoint);
+
   /// Consumes the next window, buffering the merged matches for
   /// take_matches(). Empty windows are no-ops.
   void feed(std::string_view bytes);
@@ -158,6 +177,14 @@ class MultiStreamSession {
 
   /// True once a feed failed part-way; see the class comment.
   bool poisoned() const { return poisoned_; }
+
+  /// Serializes every pattern's carry plus the shared byte count into a
+  /// versioned, checksummed blob for the resume constructor /
+  /// PatternSet::resume_stream. Same contract as StreamSession::
+  /// checkpoint(): callable between feeds, rejects (ValidationError) on a
+  /// poisoned session and on undrained buffered matches — take_matches()
+  /// first.
+  std::string checkpoint() const;
 
   /// Forgets all input; the next feed() starts every pattern from its
   /// initial state again. Also clears poisoning.

@@ -143,6 +143,16 @@ struct QueryOptions {
   /// query shapes with DeviceCaps::exact_begins honor kExact; everything
   /// else REJECTS it during validation.
   BeginMode begin_mode = BeginMode::kSeparator;
+  /// Streaming find under begin_mode=kExact only: byte cap on the retained
+  /// history tail (FindCarry::history — one retained byte per stream byte).
+  /// Patterns whose separator-purity certificate fails retain history from
+  /// the stream start, i.e. unbounded on adversarial input; this cap bounds
+  /// the PEAK retention (carried tail + incoming window) instead. A feed
+  /// that would exceed it throws ResourceExhausted{"exact-begin history",
+  /// limit, observed} BEFORE consuming the window, and the session poisons
+  /// (StreamSession semantics — reset() reuses it). 0 = unlimited; other
+  /// query shapes ignore the knob (one-shot find retains nothing).
+  std::uint64_t max_history_bytes = 0;
   /// Wall-clock budget for the query, 0 = none. Checked cooperatively at
   /// chunk boundaries and every kGovernorStride symbols inside the kernels
   /// (see util/governance.hpp); a trip throws DeadlineExceeded. Every query

@@ -721,6 +721,17 @@ void stream_find_feed(const Dfa& dfa, FindCarry& carry, std::span<const Symbol> 
   const QueryGovernor own(options.deadline, options.cancel);
   const QueryGovernor* gov = resolve_governor(governor, own);
   if (window.empty()) return;
+  // The exact-begin memory bound: the cap is on PEAK retention (carried
+  // tail + the incoming window), checked BEFORE any carry mutation so the
+  // throw leaves the carry consistent — the session-level poisoning that
+  // follows is a policy choice, not a necessity. A died carry retains
+  // nothing, so the cap has nothing to bound there.
+  if (exact && !carry.died && options.max_history_bytes != 0 &&
+      carry.history.size() + window.size() > options.max_history_bytes)
+    throw ResourceExhausted(
+        "exact-begin history",
+        static_cast<std::int64_t>(options.max_history_bytes),
+        static_cast<std::int64_t>(carry.history.size() + window.size()));
   const std::uint64_t origin = carry.consumed;
   carry.consumed += window.size();
   if (carry.died) return;  // the run already left the automaton — nothing
@@ -796,6 +807,94 @@ void stream_find_feed(const Dfa& dfa, FindCarry& carry, std::span<const Symbol> 
       carry.history_base = carry.last_sep;
     }
   }
+}
+
+// --------------------------------------------------------- carry (de)coding
+
+namespace {
+
+void carry_put_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8)
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+}
+
+void carry_put_u32(std::string& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8)
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+}
+
+[[noreturn]] void carry_malformed(const char* what) {
+  throw ValidationError(std::string("checkpoint: malformed find carry — ") + what);
+}
+
+std::uint64_t carry_get_u64(std::string_view image, std::size_t& pos) {
+  if (image.size() - pos < 8) carry_malformed("truncated");
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 8)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(image[pos++])) << shift;
+  return v;
+}
+
+std::uint32_t carry_get_u32(std::string_view image, std::size_t& pos) {
+  if (image.size() - pos < 4) carry_malformed("truncated");
+  std::uint32_t v = 0;
+  for (int shift = 0; shift < 32; shift += 8)
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(image[pos++])) << shift;
+  return v;
+}
+
+std::uint8_t carry_get_u8(std::string_view image, std::size_t& pos) {
+  if (image.size() - pos < 1) carry_malformed("truncated");
+  return static_cast<std::uint8_t>(image[pos++]);
+}
+
+}  // namespace
+
+void encode_find_carry(const FindCarry& carry, std::string& out) {
+  carry_put_u32(out, static_cast<std::uint32_t>(carry.state));
+  out.push_back(static_cast<char>(carry.at_start ? 1 : 0));
+  out.push_back(static_cast<char>(carry.died ? 1 : 0));
+  carry_put_u64(out, carry.consumed);
+  carry_put_u64(out, carry.last_sep);
+  carry_put_u64(out, carry.matches);
+  carry_put_u64(out, carry.transitions);
+  carry_put_u64(out, carry.history_base);
+  carry_put_u64(out, carry.history.size());
+  for (const Symbol symbol : carry.history)
+    carry_put_u32(out, static_cast<std::uint32_t>(symbol));
+}
+
+FindCarry decode_find_carry(std::string_view image, std::size_t& pos) {
+  FindCarry carry;
+  carry.state = static_cast<State>(carry_get_u32(image, pos));
+  const std::uint8_t at_start = carry_get_u8(image, pos);
+  const std::uint8_t died = carry_get_u8(image, pos);
+  if (at_start > 1 || died > 1) carry_malformed("flag byte is not 0/1");
+  carry.at_start = at_start != 0;
+  carry.died = died != 0;
+  carry.consumed = carry_get_u64(image, pos);
+  carry.last_sep = carry_get_u64(image, pos);
+  carry.matches = carry_get_u64(image, pos);
+  carry.transitions = carry_get_u64(image, pos);
+  carry.history_base = carry_get_u64(image, pos);
+  const std::uint64_t history_size = carry_get_u64(image, pos);
+  // The length is validated against the REMAINING image before any
+  // allocation — a forged length cannot reserve gigabytes off a short blob.
+  if (history_size > (image.size() - pos) / 4) carry_malformed("truncated history");
+  if (carry.state < kDeadState) carry_malformed("state below the dead sentinel");
+  if (carry.last_sep > carry.consumed) carry_malformed("last_sep past consumed");
+  if (carry.history_base > carry.consumed) carry_malformed("history_base past consumed");
+  if (carry.at_start &&
+      (carry.consumed != 0 || carry.died || history_size != 0))
+    carry_malformed("fresh carry with consumed input");
+  // The tail invariant: when retained, history covers [history_base,
+  // consumed) exactly (stream_find_feed maintains it every feed).
+  if (history_size != 0 && carry.history_base + history_size != carry.consumed)
+    carry_malformed("history does not cover [history_base, consumed)");
+  carry.history.reserve(history_size);
+  for (std::uint64_t i = 0; i < history_size; ++i)
+    carry.history.push_back(static_cast<Symbol>(carry_get_u32(image, pos)));
+  return carry;
 }
 
 }  // namespace rispar

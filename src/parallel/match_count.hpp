@@ -148,6 +148,22 @@ struct FindCarry {
   std::uint64_t history_base = 0;
 };
 
+/// Appends `carry`'s SEMANTIC state — searcher state, flags, the absolute
+/// counters and the kExact history tail — to `out` as a little-endian
+/// binary image. `speculative_starts` is session-scoped scratch and is
+/// NOT encoded (a resumed session refills it lazily). This is the
+/// per-pattern payload unit of the session checkpoints; the versioned,
+/// checksummed envelope around it lives in engine/checkpoint.hpp.
+void encode_find_carry(const FindCarry& carry, std::string& out);
+
+/// Decodes an encode_find_carry image from `image` starting at `pos`,
+/// advancing `pos` past it. Throws ValidationError on truncation and on
+/// fields violating the carry invariants (history covers exactly
+/// [history_base, consumed) when retained; last_sep <= consumed; a fresh
+/// carry has nothing consumed) — a corrupted or forged image surfaces as
+/// a typed error, never as an inconsistent session.
+FindCarry decode_find_carry(std::string_view image, std::size_t& pos);
+
 /// What streaming find honors (chunks, convergence, kernel — no paging: an
 /// unbounded stream has no total to page against, so offset/limit REJECT),
 /// and the validate_query context naming it.

@@ -16,9 +16,10 @@
 // documented in docs/rispard.md.
 //
 // Client -> server:
-//   OPEN_SESSION {session_id, pattern_id, feed_deadline_ns, chunks}
-//                single-pattern; pattern_id == kMultiPattern selects the
-//                MULTI-PATTERN form, whose payload continues with
+//   OPEN_SESSION {session_id, pattern_id, feed_deadline_ns, chunks [, flags]}
+//                single-pattern (the trailing flags byte is optional — a
+//                kOpenFlag* mask, absent = 0); pattern_id == kMultiPattern
+//                selects the MULTI-PATTERN form, whose payload continues with
 //                {flags, count, count x pattern_id} — count == 0 subscribes
 //                the tenant's WHOLE catalog generation (flags bit 0 requests
 //                begin_mode=exact; other bits must be zero)
@@ -27,6 +28,16 @@
 //   STATS        {}                            server + pool counters as JSON
 //   RELOAD       {manifest text | empty}       swap the PatternSet (empty =
 //                                              re-read the manifest file)
+//   CHECKPOINT   {session_id}                  request the session's durable
+//                                              state; answered by CHECKPOINTED
+//                                              once in-flight feeds finish
+//   RESUME_SESSION {session_id, pattern_id, feed_deadline_ns, chunks, flags}
+//                then, in the multi-pattern form (pattern_id ==
+//                kMultiPattern), {count, count x pattern_id}; the REST of the
+//                payload is an opaque checkpoint blob (from CHECKPOINTED or
+//                DRAINING). Opens a session that continues byte-exact from
+//                the blob — same validation as OPEN_SESSION plus blob
+//                integrity/identity checks; answered by OPENED
 //
 // Server -> client:
 //   OPENED      {session_id, pattern_id, generation}   multi-pattern opens
@@ -40,16 +51,27 @@
 //   STATS_JSON  {json bytes}
 //   RELOADED    {generation, pattern_count}
 //   ERROR       {session_id | kNoSession, code, message bytes}
+//   CHECKPOINTED {session_id, pattern_id, blob}   reply to CHECKPOINT; the
+//               blob resumes via RESUME_SESSION (here or after reconnect)
+//   DRAINING    {session_id, pattern_id, blob}    unsolicited at drain (and
+//               idle reaping): the session's final checkpoint. The terminal
+//               form {kNoSession} (no further fields) means every session on
+//               the connection has drained and the server will close it
 #pragma once
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -62,6 +84,8 @@ enum class FrameType : std::uint8_t {
   kClose = 0x03,
   kStats = 0x04,
   kReload = 0x05,
+  kCheckpoint = 0x06,
+  kResumeSession = 0x07,
 
   kOpened = 0x81,
   kMatches = 0x82,
@@ -70,6 +94,8 @@ enum class FrameType : std::uint8_t {
   kStatsJson = 0x85,
   kReloaded = 0x86,
   kError = 0x87,
+  kCheckpointed = 0x88,
+  kDraining = 0x89,
 };
 
 /// Typed error frames: the QueryError taxonomy (util/governance.hpp) plus
@@ -253,14 +279,18 @@ class FrameReader {
 
 // -------------------------------------------------- request frame builders
 
+/// `flags` is a kOpenFlag* mask (kOpenFlagExactBegins requests
+/// begin_mode=exact). Encoded as an optional trailing byte: 0 is omitted,
+/// so frames from older builders parse identically.
 inline std::string make_open_session(std::uint32_t session_id, std::uint32_t pattern_id,
                                      std::uint64_t feed_deadline_ns,
-                                     std::uint32_t chunks) {
+                                     std::uint32_t chunks, std::uint8_t flags = 0) {
   std::string payload;
   put_u32(payload, session_id);
   put_u32(payload, pattern_id);
   put_u64(payload, feed_deadline_ns);
   put_u32(payload, chunks);
+  if (flags != 0) put_u8(payload, flags);
   std::string frame;
   put_frame(frame, FrameType::kOpenSession, payload);
   return frame;
@@ -302,6 +332,55 @@ inline std::string make_close(std::uint32_t session_id) {
   put_u32(payload, session_id);
   std::string frame;
   put_frame(frame, FrameType::kClose, payload);
+  return frame;
+}
+
+inline std::string make_checkpoint(std::uint32_t session_id) {
+  std::string payload;
+  put_u32(payload, session_id);
+  std::string frame;
+  put_frame(frame, FrameType::kCheckpoint, payload);
+  return frame;
+}
+
+/// Single-pattern RESUME_SESSION: the OPEN_SESSION prefix (with a MANDATORY
+/// flags byte — the blob's begin mode must be re-requested explicitly) plus
+/// the opaque checkpoint blob as the rest of the payload.
+inline std::string make_resume_session(std::uint32_t session_id,
+                                       std::uint32_t pattern_id,
+                                       std::uint64_t feed_deadline_ns,
+                                       std::uint32_t chunks, std::uint8_t flags,
+                                       std::string_view checkpoint) {
+  std::string payload;
+  put_u32(payload, session_id);
+  put_u32(payload, pattern_id);
+  put_u64(payload, feed_deadline_ns);
+  put_u32(payload, chunks);
+  put_u8(payload, flags);
+  payload.append(checkpoint);
+  std::string frame;
+  put_frame(frame, FrameType::kResumeSession, payload);
+  return frame;
+}
+
+/// Multi-pattern RESUME_SESSION: like make_open_session_multi (explicit
+/// count keeps the trailing blob unambiguous; count == 0 = whole catalog,
+/// which the blob's carry count must then match) plus the blob.
+inline std::string make_resume_session_multi(
+    std::uint32_t session_id, std::uint64_t feed_deadline_ns, std::uint32_t chunks,
+    const std::vector<std::uint32_t>& pattern_ids, std::uint8_t flags,
+    std::string_view checkpoint) {
+  std::string payload;
+  put_u32(payload, session_id);
+  put_u32(payload, kMultiPattern);
+  put_u64(payload, feed_deadline_ns);
+  put_u32(payload, chunks);
+  put_u8(payload, flags);
+  put_u32(payload, static_cast<std::uint32_t>(pattern_ids.size()));
+  for (const std::uint32_t id : pattern_ids) put_u32(payload, id);
+  payload.append(checkpoint);
+  std::string frame;
+  put_frame(frame, FrameType::kResumeSession, payload);
   return frame;
 }
 
@@ -349,6 +428,84 @@ inline bool recv_frame(int fd, FrameReader& reader, Frame& frame) {
     reader.append(chunk, static_cast<std::size_t>(n));
   }
   return true;
+}
+
+// ------------------------------------------------------ reconnect + resume
+// The durable-session client side: a dropped connection (server restart,
+// drain, network blip) is survivable whenever the client holds the
+// session's last checkpoint blob (CHECKPOINTED/DRAINING frames). Used by
+// the loadgen --chaos mode and examples/rispard_client.cpp; the server
+// never calls these.
+
+/// Blocking connect to 127.0.0.1:`port`, retrying with exponential backoff
+/// (base doubling per attempt, capped at 1024x) until it succeeds or
+/// `max_attempts` runs out — bridges the gap while a restarting server is
+/// not yet listening. Returns the connected fd, or -1.
+inline int connect_backoff(std::uint16_t port, int max_attempts = 50,
+                           std::chrono::milliseconds base =
+                               std::chrono::milliseconds(1)) {
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) == 0)
+      return fd;
+    ::close(fd);
+    std::this_thread::sleep_for(base * (1 << std::min(attempt, 10)));
+  }
+  return -1;
+}
+
+/// Everything needed to re-establish one session after a drop: the
+/// RESUME_SESSION parameters plus the last checkpoint blob. A client keeps
+/// one of these per session, refreshing `checkpoint` from every
+/// CHECKPOINTED/DRAINING frame it receives.
+struct ResumeSpec {
+  std::uint32_t session_id = 0;
+  /// kMultiPattern selects the multi-pattern resume form (with
+  /// `pattern_ids`); any other value is the single-pattern catalog id.
+  std::uint32_t pattern_id = 0;
+  std::uint64_t feed_deadline_ns = 0;
+  std::uint32_t chunks = 1;
+  std::uint8_t flags = 0;  ///< kOpenFlag* mask — must match the blob's mode
+  std::vector<std::uint32_t> pattern_ids;  ///< multi form only
+  std::string checkpoint;
+};
+
+/// Reconnects with exponential backoff and resumes `spec`'s session:
+/// connect, send RESUME_SESSION, await OPENED. On success returns the
+/// connected fd (caller owns it; `reader` — which must be fresh — holds any
+/// bytes received after the OPENED frame). Returns -1 when the connect
+/// retries run out, the send fails, or the server answers anything but
+/// OPENED for this session (e.g. ERROR for a stale blob — retrying cannot
+/// help, so the caller must re-open from scratch).
+inline int reconnect_and_resume(std::uint16_t port, const ResumeSpec& spec,
+                                FrameReader& reader, int max_attempts = 50) {
+  const int fd = connect_backoff(port, max_attempts);
+  if (fd < 0) return -1;
+  const std::string request =
+      spec.pattern_id == kMultiPattern
+          ? make_resume_session_multi(spec.session_id, spec.feed_deadline_ns,
+                                      spec.chunks, spec.pattern_ids, spec.flags,
+                                      spec.checkpoint)
+          : make_resume_session(spec.session_id, spec.pattern_id,
+                                spec.feed_deadline_ns, spec.chunks, spec.flags,
+                                spec.checkpoint);
+  Frame reply;
+  if (!send_all(fd, request) || !recv_frame(fd, reader, reply) ||
+      reply.type != FrameType::kOpened) {
+    ::close(fd);
+    return -1;
+  }
+  PayloadReader opened(reply.payload);
+  if (opened.get_u32() != spec.session_id) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
 }
 
 }  // namespace rispar::rispard

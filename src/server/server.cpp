@@ -9,9 +9,11 @@
 #include <sys/eventfd.h>
 #include <sys/signalfd.h>
 #include <sys/socket.h>
+#include <sys/timerfd.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -22,6 +24,7 @@
 
 #include "engine/compile_cache.hpp"
 #include "engine/pattern_set.hpp"
+#include "util/fault_inject.hpp"
 
 namespace rispar::rispard {
 
@@ -105,6 +108,35 @@ std::string error_frame(std::uint32_t session_id, ErrorCode code,
   return frame;
 }
 
+/// CHECKPOINTED and DRAINING share a shape: {session_id, pattern_id, blob}.
+std::string checkpoint_frame(FrameType type, std::uint32_t session_id,
+                             std::uint32_t pattern_id, std::string_view blob) {
+  std::string frame;
+  put_u32(frame, static_cast<std::uint32_t>(8 + blob.size()));
+  put_u8(frame, static_cast<std::uint8_t>(type));
+  put_u32(frame, session_id);
+  put_u32(frame, pattern_id);
+  frame.append(blob);
+  return frame;
+}
+
+/// The terminal DRAINING frame: {kNoSession}, meaning "every session on this
+/// connection has been checkpointed or errored; the server closes now".
+std::string draining_terminal_frame() {
+  std::string payload;
+  put_u32(payload, kNoSession);
+  std::string frame;
+  put_frame(frame, FrameType::kDraining, payload);
+  return frame;
+}
+
+std::uint64_t steady_now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
 const char* error_code_name(ErrorCode code) {
@@ -143,6 +175,7 @@ struct Server::Session {
   std::deque<std::string> pending;  ///< feed windows awaiting their turn
   bool busy = false;                ///< a crew worker owns the session right now
   bool closing = false;             ///< CLOSE received; ack after feeds drain
+  bool checkpoint_requested = false; ///< CHECKPOINT received mid-feed; answer when idle
 
   Session(std::uint32_t id_, std::uint32_t pattern_id_,
           std::shared_ptr<const PatternCatalog> catalog_, StreamSession stream_)
@@ -170,6 +203,13 @@ struct Server::Session {
   std::uint64_t bytes_consumed() const {
     return multi ? multi->bytes_consumed() : stream->bytes_consumed();
   }
+  /// Only called between feeds (never while busy) — the engine-level
+  /// contract of StreamSession/MultiStreamSession::checkpoint(). Server
+  /// sessions feed through a sink, so the undrained-matches reject cannot
+  /// trip; a poisoned session still throws ValidationError.
+  std::string checkpoint() const {
+    return multi ? multi->checkpoint() : stream->checkpoint();
+  }
 };
 
 struct Server::Connection {
@@ -182,8 +222,10 @@ struct Server::Connection {
   bool reading = true;         ///< EPOLLIN interest (false = backpressured)
   bool draining_close = false; ///< protocol error: close once outbuf flushes
   bool broken = false;         ///< hard socket error; close at next safe point
+  bool drain_terminal_sent = false;  ///< terminal DRAINING frame enqueued
   std::unordered_map<std::uint32_t, std::shared_ptr<Session>> sessions;
   std::size_t queued_feeds = 0;  ///< windows pending + in flight, all sessions
+  std::uint64_t last_activity_ms = 0;  ///< inbound bytes / feed completions (reaper)
 };
 
 // ------------------------------------------------------------ construction
@@ -191,14 +233,15 @@ struct Server::Connection {
 Server::Server(std::vector<std::string> seed_regexes, ServerConfig config)
     : config_(std::move(config)) {
   if (config_.feed_workers == 0) config_.feed_workers = 1;
-  if (config_.handle_sighup) {
-    // Block SIGHUP BEFORE any thread exists (the pool spawns below):
-    // spawned threads inherit the mask, so the signal can only surface
-    // through the signalfd in run(), never as a default-action death of a
-    // worker.
+  if (config_.handle_sighup || config_.handle_sigterm) {
+    // Block the handled signals BEFORE any thread exists (the pool spawns
+    // below): spawned threads inherit the mask, so a signal can only
+    // surface through the signalfd in run(), never as a default-action
+    // death of a worker.
     sigset_t mask;
     sigemptyset(&mask);
-    sigaddset(&mask, SIGHUP);
+    if (config_.handle_sighup) sigaddset(&mask, SIGHUP);
+    if (config_.handle_sigterm) sigaddset(&mask, SIGTERM);
     pthread_sigmask(SIG_BLOCK, &mask, nullptr);
   }
   pool_ = std::make_shared<ThreadPool>(config_.pool_threads, config_.admission);
@@ -235,6 +278,7 @@ Server::~Server() {
   stop();
   // run() must have returned by now (the caller owns that thread); all that
   // is left is releasing descriptors run() did not own.
+  if (timer_fd_ >= 0) ::close(timer_fd_);
   if (signal_fd_ >= 0) ::close(signal_fd_);
   if (event_fd_ >= 0) ::close(event_fd_);
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
@@ -261,11 +305,17 @@ ServerCounters Server::counters() const {
   c.feed_rejects = feed_rejects_.load();
   c.reloads = reloads_.load();
   c.protocol_errors = protocol_errors_.load();
+  c.sessions_resumed = sessions_resumed_.load();
+  c.sessions_reaped_idle = sessions_reaped_idle_.load();
+  c.draining = draining_.load();
   return c;
 }
 
-void Server::stop() {
-  stop_requested_.store(true);
+void Server::stop(bool drain) {
+  if (drain)
+    drain_requested_.store(true);
+  else
+    stop_requested_.store(true);
   if (event_fd_ >= 0) {
     const std::uint64_t one = 1;
     [[maybe_unused]] ssize_t n = ::write(event_fd_, &one, sizeof one);
@@ -283,16 +333,29 @@ void Server::run() {
   ev.data.fd = event_fd_;
   if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, event_fd_, &ev) < 0)
     throw_errno("rispard: epoll_ctl(eventfd)");
-  if (config_.handle_sighup) {
+  if (config_.handle_sighup || config_.handle_sigterm) {
     sigset_t mask;
     sigemptyset(&mask);
-    sigaddset(&mask, SIGHUP);
+    if (config_.handle_sighup) sigaddset(&mask, SIGHUP);
+    if (config_.handle_sigterm) sigaddset(&mask, SIGTERM);
     pthread_sigmask(SIG_BLOCK, &mask, nullptr);  // run() may be another thread
     signal_fd_ = ::signalfd(-1, &mask, SFD_NONBLOCK | SFD_CLOEXEC);
     if (signal_fd_ < 0) throw_errno("rispard: signalfd");
     ev.data.fd = signal_fd_;
     if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, signal_fd_, &ev) < 0)
       throw_errno("rispard: epoll_ctl(signalfd)");
+  }
+  timer_fd_ = ::timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC);
+  if (timer_fd_ < 0) throw_errno("rispard: timerfd_create");
+  ev.data.fd = timer_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, timer_fd_, &ev) < 0)
+    throw_errno("rispard: epoll_ctl(timerfd)");
+  if (config_.idle_timeout_ms != 0) {
+    // Two ticks per timeout keeps reap latency under 1.5x the configured
+    // idle window without a wheel of per-connection timers.
+    const std::uint64_t tick =
+        std::max<std::uint64_t>(config_.idle_timeout_ms / 2, 10);
+    arm_timer(tick, tick);
   }
 
   crew_.reserve(config_.feed_workers);
@@ -338,15 +401,31 @@ void Server::event_loop_iteration() {
       std::uint64_t drained = 0;
       while (::read(event_fd_, &drained, sizeof drained) > 0) {
       }
+      if (drain_requested_.exchange(false)) start_drain();
       handle_completions();
       continue;
     }
     if (fd == signal_fd_) {
       signalfd_siginfo info;
       while (::read(signal_fd_, &info, sizeof info) == sizeof info) {
-        std::fprintf(stderr, "rispard: SIGHUP — re-reading manifest\n");
-        apply_reload(nullptr, {});
+        if (info.ssi_signo == SIGTERM) {
+          std::fprintf(stderr, "rispard: SIGTERM — draining\n");
+          start_drain();
+        } else {
+          std::fprintf(stderr, "rispard: SIGHUP — re-reading manifest\n");
+          apply_reload(nullptr, {});
+        }
       }
+      continue;
+    }
+    if (fd == timer_fd_) {
+      std::uint64_t expirations = 0;
+      while (::read(timer_fd_, &expirations, sizeof expirations) > 0) {
+      }
+      if (draining_.load(std::memory_order_relaxed))
+        drain_deadline_fired();
+      else
+        idle_tick();
       continue;
     }
     auto it = connections_.find(fd);
@@ -375,6 +454,7 @@ void Server::accept_ready() {
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
     conn->uid = next_connection_uid_++;
+    conn->last_activity_ms = steady_now_ms();
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = fd;
@@ -402,6 +482,7 @@ void Server::close_connection(int fd) {
   ::close(fd);
   connections_.erase(it);
   connections_open_.fetch_sub(1, std::memory_order_relaxed);
+  maybe_finish_drain();
 }
 
 void Server::epoll_update(Connection& conn) {
@@ -417,6 +498,13 @@ void Server::epoll_update(Connection& conn) {
 }
 
 void Server::update_read_interest(Connection& conn) {
+  if (draining_.load(std::memory_order_relaxed)) {
+    // A draining server reads nothing more; the hysteresis below must not
+    // re-enable EPOLLIN while busy sessions finish their last feeds.
+    conn.reading = false;
+    epoll_update(conn);
+    return;
+  }
   const std::size_t backlog = conn.outbuf.size() - conn.outpos;
   if (conn.reading) {
     if (backlog >= config_.write_high_water ||
@@ -447,6 +535,7 @@ void Server::handle_readable(Connection& conn) {
     return;
   }
   conn.reader.append(chunk, static_cast<std::size_t>(n));
+  conn.last_activity_ms = steady_now_ms();
   Frame frame;
   while (!conn.draining_close && conn.reader.next(frame)) process_frame(conn, frame);
   if (conn.reader.overflowed() && !conn.draining_close) {
@@ -516,7 +605,9 @@ void Server::send_error(Connection& conn, std::uint32_t session_id, ErrorCode co
 
 void Server::process_frame(Connection& conn, const Frame& frame) {
   switch (frame.type) {
-    case FrameType::kOpenSession: handle_open_session(conn, frame); return;
+    case FrameType::kOpenSession: handle_open_session(conn, frame, false); return;
+    case FrameType::kResumeSession: handle_open_session(conn, frame, true); return;
+    case FrameType::kCheckpoint: handle_checkpoint(conn, frame); return;
     case FrameType::kFeed: handle_feed(conn, frame); return;
     case FrameType::kClose: handle_close(conn, frame); return;
     case FrameType::kStats: handle_stats(conn); return;
@@ -528,7 +619,9 @@ void Server::process_frame(Connection& conn, const Frame& frame) {
   conn.draining_close = true;
 }
 
-void Server::handle_open_session(Connection& conn, const Frame& frame) {
+void Server::handle_open_session(Connection& conn, const Frame& frame,
+                                 bool resume) {
+  const char* const kind = resume ? "RESUME_SESSION" : "OPEN_SESSION";
   PayloadReader reader(frame.payload);
   const std::uint32_t session_id = reader.get_u32();
   const std::uint32_t pattern_id = reader.get_u32();
@@ -540,29 +633,45 @@ void Server::handle_open_session(Connection& conn, const Frame& frame) {
   if (pattern_id == kMultiPattern) {
     // The multi-pattern extension: {flags, count, count x id}. The count is
     // validated against the REMAINING payload before any allocation, so a
-    // hostile count cannot reserve gigabytes off a short frame.
+    // hostile count cannot reserve gigabytes off a short frame. RESUME
+    // additionally trails the checkpoint blob, so the ids need only FIT.
     open_flags = reader.get_u8();
     const std::uint32_t count = reader.get_u32();
     const std::size_t remaining = reader.size - reader.pos;
-    if (!reader.ok || static_cast<std::uint64_t>(count) * 4 != remaining) {
+    const std::uint64_t id_bytes = static_cast<std::uint64_t>(count) * 4;
+    if (!reader.ok || (resume ? id_bytes > remaining : id_bytes != remaining)) {
       protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-      send_error(conn, kNoSession, ErrorCode::kProtocol, "malformed OPEN_SESSION");
+      send_error(conn, kNoSession, ErrorCode::kProtocol,
+                 std::string("malformed ") + kind);
       conn.draining_close = true;
       return;
     }
     whole_catalog = count == 0;
     requested_ids.reserve(count);
     for (std::uint32_t i = 0; i < count; ++i) requested_ids.push_back(reader.get_u32());
+  } else if (resume || reader.pos < reader.size) {
+    // Mandatory on RESUME (the blob's begin mode must be re-requested, never
+    // sniffed); an optional trailing extension on single-pattern OPEN —
+    // old clients simply omit it.
+    open_flags = reader.get_u8();
   }
-  if (!reader.exhausted()) {
+  const std::string_view blob = resume ? reader.rest() : std::string_view{};
+  if (!reader.ok || (!resume && !reader.exhausted())) {
     protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-    send_error(conn, kNoSession, ErrorCode::kProtocol, "malformed OPEN_SESSION");
+    send_error(conn, kNoSession, ErrorCode::kProtocol,
+               std::string("malformed ") + kind);
     conn.draining_close = true;
+    return;
+  }
+  if (draining_.load(std::memory_order_relaxed)) {
+    send_error(conn, session_id, ErrorCode::kValidation,
+               "server is draining — reconnect and resume elsewhere");
     return;
   }
   if ((open_flags & ~kOpenFlagExactBegins) != 0) {
     send_error(conn, session_id, ErrorCode::kValidation,
-               "unknown OPEN_SESSION flags (only kOpenFlagExactBegins is defined)");
+               std::string("unknown ") + kind +
+                   " flags (only kOpenFlagExactBegins is defined)");
     return;
   }
   if (session_id == kNoSession) {
@@ -599,8 +708,9 @@ void Server::handle_open_session(Connection& conn, const Frame& frame) {
     }
     if (requested_ids.empty()) {
       send_error(conn, session_id, ErrorCode::kValidation,
-                 "multi-pattern OPEN_SESSION subscribed zero patterns (the "
-                 "catalog generation is empty)");
+                 std::string("multi-pattern ") + kind +
+                     " subscribed zero patterns (the catalog generation is "
+                     "empty)");
       return;
     }
   } else if (pattern_id >= catalog->patterns.size()) {
@@ -614,6 +724,9 @@ void Server::handle_open_session(Connection& conn, const Frame& frame) {
   options.positions = true;
   options.chunks = std::max<std::uint32_t>(chunks, 1);
   options.deadline = std::chrono::nanoseconds(deadline_ns);
+  options.max_history_bytes = config_.max_history_bytes;
+  // The drain deadline trips every in-flight feed with one request_cancel.
+  options.cancel = drain_cancel_.token();
   if ((open_flags & kOpenFlagExactBegins) != 0)
     options.begin_mode = BeginMode::kExact;
   try {
@@ -624,12 +737,16 @@ void Server::handle_open_session(Connection& conn, const Frame& frame) {
       patterns.reserve(requested_ids.size());
       for (const std::uint32_t id : requested_ids)
         patterns.push_back(catalog->patterns[id].engine->pattern());
-      MultiStreamSession multi(std::move(patterns), *pool_, options);
+      MultiStreamSession multi =
+          resume ? MultiStreamSession(std::move(patterns), *pool_, options, blob)
+                 : MultiStreamSession(std::move(patterns), *pool_, options);
       auto session = std::make_shared<Session>(session_id, catalog, std::move(multi),
                                                std::move(requested_ids));
       conn.sessions.emplace(session_id, std::move(session));
     } else {
-      StreamSession stream = catalog->patterns[pattern_id].engine->stream(options);
+      const Engine& engine = *catalog->patterns[pattern_id].engine;
+      StreamSession stream =
+          resume ? engine.resume_stream(blob, options) : engine.stream(options);
       auto session = std::make_shared<Session>(session_id, pattern_id, catalog,
                                                std::move(stream));
       conn.sessions.emplace(session_id, std::move(session));
@@ -646,7 +763,33 @@ void Server::handle_open_session(Connection& conn, const Frame& frame) {
   }
   sessions_opened_.fetch_add(1, std::memory_order_relaxed);
   sessions_open_.fetch_add(1, std::memory_order_relaxed);
+  if (resume) sessions_resumed_.fetch_add(1, std::memory_order_relaxed);
   enqueue_output(conn, opened_frame(session_id, pattern_id, catalog->generation));
+}
+
+void Server::handle_checkpoint(Connection& conn, const Frame& frame) {
+  PayloadReader reader(frame.payload);
+  const std::uint32_t session_id = reader.get_u32();
+  if (!reader.exhausted()) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    send_error(conn, kNoSession, ErrorCode::kProtocol, "malformed CHECKPOINT");
+    conn.draining_close = true;
+    return;
+  }
+  auto it = conn.sessions.find(session_id);
+  if (it == conn.sessions.end() || it->second->closing) {
+    send_error(conn, session_id, ErrorCode::kUnknownSession,
+               "CHECKPOINT for a session that is not open");
+    return;
+  }
+  Session& session = *it->second;
+  if (session.busy || !session.pending.empty()) {
+    // Like CLOSE: answered from handle_completions once every feed received
+    // before this frame has been fed and acked — the blob then reflects them.
+    session.checkpoint_requested = true;
+    return;
+  }
+  emit_checkpoint_frame(conn, session, FrameType::kCheckpointed);
 }
 
 void Server::handle_feed(Connection& conn, const Frame& frame) {
@@ -751,6 +894,9 @@ std::string Server::stats_json() const {
        << ",\"feed_rejects\":" << c.feed_rejects
        << ",\"reloads\":" << c.reloads
        << ",\"protocol_errors\":" << c.protocol_errors
+       << ",\"sessions_resumed\":" << c.sessions_resumed
+       << ",\"sessions_reaped_idle\":" << c.sessions_reaped_idle
+       << ",\"drain_state\":\"" << (c.draining ? "draining" : "serving") << "\""
        << ",\"pool\":{"
        << "\"queued\":" << p.queued << ",\"running\":" << p.running
        << ",\"executed\":" << p.executed << ",\"stolen\":" << p.stolen
@@ -831,6 +977,152 @@ void Server::apply_reload(Connection* conn, std::string_view manifest_text) {
                  next->patterns.size());
 }
 
+// ----------------------------------------------------- drain + idle reaping
+
+void Server::arm_timer(std::uint64_t initial_ms, std::uint64_t interval_ms) {
+  if (timer_fd_ < 0) return;
+  itimerspec spec{};
+  spec.it_value.tv_sec = static_cast<time_t>(initial_ms / 1000);
+  spec.it_value.tv_nsec = static_cast<long>((initial_ms % 1000) * 1000000);
+  spec.it_interval.tv_sec = static_cast<time_t>(interval_ms / 1000);
+  spec.it_interval.tv_nsec = static_cast<long>((interval_ms % 1000) * 1000000);
+  ::timerfd_settime(timer_fd_, 0, &spec, nullptr);
+}
+
+void Server::emit_checkpoint_frame(Connection& conn, Session& session,
+                                   FrameType type) {
+  try {
+    if (type == FrameType::kDraining) fault::maybe_throw("server.drain");
+    const std::string blob = session.checkpoint();
+    if (8 + blob.size() > kMaxFramePayload) {
+      send_error(conn, session.id, ErrorCode::kResourceExhausted,
+                 "checkpoint exceeds the 16 MiB frame cap — configure a "
+                 "max_history_bytes bound");
+      return;
+    }
+    enqueue_output(conn,
+                   checkpoint_frame(type, session.id, session.pattern_id, blob));
+  } catch (const ValidationError& e) {
+    // Poisoned sessions (a cancelled or failed feed) have no consistent
+    // state to serialize; the client re-opens from its own last blob.
+    send_error(conn, session.id, ErrorCode::kValidation, e.what());
+  } catch (const std::exception& e) {
+    send_error(conn, session.id, ErrorCode::kInternal, e.what());
+  }
+}
+
+void Server::drain_session(Connection& conn, std::uint32_t session_id) {
+  auto it = conn.sessions.find(session_id);
+  if (it == conn.sessions.end()) return;
+  emit_checkpoint_frame(conn, *it->second, FrameType::kDraining);
+  conn.sessions.erase(it);  // drops the catalog pin
+  sessions_open_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool Server::finish_connection_drain(Connection& conn) {
+  if (!conn.sessions.empty()) return false;  // busy sessions still finishing
+  if (!conn.drain_terminal_sent) {
+    conn.drain_terminal_sent = true;
+    enqueue_output(conn, draining_terminal_frame());
+    conn.draining_close = true;
+  }
+  if (conn.broken || conn.outpos >= conn.outbuf.size()) {
+    close_connection(conn.fd);
+    return true;
+  }
+  return false;  // handle_writable closes it once the outbuf flushes
+}
+
+void Server::maybe_finish_drain() {
+  if (draining_.load(std::memory_order_relaxed) && connections_.empty())
+    stop_requested_.store(true);
+}
+
+void Server::start_drain() {
+  if (draining_.load(std::memory_order_relaxed)) return;
+  draining_.store(true);
+  // Stop accepting — and release the port, so a replacement server can bind
+  // while this one finishes (the protocol.hpp reconnect helpers back off
+  // against the refused connects meanwhile).
+  if (listen_fd_ >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Re-purpose the timer as the one-shot grace deadline (idle reaping is
+  // moot now). 0 disarms: the drain then waits for every feed.
+  arm_timer(config_.drain_deadline_ms, 0);
+  std::vector<int> fds;
+  fds.reserve(connections_.size());
+  for (const auto& [fd, conn] : connections_) fds.push_back(fd);
+  for (const int fd : fds) {
+    auto it = connections_.find(fd);
+    if (it == connections_.end()) continue;
+    Connection& conn = *it->second;
+    conn.reading = false;
+    epoll_update(conn);
+    std::vector<std::uint32_t> idle;
+    for (const auto& [id, session] : conn.sessions)
+      if (!session->busy && session->pending.empty()) idle.push_back(id);
+    for (const std::uint32_t id : idle) drain_session(conn, id);
+    finish_connection_drain(conn);  // busy sessions drain from completions
+  }
+  maybe_finish_drain();
+}
+
+void Server::drain_deadline_fired() {
+  // Grace period over: drop queued windows (none were acked — the drain
+  // guarantee covers acked feeds only) and trip every feed still running.
+  // Tripped sessions poison; their completion sends a kCancelled ERROR
+  // instead of a checkpoint.
+  drain_cancel_.request_cancel();
+  std::vector<int> fds;
+  fds.reserve(connections_.size());
+  for (const auto& [fd, conn] : connections_) fds.push_back(fd);
+  for (const int fd : fds) {
+    auto it = connections_.find(fd);
+    if (it == connections_.end()) continue;
+    Connection& conn = *it->second;
+    std::vector<std::uint32_t> idle;
+    for (const auto& [id, session] : conn.sessions) {
+      conn.queued_feeds -= session->pending.size();
+      session->pending.clear();
+      if (!session->busy) idle.push_back(id);
+    }
+    for (const std::uint32_t id : idle) drain_session(conn, id);
+    finish_connection_drain(conn);
+  }
+  maybe_finish_drain();
+}
+
+void Server::idle_tick() {
+  if (config_.idle_timeout_ms == 0) return;
+  const std::uint64_t now = steady_now_ms();
+  std::vector<int> victims;
+  for (const auto& [fd, conn] : connections_)
+    if (conn->queued_feeds == 0 &&
+        now - conn->last_activity_ms >= config_.idle_timeout_ms)
+      victims.push_back(fd);
+  for (const int fd : victims) {
+    auto it = connections_.find(fd);
+    if (it == connections_.end()) continue;
+    Connection& conn = *it->second;
+    if (conn.draining_close) {
+      // Reaped (or protocol-errored) a full tick ago and the peer never
+      // drained the socket — stop waiting for it.
+      close_connection(fd);
+      continue;
+    }
+    sessions_reaped_idle_.fetch_add(conn.sessions.size(),
+                                    std::memory_order_relaxed);
+    std::vector<std::uint32_t> ids;
+    ids.reserve(conn.sessions.size());
+    for (const auto& [id, session] : conn.sessions) ids.push_back(id);
+    for (const std::uint32_t id : ids) drain_session(conn, id);
+    finish_connection_drain(conn);
+  }
+}
+
 // ------------------------------------------------------------- completions
 
 void Server::handle_completions() {
@@ -849,15 +1141,33 @@ void Server::handle_completions() {
     if (it == connections_by_uid_.end()) continue;  // connection died mid-feed
     Connection& conn = *it->second;
     --conn.queued_feeds;
+    conn.last_activity_ms = steady_now_ms();
     enqueue_output(conn, done.frames);
     if (conn.broken) {
       close_connection(conn.fd);
       continue;
     }
+    const bool draining = draining_.load(std::memory_order_relaxed);
     if (!session.pending.empty())
       dispatch_next_feed(conn, done.session);
     else if (session.closing)
       finish_close(conn, session.id);
+    else if (session.checkpoint_requested && !draining) {
+      session.checkpoint_requested = false;
+      emit_checkpoint_frame(conn, session, FrameType::kCheckpointed);
+      if (conn.broken) {
+        close_connection(conn.fd);
+        continue;
+      }
+    }
+    if (draining) {
+      // The feed this session was waiting on is acked (or errored) now —
+      // checkpoint and retire it, and finish the connection when it was the
+      // last one.
+      if (!session.busy && session.pending.empty())
+        drain_session(conn, session.id);
+      if (finish_connection_drain(conn)) continue;  // conn closed — invalid
+    }
     update_read_interest(conn);
   }
 }

@@ -93,6 +93,26 @@ struct ServerConfig {
   /// Route SIGHUP to a manifest re-read via signalfd (the rispard binary
   /// sets this; tests and embedded servers reload via RELOAD frames).
   bool handle_sighup = false;
+  /// Route SIGTERM to a graceful drain via signalfd (the rispard binary sets
+  /// this; tests and embedded servers drain via stop(true)).
+  bool handle_sigterm = false;
+  /// Graceful-drain grace period: once a drain starts, in-flight and queued
+  /// feeds get this long to finish; past it the shared drain CancelToken
+  /// trips them (QueryCancelled — those sessions poison and get an ERROR
+  /// frame instead of a checkpoint). 0 = wait for every feed, however long.
+  std::uint64_t drain_deadline_ms = 5000;
+  /// Idle defense (slowloris): a connection with no inbound traffic and no
+  /// in-flight work for this long has each of its sessions checkpointed
+  /// into a DRAINING frame, then closes. 0 = never reap.
+  std::uint64_t idle_timeout_ms = 0;
+  /// QueryOptions::max_history_bytes applied to every session the server
+  /// opens or resumes: bounds the kExact unsound-separator history tail per
+  /// session (a trip is a typed kResourceExhausted ERROR frame and poisons
+  /// only that session). The default also keeps the encoded checkpoint
+  /// (4 bytes per retained byte plus envelope) well under the 16 MiB frame
+  /// cap. 0 = unlimited — checkpoints of long unsound-separator kExact
+  /// sessions may then exceed the frame cap and fail to serialize.
+  std::uint64_t max_history_bytes = 2u << 20;
 };
 
 /// Monotone serving counters (the STATS frame serializes these plus
@@ -109,6 +129,9 @@ struct ServerCounters {
   std::uint64_t feed_rejects = 0;  ///< ResourceExhausted feeds (admission/budgets)
   std::uint64_t reloads = 0;
   std::uint64_t protocol_errors = 0;
+  std::uint64_t sessions_resumed = 0;     ///< RESUME_SESSION successes
+  std::uint64_t sessions_reaped_idle = 0;  ///< checkpointed+closed by the idle reaper
+  bool draining = false;                  ///< drain in progress (stats gauge)
 };
 
 class Server {
@@ -130,8 +153,15 @@ class Server {
   void run();
 
   /// Thread-safe shutdown request; run() returns after in-flight feeds
-  /// complete. Idempotent.
-  void stop();
+  /// complete. Idempotent. With `drain` the server stops accepting, sends
+  /// every open session's checkpoint in a DRAINING frame (busy sessions
+  /// after their in-flight and queued feeds finish — no acked feed is ever
+  /// lost), closes each connection after its terminal DRAINING frame, and
+  /// only then returns from run(). Feeds still running when
+  /// `config.drain_deadline_ms` expires are cancelled (those sessions get a
+  /// kCancelled ERROR instead of a checkpoint). stop() after stop(true)
+  /// upgrades the drain to an immediate shutdown.
+  void stop(bool drain = false);
 
   /// Thread-safe observability snapshot (tests, the STATS frame).
   ServerCounters counters() const;
@@ -179,7 +209,10 @@ class Server {
   void handle_readable(Connection& conn);
   void handle_writable(Connection& conn);
   void process_frame(Connection& conn, const Frame& frame);
-  void handle_open_session(Connection& conn, const Frame& frame);
+  /// OPEN_SESSION and RESUME_SESSION share every validation; `resume`
+  /// selects the trailing-checkpoint parse and the resume construction.
+  void handle_open_session(Connection& conn, const Frame& frame, bool resume);
+  void handle_checkpoint(Connection& conn, const Frame& frame);
   void handle_feed(Connection& conn, const Frame& frame);
   void handle_close(Connection& conn, const Frame& frame);
   void handle_stats(Connection& conn);
@@ -196,6 +229,23 @@ class Server {
   void apply_reload(Connection* conn, std::string_view manifest_text);
   std::string stats_json() const;
 
+  // Drain / idle-reap machinery (event-loop thread).
+  void start_drain();
+  void drain_deadline_fired();
+  void idle_tick();
+  void arm_timer(std::uint64_t initial_ms, std::uint64_t interval_ms);
+  /// Emits `type` (CHECKPOINTED or DRAINING) carrying the session's
+  /// checkpoint, or a typed ERROR frame when serialization fails.
+  void emit_checkpoint_frame(Connection& conn, Session& session,
+                             FrameType type);
+  /// DRAINING-checkpoints the session and erases it from the connection.
+  void drain_session(Connection& conn, std::uint32_t session_id);
+  /// Once a draining/reaped connection has no sessions left, sends the
+  /// terminal DRAINING frame and closes when the output buffer is flushed.
+  /// Returns true when the connection was closed (it is then invalid).
+  bool finish_connection_drain(Connection& conn);
+  void maybe_finish_drain();
+
   /// Crew side: governed feeds, response-frame assembly (not event loop).
   void feed_worker_loop();
   static FeedDone execute_feed(FeedJob job);
@@ -207,7 +257,8 @@ class Server {
   int listen_fd_ = -1;
   int epoll_fd_ = -1;
   int event_fd_ = -1;   ///< completion + stop wakeups
-  int signal_fd_ = -1;  ///< SIGHUP, when config_.handle_sighup
+  int signal_fd_ = -1;  ///< SIGHUP/SIGTERM, per config_.handle_sig*
+  int timer_fd_ = -1;   ///< idle-reap ticks; re-armed as the drain deadline
 
   std::shared_ptr<ThreadPool> pool_;
   /// Outlives every catalog generation: unchanged manifest lines and .rpb
@@ -232,6 +283,12 @@ class Server {
   std::vector<FeedDone> done_;
 
   std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> drain_requested_{false};
+  std::atomic<bool> draining_{false};  ///< set only by the event loop
+  /// Shared cancel source for the drain deadline: every session's
+  /// QueryOptions carries its token, so one request_cancel() trips every
+  /// feed still in flight when the grace period expires.
+  CancelSource drain_cancel_;
 
   // Counters: atomics because counters()/STATS may race the crew's bumps.
   std::atomic<std::uint64_t> connections_accepted_{0};
@@ -245,6 +302,8 @@ class Server {
   std::atomic<std::uint64_t> feed_rejects_{0};
   std::atomic<std::uint64_t> reloads_{0};
   std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> sessions_resumed_{0};
+  std::atomic<std::uint64_t> sessions_reaped_idle_{0};
 };
 
 }  // namespace rispar::rispard

@@ -21,6 +21,13 @@
 //                       once-flag must stay unset so a retry can succeed
 //  * "mpstream.merge" — MultiStreamSession's window merge throws after the
 //                       per-pattern scans ran; the session must poison
+//  * "checkpoint.encode" — serializing a session checkpoint fails; the
+//                       carry must stay untouched so a retry succeeds
+//  * "checkpoint.decode" — resuming from a blob fails before any state is
+//                       adopted; the blob stays valid for a retry
+//  * "server.drain"   — the rispard drain's checkpoint emission throws; the
+//                       client gets a typed ERROR frame and the drain still
+//                       completes (terminal frame + close)
 //
 // Configuration: fault::configure(seed, rate) from tests, or the
 // environment (RISPAR_FAULT_SEED, RISPAR_FAULT_RATE — rate in [0,1]) read

@@ -11,15 +11,20 @@
 // else (crash, terminate, wedge) fails the test run itself. After every
 // battery the harness is disarmed and the SAME engine must answer
 // correctly — injected faults never corrupt surviving state.
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "engine/engine.hpp"
 #include "engine/pattern_set.hpp"
 #include "parallel/match_count.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
 #include "util/fault_inject.hpp"
 
 namespace rispar {
@@ -222,6 +227,147 @@ TEST_F(FaultInject, MultiStreamSweepSurvivesAndRecovers) {
   MultiStreamSession session = set.stream_find();
   session.feed("abba abab");
   EXPECT_EQ(session.take_matches(), set.find_all("abba abab"));
+}
+
+TEST_F(FaultInject, CheckpointEncodeSiteFiresAndLeavesTheSessionUsable) {
+  // Rate 1.0 on a drained session: the serial checkpoint path's FIRST draw
+  // is the checkpoint.encode site, so the throw is deterministic. The
+  // failed encode must leave the carry untouched — the SAME session
+  // checkpoints after disarm and the blob resumes byte-exact.
+  fault::disable();
+  const QueryOptions options{.positions = true};
+  const Engine engine(Pattern::compile("(ab)+"), {.threads = 2});
+  StreamSession session = engine.stream(options);
+  session.feed("xxababy ");
+  std::vector<Match> collected = session.take_matches();
+  fault::configure(31, 1.0);
+  EXPECT_THROW((void)session.checkpoint(), fault::FaultInjected);
+  EXPECT_EQ(fault::fire_count(), 1u);
+
+  fault::disable();
+  const std::string blob = session.checkpoint();
+  StreamSession resumed = engine.resume_stream(blob, options);
+  resumed.feed("abab");
+  for (const Match& m : resumed.take_matches()) collected.push_back(m);
+  EXPECT_EQ(collected, engine.find_all("xxababy abab"));
+}
+
+TEST_F(FaultInject, CheckpointDecodeSiteFiresAndTheBlobStaysGood) {
+  fault::disable();
+  const QueryOptions options{.positions = true};
+  const Engine engine(Pattern::compile("a(b|c)*d"), {.threads = 2});
+  StreamSession session = engine.stream(options);
+  session.feed("zabbcd ab");
+  (void)session.take_matches();
+  const std::string blob = session.checkpoint();
+
+  fault::configure(32, 1.0);
+  EXPECT_THROW((void)engine.resume_stream(blob, options), fault::FaultInjected);
+  EXPECT_GT(fault::fire_count(), 0u);
+
+  // The blob was only read, never consumed: the disarmed retry resumes.
+  fault::disable();
+  StreamSession resumed = engine.resume_stream(blob, options);
+  EXPECT_EQ(resumed.bytes_consumed(), 9u);
+}
+
+TEST_F(FaultInject, CheckpointRoundTripSweepSurvivesAndRecovers) {
+  // Seed sweep over the full round trip — encode, decode, and the feed
+  // sites on both sides of the cut may all trip. Every outcome must be a
+  // typed error or a correct resume; the disarmed rerun answers exactly.
+  for (std::uint64_t seed = 400; seed < 408; ++seed) {
+    fault::configure(seed, 0.05);
+    const BeginMode mode =
+        seed % 2 == 0 ? BeginMode::kSeparator : BeginMode::kExact;
+    const QueryOptions options{.positions = true, .begin_mode = mode};
+    survives([&] {
+      const Engine engine(Pattern::compile("(ab|ba)+"), {.threads = 2});
+      StreamSession session = engine.stream(options);
+      try {
+        session.feed("abba ab");
+      } catch (const ValidationError&) {
+        return;  // poisoned by an injected trip — cannot checkpoint
+      }
+      (void)session.take_matches();
+      const std::string blob = session.checkpoint();
+      StreamSession resumed = engine.resume_stream(blob, options);
+      try {
+        resumed.feed("ba abba");
+      } catch (const ValidationError&) {
+        return;
+      }
+      (void)resumed.take_matches();
+    });
+  }
+
+  const fault::ScopedDisable clean;
+  (void)clean;
+  const Engine engine(Pattern::compile("(ab|ba)+"), {.threads = 2});
+  StreamSession session = engine.stream({.positions = true});
+  session.feed("abba ");
+  std::vector<Match> collected = session.take_matches();
+  StreamSession resumed = engine.resume_stream(session.checkpoint(),
+                                               {.positions = true});
+  resumed.feed("baab");
+  for (const Match& m : resumed.take_matches()) collected.push_back(m);
+  EXPECT_EQ(collected, engine.find_all("abba baab"));
+}
+
+TEST_F(FaultInject, ServerDrainSiteSurfacesATypedErrorAndTheDrainCompletes) {
+  // The server.drain site fires inside the drain's checkpoint emission:
+  // armed, the client gets an ERROR frame instead of a DRAINING blob — but
+  // the terminal frame and the close still happen, so the drain never
+  // wedges. Disarmed, the same sequence delivers a resumable checkpoint.
+  namespace rd = rispard;
+  for (const bool armed : {true, false}) {
+    fault::disable();
+    rd::ServerConfig config;
+    config.drain_deadline_ms = 20000;
+    rd::Server server({"ab"}, config);
+    std::thread thread([&] { server.run(); });
+    const int fd = rd::connect_backoff(server.port());
+    ASSERT_GE(fd, 0);
+    rd::FrameReader reader;
+    rd::Frame frame;
+    rd::send_all(fd, rd::make_open_session(7, 0, 0, 2));
+    ASSERT_TRUE(rd::recv_frame(fd, reader, frame));
+    ASSERT_EQ(frame.type, rd::FrameType::kOpened);
+    rd::send_all(fd, rd::make_feed(7, "xabx"));
+    do {
+      ASSERT_TRUE(rd::recv_frame(fd, reader, frame));
+    } while (frame.type == rd::FrameType::kMatches);
+    ASSERT_EQ(frame.type, rd::FrameType::kFed);
+
+    if (armed) fault::configure(41, 1.0);
+    server.stop(true);
+
+    ASSERT_TRUE(rd::recv_frame(fd, reader, frame)) << "armed=" << armed;
+    if (armed) {
+      ASSERT_EQ(frame.type, rd::FrameType::kError);
+      rd::PayloadReader payload(frame.payload);
+      EXPECT_EQ(payload.get_u32(), 7u);
+      EXPECT_EQ(static_cast<rd::ErrorCode>(payload.get_u8()),
+                rd::ErrorCode::kInternal);
+      EXPECT_GT(fault::fire_count(), 0u);
+    } else {
+      ASSERT_EQ(frame.type, rd::FrameType::kDraining);
+      rd::PayloadReader payload(frame.payload);
+      EXPECT_EQ(payload.get_u32(), 7u);
+      payload.get_u32();  // pattern id
+      EXPECT_FALSE(payload.rest().empty());  // a real, resumable blob
+    }
+    fault::disable();
+    // Either way the terminal DRAINING frame and the close follow.
+    ASSERT_TRUE(rd::recv_frame(fd, reader, frame));
+    ASSERT_EQ(frame.type, rd::FrameType::kDraining);
+    {
+      rd::PayloadReader payload(frame.payload);
+      EXPECT_EQ(payload.get_u32(), rd::kNoSession);
+    }
+    EXPECT_FALSE(rd::recv_frame(fd, reader, frame));  // EOF
+    ::close(fd);
+    thread.join();
+  }
 }
 
 TEST_F(FaultInject, SameSeedSameFireCount) {

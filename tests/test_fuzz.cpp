@@ -651,6 +651,172 @@ TEST(BinaryBundleFuzz, DirectoryFieldMutationsAreContained) {
   }
 }
 
+// ------------------------------------------------- checkpoint/resume fuzz
+// (ISSUE 10 tentpole a): random regex × random text × random window splits
+// × random kill points. A session whose life is chopped into checkpoint/
+// resume segments — resumed on the same Engine or a fresh one over the same
+// source, under both begin modes, single and multi-pattern — must emit
+// exactly the one-shot find list (itself oracle-checked by the drivers
+// above). And the blobs themselves are hostile-input surfaces: every
+// truncation and random byte flip must throw ValidationError, never crash.
+// RISPAR_FUZZ_ITERS scales the sweep for the nightly soak.
+
+/// Random window split of `text` (never empty windows).
+std::vector<std::string_view> fuzz_windows(Prng& prng, std::string_view text) {
+  std::vector<std::string_view> windows;
+  std::size_t offset = 0;
+  while (offset < text.size()) {
+    const std::size_t take = std::min(text.size() - offset, 1 + prng.pick_index(30));
+    windows.push_back(text.substr(offset, take));
+    offset += take;
+  }
+  return windows;
+}
+
+TEST(CheckpointFuzz, KilledAndResumedSessionsEqualTheUninterruptedStream) {
+  const std::size_t iters = fuzz_iterations(10);
+  Prng prng(0xc4ec9017);
+
+  for (std::size_t iter = 0; iter < iters; ++iter) {
+    RandomRegexConfig config;
+    config.alphabet = prng.pick_index(2) == 0 ? "ab" : "abc";
+    config.target_size = 3 + static_cast<int>(prng.pick_index(9));
+    const RePtr re = random_regex(prng, config);
+    const std::string regex = regex_to_string(re);
+    const std::string text = fuzz_text(prng, re, 40 + prng.pick_index(160));
+    const BeginMode mode =
+        prng.pick_index(2) == 0 ? BeginMode::kSeparator : BeginMode::kExact;
+    const QueryOptions options{.chunks = 1 + prng.pick_index(4),
+                               .positions = true, .begin_mode = mode};
+    SCOPED_TRACE("iter " + std::to_string(iter) + " regex=" + regex +
+                 " mode=" + begin_mode_name(mode) + " text=" + text);
+
+    const Engine engine(Pattern::compile(regex), {.threads = 2});
+    const Engine fresh(Pattern::compile(regex), {.threads = 2});
+    const std::vector<Match> oracle =
+        engine.find_all(text, {.begin_mode = mode});
+
+    // The session's whole life as a chain of blobs: each segment resumes
+    // from the previous checkpoint (a fresh session's checkpoint seeds the
+    // chain), feeds a random run of windows, drains, and checkpoints again.
+    // Kill points land between ANY two windows; the resuming engine
+    // alternates between the original and a fresh compile of the same
+    // source (the cross-process shape).
+    const std::vector<std::string_view> windows = fuzz_windows(prng, text);
+    std::vector<Match> collected;
+    std::string blob = engine.stream(options).checkpoint();
+    std::size_t window_index = 0;
+    std::uint64_t consumed = 0;
+    while (window_index < windows.size()) {
+      const Engine& resumer = prng.pick_index(2) == 0 ? engine : fresh;
+      StreamSession session = resumer.resume_stream(blob, options);
+      ASSERT_EQ(session.bytes_consumed(), consumed);
+      do {
+        session.feed(windows[window_index]);
+        consumed += windows[window_index].size();
+        ++window_index;
+      } while (window_index < windows.size() && prng.pick_index(3) != 0);
+      for (const Match& m : session.take_matches()) collected.push_back(m);
+      blob = session.checkpoint();
+    }
+    ASSERT_EQ(collected, oracle);
+
+    // The final blob resumes to a session whose totals match the whole run.
+    StreamSession last = engine.resume_stream(blob, options);
+    EXPECT_EQ(last.bytes_consumed(), text.size());
+    EXPECT_EQ(last.matches(), oracle.size());
+
+    // Hostile-blob sweep on this iteration's final (non-trivial) blob:
+    // strided truncations and random flips must all reject typed.
+    for (std::size_t cut = 0; cut < blob.size();
+         cut += (cut < 32 || cut + 16 >= blob.size()) ? 1 : 11) {
+      EXPECT_THROW((void)engine.resume_stream(
+                       std::string_view(blob).substr(0, cut), options),
+                   ValidationError)
+          << "truncated to " << cut;
+    }
+    for (int flip = 0; flip < 30; ++flip) {
+      std::string corrupt = blob;
+      corrupt[prng.pick_index(corrupt.size())] ^=
+          static_cast<char>(1 + prng.pick_index(255));
+      EXPECT_THROW((void)engine.resume_stream(corrupt, options), ValidationError)
+          << "flip " << flip;
+    }
+  }
+}
+
+TEST(CheckpointFuzz, MultiPatternKillPointsPreserveTheMergedStream) {
+  const std::size_t iters = fuzz_iterations(6);
+  Prng prng(0x9e11ca7e);
+
+  for (std::size_t iter = 0; iter < iters; ++iter) {
+    RandomRegexConfig config;
+    config.alphabet = prng.pick_index(2) == 0 ? "ab" : "abc";
+    const std::size_t n = 2 + prng.pick_index(3);
+    std::vector<std::string> regexes;
+    std::vector<Pattern> patterns;
+    std::vector<Pattern> recompiled;  // the cross-process fleet
+    RePtr sample;
+    for (std::size_t p = 0; p < n; ++p) {
+      config.target_size = 3 + static_cast<int>(prng.pick_index(7));
+      const RePtr re = random_regex(prng, config);
+      if (p == 0) sample = re;
+      regexes.push_back(regex_to_string(re));
+      patterns.push_back(Pattern::compile(regexes.back()));
+      recompiled.push_back(Pattern::compile(regexes.back()));
+    }
+    const std::string text = fuzz_text(prng, sample, 40 + prng.pick_index(120));
+    const BeginMode mode =
+        prng.pick_index(2) == 0 ? BeginMode::kSeparator : BeginMode::kExact;
+    const QueryOptions options{.chunks = 1 + prng.pick_index(4),
+                               .begin_mode = mode};
+    std::string trace = "iter " + std::to_string(iter) + " text=" + text +
+                        " mode=" + begin_mode_name(mode) + " regexes=";
+    for (const std::string& regex : regexes) trace += regex + " ; ";
+    SCOPED_TRACE(trace);
+
+    const PatternSet set(patterns, {.threads = 2});
+    const PatternSet fresh(recompiled, {.threads = 2});
+    const std::vector<Match> oracle = set.find_all(text, options);
+
+    const std::vector<std::string_view> windows = fuzz_windows(prng, text);
+    std::vector<Match> collected;
+    std::string blob = set.stream_find(options).checkpoint();
+    std::size_t window_index = 0;
+    std::uint64_t consumed = 0;
+    while (window_index < windows.size()) {
+      const PatternSet& resumer = prng.pick_index(2) == 0 ? set : fresh;
+      MultiStreamSession session = resumer.resume_stream(blob, options);
+      ASSERT_EQ(session.bytes_consumed(), consumed);
+      do {
+        session.feed(windows[window_index]);
+        consumed += windows[window_index].size();
+        ++window_index;
+      } while (window_index < windows.size() && prng.pick_index(3) != 0);
+      for (const Match& m : session.take_matches()) collected.push_back(m);
+      blob = session.checkpoint();
+    }
+    ASSERT_EQ(collected, oracle);
+
+    // Multi blobs face the same hostile sweep (lighter: the single-pattern
+    // test above already walks the shared envelope dense).
+    for (std::size_t cut = 0; cut < blob.size();
+         cut += (cut < 24 || cut + 12 >= blob.size()) ? 1 : 23) {
+      EXPECT_THROW((void)set.resume_stream(
+                       std::string_view(blob).substr(0, cut), options),
+                   ValidationError)
+          << "truncated to " << cut;
+    }
+    for (int flip = 0; flip < 15; ++flip) {
+      std::string corrupt = blob;
+      corrupt[prng.pick_index(corrupt.size())] ^=
+          static_cast<char>(1 + prng.pick_index(255));
+      EXPECT_THROW((void)set.resume_stream(corrupt, options), ValidationError)
+          << "flip " << flip;
+    }
+  }
+}
+
 TEST(HostileInputs, DeepNestingParses) {
   std::string pattern;
   for (int i = 0; i < 200; ++i) pattern += "(";

@@ -143,6 +143,85 @@ TEST(Governance, StreamingFeedTripsPerFeed) {
   }
 }
 
+// ------------------------------------------- exact-begin history bounding
+
+TEST(Governance, MaxHistoryBytesTripsBeforeConsumingAndPoisons) {
+  // The a|ba hazard pattern: its separator-purity certificate fails, so
+  // kExact streaming retains history from the stream start — exactly the
+  // unbounded growth QueryOptions::max_history_bytes exists to cap.
+  const Engine engine(Pattern::compile("a|ba"), {.threads = 2});
+  ASSERT_FALSE(engine.pattern().reverse_begins().separators_sound);
+  QueryOptions options{.positions = true, .begin_mode = BeginMode::kExact};
+  options.max_history_bytes = 64;
+  StreamSession session = engine.stream(options);
+  session.feed(std::string(48, 'b'));  // retained: 48 ≤ 64
+  ASSERT_EQ(session.bytes_consumed(), 48u);
+  try {
+    session.feed(std::string(48, 'b'));  // peak would be 96 > 64
+    FAIL() << "the history cap did not trip";
+  } catch (const ResourceExhausted& error) {
+    EXPECT_EQ(error.resource(), "exact-begin history");
+    EXPECT_EQ(error.limit(), 64);
+    EXPECT_EQ(error.observed(), 96);
+  }
+  // The trip consumed NOTHING and poisoned the session (standard stream
+  // error semantics); reset() reuses it with the cap intact.
+  EXPECT_EQ(session.bytes_consumed(), 48u);
+  EXPECT_TRUE(session.poisoned());
+  EXPECT_THROW(session.feed("b"), ValidationError);
+  session.reset();
+  EXPECT_FALSE(session.poisoned());
+  session.feed(std::string(48, 'b'));
+  EXPECT_THROW(session.feed(std::string(48, 'b')), ResourceExhausted);
+}
+
+TEST(Governance, MaxHistoryBytesZeroIsUnlimitedAndABoundThatFitsIsInert) {
+  const Engine engine(Pattern::compile("a|ba"), {.threads = 2});
+  std::string text;
+  Prng prng(0x41aa);
+  for (std::size_t i = 0; i < 4096; ++i) text.push_back("ab b"[prng.pick_index(4)]);
+
+  const QueryOptions unlimited{.positions = true,
+                               .begin_mode = BeginMode::kExact};  // cap 0
+  QueryOptions bounded = unlimited;
+  bounded.max_history_bytes = 1 << 20;  // far above peak retention
+
+  StreamSession a = engine.stream(unlimited);
+  StreamSession b = engine.stream(bounded);
+  for (std::size_t offset = 0; offset < text.size(); offset += 97) {
+    const std::string_view window = std::string_view(text).substr(offset, 97);
+    a.feed(window);
+    b.feed(window);
+  }
+  // Non-interference: a bound that never trips changes nothing, and both
+  // agree with the one-shot exact find.
+  const std::vector<Match> expected =
+      engine.find_all(text, {.begin_mode = BeginMode::kExact});
+  EXPECT_EQ(a.take_matches(), expected);
+  EXPECT_EQ(b.take_matches(), expected);
+
+  // One-shot shapes ignore the knob entirely (they retain no history).
+  QueryOptions tiny{.begin_mode = BeginMode::kExact};
+  tiny.max_history_bytes = 8;
+  EXPECT_EQ(engine.find_all(text, tiny), expected);
+}
+
+TEST(Governance, MaxHistoryBytesGovernsMultiStreamSessions) {
+  // One unsound-separator pattern in the fleet is enough: the shared cap
+  // poisons the whole session when that pattern's tail would exceed it.
+  const PatternSet set = PatternSet::compile({"ab", "a|ba"}, {.threads = 2});
+  QueryOptions options{.begin_mode = BeginMode::kExact};
+  options.max_history_bytes = 64;
+  MultiStreamSession session = set.stream_find(options);
+  session.feed(std::string(48, 'b'));
+  EXPECT_THROW(session.feed(std::string(48, 'b')), ResourceExhausted);
+  EXPECT_TRUE(session.poisoned());
+  session.reset();
+  EXPECT_FALSE(session.poisoned());
+  session.feed(std::string(40, 'b'));
+  EXPECT_EQ(session.bytes_consumed(), 40u);
+}
+
 // -------------------------------------------------------- non-interference
 
 // A governed run that completes is indistinguishable from the ungoverned

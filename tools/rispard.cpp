@@ -45,6 +45,14 @@ int usage(const char* argv0, int exit_code) {
                "  --admission POLICY   reject|block when the bound trips\n"
                "                       (default reject)\n"
                "  --max-deadline-ms N  cap on client-requested per-feed deadlines\n"
+               "  --drain-deadline-ms N  grace period for in-flight feeds when a\n"
+               "                       SIGTERM/drain stops the server; 0 waits\n"
+               "                       forever (default 5000)\n"
+               "  --idle-timeout-ms N  checkpoint and close connections idle this\n"
+               "                       long; 0 = never (default 0)\n"
+               "  --max-history-bytes N  per-session cap on the exact-begin\n"
+               "                       history tail; 0 = unlimited\n"
+               "                       (default 2097152)\n"
                "  --help               this text\n",
                argv0);
   return exit_code;
@@ -64,6 +72,7 @@ int main(int argc, char** argv) {
   ServerConfig config;
   config.port = 7542;
   config.handle_sighup = true;
+  config.handle_sigterm = true;  // SIGTERM drains: checkpoints every session
   std::vector<std::string> patterns;
   std::string manifest_path;
 
@@ -113,6 +122,18 @@ int main(int argc, char** argv) {
       std::size_t ms = 0;
       if (!parse_size(value(), ms)) return usage(argv[0], 2);
       config.max_feed_deadline_ns = static_cast<std::uint64_t>(ms) * 1000000ull;
+    } else if (arg == "--drain-deadline-ms") {
+      std::size_t ms = 0;
+      if (!parse_size(value(), ms)) return usage(argv[0], 2);
+      config.drain_deadline_ms = ms;
+    } else if (arg == "--idle-timeout-ms") {
+      std::size_t ms = 0;
+      if (!parse_size(value(), ms)) return usage(argv[0], 2);
+      config.idle_timeout_ms = ms;
+    } else if (arg == "--max-history-bytes") {
+      std::size_t bytes = 0;
+      if (!parse_size(value(), bytes)) return usage(argv[0], 2);
+      config.max_history_bytes = bytes;
     } else {
       std::fprintf(stderr, "rispard: unknown argument %s\n",
                    std::string(arg).c_str());
@@ -149,10 +170,12 @@ int main(int argc, char** argv) {
 
   try {
     Server server(patterns, config);
-    std::printf("rispard: serving %zu patterns on %s:%u (SIGHUP reloads%s)\n",
-                patterns.size(), config.bind_address.c_str(),
-                static_cast<unsigned>(server.port()),
-                config.manifest_path.empty() ? " inline manifests only" : "");
+    std::printf(
+        "rispard: serving %zu patterns on %s:%u (SIGHUP reloads%s, "
+        "SIGTERM drains)\n",
+        patterns.size(), config.bind_address.c_str(),
+        static_cast<unsigned>(server.port()),
+        config.manifest_path.empty() ? " inline manifests only" : "");
     std::fflush(stdout);
     server.run();
   } catch (const std::exception& e) {

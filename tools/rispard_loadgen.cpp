@@ -229,11 +229,385 @@ void set_blocking(int fd) {
   ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
 }
 
+// ------------------------------------------------------------- chaos mode
+//
+// --chaos is the durable-session acceptance harness, not a benchmark: it
+// kills and resumes connections mid-feed and drains a server under load,
+// then checks BYTE-EXACT equivalence — the matches committed across every
+// kill/resume must equal one uninterrupted session's, for both begin modes
+// and the multi-pattern form, and a SIGTERM-style drain must lose zero
+// acked feeds while handing every open session a resumable checkpoint.
+
+struct WireMatch {
+  std::uint32_t pattern = 0;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  bool operator==(const WireMatch& o) const {
+    return pattern == o.pattern && begin == o.begin && end == o.end;
+  }
+};
+
+struct ChaosScenario {
+  const char* label;
+  bool multi = false;
+  std::uint32_t pattern_id = 0;  ///< single form only
+  std::uint8_t flags = 0;        ///< kOpenFlagExactBegins for exact begins
+};
+
+/// One durable client session: matches commit only on their FED ack, so a
+/// kill discards exactly the un-acked tail — the committed list is what the
+/// equivalence check compares.
+struct ChaosClient {
+  int fd = -1;
+  FrameReader reader;
+  std::vector<WireMatch> committed;
+  std::vector<WireMatch> uncommitted;  ///< matches since the last FED
+  std::uint64_t acked_bytes = 0;       ///< FED `consumed` — authoritative
+  std::string blob;                    ///< freshest checkpoint
+  bool drained = false;                ///< a DRAINING frame arrived
+};
+
+void chaos_absorb(ChaosClient& client, const Frame& frame) {
+  if (frame.type == FrameType::kMatches) {
+    PayloadReader payload(frame.payload);
+    payload.get_u32();  // session id
+    const std::uint32_t count = payload.get_u32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      WireMatch m;
+      m.pattern = payload.get_u32();
+      m.begin = payload.get_u64();
+      m.end = payload.get_u64();
+      client.uncommitted.push_back(m);
+    }
+  } else if (frame.type == FrameType::kFed) {
+    PayloadReader payload(frame.payload);
+    payload.get_u32();
+    client.acked_bytes = payload.get_u64();
+    client.committed.insert(client.committed.end(), client.uncommitted.begin(),
+                            client.uncommitted.end());
+    client.uncommitted.clear();
+  } else if (frame.type == FrameType::kDraining) {
+    PayloadReader payload(frame.payload);
+    const std::uint32_t session = payload.get_u32();
+    if (session != kNoSession) {
+      payload.get_u32();  // pattern id
+      client.blob = std::string(payload.rest());
+    }
+    client.drained = true;
+  }
+}
+
+/// Blocking pump until `wanted` (absorbing MATCHES/FED/DRAINING along the
+/// way). Returns false on ERROR frames, EOF, or DRAINING when it is not the
+/// wanted type — callers watching for drain check client.drained instead.
+bool chaos_await(ChaosClient& client, FrameType wanted, Frame& frame) {
+  while (recv_frame(client.fd, client.reader, frame)) {
+    if (frame.type == wanted) return true;
+    chaos_absorb(client, frame);
+    if (frame.type == FrameType::kError) return false;
+    if (client.drained) return false;
+  }
+  return false;
+}
+
+std::string chaos_open_frame(const ChaosScenario& sc) {
+  return sc.multi ? make_open_session_multi(1, 0, 2, {}, sc.flags)
+                  : make_open_session(1, sc.pattern_id, 0, 2, sc.flags);
+}
+
+ResumeSpec chaos_resume_spec(const ChaosScenario& sc, const std::string& blob) {
+  ResumeSpec spec;
+  spec.session_id = 1;
+  spec.pattern_id = sc.multi ? kMultiPattern : sc.pattern_id;
+  spec.chunks = 2;
+  spec.flags = sc.flags;
+  spec.checkpoint = blob;
+  return spec;
+}
+
+/// Vanishes (no CLOSE, mid-whatever) and comes back: RESUME from the last
+/// checkpoint, or a fresh OPEN when nothing was ever acked.
+bool chaos_kill_and_resume(ChaosClient& client, std::uint16_t port,
+                           const ChaosScenario& sc) {
+  ::close(client.fd);
+  client.fd = -1;
+  client.reader = FrameReader();
+  client.uncommitted.clear();
+  if (client.blob.empty()) {
+    client.fd = connect_backoff(port);
+    if (client.fd < 0) return false;
+    if (!send_all(client.fd, chaos_open_frame(sc))) return false;
+    Frame frame;
+    return chaos_await(client, FrameType::kOpened, frame);
+  }
+  client.fd =
+      reconnect_and_resume(port, chaos_resume_spec(sc, client.blob), client.reader);
+  return client.fd >= 0;
+}
+
+/// Feeds every window on session 1, killing the connection at prng-chosen
+/// points (mid-feed and between feeds) when `kill_dice` > 0; kill_dice == 0
+/// is the uninterrupted oracle. A checkpoint is taken after every ack so the
+/// blob always covers exactly the acked prefix.
+bool chaos_run(std::uint16_t port, const ChaosScenario& sc,
+               const std::vector<std::string>& windows, std::uint64_t seed,
+               int kill_dice, std::vector<WireMatch>& out) {
+  ChaosClient client;
+  client.fd = connect_backoff(port);
+  if (client.fd < 0) return false;
+  if (!send_all(client.fd, chaos_open_frame(sc))) return false;
+  Frame frame;
+  if (!chaos_await(client, FrameType::kOpened, frame)) return false;
+  Prng prng(seed);
+  std::size_t i = 0;
+  while (i < windows.size()) {
+    const std::uint64_t dice =
+        kill_dice > 0 ? prng.next_below(static_cast<std::uint64_t>(kill_dice)) : 2;
+    if (dice == 0) {
+      // Mid-feed kill: the FEED goes out, the ack never comes back. The
+      // resumed session re-feeds this window from the acked offset.
+      send_all(client.fd, make_feed(1, windows[i]));
+      if (!chaos_kill_and_resume(client, port, sc)) return false;
+      continue;
+    }
+    if (!send_all(client.fd, make_feed(1, windows[i]))) return false;
+    if (!chaos_await(client, FrameType::kFed, frame)) return false;
+    chaos_absorb(client, frame);
+    if (!send_all(client.fd, make_checkpoint(1))) return false;
+    if (!chaos_await(client, FrameType::kCheckpointed, frame)) return false;
+    client.blob = frame.payload.substr(8);
+    ++i;
+    if (dice == 1 && i < windows.size() &&
+        !chaos_kill_and_resume(client, port, sc))
+      return false;
+  }
+  if (!send_all(client.fd, make_close(1))) return false;
+  if (!chaos_await(client, FrameType::kClosed, frame)) return false;
+  // CLOSED carries matches_total — the resumed carries preserved the count
+  // across every kill, so it must equal the committed list exactly.
+  PayloadReader payload(frame.payload);
+  payload.get_u32();
+  const std::uint64_t total = payload.get_u64();
+  ::close(client.fd);
+  if (total != client.committed.size()) {
+    std::fprintf(stderr,
+                 "chaos[%s]: CLOSED matches_total=%llu but %zu were acked\n",
+                 sc.label, static_cast<unsigned long long>(total),
+                 client.committed.size());
+    return false;
+  }
+  out = std::move(client.committed);
+  return true;
+}
+
+/// Drain under load: clients feed depth-1 while the server drains; each must
+/// come away with a resumable checkpoint covering exactly its acked bytes,
+/// and resuming on a SECOND server must complete the stream byte-exact.
+bool chaos_drain_scenario(bool quick) {
+  const std::size_t kClients = quick ? 6 : 12;
+  const std::size_t kWindows = quick ? 48 : 160;
+  const std::string text = synthetic_window(kWindows * 1024);
+  ServerConfig config;
+  config.feed_workers = 3;
+  config.drain_deadline_ms = 20000;  // the test wants completion, not cancels
+  auto first = std::make_unique<Server>(kPatterns, config);
+  const std::uint16_t port = first->port();
+  std::thread first_thread([&] { first->run(); });
+
+  std::vector<ChaosScenario> shapes(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    shapes[c].label = "drain";
+    shapes[c].multi = c % 3 == 2;
+    shapes[c].pattern_id = static_cast<std::uint32_t>(c % kPatterns.size());
+    shapes[c].flags = c % 2 == 1 ? kOpenFlagExactBegins : std::uint8_t{0};
+  }
+  std::vector<ChaosClient> clients(kClients);
+  std::vector<char> ok(kClients, 1);
+  std::vector<std::thread> crew;
+  crew.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    crew.emplace_back([&, c] {
+      ChaosClient& client = clients[c];
+      client.fd = connect_backoff(port);
+      if (client.fd < 0) {
+        ok[c] = 0;
+        return;
+      }
+      Frame frame;
+      if (!send_all(client.fd, chaos_open_frame(shapes[c])) ||
+          !chaos_await(client, FrameType::kOpened, frame)) {
+        ok[c] = 0;
+        return;
+      }
+      std::size_t offset = 0;
+      while (offset < text.size() && !client.drained) {
+        const std::size_t len = std::min<std::size_t>(1024, text.size() - offset);
+        if (!send_all(client.fd, make_feed(1, text.substr(offset, len)))) break;
+        if (!chaos_await(client, FrameType::kFed, frame)) break;
+        chaos_absorb(client, frame);
+        offset += len;
+      }
+      // Ride out the drain: absorb until the terminal DRAINING / EOF. The
+      // session DRAINING frame (with the blob) lands in chaos_absorb.
+      while (recv_frame(client.fd, client.reader, frame)) chaos_absorb(client, frame);
+      ::close(client.fd);
+      client.fd = -1;
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(quick ? 40 : 120));
+  first->stop(true);  // the SIGTERM path: stop accepting, checkpoint, drain
+  for (std::thread& t : crew) t.join();
+  first_thread.join();
+  const ServerCounters drained_counters = first->counters();
+  first.reset();
+
+  bool pass = drained_counters.draining;
+  if (!pass) std::fprintf(stderr, "chaos[drain]: server never entered drain\n");
+  // Finish every stream on a fresh server and hold it to the oracle.
+  ServerConfig second_config;
+  second_config.feed_workers = 3;
+  auto second = std::make_unique<Server>(kPatterns, second_config);
+  const std::uint16_t second_port = second->port();
+  std::thread second_thread([&] { second->run(); });
+  for (std::size_t c = 0; c < kClients; ++c) {
+    ChaosClient& client = clients[c];
+    if (ok[c] == 0 || client.blob.empty()) {
+      std::fprintf(stderr,
+                   "chaos[drain]: client %zu got no resumable checkpoint "
+                   "(acked %llu bytes)\n",
+                   c, static_cast<unsigned long long>(client.acked_bytes));
+      pass = false;
+      continue;
+    }
+    client.reader = FrameReader();
+    client.uncommitted.clear();
+    client.fd = reconnect_and_resume(second_port,
+                                     chaos_resume_spec(shapes[c], client.blob),
+                                     client.reader);
+    if (client.fd < 0) {
+      std::fprintf(stderr, "chaos[drain]: client %zu failed to resume\n", c);
+      pass = false;
+      continue;
+    }
+    Frame frame;
+    bool finished = true;
+    std::size_t offset = static_cast<std::size_t>(client.acked_bytes);
+    while (offset < text.size()) {
+      const std::size_t len = std::min<std::size_t>(4096, text.size() - offset);
+      if (!send_all(client.fd, make_feed(1, text.substr(offset, len))) ||
+          !chaos_await(client, FrameType::kFed, frame)) {
+        finished = false;
+        break;
+      }
+      chaos_absorb(client, frame);
+      offset += len;
+    }
+    ::close(client.fd);
+    client.fd = -1;
+    if (!finished) {
+      std::fprintf(stderr, "chaos[drain]: client %zu failed mid-resume\n", c);
+      pass = false;
+      continue;
+    }
+    std::vector<WireMatch> oracle;
+    if (!chaos_run(second_port, shapes[c],
+                   std::vector<std::string>{text}, /*seed=*/1, /*kill_dice=*/0,
+                   oracle)) {
+      std::fprintf(stderr, "chaos[drain]: oracle run %zu failed\n", c);
+      pass = false;
+      continue;
+    }
+    if (client.committed != oracle) {
+      std::fprintf(stderr,
+                   "chaos[drain]: client %zu diverged — %zu matches across the "
+                   "drain vs %zu uninterrupted\n",
+                   c, client.committed.size(), oracle.size());
+      pass = false;
+    }
+  }
+  second->stop();
+  second_thread.join();
+  std::printf("chaos[drain]: %zu clients, drained + resumed %s\n", kClients,
+              pass ? "byte-exact" : "FAILED");
+  return pass;
+}
+
+int run_chaos_suite(bool quick) {
+  ServerConfig config;
+  config.feed_workers = 3;
+  auto server = std::make_unique<Server>(kPatterns, config);
+  const std::uint16_t port = server->port();
+  std::thread server_thread([&] { server->run(); });
+
+  // Uneven windows so kills land at awkward offsets (mid-line, mid-match).
+  const std::string text = synthetic_window(quick ? 24 * 1024 : 96 * 1024);
+  Prng slicer(5);
+  std::vector<std::string> windows;
+  for (std::size_t at = 0; at < text.size();) {
+    const std::size_t len =
+        std::min<std::size_t>(1 + slicer.next_below(4096), text.size() - at);
+    windows.push_back(text.substr(at, len));
+    at += len;
+  }
+
+  const std::vector<ChaosScenario> scenarios = {
+      {"single/separator", false, 1, 0},
+      {"single/exact", false, 1, kOpenFlagExactBegins},
+      {"multi/separator", true, 0, 0},
+      {"multi/exact", true, 0, kOpenFlagExactBegins},
+  };
+  bool pass = true;
+  const int seeds = quick ? 2 : 4;
+  for (const ChaosScenario& sc : scenarios) {
+    std::vector<WireMatch> oracle;
+    if (!chaos_run(port, sc, windows, 1, /*kill_dice=*/0, oracle)) {
+      std::fprintf(stderr, "chaos[%s]: oracle run failed\n", sc.label);
+      pass = false;
+      continue;
+    }
+    for (int seed = 0; seed < seeds; ++seed) {
+      std::vector<WireMatch> survived;
+      if (!chaos_run(port, sc, windows, 100 + static_cast<std::uint64_t>(seed),
+                     /*kill_dice=*/4, survived)) {
+        std::fprintf(stderr, "chaos[%s]: chaos run seed %d failed\n", sc.label,
+                     seed);
+        pass = false;
+        continue;
+      }
+      if (survived != oracle) {
+        std::fprintf(stderr,
+                     "chaos[%s]: seed %d diverged — %zu matches vs %zu "
+                     "uninterrupted\n",
+                     sc.label, seed, survived.size(), oracle.size());
+        pass = false;
+      }
+    }
+    std::printf("chaos[%s]: %zu windows x %d seeds, %zu oracle matches %s\n",
+                sc.label, windows.size(), seeds, oracle.size(),
+                pass ? "ok" : "FAILED");
+  }
+  server->stop();
+  server_thread.join();
+  server.reset();
+
+  if (!chaos_drain_scenario(quick)) pass = false;
+  if (!pass) {
+    std::fprintf(stderr,
+                 "rispard_loadgen: CHAOS FAILED — kill/resume or drain broke "
+                 "byte-exact equivalence (see above)\n");
+    return 1;
+  }
+  std::printf("rispard_loadgen: chaos passed — resumed == uninterrupted, "
+              "drain lost zero acked feeds\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
   bool multi_pattern = false;
+  bool chaos = false;
   std::string out_path = "BENCH_rispard.json";
   std::string connect_spec;
   unsigned client_threads = std::min(8u, std::thread::hardware_concurrency());
@@ -244,6 +618,8 @@ int main(int argc, char** argv) {
       quick = true;
     } else if (arg == "--multi-pattern") {
       multi_pattern = true;
+    } else if (arg == "--chaos") {
+      chaos = true;
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (arg == "--connect" && i + 1 < argc) {
@@ -252,11 +628,22 @@ int main(int argc, char** argv) {
       client_threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--quick] [--multi-pattern] [--out FILE] "
-                   "[--connect HOST:PORT] [--client-threads N]\n",
+                   "usage: %s [--quick] [--multi-pattern] [--chaos] "
+                   "[--out FILE] [--connect HOST:PORT] [--client-threads N]\n"
+                   "  --chaos runs the kill/resume + drain equivalence "
+                   "harness instead of the benchmark sweep\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (chaos) {
+    if (!connect_spec.empty()) {
+      std::fprintf(stderr,
+                   "rispard_loadgen: --chaos drives in-process servers (it "
+                   "must drain them); drop --connect\n");
+      return 2;
+    }
+    return run_chaos_suite(quick);
   }
 
   // 1000 connections client-side + 1000 server-side in one process: lift
